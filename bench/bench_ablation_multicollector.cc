@@ -1,0 +1,96 @@
+// Ablation: multi-collector scale-out and resiliency (paper §7
+// "Supporting Multiple Collectors", "The next telemetry bottleneck").
+//
+// The collection bottleneck is the collector NIC's message rate; DTA
+// "already supports multi-NIC collectors" and partitioning across
+// collectors. Measured: aggregate modeled capacity vs collector count
+// under key-hash sharding (with the measured shard balance), and the
+// query-success outcome of a collector failure under replication.
+#include "analysis/hw_model.h"
+#include "bench_util.h"
+#include "dtalib/multi_fabric.h"
+
+using namespace dta;
+
+int main() {
+  benchutil::print_header(
+      "Ablation — multi-collector scale-out & resiliency (§7)",
+      "NIC message rate is the bottleneck; partitioning across collectors "
+      "(or NICs) raises the ceiling linearly");
+
+  // --- scale-out: capacity and measured shard balance -----------------------
+  std::printf("key-hash sharding (Key-Write N=1, modeled):\n");
+  std::printf("%12s %18s %20s\n", "collectors", "aggregate rate",
+              "worst/best shard");
+  for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    MultiFabricConfig config;
+    collector::KeyWriteSetup kw;
+    kw.num_slots = 1 << 14;
+    config.base.keywrite = kw;
+    config.num_collectors = n;
+    config.policy = translator::PartitionPolicy::kByKeyHash;
+    MultiFabric mf(config);
+
+    for (std::uint64_t k = 0; k < 20000; ++k) {
+      proto::KeyWriteReport r;
+      r.key = benchutil::mixed_key(k);
+      r.redundancy = 1;
+      common::put_u32(r.data, 1);
+      mf.report(r);
+    }
+    std::uint64_t worst = ~0ull, best = 0;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const std::uint64_t verbs = mf.collector(c).stats().verbs_executed;
+      worst = std::min(worst, verbs);
+      best = std::max(best, verbs);
+    }
+    analysis::HwParams hw;
+    hw.nics = n;
+    std::printf("%12u %18s %19.2f\n", n,
+                benchutil::eng(analysis::kw_collection_rate(hw, 1, 4) *
+                               0 + mf.aggregate_message_rate())
+                    .c_str(),
+                static_cast<double>(worst) / static_cast<double>(best));
+  }
+
+  // --- resiliency under replication ------------------------------------------
+  std::printf("\nreplication resiliency (2 collectors, one fails mid-run):\n");
+  MultiFabricConfig config;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 14;
+  config.base.keywrite = kw;
+  config.num_collectors = 2;
+  config.policy = translator::PartitionPolicy::kReplicate;
+  MultiFabric mf(config);
+
+  constexpr std::uint64_t kKeys = 2000;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    if (k == kKeys / 2) mf.fail_collector(0);
+    proto::KeyWriteReport r;
+    r.key = benchutil::mixed_key(k);
+    r.redundancy = 2;
+    common::put_u32(r.data, static_cast<std::uint32_t>(k));
+    mf.report(r);
+  }
+  int survivor_hits = 0, dead_hits = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    if (mf.collector(1).service().keywrite()->query(benchutil::mixed_key(k),
+                                                    2).status ==
+        collector::QueryStatus::kHit) {
+      ++survivor_hits;
+    }
+    if (mf.collector(0).service().keywrite()->query(benchutil::mixed_key(k),
+                                                    2).status ==
+        collector::QueryStatus::kHit) {
+      ++dead_hits;
+    }
+  }
+  std::printf("  surviving collector answers %d/%llu keys; failed one "
+              "holds only the pre-failure %d\n",
+              survivor_hits, static_cast<unsigned long long>(kKeys),
+              dead_hits);
+  std::printf("  replication cost: %llu extra copies on the RDMA links\n",
+              static_cast<unsigned long long>(
+                  mf.selector_stats().replicated_copies));
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Ablation: translator in the ToR switch (RoCEv2) vs in a SmartNIC at
+// the collector (local DMA) — paper §7 "Implementing the translator in
+// a SmartNIC": "A SmartNIC would allow us to completely remove RDMA
+// traffic."
+//
+// Both variants consume identical primitive-engine output. Measured:
+// per-report wire overhead the RoCE hop adds (headers + ICRC + atomic
+// ACKs), software execution rate of each path, and semantic equivalence
+// (same bytes land in memory).
+#include <algorithm>
+
+#include "bench_util.h"
+#include "collector/rdma_service.h"
+#include "translator/keywrite_engine.h"
+#include "translator/rdma_crafter.h"
+#include "translator/smartnic.h"
+
+using namespace dta;
+
+int main() {
+  benchutil::print_header(
+      "Ablation — switch translator (RoCEv2) vs SmartNIC translator (DMA)",
+      "a SmartNIC translator removes all RDMA traffic from the last hop "
+      "(§7); the P4 pipeline is the starting point for P4-capable NICs");
+
+  constexpr std::uint32_t kReports = 200000;
+  constexpr std::uint64_t kSlots = 1 << 18;
+
+  // Shared collector memory + engine geometry.
+  collector::RdmaService service;
+  collector::KeyWriteSetup setup;
+  setup.num_slots = kSlots;
+  setup.value_bytes = 4;
+  service.enable_keywrite(setup);
+  rdma::ConnectRequest req;
+  const auto accept = service.accept(req);
+  translator::KeyWriteGeometry geo;
+  geo.base_va = accept.regions[0].base_va;
+  geo.rkey = accept.regions[0].rkey;
+  geo.value_bytes = 4;
+  geo.num_slots = kSlots;
+
+  // Pre-translate all reports once (both variants consume RdmaOps).
+  translator::KeyWriteEngine engine(geo);
+  std::vector<translator::RdmaOp> ops;
+  ops.reserve(kReports);
+  for (std::uint32_t i = 0; i < kReports; ++i) {
+    proto::KeyWriteReport r;
+    r.key = benchutil::mixed_key(i);
+    r.redundancy = 1;
+    common::put_u32(r.data, i);
+    engine.translate(r, false, ops);
+  }
+
+  // --- RoCE path -------------------------------------------------------------
+  translator::RdmaCrafter crafter({}, accept.responder_qpn, 0);
+  std::uint64_t roce_wire_bytes = 0;
+  benchutil::WallTimer roce_timer;
+  for (const auto& op : ops) {
+    net::Packet frame = crafter.craft(op);
+    roce_wire_bytes += net::wire_bytes(frame.size());
+    service.nic().ingest(frame);
+  }
+  const double roce_rate = kReports / roce_timer.seconds();
+
+  // --- SmartNIC path -----------------------------------------------------------
+  // Snapshot the store the RoCE path produced; re-applying the same ops
+  // via local DMA must reproduce it byte for byte.
+  const std::vector<std::uint8_t> roce_image(
+      service.keywrite_region()->data(),
+      service.keywrite_region()->data() + service.keywrite_region()->length());
+
+  translator::SmartNicTranslator smartnic(&service.nic().pd());
+  benchutil::WallTimer dma_timer;
+  for (const auto& op : ops) smartnic.apply(op);
+  const double dma_rate = kReports / dma_timer.seconds();
+
+  const bool identical =
+      std::equal(roce_image.begin(), roce_image.end(),
+                 service.keywrite_region()->data());
+
+  std::printf("%-24s %16s %16s\n", "", "RoCE translator", "SmartNIC DMA");
+  std::printf("%-24s %16s %16s\n", "software rate",
+              benchutil::eng(roce_rate).c_str(),
+              benchutil::eng(dma_rate).c_str());
+  std::printf("%-24s %13.1f B %13.1f B\n", "wire bytes / report",
+              static_cast<double>(roce_wire_bytes) / kReports, 0.0);
+
+  translator::RdmaOp sample_write = ops[0];
+  translator::RdmaOp sample_atomic;
+  sample_atomic.kind = translator::RdmaOp::Kind::kFetchAdd;
+  std::printf("%-24s %14zu B %14d B\n", "per-WRITE RoCE overhead",
+              translator::SmartNicTranslator::roce_overhead_bytes(
+                  sample_write),
+              0);
+  std::printf("%-24s %14zu B %14d B  (incl. atomic ACK)\n",
+              "per-FETCH_ADD overhead",
+              translator::SmartNicTranslator::roce_overhead_bytes(
+                  sample_atomic),
+              0);
+  std::printf("\nsemantic equivalence: DMA replay reproduced the RoCE "
+              "store byte-for-byte: %s\n", identical ? "yes" : "NO");
+  std::printf("takeaway: the DMA variant removes ~74B of RoCE framing per "
+              "write and the PSN/ACK machinery; the primitive engines are "
+              "unchanged — supporting §7's claim that the P4 translator "
+              "ports to a SmartNIC.\n");
+  return 0;
+}

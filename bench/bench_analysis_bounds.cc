@@ -1,0 +1,57 @@
+// §4 numeric examples and Appendix A bounds: regenerates every number
+// the paper quotes from the Key-Write and Postcarding analyses, plus a
+// checksum-width sweep (the ablation behind "we suggest 32 bits").
+#include "analysis/kw_bounds.h"
+#include "analysis/postcarding_bounds.h"
+#include "bench_util.h"
+
+using namespace dta;
+
+int main() {
+  benchutil::print_header(
+      "Analysis bounds — §4 numeric examples (Appendix A.5/A.6)",
+      "KW N=2,b=32,a=0.1: empty<3.3%, wrong<1.6e-11; N=1: 9.5%; N=4: 1.2%; "
+      "Postcarding: empty<3.3%, wrong<1e-22 vs KW-per-hop 8e-11");
+
+  std::printf("Key-Write (b=32, alpha=0.1):\n");
+  std::printf("%4s %14s %14s\n", "N", "empty-return", "wrong-output");
+  for (unsigned n : {1u, 2u, 4u, 8u}) {
+    analysis::KwParams p;
+    p.redundancy = n;
+    p.load_alpha = 0.1;
+    std::printf("%4u %13.2f%% %14.2e\n", n,
+                100 * analysis::kw_empty_return_bound(p),
+                analysis::kw_wrong_output_bound(p));
+  }
+
+  std::printf("\nchecksum-width ablation (N=2, alpha=0.1):\n");
+  std::printf("%6s %14s %14s\n", "bits", "empty-return", "wrong-output");
+  for (unsigned b : {8u, 16u, 24u, 32u}) {
+    analysis::KwParams p;
+    p.checksum_bits = b;
+    p.load_alpha = 0.1;
+    std::printf("%6u %13.2f%% %14.2e\n", b,
+                100 * analysis::kw_empty_return_bound(p),
+                analysis::kw_wrong_output_bound(p));
+  }
+
+  std::printf("\nPostcarding (B=5, |V|=2^18, b=32, alpha=0.1):\n");
+  analysis::PostcardingParams pc;
+  pc.redundancy = 2;
+  pc.load_alpha = 0.1;
+  std::printf("  empty-return bound : %.2f%%  (paper: at most 3.3%%)\n",
+              100 * analysis::pc_empty_return_bound(pc));
+  std::printf("  wrong-output bound : %.2e  (paper: below 1e-22)\n",
+              analysis::pc_wrong_output_bound(pc));
+  std::printf("  KW-per-hop (2x width) wrong output: %.2e (paper: ~8e-11)\n",
+              analysis::kw_per_hop_false_output(pc, 32));
+
+  std::printf("\nslot-width sweep for Postcarding (the b vs |V| tradeoff):\n");
+  std::printf("%6s %14s\n", "bits", "wrong-output");
+  for (unsigned b : {20u, 24u, 28u, 32u}) {
+    analysis::PostcardingParams p = pc;
+    p.slot_bits = b;
+    std::printf("%6u %14.2e\n", b, analysis::pc_wrong_output_bound(p));
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Figure 16: Append list-polling performance at the collector CPU.
+//   (a) polls/s vs cores, with no collection vs active collection at
+//       ~half capacity (the paper: 600M reports/s arriving while the CPU
+//       reads) — near-linear scaling, no interference;
+//   (b) per-poll breakdown: tail increment vs entry retrieval.
+//
+// Real multithreaded measurement: one list per polling core (the
+// paper's arrangement to avoid tail contention), entries written through
+// the RDMA path; the "active collection" variant interleaves writer
+// work on a separate thread.
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "collector/rdma_service.h"
+#include "translator/append_engine.h"
+#include "translator/rdma_crafter.h"
+
+using namespace dta;
+
+namespace {
+
+constexpr std::uint64_t kEntriesPerList = 1 << 20;
+constexpr std::uint32_t kMaxCores = 16;
+
+struct Rig {
+  collector::RdmaService service;
+  std::unique_ptr<translator::AppendEngine> engine;
+  std::unique_ptr<translator::RdmaCrafter> crafter;
+
+  Rig() {
+    collector::AppendSetup setup;
+    setup.num_lists = kMaxCores;
+    setup.entries_per_list = kEntriesPerList;
+    setup.entry_bytes = 4;
+    service.enable_append(setup);
+    rdma::ConnectRequest req;
+    const auto accept = service.accept(req);
+    translator::AppendGeometry geo;
+    geo.base_va = accept.regions[0].base_va;
+    geo.rkey = accept.regions[0].rkey;
+    geo.num_lists = kMaxCores;
+    geo.entries_per_list = kEntriesPerList;
+    geo.entry_bytes = 4;
+    engine = std::make_unique<translator::AppendEngine>(geo, 16);
+    crafter = std::make_unique<translator::RdmaCrafter>(
+        translator::CrafterEndpoints{}, accept.responder_qpn, 0);
+  }
+
+  void write_entries(std::uint32_t list, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      proto::AppendReport r;
+      r.list_id = list;
+      r.entry_size = 4;
+      common::Bytes e;
+      common::put_u32(e, static_cast<std::uint32_t>(i));
+      r.entries.push_back(std::move(e));
+      std::vector<translator::RdmaOp> ops;
+      engine->ingest(r, false, ops);
+      for (auto& op : ops) service.nic().ingest(crafter->craft(op));
+    }
+  }
+};
+
+double run_polling(Rig& rig, unsigned cores, bool active_collection,
+                   std::uint64_t polls_per_core) {
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (active_collection) {
+    writer = std::thread([&] {
+      // Background collection onto the high lists while pollers read.
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        rig.write_entries(kMaxCores - 1, 4096);
+        i += 4096;
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> checksum{0};
+  benchutil::WallTimer timer;
+  std::vector<std::thread> pollers;
+  for (unsigned c = 0; c < cores; ++c) {
+    pollers.emplace_back([&, c] {
+      auto* store = rig.service.append();
+      std::uint64_t sum = 0;
+      for (std::uint64_t i = 0; i < polls_per_core; ++i) {
+        sum += store->peek(c)[0];
+        store->set_tail(c, (store->tail(c) + 1) % kEntriesPerList);
+      }
+      checksum += sum;
+    });
+  }
+  for (auto& p : pollers) p.join();
+  const double seconds = timer.seconds();
+  stop = true;
+  if (writer.joinable()) writer.join();
+  return static_cast<double>(cores) * polls_per_core / seconds;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "Figure 16 — Append list polling at the collector",
+      "(a) near-linear core scaling; active collection at half capacity "
+      "has negligible impact; (b) poll = tail increment + retrieval");
+
+  Rig rig;
+  // Pre-fill every list through the RDMA path.
+  for (std::uint32_t list = 0; list < kMaxCores; ++list) {
+    rig.write_entries(list, 65536);
+  }
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("(a) polls/s — %u hardware threads here\n", hw_threads);
+  std::printf("%7s %16s %18s\n", "cores", "no collection",
+              "active collection");
+  for (unsigned cores : {1u, 2u, 4u, 8u, 16u}) {
+    const std::uint64_t per_core = 20000000 / cores;
+    const double idle = run_polling(rig, cores, false, per_core);
+    const double busy = run_polling(rig, cores, true, per_core);
+    std::printf("%7u %16s %18s\n", cores, benchutil::eng(idle).c_str(),
+                benchutil::eng(busy).c_str());
+  }
+
+  // (b) phase breakdown.
+  std::printf("\n(b) per-poll breakdown:\n");
+  auto* store = rig.service.append();
+  constexpr std::uint64_t kIters = 50000000;
+  volatile std::uint64_t sink = 0;
+
+  benchutil::WallTimer tail_timer;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    store->set_tail(0, (store->tail(0) + 1) % kEntriesPerList);
+  }
+  const double tail_ns = tail_timer.seconds() * 1e9 / kIters;
+
+  benchutil::WallTimer read_timer;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    sink = store->peek(0)[0];
+  }
+  const double read_ns = read_timer.seconds() * 1e9 / kIters;
+  (void)sink;
+
+  std::printf("  increment tail: %5.1f ns\n", tail_ns);
+  std::printf("  retrieval     : %5.1f ns\n", read_ns);
+  std::printf("paper: both phases tens of ns; 8 cores suffice to drain "
+              "maximum-rate collection.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 3: cores needed for single-metric collection with MultiLog at
+// various network sizes (1 .. 10K switches), for three workloads:
+// INT 0.5% (19 Mpps/switch), Marple flowlet sizes (7.2 Mpps), NetSeer
+// loss events (950 Kpps).
+//
+// The per-core MultiLog ingest rate is *measured* (instrumented ingest +
+// cycle model), then the cost model extrapolates — exactly how the
+// paper's figure is constructed from its Figure 2 measurement.
+#include "analysis/cost_model.h"
+#include "baseline/ingest.h"
+#include "baseline/multilog.h"
+#include "bench_util.h"
+#include "perfmodel/cache_model.h"
+#include "telemetry/rates.h"
+
+using namespace dta;
+
+int main() {
+  benchutil::print_header(
+      "Figure 3 — collection cost vs network size (MultiLog)",
+      "~10K cores for INT 0.5% at 1000 switches; K=28 fat tree => >11% of "
+      "servers");
+
+  // Measure MultiLog's per-core rate.
+  baseline::MultiLogCollector multilog;
+  const auto packets = baseline::make_packets(100000, 200000);
+  const auto result = baseline::run_ingest(multilog, packets);
+  const perfmodel::CacheModel model;
+  const auto one_core = model.scale(result.counters, result.reports, 1);
+
+  analysis::CollectionCostParams params;
+  params.per_core_reports_per_sec = one_core.reports_per_sec;
+  std::printf("measured MultiLog per-core rate: %s reports/s\n\n",
+              benchutil::eng(params.per_core_reports_per_sec).c_str());
+
+  struct Workload {
+    const char* name;
+    double rate;
+  };
+  const Workload workloads[] = {
+      {"INT 0.5%", 19e6},
+      {"Flowlet Sizes (Marple)", 7.2e6},
+      {"Loss Events (NetSeer)", 950e3},
+  };
+
+  std::printf("%10s", "#switches");
+  for (const auto& w : workloads) std::printf(" %24s", w.name);
+  std::printf("\n");
+  for (std::uint64_t s : {1ull, 10ull, 100ull, 1000ull, 10000ull}) {
+    std::printf("%10llu", static_cast<unsigned long long>(s));
+    for (const auto& w : workloads) {
+      std::printf(" %24s",
+                  benchutil::eng(analysis::cores_needed(s, w.rate, params))
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nK=28 fat tree: %llu switches, %llu servers; INT 0.5%% "
+              "collection consumes %.1f%% of all server cores "
+              "(paper: over 11%%)\n",
+              static_cast<unsigned long long>(analysis::fat_tree_switches(28)),
+              static_cast<unsigned long long>(analysis::fat_tree_servers(28)),
+              100 * analysis::collection_core_fraction(28, 19e6, params, 16));
+  return 0;
+}

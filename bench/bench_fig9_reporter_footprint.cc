@@ -1,0 +1,52 @@
+// Figure 9: hardware resource costs of a DTA reporter vs an
+// RDMA-generating reporter vs a plain UDP reporter, on an INT-XD switch.
+//
+// Uses the structural Tofino-1 resource model (analysis/tofino_model):
+// each reporter variant is the INT monitoring logic plus its export
+// mechanism's features. The headline to reproduce: DTA ~= UDP, RDMA ~2x.
+#include "analysis/tofino_model.h"
+#include "bench_util.h"
+
+using namespace dta;
+using analysis::kNumTofinoResources;
+using analysis::TofinoResource;
+
+int main() {
+  benchutil::print_header(
+      "Figure 9 — reporter resource footprint (Tofino-1 utilization)",
+      "DTA imposes an almost identical footprint to UDP; RDMA generation "
+      "roughly doubles the reporter");
+
+  const auto udp = analysis::reporter_udp();
+  const auto dta = analysis::reporter_dta();
+  const auto rdma = analysis::reporter_rdma();
+
+  std::printf("%-14s %8s %8s %8s\n", "resource", "UDP", "DTA", "RDMA");
+  const auto u_udp = udp.utilization();
+  const auto u_dta = dta.utilization();
+  const auto u_rdma = rdma.utilization();
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    std::printf("%-14s %7.1f%% %7.1f%% %7.1f%%\n",
+                analysis::tofino_resource_name(static_cast<TofinoResource>(i)),
+                100 * u_udp[i], 100 * u_dta[i], 100 * u_rdma[i]);
+  }
+
+  double dta_over_udp = 0, rdma_over_dta = 0;
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    dta_over_udp += u_dta[i] / u_udp[i];
+    rdma_over_dta += u_rdma[i] / u_dta[i];
+  }
+  std::printf("\nmean ratios: DTA/UDP = %.2fx, RDMA/DTA = %.2fx "
+              "(paper: ~1x and ~2x)\n",
+              dta_over_udp / kNumTofinoResources,
+              rdma_over_dta / kNumTofinoResources);
+
+  std::printf("\nfeature inventory (what each export mechanism adds):\n");
+  for (const auto* program : {&udp, &dta, &rdma}) {
+    std::printf("  %s:\n", program->name.c_str());
+    for (const auto& f : program->features) {
+      std::printf("    - %s\n", f.name.c_str());
+    }
+  }
+  return 0;
+}

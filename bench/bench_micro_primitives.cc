@@ -1,0 +1,229 @@
+// Microbenchmarks (google-benchmark) for the hot operations of the DTA
+// data path: CRC hashing, primitive translation, RoCE crafting, NIC verb
+// execution, and store queries. These are the per-op costs the
+// figure-level benches aggregate; useful for regression tracking.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "collector/rdma_service.h"
+#include "translator/append_engine.h"
+#include "translator/keywrite_engine.h"
+#include "translator/postcard_cache.h"
+#include "translator/rdma_crafter.h"
+
+using namespace dta;
+
+namespace {
+
+// Shared rig so every benchmark runs against realistic geometry.
+struct Rig {
+  collector::RdmaService service;
+  translator::KeyWriteGeometry kw_geo;
+  translator::PostcardingGeometry pc_geo;
+  translator::AppendGeometry ap_geo;
+  std::uint32_t qpn = 0;
+
+  Rig() {
+    collector::KeyWriteSetup kw;
+    kw.num_slots = 1 << 20;
+    service.enable_keywrite(kw);
+    collector::PostcardingSetup pc;
+    pc.num_chunks = 1 << 16;
+    for (std::uint32_t v = 0; v < 1024; ++v) pc.value_space.push_back(v);
+    service.enable_postcarding(pc);
+    collector::AppendSetup ap;
+    ap.num_lists = 16;
+    ap.entries_per_list = 1 << 16;
+    service.enable_append(ap);
+    rdma::ConnectRequest req;
+    const auto accept = service.accept(req);
+    qpn = accept.responder_qpn;
+    for (const auto& region : accept.regions) {
+      switch (region.kind) {
+        case rdma::RegionKind::kKeyWrite:
+          kw_geo = {region.base_va, region.rkey, region.param2,
+                    (region.param1 & 0xFFFF) - 4};
+          break;
+        case rdma::RegionKind::kPostcarding:
+          pc_geo.base_va = region.base_va;
+          pc_geo.rkey = region.rkey;
+          pc_geo.num_chunks = region.param2;
+          pc_geo.hops = static_cast<std::uint8_t>(region.param1 >> 16);
+          break;
+        case rdma::RegionKind::kAppend:
+          ap_geo.base_va = region.base_va;
+          ap_geo.rkey = region.rkey;
+          ap_geo.entry_bytes = region.param1;
+          ap_geo.entries_per_list = region.param2 & 0xFFFFFFFFull;
+          ap_geo.num_lists = static_cast<std::uint32_t>(region.param2 >> 32);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+};
+
+Rig& rig() {
+  static Rig instance;
+  return instance;
+}
+
+void BM_CrcChecksum(benchmark::State& state) {
+  const auto key = benchutil::mixed_key(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translator::key_checksum(key));
+  }
+}
+BENCHMARK(BM_CrcChecksum);
+
+void BM_SlotIndex(benchmark::State& state) {
+  const auto key = benchutil::mixed_key(42);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        translator::slot_index(i++ % 4, key, 1 << 20));
+  }
+}
+BENCHMARK(BM_SlotIndex);
+
+void BM_KeyWriteTranslate(benchmark::State& state) {
+  translator::KeyWriteEngine engine(rig().kw_geo);
+  proto::KeyWriteReport r;
+  r.key = benchutil::mixed_key(7);
+  r.redundancy = static_cast<std::uint8_t>(state.range(0));
+  common::put_u32(r.data, 99);
+  std::vector<translator::RdmaOp> ops;
+  for (auto _ : state) {
+    ops.clear();
+    engine.translate(r, false, ops);
+    benchmark::DoNotOptimize(ops.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyWriteTranslate)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_PostcardIngest(benchmark::State& state) {
+  translator::PostcardCache cache(rig().pc_geo, 32768);
+  std::vector<translator::RdmaOp> ops;
+  std::uint64_t flow = 0;
+  std::uint8_t hop = 0;
+  for (auto _ : state) {
+    proto::PostcardReport r;
+    r.key = benchutil::mixed_key(flow);
+    r.hop = hop;
+    r.path_len = 5;
+    r.redundancy = 1;
+    r.value = static_cast<std::uint32_t>(flow % 1024);
+    cache.ingest(r, ops);
+    ops.clear();
+    if (++hop == 5) {
+      hop = 0;
+      ++flow;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PostcardIngest);
+
+void BM_AppendIngest(benchmark::State& state) {
+  translator::AppendEngine engine(rig().ap_geo,
+                                  static_cast<std::uint32_t>(state.range(0)));
+  proto::AppendReport r;
+  r.list_id = 0;
+  r.entry_size = 4;
+  r.entries.push_back({1, 2, 3, 4});
+  std::vector<translator::RdmaOp> ops;
+  for (auto _ : state) {
+    engine.ingest(r, false, ops);
+    ops.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendIngest)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RoceCraft(benchmark::State& state) {
+  translator::RdmaCrafter crafter({}, rig().qpn, 0);
+  translator::RdmaOp op;
+  op.kind = translator::RdmaOp::Kind::kWrite;
+  op.remote_va = rig().kw_geo.base_va;
+  op.rkey = rig().kw_geo.rkey;
+  op.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crafter.craft(op));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoceCraft);
+
+void BM_NicVerbExecution(benchmark::State& state) {
+  translator::RdmaCrafter crafter({}, rig().qpn, 0);
+  translator::KeyWriteEngine engine(rig().kw_geo);
+  // Pre-craft a batch of frames with sequential PSNs; NIC executes them
+  // round-robin (PSN resync keeps the QP progressing).
+  std::vector<net::Packet> frames;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    proto::KeyWriteReport r;
+    r.key = benchutil::mixed_key(i);
+    r.redundancy = 1;
+    common::put_u32(r.data, i);
+    std::vector<translator::RdmaOp> ops;
+    engine.translate(r, false, ops);
+    frames.push_back(crafter.craft(ops[0]));
+  }
+  std::size_t i = 0;
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    auto out = rig().service.nic().ingest(frames[i]);
+    executed += out && out->responder.executed;
+    i = (i + 1) % frames.size();
+    if (i == 0) {
+      // Re-sync the responder for the next pass over the same PSNs.
+      rig().service.qp()->to_rtr(0);
+    }
+  }
+  benchmark::DoNotOptimize(executed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NicVerbExecution);
+
+void BM_KeyWriteQuery(benchmark::State& state) {
+  // Populate once.
+  static bool populated = false;
+  translator::KeyWriteEngine engine(rig().kw_geo);
+  translator::RdmaCrafter crafter({}, rig().qpn, 1 << 20);
+  if (!populated) {
+    rig().service.qp()->to_rtr(1 << 20);
+    for (std::uint32_t i = 0; i < 100000; ++i) {
+      proto::KeyWriteReport r;
+      r.key = benchutil::mixed_key(i);
+      r.redundancy = 2;
+      common::put_u32(r.data, i);
+      std::vector<translator::RdmaOp> ops;
+      engine.translate(r, false, ops);
+      for (auto& op : ops) rig().service.nic().ingest(crafter.craft(op));
+    }
+    populated = true;
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig().service.keywrite()->query(
+        benchutil::mixed_key(i++ % 100000),
+        static_cast<std::uint8_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyWriteQuery)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_AppendPoll(benchmark::State& state) {
+  auto* store = rig().service.append();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->poll(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendPoll);
+
+}  // namespace
+
+BENCHMARK_MAIN();

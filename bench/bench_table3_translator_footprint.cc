@@ -1,0 +1,62 @@
+// Table 3: translator resource footprint in Tofino-1 while supporting
+// Key-Write, Postcarding and Append, plus the cost of Append batching
+// (16 x 4B), and the §6.4 ablation of enabling fewer primitives.
+#include "analysis/tofino_model.h"
+#include "bench_util.h"
+
+using namespace dta;
+using analysis::kNumTofinoResources;
+using analysis::TofinoResource;
+
+int main() {
+  benchutil::print_header(
+      "Table 3 — translator resource footprint (Tofino-1)",
+      "base 13.2% SRAM / 10.6% xbar / 49.0% table IDs / 30.7% ternary / "
+      "25.0% sALU; batching +3.2/+7.2/+7.8/+7.8/+31.3");
+
+  const auto base = analysis::translator_base().utilization();
+  const auto delta = analysis::translator_batching_delta(16).utilization();
+
+  std::printf("%-14s %12s %12s %12s\n", "resource", "base", "+batching",
+              "total");
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    std::printf("%-14s %11.1f%% %+11.1f%% %11.1f%%\n",
+                analysis::tofino_resource_name(static_cast<TofinoResource>(i)),
+                100 * base[i], 100 * delta[i], 100 * (base[i] + delta[i]));
+  }
+
+  std::printf("\nbatch-size sweep (stateful ALU cost scales linearly, §6.4):\n");
+  std::printf("%8s %14s\n", "batch", "sALU delta");
+  for (unsigned batch : {2u, 4u, 8u, 16u}) {
+    const auto d = analysis::translator_batching_delta(batch).utilization();
+    std::printf("%8u %13.1f%%\n", batch, 100 * d[5]);
+  }
+
+  std::printf("\nablation — enabling fewer primitives (§6.4):\n");
+  struct Variant {
+    const char* name;
+    bool kw, pc, ap;
+  };
+  const Variant variants[] = {
+      {"KW only", true, false, false},
+      {"Append only (batch 16)", false, false, true},
+      {"KW + Postcarding", true, true, false},
+      {"full (KW+PC+Append b16)", true, true, true},
+  };
+  std::printf("%-26s", "variant");
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    std::printf(" %11s",
+                analysis::tofino_resource_name(static_cast<TofinoResource>(i)));
+  }
+  std::printf("\n");
+  for (const auto& v : variants) {
+    const auto u =
+        analysis::translator_subset(v.kw, v.pc, v.ap, 16).utilization();
+    std::printf("%-26s", v.name);
+    for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+      std::printf(" %10.1f%%", 100 * u[i]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

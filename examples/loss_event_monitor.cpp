@@ -1,0 +1,90 @@
+// Network-wide loss-event monitoring with the Append primitive
+// (paper §4 "Append", Table 2 NetSeer row, §6.7).
+//
+// NetSeer-style loss events (18B: flow + seq + drop cause) stream from a
+// switch into per-cause ring-buffer lists in collector memory. The
+// translator batches 8 events per RDMA WRITE; the collector CPU polls
+// the lists — "a pointer increment ... and then reading the memory
+// location" — and builds a live drop-cause breakdown. Critical events
+// can set the DTA immediate flag to raise a CPU interrupt.
+//
+//   $ ./example_loss_event_monitor [num_events]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dtalib/fabric.h"
+#include "telemetry/netseer_gen.h"
+
+namespace {
+const char* kCauseNames[3] = {"queue overflow", "pipeline drop", "ACL drop"};
+}
+
+int main(int argc, char** argv) {
+  const int num_events = argc > 1 ? std::atoi(argv[1]) : 5000;
+  constexpr std::uint32_t kBatch = 8;
+
+  // One list per drop cause, 64K events each, 18B entries.
+  dta::FabricConfig config;
+  dta::collector::AppendSetup ap;
+  ap.num_lists = 3;
+  ap.entries_per_list = 1 << 16;
+  ap.entry_bytes = 18;
+  config.append = ap;
+  config.translator.append_batch_size = kBatch;
+  dta::Fabric fabric(config);
+
+  // Reporter: NetSeer loss events over synthetic DC traffic.
+  dta::telemetry::TraceConfig tc;
+  dta::telemetry::TraceGenerator trace(tc);
+  dta::telemetry::NetSeerGenerator netseer({}, &trace);
+
+  std::printf("streaming %d loss events (batch %u per RDMA write)...\n",
+              num_events, kBatch);
+  std::uint64_t per_cause_sent[3] = {};
+  for (int i = 0; i < num_events; ++i) {
+    const auto event = netseer.next_event();
+    ++per_cause_sent[event.reason % 3];
+    // Route each event to its cause's list; bursts of queue-overflow
+    // drops get the immediate flag so the collector reacts at once.
+    auto report = event.to_dta(/*list_id=*/event.reason % 3);
+    const bool urgent = event.reason == 0 && (i % 64 == 63);
+    fabric.report(report, 0, urgent);
+  }
+  fabric.flush();
+
+  // Collector: drain the immediate-event completions first...
+  int interrupts = 0;
+  while (fabric.collector().poll_event()) ++interrupts;
+  std::printf("collector saw %d immediate interrupts for urgent bursts\n",
+              interrupts);
+
+  // ...then poll the lists like the §6.7.1 consumer threads would.
+  auto* store = fabric.collector().service().append();
+  for (std::uint32_t cause = 0; cause < 3; ++cause) {
+    std::uint64_t polled = 0;
+    std::uint32_t sample_seq = 0;
+    dta::net::FiveTuple sample_flow;
+    const std::uint64_t available = per_cause_sent[cause];
+    for (std::uint64_t i = 0; i < available; ++i) {
+      const auto entry = store->poll(cause);
+      if (i == 0) {
+        sample_flow = dta::net::FiveTuple::from_bytes(entry.subspan(0, 13));
+        sample_seq = dta::common::load_u32(entry.data() + 13);
+      }
+      ++polled;
+    }
+    std::printf("  %-15s : %8llu events (first: %s seq=%u)\n",
+                kCauseNames[cause], static_cast<unsigned long long>(polled),
+                polled ? sample_flow.to_string().c_str() : "-", sample_seq);
+  }
+
+  const auto& stats = fabric.translator().append()->stats();
+  std::printf("translator: %llu entries -> %llu RDMA writes "
+              "(%.1f events per memory operation)\n",
+              static_cast<unsigned long long>(stats.entries_in),
+              static_cast<unsigned long long>(stats.writes_emitted),
+              static_cast<double>(stats.entries_in) /
+                  static_cast<double>(stats.writes_emitted));
+  return 0;
+}

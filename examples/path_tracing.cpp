@@ -1,0 +1,92 @@
+// Per-packet path tracing with the Postcarding primitive (paper §4, §6.6).
+//
+// Simulates an INT-XD deployment: switches along each sampled packet's
+// path emit 4B postcards; the translator aggregates the postcards of
+// each flow in its 32K-slot cache and writes complete paths to the
+// collector with a single RDMA WRITE. The operator then asks "which
+// switches did flow X traverse?" straight from collector memory.
+//
+//   $ ./example_path_tracing [num_flows]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dtalib/fabric.h"
+#include "telemetry/int_gen.h"
+
+int main(int argc, char** argv) {
+  const int num_flows = argc > 1 ? std::atoi(argv[1]) : 2000;
+
+  // Collector: a 128K-chunk Postcarding store over the 2^18 switch-ID
+  // space the paper's example uses.
+  dta::FabricConfig config;
+  dta::collector::PostcardingSetup pc;
+  pc.num_chunks = 1 << 17;
+  pc.hops = 5;
+  constexpr std::uint32_t kSwitches = 1 << 18;
+  pc.value_space.reserve(kSwitches);
+  for (std::uint32_t v = 1; v <= kSwitches; ++v) pc.value_space.push_back(v);
+  config.postcarding = pc;
+  config.translator.postcard_cache_slots = 32768;
+
+  dta::Fabric fabric(config);
+
+  // Reporter side: INT-XD over synthetic DC traffic.
+  dta::telemetry::TraceConfig tc;
+  tc.num_flows = static_cast<std::uint32_t>(num_flows);
+  dta::telemetry::TraceGenerator trace(tc);
+  dta::telemetry::IntConfig ic;
+  ic.sampling_rate = 0.01;
+  ic.switch_id_space = kSwitches;
+  dta::telemetry::IntGenerator generator(ic, &trace);
+
+  std::printf("collecting postcards for %d sampled packets...\n", num_flows);
+  std::vector<dta::net::FiveTuple> sampled;
+  for (int i = 0; i < num_flows; ++i) {
+    const auto cards = generator.next_postcards();
+    sampled.push_back(cards[0].flow);
+    for (const auto& card : cards) {
+      fabric.report(card.to_dta(/*redundancy=*/1));
+    }
+  }
+  fabric.flush();  // drain the translator cache at end of run
+
+  const auto& cache_stats = fabric.translator().postcarding()->stats();
+  std::printf("translator cache: %llu postcards -> %llu full paths, "
+              "%llu early emissions (collisions)\n",
+              static_cast<unsigned long long>(cache_stats.postcards_in),
+              static_cast<unsigned long long>(cache_stats.full_emissions),
+              static_cast<unsigned long long>(cache_stats.early_emissions));
+
+  // Query the paths back and validate against the generator's oracle.
+  int found = 0, correct = 0;
+  for (const auto& flow : sampled) {
+    const auto kb = flow.to_bytes();
+    const auto key = dta::proto::TelemetryKey::from(
+        dta::common::ByteSpan(kb.data(), kb.size()));
+    const auto result =
+        fabric.collector().service().postcarding()->query(key, 1);
+    if (!result.found) continue;
+    ++found;
+    if (result.hop_values == generator.path_of(flow)) ++correct;
+  }
+  std::printf("queried %zu flows: %d paths recovered, %d exactly correct "
+              "(%.1f%% success, 0 wrong outputs tolerated)\n",
+              sampled.size(), found, correct, 100.0 * found / sampled.size());
+
+  // Show one path end-to-end.
+  const auto& flow = sampled.front();
+  const auto kb = flow.to_bytes();
+  const auto key = dta::proto::TelemetryKey::from(
+      dta::common::ByteSpan(kb.data(), kb.size()));
+  const auto result =
+      fabric.collector().service().postcarding()->query(key, 1);
+  if (result.found) {
+    std::printf("example: %s traversed switches [", flow.to_string().c_str());
+    for (std::size_t i = 0; i < result.hop_values.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", result.hop_values[i]);
+    }
+    std::printf("]\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the smallest complete DTA deployment.
+//
+// Builds the Figure 1 topology (one reporter switch, one translator, one
+// collector), pushes a handful of Key-Write telemetry reports through
+// the full path — UDP encapsulation, 100G link, DTA->RDMA translation,
+// RoCEv2, NIC verb execution — and queries them back from the
+// collector's write-only key-value store.
+//
+//   $ ./example_quickstart
+
+#include <cstdio>
+
+#include "dtalib/fabric.h"
+#include "net/flow.h"
+
+int main() {
+  // 1. Configure the fabric: a 1M-slot Key-Write store with 4B values.
+  dta::FabricConfig config;
+  dta::collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 20;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+
+  dta::Fabric fabric(config);
+  std::printf("fabric up: translator connected, %u-slot Key-Write store\n",
+              static_cast<unsigned>(kw.num_slots));
+
+  // 2. A switch reports per-flow telemetry: flow 5-tuple -> 4B metric.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    dta::net::FiveTuple flow{0x0A000001 + i, 0x0A0000C8, 443,
+                             static_cast<std::uint16_t>(50000 + i), 6};
+    dta::proto::KeyWriteReport report;
+    const auto key_bytes = flow.to_bytes();
+    report.key = dta::proto::TelemetryKey::from(
+        dta::common::ByteSpan(key_bytes.data(), key_bytes.size()));
+    report.redundancy = 2;  // N=2: the paper's recommended compromise
+    dta::common::put_u32(report.data, 1000 + i);  // e.g. per-flow latency
+
+    fabric.report(report);
+  }
+  std::printf("sent 10 Key-Write reports (N=2) -> %llu RDMA writes, "
+              "0 collector CPU cycles\n",
+              static_cast<unsigned long long>(
+                  fabric.collector().stats().verbs_executed));
+
+  // 3. The operator queries any flow directly from collector memory.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    dta::net::FiveTuple flow{0x0A000001 + i, 0x0A0000C8, 443,
+                             static_cast<std::uint16_t>(50000 + i), 6};
+    const auto key_bytes = flow.to_bytes();
+    const auto key = dta::proto::TelemetryKey::from(
+        dta::common::ByteSpan(key_bytes.data(), key_bytes.size()));
+
+    const auto result =
+        fabric.collector().service().keywrite()->query(key, 2);
+    if (result.status == dta::collector::QueryStatus::kHit) {
+      std::printf("  %s -> %u (votes=%u)\n", flow.to_string().c_str(),
+                  dta::common::load_u32(result.value.data()), result.votes);
+    } else {
+      std::printf("  %s -> <no answer>\n", flow.to_string().c_str());
+    }
+  }
+
+  std::printf("translator: %llu DTA reports in, %llu RoCEv2 frames out\n",
+              static_cast<unsigned long long>(
+                  fabric.translator().stats().dta_reports_in),
+              static_cast<unsigned long long>(
+                  fabric.translator().stats().rdma_frames_out));
+  return 0;
+}

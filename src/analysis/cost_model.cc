@@ -1,0 +1,42 @@
+#include "analysis/cost_model.h"
+
+#include <cmath>
+
+namespace dta::analysis {
+
+double cores_needed(std::uint64_t switches, double per_switch_rate,
+                    const CollectionCostParams& params) {
+  if (params.per_core_reports_per_sec <= 0) return 0;
+  return std::ceil(static_cast<double>(switches) * per_switch_rate /
+                   params.per_core_reports_per_sec);
+}
+
+std::vector<CostPoint> cost_curve(double per_switch_rate,
+                                  const CollectionCostParams& params,
+                                  std::uint64_t max_switches) {
+  std::vector<CostPoint> curve;
+  for (std::uint64_t s = 1; s <= max_switches;
+       s = s < 10 ? s + 1 : (s < 100 ? s + 10 : (s < 1000 ? s + 100 : s + 1000))) {
+    curve.push_back(CostPoint{s, cores_needed(s, per_switch_rate, params)});
+  }
+  return curve;
+}
+
+std::uint64_t fat_tree_switches(unsigned k) {
+  // k-ary fat tree: k^2/4 core + k^2/2 aggregation + k^2/2 edge = 5k^2/4.
+  return 5ull * k * k / 4;
+}
+
+std::uint64_t fat_tree_servers(unsigned k) { return 1ull * k * k * k / 4; }
+
+double collection_core_fraction(unsigned k, double per_switch_rate,
+                                const CollectionCostParams& params,
+                                unsigned cores_per_server) {
+  const double cores =
+      cores_needed(fat_tree_switches(k), per_switch_rate, params);
+  const double total_cores =
+      static_cast<double>(fat_tree_servers(k)) * cores_per_server;
+  return total_cores > 0 ? cores / total_cores : 0;
+}
+
+}  // namespace dta::analysis

@@ -1,0 +1,45 @@
+// Collection-cost model (paper Figure 3).
+//
+// "Number of cores needed for single-metric collection with MultiLog at
+// various network sizes": given a per-switch report rate R (Table 1) and
+// a measured per-core collector ingest rate, a network of S switches
+// needs ceil(S * R / per_core_rate) cores. The paper annotates the
+// enterprise (~100 switches) and hyperscale (~1000+) regimes and notes
+// the K=28 fat-tree comparison (10K cores ≈ 11% of servers at 16
+// cores/server).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dta::analysis {
+
+struct CollectionCostParams {
+  double per_core_reports_per_sec = 1.5e6;  // measured MultiLog per-core
+};
+
+struct CostPoint {
+  std::uint64_t switches = 0;
+  double cores = 0;
+};
+
+// Cores needed for `switches` reporters each emitting `rate` reports/s.
+double cores_needed(std::uint64_t switches, double per_switch_rate,
+                    const CollectionCostParams& params);
+
+// The Figure 3 sweep: log-spaced switch counts 1..10K for one metric.
+std::vector<CostPoint> cost_curve(double per_switch_rate,
+                                  const CollectionCostParams& params,
+                                  std::uint64_t max_switches = 10000);
+
+// K-ary fat-tree sizing helpers for the §2 comparison.
+std::uint64_t fat_tree_switches(unsigned k);  // 5k^2/4
+std::uint64_t fat_tree_servers(unsigned k);   // k^3/4
+
+// Fraction of the fat tree's server cores consumed by collection.
+double collection_core_fraction(unsigned k, double per_switch_rate,
+                                const CollectionCostParams& params,
+                                unsigned cores_per_server = 16);
+
+}  // namespace dta::analysis

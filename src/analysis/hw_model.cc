@@ -1,0 +1,72 @@
+#include "analysis/hw_model.h"
+
+#include <algorithm>
+
+namespace dta::analysis {
+
+namespace {
+
+// Ethernet wire occupancy for one frame: preamble+SFD+FCS+IFG = 24B, min
+// frame 60B pre-FCS.
+double wire_bytes(double frame_bytes) {
+  return std::max(frame_bytes, 60.0) + 24.0;
+}
+
+// Eth(14) + IPv4(20) + UDP(8) + DTA header(4) + sub-header overhead(6).
+constexpr double kDtaFrameOverhead = 14 + 20 + 8 + 4 + 6;
+
+}  // namespace
+
+double ingress_reports_per_sec(const HwParams& hw, double payload_bytes,
+                               unsigned packing) {
+  const double pk = packing == 0 ? 1 : packing;
+  const double frame = kDtaFrameOverhead + payload_bytes * pk;
+  const double pps = hw.link_gbps * 1e9 / 8.0 / wire_bytes(frame);
+  return pps * pk;
+}
+
+double kw_collection_rate(const HwParams& hw, unsigned redundancy,
+                          double value_bytes) {
+  const unsigned n = std::max(1u, redundancy);
+  // 13B key + value per report on the wire.
+  const double ingress = ingress_reports_per_sec(hw, 13.0 + value_bytes);
+  const double nic = hw.nic_message_rate * hw.nics / n;
+  return std::min(ingress, nic);
+}
+
+double ki_collection_rate(const HwParams& hw, unsigned redundancy) {
+  const unsigned n = std::max(1u, redundancy);
+  const double ingress = ingress_reports_per_sec(hw, 13.0 + 8.0);
+  const double nic = hw.nic_message_rate * hw.nics / n;
+  return std::min(ingress, nic);
+}
+
+double postcarding_paths_rate(const HwParams& hw, unsigned hops,
+                              unsigned redundancy,
+                              double aggregation_success, unsigned packing) {
+  const unsigned n = std::max(1u, redundancy);
+  const unsigned b = std::max(1u, hops);
+  // Each postcard is 13B key + hop/len + 4B value ~ 20B on the wire.
+  const double ingress_postcards =
+      ingress_reports_per_sec(hw, 20.0, packing);
+  const double ingress_paths = ingress_postcards / b;
+  // One RDMA WRITE per replica per *path* (the aggregation win).
+  const double nic_paths = hw.nic_message_rate * hw.nics / n;
+  return std::min(ingress_paths, nic_paths) * aggregation_success;
+}
+
+double append_collection_rate(const HwParams& hw, unsigned batch,
+                              double entry_bytes) {
+  const unsigned b = std::max(1u, batch);
+  const double ingress = ingress_reports_per_sec(hw, entry_bytes, b);
+  const double nic = hw.nic_message_rate * hw.nics * b;
+  return std::min(ingress, nic);
+}
+
+double cpu_collection_rate(double cycles_per_report, unsigned cores,
+                           double clock_ghz) {
+  if (cycles_per_report <= 0) return 0;
+  return static_cast<double>(cores) * clock_ghz * 1e9 / cycles_per_report;
+}
+
+}  // namespace dta::analysis

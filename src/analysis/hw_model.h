@@ -1,0 +1,59 @@
+// Modeled-hardware throughput arithmetic.
+//
+// The paper's throughput ceilings come from three resources:
+//   * the collector NIC's RDMA message rate (~105M verbs/s on BF-2) —
+//     "our base performance is bounded by the RDMA message rate of the
+//     NIC" (§6.7);
+//   * the 100G ingress link feeding the translator;
+//   * (never reached) collector DRAM bandwidth.
+// Each primitive turns R reports into some number of verbs (N for KW/KI,
+// N/B per postcard for Postcarding, 1/B for Append batching), so the
+// modeled collection rate is min(ingress bound, NIC bound). These
+// functions regenerate the throughput *shape* of Figures 7a/10/14/15;
+// the discrete-event simulation produces the same numbers dynamically,
+// and the benches print both.
+#pragma once
+
+#include <cstdint>
+
+namespace dta::analysis {
+
+struct HwParams {
+  double link_gbps = 100.0;
+  double nic_message_rate = 105e6;  // BlueField-2 class
+  unsigned nics = 1;                // DTA supports multi-NIC collectors (§7)
+};
+
+// Ingress report rate for reports of `payload_bytes` carried `packing`
+// per DTA packet over the link (Eth+IP+UDP+DTA overhead included).
+double ingress_reports_per_sec(const HwParams& hw, double payload_bytes,
+                               unsigned packing = 1);
+
+// --- Key-Write (Figure 10) ---------------------------------------------------
+// Collection rate in reports/s for redundancy N and value size.
+double kw_collection_rate(const HwParams& hw, unsigned redundancy,
+                          double value_bytes);
+
+// --- Key-Increment -----------------------------------------------------------
+double ki_collection_rate(const HwParams& hw, unsigned redundancy);
+
+// --- Postcarding (Figure 14) -------------------------------------------------
+// Paths/s for B-hop aggregation: `aggregation_success` is the fraction
+// of paths fully aggregated in the translator cache (measured by the
+// PostcardCache simulation); packing is postcards per ingress packet.
+double postcarding_paths_rate(const HwParams& hw, unsigned hops,
+                              unsigned redundancy, double aggregation_success,
+                              unsigned packing = 16);
+
+// --- Append (Figure 15) ------------------------------------------------------
+// Entries/s with the given batch size and entry size; the generator
+// packs `batch` entries per ingress packet (as the testbed's TRex does).
+double append_collection_rate(const HwParams& hw, unsigned batch,
+                              double entry_bytes);
+
+// --- CPU baselines (Figure 7a context) --------------------------------------
+// Reports/s for a CPU collector given measured cycles/report.
+double cpu_collection_rate(double cycles_per_report, unsigned cores,
+                           double clock_ghz = 2.2);
+
+}  // namespace dta::analysis

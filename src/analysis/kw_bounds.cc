@@ -1,0 +1,72 @@
+#include "analysis/kw_bounds.h"
+
+#include <cmath>
+
+namespace dta::analysis {
+
+namespace {
+
+double binom(unsigned n, unsigned k) {
+  double r = 1.0;
+  for (unsigned i = 0; i < k; ++i) {
+    r *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return r;
+}
+
+}  // namespace
+
+double kw_slot_overwrite_prob(const KwParams& p) {
+  return 1.0 - std::exp(-p.load_alpha * static_cast<double>(p.redundancy));
+}
+
+double kw_empty_return_bound(const KwParams& p) {
+  const unsigned N = p.redundancy;
+  const double q = kw_slot_overwrite_prob(p);        // per-slot overwrite
+  const double c = std::pow(2.0, -static_cast<double>(p.checksum_bits));
+  const double not_c = 1.0 - c;
+
+  // (1): all N slots overwritten, none carries our checksum.
+  const double term1 = std::pow(q, N) * std::pow(not_c, N);
+
+  // (2): all N overwritten and >= 2 collide with our checksum (possibly
+  // with different values).
+  const double term2 =
+      std::pow(q, N) *
+      (1.0 - std::pow(not_c, N) -
+       static_cast<double>(N) * c * std::pow(not_c, N - 1));
+
+  // (3): j of N overwritten (1 <= j < N) and at least one of the j
+  // carries our checksum (value ambiguity).
+  double term3 = 0.0;
+  for (unsigned j = 1; j < N; ++j) {
+    term3 += binom(N, j) * std::pow(q, j) *
+             std::pow(std::exp(-p.load_alpha * N), N - j) *
+             (1.0 - std::pow(not_c, j));
+  }
+
+  return term1 + term2 + term3;
+}
+
+double kw_wrong_output_bound(const KwParams& p) {
+  const unsigned N = p.redundancy;
+  const double q = kw_slot_overwrite_prob(p);
+  const double c = std::pow(2.0, -static_cast<double>(p.checksum_bits));
+  // (4): all N overwritten, at least one colliding checksum survives.
+  return std::pow(q, N) * static_cast<double>(N) * c;
+}
+
+double kw_wrong_output_lower_bound(const KwParams& p) {
+  const unsigned N = p.redundancy;
+  const double q = kw_slot_overwrite_prob(p);
+  const double c = std::pow(2.0, -static_cast<double>(p.checksum_bits));
+  return std::pow(q, N) * static_cast<double>(N) * c *
+         std::pow(1.0 - c, N - 1);
+}
+
+double kw_success_rate_estimate(const KwParams& p) {
+  double s = 1.0 - kw_empty_return_bound(p) - kw_wrong_output_bound(p);
+  return s < 0.0 ? 0.0 : s;
+}
+
+}  // namespace dta::analysis

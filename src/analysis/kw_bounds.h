@@ -1,0 +1,36 @@
+// Closed-form error bounds for the Key-Write primitive
+// (paper §4 equations (1)-(4), derived in Appendix A.5).
+//
+// Model: M slots, key written as N replicas with a b-bit checksum, then
+// K = alpha*M further distinct keys are written. Two failure modes:
+//   (i)  empty return — the value cannot be recovered;
+//   (ii) return error — a wrong value is returned.
+// The Poisson approximation (1 - e^{-alpha*N}) gives the per-slot
+// overwrite probability.
+#pragma once
+
+namespace dta::analysis {
+
+struct KwParams {
+  unsigned redundancy = 2;   // N
+  unsigned checksum_bits = 32;  // b
+  double load_alpha = 0.1;   // K / M, keys written after the queried one
+};
+
+// Probability a single slot was overwritten: 1 - e^{-alpha*N}.
+double kw_slot_overwrite_prob(const KwParams& p);
+
+// Equations (1)+(2)+(3): upper bound on the empty-return probability.
+double kw_empty_return_bound(const KwParams& p);
+
+// Equation (4): upper bound on the wrong-output probability.
+double kw_wrong_output_bound(const KwParams& p);
+
+// Lower bounds from Appendix A.5 (sanity envelope for the tests).
+double kw_wrong_output_lower_bound(const KwParams& p);
+
+// Expected query success rate (1 - empty - wrong), used to cross-check
+// the Figure 12 measurements against theory.
+double kw_success_rate_estimate(const KwParams& p);
+
+}  // namespace dta::analysis

@@ -1,0 +1,71 @@
+#include "analysis/postcarding_bounds.h"
+
+#include <cmath>
+
+namespace dta::analysis {
+
+namespace {
+
+double binom(unsigned n, unsigned k) {
+  double r = 1.0;
+  for (unsigned i = 0; i < k; ++i) {
+    r *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return r;
+}
+
+}  // namespace
+
+double pc_false_valid_prob(const PostcardingParams& p) {
+  const double per_slot =
+      (p.value_space + 1.0) * std::pow(2.0, -static_cast<double>(p.slot_bits));
+  return std::pow(per_slot, static_cast<double>(p.hops));
+}
+
+double pc_empty_return_bound(const PostcardingParams& p) {
+  const unsigned N = p.redundancy;
+  const double q =
+      1.0 - std::exp(-p.load_alpha * static_cast<double>(N));
+  const double fv = pc_false_valid_prob(p);
+
+  // (5)/(9): all chunks overwritten, none yields valid information.
+  const double term1 = std::pow(q, N) * std::pow(1.0 - fv, N);
+
+  // (6)/(10): all overwritten, >= 2 yield (differing) valid information.
+  const double term2 =
+      std::pow(q, N) *
+      (1.0 - std::pow(1.0 - fv, N) -
+       static_cast<double>(N) * fv * std::pow(1.0 - fv, N - 1));
+
+  // (7)/(11): some but not all overwritten, and an overwritten chunk
+  // still decodes as valid.
+  double term3 = 0.0;
+  for (unsigned j = 1; j < N; ++j) {
+    term3 += binom(N, j) * std::pow(q, j) *
+             std::pow(std::exp(-p.load_alpha * N), N - j) *
+             (1.0 - std::pow(1.0 - fv, j));
+  }
+  return term1 + term2 + term3;
+}
+
+double pc_wrong_output_bound(const PostcardingParams& p) {
+  const unsigned N = p.redundancy;
+  const double q =
+      1.0 - std::exp(-p.load_alpha * static_cast<double>(N));
+  return std::pow(q, N) * static_cast<double>(N) * pc_false_valid_prob(p);
+}
+
+double kw_per_hop_false_output(const PostcardingParams& p,
+                               unsigned kw_checksum_bits) {
+  // KW stores each hop separately: a wrong output at any of the B hops
+  // corrupts the path. Per-hop wrong output (eq. 4):
+  const unsigned N = p.redundancy;
+  const double q =
+      1.0 - std::exp(-p.load_alpha * static_cast<double>(N));
+  const double c =
+      std::pow(2.0, -static_cast<double>(kw_checksum_bits));
+  const double per_hop = std::pow(q, N) * static_cast<double>(N) * c;
+  return 1.0 - std::pow(1.0 - per_hop, static_cast<double>(p.hops));
+}
+
+}  // namespace dta::analysis

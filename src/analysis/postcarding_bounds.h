@@ -1,0 +1,36 @@
+// Closed-form bounds for the Postcarding primitive
+// (paper §4 equations (5)-(8), derived in Appendix A.6 as (9)-(12)).
+//
+// Model: C chunks of B slots, b bits per slot, value space V (plus the
+// blank); a flow writes N replica chunks; alpha*C reports land after the
+// queried one. A corrupted chunk "produces valid information" with
+// probability ((|V|+1) * 2^{-b})^B — all B decoded slots must hit the
+// inverse table.
+#pragma once
+
+namespace dta::analysis {
+
+struct PostcardingParams {
+  unsigned redundancy = 2;     // N
+  unsigned slot_bits = 32;     // b
+  unsigned hops = 5;           // B
+  double value_space = 262144; // |V| (2^18 switches in the paper example)
+  double load_alpha = 0.1;     // reports after the queried one / C
+};
+
+// Probability a random chunk decodes as "valid information":
+// ((|V|+1) * 2^-b)^B.
+double pc_false_valid_prob(const PostcardingParams& p);
+
+// Equations (5)+(6)+(7): bound on failing to output a collected report.
+double pc_empty_return_bound(const PostcardingParams& p);
+
+// Equation (8): bound on outputting wrong values.
+double pc_wrong_output_bound(const PostcardingParams& p);
+
+// The §4 numeric comparison: probability KW-per-hop would give a false
+// output somewhere along the path, with a bkw-bit checksum per hop.
+double kw_per_hop_false_output(const PostcardingParams& p,
+                               unsigned kw_checksum_bits);
+
+}  // namespace dta::analysis

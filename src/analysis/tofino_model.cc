@@ -1,0 +1,129 @@
+#include "analysis/tofino_model.h"
+
+namespace dta::analysis {
+
+const char* tofino_resource_name(TofinoResource r) {
+  switch (r) {
+    case TofinoResource::kSram: return "SRAM";
+    case TofinoResource::kMatchXbar: return "Match XBar";
+    case TofinoResource::kTableIds: return "Table IDs";
+    case TofinoResource::kHashDist: return "Hash Dist";
+    case TofinoResource::kTernaryBus: return "Ternary Bus";
+    case TofinoResource::kStatefulAlu: return "Stateful ALU";
+  }
+  return "?";
+}
+
+ResourceVector PipelineProgram::total() const {
+  ResourceVector sum{};
+  for (const auto& f : features) {
+    for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+      sum[i] += f.cost[i];
+    }
+  }
+  return sum;
+}
+
+ResourceVector PipelineProgram::utilization(const TofinoCapacity& cap) const {
+  ResourceVector u = total();
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    u[i] = cap.total[i] > 0 ? u[i] / cap.total[i] : 0;
+  }
+  return u;
+}
+
+// Feature library. Cost vectors are {SRAM, XBar, TableIDs, HashDist,
+// TernaryBus, StatefulALU}, calibrated against the utilization the paper
+// reports for the complete programs (§6.3 Figure 9 and §6.4 Table 3).
+namespace {
+
+// Shared by all reporter variants: the INT-XD monitoring logic itself
+// (flow tables, metadata extraction, mirror/sampling configuration).
+PipelineFeature int_monitoring() {
+  return {"INT-XD monitoring", {28, 70, 12, 2, 24, 1.5}};
+}
+
+// Plain UDP report emission: header rewrite tables, length/checksum
+// computation, egress port selection.
+PipelineFeature udp_export() {
+  return {"UDP export", {20, 38, 5, 1, 13, 0.5}};
+}
+
+// The two DTA headers on top of UDP: a handful of additional header
+// fields and one extra rewrite action — this is the entire reporter-side
+// cost of DTA (the point of Figure 9).
+PipelineFeature dta_headers() {
+  return {"DTA header insertion", {3, 8, 2, 0.5, 3, 0}};
+}
+
+// Full RoCEv2 generation at the reporter: per-connection QP state
+// (SRAM), PSN registers (stateful ALUs), RoCE header crafting tables,
+// ICRC preparation, and CM bookkeeping. Roughly doubles the reporter.
+PipelineFeature rdma_export() {
+  return {"RoCEv2 generation", {74, 162, 26, 5, 56, 2.5}};
+}
+
+// Translator building blocks (Table 3's base row is the sum of these).
+PipelineFeature fwd() { return {"user-traffic forwarding", {10, 20, 8, 2, 20, 0}}; }
+PipelineFeature rdma_core() {
+  return {"RoCEv2 crafting + PSN + metadata", {45, 60, 30, 6, 60, 4}};
+}
+PipelineFeature kw_engine() {
+  return {"Key-Write engine (CRC slots + csum + multicast)",
+          {20, 25, 18, 8, 25, 2}};
+}
+PipelineFeature pc_engine() {
+  return {"Postcarding cache (32K slots)", {35, 35, 22, 8, 35, 4}};
+}
+PipelineFeature ap_engine() {
+  return {"Append engine (head pointers, 131K lists)", {17, 23, 16, 4, 22, 2}};
+}
+
+PipelineFeature batching(unsigned batch_size) {
+  // Batching stores B-1 entries in per-list registers and reads them all
+  // in one pipeline traversal: the stateful-ALU cost scales linearly
+  // with the batch size (§6.4: "batch sizes ... linearly correlate with
+  // the number of additional stateful ALU calls").
+  const double scale =
+      batch_size > 1 ? static_cast<double>(batch_size - 1) / 15.0 : 0.0;
+  return {"Append batching",
+          {31 * scale, 111 * scale, 15 * scale, 2 * scale, 41 * scale,
+           15 * scale}};
+}
+
+}  // namespace
+
+PipelineProgram reporter_udp() {
+  return {"UDP reporter", {int_monitoring(), udp_export()}};
+}
+
+PipelineProgram reporter_dta() {
+  return {"DTA reporter", {int_monitoring(), udp_export(), dta_headers()}};
+}
+
+PipelineProgram reporter_rdma() {
+  return {"RDMA reporter", {int_monitoring(), rdma_export()}};
+}
+
+PipelineProgram translator_base() {
+  return {"DTA translator (KW+PC+Append)",
+          {fwd(), rdma_core(), kw_engine(), pc_engine(), ap_engine()}};
+}
+
+PipelineProgram translator_batching_delta(unsigned batch_size) {
+  return {"Append batching delta", {batching(batch_size)}};
+}
+
+PipelineProgram translator_subset(bool keywrite, bool postcarding,
+                                  bool append, unsigned batch_size) {
+  PipelineProgram p{"DTA translator (subset)", {fwd(), rdma_core()}};
+  if (keywrite) p.features.push_back(kw_engine());
+  if (postcarding) p.features.push_back(pc_engine());
+  if (append) {
+    p.features.push_back(ap_engine());
+    if (batch_size > 1) p.features.push_back(batching(batch_size));
+  }
+  return p;
+}
+
+}  // namespace dta::analysis

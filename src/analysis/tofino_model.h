@@ -1,0 +1,81 @@
+// Tofino pipeline resource model (paper Figure 9 and Table 3).
+//
+// We cannot compile P4 against the real Tofino toolchain here, so the
+// hardware footprints are reproduced with a structural model: each
+// pipeline feature (a match table, a register array, a hash call, a
+// multicast rule...) consumes a vector of Tofino-1 resources, and a
+// program is a bag of features. Feature costs are calibrated so that
+// the three reporter variants and the translator land on the paper's
+// reported utilization percentages; the *structure* (which features an
+// RDMA-generating reporter needs that a DTA reporter does not) is what
+// the model argues, exactly as §6.3/§6.4 do.
+//
+// Resource dimensions follow the figures: SRAM, match crossbar, table
+// IDs, hash-distribution units, ternary bus, stateful ALUs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dta::analysis {
+
+enum class TofinoResource : std::size_t {
+  kSram = 0,
+  kMatchXbar = 1,
+  kTableIds = 2,
+  kHashDist = 3,
+  kTernaryBus = 4,
+  kStatefulAlu = 5,
+};
+inline constexpr std::size_t kNumTofinoResources = 6;
+const char* tofino_resource_name(TofinoResource r);
+
+using ResourceVector = std::array<double, kNumTofinoResources>;
+
+// Tofino-1 capacities (public figures: 12 MAU stages).
+struct TofinoCapacity {
+  ResourceVector total{
+      960,   // SRAM blocks (80 per stage)
+      1536,  // match crossbar bytes
+      192,   // logical table IDs (16 per stage)
+      72,    // hash distribution units (6 per stage)
+      528,   // ternary bus bytes (44 per stage)
+      48,    // stateful ALUs (4 per stage)
+  };
+};
+
+// A named pipeline building block with its resource cost.
+struct PipelineFeature {
+  std::string name;
+  ResourceVector cost{};
+};
+
+// A P4 program modeled as a list of features.
+struct PipelineProgram {
+  std::string name;
+  std::vector<PipelineFeature> features;
+
+  ResourceVector total() const;
+  // Utilization fractions against the capacity.
+  ResourceVector utilization(const TofinoCapacity& cap = {}) const;
+};
+
+// --- The programs of Figure 9 (reporter variants) ---------------------------
+PipelineProgram reporter_udp();   // plain UDP telemetry export
+PipelineProgram reporter_dta();   // UDP + the two DTA headers
+PipelineProgram reporter_rdma();  // full RoCEv2 generation at the reporter
+
+// --- The translator of Table 3 ----------------------------------------------
+// Base: Key-Write + Postcarding + Append concurrently.
+PipelineProgram translator_base();
+// Append batching adds per-list SRAM registers and B-1 stateful reads.
+PipelineProgram translator_batching_delta(unsigned batch_size = 16);
+
+// Ablation (§6.4: "operators might reduce their hardware costs by
+// enabling fewer primitives"): translator with a primitive subset.
+PipelineProgram translator_subset(bool keywrite, bool postcarding,
+                                  bool append, unsigned batch_size);
+
+}  // namespace dta::analysis

@@ -1,0 +1,125 @@
+#include "baseline/btrdb.h"
+
+#include <algorithm>
+
+namespace dta::baseline {
+
+using perfmodel::Access;
+using perfmodel::MemCounter;
+using perfmodel::Phase;
+
+BtrDbSim::BtrDbSim(std::size_t leaf_points) : leaf_points_(leaf_points) {}
+
+void BtrDbSim::seal(Stream& s, MemCounter& mc) {
+  Block block;
+  block.points = std::move(s.open);
+  s.open = {};
+  for (const Point& p : block.points) {
+    block.agg.t_min = std::min(block.agg.t_min, p.ts);
+    block.agg.t_max = std::max(block.agg.t_max, p.ts);
+    block.agg.v_min = std::min(block.agg.v_min, p.value);
+    block.agg.v_max = std::max(block.agg.v_max, p.value);
+    block.agg.v_sum += p.value;
+    ++block.agg.count;
+  }
+  // Aggregate computation re-reads the whole leaf (sequential scan) and
+  // the copy-on-write version bump rewrites the spine node.
+  mc.record(Phase::kInsert, Access::kSeqLoad,
+            block.points.size() * sizeof(Point) / 8);
+  mc.record(Phase::kInsert, Access::kRandStore, 4);  // spine update
+
+  block.version = ++s.version;
+  s.root.t_min = std::min(s.root.t_min, block.agg.t_min);
+  s.root.t_max = std::max(s.root.t_max, block.agg.t_max);
+  s.root.v_min = std::min(s.root.v_min, block.agg.v_min);
+  s.root.v_max = std::max(s.root.v_max, block.agg.v_max);
+  s.root.v_sum += block.agg.v_sum;
+  s.root.count += block.agg.count;
+  s.blocks.push_back(std::move(block));
+  ++sealed_blocks_;
+}
+
+void BtrDbSim::insert(const IntReport& report, MemCounter& mc) {
+  // Framework traffic: BTrDB's insert path spans the session layer,
+  // stream router and copy-on-write tree machinery (~15 calls/point in
+  // the reference implementation).
+  mc.record(Phase::kInsert, Access::kSeqStore, 45);
+  mc.record(Phase::kInsert, Access::kSeqLoad, 45);
+
+  const std::uint64_t key = net::flow_hash64(report.flow);
+  mc.record(Phase::kInsert, Access::kRandLoad, 2);  // stream map lookup
+  Stream& s = streams_[key];
+
+  s.open.push_back(Point{report.ts_ns, report.value});
+  mc.record(Phase::kInsert, Access::kRandLoad, 1);   // open-buffer tail
+  mc.record(Phase::kInsert, Access::kRandStore, 2);  // 12B point
+
+  if (s.open.size() >= leaf_points_) seal(s, mc);
+}
+
+bool BtrDbSim::lookup(const net::FiveTuple& flow, std::uint32_t* value) {
+  auto it = streams_.find(net::flow_hash64(flow));
+  if (it == streams_.end()) return false;
+  const Stream& s = it->second;
+  if (!s.open.empty()) {
+    *value = s.open.back().value;
+    return true;
+  }
+  if (!s.blocks.empty() && !s.blocks.back().points.empty()) {
+    *value = s.blocks.back().points.back().value;
+    return true;
+  }
+  return false;
+}
+
+BtrDbSim::Aggregate BtrDbSim::query_window(const net::FiveTuple& flow,
+                                           std::uint64_t t0,
+                                           std::uint64_t t1) const {
+  Aggregate out;
+  auto it = streams_.find(net::flow_hash64(flow));
+  if (it == streams_.end()) return out;
+  const Stream& s = it->second;
+
+  auto fold_point = [&out](const Point& p) {
+    out.t_min = std::min(out.t_min, p.ts);
+    out.t_max = std::max(out.t_max, p.ts);
+    out.v_min = std::min(out.v_min, p.value);
+    out.v_max = std::max(out.v_max, p.value);
+    out.v_sum += p.value;
+    ++out.count;
+  };
+
+  for (const Block& b : s.blocks) {
+    if (b.agg.t_max < t0 || b.agg.t_min >= t1) continue;
+    if (b.agg.t_min >= t0 && b.agg.t_max < t1) {
+      // Fully covered: use the pre-aggregate (the BTrDB fast path).
+      out.t_min = std::min(out.t_min, b.agg.t_min);
+      out.t_max = std::max(out.t_max, b.agg.t_max);
+      out.v_min = std::min(out.v_min, b.agg.v_min);
+      out.v_max = std::max(out.v_max, b.agg.v_max);
+      out.v_sum += b.agg.v_sum;
+      out.count += b.agg.count;
+    } else {
+      for (const Point& p : b.points) {
+        if (p.ts >= t0 && p.ts < t1) fold_point(p);
+      }
+    }
+  }
+  for (const Point& p : s.open) {
+    if (p.ts >= t0 && p.ts < t1) fold_point(p);
+  }
+  return out;
+}
+
+std::size_t BtrDbSim::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, s] : streams_) {
+    total += sizeof(Stream) + s.open.capacity() * sizeof(Point);
+    for (const auto& b : s.blocks) {
+      total += sizeof(Block) + b.points.capacity() * sizeof(Point);
+    }
+  }
+  return total;
+}
+
+}  // namespace dta::baseline

@@ -1,0 +1,68 @@
+// BTrDB baseline (Andersen & Culler, FAST'16).
+//
+// BTrDB is a time-series store built on a copy-on-write "time-partitioned
+// tree" whose internal nodes hold statistical aggregates (min/max/mean/
+// count) over their subtree's time span. We reproduce the ingest-relevant
+// parts: points land in per-stream leaf buffers; a full buffer is sealed
+// into a versioned block and the aggregate spine is updated upward.
+// Sealed blocks make range queries with pre-aggregation cheap — but the
+// copy-on-write versioning is extra ingest work compared to MultiLog.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/ingest.h"
+
+namespace dta::baseline {
+
+class BtrDbSim final : public CollectorBackend {
+ public:
+  explicit BtrDbSim(std::size_t leaf_points = 1024);
+
+  const char* name() const override { return "BTrDB"; }
+  void insert(const IntReport& report, perfmodel::MemCounter& mc) override;
+  bool lookup(const net::FiveTuple& flow, std::uint32_t* value) override;
+  std::size_t memory_bytes() const override;
+
+  struct Aggregate {
+    std::uint64_t t_min = ~0ull, t_max = 0;
+    std::uint32_t v_min = ~0u, v_max = 0;
+    double v_sum = 0;
+    std::uint64_t count = 0;
+  };
+
+  // Statistical range query served from sealed-block aggregates — the
+  // capability that justifies the tree (tests exercise it).
+  Aggregate query_window(const net::FiveTuple& flow, std::uint64_t t0,
+                         std::uint64_t t1) const;
+
+  std::uint64_t sealed_blocks() const { return sealed_blocks_; }
+
+ private:
+  struct Point {
+    std::uint64_t ts;
+    std::uint32_t value;
+  };
+  struct Block {
+    Aggregate agg;
+    std::vector<Point> points;  // sealed leaf
+    std::uint64_t version = 0;
+  };
+  struct Stream {
+    std::vector<Point> open;       // filling leaf buffer
+    std::vector<Block> blocks;     // sealed, time-ordered
+    Aggregate root;                // spine aggregate
+    std::uint64_t version = 0;
+  };
+
+  void seal(Stream& s, perfmodel::MemCounter& mc);
+
+  std::size_t leaf_points_;
+  std::unordered_map<std::uint64_t, Stream> streams_;
+  std::uint64_t sealed_blocks_ = 0;
+};
+
+}  // namespace dta::baseline

@@ -1,0 +1,58 @@
+// Cuckoo collector — the lightweight hash-table baseline of §2.
+//
+// "a DPDK-based lightweight solution which employs only a simple cuckoo
+// hash table to store the received information". Two-choice cuckoo
+// hashing with 4-way buckets (the libcuckoo/DPDK rte_hash layout).
+// Fast per-report, but every probe is a random DRAM access over a
+// multi-GiB table — with enough cores the memory subsystem saturates
+// and the collector becomes memory-bound (Figure 2b).
+//
+// It stores only the latest value per flow, so it can answer point
+// lookups but not the time-interval queries MultiLog supports — the
+// queryability trade-off §2 describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/ingest.h"
+
+namespace dta::baseline {
+
+class CuckooCollector final : public CollectorBackend {
+ public:
+  explicit CuckooCollector(std::size_t capacity_log2 = 22);
+
+  const char* name() const override { return "Cuckoo"; }
+  void insert(const IntReport& report, perfmodel::MemCounter& mc) override;
+  bool lookup(const net::FiveTuple& flow, std::uint32_t* value) override;
+  std::size_t memory_bytes() const override;
+
+  std::uint64_t entries() const { return entries_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t failed_inserts() const { return failed_inserts_; }
+
+ private:
+  static constexpr std::size_t kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 32;
+
+  struct Slot {
+    bool used = false;
+    net::FiveTuple flow;
+    std::uint32_t value = 0;
+  };
+  struct Bucket {
+    std::array<Slot, kSlotsPerBucket> slots;
+  };
+
+  std::uint64_t bucket1(const net::FiveTuple& flow) const;
+  std::uint64_t bucket2(const net::FiveTuple& flow) const;
+
+  std::vector<Bucket> buckets_;
+  std::uint64_t mask_;
+  std::uint64_t entries_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t failed_inserts_ = 0;
+};
+
+}  // namespace dta::baseline

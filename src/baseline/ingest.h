@@ -1,0 +1,73 @@
+// CPU-collector ingest pipeline (the baseline of paper §2).
+//
+// Models the DPDK-based receive path every CPU collector shares:
+//   I/O     — ring-descriptor fetch, mbuf dereference, payload copy;
+//   Parsing — header walk + field extraction;
+//   Insert  — handed to the backend data structure (MultiLog, Cuckoo,
+//             INTCollector, BTrDB).
+// Every phase records its memory accesses on the worker's MemCounter at
+// word (8B) granularity, which feeds the Figure 2 cycle model and the
+// Figure 8 memory-instruction comparison. The pipeline also measures
+// real wall-clock software throughput — both numbers appear in the
+// benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/flow.h"
+#include "perfmodel/mem_counter.h"
+
+namespace dta::baseline {
+
+// The telemetry record all baselines ingest: a generic 4B INT report
+// keyed by flow 5-tuple (the Figure 7a workload).
+struct IntReport {
+  std::uint64_t ts_ns = 0;
+  net::FiveTuple flow;
+  std::uint32_t value = 0;
+};
+
+// Serialized telemetry packet (what the NIC ring would hold).
+common::Bytes serialize_report(const IntReport& report);
+IntReport parse_report(common::ByteSpan bytes, perfmodel::MemCounter& mc);
+
+// Interface every CPU collector backend implements.
+class CollectorBackend {
+ public:
+  virtual ~CollectorBackend() = default;
+  virtual const char* name() const = 0;
+
+  // Indexes one parsed report, recording its memory accesses.
+  virtual void insert(const IntReport& report, perfmodel::MemCounter& mc) = 0;
+
+  // Point lookup by flow (most recent value), for correctness tests.
+  virtual bool lookup(const net::FiveTuple& flow, std::uint32_t* value) = 0;
+
+  // Approximate bytes of memory the structure holds (capacity planning).
+  virtual std::size_t memory_bytes() const = 0;
+};
+
+struct IngestResult {
+  std::uint64_t reports = 0;
+  double wall_seconds = 0;        // measured software time
+  double reports_per_sec = 0;     // measured software throughput
+  perfmodel::MemCounter counters; // accumulated access counts
+};
+
+// Runs the full RX -> parse -> insert pipeline over pre-serialized
+// packets, single-threaded (per-core figure; scaling is modeled by
+// perfmodel::CacheModel::scale).
+IngestResult run_ingest(CollectorBackend& backend,
+                        const std::vector<common::Bytes>& packets);
+
+// Generates `count` synthetic INT report packets over `num_flows` flows
+// (Zipf-distributed, deterministic).
+std::vector<common::Bytes> make_packets(std::uint64_t count,
+                                        std::uint32_t num_flows,
+                                        std::uint64_t seed = 99);
+
+}  // namespace dta::baseline

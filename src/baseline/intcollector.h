@@ -1,0 +1,47 @@
+// INTCollector baseline (Van Tu et al., CNSM'18).
+//
+// "INTCollector ... uses InfluxDB for storage" (§6.1). The architecture
+// is event detection in the fast path plus time-series inserts into
+// InfluxDB. The dominating ingest costs of that pipeline are (a)
+// rendering reports into the line protocol (string formatting) and (b)
+// the per-series map + append of the TSM storage engine. We model both:
+// a real line-protocol formatter followed by a series-keyed time-series
+// store, with accesses counted per word like the other baselines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/ingest.h"
+
+namespace dta::baseline {
+
+class IntCollectorSim final : public CollectorBackend {
+ public:
+  IntCollectorSim() = default;
+
+  const char* name() const override { return "INTCollector"; }
+  void insert(const IntReport& report, perfmodel::MemCounter& mc) override;
+  bool lookup(const net::FiveTuple& flow, std::uint32_t* value) override;
+  std::size_t memory_bytes() const override;
+
+  std::uint64_t series_count() const { return series_.size(); }
+  std::uint64_t points() const { return points_; }
+
+ private:
+  struct Point {
+    std::uint64_t ts_ns;
+    std::uint32_t value;
+  };
+  struct Series {
+    std::vector<Point> points;
+  };
+
+  std::unordered_map<std::uint64_t, Series> series_;  // keyed by flow hash
+  std::uint64_t points_ = 0;
+  std::string line_buffer_;  // reused line-protocol scratch
+};
+
+}  // namespace dta::baseline

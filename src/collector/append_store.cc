@@ -1,0 +1,38 @@
+#include "collector/append_store.h"
+
+namespace dta::collector {
+
+AppendStore::AppendStore(const rdma::MemoryRegion* region,
+                         std::uint32_t num_lists,
+                         std::uint64_t entries_per_list,
+                         std::uint32_t entry_bytes)
+    : region_(region),
+      num_lists_(num_lists),
+      entries_per_list_(entries_per_list),
+      entry_bytes_(entry_bytes),
+      tails_(num_lists, 0) {}
+
+common::ByteSpan AppendStore::peek(std::uint32_t list) const {
+  const std::uint64_t offset =
+      (static_cast<std::uint64_t>(list) * entries_per_list_ + tails_[list]) *
+      entry_bytes_;
+  return {region_->data() + offset, entry_bytes_};
+}
+
+common::ByteSpan AppendStore::poll(std::uint32_t list) {
+  common::ByteSpan entry = peek(list);
+  std::uint64_t& t = tails_[list];
+  ++t;
+  if (t == entries_per_list_) t = 0;  // ring roll-back (Algorithm 4)
+  ++polled_;
+  return entry;
+}
+
+std::uint64_t AppendStore::available(std::uint32_t list,
+                                     std::uint64_t head_entry) const {
+  const std::uint64_t t = tails_[list];
+  if (head_entry >= t) return head_entry - t;
+  return entries_per_list_ - t + head_entry;
+}
+
+}  // namespace dta::collector

@@ -1,0 +1,59 @@
+// Collector-side Append store (paper §4 "Append", Appendix A.3
+// Algorithm 4, §6.7.1).
+//
+// The memory holds `num_lists` ring buffers of fixed-size entries; the
+// translator writes batches at its head pointers, and the CPU chases
+// each list with a tail pointer: "Extracting telemetry data from the
+// lists is a very lightweight process ... requiring a pointer increment,
+// possibly rolling back to the start of the buffer, and then reading the
+// memory location" (§6.7.1). One tail per list; the paper allocates one
+// list per polling core to avoid tail contention, which our benches
+// replicate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "rdma/memory_region.h"
+
+namespace dta::collector {
+
+class AppendStore {
+ public:
+  AppendStore(const rdma::MemoryRegion* region, std::uint32_t num_lists,
+              std::uint64_t entries_per_list, std::uint32_t entry_bytes);
+
+  // Algorithm 4: returns the entry at the tail and advances it (with
+  // ring wrap-around). The caller decides when data is fresh — in the
+  // paper's polling model the CPU knows the collection rate per list;
+  // `available()` below supports flow-controlled polling in tests.
+  common::ByteSpan poll(std::uint32_t list);
+
+  // Reads without advancing.
+  common::ByteSpan peek(std::uint32_t list) const;
+
+  std::uint64_t tail(std::uint32_t list) const { return tails_[list]; }
+  void set_tail(std::uint32_t list, std::uint64_t entry) {
+    tails_[list] = entry % entries_per_list_;
+  }
+
+  // How many entries the tail is behind the given (externally known)
+  // head position, accounting for wrap.
+  std::uint64_t available(std::uint32_t list, std::uint64_t head_entry) const;
+
+  std::uint32_t num_lists() const { return num_lists_; }
+  std::uint64_t entries_per_list() const { return entries_per_list_; }
+  std::uint32_t entry_bytes() const { return entry_bytes_; }
+  std::uint64_t polled() const { return polled_; }
+
+ private:
+  const rdma::MemoryRegion* region_;
+  std::uint32_t num_lists_;
+  std::uint64_t entries_per_list_;
+  std::uint32_t entry_bytes_;
+  std::vector<std::uint64_t> tails_;
+  std::uint64_t polled_ = 0;
+};
+
+}  // namespace dta::collector

@@ -1,0 +1,27 @@
+#include "collector/collector.h"
+
+namespace dta::collector {
+
+void Collector::ingest(const net::Packet& frame) {
+  ++stats_.frames_in;
+  auto outcome = service_.nic().ingest(frame);
+  if (!outcome) return;
+  if (outcome->responder.executed) ++stats_.verbs_executed;
+  if (outcome->responder.ack) {
+    if (outcome->responder.ack->syndrome != rdma::AethSyndrome::kAck) {
+      ++stats_.naks;
+    }
+    if (ack_sink_) {
+      const std::uint32_t expected =
+          service_.qp() ? service_.qp()->expected_psn() : 0;
+      ack_sink_(*outcome->responder.ack, expected);
+    }
+  }
+}
+
+std::optional<rdma::Completion> Collector::poll_event() {
+  if (!service_.qp()) return std::nullopt;
+  return service_.qp()->poll_completion();
+}
+
+}  // namespace dta::collector

@@ -1,0 +1,28 @@
+#include "collector/keyincrement_store.h"
+
+#include <algorithm>
+
+namespace dta::collector {
+
+KeyIncrementStore::KeyIncrementStore(rdma::MemoryRegion* region,
+                                     std::uint64_t num_slots)
+    : region_(region), num_slots_(num_slots) {}
+
+std::uint64_t KeyIncrementStore::slot_value(const proto::TelemetryKey& key,
+                                            std::uint8_t replica) const {
+  const std::uint64_t slot = translator::slot_index(replica, key, num_slots_);
+  return common::load_u64(region_->data() + slot * 8);
+}
+
+std::uint64_t KeyIncrementStore::query(const proto::TelemetryKey& key,
+                                       std::uint8_t redundancy) const {
+  std::uint64_t best = ~0ull;
+  for (std::uint8_t n = 0; n < redundancy; ++n) {
+    best = std::min(best, slot_value(key, n));
+  }
+  return redundancy == 0 ? 0 : best;
+}
+
+void KeyIncrementStore::reset() { region_->zero(); }
+
+}  // namespace dta::collector

@@ -1,0 +1,41 @@
+// Collector-side Key-Increment store (paper §4 "Key-Increment",
+// Appendix A.4 Algorithm 6).
+//
+// "Our KI memory acts as a Count-Min Sketch": the translator issues
+// FETCH_ADDs on N hashed counters; a query reads the N counters and
+// returns the minimum. Collisions only ever inflate counters, so the
+// estimate is a one-sided overestimate with classic CMS guarantees.
+// Counters may be periodically reset depending on the application.
+#pragma once
+
+#include <cstdint>
+
+#include "dta/wire.h"
+#include "rdma/memory_region.h"
+#include "translator/crc_unit.h"
+
+namespace dta::collector {
+
+class KeyIncrementStore {
+ public:
+  KeyIncrementStore(rdma::MemoryRegion* region, std::uint64_t num_slots);
+
+  // Algorithm 6: min over the N hashed counters.
+  std::uint64_t query(const proto::TelemetryKey& key,
+                      std::uint8_t redundancy) const;
+
+  // Reads one replica's counter (for tests).
+  std::uint64_t slot_value(const proto::TelemetryKey& key,
+                           std::uint8_t replica) const;
+
+  // Periodic reset (§4: "The counters' memory may be reset periodically").
+  void reset();
+
+  std::uint64_t num_slots() const { return num_slots_; }
+
+ private:
+  rdma::MemoryRegion* region_;
+  std::uint64_t num_slots_;
+};
+
+}  // namespace dta::collector

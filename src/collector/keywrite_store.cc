@@ -1,0 +1,107 @@
+#include "collector/keywrite_store.h"
+
+#include <cstring>
+
+namespace dta::collector {
+
+KeyWriteStore::KeyWriteStore(const rdma::MemoryRegion* region,
+                             std::uint64_t num_slots,
+                             std::uint32_t value_bytes,
+                             std::uint32_t checksum_bits)
+    : region_(region),
+      num_slots_(num_slots),
+      value_bytes_(value_bytes),
+      checksum_bits_(checksum_bits) {}
+
+std::uint32_t KeyWriteStore::compute_checksum(
+    const proto::TelemetryKey& key) const {
+  return translator::key_checksum(key);
+}
+
+common::ByteSpan KeyWriteStore::fetch_slot(const proto::TelemetryKey& key,
+                                           std::uint8_t replica) const {
+  const std::uint64_t slot =
+      translator::slot_index(replica, key, num_slots_);
+  const std::uint8_t* p = region_->data() + slot * slot_bytes();
+  return {p, slot_bytes()};
+}
+
+KeyWriteQueryResult KeyWriteStore::query(const proto::TelemetryKey& key,
+                                         std::uint8_t redundancy,
+                                         std::uint8_t threshold) const {
+  KeyWriteQueryResult result;
+  const std::uint32_t expect = compute_checksum(key) & checksum_mask();
+
+  // Candidate values and their vote counts. N <= 8, so flat arrays beat
+  // any map; comparisons are memcmp over the fixed-width value.
+  std::array<const std::uint8_t*, 8> candidates{};
+  std::array<std::uint8_t, 8> votes{};
+  std::size_t distinct = 0;
+
+  // Distinct hash functions can occasionally map a key to the same
+  // physical slot; a slot must contribute at most one vote.
+  std::array<std::uint64_t, 8> seen_slots{};
+  std::size_t seen = 0;
+
+  for (std::uint8_t n = 0; n < redundancy && n < 8; ++n) {
+    const std::uint64_t slot_idx = translator::slot_index(n, key, num_slots_);
+    bool duplicate = false;
+    for (std::size_t s = 0; s < seen; ++s) {
+      if (seen_slots[s] == slot_idx) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen_slots[seen++] = slot_idx;
+
+    const common::ByteSpan slot = fetch_slot(key, n);
+    const std::uint32_t stored =
+        common::load_u32(slot.data()) & checksum_mask();
+    if (stored != expect) continue;
+    const std::uint8_t* value = slot.data() + 4;
+
+    bool merged = false;
+    for (std::size_t c = 0; c < distinct; ++c) {
+      if (std::memcmp(candidates[c], value, value_bytes_) == 0) {
+        ++votes[c];
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      candidates[distinct] = value;
+      votes[distinct] = 1;
+      ++distinct;
+    }
+  }
+
+  if (distinct == 0) {
+    result.status = QueryStatus::kNotFound;
+    return result;
+  }
+
+  // Plurality vote; a tie between distinct values is a conflict.
+  std::size_t best = 0;
+  bool tie = false;
+  for (std::size_t c = 1; c < distinct; ++c) {
+    if (votes[c] > votes[best]) {
+      best = c;
+      tie = false;
+    } else if (votes[c] == votes[best]) {
+      tie = true;
+    }
+  }
+
+  if (tie || votes[best] < threshold) {
+    result.status = QueryStatus::kConflict;
+    return result;
+  }
+
+  result.status = QueryStatus::kHit;
+  result.votes = votes[best];
+  result.value.assign(candidates[best], candidates[best] + value_bytes_);
+  return result;
+}
+
+}  // namespace dta::collector

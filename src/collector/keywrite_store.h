@@ -1,0 +1,70 @@
+// Collector-side Key-Write store (paper §4, Appendix A.1/A.5).
+//
+// The memory itself is written exclusively by the NIC (RDMA); the CPU
+// only ever *reads* it to answer queries — Algorithm 2: recompute the N
+// slot indexes, fetch each slot, keep candidates whose stored checksum
+// matches h1(K), and return the plurality-vote winner. Ties between
+// distinct candidate values or zero matches yield an empty return.
+//
+// The store can also be queried with a consensus threshold T ≥ 2
+// ("requiring consensus of two values can be decided on a per query
+// basis", Appendix A.5), trading empty returns for fewer wrong outputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dta/wire.h"
+#include "rdma/memory_region.h"
+#include "translator/crc_unit.h"
+
+namespace dta::collector {
+
+enum class QueryStatus : std::uint8_t {
+  kHit,       // a value won the vote
+  kNotFound,  // no slot carried the key's checksum
+  kConflict,  // matching checksums but conflicting values / below threshold
+};
+
+struct KeyWriteQueryResult {
+  QueryStatus status = QueryStatus::kNotFound;
+  common::Bytes value;       // valid when status == kHit
+  std::uint8_t votes = 0;    // how many replicas agreed
+};
+
+class KeyWriteStore {
+ public:
+  // `region` must hold num_slots * (4 + value_bytes) bytes.
+  KeyWriteStore(const rdma::MemoryRegion* region, std::uint64_t num_slots,
+                std::uint32_t value_bytes, std::uint32_t checksum_bits = 32);
+
+  // Algorithm 2 with plurality vote and optional consensus threshold.
+  KeyWriteQueryResult query(const proto::TelemetryKey& key,
+                            std::uint8_t redundancy,
+                            std::uint8_t consensus_threshold = 1) const;
+
+  // Split-phase helpers used by the Figure 11b breakdown bench: the
+  // checksum computation and the slot fetch are the two measured parts.
+  std::uint32_t compute_checksum(const proto::TelemetryKey& key) const;
+  common::ByteSpan fetch_slot(const proto::TelemetryKey& key,
+                              std::uint8_t replica) const;
+
+  std::uint64_t num_slots() const { return num_slots_; }
+  std::uint32_t value_bytes() const { return value_bytes_; }
+  std::uint32_t slot_bytes() const { return 4 + value_bytes_; }
+  std::uint32_t checksum_bits() const { return checksum_bits_; }
+
+ private:
+  std::uint32_t checksum_mask() const {
+    return checksum_bits_ >= 32 ? 0xFFFFFFFFu
+                                : ((1u << checksum_bits_) - 1);
+  }
+
+  const rdma::MemoryRegion* region_;
+  std::uint64_t num_slots_;
+  std::uint32_t value_bytes_;
+  std::uint32_t checksum_bits_;
+};
+
+}  // namespace dta::collector

@@ -1,0 +1,85 @@
+#include "collector/postcarding_store.h"
+
+namespace dta::collector {
+
+PostcardingStore::PostcardingStore(
+    const rdma::MemoryRegion* region, std::uint64_t num_chunks,
+    std::uint8_t hops, const std::vector<std::uint32_t>& value_space)
+    : region_(region), num_chunks_(num_chunks), hops_(hops) {
+  padded_hops_ = 1;
+  while (padded_hops_ < hops_) padded_hops_ <<= 1;
+
+  g_inverse_.reserve(value_space.size() + 1);
+  for (std::uint32_t v : value_space) {
+    g_inverse_.emplace(translator::value_code(v), v);
+  }
+  g_inverse_.emplace(translator::value_code(translator::kBlankValue),
+                     translator::kBlankValue);
+}
+
+std::optional<std::uint32_t> PostcardingStore::invert(
+    std::uint32_t code) const {
+  auto it = g_inverse_.find(code);
+  if (it == g_inverse_.end()) return std::nullopt;
+  return it->second;
+}
+
+PostcardingStore::ChunkDecode PostcardingStore::decode_chunk(
+    const proto::TelemetryKey& key, std::uint8_t replica) const {
+  ChunkDecode out;
+  const std::uint64_t chunk =
+      translator::chunk_index(replica, key, num_chunks_);
+  const std::uint8_t* base = region_->data() + chunk * chunk_bytes();
+
+  // Decode every hop; then test the "prefix of values, suffix of blanks"
+  // structure required for validity.
+  std::vector<std::optional<std::uint32_t>> decoded(hops_);
+  for (std::uint8_t i = 0; i < hops_; ++i) {
+    const std::uint32_t enc = common::load_u32(base + i * 4);
+    const std::uint32_t code = enc ^ translator::hop_checksum(key, i);
+    decoded[i] = invert(code);
+  }
+
+  std::uint8_t prefix = 0;
+  while (prefix < hops_ && decoded[prefix].has_value() &&
+         *decoded[prefix] != translator::kBlankValue) {
+    ++prefix;
+  }
+  for (std::uint8_t i = prefix; i < hops_; ++i) {
+    if (!decoded[i].has_value() ||
+        *decoded[i] != translator::kBlankValue) {
+      return out;  // not a valid chunk
+    }
+  }
+  if (prefix == 0) return out;  // all-blank chunks carry no report
+
+  out.valid = true;
+  out.values.reserve(prefix);
+  for (std::uint8_t i = 0; i < prefix; ++i) out.values.push_back(*decoded[i]);
+  return out;
+}
+
+PostcardingQueryResult PostcardingStore::query(
+    const proto::TelemetryKey& key, std::uint8_t redundancy) const {
+  PostcardingQueryResult result;
+  std::optional<std::vector<std::uint32_t>> agreed;
+
+  for (std::uint8_t n = 0; n < redundancy; ++n) {
+    ChunkDecode chunk = decode_chunk(key, n);
+    if (!chunk.valid) continue;
+    if (!agreed) {
+      agreed = std::move(chunk.values);
+    } else if (*agreed != chunk.values) {
+      result.conflict = true;
+      return result;  // valid chunks disagree: refuse to answer
+    }
+  }
+
+  if (agreed) {
+    result.found = true;
+    result.hop_values = std::move(*agreed);
+  }
+  return result;
+}
+
+}  // namespace dta::collector

@@ -1,0 +1,66 @@
+// Collector-side Postcarding store (paper §4 "Postcarding", Appendix A.6).
+//
+// Memory is an array of C chunks of B (power-of-two padded) 32-bit
+// slots. Slot i of flow x's chunk holds checksum(x,i) XOR g(v_{x,i}).
+// Queries decode each slot by XORing the hop checksum back and looking
+// the result up in the pre-populated inverse table {(g(v), v)} over the
+// value space V plus the blank ⊔ — "checking the existence of such
+// v_{x,i} can be done in constant time using a pre-populated lookup
+// table" (§4).
+//
+// A chunk is *valid* iff hops 0..l-1 decode to real values and hops
+// l..B-1 decode to blank, for some l. With redundancy N, the N chunks
+// vote: the query answers only if at least one chunk is valid and all
+// valid chunks agree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dta/wire.h"
+#include "rdma/memory_region.h"
+#include "translator/crc_unit.h"
+
+namespace dta::collector {
+
+struct PostcardingQueryResult {
+  bool found = false;
+  bool conflict = false;                 // valid chunks disagreed
+  std::vector<std::uint32_t> hop_values; // decoded path (length l)
+};
+
+class PostcardingStore {
+ public:
+  // `value_space` enumerates V (e.g. all switch IDs). The constructor
+  // builds the g-inverse lookup table.
+  PostcardingStore(const rdma::MemoryRegion* region, std::uint64_t num_chunks,
+                   std::uint8_t hops, const std::vector<std::uint32_t>& value_space);
+
+  PostcardingQueryResult query(const proto::TelemetryKey& key,
+                               std::uint8_t redundancy) const;
+
+  // Decodes a single chunk; exposed for tests and the validity analysis.
+  struct ChunkDecode {
+    bool valid = false;
+    std::vector<std::uint32_t> values;
+  };
+  ChunkDecode decode_chunk(const proto::TelemetryKey& key,
+                           std::uint8_t replica) const;
+
+  std::uint64_t num_chunks() const { return num_chunks_; }
+  std::uint8_t hops() const { return hops_; }
+  std::uint32_t chunk_bytes() const { return padded_hops_ * 4; }
+
+ private:
+  std::optional<std::uint32_t> invert(std::uint32_t code) const;
+
+  const rdma::MemoryRegion* region_;
+  std::uint64_t num_chunks_;
+  std::uint8_t hops_;
+  std::uint32_t padded_hops_;
+  std::unordered_map<std::uint32_t, std::uint32_t> g_inverse_;
+};
+
+}  // namespace dta::collector

@@ -1,0 +1,78 @@
+#include "collector/query_frontend.h"
+
+#include <algorithm>
+
+namespace dta::collector {
+
+namespace {
+
+proto::TelemetryKey flow_key(const net::FiveTuple& flow) {
+  const auto bytes = flow.to_bytes();
+  return proto::TelemetryKey::from(
+      common::ByteSpan(bytes.data(), bytes.size()));
+}
+
+}  // namespace
+
+std::optional<common::Bytes> QueryFrontend::value_of(
+    const proto::TelemetryKey& key, std::uint8_t redundancy) const {
+  if (!service_->keywrite()) return std::nullopt;
+  auto result = service_->keywrite()->query(key, redundancy);
+  if (result.status != QueryStatus::kHit) return std::nullopt;
+  return std::move(result.value);
+}
+
+std::optional<std::uint32_t> QueryFrontend::flow_metric(
+    const net::FiveTuple& flow, std::uint8_t redundancy) const {
+  const auto value = value_of(flow_key(flow), redundancy);
+  if (!value || value->size() < 4) return std::nullopt;
+  return common::load_u32(value->data());
+}
+
+std::optional<std::vector<std::uint32_t>> QueryFrontend::flow_path(
+    const net::FiveTuple& flow, std::uint8_t redundancy) const {
+  if (!service_->postcarding()) return std::nullopt;
+  auto result = service_->postcarding()->query(flow_key(flow), redundancy);
+  if (!result.found) return std::nullopt;
+  return std::move(result.hop_values);
+}
+
+std::uint64_t QueryFrontend::flow_counter(const net::FiveTuple& flow,
+                                          std::uint8_t redundancy) const {
+  if (!service_->keyincrement()) return 0;
+  return service_->keyincrement()->query(flow_key(flow), redundancy);
+}
+
+std::uint64_t QueryFrontend::host_counter(std::uint32_t src_ip,
+                                          std::uint8_t redundancy) const {
+  if (!service_->keyincrement()) return 0;
+  common::Bytes kb;
+  common::put_u32(kb, src_ip);
+  return service_->keyincrement()->query(
+      proto::TelemetryKey::from(common::ByteSpan(kb)), redundancy);
+}
+
+std::size_t QueryFrontend::consume_events(std::uint32_t list,
+                                          std::uint64_t available,
+                                          const EventHandler& handler,
+                                          std::uint64_t max_events) {
+  if (!service_->append()) return 0;
+  AppendStore* store = service_->append();
+  const std::uint64_t n = std::min(available, max_events);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    handler(store->poll(list));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+QueryFrontend::LossEvent QueryFrontend::decode_loss_event(
+    common::ByteSpan entry) {
+  LossEvent ev{};
+  if (entry.size() < 18) return ev;
+  ev.flow = net::FiveTuple::from_bytes(entry.subspan(0, 13));
+  ev.packet_seq = common::load_u32(entry.data() + 13);
+  ev.reason = entry[17];
+  return ev;
+}
+
+}  // namespace dta::collector

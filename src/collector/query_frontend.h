@@ -1,0 +1,72 @@
+// Typed query frontend over the collector stores.
+//
+// The paper's stores are byte-level (write-only structures filled by the
+// NIC); operators think in flows, paths and counters. This facade maps
+// the canonical deployments of Table 2 onto typed queries:
+//   * per-flow metrics       (Key-Write: Marple timeouts, Sonata results)
+//   * per-packet/flow paths  (Postcarding / KW path tracing)
+//   * per-key counters       (Key-Increment: TurboFlow, host counters)
+//   * event streams          (Append: NetSeer losses, dShark summaries)
+// and provides the batch event-consumption loop the paper's §6.7.1
+// polling cores run ("we assume for Append operations the CPU is
+// monitoring the lists continuously").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "collector/rdma_service.h"
+#include "net/flow.h"
+
+namespace dta::collector {
+
+class QueryFrontend {
+ public:
+  explicit QueryFrontend(RdmaService* service) : service_(service) {}
+
+  // --- per-flow metrics (Key-Write) -----------------------------------------
+  // Returns the 4B metric for a flow, if recoverable.
+  std::optional<std::uint32_t> flow_metric(const net::FiveTuple& flow,
+                                           std::uint8_t redundancy = 2) const;
+
+  // Generic fixed-width value lookup by raw key.
+  std::optional<common::Bytes> value_of(const proto::TelemetryKey& key,
+                                        std::uint8_t redundancy = 2) const;
+
+  // --- paths (Postcarding) ----------------------------------------------------
+  std::optional<std::vector<std::uint32_t>> flow_path(
+      const net::FiveTuple& flow, std::uint8_t redundancy = 1) const;
+
+  // --- counters (Key-Increment) ----------------------------------------------
+  std::uint64_t flow_counter(const net::FiveTuple& flow,
+                             std::uint8_t redundancy = 2) const;
+  std::uint64_t host_counter(std::uint32_t src_ip,
+                             std::uint8_t redundancy = 2) const;
+
+  // --- event streams (Append) --------------------------------------------------
+  // Consumes up to `max_events` entries from `list`, invoking `handler`
+  // per entry. Returns the number consumed. The caller tracks how many
+  // entries are available (per the paper's polling model the consumer
+  // knows the producer's head); `available` bounds the drain.
+  using EventHandler = std::function<void(common::ByteSpan entry)>;
+  std::size_t consume_events(std::uint32_t list, std::uint64_t available,
+                             const EventHandler& handler,
+                             std::uint64_t max_events = ~0ull);
+
+  // Convenience decoder for NetSeer-format (18B) loss-event entries.
+  struct LossEvent {
+    net::FiveTuple flow;
+    std::uint32_t packet_seq;
+    std::uint8_t reason;
+  };
+  static LossEvent decode_loss_event(common::ByteSpan entry);
+
+  RdmaService* service() { return service_; }
+
+ private:
+  RdmaService* service_;
+};
+
+}  // namespace dta::collector

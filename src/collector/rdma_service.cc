@@ -1,0 +1,84 @@
+#include "collector/rdma_service.h"
+
+namespace dta::collector {
+
+RdmaService::RdmaService(rdma::NicParams nic_params) : nic_(nic_params) {}
+
+void RdmaService::enable_keywrite(const KeyWriteSetup& setup) {
+  const std::uint32_t slot_bytes = 4 + setup.value_bytes;
+  kw_region_ = nic_.pd().register_region(setup.num_slots * slot_bytes,
+                                         rdma::kRemoteWrite);
+  keywrite_ = std::make_unique<KeyWriteStore>(
+      kw_region_, setup.num_slots, setup.value_bytes, setup.checksum_bits);
+  rdma::RegionAdvert adv;
+  adv.kind = rdma::RegionKind::kKeyWrite;
+  adv.rkey = kw_region_->rkey();
+  adv.base_va = kw_region_->base_va();
+  adv.length = kw_region_->length();
+  adv.param1 = slot_bytes | (setup.checksum_bits << 16);
+  adv.param2 = setup.num_slots;
+  adverts_.push_back(adv);
+}
+
+void RdmaService::enable_postcarding(const PostcardingSetup& setup) {
+  std::uint32_t padded = 1;
+  while (padded < setup.hops) padded <<= 1;
+  const std::uint64_t bytes = setup.num_chunks * padded * 4ull;
+  pc_region_ = nic_.pd().register_region(bytes, rdma::kRemoteWrite);
+  postcarding_ = std::make_unique<PostcardingStore>(
+      pc_region_, setup.num_chunks, setup.hops, setup.value_space);
+  rdma::RegionAdvert adv;
+  adv.kind = rdma::RegionKind::kPostcarding;
+  adv.rkey = pc_region_->rkey();
+  adv.base_va = pc_region_->base_va();
+  adv.length = pc_region_->length();
+  adv.param1 = (static_cast<std::uint32_t>(setup.hops) << 16) | 4u;
+  adv.param2 = setup.num_chunks;
+  adverts_.push_back(adv);
+}
+
+void RdmaService::enable_append(const AppendSetup& setup) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(setup.num_lists) *
+                              setup.entries_per_list * setup.entry_bytes;
+  ap_region_ = nic_.pd().register_region(bytes, rdma::kRemoteWrite);
+  append_ = std::make_unique<AppendStore>(
+      ap_region_, setup.num_lists, setup.entries_per_list, setup.entry_bytes);
+  rdma::RegionAdvert adv;
+  adv.kind = rdma::RegionKind::kAppend;
+  adv.rkey = ap_region_->rkey();
+  adv.base_va = ap_region_->base_va();
+  adv.length = ap_region_->length();
+  adv.param1 = setup.entry_bytes;
+  adv.param2 = (static_cast<std::uint64_t>(setup.num_lists) << 32) |
+               setup.entries_per_list;
+  adverts_.push_back(adv);
+}
+
+void RdmaService::enable_keyincrement(const KeyIncrementSetup& setup) {
+  ki_region_ = nic_.pd().register_region(setup.num_slots * 8,
+                                         rdma::kRemoteAtomic);
+  keyincrement_ =
+      std::make_unique<KeyIncrementStore>(ki_region_, setup.num_slots);
+  rdma::RegionAdvert adv;
+  adv.kind = rdma::RegionKind::kKeyIncrement;
+  adv.rkey = ki_region_->rkey();
+  adv.base_va = ki_region_->base_va();
+  adv.length = ki_region_->length();
+  adv.param1 = 8;
+  adv.param2 = setup.num_slots;
+  adverts_.push_back(adv);
+}
+
+rdma::ConnectAccept RdmaService::accept(const rdma::ConnectRequest& request) {
+  qp_ = nic_.create_qp();
+  qp_->to_init();
+  qp_->to_rtr(request.start_psn);
+
+  rdma::ConnectAccept acc;
+  acc.responder_qpn = qp_->qpn();
+  acc.start_psn = request.start_psn;
+  acc.regions = adverts_;
+  return acc;
+}
+
+}  // namespace dta::collector

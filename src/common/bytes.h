@@ -1,0 +1,141 @@
+// Byte-order aware serialization helpers shared by every wire format in
+// the project (Ethernet/IPv4/UDP, RoCEv2 and the DTA protocol itself).
+//
+// All multi-byte fields on the wire are big-endian (network order), per
+// the conventions of the protocols we model.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dta::common {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutByteSpan = std::span<std::uint8_t>;
+
+// -- Big-endian primitive writers -------------------------------------------
+
+inline void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+inline void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void put_bytes(Bytes& out, ByteSpan data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+// -- Big-endian primitive readers --------------------------------------------
+//
+// A Cursor walks a received buffer; `ok()` turns false on any overrun so a
+// parser can finish the walk and check validity once at the end (this is
+// the usual branch-light parsing style in packet pipelines).
+
+class Cursor {
+ public:
+  explicit Cursor(ByteSpan data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    if (!ensure(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t hi = u32();
+    std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+
+  ByteSpan bytes(std::size_t n) {
+    if (!ensure(n)) return {};
+    ByteSpan s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  void skip(std::size_t n) {
+    if (ensure(n)) pos_ += n;
+  }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return ok_;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// -- In-place big-endian accessors (for writing into registered memory) -----
+
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(load_u32(p)) << 32) | load_u32(p + 4);
+}
+
+inline void store_u64(std::uint8_t* p, std::uint64_t v) {
+  store_u32(p, static_cast<std::uint32_t>(v >> 32));
+  store_u32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+// Hex dump used in diagnostics and golden tests.
+std::string to_hex(ByteSpan data);
+
+}  // namespace dta::common

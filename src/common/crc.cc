@@ -1,0 +1,53 @@
+#include "common/crc.h"
+
+namespace dta::common {
+
+Crc32::Crc32(std::uint32_t poly, std::uint32_t init, std::uint32_t xor_out)
+    : poly_(poly), init_(init), xor_out_(xor_out) {
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ poly : (crc >> 1);
+    }
+    table_[i] = crc;
+  }
+}
+
+std::uint32_t Crc32::update(std::uint32_t state, ByteSpan data) const {
+  for (std::uint8_t b : data) {
+    state = table_[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t Crc32::compute(ByteSpan data) const {
+  return finish(update(begin(), data));
+}
+
+const Crc32& checksum_crc() {
+  static const Crc32 engine(kChecksumPoly);
+  return engine;
+}
+
+const Crc32& value_crc() {
+  static const Crc32 engine(kValuePoly);
+  return engine;
+}
+
+const Crc32& slot_crc(unsigned replica) {
+  static const std::array<Crc32, 8> engines = {
+      Crc32(kSlotPolys[0]), Crc32(kSlotPolys[1]), Crc32(kSlotPolys[2]),
+      Crc32(kSlotPolys[3]), Crc32(kSlotPolys[4]), Crc32(kSlotPolys[5]),
+      Crc32(kSlotPolys[6]), Crc32(kSlotPolys[7])};
+  return engines[replica % engines.size()];
+}
+
+const Crc32& hop_crc(unsigned hop) {
+  static const std::array<Crc32, 8> engines = {
+      Crc32(kHopPolys[0]), Crc32(kHopPolys[1]), Crc32(kHopPolys[2]),
+      Crc32(kHopPolys[3]), Crc32(kHopPolys[4]), Crc32(kHopPolys[5]),
+      Crc32(kHopPolys[6]), Crc32(kHopPolys[7])};
+  return engines[hop % engines.size()];
+}
+
+}  // namespace dta::common

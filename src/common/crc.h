@@ -1,0 +1,75 @@
+// Software model of the Tofino CRC engine.
+//
+// The DTA translator derives all of its hash functions from the switch
+// ASIC's native CRC unit: slot indexes h0(n, key), the 4-byte Key-Write
+// checksum h1(key), and the Postcarding per-hop checksums and value
+// encoder g(v) all use "carefully selected CRC polynomials ... to create
+// several independent hash functions using the same underlying CRC
+// engine" (paper §5.2). We reproduce that: a table-driven reflected
+// CRC-32 parameterized by polynomial, plus a catalogue of polynomials
+// with good inter-independence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dta::common {
+
+// A reflected table-driven CRC-32 with configurable polynomial and
+// initial value. Immutable after construction; cheap to copy by
+// reference. Construction builds the 256-entry table.
+class Crc32 {
+ public:
+  // `poly` is the *reflected* polynomial representation
+  // (e.g. 0xEDB88320 for the IEEE CRC-32 used by Boost's crc_32_type).
+  explicit Crc32(std::uint32_t poly, std::uint32_t init = 0xFFFFFFFFu,
+                 std::uint32_t xor_out = 0xFFFFFFFFu);
+
+  std::uint32_t compute(ByteSpan data) const;
+
+  // Incremental interface for pipelines that hash header fields one at a
+  // time (the ASIC consumes the field bus in slices).
+  std::uint32_t begin() const { return init_; }
+  std::uint32_t update(std::uint32_t state, ByteSpan data) const;
+  std::uint32_t finish(std::uint32_t state) const { return state ^ xor_out_; }
+
+  std::uint32_t polynomial() const { return poly_; }
+
+ private:
+  std::array<std::uint32_t, 256> table_{};
+  std::uint32_t poly_;
+  std::uint32_t init_;
+  std::uint32_t xor_out_;
+};
+
+// Polynomial catalogue. kSlotPolys are used for the N redundancy slot
+// indexes (h0(0,·) .. h0(7,·)); kChecksumPoly is h1; kValuePoly is the
+// Postcarding value encoder g; kHopPolys are the per-hop checksum
+// functions checksum(x, i).
+inline constexpr std::uint32_t kChecksumPoly = 0xEDB88320u;  // CRC-32 (IEEE)
+inline constexpr std::uint32_t kValuePoly = 0x82F63B78u;     // CRC-32C
+inline constexpr std::array<std::uint32_t, 8> kSlotPolys = {
+    0xEB31D82Eu,  // CRC-32K (Koopman)
+    0xD5828281u,  // CRC-32Q (reflected)
+    0x992C1A4Cu,  // CRC-32K2
+    0xBA0DC66Bu,  // CRC-32 (alt, from Koopman's tables)
+    0x0A833982u,
+    0x8F6E37A0u,
+    0xC0A0A0D5u,
+    0x30171145u,
+};
+inline constexpr std::array<std::uint32_t, 8> kHopPolys = {
+    0xAE689191u, 0xCF4A6218u, 0x9D198A24u, 0xF8C9A2AAu,
+    0xB8FDB1E7u, 0x86B0C9C1u, 0xFB3EE248u, 0x93D2C9B4u,
+};
+
+// Shared, lazily constructed engines (construction builds tables; these
+// helpers avoid rebuilding them per call).
+const Crc32& checksum_crc();                // h1
+const Crc32& value_crc();                   // g
+const Crc32& slot_crc(unsigned replica);    // h0(replica, ·), replica < 8
+const Crc32& hop_crc(unsigned hop);         // checksum(·, hop), hop < 8
+
+}  // namespace dta::common

@@ -1,0 +1,88 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dta::common {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64 seeds the xoshiro state so that nearby seeds diverge.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_exponential(double mean) {
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::next_zipf(std::uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Rejection-inversion sampling (Hörmann & Derflinger) is overkill for
+  // our workload sizes; we use the classic inverse-CDF on a harmonic
+  // approximation, which is accurate enough for trace synthesis and O(1).
+  // H(x) ~ x^(1-s)/(1-s) for s != 1, ln(x) for s == 1.
+  const double x_max = static_cast<double>(n);
+  double u = next_double();
+  double rank;
+  if (s == 1.0) {
+    rank = std::exp(u * std::log(x_max));
+  } else {
+    const double one_minus_s = 1.0 - s;
+    const double h_max = (std::pow(x_max, one_minus_s) - 1.0) / one_minus_s;
+    rank = std::pow(1.0 + u * h_max * one_minus_s, 1.0 / one_minus_s);
+  }
+  auto r = static_cast<std::uint64_t>(rank);
+  if (r >= n) r = n - 1;
+  return r;
+}
+
+}  // namespace dta::common

@@ -1,0 +1,4 @@
+#include "common/time_model.h"
+
+// Header-only for now; this translation unit anchors the library target
+// and keeps the build layout uniform (one .cc per module).

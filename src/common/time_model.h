@@ -1,0 +1,75 @@
+// Simulated time base.
+//
+// The paper's evaluation runs on real hardware (Tofino ASIC, 100G links,
+// BlueField-2 NIC). Our substrate is a discrete-time simulation: every
+// component that would consume wall-clock time on hardware (link
+// serialization, NIC message processing, DRAM writes) advances a shared
+// virtual clock instead. Benches then report *modeled* rates —
+// events / virtual-seconds — alongside raw software execution rates.
+#pragma once
+
+#include <cstdint>
+
+namespace dta::common {
+
+// Virtual nanoseconds since simulation start.
+using VirtualNs = std::uint64_t;
+
+class VirtualClock {
+ public:
+  VirtualNs now() const { return now_; }
+
+  void advance(VirtualNs delta) { now_ += delta; }
+
+  // Move the clock forward to `t` if it is in the future; used by rate
+  // limited resources ("this op completes at t").
+  void advance_to(VirtualNs t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = 0; }
+
+ private:
+  VirtualNs now_ = 0;
+};
+
+// Converts a rate in events/second into the virtual duration of one event.
+constexpr VirtualNs ns_per_event(double events_per_second) {
+  return events_per_second <= 0.0
+             ? 0
+             : static_cast<VirtualNs>(1e9 / events_per_second);
+}
+
+// A serial resource with a fixed service rate (e.g. a NIC's message
+// processing unit or a link's serializer): each request occupies the
+// resource for 1/rate seconds and requests queue behind each other.
+class RateLimitedResource {
+ public:
+  explicit RateLimitedResource(double ops_per_second)
+      : service_ns_(ns_per_event(ops_per_second)) {}
+
+  // Schedules one operation arriving at `arrival`; returns its completion
+  // time. The resource is busy until then.
+  VirtualNs schedule(VirtualNs arrival) {
+    VirtualNs start = arrival > free_at_ ? arrival : free_at_;
+    free_at_ = start + service_ns_;
+    return free_at_;
+  }
+
+  // Variable-cost flavour (e.g. byte-dependent link serialization).
+  VirtualNs schedule(VirtualNs arrival, VirtualNs cost_ns) {
+    VirtualNs start = arrival > free_at_ ? arrival : free_at_;
+    free_at_ = start + cost_ns;
+    return free_at_;
+  }
+
+  VirtualNs free_at() const { return free_at_; }
+  VirtualNs service_ns() const { return service_ns_; }
+  void reset() { free_at_ = 0; }
+
+ private:
+  VirtualNs service_ns_;
+  VirtualNs free_at_ = 0;
+};
+
+}  // namespace dta::common

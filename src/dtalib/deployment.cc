@@ -1,0 +1,70 @@
+#include "dtalib/deployment.h"
+
+namespace dta {
+
+Deployment::Deployment(DeploymentConfig config) : config_(std::move(config)) {
+  collector_ = std::make_unique<collector::Collector>(config_.nic);
+  auto& service = collector_->service();
+  if (config_.keywrite) service.enable_keywrite(*config_.keywrite);
+  if (config_.postcarding) service.enable_postcarding(*config_.postcarding);
+  if (config_.append) service.enable_append(*config_.append);
+  if (config_.keyincrement) service.enable_keyincrement(*config_.keyincrement);
+
+  rdma::ConnectRequest request;
+  request.requester_qpn = 0x70;
+  request.start_psn = 0x1000;
+  const rdma::ConnectAccept accept = service.accept(request);
+  translator_ = std::make_unique<translator::Translator>(
+      config_.translator, accept.responder_qpn, accept.start_psn, accept);
+
+  rdma_link_ = std::make_unique<net::Link>(config_.rdma_link);
+  rdma_link_->set_sink(
+      [this](net::Packet&& pkt) { collector_->ingest(pkt); });
+  translator_->set_rdma_sink([this](net::Packet&& pkt) {
+    rdma_link_->transmit(std::move(pkt), clock_.now());
+  });
+  collector_->set_ack_sink(
+      [this](const rdma::Aeth& aeth, std::uint32_t expected) {
+        translator_->handle_ack(aeth, expected);
+      });
+
+  for (std::uint32_t i = 0; i < config_.num_reporters; ++i) {
+    reporter::ReporterConfig rc;
+    rc.ip = 0x0A010000 + i;
+    rc.src_port = static_cast<std::uint16_t>(50000 + (i % 10000));
+    reporters_.push_back(std::make_unique<reporter::Reporter>(rc));
+
+    net::LinkParams lp = config_.uplink;
+    lp.seed = config_.uplink.seed + i;  // independent loss processes
+    auto uplink = std::make_unique<net::Link>(lp);
+    uplink->set_sink([this](net::Packet&& pkt) {
+      staged_.push(Staged{pkt.arrival_ns, stage_seq_++, std::move(pkt)});
+    });
+    uplinks_.push_back(std::move(uplink));
+  }
+}
+
+Deployment::~Deployment() = default;
+
+void Deployment::report(const proto::Report& report,
+                        std::uint32_t reporter_idx, bool immediate) {
+  net::Packet frame = reporters_[reporter_idx]->make_frame(report, immediate);
+  uplinks_[reporter_idx]->transmit(std::move(frame), clock_.now());
+}
+
+void Deployment::drain() {
+  // Deliver staged frames in global arrival order — the interleaving a
+  // real translator sees from many uplinks (this interleaving is what
+  // stresses the postcard cache in Figure 14).
+  while (!staged_.empty()) {
+    // priority_queue exposes const refs; Staged is move-heavy, so copy
+    // out the top (frames are small) and pop.
+    Staged top = std::move(const_cast<Staged&>(staged_.top()));
+    staged_.pop();
+    clock_.advance_to(top.arrival);
+    translator_->ingest(std::move(top.frame), top.arrival);
+  }
+  translator_->flush(clock_.now());
+}
+
+}  // namespace dta

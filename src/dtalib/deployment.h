@@ -1,0 +1,90 @@
+// Network-scale deployment: many reporter switches, one translator, one
+// collector — the Figure 1 topology at fabric scale.
+//
+// Unlike dta::Fabric's single shared reporter link, a Deployment gives
+// every reporter its own link into the translator (each switch has its
+// own uplink serializer), merges arrivals in timestamp order, and tracks
+// per-reporter delivery and NACK feedback. This is the substrate for
+// "a data center network can comprise thousands of [switches]" (§1):
+// the capacity experiments ask how many reporters one collector absorbs.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "collector/collector.h"
+#include "net/link.h"
+#include "reporter/reporter.h"
+#include "translator/translator.h"
+
+namespace dta {
+
+struct DeploymentConfig {
+  std::uint32_t num_reporters = 16;
+  std::optional<collector::KeyWriteSetup> keywrite;
+  std::optional<collector::PostcardingSetup> postcarding;
+  std::optional<collector::AppendSetup> append;
+  std::optional<collector::KeyIncrementSetup> keyincrement;
+  translator::TranslatorConfig translator;
+  rdma::NicParams nic;
+  net::LinkParams uplink;     // per-reporter uplink template
+  net::LinkParams rdma_link;  // translator -> collector
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentConfig config);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  // Enqueues one report from reporter `idx` at the current virtual time
+  // on that reporter's uplink. Reports are *staged*: the translator
+  // consumes them in global arrival order on drain().
+  void report(const proto::Report& report, std::uint32_t reporter_idx,
+              bool immediate = false);
+
+  // Delivers all staged frames to the translator in arrival order, then
+  // flushes its aggregation state.
+  void drain();
+
+  collector::Collector& collector() { return *collector_; }
+  translator::Translator& translator() { return *translator_; }
+  reporter::Reporter& reporter(std::uint32_t idx) { return *reporters_[idx]; }
+  std::uint32_t num_reporters() const {
+    return static_cast<std::uint32_t>(reporters_.size());
+  }
+
+  // Per-reporter delivered/dropped accounting (uplink loss).
+  std::uint64_t uplink_delivered(std::uint32_t idx) const {
+    return uplinks_[idx]->delivered();
+  }
+  std::uint64_t uplink_dropped(std::uint32_t idx) const {
+    return uplinks_[idx]->dropped();
+  }
+
+ private:
+  struct Staged {
+    common::VirtualNs arrival = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break for equal arrivals
+    net::Packet frame;
+    bool operator>(const Staged& other) const {
+      if (arrival != other.arrival) return arrival > other.arrival;
+      return seq > other.seq;
+    }
+  };
+
+  DeploymentConfig config_;
+  common::VirtualClock clock_;
+  std::unique_ptr<collector::Collector> collector_;
+  std::unique_ptr<translator::Translator> translator_;
+  std::vector<std::unique_ptr<reporter::Reporter>> reporters_;
+  std::vector<std::unique_ptr<net::Link>> uplinks_;
+  std::unique_ptr<net::Link> rdma_link_;
+  std::priority_queue<Staged, std::vector<Staged>, std::greater<>> staged_;
+  std::uint64_t stage_seq_ = 0;
+};
+
+}  // namespace dta

@@ -1,0 +1,84 @@
+// dta::Fabric — the public entry point of the library.
+//
+// Wires the full paper topology in one object:
+//
+//     Reporters --(UDP/DTA, 100G link)--> Translator
+//         --(RoCEv2, 100G link)--> Collector NIC --> registered memory
+//
+// including the CM handshake, ACK/NAK feedback (PSN resync), and the
+// virtual clock that underlies all modeled rates. Applications feed
+// telemetry reports in and run queries against the collector stores;
+// benches read the modeled throughput from the component counters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collector/collector.h"
+#include "common/time_model.h"
+#include "net/link.h"
+#include "reporter/reporter.h"
+#include "translator/translator.h"
+
+namespace dta {
+
+struct FabricConfig {
+  // Which primitives to enable, with their store geometry.
+  std::optional<collector::KeyWriteSetup> keywrite;
+  std::optional<collector::PostcardingSetup> postcarding;
+  std::optional<collector::AppendSetup> append;
+  std::optional<collector::KeyIncrementSetup> keyincrement;
+
+  translator::TranslatorConfig translator;
+  rdma::NicParams nic;
+  net::LinkParams reporter_link;  // reporter -> translator
+  net::LinkParams rdma_link;      // translator -> collector
+  std::uint32_t num_reporters = 1;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Sends one report from reporter `reporter_idx` through the fabric at
+  // the current virtual time. The full path (encapsulation, link,
+  // translation, RoCE link, NIC verb execution) runs synchronously.
+  void report(const proto::Report& report, std::uint32_t reporter_idx = 0,
+              bool immediate = false);
+
+  // Bypass the reporter-side UDP encoding (benches that measure the
+  // translator/collector path only).
+  void report_direct(const proto::ParsedDta& parsed);
+
+  // Drains translator-side aggregation state (postcard cache, append
+  // batches).
+  void flush();
+
+  // Virtual time bookkeeping.
+  common::VirtualClock& clock() { return clock_; }
+  void advance_time(common::VirtualNs delta) { clock_.advance(delta); }
+
+  // Component access.
+  collector::Collector& collector() { return *collector_; }
+  translator::Translator& translator() { return *translator_; }
+  reporter::Reporter& reporter(std::uint32_t idx) { return *reporters_[idx]; }
+
+  // Modeled ingest rate: verbs executed per virtual second so far.
+  double modeled_verbs_per_sec() const;
+
+ private:
+  FabricConfig config_;
+  common::VirtualClock clock_;
+  std::unique_ptr<collector::Collector> collector_;
+  std::unique_ptr<translator::Translator> translator_;
+  std::vector<std::unique_ptr<reporter::Reporter>> reporters_;
+  std::unique_ptr<net::Link> reporter_link_;
+  std::unique_ptr<net::Link> rdma_link_;
+  std::uint64_t verbs_total_ = 0;
+};
+
+}  // namespace dta

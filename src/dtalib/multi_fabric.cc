@@ -1,0 +1,45 @@
+#include "dtalib/multi_fabric.h"
+
+namespace dta {
+
+MultiFabric::MultiFabric(MultiFabricConfig config)
+    : config_(config),
+      selector_(config.policy, config.num_collectors),
+      failed_(config.num_collectors, false) {
+  for (std::uint32_t c = 0; c < config_.num_collectors; ++c) {
+    FabricConfig fc = config_.base;
+    // Distinct collector addresses (the reporter-visible partitioning
+    // handle under kByDestinationIp).
+    fc.translator.endpoints.collector_ip = 0x0A0000C0 + c;
+    fabrics_.push_back(std::make_unique<Fabric>(fc));
+  }
+}
+
+std::uint32_t MultiFabric::shard_of(const proto::Report& report) {
+  // Probe the selector without perturbing stats? Routing is idempotent
+  // and stats-counting a query-side probe is harmless and keeps the
+  // selector single-pathed.
+  const auto route =
+      selector_.route(report, config_.base.translator.endpoints.collector_ip);
+  return route.empty() ? 0 : route[0];
+}
+
+void MultiFabric::report(const proto::Report& report) {
+  const auto route =
+      selector_.route(report, config_.base.translator.endpoints.collector_ip);
+  for (std::uint32_t c : route) {
+    if (failed_[c]) continue;  // a dead collector just loses its copy
+    fabrics_[c]->report(report);
+  }
+}
+
+double MultiFabric::aggregate_message_rate() const {
+  double total = 0;
+  for (std::uint32_t c = 0; c < fabrics_.size(); ++c) {
+    if (failed_[c]) continue;
+    total += config_.base.nic.base_message_rate;
+  }
+  return total;
+}
+
+}  // namespace dta

@@ -1,0 +1,52 @@
+#include "net/flow.h"
+
+#include <cstdio>
+
+namespace dta::net {
+
+std::array<std::uint8_t, FiveTuple::kWireSize> FiveTuple::to_bytes() const {
+  std::array<std::uint8_t, kWireSize> out{};
+  common::store_u32(out.data(), src_ip);
+  common::store_u32(out.data() + 4, dst_ip);
+  out[8] = static_cast<std::uint8_t>(src_port >> 8);
+  out[9] = static_cast<std::uint8_t>(src_port);
+  out[10] = static_cast<std::uint8_t>(dst_port >> 8);
+  out[11] = static_cast<std::uint8_t>(dst_port);
+  out[12] = protocol;
+  return out;
+}
+
+FiveTuple FiveTuple::from_bytes(common::ByteSpan bytes) {
+  FiveTuple t;
+  if (bytes.size() < kWireSize) return t;
+  t.src_ip = common::load_u32(bytes.data());
+  t.dst_ip = common::load_u32(bytes.data() + 4);
+  t.src_port = static_cast<std::uint16_t>((bytes[8] << 8) | bytes[9]);
+  t.dst_port = static_cast<std::uint16_t>((bytes[10] << 8) | bytes[11]);
+  t.protocol = bytes[12];
+  return t;
+}
+
+std::string FiveTuple::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u>%u.%u.%u.%u:%u/%u",
+                src_ip >> 24, (src_ip >> 16) & 0xFF, (src_ip >> 8) & 0xFF,
+                src_ip & 0xFF, src_port, dst_ip >> 24, (dst_ip >> 16) & 0xFF,
+                (dst_ip >> 8) & 0xFF, dst_ip & 0xFF, dst_port, protocol);
+  return buf;
+}
+
+std::uint64_t flow_hash64(const FiveTuple& t) {
+  // xxh3-style avalanche over the packed fields; container keying only.
+  std::uint64_t a = (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip;
+  std::uint64_t b = (static_cast<std::uint64_t>(t.src_port) << 24) |
+                    (static_cast<std::uint64_t>(t.dst_port) << 8) | t.protocol;
+  std::uint64_t h = a * 0x9E3779B185EBCA87ull;
+  h ^= (b + 0xC2B2AE3D27D4EB4Full) * 0x165667B19E3779F9ull;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace dta::net

@@ -1,0 +1,43 @@
+// Flow identification: the 13-byte TCP/IP 5-tuple used as the telemetry
+// key by INT, Marple and the DTA Key-Write examples in the paper
+// (Table 2: "flow 5-tuple keys").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace dta::net {
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  static constexpr std::size_t kWireSize = 13;
+
+  // Canonical byte serialization (the form that is hashed and carried in
+  // DTA key fields).
+  std::array<std::uint8_t, kWireSize> to_bytes() const;
+  static FiveTuple from_bytes(common::ByteSpan bytes);
+
+  bool operator==(const FiveTuple&) const = default;
+
+  std::string to_string() const;
+};
+
+// 64-bit mix of the canonical bytes, used for container keying inside the
+// simulators (NOT the on-wire hash — the translator uses the CRC unit).
+std::uint64_t flow_hash64(const FiveTuple& t);
+
+struct FiveTupleHasher {
+  std::size_t operator()(const FiveTuple& t) const {
+    return static_cast<std::size_t>(flow_hash64(t));
+  }
+};
+
+}  // namespace dta::net

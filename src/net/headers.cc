@@ -1,0 +1,154 @@
+#include "net/headers.h"
+
+namespace dta::net {
+
+using common::Bytes;
+using common::ByteSpan;
+using common::Cursor;
+
+// ---------------------------------------------------------------- Ethernet
+
+void EthernetHeader::encode(Bytes& out) const {
+  common::put_bytes(out, ByteSpan(dst.data(), dst.size()));
+  common::put_bytes(out, ByteSpan(src.data(), src.size()));
+  common::put_u16(out, ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(Cursor& cur) {
+  EthernetHeader h;
+  ByteSpan dst = cur.bytes(6);
+  ByteSpan src = cur.bytes(6);
+  h.ether_type = cur.u16();
+  if (!cur.ok()) return std::nullopt;
+  std::copy(dst.begin(), dst.end(), h.dst.begin());
+  std::copy(src.begin(), src.end(), h.src.begin());
+  return h;
+}
+
+// -------------------------------------------------------------------- IPv4
+
+std::uint16_t Ipv4Header::checksum(ByteSpan header20) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header20.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(header20[i]) << 8) | header20[i + 1];
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Header::encode(Bytes& out) const {
+  const std::size_t start = out.size();
+  common::put_u8(out, 0x45);  // version 4, IHL 5
+  common::put_u8(out, dscp << 2);
+  common::put_u16(out, total_length);
+  common::put_u16(out, identification);
+  common::put_u16(out, 0x4000);  // DF, no fragmentation in the fabric
+  common::put_u8(out, ttl);
+  common::put_u8(out, protocol);
+  common::put_u16(out, 0);  // checksum placeholder
+  common::put_u32(out, src_ip);
+  common::put_u32(out, dst_ip);
+  const std::uint16_t csum =
+      checksum(ByteSpan(out.data() + start, kSize));
+  out[start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(csum);
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(Cursor& cur) {
+  Ipv4Header h;
+  const std::uint8_t ver_ihl = cur.u8();
+  const std::uint8_t dscp_ecn = cur.u8();
+  h.total_length = cur.u16();
+  h.identification = cur.u16();
+  cur.u16();  // flags/frag
+  h.ttl = cur.u8();
+  h.protocol = cur.u8();
+  cur.u16();  // checksum (validated by NIC model, not re-checked here)
+  h.src_ip = cur.u32();
+  h.dst_ip = cur.u32();
+  if (!cur.ok()) return std::nullopt;
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl_bytes = static_cast<std::size_t>(ver_ihl & 0x0F) * 4;
+  if (ihl_bytes < kSize) return std::nullopt;
+  if (ihl_bytes > kSize) cur.skip(ihl_bytes - kSize);  // options
+  h.dscp = dscp_ecn >> 2;
+  return h;
+}
+
+// --------------------------------------------------------------------- UDP
+
+void UdpHeader::encode(Bytes& out) const {
+  common::put_u16(out, src_port);
+  common::put_u16(out, dst_port);
+  common::put_u16(out, length);
+  common::put_u16(out, 0);  // checksum optional over IPv4
+}
+
+std::optional<UdpHeader> UdpHeader::decode(Cursor& cur) {
+  UdpHeader h;
+  h.src_port = cur.u16();
+  h.dst_port = cur.u16();
+  h.length = cur.u16();
+  cur.u16();  // checksum
+  if (!cur.ok()) return std::nullopt;
+  return h;
+}
+
+// ----------------------------------------------------------------- helpers
+
+Bytes build_udp_frame(const MacAddr& dst_mac, const MacAddr& src_mac,
+                      std::uint32_t src_ip, std::uint32_t dst_ip,
+                      std::uint16_t src_port, std::uint16_t dst_port,
+                      ByteSpan payload, std::uint8_t dscp) {
+  Bytes out;
+  out.reserve(EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize +
+              payload.size());
+
+  EthernetHeader eth;
+  eth.dst = dst_mac;
+  eth.src = src_mac;
+  eth.encode(out);
+
+  Ipv4Header ip;
+  ip.dscp = dscp;
+  ip.src_ip = src_ip;
+  ip.dst_ip = dst_ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + UdpHeader::kSize + payload.size());
+  ip.encode(out);
+
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.encode(out);
+
+  common::put_bytes(out, payload);
+  return out;
+}
+
+std::optional<UdpFrameView> parse_udp_frame(ByteSpan frame) {
+  Cursor cur(frame);
+  UdpFrameView view;
+
+  auto eth = EthernetHeader::decode(cur);
+  if (!eth || eth->ether_type != kEtherTypeIpv4) return std::nullopt;
+  view.eth = *eth;
+
+  auto ip = Ipv4Header::decode(cur);
+  if (!ip || ip->protocol != kIpProtoUdp) return std::nullopt;
+  view.ip = *ip;
+
+  auto udp = UdpHeader::decode(cur);
+  if (!udp) return std::nullopt;
+  view.udp = *udp;
+
+  if (udp->length < UdpHeader::kSize) return std::nullopt;
+  const std::size_t payload_len = udp->length - UdpHeader::kSize;
+  view.payload_offset = cur.position();
+  view.payload_length = payload_len;
+  if (view.payload_offset + payload_len > frame.size()) return std::nullopt;
+  return view;
+}
+
+}  // namespace dta::net

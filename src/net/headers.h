@@ -1,0 +1,81 @@
+// Ethernet / IPv4 / UDP header structs with encode/decode.
+//
+// The reporter encapsulates telemetry into UDP (paper Figure 4); the
+// translator swaps the DTA headers for RoCEv2 headers riding the same
+// UDP/IP stack. We implement full (if minimal) versions of the three
+// layers, including the IPv4 header checksum, so that header sizes,
+// offsets, and costs match the real protocols.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace dta::net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+// Destination UDP ports.
+inline constexpr std::uint16_t kDtaUdpPort = 40050;   // DTA reports
+inline constexpr std::uint16_t kRoceUdpPort = 4791;   // RoCEv2 (IANA)
+
+struct EthernetHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  static constexpr std::size_t kSize = 14;
+  void encode(common::Bytes& out) const;
+  static std::optional<EthernetHeader> decode(common::Cursor& cur);
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // filled by encode helpers
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+
+  static constexpr std::size_t kSize = 20;  // no options
+  void encode(common::Bytes& out) const;   // computes header checksum
+  static std::optional<Ipv4Header> decode(common::Cursor& cur);
+
+  // RFC 791 ones-complement header checksum over the 20-byte header.
+  static std::uint16_t checksum(common::ByteSpan header20);
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  static constexpr std::size_t kSize = 8;
+  void encode(common::Bytes& out) const;  // checksum 0 (legal for IPv4)
+  static std::optional<UdpHeader> decode(common::Cursor& cur);
+};
+
+// Convenience: builds Eth+IPv4+UDP around `payload` and returns the frame.
+common::Bytes build_udp_frame(const MacAddr& dst_mac, const MacAddr& src_mac,
+                              std::uint32_t src_ip, std::uint32_t dst_ip,
+                              std::uint16_t src_port, std::uint16_t dst_port,
+                              common::ByteSpan payload, std::uint8_t dscp = 0);
+
+// Parsed view of a UDP frame (headers by value, payload as offsets into
+// the original buffer).
+struct UdpFrameView {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  UdpHeader udp;
+  std::size_t payload_offset = 0;
+  std::size_t payload_length = 0;
+};
+
+std::optional<UdpFrameView> parse_udp_frame(common::ByteSpan frame);
+
+}  // namespace dta::net

@@ -1,0 +1,57 @@
+#include "net/link.h"
+
+namespace dta::net {
+
+Link::Link(LinkParams params)
+    : params_(params),
+      serializer_(0),  // per-packet cost computed from size below
+      rng_(params.seed) {}
+
+bool Link::transmit(Packet&& pkt, common::VirtualNs now) {
+  if (params_.loss_rate > 0 && rng_.chance(params_.loss_rate)) {
+    ++dropped_;
+    return false;
+  }
+
+  const std::size_t wire = wire_bytes(pkt.size());
+  bytes_on_wire_ += wire;
+  const double bits = static_cast<double>(wire) * 8.0;
+  // Accumulate fractional nanoseconds so sub-ns serialization times do
+  // not truncate away (84B at 100G is 6.72ns; rounding to 6 would
+  // overstate the line rate by 12%).
+  const double exact_ns = bits / params_.gbps + fractional_ns_;
+  auto serialize_ns = static_cast<common::VirtualNs>(exact_ns);
+  fractional_ns_ = exact_ns - static_cast<double>(serialize_ns);
+  const common::VirtualNs done =
+      serializer_.schedule(now, serialize_ns) + params_.propagation_ns;
+
+  pkt.arrival_ns = done;
+  last_delivery_ns_ = done;
+
+  // Reordering: hold this packet and release it after the next one.
+  if (params_.reorder_rate > 0 && rng_.chance(params_.reorder_rate)) {
+    reorder_hold_.push_back(std::move(pkt));
+    ++reordered_;
+    return true;
+  }
+
+  if (sink_) sink_(std::move(pkt));
+  ++delivered_;
+
+  while (!reorder_hold_.empty()) {
+    Packet held = std::move(reorder_hold_.front());
+    reorder_hold_.pop_front();
+    held.arrival_ns = last_delivery_ns_;
+    if (sink_) sink_(std::move(held));
+    ++delivered_;
+  }
+  return true;
+}
+
+double Link::achieved_pps() const {
+  if (last_delivery_ns_ == 0 || delivered_ == 0) return 0.0;
+  return static_cast<double>(delivered_) * 1e9 /
+         static_cast<double>(last_delivery_ns_);
+}
+
+}  // namespace dta::net

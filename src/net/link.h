@@ -1,0 +1,64 @@
+// Simulated point-to-point link.
+//
+// Models the 100G links of the testbed: byte-serialization time, optional
+// propagation delay, and optional uniform loss (used by the integration
+// tests that exercise DTA's behaviour under report loss, §4 "severe
+// in-transit loss"). Delivery is in-order unless a reorder fraction is
+// configured (used to exercise the translator's PSN resynchronization).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/time_model.h"
+#include "net/packet.h"
+
+namespace dta::net {
+
+struct LinkParams {
+  double gbps = 100.0;
+  common::VirtualNs propagation_ns = 500;  // intra-rack
+  double loss_rate = 0.0;
+  double reorder_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(Packet&&)>;
+
+  explicit Link(LinkParams params = {});
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // Queues `pkt` for transmission at virtual time `now`. Serialization is
+  // modeled with a RateLimitedResource; the packet is handed to the sink
+  // with its arrival timestamp set. Returns false if the packet was lost.
+  bool transmit(Packet&& pkt, common::VirtualNs now);
+
+  // Statistics.
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t reordered() const { return reordered_; }
+  std::uint64_t bytes_on_wire() const { return bytes_on_wire_; }
+  common::VirtualNs busy_until() const { return serializer_.free_at(); }
+
+  // Throughput the link sustained so far in packets/sec of virtual time.
+  double achieved_pps() const;
+
+ private:
+  LinkParams params_;
+  common::RateLimitedResource serializer_;
+  common::Rng rng_;
+  Sink sink_;
+  std::deque<Packet> reorder_hold_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t bytes_on_wire_ = 0;
+  double fractional_ns_ = 0.0;
+  common::VirtualNs last_delivery_ns_ = 0;
+};
+
+}  // namespace dta::net

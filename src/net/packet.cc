@@ -1,0 +1,3 @@
+#include "net/packet.h"
+
+// Header-only; anchors the translation unit.

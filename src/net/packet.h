@@ -1,0 +1,36 @@
+// Simulated packet: an owning byte buffer plus simulation metadata
+// (arrival timestamp, ingress port). All wire formats in the project
+// (Ethernet/IPv4/UDP, RoCEv2, DTA) serialize into and parse out of this
+// type, mirroring how the hardware prototype moves real frames.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/time_model.h"
+
+namespace dta::net {
+
+struct Packet {
+  common::Bytes data;
+  common::VirtualNs arrival_ns = 0;
+  std::uint16_t ingress_port = 0;
+
+  Packet() = default;
+  explicit Packet(common::Bytes bytes) : data(std::move(bytes)) {}
+
+  std::size_t size() const { return data.size(); }
+  common::ByteSpan span() const { return common::ByteSpan(data); }
+};
+
+// Bytes a frame of the given payload size occupies on an Ethernet wire:
+// preamble(7) + SFD(1) + frame + FCS(4) + IFG(12). Used by the link model
+// to convert packet sizes into serialization time.
+constexpr std::size_t wire_bytes(std::size_t frame_bytes) {
+  constexpr std::size_t kMinFrame = 60;  // pre-FCS minimum
+  std::size_t f = frame_bytes < kMinFrame ? kMinFrame : frame_bytes;
+  return f + 7 + 1 + 4 + 12;
+}
+
+}  // namespace dta::net

@@ -1,0 +1,38 @@
+#include "net/pfc.h"
+
+namespace dta::net {
+
+PfcQueue::PfcQueue(PfcParams params) : params_(params) {}
+
+bool PfcQueue::enqueue(Packet&& pkt) {
+  const std::size_t bytes = pkt.size();
+  if (occupancy_ + bytes > params_.capacity_bytes) {
+    ++counters_.dropped_overflow;
+    return false;
+  }
+  occupancy_ += bytes;
+  queue_.push_back(std::move(pkt));
+  ++counters_.enqueued;
+
+  if (!paused_ && occupancy_ >= params_.xoff_bytes) {
+    paused_ = true;
+    ++counters_.pause_frames;
+  }
+  return true;
+}
+
+std::optional<Packet> PfcQueue::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  occupancy_ -= pkt.size();
+  ++counters_.dequeued;
+
+  if (paused_ && occupancy_ <= params_.xon_bytes) {
+    paused_ = false;
+    ++counters_.resume_frames;
+  }
+  return pkt;
+}
+
+}  // namespace dta::net

@@ -1,0 +1,65 @@
+// Priority Flow Control (paper §7 "Flow Control in DTA").
+//
+// "DTA does not assure reliable delivery. However, it can be used in
+// conjunction with flow control mechanisms that allow for lossless
+// delivery of data [PFC, Backpressure]."
+//
+// Models an IEEE 802.1Qbb PFC-protected ingress queue: when occupancy
+// crosses the XOFF threshold the receiver emits a PAUSE toward the
+// sender, which stops transmitting until occupancy drains below XON.
+// Properly sized thresholds (headroom >= in-flight bytes) guarantee
+// zero loss — the lossless-delivery mode the integration tests exercise
+// for DTA report transport.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/packet.h"
+
+namespace dta::net {
+
+struct PfcParams {
+  std::size_t capacity_bytes = 256 * 1024;
+  std::size_t xoff_bytes = 192 * 1024;  // pause above this
+  std::size_t xon_bytes = 64 * 1024;    // resume below this
+};
+
+struct PfcCounters {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped_overflow = 0;  // only if thresholds are mis-sized
+  std::uint64_t pause_frames = 0;
+  std::uint64_t resume_frames = 0;
+};
+
+class PfcQueue {
+ public:
+  explicit PfcQueue(PfcParams params = {});
+
+  // Sender side: true if the sender may transmit (not paused).
+  bool can_send() const { return !paused_; }
+
+  // Receiver side: accepts one frame. Returns false only on overflow
+  // (which correctly sized PFC headroom prevents).
+  bool enqueue(Packet&& pkt);
+
+  // Drains one frame (the downstream consumer). May emit a RESUME.
+  std::optional<Packet> dequeue();
+
+  std::size_t occupancy_bytes() const { return occupancy_; }
+  std::size_t depth() const { return queue_.size(); }
+  bool paused() const { return paused_; }
+  const PfcCounters& counters() const { return counters_; }
+
+ private:
+  PfcParams params_;
+  std::deque<Packet> queue_;
+  std::size_t occupancy_ = 0;
+  bool paused_ = false;
+  PfcCounters counters_;
+};
+
+}  // namespace dta::net

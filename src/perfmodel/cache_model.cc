@@ -1,0 +1,81 @@
+#include "perfmodel/cache_model.h"
+
+#include <algorithm>
+
+namespace dta::perfmodel {
+
+double CacheModel::phase_cycles(const PhaseCounts& pc) const {
+  const double seq = static_cast<double>(pc.sequential());
+  const double rnd = static_cast<double>(pc.random());
+  const double rand_cycles =
+      rnd * (params_.llc_hit_rate_random * params_.rand_hit_cycles +
+             (1.0 - params_.llc_hit_rate_random) * params_.dram_latency_cycles);
+  const double seq_cycles = seq * params_.seq_access_cycles;
+  const double alu = (seq + rnd) * params_.alu_cycles_per_access;
+  return seq_cycles + rand_cycles + alu;
+}
+
+CycleEstimate CacheModel::estimate(const MemCounter& counter,
+                                   std::uint64_t reports) const {
+  CycleEstimate est;
+  if (reports == 0) return est;
+  const double n = static_cast<double>(reports);
+
+  est.io_cycles = phase_cycles(counter.phase(Phase::kIo)) / n;
+  est.parse_cycles = phase_cycles(counter.phase(Phase::kParse)) / n;
+  est.insert_cycles = phase_cycles(counter.phase(Phase::kInsert)) / n;
+  est.cycles_per_report = est.io_cycles + est.parse_cycles + est.insert_cycles;
+
+  // Stall cycles: the DRAM-latency part of random misses.
+  double stall = 0;
+  double total_accesses = 0;
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const auto& pc = counter.phase(static_cast<Phase>(p));
+    stall += static_cast<double>(pc.random()) *
+             (1.0 - params_.llc_hit_rate_random) * params_.dram_latency_cycles;
+    total_accesses += static_cast<double>(pc.total());
+  }
+  stall /= n;
+  est.stall_fraction =
+      est.cycles_per_report > 0 ? stall / est.cycles_per_report : 0.0;
+  return est;
+}
+
+ScalingPoint CacheModel::scale(const MemCounter& counter,
+                               std::uint64_t reports, int cores) const {
+  ScalingPoint pt;
+  pt.cores = cores;
+  if (reports == 0 || cores <= 0) return pt;
+
+  const CycleEstimate est = estimate(counter, reports);
+  const double hz = params_.clock_ghz * 1e9;
+
+  // Unconstrained (CPU-only) throughput: cores run independently.
+  const double cpu_rate =
+      static_cast<double>(cores) * hz / est.cycles_per_report;
+
+  // DRAM ceiling: random accesses per report shared across the socket.
+  const double rand_per_report =
+      static_cast<double>(counter.total_random()) / static_cast<double>(reports);
+  const double dram_miss_per_report =
+      rand_per_report * (1.0 - params_.llc_hit_rate_random);
+  const double dram_rate = dram_miss_per_report > 0
+                               ? params_.dram_random_ops_per_sec / dram_miss_per_report
+                               : cpu_rate;
+
+  pt.reports_per_sec = std::min(cpu_rate, dram_rate);
+
+  // Stall fraction grows as the socket approaches the DRAM ceiling: queueing
+  // inflates the effective memory latency. We model the inflation with an
+  // M/D/1-style factor 1/(1-rho) capped at 4x.
+  const double rho = std::min(0.95, cpu_rate > 0 ? pt.reports_per_sec *
+                                                       dram_miss_per_report /
+                                                       params_.dram_random_ops_per_sec
+                                                 : 0.0);
+  const double inflation = std::min(4.0, 1.0 / (1.0 - rho));
+  const double base_stall = est.stall_fraction;
+  pt.stall_fraction = std::min(0.95, base_stall * inflation);
+  return pt;
+}
+
+}  // namespace dta::perfmodel

@@ -1,0 +1,75 @@
+// Cycle cost model for the instrumented collectors.
+//
+// Converts the access counts recorded by MemCounter into estimated CPU
+// cycles and memory-stall fractions, reproducing the methodology of
+// Figures 2 and 3 (paper §2). Calibrated against the paper's testbed:
+// 2x Intel Xeon Silver 4114 @ 2.20 GHz, DDR4-2667.
+//
+// The model is deliberately simple — it only needs to capture the two
+// regimes the paper demonstrates:
+//   * CPU-bound collectors (MultiLog): many instructions per report, hit
+//     mostly in cache, so throughput scales with cores;
+//   * memory-bound collectors (Cuckoo): few instructions but random DRAM
+//     probes, so adding cores saturates the memory subsystem and stall
+//     fractions climb (Figure 2b).
+#pragma once
+
+#include <cstdint>
+
+#include "perfmodel/mem_counter.h"
+
+namespace dta::perfmodel {
+
+struct CpuParams {
+  double clock_ghz = 2.20;         // Xeon Silver 4114
+  double seq_access_cycles = 1.0;  // L1-resident / prefetched accesses
+  double rand_hit_cycles = 14.0;   // L2/LLC hit
+  double dram_latency_cycles = 180.0;
+  double llc_hit_rate_random = 0.80;  // random probes hitting on-chip cache
+  double alu_cycles_per_access = 2.0; // non-memory work interleaved per access
+  // DRAM random-miss ceiling of the socket: cache-missing accesses per
+  // second the memory subsystem sustains (2 channels DDR4-2667; random
+  // access pattern, limited bank parallelism). This is what caps the
+  // Cuckoo collector at ~11 cores in Figure 2.
+  double dram_random_ops_per_sec = 48e6;
+  int cores = 16;
+};
+
+struct CycleEstimate {
+  double cycles_per_report = 0;
+  double io_cycles = 0;
+  double parse_cycles = 0;
+  double insert_cycles = 0;
+  double stall_fraction = 0;  // fraction of cycles waiting on memory
+};
+
+struct ScalingPoint {
+  int cores = 0;
+  double reports_per_sec = 0;
+  double stall_fraction = 0;
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(CpuParams params = {}) : params_(params) {}
+
+  // Per-report cycle estimate from a counter that accumulated exactly
+  // `reports` reports.
+  CycleEstimate estimate(const MemCounter& counter, std::uint64_t reports) const;
+
+  // Multi-core scaling: per-core throughput limited by cycles/report,
+  // and socket-wide throughput additionally limited by the DRAM random
+  // access ceiling. This produces the linear-then-flat curve of Fig. 2a
+  // and the climbing stall fraction of Fig. 2b.
+  ScalingPoint scale(const MemCounter& counter, std::uint64_t reports,
+                     int cores) const;
+
+  const CpuParams& params() const { return params_; }
+
+ private:
+  double phase_cycles(const PhaseCounts& pc) const;
+
+  CpuParams params_;
+};
+
+}  // namespace dta::perfmodel

@@ -1,0 +1,51 @@
+#include "perfmodel/mem_counter.h"
+
+#include <sstream>
+
+namespace dta::perfmodel {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kIo:
+      return "I/O";
+    case Phase::kParse:
+      return "Parsing";
+    case Phase::kInsert:
+      return "Insertion";
+  }
+  return "?";
+}
+
+const char* access_name(Access a) {
+  switch (a) {
+    case Access::kSeqLoad:
+      return "seq-load";
+    case Access::kSeqStore:
+      return "seq-store";
+    case Access::kRandLoad:
+      return "rand-load";
+    case Access::kRandStore:
+      return "rand-store";
+  }
+  return "?";
+}
+
+void MemCounter::merge(const MemCounter& other) {
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    for (std::size_t k = 0; k < kNumAccessKinds; ++k) {
+      counts_[p].by_kind[k] += other.counts_[p].by_kind[k];
+    }
+  }
+}
+
+std::string MemCounter::summary() const {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const auto& pc = counts_[p];
+    os << phase_name(static_cast<Phase>(p)) << ": total=" << pc.total()
+       << " (seq=" << pc.sequential() << " rand=" << pc.random() << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace dta::perfmodel

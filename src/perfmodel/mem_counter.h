@@ -1,0 +1,88 @@
+// Instrumented memory accounting.
+//
+// Figures 2c and 8 of the paper report *memory instructions per report*
+// for collector ingest paths, split by phase (I/O, parsing, insertion).
+// The authors measured this with CPU performance counters; our substrate
+// counts the accesses explicitly: every data structure on an instrumented
+// path calls `MemCounter::record` alongside the real memory operation.
+//
+// The counters distinguish sequential accesses (prefetch-friendly, almost
+// always cache hits) from random accesses (hash-table probes, index
+// walks), because the downstream cycle model (cache_model.h) prices them
+// very differently — that distinction is exactly what makes the Cuckoo
+// collector memory-bound in Figure 2b.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dta::perfmodel {
+
+enum class Phase : std::uint8_t { kIo = 0, kParse = 1, kInsert = 2 };
+inline constexpr std::size_t kNumPhases = 3;
+
+enum class Access : std::uint8_t {
+  kSeqLoad = 0,
+  kSeqStore = 1,
+  kRandLoad = 2,
+  kRandStore = 3,
+};
+inline constexpr std::size_t kNumAccessKinds = 4;
+
+const char* phase_name(Phase p);
+const char* access_name(Access a);
+
+struct PhaseCounts {
+  std::array<std::uint64_t, kNumAccessKinds> by_kind{};
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (auto v : by_kind) sum += v;
+    return sum;
+  }
+  std::uint64_t random() const {
+    return by_kind[2] + by_kind[3];
+  }
+  std::uint64_t sequential() const {
+    return by_kind[0] + by_kind[1];
+  }
+};
+
+// Per-thread counter set. Instrumented code takes a MemCounter& so tests
+// can inject a fresh one; the baseline collectors own one per worker.
+class MemCounter {
+ public:
+  void record(Phase phase, Access kind, std::uint64_t count = 1) {
+    counts_[static_cast<std::size_t>(phase)]
+        .by_kind[static_cast<std::size_t>(kind)] += count;
+  }
+
+  const PhaseCounts& phase(Phase p) const {
+    return counts_[static_cast<std::size_t>(p)];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& pc : counts_) sum += pc.total();
+    return sum;
+  }
+
+  std::uint64_t total_random() const {
+    std::uint64_t sum = 0;
+    for (const auto& pc : counts_) sum += pc.random();
+    return sum;
+  }
+
+  void reset() { counts_ = {}; }
+
+  // Merges another counter (for aggregating worker threads).
+  void merge(const MemCounter& other);
+
+  std::string summary() const;
+
+ private:
+  std::array<PhaseCounts, kNumPhases> counts_{};
+};
+
+}  // namespace dta::perfmodel

@@ -1,0 +1,76 @@
+#include "rdma/cm.h"
+
+namespace dta::rdma {
+
+namespace {
+constexpr std::uint32_t kReqMagic = 0xD7A0C001;
+constexpr std::uint32_t kAccMagic = 0xD7A0C002;
+}  // namespace
+
+void RegionAdvert::encode(common::Bytes& out) const {
+  common::put_u8(out, static_cast<std::uint8_t>(kind));
+  common::put_u32(out, rkey);
+  common::put_u64(out, base_va);
+  common::put_u64(out, length);
+  common::put_u32(out, param1);
+  common::put_u64(out, param2);
+}
+
+std::optional<RegionAdvert> RegionAdvert::decode(common::Cursor& cur) {
+  RegionAdvert r;
+  r.kind = static_cast<RegionKind>(cur.u8());
+  r.rkey = cur.u32();
+  r.base_va = cur.u64();
+  r.length = cur.u64();
+  r.param1 = cur.u32();
+  r.param2 = cur.u64();
+  if (!cur.ok()) return std::nullopt;
+  return r;
+}
+
+common::Bytes ConnectRequest::encode() const {
+  common::Bytes out;
+  common::put_u32(out, kReqMagic);
+  common::put_u32(out, requester_qpn);
+  common::put_u32(out, start_psn);
+  return out;
+}
+
+std::optional<ConnectRequest> ConnectRequest::decode(
+    common::ByteSpan payload) {
+  common::Cursor cur(payload);
+  if (cur.u32() != kReqMagic) return std::nullopt;
+  ConnectRequest r;
+  r.requester_qpn = cur.u32();
+  r.start_psn = cur.u32();
+  if (!cur.ok()) return std::nullopt;
+  return r;
+}
+
+common::Bytes ConnectAccept::encode() const {
+  common::Bytes out;
+  common::put_u32(out, kAccMagic);
+  common::put_u32(out, responder_qpn);
+  common::put_u32(out, start_psn);
+  common::put_u16(out, static_cast<std::uint16_t>(regions.size()));
+  for (const auto& r : regions) r.encode(out);
+  return out;
+}
+
+std::optional<ConnectAccept> ConnectAccept::decode(common::ByteSpan payload) {
+  common::Cursor cur(payload);
+  if (cur.u32() != kAccMagic) return std::nullopt;
+  ConnectAccept a;
+  a.responder_qpn = cur.u32();
+  a.start_psn = cur.u32();
+  const std::uint16_t n = cur.u16();
+  for (std::uint16_t i = 0; i < n; ++i) {
+    auto r = RegionAdvert::decode(cur);
+    if (!r) return std::nullopt;
+    a.regions.push_back(*r);
+  }
+  if (!cur.ok()) return std::nullopt;
+  return a;
+}
+
+}  // namespace dta::rdma

@@ -1,0 +1,63 @@
+// RDMA connection management.
+//
+// The translator's control program "sets up the RDMA connection to the
+// collector by crafting RDMA Communication Manager (RDMA_CM) packets,
+// which are then injected into the ASIC" (paper §5.2), and the collector
+// "advertises primitive-specific metadata to the translator using
+// RDMA-Send packets" (§5.3). We model that exchange with a compact
+// request/accept handshake that carries QPNs, starting PSNs, and the
+// per-primitive memory region descriptors (rkey, base VA, length, plus
+// primitive-specific geometry like slot size or list count).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dta::rdma {
+
+// Identifies which DTA primitive a memory region backs (mirrored from
+// dta/wire.h values; duplicated here to keep rdma independent of dta).
+enum class RegionKind : std::uint8_t {
+  kKeyWrite = 1,
+  kAppend = 2,
+  kKeyIncrement = 3,
+  kPostcarding = 4,
+};
+
+struct RegionAdvert {
+  RegionKind kind = RegionKind::kKeyWrite;
+  std::uint32_t rkey = 0;
+  std::uint64_t base_va = 0;
+  std::uint64_t length = 0;
+  // Geometry, meaning depends on kind:
+  //  KeyWrite / KeyIncrement: slot size in bytes, number of slots;
+  //  Append: entry size, entries per list (param2 = number of lists in hi32);
+  //  Postcarding: slot size (b/8), number of chunks.
+  std::uint32_t param1 = 0;
+  std::uint64_t param2 = 0;
+
+  void encode(common::Bytes& out) const;
+  static std::optional<RegionAdvert> decode(common::Cursor& cur);
+};
+
+struct ConnectRequest {
+  std::uint32_t requester_qpn = 0;
+  std::uint32_t start_psn = 0;
+
+  common::Bytes encode() const;
+  static std::optional<ConnectRequest> decode(common::ByteSpan payload);
+};
+
+struct ConnectAccept {
+  std::uint32_t responder_qpn = 0;
+  std::uint32_t start_psn = 0;
+  std::vector<RegionAdvert> regions;
+
+  common::Bytes encode() const;
+  static std::optional<ConnectAccept> decode(common::ByteSpan payload);
+};
+
+}  // namespace dta::rdma

@@ -1,0 +1,42 @@
+#include "rdma/memory_region.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dta::rdma {
+
+MemoryRegion::MemoryRegion(std::uint64_t base_va, std::size_t length,
+                           std::uint32_t rkey, std::uint32_t access)
+    : base_va_(base_va), rkey_(rkey), access_(access), buffer_(length, 0) {}
+
+void MemoryRegion::zero() {
+  std::fill(buffer_.begin(), buffer_.end(), std::uint8_t{0});
+}
+
+MemoryRegion* ProtectionDomain::register_region(std::size_t length,
+                                                std::uint32_t access) {
+  const std::uint64_t va = next_va_;
+  // Advance the fake address space, 4 KiB aligned, with a guard page.
+  const std::uint64_t aligned = (length + 0xFFFull) & ~0xFFFull;
+  next_va_ += aligned + 0x1000;
+  auto region =
+      std::make_unique<MemoryRegion>(va, length, next_rkey_++, access);
+  regions_.push_back(std::move(region));
+  return regions_.back().get();
+}
+
+MemoryRegion* ProtectionDomain::find(std::uint32_t rkey) {
+  for (auto& r : regions_) {
+    if (r->rkey() == rkey) return r.get();
+  }
+  return nullptr;
+}
+
+const MemoryRegion* ProtectionDomain::find(std::uint32_t rkey) const {
+  for (const auto& r : regions_) {
+    if (r->rkey() == rkey) return r.get();
+  }
+  return nullptr;
+}
+
+}  // namespace dta::rdma

@@ -1,0 +1,76 @@
+// Registered memory regions.
+//
+// Models ibv_reg_mr: a collector-side buffer exposed for remote access
+// under an rkey. The paper allocates all RDMA-registered memory on 1 GiB
+// huge pages; our regions are single contiguous allocations, which gives
+// the same flat virtual-address arithmetic the translator relies on
+// (base + slot * slot_size).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dta::rdma {
+
+enum AccessFlags : std::uint32_t {
+  kRemoteWrite = 1u << 0,
+  kRemoteRead = 1u << 1,
+  kRemoteAtomic = 1u << 2,
+};
+
+class MemoryRegion {
+ public:
+  MemoryRegion(std::uint64_t base_va, std::size_t length, std::uint32_t rkey,
+               std::uint32_t access);
+
+  std::uint64_t base_va() const { return base_va_; }
+  std::size_t length() const { return buffer_.size(); }
+  std::uint32_t rkey() const { return rkey_; }
+  std::uint32_t access() const { return access_; }
+
+  bool contains(std::uint64_t va, std::size_t len) const {
+    return va >= base_va_ && va + len <= base_va_ + buffer_.size() &&
+           va + len >= va;  // overflow guard
+  }
+
+  // Host-side (collector CPU) view of the memory.
+  std::uint8_t* data() { return buffer_.data(); }
+  const std::uint8_t* data() const { return buffer_.data(); }
+
+  std::uint8_t* at(std::uint64_t va) { return buffer_.data() + (va - base_va_); }
+  const std::uint8_t* at(std::uint64_t va) const {
+    return buffer_.data() + (va - base_va_);
+  }
+
+  void zero();
+
+ private:
+  std::uint64_t base_va_;
+  std::uint32_t rkey_;
+  std::uint32_t access_;
+  std::vector<std::uint8_t> buffer_;
+};
+
+// The protection domain owns regions and hands out rkeys, like ibv_pd.
+class ProtectionDomain {
+ public:
+  // Registers a region of `length` bytes; the virtual base address is
+  // assigned by the domain (contiguous 4 KiB-aligned carve-outs from a
+  // fake address space, so distinct regions never alias).
+  MemoryRegion* register_region(std::size_t length, std::uint32_t access);
+
+  MemoryRegion* find(std::uint32_t rkey);
+  const MemoryRegion* find(std::uint32_t rkey) const;
+
+  std::size_t region_count() const { return regions_.size(); }
+
+ private:
+  std::uint64_t next_va_ = 0x100000000000ull;  // arbitrary high VA
+  std::uint32_t next_rkey_ = 0x1000;
+  std::vector<std::unique_ptr<MemoryRegion>> regions_;
+};
+
+}  // namespace dta::rdma

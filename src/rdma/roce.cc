@@ -1,0 +1,184 @@
+#include "rdma/roce.h"
+
+#include "common/crc.h"
+
+namespace dta::rdma {
+
+using common::Bytes;
+using common::ByteSpan;
+using common::Cursor;
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kSendOnly: return "SEND_ONLY";
+    case Opcode::kSendOnlyImm: return "SEND_ONLY_IMM";
+    case Opcode::kWriteFirst: return "WRITE_FIRST";
+    case Opcode::kWriteMiddle: return "WRITE_MIDDLE";
+    case Opcode::kWriteLast: return "WRITE_LAST";
+    case Opcode::kWriteOnly: return "WRITE_ONLY";
+    case Opcode::kWriteOnlyImm: return "WRITE_ONLY_IMM";
+    case Opcode::kAcknowledge: return "ACK";
+    case Opcode::kAtomicAcknowledge: return "ATOMIC_ACK";
+    case Opcode::kFetchAdd: return "FETCH_ADD";
+  }
+  return "?";
+}
+
+bool opcode_has_reth(Opcode op) {
+  return op == Opcode::kWriteFirst || op == Opcode::kWriteOnly ||
+         op == Opcode::kWriteOnlyImm;
+}
+
+bool opcode_has_atomic_eth(Opcode op) { return op == Opcode::kFetchAdd; }
+
+bool opcode_has_imm(Opcode op) {
+  return op == Opcode::kSendOnlyImm || op == Opcode::kWriteOnlyImm;
+}
+
+// ---------------------------------------------------------------------- BTH
+
+void Bth::encode(Bytes& out) const {
+  common::put_u8(out, static_cast<std::uint8_t>(opcode));
+  std::uint8_t flags = 0;
+  if (solicited_event) flags |= 0x80;
+  flags |= 0x40;  // MigReq, always set like real HCAs
+  common::put_u8(out, flags);
+  common::put_u16(out, partition_key);
+  common::put_u32(out, dest_qpn & 0x00FFFFFFu);  // reserved byte + QPN
+  std::uint32_t psn_word = psn & 0x00FFFFFFu;
+  if (ack_request) psn_word |= 0x80000000u;
+  common::put_u32(out, psn_word);
+}
+
+std::optional<Bth> Bth::decode(Cursor& cur) {
+  Bth h;
+  h.opcode = static_cast<Opcode>(cur.u8());
+  const std::uint8_t flags = cur.u8();
+  h.solicited_event = (flags & 0x80) != 0;
+  h.partition_key = cur.u16();
+  h.dest_qpn = cur.u32() & 0x00FFFFFFu;
+  const std::uint32_t psn_word = cur.u32();
+  h.ack_request = (psn_word & 0x80000000u) != 0;
+  h.psn = psn_word & 0x00FFFFFFu;
+  if (!cur.ok()) return std::nullopt;
+  return h;
+}
+
+// --------------------------------------------------------------------- RETH
+
+void Reth::encode(Bytes& out) const {
+  common::put_u64(out, virtual_addr);
+  common::put_u32(out, rkey);
+  common::put_u32(out, dma_length);
+}
+
+std::optional<Reth> Reth::decode(Cursor& cur) {
+  Reth h;
+  h.virtual_addr = cur.u64();
+  h.rkey = cur.u32();
+  h.dma_length = cur.u32();
+  if (!cur.ok()) return std::nullopt;
+  return h;
+}
+
+// ---------------------------------------------------------------- AtomicETH
+
+void AtomicEth::encode(Bytes& out) const {
+  common::put_u64(out, virtual_addr);
+  common::put_u32(out, rkey);
+  common::put_u64(out, swap_add);
+  common::put_u64(out, compare);
+}
+
+std::optional<AtomicEth> AtomicEth::decode(Cursor& cur) {
+  AtomicEth h;
+  h.virtual_addr = cur.u64();
+  h.rkey = cur.u32();
+  h.swap_add = cur.u64();
+  h.compare = cur.u64();
+  if (!cur.ok()) return std::nullopt;
+  return h;
+}
+
+// --------------------------------------------------------------------- AETH
+
+void Aeth::encode(Bytes& out) const {
+  common::put_u8(out, static_cast<std::uint8_t>(syndrome));
+  common::put_u8(out, static_cast<std::uint8_t>(msn >> 16));
+  common::put_u8(out, static_cast<std::uint8_t>(msn >> 8));
+  common::put_u8(out, static_cast<std::uint8_t>(msn));
+}
+
+std::optional<Aeth> Aeth::decode(Cursor& cur) {
+  Aeth h;
+  h.syndrome = static_cast<AethSyndrome>(cur.u8());
+  std::uint32_t msn = cur.u8();
+  msn = (msn << 8) | cur.u8();
+  msn = (msn << 8) | cur.u8();
+  h.msn = msn;
+  if (!cur.ok()) return std::nullopt;
+  return h;
+}
+
+// ------------------------------------------------------------ whole packets
+
+Bytes build_roce_datagram(const Bth& bth, const Reth* reth,
+                          const AtomicEth* atomic,
+                          const std::uint32_t* immediate, const Aeth* aeth,
+                          ByteSpan payload) {
+  Bytes out;
+  out.reserve(Bth::kSize + Reth::kSize + payload.size() + 4);
+  bth.encode(out);
+  if (reth) reth->encode(out);
+  if (atomic) atomic->encode(out);
+  if (aeth) aeth->encode(out);
+  if (immediate) common::put_u32(out, *immediate);
+  common::put_bytes(out, payload);
+  const std::uint32_t icrc = common::checksum_crc().compute(ByteSpan(out));
+  common::put_u32(out, icrc);
+  return out;
+}
+
+std::optional<RocePacketView> parse_roce_datagram(ByteSpan datagram) {
+  if (datagram.size() < Bth::kSize + 4) return std::nullopt;
+
+  // Validate ICRC first (over everything except the trailing 4 bytes).
+  const ByteSpan body = datagram.subspan(0, datagram.size() - 4);
+  const std::uint32_t expect =
+      common::load_u32(datagram.data() + datagram.size() - 4);
+  const bool icrc_ok = common::checksum_crc().compute(body) == expect;
+
+  Cursor cur(body);
+  RocePacketView view;
+  view.icrc_ok = icrc_ok;
+
+  auto bth = Bth::decode(cur);
+  if (!bth) return std::nullopt;
+  view.bth = *bth;
+
+  if (opcode_has_reth(view.bth.opcode)) {
+    auto reth = Reth::decode(cur);
+    if (!reth) return std::nullopt;
+    view.reth = *reth;
+  }
+  if (opcode_has_atomic_eth(view.bth.opcode)) {
+    auto atomic = AtomicEth::decode(cur);
+    if (!atomic) return std::nullopt;
+    view.atomic = *atomic;
+  }
+  if (view.bth.opcode == Opcode::kAcknowledge ||
+      view.bth.opcode == Opcode::kAtomicAcknowledge) {
+    auto aeth = Aeth::decode(cur);
+    if (!aeth) return std::nullopt;
+    view.aeth = *aeth;
+  }
+  if (opcode_has_imm(view.bth.opcode)) {
+    view.immediate = cur.u32();
+    if (!cur.ok()) return std::nullopt;
+  }
+
+  view.payload = body.subspan(cur.position());
+  return view;
+}
+
+}  // namespace dta::rdma

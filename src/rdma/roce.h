@@ -1,0 +1,118 @@
+// RoCEv2 wire format (InfiniBand transport headers over UDP/IPv4).
+//
+// The DTA translator crafts these headers in the switch ASIC ("completely
+// substituting the DTA headers with the specific RoCEv2 headers required
+// by the DTA operation", paper §5.2). We implement the subset the
+// prototype uses:
+//   * BTH  — base transport header (12B): opcode, QPN, PSN, ack-request;
+//   * RETH — RDMA extended transport header (16B): VA, rkey, DMA length,
+//            for RDMA WRITE;
+//   * AtomicETH (28B): VA, rkey, swap/add & compare operands, for
+//            FETCH_ADD;
+//   * AETH — ACK extended transport header (4B): syndrome + MSN, for
+//            responder ACK/NAK;
+//   * ImmDt (4B): immediate data (DTA's `immediate` flag rides this to
+//            raise a CPU interrupt at the collector).
+//
+// The invariant CRC (ICRC) is modeled as a trailing CRC-32 over the
+// payload bytes; we do not replicate the masked-field rules of the IB
+// spec, but we do validate it end-to-end so corruption is detectable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace dta::rdma {
+
+enum class Opcode : std::uint8_t {
+  // RC (reliable connection) opcodes, values from the IBTA spec.
+  kSendOnly = 0x04,
+  kSendOnlyImm = 0x05,
+  kWriteFirst = 0x06,
+  kWriteMiddle = 0x07,
+  kWriteLast = 0x08,
+  kWriteOnly = 0x0A,
+  kWriteOnlyImm = 0x0B,
+  kAcknowledge = 0x11,
+  kAtomicAcknowledge = 0x12,
+  kFetchAdd = 0x14,
+};
+
+const char* opcode_name(Opcode op);
+bool opcode_has_reth(Opcode op);
+bool opcode_has_atomic_eth(Opcode op);
+bool opcode_has_imm(Opcode op);
+
+struct Bth {
+  Opcode opcode = Opcode::kWriteOnly;
+  bool solicited_event = false;
+  bool ack_request = false;
+  std::uint16_t partition_key = 0xFFFF;
+  std::uint32_t dest_qpn = 0;  // 24-bit
+  std::uint32_t psn = 0;       // 24-bit packet sequence number
+
+  static constexpr std::size_t kSize = 12;
+  void encode(common::Bytes& out) const;
+  static std::optional<Bth> decode(common::Cursor& cur);
+};
+
+struct Reth {
+  std::uint64_t virtual_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t dma_length = 0;
+
+  static constexpr std::size_t kSize = 16;
+  void encode(common::Bytes& out) const;
+  static std::optional<Reth> decode(common::Cursor& cur);
+};
+
+struct AtomicEth {
+  std::uint64_t virtual_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t swap_add = 0;  // the addend for FETCH_ADD
+  std::uint64_t compare = 0;   // unused by FETCH_ADD
+
+  static constexpr std::size_t kSize = 28;
+  void encode(common::Bytes& out) const;
+  static std::optional<AtomicEth> decode(common::Cursor& cur);
+};
+
+enum class AethSyndrome : std::uint8_t {
+  kAck = 0x00,
+  kRnrNak = 0x20,
+  kPsnSeqNak = 0x60,
+  kRemoteAccessNak = 0x62,
+};
+
+struct Aeth {
+  AethSyndrome syndrome = AethSyndrome::kAck;
+  std::uint32_t msn = 0;  // 24-bit message sequence number
+
+  static constexpr std::size_t kSize = 4;
+  void encode(common::Bytes& out) const;
+  static std::optional<Aeth> decode(common::Cursor& cur);
+};
+
+// A fully parsed RoCEv2 datagram (the UDP payload of a RoCE packet).
+struct RocePacketView {
+  Bth bth;
+  std::optional<Reth> reth;
+  std::optional<AtomicEth> atomic;
+  std::optional<std::uint32_t> immediate;
+  std::optional<Aeth> aeth;
+  common::ByteSpan payload;  // points into the original buffer
+  bool icrc_ok = false;
+};
+
+// Serializes one RoCE datagram: BTH [+RETH|AtomicETH] [+ImmDt] [payload]
+// + ICRC.
+common::Bytes build_roce_datagram(const Bth& bth, const Reth* reth,
+                                  const AtomicEth* atomic,
+                                  const std::uint32_t* immediate,
+                                  const Aeth* aeth, common::ByteSpan payload);
+
+std::optional<RocePacketView> parse_roce_datagram(common::ByteSpan datagram);
+
+}  // namespace dta::rdma

@@ -1,0 +1,58 @@
+#include "reporter/int_switch.h"
+
+#include "telemetry/records.h"
+
+namespace dta::reporter {
+
+bool IntSwitch::sampled(const net::FiveTuple& flow, std::uint32_t sample_mod,
+                        std::uint32_t sample_keep) {
+  if (sample_mod == 0) return true;
+  // The sampling hash must be independent of the slot/checksum CRCs so
+  // that sampled flows are not biased toward particular store slots; a
+  // plain multiplicative mix of the flow hash suffices.
+  const std::uint64_t h = net::flow_hash64(flow) * 0x94D049BB133111EBull;
+  return (h >> 32) % sample_mod < sample_keep;
+}
+
+std::optional<net::Packet> IntSwitch::process(
+    const telemetry::TracePacket& packet) {
+  ++stats_.packets_seen;
+  if (!sampled(packet.flow, config_.sample_mod, config_.sample_keep)) {
+    return std::nullopt;
+  }
+  ++stats_.packets_sampled;
+
+  telemetry::IntPostcard card;
+  card.flow = packet.flow;
+  card.hop = config_.my_hop;
+  card.path_len = config_.path_len;
+  card.value = config_.switch_id;
+  ++stats_.postcards_emitted;
+  return reporter_.make_frame(card.to_dta(config_.redundancy));
+}
+
+IntSwitchPath::IntSwitchPath(const std::vector<std::uint32_t>& switch_ids,
+                             std::uint32_t sample_mod) {
+  for (std::uint8_t hop = 0; hop < switch_ids.size(); ++hop) {
+    IntSwitchConfig config;
+    config.switch_id = switch_ids[hop];
+    config.my_hop = hop;
+    config.path_len = static_cast<std::uint8_t>(switch_ids.size());
+    config.sample_mod = sample_mod;
+    config.reporter.ip = 0x0A020000 + hop;
+    switches_.push_back(std::make_unique<IntSwitch>(config));
+  }
+}
+
+std::vector<net::Packet> IntSwitchPath::process(
+    const telemetry::TracePacket& packet) {
+  std::vector<net::Packet> frames;
+  for (auto& sw : switches_) {
+    if (auto frame = sw->process(packet)) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+  return frames;
+}
+
+}  // namespace dta::reporter

@@ -1,0 +1,88 @@
+// Reporter switch dataplane (paper §5.1).
+//
+// "DTA reports are generated entirely in the data plane and the logic is
+// in charge of encapsulating the telemetry report into a UDP packet
+// followed by the two DTA-specific headers."
+//
+// This models the full per-packet pipeline of an INT-enabled reporter
+// switch: forwarding decision, INT sampling (flow-consistent, hash-based
+// like the Tofino implementation — sampling must pick the *same*
+// packets at every hop or postcards never assemble into paths),
+// postcard generation, and DTA encapsulation. It consumes trace packets
+// and emits ready-to-send DTA frames, closing the loop between the
+// traffic model and the reporter protocol stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "reporter/reporter.h"
+#include "telemetry/trace.h"
+
+namespace dta::reporter {
+
+struct IntSwitchConfig {
+  std::uint32_t switch_id = 1;
+  std::uint8_t my_hop = 0;       // position of this switch on paths
+  std::uint8_t path_len = 5;
+  // Flow-consistent sampling: a packet is sampled iff
+  // hash(flow) mod sample_mod < sample_keep. All switches share the
+  // function, so they sample the same packets (INT-XD requirement).
+  std::uint32_t sample_mod = 200;   // 1/200 = 0.5%, Table 1's rate
+  std::uint32_t sample_keep = 1;
+  std::uint8_t redundancy = 1;
+  ReporterConfig reporter;
+};
+
+struct IntSwitchStats {
+  std::uint64_t packets_seen = 0;
+  std::uint64_t packets_sampled = 0;
+  std::uint64_t postcards_emitted = 0;
+};
+
+class IntSwitch {
+ public:
+  explicit IntSwitch(IntSwitchConfig config)
+      : config_(config), reporter_(config.reporter) {}
+
+  const IntSwitchConfig& config() const { return config_; }
+
+  // Whether this switch (and every other sharing the function) samples
+  // the packet. Pure function of the flow, per the data-plane hash.
+  static bool sampled(const net::FiveTuple& flow, std::uint32_t sample_mod,
+                      std::uint32_t sample_keep);
+
+  // Processes one forwarded packet; returns the DTA postcard frame if
+  // the packet was sampled.
+  std::optional<net::Packet> process(const telemetry::TracePacket& packet);
+
+  const IntSwitchStats& stats() const { return stats_; }
+  Reporter& reporter() { return reporter_; }
+
+ private:
+  IntSwitchConfig config_;
+  Reporter reporter_;
+  IntSwitchStats stats_;
+};
+
+// A path of INT switches: runs the same packet through each hop's
+// dataplane (each emits its own postcard frame when sampled).
+class IntSwitchPath {
+ public:
+  IntSwitchPath(const std::vector<std::uint32_t>& switch_ids,
+                std::uint32_t sample_mod = 200);
+
+  // All frames the path's switches emit for one packet (empty when the
+  // packet is not sampled).
+  std::vector<net::Packet> process(const telemetry::TracePacket& packet);
+
+  IntSwitch& at(std::size_t hop) { return *switches_[hop]; }
+  std::size_t hops() const { return switches_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<IntSwitch>> switches_;
+};
+
+}  // namespace dta::reporter

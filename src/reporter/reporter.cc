@@ -1,0 +1,23 @@
+#include "reporter/reporter.h"
+
+namespace dta::reporter {
+
+net::Packet Reporter::make_frame(const proto::Report& report, bool immediate) {
+  proto::DtaHeader hdr;
+  hdr.immediate = immediate;
+  const common::Bytes payload = proto::encode_dta_payload(hdr, report);
+
+  net::Packet pkt(net::build_udp_frame(
+      config_.gateway_mac, config_.mac, config_.ip, config_.collector_ip,
+      config_.src_port, net::kDtaUdpPort, common::ByteSpan(payload)));
+  ++stats_.reports_sent;
+  stats_.bytes_sent += pkt.size();
+  return pkt;
+}
+
+void Reporter::handle_nack(const proto::NackReport& nack) {
+  ++stats_.nacks_received;
+  stats_.reports_dropped_remote += nack.dropped_count;
+}
+
+}  // namespace dta::reporter

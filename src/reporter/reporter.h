@@ -1,0 +1,52 @@
+// The DTA reporter (paper §5.1).
+//
+// Runs on every telemetry-generating switch. Its only job is to wrap the
+// telemetry payload in a UDP packet with the two DTA headers and send it
+// toward the collector — "reports are generated entirely in the data
+// plane". No RDMA state, no sequence numbers, no checksum engines beyond
+// what UDP generation already needs: that is why Figure 9 shows DTA's
+// reporter footprint matching a plain UDP exporter.
+#pragma once
+
+#include <cstdint>
+
+#include "dta/wire.h"
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace dta::reporter {
+
+struct ReporterConfig {
+  net::MacAddr mac{{0x02, 0, 0, 0, 0, 0x01}};
+  net::MacAddr gateway_mac{{0x02, 0, 0, 0, 0, 0x71}};  // translator
+  std::uint32_t ip = 0x0A000001;             // 10.0.0.1
+  std::uint32_t collector_ip = 0x0A0000C0;   // routes via the translator
+  std::uint16_t src_port = 51000;
+};
+
+struct ReporterStats {
+  std::uint64_t reports_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t reports_dropped_remote = 0;  // per NACK feedback
+};
+
+class Reporter {
+ public:
+  explicit Reporter(ReporterConfig config) : config_(config) {}
+
+  // Encapsulates one report into a ready-to-send frame.
+  net::Packet make_frame(const proto::Report& report, bool immediate = false);
+
+  // Feedback path: the translator's congestion NACKs (§5.2).
+  void handle_nack(const proto::NackReport& nack);
+
+  const ReporterStats& stats() const { return stats_; }
+  const ReporterConfig& config() const { return config_; }
+
+ private:
+  ReporterConfig config_;
+  ReporterStats stats_;
+};
+
+}  // namespace dta::reporter

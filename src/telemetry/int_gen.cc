@@ -1,0 +1,72 @@
+#include "telemetry/int_gen.h"
+
+namespace dta::telemetry {
+
+IntGenerator::IntGenerator(IntConfig config, TraceGenerator* trace)
+    : config_(config), trace_(trace), rng_(config.seed) {}
+
+std::vector<std::uint32_t> IntGenerator::path_of(
+    const net::FiveTuple& flow) const {
+  // Deterministic per-flow path through a fat-tree-like topology: the
+  // hop count depends on whether src/dst share a rack or pod, and the
+  // switch IDs are drawn from |V| by mixing the flow hash with the tier.
+  const std::uint64_t h = net::flow_hash64(flow);
+  std::uint8_t hops;
+  const std::uint32_t locality = h & 0xFF;
+  if (locality < 20) {
+    hops = 2;  // same rack: ToR only (up + down counted once each)
+  } else if (locality < 90) {
+    hops = 3;  // same pod
+  } else {
+    hops = config_.path_hops;  // cross-pod: full diameter
+  }
+
+  std::vector<std::uint32_t> path;
+  path.reserve(hops);
+  for (std::uint8_t i = 0; i < hops; ++i) {
+    std::uint64_t mixed = h ^ (0x9E3779B97F4A7C15ull * (i + 1));
+    mixed ^= mixed >> 29;
+    mixed *= 0xBF58476D1CE4E5B9ull;
+    mixed ^= mixed >> 32;
+    // Switch IDs are nonzero (0 is the "padding" value in path traces).
+    path.push_back(1 + static_cast<std::uint32_t>(
+                           mixed % (config_.switch_id_space - 1)));
+  }
+  return path;
+}
+
+std::vector<IntPostcard> IntGenerator::next_postcards() {
+  for (;;) {
+    TracePacket pkt = trace_->next();
+    ++packets_examined_;
+    if (!rng_.chance(config_.sampling_rate)) continue;
+
+    const auto path = path_of(pkt.flow);
+    std::vector<IntPostcard> cards;
+    cards.reserve(path.size());
+    for (std::uint8_t i = 0; i < path.size(); ++i) {
+      IntPostcard card;
+      card.flow = pkt.flow;
+      card.hop = i;
+      card.path_len = static_cast<std::uint8_t>(path.size());
+      card.value = path[i];
+      cards.push_back(card);
+    }
+    return cards;
+  }
+}
+
+IntPathTrace IntGenerator::next_path_trace() {
+  for (;;) {
+    TracePacket pkt = trace_->next();
+    ++packets_examined_;
+    if (!rng_.chance(config_.sampling_rate)) continue;
+
+    IntPathTrace trace;
+    trace.flow = pkt.flow;
+    trace.switch_ids = path_of(pkt.flow);
+    return trace;
+  }
+}
+
+}  // namespace dta::telemetry

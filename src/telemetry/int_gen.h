@@ -1,0 +1,50 @@
+// INT (In-band Network Telemetry) report generation.
+//
+// Models two INT working modes the paper evaluates:
+//   * INT-XD/MX "postcarding": each switch on a packet's path emits a 4B
+//     postcard for sampled packets (Table 1 assumes 0.5% sampling);
+//   * INT-MD "path tracing": metadata accumulates in the packet header
+//     and the egress sink reports the full path (5 x 4B switch IDs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "telemetry/records.h"
+#include "telemetry/trace.h"
+
+namespace dta::telemetry {
+
+struct IntConfig {
+  double sampling_rate = 0.005;  // 0.5%, per Table 1
+  std::uint8_t path_hops = 5;    // fat-tree diameter bound B
+  std::uint32_t switch_id_space = 1u << 18;  // |V| = 2^18 (paper §4)
+  std::uint64_t seed = 7;
+};
+
+class IntGenerator {
+ public:
+  IntGenerator(IntConfig config, TraceGenerator* trace);
+
+  // Draws trace packets until one is sampled; returns its postcards
+  // (one per hop, in hop order). Path lengths vary 2..path_hops: edge
+  // traffic shortcuts through fewer tiers.
+  std::vector<IntPostcard> next_postcards();
+
+  // Same, but as a single egress path-trace report.
+  IntPathTrace next_path_trace();
+
+  // The deterministic path (switch IDs) a flow takes.
+  std::vector<std::uint32_t> path_of(const net::FiveTuple& flow) const;
+
+  std::uint64_t packets_examined() const { return packets_examined_; }
+
+ private:
+  IntConfig config_;
+  TraceGenerator* trace_;
+  common::Rng rng_;
+  std::uint64_t packets_examined_ = 0;
+};
+
+}  // namespace dta::telemetry

@@ -1,0 +1,105 @@
+#include "telemetry/int_md.h"
+
+#include <algorithm>
+
+namespace dta::telemetry {
+
+void IntMdHeader::encode(common::Bytes& out) const {
+  // Shim word: type(4b)=1 MD, reserved, length in 4B words.
+  const std::uint8_t stack_words = 0;  // filled by IntMdState::encode
+  common::put_u8(out, 0x10);           // type MD
+  common::put_u8(out, stack_words);    // placeholder, patched by caller
+  common::put_u16(out, 0);             // reserved / DSCP restore
+  // MD header: version(4b) | flags, hop_ml, remaining, instructions.
+  common::put_u8(out, static_cast<std::uint8_t>(version << 4));
+  common::put_u8(out, hop_metadata_len);
+  common::put_u8(out, remaining_hops);
+  common::put_u8(out, 0);  // reserved
+  common::put_u16(out, instructions);
+  common::put_u16(out, 0);  // domain-specific id
+}
+
+std::optional<IntMdHeader> IntMdHeader::decode(common::Cursor& cur) {
+  IntMdHeader h;
+  const std::uint8_t type = cur.u8();
+  cur.u8();   // stack words (validated by IntMdState::decode)
+  cur.u16();  // reserved
+  const std::uint8_t ver_flags = cur.u8();
+  h.hop_metadata_len = cur.u8();
+  h.remaining_hops = cur.u8();
+  cur.u8();
+  h.instructions = cur.u16();
+  cur.u16();
+  if (!cur.ok() || (type >> 4) != 1) return std::nullopt;
+  h.version = ver_flags >> 4;
+  return h;
+}
+
+common::Bytes IntMdState::encode() const {
+  common::Bytes out;
+  header.encode(out);
+  out[1] = static_cast<std::uint8_t>(stack.size());  // patch stack length
+  for (std::uint32_t word : stack) common::put_u32(out, word);
+  return out;
+}
+
+std::optional<IntMdState> IntMdState::decode(common::ByteSpan bytes) {
+  common::Cursor cur(bytes);
+  IntMdState state;
+  if (bytes.size() < IntMdHeader::kSize) return std::nullopt;
+  const std::uint8_t stack_words = bytes[1];
+  auto header = IntMdHeader::decode(cur);
+  if (!header) return std::nullopt;
+  state.header = *header;
+  for (std::uint8_t i = 0; i < stack_words; ++i) {
+    state.stack.push_back(cur.u32());
+  }
+  if (!cur.ok()) return std::nullopt;
+  return state;
+}
+
+bool int_md_transit(IntMdState& state, std::uint32_t metadata) {
+  if (state.header.remaining_hops == 0) return false;
+  --state.header.remaining_hops;
+  // Push at the top: newest hop first on the wire.
+  state.stack.insert(state.stack.begin(), metadata);
+  return true;
+}
+
+IntPathTrace int_md_sink(const net::FiveTuple& flow,
+                         const IntMdState& state) {
+  IntPathTrace report;
+  report.flow = flow;
+  // Stack is newest-first: reverse into path order.
+  report.switch_ids.assign(state.stack.rbegin(), state.stack.rend());
+  return report;
+}
+
+IntMdRun int_md_traverse(const net::FiveTuple& flow,
+                         const std::vector<std::uint32_t>& path,
+                         std::uint8_t hop_budget) {
+  IntMdRun run;
+  IntMdState state;
+  state.header.remaining_hops = hop_budget;
+
+  for (std::uint32_t switch_id : path) {
+    // Each hop re-parses and re-serializes the embedded state, exactly
+    // as the ASIC deparser would.
+    const common::Bytes wire = state.encode();
+    auto reparsed = IntMdState::decode(common::ByteSpan(wire));
+    state = std::move(*reparsed);
+
+    if (int_md_transit(state, switch_id)) {
+      ++run.hops_recorded;
+    } else {
+      ++run.hops_suppressed;
+    }
+    run.max_embedded_bytes =
+        std::max(run.max_embedded_bytes, state.encode().size());
+  }
+
+  run.report = int_md_sink(flow, state);
+  return run;
+}
+
+}  // namespace dta::telemetry

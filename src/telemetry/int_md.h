@@ -1,0 +1,79 @@
+// INT-MD embedded mode (the "MD" working mode of the INT spec [21]).
+//
+// In INT-MD the telemetry rides *inside* the packet: an INT shim +
+// metadata header is embedded after UDP/TCP, and every INT-capable
+// switch on the path pushes its 4B metadata onto the packet's stack and
+// decrements the remaining-hop budget. The sink strips the stack and
+// exports the accumulated path — which is exactly the 20B Key-Write
+// payload of Figure 10's "5-hop Path Tracing" configuration.
+//
+// We implement the wire format (shim + md header + metadata stack, per
+// the Telemetry Report / INT dataplane spec) and a hop-by-hop pipeline
+// model, so the reporter-side of the INT integration is a real protocol
+// walk rather than a synthetic oracle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/flow.h"
+#include "telemetry/records.h"
+
+namespace dta::telemetry {
+
+// Instruction bits (a practical subset of the INT instruction bitmap).
+enum IntInstruction : std::uint16_t {
+  kSwitchId = 1 << 15,
+  kIngressTstamp = 1 << 14,
+  kHopLatency = 1 << 13,
+  kQueueOccupancy = 1 << 12,
+};
+
+// INT-MD shim + metadata header (12 bytes total on the wire).
+struct IntMdHeader {
+  std::uint8_t version = 2;
+  std::uint8_t hop_metadata_len = 1;  // 4B words each hop pushes
+  std::uint8_t remaining_hops = 5;    // hop budget, decremented per hop
+  std::uint16_t instructions = kSwitchId;
+
+  static constexpr std::size_t kSize = 12;
+  void encode(common::Bytes& out) const;
+  static std::optional<IntMdHeader> decode(common::Cursor& cur);
+};
+
+// A packet's embedded INT state: header + metadata stack (newest first,
+// as INT pushes at the top of the stack).
+struct IntMdState {
+  IntMdHeader header;
+  std::vector<std::uint32_t> stack;
+
+  common::Bytes encode() const;
+  static std::optional<IntMdState> decode(common::ByteSpan bytes);
+};
+
+// One INT-capable switch: pushes its metadata if budget remains.
+// Returns false if the hop budget was exhausted (the switch forwards
+// without pushing — the spec's overflow behaviour).
+bool int_md_transit(IntMdState& state, std::uint32_t metadata);
+
+// The sink: strips the stack and builds the egress report. The stack is
+// reversed into path order (hop 0 first).
+IntPathTrace int_md_sink(const net::FiveTuple& flow, const IntMdState& state);
+
+// Convenience pipeline: source -> switches -> sink over a given path.
+// Returns the report the sink would export, plus the per-hop bytes the
+// packet carried (the INT header tax the paper's overhead discussions
+// refer to).
+struct IntMdRun {
+  IntPathTrace report;
+  std::size_t max_embedded_bytes = 0;
+  std::uint8_t hops_recorded = 0;
+  std::uint8_t hops_suppressed = 0;  // budget exhausted
+};
+IntMdRun int_md_traverse(const net::FiveTuple& flow,
+                         const std::vector<std::uint32_t>& path,
+                         std::uint8_t hop_budget = 5);
+
+}  // namespace dta::telemetry

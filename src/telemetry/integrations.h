@@ -1,0 +1,106 @@
+// The remaining Table 2 integrations: how PINT, Sonata, dShark,
+// PacketScope and Trajectory Sampling map onto the DTA primitives.
+// Together with records.h (INT, Marple, NetSeer, TurboFlow) this covers
+// every row of the paper's Table 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dta/wire.h"
+#include "net/flow.h"
+
+namespace dta::telemetry {
+
+// --- PINT (Ben Basat et al., SIGCOMM'20) -------------------------------------
+// "1B reports with 5-tuple keys, using redundancies for data compression
+// through n = f(pktID)": PINT compresses by having each packet carry a
+// 1-byte digest, and the *redundancy level is derived from the packet
+// ID* so that global coverage emerges probabilistically.
+struct PintReport {
+  net::FiveTuple flow;
+  std::uint8_t digest = 0;     // the 1B compressed value
+  std::uint32_t packet_id = 0; // drives f(pktID)
+
+  // f(pktID): deterministic redundancy in [1, max_redundancy].
+  static std::uint8_t redundancy_of(std::uint32_t packet_id,
+                                    std::uint8_t max_redundancy = 4);
+
+  proto::KeyWriteReport to_dta(std::uint8_t max_redundancy = 4) const;
+};
+
+// --- Sonata (Gupta et al., SIGCOMM'18) ---------------------------------------
+// Two rows: "Per-query results ... using queryID keys" (Key-Write) and
+// "Raw data transfer: appending query-specific packet tuples from
+// switches to lists at streaming processors" (Append).
+struct SonataQueryResult {
+  std::uint32_t query_id = 0;
+  common::Bytes result;  // fixed-size per query
+
+  proto::KeyWriteReport to_dta(std::uint8_t redundancy = 2) const;
+};
+
+struct SonataRawTuple {
+  std::uint32_t query_id = 0;  // selects the streaming processor's list
+  net::FiveTuple flow;
+  std::uint32_t feature = 0;   // the query-specific extracted field
+
+  proto::AppendReport to_dta(std::uint32_t lists_per_query = 1) const;
+};
+
+// --- dShark (Fonseca et al., NSDI'19) ----------------------------------------
+// "Parsers append packet summaries to lists hosted by Grouper-servers":
+// the summary is a fixed-size digest of the packet's invariant header
+// fields; the grouper is chosen by summary hash so all copies of the
+// same packet meet at one grouper.
+struct DSharkSummary {
+  net::FiveTuple flow;
+  std::uint32_t ip_id = 0;      // packet-invariant fields
+  std::uint32_t tcp_seq = 0;
+  std::uint8_t observer = 0;    // which capture point saw it
+
+  static constexpr std::uint8_t kEntryBytes = 22;  // 13+4+4+1
+  std::uint32_t grouper_of(std::uint32_t num_groupers) const;
+  proto::AppendReport to_dta(std::uint32_t num_groupers) const;
+};
+
+// --- PacketScope (Teixeira et al., SOSR'20) ----------------------------------
+// Row 1: "fixed-size per-flow per-switch traversal information using
+// <switchID, 5-tuple> as key" (Key-Write).
+struct PacketScopeTraversal {
+  std::uint32_t switch_id = 0;
+  net::FiveTuple flow;
+  std::uint32_t ingress_port = 0;
+  std::uint32_t egress_port = 0;
+  std::uint32_t queue_id = 0;
+
+  proto::KeyWriteReport to_dta(std::uint8_t redundancy = 2) const;
+};
+
+// Row 2: "On packet drop: send 14B pipeline-traversal information to
+// central list of pipeline-loss events" (Append).
+struct PacketScopePipelineLoss {
+  std::uint32_t switch_id = 0;
+  std::uint8_t pipeline_stage = 0;  // where in the pipeline it died
+  std::uint8_t drop_table = 0;
+  std::uint64_t flow_digest = 0;    // compressed flow reference
+
+  static constexpr std::uint8_t kEntryBytes = 14;  // 4+1+1+8
+  proto::AppendReport to_dta(std::uint32_t list_id) const;
+};
+
+// --- Trajectory Sampling (Duffield & Grossglauser) ---------------------------
+// "Collection of unique packet labels from all hops for sampled
+// packets": each hop contributes its label for a sampled packet —
+// exactly the Postcarding aggregation pattern, keyed by the packet's
+// invariant hash.
+struct TrajectoryLabel {
+  std::uint32_t packet_hash = 0;  // invariant sampling hash (the key)
+  std::uint8_t hop = 0;
+  std::uint8_t path_len = 0;
+  std::uint32_t label = 0;        // the hop's label for this packet
+
+  proto::PostcardReport to_dta(std::uint8_t redundancy = 1) const;
+};
+
+}  // namespace dta::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/marple_gen.h"
+
+namespace dta::telemetry {
+
+MarpleGenerator::MarpleGenerator(MarpleConfig config, TraceGenerator* trace)
+    : config_(config), trace_(trace), rng_(config.seed) {}
+
+double MarpleGenerator::flow_loss_rate(std::uint32_t flow_index) const {
+  // Deterministic per-flow loss regime: a small fraction of flows cross
+  // congested paths and see elevated loss.
+  std::uint64_t h = (flow_index + 0xABCD1234u) * 0x2545F4914F6CDD1Dull;
+  h ^= h >> 33;
+  const double u = static_cast<double>(h & 0xFFFFFF) / 16777216.0;
+  return u < config_.congested_flow_fraction ? config_.congested_loss_rate
+                                             : config_.base_loss_rate;
+}
+
+MarpleGenerator::StepResult MarpleGenerator::step() {
+  StepResult result;
+  TracePacket pkt = trace_->next();
+  ++packets_examined_;
+
+  FlowState& st = state_[pkt.flow_index];
+
+  // Flowlet-size query: a gap larger than the timeout closes the current
+  // flowlet and emits its size.
+  if (st.flowlet_packets > 0 &&
+      pkt.arrival_ns - st.last_arrival_ns > config_.flowlet_gap_ns) {
+    MarpleFlowlet f;
+    f.flow = pkt.flow;
+    f.packets = st.flowlet_packets;
+    result.flowlet = f;
+    st.flowlet_packets = 0;
+  }
+
+  // TCP-timeout query: gaps close to/above RTO on a TCP flow count as
+  // timeouts; the per-flow count is re-reported on each new timeout.
+  if (pkt.is_tcp && st.packets > 0 &&
+      pkt.arrival_ns - st.last_arrival_ns > config_.tcp_timeout_ns) {
+    ++st.timeouts;
+    MarpleTcpTimeout t;
+    t.flow = pkt.flow;
+    t.timeouts = st.timeouts;
+    result.tcp_timeout = t;
+  }
+
+  // Lossy-connection query: synthesize loss and report once the measured
+  // loss rate crosses the threshold (with at least 64 packets observed,
+  // matching Marple's evaluation windows).
+  ++st.packets;
+  ++st.flowlet_packets;
+  if (rng_.chance(flow_loss_rate(pkt.flow_index))) ++st.losses;
+  if (!st.lossy_reported && st.packets >= 64) {
+    const double rate =
+        static_cast<double>(st.losses) / static_cast<double>(st.packets);
+    if (rate > config_.lossy_report_threshold) {
+      MarpleLossyFlow l;
+      l.flow = pkt.flow;
+      l.loss_rate = rate;
+      result.lossy_flow = l;
+      st.lossy_reported = true;
+    }
+  }
+
+  st.last_arrival_ns = pkt.arrival_ns;
+
+  // Model the switch's bounded flow table: evict (forget) state once the
+  // table exceeds its capacity. Eviction resets lossy reporting, like
+  // TurboFlow-style microflow records.
+  if (state_.size() > config_.eviction_window) {
+    state_.erase(state_.begin());
+  }
+  return result;
+}
+
+}  // namespace dta::telemetry

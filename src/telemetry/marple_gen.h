@@ -1,0 +1,71 @@
+// Marple query models (Narayana et al., SIGCOMM'17).
+//
+// Marple compiles network-performance queries to switch programs that
+// emit results when per-flow state is evicted or a condition fires. We
+// model the three queries the paper evaluates in §6.1/Figure 7b:
+//   * Flowlet sizes — emit (flow, packet count) when an inter-packet gap
+//     exceeds the flowlet timeout;
+//   * TCP timeouts — emit per-flow counts of retransmission-timeout gaps;
+//   * Lossy connections — emit flows whose loss rate exceeds a threshold.
+// Loss itself is synthesized per-packet from a configurable base rate
+// with per-flow skew (some flows cross congested paths).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "telemetry/records.h"
+#include "telemetry/trace.h"
+
+namespace dta::telemetry {
+
+struct MarpleConfig {
+  std::uint64_t flowlet_gap_ns = 500000;    // 500us flowlet timeout
+  std::uint64_t tcp_timeout_ns = 200000000; // 200ms RTO-like gap
+  double base_loss_rate = 0.0005;
+  double congested_flow_fraction = 0.02;    // flows with elevated loss
+  double congested_loss_rate = 0.02;
+  double lossy_report_threshold = 0.01;     // report if loss > 1%
+  std::uint32_t eviction_window = 65536;    // switch flow-table capacity
+  std::uint64_t seed = 11;
+};
+
+class MarpleGenerator {
+ public:
+  MarpleGenerator(MarpleConfig config, TraceGenerator* trace);
+
+  // Advances the trace one packet and returns any query results it
+  // triggered. The three queries run over the same packet stream, as
+  // they would on a switch running three Marple programs.
+  struct StepResult {
+    std::optional<MarpleFlowlet> flowlet;
+    std::optional<MarpleTcpTimeout> tcp_timeout;
+    std::optional<MarpleLossyFlow> lossy_flow;
+  };
+  StepResult step();
+
+  std::uint64_t packets_examined() const { return packets_examined_; }
+
+ private:
+  struct FlowState {
+    std::uint64_t last_arrival_ns = 0;
+    std::uint32_t flowlet_packets = 0;
+    std::uint32_t timeouts = 0;
+    std::uint32_t packets = 0;
+    std::uint32_t losses = 0;
+    bool lossy_reported = false;
+  };
+
+  double flow_loss_rate(std::uint32_t flow_index) const;
+
+  MarpleConfig config_;
+  TraceGenerator* trace_;
+  common::Rng rng_;
+  std::unordered_map<std::uint32_t, FlowState> state_;
+  std::uint64_t packets_examined_ = 0;
+};
+
+}  // namespace dta::telemetry

@@ -1,0 +1,32 @@
+#include "telemetry/netseer_gen.h"
+
+namespace dta::telemetry {
+
+NetSeerGenerator::NetSeerGenerator(NetSeerConfig config, TraceGenerator* trace)
+    : config_(config), trace_(trace), rng_(config.seed) {}
+
+NetSeerLossEvent NetSeerGenerator::next_event() {
+  for (;;) {
+    TracePacket pkt = trace_->next();
+    ++packets_examined_;
+    ++seq_;
+
+    const bool was_in_burst = in_burst_;
+    const double p =
+        in_burst_ ? config_.burst_continue_prob : config_.loss_rate;
+    const bool dropped = rng_.chance(p);
+    in_burst_ = dropped;
+    if (!dropped) continue;
+
+    NetSeerLossEvent ev;
+    ev.flow = pkt.flow;
+    ev.packet_seq = seq_;
+    // Drop causes: burst continuations are queue overflows (0); isolated
+    // drops split between pipeline (1) and ACL (2) causes.
+    ev.reason =
+        was_in_burst ? 0 : static_cast<std::uint8_t>(1 + seq_ % 2);
+    return ev;
+  }
+}
+
+}  // namespace dta::telemetry

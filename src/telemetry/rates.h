@@ -1,0 +1,45 @@
+// Table 1: per-switch report generation rates.
+//
+// The paper derives per-reporter rates for a commodity 6.4 Tbps switch at
+// ~40% load. We encode the same first-principles arithmetic so the
+// bench for Table 1 can print the derivation next to the paper's values:
+//   * INT postcards, 0.5% sampling of per-hop latency:
+//       6.4 Tbps / (84B min-size wire frame) * 40% * 0.5%  = 19.0 Mpps
+//   * Marple flowlet sizes: 7.2 Mpps   (Marple paper, Table 4)
+//   * Marple TCP out-of-sequence: 6.7 Mpps (Marple paper, Table 4)
+//   * NetSeer loss events: 950 Kpps    (NetSeer paper, §6)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dta::telemetry {
+
+struct SwitchModel {
+  double tbps = 6.4;
+  double load = 0.40;
+  double min_wire_bytes = 84;   // 64B frame + preamble/IFG
+  double avg_packet_bytes = 850;
+};
+
+struct ReportRateEntry {
+  std::string system;
+  std::string metric;
+  double reports_per_sec = 0;     // our derivation
+  double paper_reports_per_sec = 0;  // Table 1 value
+  std::string derivation;
+};
+
+// Packets/sec the switch forwards at the configured load, assuming
+// minimum-size packets (the worst case Table 1 uses for INT).
+double switch_pps_min_packets(const SwitchModel& sw);
+
+// Packets/sec with the average DC packet size (used for the Marple and
+// NetSeer scaling, which are bounded by eviction/event rates instead).
+double switch_pps_avg_packets(const SwitchModel& sw);
+
+// The full Table 1, derived for the given switch model.
+std::vector<ReportRateEntry> table1_rates(const SwitchModel& sw = {});
+
+}  // namespace dta::telemetry

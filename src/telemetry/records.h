@@ -1,0 +1,92 @@
+// Telemetry record types produced by the monitoring systems DTA
+// integrates with (paper Table 2). Each record type knows how to express
+// itself as a DTA report (which primitive, what key, what payload) —
+// that mapping *is* the integration story of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dta/wire.h"
+#include "net/flow.h"
+
+namespace dta::telemetry {
+
+// A single INT postcard: one hop's 4B metadata for one packet/flow
+// (INT-XD/MX mode). `value` is typically the switch ID for path tracing,
+// or a latency/queue-depth sample.
+struct IntPostcard {
+  net::FiveTuple flow;
+  std::uint8_t hop = 0;
+  std::uint8_t path_len = 5;
+  std::uint32_t value = 0;
+
+  proto::PostcardReport to_dta(std::uint8_t redundancy = 1) const;
+};
+
+// A full INT-MD path-tracing report: the egress sink has accumulated up
+// to 5 switch IDs (5 x 4B = 20B) and reports them keyed by 5-tuple.
+struct IntPathTrace {
+  net::FiveTuple flow;
+  std::vector<std::uint32_t> switch_ids;  // up to 5
+
+  proto::KeyWriteReport to_dta(std::uint8_t redundancy = 2) const;
+};
+
+// Marple "flowlet sizes" query result: flow + packet count of its most
+// recent flowlet (13B key + 4B counter; Append per §6.1).
+struct MarpleFlowlet {
+  net::FiveTuple flow;
+  std::uint32_t packets = 0;
+
+  proto::AppendReport to_dta(std::uint32_t list_id) const;
+};
+
+// Marple "TCP timeouts" query result: per-flow timeout counter
+// (Key-Write per §6.1).
+struct MarpleTcpTimeout {
+  net::FiveTuple flow;
+  std::uint32_t timeouts = 0;
+
+  proto::KeyWriteReport to_dta(std::uint8_t redundancy = 2) const;
+};
+
+// Marple "lossy connections": 13B flow appended to the list matching its
+// loss-rate range (paper: "one of several ranges").
+struct MarpleLossyFlow {
+  net::FiveTuple flow;
+  double loss_rate = 0.0;
+
+  // Lists are partitioned by loss-rate range; `base_list` is the first.
+  proto::AppendReport to_dta(std::uint32_t base_list,
+                             std::uint32_t num_ranges = 4) const;
+};
+
+// NetSeer loss event: 18B record (flow + sequence + event metadata).
+struct NetSeerLossEvent {
+  net::FiveTuple flow;      // 13B
+  std::uint32_t packet_seq = 0;  // 4B
+  std::uint8_t reason = 0;       // 1B drop cause
+  proto::AppendReport to_dta(std::uint32_t list_id) const;
+};
+
+// Marple host counter: 4B counter keyed by source IP, aggregated by
+// addition (Key-Increment row of Table 2).
+struct MarpleHostCounter {
+  std::uint32_t src_ip = 0;
+  std::uint32_t count = 0;
+
+  proto::KeyIncrementReport to_dta(std::uint8_t redundancy = 2) const;
+};
+
+// TurboFlow evicted microflow record (Key-Increment row of Table 2).
+struct TurboFlowRecord {
+  net::FiveTuple flow;
+  std::uint32_t packets = 0;
+
+  proto::KeyIncrementReport to_dta(std::uint8_t redundancy = 2) const;
+};
+
+}  // namespace dta::telemetry

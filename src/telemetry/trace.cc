@@ -1,0 +1,84 @@
+#include "telemetry/trace.h"
+
+#include <cmath>
+
+namespace dta::telemetry {
+
+TraceGenerator::TraceGenerator(TraceConfig config)
+    : config_(config), rng_(config.seed), seen_(config.num_flows, false) {
+  // 6.4 Tbps switch at 40% load with the configured mean packet size.
+  const double bps = 6.4e12 * 0.40;
+  const double pps = bps / (config_.mean_packet_bytes * 8.0);
+  mean_interarrival_ns_ = 1e9 / pps;
+}
+
+net::FiveTuple TraceGenerator::flow_at(std::uint32_t index) const {
+  // Deterministic mapping index -> 5-tuple with plausible IP structure.
+  // A private splitmix-style mix keeps tuples spread across subnets.
+  std::uint64_t h = (index + 1) * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 31;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 29;
+
+  net::FiveTuple t;
+  const std::uint32_t src_subnet =
+      static_cast<std::uint32_t>(h % config_.subnets);
+  const std::uint32_t dst_subnet =
+      static_cast<std::uint32_t>((h >> 16) % config_.subnets);
+  t.src_ip = (10u << 24) | (src_subnet << 8) |
+             static_cast<std::uint32_t>((h >> 32) & 0xFF);
+  t.dst_ip = (10u << 24) | (dst_subnet << 8) |
+             static_cast<std::uint32_t>((h >> 40) & 0xFF);
+  t.src_port = static_cast<std::uint16_t>(32768 + ((h >> 24) & 0x7FFF));
+  t.dst_port = static_cast<std::uint16_t>((h & 1) ? 80 : 443);
+  t.protocol = ((h >> 8) & 0xF) == 0 ? 17 : 6;  // ~6% UDP, rest TCP
+  return t;
+}
+
+std::uint32_t TraceGenerator::flow_size_packets(std::uint32_t index) const {
+  // Deterministic per-flow size: log-normal body, Pareto tail.
+  std::uint64_t h = (index + 0x51ED2701u) * 0xD6E8FEB86659FD93ull;
+  h ^= h >> 32;
+  const double u1 =
+      static_cast<double>((h & 0xFFFFFFFFull) + 1) / 4294967297.0;
+  const double u2 =
+      static_cast<double>(((h >> 32) & 0xFFFFFFFFull) + 1) / 4294967297.0;
+
+  if (u2 < config_.pareto_tail_prob) {
+    // Elephant: Pareto with shape alpha, scale 1000 packets.
+    const double size = 1000.0 * std::pow(u1, -1.0 / config_.pareto_alpha);
+    return static_cast<std::uint32_t>(std::min(size, 10e6));
+  }
+  // Mouse/medium: log-normal around ~6 packets.
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double size = std::exp(1.8 + config_.lognormal_sigma * 0.5 * z);
+  return static_cast<std::uint32_t>(std::max(1.0, size));
+}
+
+TracePacket TraceGenerator::next() {
+  TracePacket p;
+  p.flow_index =
+      static_cast<std::uint32_t>(rng_.next_zipf(config_.num_flows,
+                                                config_.zipf_skew));
+  p.flow = flow_at(p.flow_index);
+  p.is_tcp = p.flow.protocol == 6;
+
+  // Packet sizes: bimodal (ACK-sized and MTU-sized) with the configured
+  // mean, matching the DC packet-size distributions in Benson et al.
+  const double mtu_fraction =
+      (config_.mean_packet_bytes - 80.0) / (1450.0 - 80.0);
+  p.size_bytes = rng_.chance(mtu_fraction) ? 1450 : 80;
+
+  clock_ns_ += static_cast<std::uint64_t>(
+      std::max(1.0, rng_.next_exponential(mean_interarrival_ns_)));
+  p.arrival_ns = clock_ns_;
+
+  if (!seen_[p.flow_index]) {
+    seen_[p.flow_index] = true;
+    p.flow_start = true;
+  }
+  return p;
+}
+
+}  // namespace dta::telemetry

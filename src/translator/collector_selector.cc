@@ -1,0 +1,59 @@
+#include "translator/collector_selector.h"
+
+namespace dta::translator {
+
+CollectorSelector::CollectorSelector(PartitionPolicy policy,
+                                     std::uint32_t num_collectors)
+    : policy_(policy),
+      num_collectors_(num_collectors == 0 ? 1 : num_collectors) {
+  stats_.per_collector.resize(num_collectors_, 0);
+}
+
+std::uint32_t CollectorSelector::shard_of_key(
+    const proto::TelemetryKey& key) const {
+  // A dedicated hop-CRC engine keeps the shard function independent of
+  // the slot/checksum hashes (sharding must not correlate with slot
+  // placement inside a shard).
+  return common::hop_crc(7).compute(key.span()) % num_collectors_;
+}
+
+std::vector<std::uint32_t> CollectorSelector::route(
+    const proto::Report& report, std::uint32_t dst_ip) {
+  std::vector<std::uint32_t> out;
+  ++stats_.routed;
+
+  switch (policy_) {
+    case PartitionPolicy::kByDestinationIp:
+      out.push_back(dst_ip % num_collectors_);
+      break;
+
+    case PartitionPolicy::kByKeyHash:
+      std::visit(
+          [&](const auto& r) {
+            using T = std::decay_t<decltype(r)>;
+            if constexpr (std::is_same_v<T, proto::KeyWriteReport> ||
+                          std::is_same_v<T, proto::KeyIncrementReport> ||
+                          std::is_same_v<T, proto::PostcardReport>) {
+              out.push_back(shard_of_key(r.key));
+            } else if constexpr (std::is_same_v<T, proto::AppendReport>) {
+              // Lists partition whole: a list's entries must stay
+              // contiguous on one collector.
+              out.push_back(r.list_id % num_collectors_);
+            } else {
+              out.push_back(0);  // NACKs etc.: default collector
+            }
+          },
+          report);
+      break;
+
+    case PartitionPolicy::kReplicate:
+      for (std::uint32_t c = 0; c < num_collectors_; ++c) out.push_back(c);
+      stats_.replicated_copies += num_collectors_ - 1;
+      break;
+  }
+
+  for (std::uint32_t c : out) stats_.per_collector[c]++;
+  return out;
+}
+
+}  // namespace dta::translator

@@ -1,0 +1,62 @@
+// Multi-collector support (paper §7 "Supporting Multiple Collectors").
+//
+// "It is beneficial to enable collection at multiple servers for
+// scalability or resiliency. DTA can be deployed alongside multiple
+// collectors and permit easy partitioning of reports based on the IP
+// and DTA headers."
+//
+// The selector is the translator-side partitioning function. Three
+// policies cover the deployment patterns the paper sketches:
+//   * kByDestinationIp — the reporter already addressed a specific
+//     collector (per-primitive collector IPs, §5.1's controller tables);
+//   * kByKeyHash — key-partitioned scale-out: every collector owns a
+//     shard of the key space, so queries know where to look;
+//   * kReplicate — resiliency: every report goes to all collectors
+//     (redundant collection survives a collector failure).
+// Append reports partition by list id so each list stays contiguous on
+// one collector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dta/wire.h"
+#include "translator/crc_unit.h"
+
+namespace dta::translator {
+
+enum class PartitionPolicy : std::uint8_t {
+  kByDestinationIp,
+  kByKeyHash,
+  kReplicate,
+};
+
+struct SelectorStats {
+  std::uint64_t routed = 0;
+  std::uint64_t replicated_copies = 0;
+  std::vector<std::uint64_t> per_collector;
+};
+
+class CollectorSelector {
+ public:
+  CollectorSelector(PartitionPolicy policy, std::uint32_t num_collectors);
+
+  // Returns the collector indexes the report must reach (size 1 except
+  // under kReplicate). `dst_ip` is the report's IP destination, used by
+  // kByDestinationIp (maps IPs round-robin onto the collector set).
+  std::vector<std::uint32_t> route(const proto::Report& report,
+                                   std::uint32_t dst_ip);
+
+  PartitionPolicy policy() const { return policy_; }
+  std::uint32_t num_collectors() const { return num_collectors_; }
+  const SelectorStats& stats() const { return stats_; }
+
+ private:
+  std::uint32_t shard_of_key(const proto::TelemetryKey& key) const;
+
+  PartitionPolicy policy_;
+  std::uint32_t num_collectors_;
+  SelectorStats stats_;
+};
+
+}  // namespace dta::translator

@@ -1,0 +1,39 @@
+// The translator's hash unit.
+//
+// Wraps the shared CRC engines (common/crc.h) into the specific hash
+// functions the DTA design uses (paper §4, §5.2, Appendix A):
+//   * slot_index(n, key, M)   — h0(n, K) mod M, the n'th redundancy slot;
+//   * key_checksum(key)       — h1(K), the 4B concatenated checksum
+//                               stored alongside Key-Write values;
+//   * chunk_index(n, key, C)  — h_n(x), Postcarding chunk selector;
+//   * hop_checksum(key, i)    — checksum(x, i), the per-hop b-bit value;
+//   * value_code(v)           — g(v), the b-bit value encoding.
+// All are pure functions of the key bytes, so reporters, translators and
+// collectors compute identical indexes with no coordination — the
+// "stateless indexing through global hash functions" of §4.
+#pragma once
+
+#include <cstdint>
+
+#include "common/crc.h"
+#include "dta/wire.h"
+
+namespace dta::translator {
+
+std::uint64_t slot_index(unsigned replica, const proto::TelemetryKey& key,
+                         std::uint64_t num_slots);
+
+std::uint32_t key_checksum(const proto::TelemetryKey& key);
+
+std::uint64_t chunk_index(unsigned replica, const proto::TelemetryKey& key,
+                          std::uint64_t num_chunks);
+
+std::uint32_t hop_checksum(const proto::TelemetryKey& key, unsigned hop);
+
+std::uint32_t value_code(std::uint32_t value);
+
+// The "blank" value ⊔ written for hops beyond a short path (§4). Any
+// sentinel outside the value space works; we use the all-ones pattern.
+inline constexpr std::uint32_t kBlankValue = 0xFFFFFFFFu;
+
+}  // namespace dta::translator

@@ -1,0 +1,82 @@
+// Sketch-based measurement extension (paper §4 "Extensibility").
+//
+// "one could extend DTA to support collection of sketch-based
+// measurements. This could allow for either in-network discovery of
+// network-wide heavy hitters, or aggregation of counters at the
+// translator to decrease the collection load at compute servers."
+//
+// This engine implements both halves:
+//   * a Count-Min sketch maintained in translator SRAM, updated by
+//     Key-Increment-style reports from many switches (network-wide
+//     aggregation happens *before* the collector);
+//   * in-network heavy-hitter discovery: the first time a key's
+//     estimate crosses the threshold it is exported once through the
+//     Append primitive (flow + estimate);
+//   * epoch-based counter aggregation: instead of one FETCH_ADD per
+//     report, the whole sketch is flushed to collector memory with a
+//     handful of large RDMA WRITEs per epoch — the collection-load
+//     reduction the paper sketches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dta/wire.h"
+#include "translator/crc_unit.h"
+#include "translator/rdma_crafter.h"
+
+namespace dta::translator {
+
+struct HeavyHitterConfig {
+  std::uint32_t sketch_rows = 3;      // CMS depth (independent hashes)
+  std::uint32_t sketch_cols = 4096;   // CMS width per row
+  std::uint64_t threshold = 1000;     // heavy-hitter cutoff (count units)
+  std::uint32_t export_list = 0;      // Append list for discovered HHs
+  // Collector-side sketch mirror (one row-block write per epoch flush).
+  std::uint64_t mirror_base_va = 0;
+  std::uint32_t mirror_rkey = 0;
+};
+
+struct HeavyHitterStats {
+  std::uint64_t updates_in = 0;
+  std::uint64_t hitters_exported = 0;
+  std::uint64_t epoch_flushes = 0;
+  std::uint64_t rdma_writes_per_flush = 0;
+};
+
+class HeavyHitterEngine {
+ public:
+  explicit HeavyHitterEngine(HeavyHitterConfig config);
+
+  // Ingests one counter update (a Key-Increment report). If this update
+  // pushes the key's CMS estimate across the threshold for the first
+  // time, the returned Append report carries the discovery.
+  std::optional<proto::AppendReport> update(
+      const proto::KeyIncrementReport& report);
+
+  // CMS point estimate for a key.
+  std::uint64_t estimate(const proto::TelemetryKey& key) const;
+
+  // Epoch flush: serializes the sketch into `sketch_rows` RDMA WRITEs
+  // against the collector's mirror region and resets the counters and
+  // the per-key export latch. Returns the write descriptors.
+  std::vector<RdmaOp> flush_epoch();
+
+  const HeavyHitterStats& stats() const { return stats_; }
+  const HeavyHitterConfig& config() const { return config_; }
+
+ private:
+  std::uint64_t& cell(std::uint32_t row, const proto::TelemetryKey& key);
+  const std::uint64_t& cell(std::uint32_t row,
+                            const proto::TelemetryKey& key) const;
+
+  HeavyHitterConfig config_;
+  std::vector<std::uint64_t> counters_;  // rows x cols
+  // Export latch: a small Bloom-style filter of already-exported keys
+  // (per epoch), so each heavy hitter is reported once.
+  std::vector<std::uint8_t> exported_;
+  HeavyHitterStats stats_;
+};
+
+}  // namespace dta::translator

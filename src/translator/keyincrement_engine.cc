@@ -1,0 +1,25 @@
+#include "translator/keyincrement_engine.h"
+
+namespace dta::translator {
+
+KeyIncrementEngine::KeyIncrementEngine(KeyIncrementGeometry geometry)
+    : geometry_(geometry) {}
+
+void KeyIncrementEngine::translate(const proto::KeyIncrementReport& report,
+                                   std::vector<RdmaOp>& out) {
+  ++stats_.reports;
+  for (unsigned replica = 0; replica < report.redundancy; ++replica) {
+    const std::uint64_t slot =
+        slot_index(replica, report.key, geometry_.num_slots);
+    RdmaOp op;
+    op.kind = RdmaOp::Kind::kFetchAdd;
+    op.remote_va =
+        geometry_.base_va + slot * KeyIncrementGeometry::kSlotBytes;
+    op.rkey = geometry_.rkey;
+    op.add_value = report.counter;
+    out.push_back(std::move(op));
+    ++stats_.fetch_adds_emitted;
+  }
+}
+
+}  // namespace dta::translator

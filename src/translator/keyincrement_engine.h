@@ -1,0 +1,46 @@
+// Key-Increment translation (paper §4 "Key-Increment", Appendix A.4
+// Algorithm 5).
+//
+// Identical indexing to Key-Write, but the verb is RDMA Fetch-and-Add
+// and the collector memory "acts as a Count-Min Sketch": N counters are
+// incremented, queries take the minimum. No checksum is stored — CMS
+// tolerates collisions by construction (one-sided overestimate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dta/wire.h"
+#include "translator/crc_unit.h"
+#include "translator/rdma_crafter.h"
+
+namespace dta::translator {
+
+struct KeyIncrementGeometry {
+  std::uint64_t base_va = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t num_slots = 0;
+  static constexpr std::uint32_t kSlotBytes = 8;  // u64 counters (IB atomics)
+};
+
+struct KeyIncrementStats {
+  std::uint64_t reports = 0;
+  std::uint64_t fetch_adds_emitted = 0;
+};
+
+class KeyIncrementEngine {
+ public:
+  explicit KeyIncrementEngine(KeyIncrementGeometry geometry);
+
+  void translate(const proto::KeyIncrementReport& report,
+                 std::vector<RdmaOp>& out);
+
+  const KeyIncrementGeometry& geometry() const { return geometry_; }
+  const KeyIncrementStats& stats() const { return stats_; }
+
+ private:
+  KeyIncrementGeometry geometry_;
+  KeyIncrementStats stats_;
+};
+
+}  // namespace dta::translator

@@ -1,0 +1,41 @@
+#include "translator/keywrite_engine.h"
+
+#include <algorithm>
+
+namespace dta::translator {
+
+KeyWriteEngine::KeyWriteEngine(KeyWriteGeometry geometry)
+    : geometry_(geometry) {}
+
+void KeyWriteEngine::translate(const proto::KeyWriteReport& report,
+                               bool immediate, std::vector<RdmaOp>& out) {
+  ++stats_.reports;
+
+  // Slot payload: [4B key checksum][value, zero-padded to value_bytes].
+  common::Bytes payload;
+  payload.reserve(geometry_.slot_bytes());
+  common::put_u32(payload,
+                  key_checksum(report.key) & geometry_.checksum_mask());
+  const std::size_t copy_len =
+      std::min<std::size_t>(report.data.size(), geometry_.value_bytes);
+  if (copy_len < report.data.size()) ++stats_.truncated_values;
+  payload.insert(payload.end(), report.data.begin(),
+                 report.data.begin() + copy_len);
+  payload.resize(geometry_.slot_bytes(), 0);
+
+  const unsigned n = report.redundancy;
+  for (unsigned replica = 0; replica < n; ++replica) {
+    const std::uint64_t slot =
+        slot_index(replica, report.key, geometry_.num_slots);
+    RdmaOp op;
+    op.kind = RdmaOp::Kind::kWrite;
+    op.remote_va = geometry_.base_va + slot * geometry_.slot_bytes();
+    op.rkey = geometry_.rkey;
+    op.payload = payload;
+    if (immediate && replica == 0) op.immediate = key_checksum(report.key);
+    out.push_back(std::move(op));
+    ++stats_.writes_emitted;
+  }
+}
+
+}  // namespace dta::translator

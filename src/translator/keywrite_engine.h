@@ -1,0 +1,62 @@
+// Key-Write translation (paper §4 "Key-Write", Appendix A.1 Algorithm 1).
+//
+// For each incoming (key, data, N) report the engine computes N slot
+// indexes with independent CRC hash functions, prepends the 4B key
+// checksum to the value, and emits N RDMA WRITE descriptors. On the
+// Tofino this replication happens in the packet replication engine
+// (multicast); here it is a loop, and the resource model accounts the
+// multicast cost separately.
+//
+// Generating the redundancy at the translator instead of the reporter
+// "effectively reduces the telemetry traffic by a factor of the level
+// of redundancy" (§4) — the ablation bench quantifies this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dta/wire.h"
+#include "translator/crc_unit.h"
+#include "translator/rdma_crafter.h"
+
+namespace dta::translator {
+
+struct KeyWriteGeometry {
+  std::uint64_t base_va = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t num_slots = 0;
+  std::uint32_t value_bytes = 4;  // fixed per store; slot = 4B csum + value
+  // Checksum length b in bits (<= 32). The slot always reserves a 4B
+  // checksum field; shorter configured widths mask the stored value,
+  // reproducing the paper's b-bit analysis (Appendix A.5 ablates b).
+  std::uint32_t checksum_bits = 32;
+  std::uint32_t slot_bytes() const { return 4 + value_bytes; }
+  std::uint32_t checksum_mask() const {
+    return checksum_bits >= 32 ? 0xFFFFFFFFu
+                               : ((1u << checksum_bits) - 1);
+  }
+};
+
+struct KeyWriteStats {
+  std::uint64_t reports = 0;
+  std::uint64_t writes_emitted = 0;
+  std::uint64_t truncated_values = 0;  // data longer than the store's value
+};
+
+class KeyWriteEngine {
+ public:
+  explicit KeyWriteEngine(KeyWriteGeometry geometry);
+
+  // Translates one report into its N WRITE ops (appended to `out`).
+  void translate(const proto::KeyWriteReport& report, bool immediate,
+                 std::vector<RdmaOp>& out);
+
+  const KeyWriteGeometry& geometry() const { return geometry_; }
+  const KeyWriteStats& stats() const { return stats_; }
+
+ private:
+  KeyWriteGeometry geometry_;
+  KeyWriteStats stats_;
+};
+
+}  // namespace dta::translator

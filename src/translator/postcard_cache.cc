@@ -1,0 +1,105 @@
+#include "translator/postcard_cache.h"
+
+namespace dta::translator {
+
+PostcardCache::PostcardCache(PostcardingGeometry geometry,
+                             std::uint32_t cache_slots)
+    : geometry_(geometry), rows_(cache_slots) {}
+
+std::uint32_t PostcardCache::row_index(const proto::TelemetryKey& key) const {
+  // The cache index hash must differ from the chunk-index hashes so that
+  // cache collisions and store collisions stay independent; we reuse the
+  // checksum engine for it.
+  const std::uint32_t h = common::checksum_crc().compute(key.span());
+  return h % static_cast<std::uint32_t>(rows_.size());
+}
+
+void PostcardCache::emit(Row& row, bool full, std::vector<RdmaOp>& out) {
+  // Build the chunk payload: present hops carry checksum(x,i) XOR g(v);
+  // hops beyond path_len carry the encoded blank so every complete report
+  // writes all B hops (§4); hops that never arrived (early emission) stay
+  // zero, which queries will almost surely reject.
+  const std::uint8_t hops = geometry_.hops;
+  const std::uint32_t padded = geometry_.padded_hops();
+  common::Bytes payload(static_cast<std::size_t>(padded) *
+                            PostcardingGeometry::kSlotBytes,
+                        0);
+
+  const std::uint8_t effective_path = row.path_len == 0 ? hops : row.path_len;
+  for (std::uint8_t i = 0; i < hops; ++i) {
+    std::uint32_t enc = 0;
+    if (row.present_mask & (1u << i)) {
+      enc = row.encoded[i];
+    } else if (full && i >= effective_path) {
+      enc = hop_checksum(row.key, i) ^ value_code(kBlankValue);
+    } else {
+      continue;  // missing hop: leave zero
+    }
+    common::store_u32(payload.data() + i * PostcardingGeometry::kSlotBytes,
+                      enc);
+  }
+
+  for (unsigned replica = 0; replica < row.redundancy; ++replica) {
+    const std::uint64_t chunk =
+        chunk_index(replica, row.key, geometry_.num_chunks);
+    RdmaOp op;
+    op.kind = RdmaOp::Kind::kWrite;
+    op.remote_va = geometry_.base_va + chunk * geometry_.chunk_bytes();
+    op.rkey = geometry_.rkey;
+    op.payload = payload;
+    out.push_back(std::move(op));
+    ++stats_.writes_emitted;
+  }
+
+  if (full) {
+    ++stats_.full_emissions;
+  } else {
+    ++stats_.early_emissions;
+  }
+  row = Row{};
+}
+
+void PostcardCache::ingest(const proto::PostcardReport& report,
+                           std::vector<RdmaOp>& out) {
+  ++stats_.postcards_in;
+  if (report.hop >= geometry_.hops) return;  // out of range: drop
+
+  Row& row = rows_[row_index(report.key)];
+
+  // Collision: a different flow occupies the row — evict it first.
+  if (row.valid && !(row.key == report.key)) {
+    emit(row, /*full=*/false, out);
+  }
+
+  if (!row.valid) {
+    row.valid = true;
+    row.key = report.key;
+    row.redundancy = report.redundancy;
+  }
+  if (report.path_len != 0) row.path_len = report.path_len;
+
+  if (!(row.present_mask & (1u << report.hop))) {
+    row.present_mask |= static_cast<std::uint8_t>(1u << report.hop);
+    ++row.count;
+  }
+  row.encoded[report.hop] =
+      hop_checksum(report.key, report.hop) ^ value_code(report.value);
+
+  // Full when the row counter reaches the (egress-provided) path length.
+  const std::uint8_t target = row.path_len == 0 ? geometry_.hops : row.path_len;
+  if (row.count >= target) {
+    emit(row, /*full=*/true, out);
+  }
+}
+
+void PostcardCache::flush_all(std::vector<RdmaOp>& out) {
+  for (Row& row : rows_) {
+    if (!row.valid) continue;
+    const std::uint8_t target =
+        row.path_len == 0 ? geometry_.hops : row.path_len;
+    emit(row, row.count >= target, out);
+    ++stats_.final_flushes;
+  }
+}
+
+}  // namespace dta::translator

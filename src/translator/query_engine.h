@@ -1,0 +1,94 @@
+// Query-enhancing extensions (paper §7 "Query-Enhancing Extensions").
+//
+// "In some cases, queries may be known ahead of time, in which case our
+// translator can aid in their processing. For example, while switches
+// can measure the queuing latency of a flow, we are often interested in
+// knowing the end to end delay:
+//     SELECT flowID, path WHERE SUM(latency) > T
+// Knowing the query ahead of time, our translator can wait for
+// postcards from all switches through which the SYN packet of the flow
+// was routed, sum their latency, and report it if it is over the
+// threshold."
+//
+// The engine keeps per-flow aggregation rows (like the Postcarding
+// cache, it is an SRAM-sized structure with collision eviction), sums
+// the per-hop latency postcards, and when the flow's path is complete
+// emits a report ONLY if the aggregate crosses the threshold — an
+// in-network WHERE clause that cuts collector traffic by the pass rate.
+// Matching flows are exported through the Append primitive (flow +
+// total latency + path), so downstream they land in an ordinary DTA
+// list; non-matching flows generate no collector traffic at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dta/wire.h"
+#include "translator/crc_unit.h"
+
+namespace dta::translator {
+
+// The compiled form of "SELECT flowID, path WHERE SUM(latency) > T".
+struct ThresholdQuery {
+  std::uint64_t threshold_sum = 0;  // T, in the postcard value's unit
+  std::uint32_t export_list = 0;    // Append list receiving matches
+  bool include_path = true;         // also export the per-hop values
+};
+
+struct QueryEngineStats {
+  std::uint64_t postcards_in = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t flows_matched = 0;   // crossed the threshold
+  std::uint64_t flows_suppressed = 0;  // complete but under threshold
+  std::uint64_t early_evictions = 0;
+};
+
+// A completed per-flow aggregate, ready for export.
+struct QueryMatch {
+  proto::TelemetryKey flow;
+  std::uint64_t sum = 0;
+  std::vector<std::uint32_t> per_hop;
+
+  // Serializes into an Append entry: 16B key + 8B sum + path values.
+  proto::AppendReport to_append(const ThresholdQuery& query) const;
+};
+
+class QueryEngine {
+ public:
+  QueryEngine(ThresholdQuery query, std::uint32_t cache_slots);
+
+  // Ingests a latency postcard. Returns a match when the flow's path
+  // completes above the threshold (the caller forwards it through the
+  // Append engine); completed under-threshold flows are suppressed.
+  std::optional<QueryMatch> ingest(const proto::PostcardReport& report);
+
+  // End-of-epoch drain: completes whatever rows are resident. Partial
+  // rows are evaluated on the hops observed so far (documented
+  // best-effort semantics, same as Postcarding early emission).
+  std::vector<QueryMatch> flush();
+
+  const QueryEngineStats& stats() const { return stats_; }
+  const ThresholdQuery& query() const { return query_; }
+
+ private:
+  struct Row {
+    bool valid = false;
+    proto::TelemetryKey key;
+    std::uint8_t path_len = 0;
+    std::uint8_t count = 0;
+    std::uint8_t present_mask = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint32_t, 8> values{};
+  };
+
+  std::optional<QueryMatch> complete(Row& row);
+  std::uint32_t row_index(const proto::TelemetryKey& key) const;
+
+  ThresholdQuery query_;
+  std::vector<Row> rows_;
+  QueryEngineStats stats_;
+};
+
+}  // namespace dta::translator

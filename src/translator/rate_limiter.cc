@@ -1,0 +1,40 @@
+#include "translator/rate_limiter.h"
+
+#include <algorithm>
+
+namespace dta::translator {
+
+RateLimiter::RateLimiter(RateLimiterParams params)
+    : params_(params), tokens_(params.burst) {}
+
+void RateLimiter::refill(common::VirtualNs now) {
+  if (now <= last_refill_) return;
+  const double elapsed_s =
+      static_cast<double>(now - last_refill_) * 1e-9;
+  tokens_ = std::min(params_.burst,
+                     tokens_ + elapsed_s * params_.ops_per_second);
+  last_refill_ = now;
+}
+
+bool RateLimiter::admit(common::VirtualNs now, std::uint32_t ops) {
+  refill(now);
+  const double need = static_cast<double>(ops);
+  if (tokens_ >= need) {
+    tokens_ -= need;
+    ++admitted_;
+    return true;
+  }
+  ++dropped_;
+  return false;
+}
+
+std::optional<proto::NackReport> RateLimiter::make_nack(
+    proto::PrimitiveOp op, std::uint32_t dropped) {
+  if (!params_.nack_on_drop) return std::nullopt;
+  proto::NackReport nack;
+  nack.dropped_op = op;
+  nack.dropped_count = dropped;
+  return nack;
+}
+
+}  // namespace dta::translator

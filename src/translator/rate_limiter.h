@@ -1,0 +1,53 @@
+// RDMA rate limiter with NACK generation (paper §5.2).
+//
+// "RDMA queue-pair resynchronization and rate limiting to ensure stable
+// RDMA connections in case of congestion events at the collectors' NICs.
+// Rate limiting can be configured to generate a NACK sent back to the
+// reporter in case of a dropped report during these congestion events."
+//
+// Token bucket over RDMA operations: each verb consumes one token;
+// tokens refill at the configured NIC-safe rate. When the bucket is
+// empty the report is dropped and (optionally) a DTA NACK is produced.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/time_model.h"
+#include "dta/wire.h"
+
+namespace dta::translator {
+
+struct RateLimiterParams {
+  double ops_per_second = 105e6;  // collector NIC message rate
+  double burst = 4096;            // bucket depth
+  bool nack_on_drop = true;
+};
+
+class RateLimiter {
+ public:
+  explicit RateLimiter(RateLimiterParams params);
+
+  // Requests `ops` tokens at virtual time `now`. Returns true if
+  // admitted; on false the caller must drop the report.
+  bool admit(common::VirtualNs now, std::uint32_t ops);
+
+  // Builds the NACK to send back to the reporter for a dropped report,
+  // if NACK generation is enabled.
+  std::optional<proto::NackReport> make_nack(proto::PrimitiveOp op,
+                                             std::uint32_t dropped);
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  void refill(common::VirtualNs now);
+
+  RateLimiterParams params_;
+  double tokens_;
+  common::VirtualNs last_refill_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dta::translator

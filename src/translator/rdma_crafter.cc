@@ -1,0 +1,69 @@
+#include "translator/rdma_crafter.h"
+
+namespace dta::translator {
+
+RdmaCrafter::RdmaCrafter(CrafterEndpoints endpoints, std::uint32_t dest_qpn,
+                         std::uint32_t start_psn)
+    : ep_(endpoints), dest_qpn_(dest_qpn), next_psn_(start_psn & 0xFFFFFF) {}
+
+net::Packet RdmaCrafter::craft(const RdmaOp& op) {
+  rdma::Bth bth;
+  bth.dest_qpn = dest_qpn_;
+  bth.psn = next_psn_;
+  next_psn_ = (next_psn_ + 1) & 0xFFFFFF;
+  ++ops_crafted_;
+
+  common::Bytes datagram;
+  switch (op.kind) {
+    case RdmaOp::Kind::kWrite: {
+      bth.opcode = op.immediate ? rdma::Opcode::kWriteOnlyImm
+                                : rdma::Opcode::kWriteOnly;
+      rdma::Reth reth;
+      reth.virtual_addr = op.remote_va;
+      reth.rkey = op.rkey;
+      reth.dma_length = static_cast<std::uint32_t>(op.payload.size());
+      const std::uint32_t* imm = op.immediate ? &*op.immediate : nullptr;
+      datagram = rdma::build_roce_datagram(bth, &reth, nullptr, imm, nullptr,
+                                           common::ByteSpan(op.payload));
+      break;
+    }
+    case RdmaOp::Kind::kFetchAdd: {
+      bth.opcode = rdma::Opcode::kFetchAdd;
+      bth.ack_request = true;  // atomics always complete with a response
+      rdma::AtomicEth eth;
+      eth.virtual_addr = op.remote_va;
+      eth.rkey = op.rkey;
+      eth.swap_add = op.add_value;
+      datagram = rdma::build_roce_datagram(bth, nullptr, &eth, nullptr,
+                                           nullptr, {});
+      break;
+    }
+    case RdmaOp::Kind::kSend: {
+      bth.opcode = op.immediate ? rdma::Opcode::kSendOnlyImm
+                                : rdma::Opcode::kSendOnly;
+      const std::uint32_t* imm = op.immediate ? &*op.immediate : nullptr;
+      datagram = rdma::build_roce_datagram(bth, nullptr, nullptr, imm, nullptr,
+                                           common::ByteSpan(op.payload));
+      break;
+    }
+  }
+
+  net::Packet pkt(net::build_udp_frame(
+      ep_.collector_mac, ep_.translator_mac, ep_.translator_ip,
+      ep_.collector_ip, ep_.src_port, net::kRoceUdpPort,
+      common::ByteSpan(datagram)));
+  return pkt;
+}
+
+void RdmaCrafter::handle_ack(const rdma::Aeth& aeth,
+                             std::uint32_t expected_psn) {
+  if (aeth.syndrome == rdma::AethSyndrome::kPsnSeqNak) {
+    // Queue-pair resynchronization: jump to the PSN the responder expects
+    // so the connection keeps making progress (dropped verbs are lost —
+    // DTA is best-effort, §7 "Flow Control in DTA").
+    next_psn_ = expected_psn & 0xFFFFFF;
+    ++resyncs_;
+  }
+}
+
+}  // namespace dta::translator

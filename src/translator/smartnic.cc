@@ -1,0 +1,70 @@
+#include "translator/smartnic.h"
+
+#include <cstring>
+
+#include "net/headers.h"
+#include "rdma/roce.h"
+
+namespace dta::translator {
+
+bool SmartNicTranslator::apply(const RdmaOp& op) {
+  rdma::MemoryRegion* mr = pd_->find(op.rkey);
+  if (!mr) {
+    ++stats_.rejected;
+    return false;
+  }
+
+  switch (op.kind) {
+    case RdmaOp::Kind::kWrite: {
+      if (!(mr->access() & rdma::kRemoteWrite) ||
+          !mr->contains(op.remote_va, op.payload.size())) {
+        ++stats_.rejected;
+        return false;
+      }
+      std::memcpy(mr->at(op.remote_va), op.payload.data(), op.payload.size());
+      ++stats_.dma_writes;
+      stats_.bytes_written += op.payload.size();
+      if (op.immediate) ++stats_.immediate_events;
+      return true;
+    }
+    case RdmaOp::Kind::kFetchAdd: {
+      if (!(mr->access() & rdma::kRemoteAtomic) ||
+          !mr->contains(op.remote_va, 8) || (op.remote_va & 0x7) != 0) {
+        ++stats_.rejected;
+        return false;
+      }
+      std::uint8_t* p = mr->at(op.remote_va);
+      common::store_u64(p, common::load_u64(p) + op.add_value);
+      ++stats_.dma_fetch_adds;
+      return true;
+    }
+    case RdmaOp::Kind::kSend:
+      // SENDs carry control metadata; the SmartNIC delivers them to the
+      // host through its own queue — modeled as an accepted no-op here.
+      return true;
+  }
+  return false;
+}
+
+std::size_t SmartNicTranslator::roce_overhead_bytes(const RdmaOp& op) {
+  std::size_t bytes = net::EthernetHeader::kSize + net::Ipv4Header::kSize +
+                      net::UdpHeader::kSize + rdma::Bth::kSize + 4 /*ICRC*/;
+  switch (op.kind) {
+    case RdmaOp::Kind::kWrite:
+      bytes += rdma::Reth::kSize;
+      break;
+    case RdmaOp::Kind::kFetchAdd:
+      bytes += rdma::AtomicEth::kSize;
+      // Atomics also require an ACK packet on the wire.
+      bytes += net::EthernetHeader::kSize + net::Ipv4Header::kSize +
+               net::UdpHeader::kSize + rdma::Bth::kSize + rdma::Aeth::kSize +
+               4;
+      break;
+    case RdmaOp::Kind::kSend:
+      break;
+  }
+  if (op.immediate) bytes += 4;
+  return bytes;
+}
+
+}  // namespace dta::translator

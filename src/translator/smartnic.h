@@ -1,0 +1,49 @@
+// SmartNIC translator variant (paper §7 "Implementing the translator in
+// a SmartNIC").
+//
+// "A SmartNIC would allow us to completely remove RDMA traffic: the NIC
+// data-plane would process incoming DTA packets and translate them into
+// local DMA calls."
+//
+// This variant consumes the same RdmaOp descriptors the primitive
+// engines produce, but applies them directly to host memory regions —
+// no RoCEv2 headers, no ICRC, no PSN state, no ACK traffic. The
+// comparison bench quantifies what the switch-based translator pays for
+// the RoCE hop: per-op header bytes and the PSN/ACK machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "rdma/memory_region.h"
+#include "translator/rdma_crafter.h"
+
+namespace dta::translator {
+
+struct SmartNicStats {
+  std::uint64_t dma_writes = 0;
+  std::uint64_t dma_fetch_adds = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t rejected = 0;  // bad rkey / bounds
+  std::uint64_t immediate_events = 0;
+};
+
+class SmartNicTranslator {
+ public:
+  explicit SmartNicTranslator(rdma::ProtectionDomain* pd) : pd_(pd) {}
+
+  // Applies one translated op as a local DMA. Returns false if the
+  // target region or bounds are invalid.
+  bool apply(const RdmaOp& op);
+
+  const SmartNicStats& stats() const { return stats_; }
+
+  // Wire bytes the equivalent RoCEv2 emission would have cost (per-op
+  // savings of the DMA path): UDP/IP/Eth + BTH + RETH/AtomicETH + ICRC.
+  static std::size_t roce_overhead_bytes(const RdmaOp& op);
+
+ private:
+  rdma::ProtectionDomain* pd_;
+  SmartNicStats stats_;
+};
+
+}  // namespace dta::translator

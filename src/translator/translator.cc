@@ -1,0 +1,168 @@
+#include "translator/translator.h"
+
+namespace dta::translator {
+
+Translator::Translator(TranslatorConfig config, std::uint32_t dest_qpn,
+                       std::uint32_t start_psn,
+                       const rdma::ConnectAccept& accept)
+    : config_(config),
+      crafter_(config.endpoints, dest_qpn, start_psn),
+      rate_limiter_(config.rate_limiter) {
+  // Instantiate one engine per advertised memory region: the collector
+  // tells the translator where each primitive's structure lives (§5.3
+  // "advertise primitive-specific metadata to the translator").
+  for (const auto& region : accept.regions) {
+    switch (region.kind) {
+      case rdma::RegionKind::kKeyWrite: {
+        KeyWriteGeometry g;
+        g.base_va = region.base_va;
+        g.rkey = region.rkey;
+        g.value_bytes = (region.param1 & 0xFFFF) - 4;  // low half: slot bytes
+        g.checksum_bits = region.param1 >> 16;
+        if (g.checksum_bits == 0 || g.checksum_bits > 32) g.checksum_bits = 32;
+        g.num_slots = region.param2;
+        keywrite_ = std::make_unique<KeyWriteEngine>(g);
+        break;
+      }
+      case rdma::RegionKind::kKeyIncrement: {
+        KeyIncrementGeometry g;
+        g.base_va = region.base_va;
+        g.rkey = region.rkey;
+        g.num_slots = region.param2;
+        keyincrement_ = std::make_unique<KeyIncrementEngine>(g);
+        break;
+      }
+      case rdma::RegionKind::kPostcarding: {
+        PostcardingGeometry g;
+        g.base_va = region.base_va;
+        g.rkey = region.rkey;
+        g.hops = static_cast<std::uint8_t>(region.param1 >> 16);
+        g.num_chunks = region.param2;
+        postcarding_ = std::make_unique<PostcardCache>(
+            g, config_.postcard_cache_slots);
+        break;
+      }
+      case rdma::RegionKind::kAppend: {
+        AppendGeometry g;
+        g.base_va = region.base_va;
+        g.rkey = region.rkey;
+        g.entry_bytes = region.param1;
+        g.entries_per_list = region.param2 & 0xFFFFFFFFull;
+        g.num_lists = static_cast<std::uint32_t>(region.param2 >> 32);
+        append_ =
+            std::make_unique<AppendEngine>(g, config_.append_batch_size);
+        break;
+      }
+    }
+  }
+}
+
+void Translator::emit_ops(std::vector<RdmaOp>& ops, proto::PrimitiveOp op,
+                          common::VirtualNs now, std::uint32_t reporter_ip) {
+  if (ops.empty()) return;
+  if (config_.rate_limiting_enabled &&
+      !rate_limiter_.admit(now, static_cast<std::uint32_t>(ops.size()))) {
+    stats_.rate_limited_drops += ops.size();
+    if (auto nack = rate_limiter_.make_nack(
+            op, static_cast<std::uint32_t>(ops.size()))) {
+      send_nack(*nack, reporter_ip);
+    }
+    ops.clear();
+    return;
+  }
+  for (auto& rdma_op : ops) {
+    net::Packet frame = crafter_.craft(rdma_op);
+    frame.arrival_ns = now;
+    ++stats_.rdma_frames_out;
+    if (rdma_sink_) rdma_sink_(std::move(frame));
+  }
+  ops.clear();
+}
+
+void Translator::send_nack(const proto::NackReport& nack,
+                           std::uint32_t reporter_ip) {
+  ++stats_.nacks_sent;
+  if (!nack_sink_) return;
+  proto::DtaHeader hdr;
+  hdr.opcode = proto::PrimitiveOp::kNack;
+  const common::Bytes payload = proto::encode_dta_payload(hdr, nack);
+  net::Packet frame(net::build_udp_frame(
+      config_.endpoints.collector_mac /* back out the ingress port */,
+      config_.endpoints.translator_mac, config_.endpoints.translator_ip,
+      reporter_ip, net::kDtaUdpPort, net::kDtaUdpPort,
+      common::ByteSpan(payload)));
+  nack_sink_(std::move(frame));
+}
+
+void Translator::ingest_report(const proto::ParsedDta& parsed,
+                               common::VirtualNs now,
+                               std::uint32_t reporter_ip) {
+  ++stats_.dta_reports_in;
+  const bool immediate = parsed.header.immediate;
+  std::vector<RdmaOp> ops;
+  proto::PrimitiveOp op = proto::PrimitiveOp::kNack;
+
+  // Dispatch on the report variant itself: the header opcode is wire
+  // metadata and may not be populated on the direct (in-process) path.
+  std::visit(
+      [&](const auto& report) {
+        using T = std::decay_t<decltype(report)>;
+        if constexpr (std::is_same_v<T, proto::KeyWriteReport>) {
+          op = proto::PrimitiveOp::kKeyWrite;
+          if (keywrite_) keywrite_->translate(report, immediate, ops);
+        } else if constexpr (std::is_same_v<T, proto::KeyIncrementReport>) {
+          op = proto::PrimitiveOp::kKeyIncrement;
+          if (keyincrement_) keyincrement_->translate(report, ops);
+        } else if constexpr (std::is_same_v<T, proto::PostcardReport>) {
+          op = proto::PrimitiveOp::kPostcard;
+          if (postcarding_) postcarding_->ingest(report, ops);
+        } else if constexpr (std::is_same_v<T, proto::AppendReport>) {
+          op = proto::PrimitiveOp::kAppend;
+          if (append_) append_->ingest(report, immediate, ops);
+        }
+        // NACKs terminate at reporters, not translators.
+      },
+      parsed.report);
+
+  emit_ops(ops, op, now, reporter_ip);
+}
+
+void Translator::ingest(net::Packet&& frame, common::VirtualNs now) {
+  ++stats_.frames_in;
+
+  auto udp = net::parse_udp_frame(frame.span());
+  if (!udp || udp->udp.dst_port != net::kDtaUdpPort) {
+    // Not DTA: regular user traffic, forward unchanged ("Forwarder").
+    ++stats_.user_frames_forwarded;
+    if (forward_sink_) forward_sink_(std::move(frame));
+    return;
+  }
+
+  const common::ByteSpan payload =
+      frame.span().subspan(udp->payload_offset, udp->payload_length);
+  auto parsed = proto::decode_dta_payload(payload);
+  if (!parsed) {
+    ++stats_.malformed_dropped;
+    return;
+  }
+  ingest_report(*parsed, now, udp->ip.src_ip);
+}
+
+void Translator::handle_ack(const rdma::Aeth& aeth,
+                            std::uint32_t responder_expected_psn) {
+  crafter_.handle_ack(aeth, responder_expected_psn);
+}
+
+void Translator::flush(common::VirtualNs now) {
+  std::vector<RdmaOp> ops;
+  if (postcarding_) {
+    postcarding_->flush_all(ops);
+    emit_ops(ops, proto::PrimitiveOp::kPostcard, now, 0);
+  }
+  if (append_) {
+    append_->flush_all(ops);
+    emit_ops(ops, proto::PrimitiveOp::kAppend, now, 0);
+  }
+}
+
+}  // namespace dta::translator

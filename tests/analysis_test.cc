@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/cost_model.h"
+#include "analysis/hw_model.h"
+#include "analysis/kw_bounds.h"
+#include "analysis/postcarding_bounds.h"
+#include "analysis/tofino_model.h"
+
+namespace dta::analysis {
+namespace {
+
+// ------------------------------------------------- Key-Write bounds (A.5)
+
+TEST(KwBounds, PaperNumericExampleN2) {
+  // §4: "if N = 2, b = 32, alpha = 0.1, the chance of not providing the
+  // output is less than 3.3%, while the probability of wrong output is
+  // bounded by 1.6e-11."
+  KwParams p;
+  p.redundancy = 2;
+  p.checksum_bits = 32;
+  p.load_alpha = 0.1;
+  EXPECT_LT(kw_empty_return_bound(p), 0.033);
+  EXPECT_GT(kw_empty_return_bound(p), 0.025);  // and close to it
+  EXPECT_LT(kw_wrong_output_bound(p), 1.6e-11);
+  EXPECT_GT(kw_wrong_output_bound(p), 1.0e-11);
+}
+
+TEST(KwBounds, PaperNumericExampleN1AndN4) {
+  // §4: "significantly lower than with N = 1 (which results in not
+  // providing output with probability 9.5%) and higher than for N = 4
+  // (probability 1.2%)."
+  KwParams p1;
+  p1.redundancy = 1;
+  p1.load_alpha = 0.1;
+  EXPECT_NEAR(kw_empty_return_bound(p1), 0.095, 0.002);
+
+  KwParams p4;
+  p4.redundancy = 4;
+  p4.load_alpha = 0.1;
+  EXPECT_NEAR(kw_empty_return_bound(p4), 0.012, 0.002);
+}
+
+TEST(KwBounds, OverwriteProbPoisson) {
+  KwParams p;
+  p.redundancy = 2;
+  p.load_alpha = 0.1;
+  EXPECT_NEAR(kw_slot_overwrite_prob(p), 1.0 - std::exp(-0.2), 1e-12);
+}
+
+TEST(KwBounds, WrongOutputShrinksWithChecksumBits) {
+  KwParams p;
+  p.load_alpha = 0.5;
+  double prev = 1.0;
+  for (unsigned b : {8u, 16u, 24u, 32u}) {
+    p.checksum_bits = b;
+    const double w = kw_wrong_output_bound(p);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(KwBounds, EmptyReturnGrowsWithLoad) {
+  KwParams p;
+  double prev = 0.0;
+  for (double alpha : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    p.load_alpha = alpha;
+    const double e = kw_empty_return_bound(p);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(KwBounds, LowerBoundBelowUpperBound) {
+  for (unsigned n : {1u, 2u, 4u, 8u}) {
+    KwParams p;
+    p.redundancy = n;
+    p.load_alpha = 0.3;
+    EXPECT_LE(kw_wrong_output_lower_bound(p), kw_wrong_output_bound(p));
+  }
+}
+
+TEST(KwBounds, HighRedundancyHurtsAtHighLoad) {
+  // Figure 12's crossover: at very high load factors, more redundancy
+  // stops helping (harder to reach consensus).
+  KwParams low_n;
+  low_n.redundancy = 1;
+  low_n.load_alpha = 1.0;
+  KwParams high_n;
+  high_n.redundancy = 8;
+  high_n.load_alpha = 1.0;
+  EXPECT_GT(kw_success_rate_estimate(low_n),
+            kw_success_rate_estimate(high_n));
+}
+
+TEST(KwBounds, RedundancyHelpsAtLowLoad) {
+  KwParams n1;
+  n1.redundancy = 1;
+  n1.load_alpha = 0.1;
+  KwParams n4;
+  n4.redundancy = 4;
+  n4.load_alpha = 0.1;
+  EXPECT_GT(kw_success_rate_estimate(n4), kw_success_rate_estimate(n1));
+}
+
+// --------------------------------------------- Postcarding bounds (A.6)
+
+TEST(PcBounds, PaperNumericExample) {
+  // §4 / A.6: |V|=2^18, B=5, N=2, b=32, alpha=0.1: empty-return at most
+  // 3.3%, wrong output below 1e-22, and KW-per-hop false output ~8e-11
+  // with twice the per-entry width.
+  PostcardingParams p;
+  p.redundancy = 2;
+  p.slot_bits = 32;
+  p.hops = 5;
+  p.value_space = 262144;  // 2^18
+  p.load_alpha = 0.1;
+  EXPECT_LT(pc_empty_return_bound(p), 0.033);
+  EXPECT_LT(pc_wrong_output_bound(p), 1e-22);
+  EXPECT_NEAR(kw_per_hop_false_output(p, 32), 8e-11, 4e-11);
+}
+
+TEST(PcBounds, FalseValidProbability) {
+  PostcardingParams p;
+  p.value_space = 15;  // |V|+1 = 16 = 2^4
+  p.slot_bits = 8;
+  p.hops = 2;
+  // ((15+1) * 2^-8)^2 = (1/16)^2.
+  EXPECT_NEAR(pc_false_valid_prob(p), 1.0 / 256.0, 1e-12);
+}
+
+TEST(PcBounds, MoreHopsAmplifyProtection) {
+  PostcardingParams p;
+  p.load_alpha = 0.5;
+  double prev = 1.0;
+  for (unsigned hops : {1u, 2u, 3u, 5u}) {
+    p.hops = hops;
+    const double w = pc_wrong_output_bound(p);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(PcBounds, BeatsPerHopKwAtSameWidth) {
+  // The Postcarding design argument: wrong-output with b=32 slots is
+  // far below per-hop KW even when KW spends 2x the bits.
+  PostcardingParams p;
+  p.redundancy = 2;
+  p.slot_bits = 32;
+  p.hops = 5;
+  p.value_space = 262144;
+  p.load_alpha = 0.1;
+  EXPECT_LT(pc_wrong_output_bound(p), kw_per_hop_false_output(p, 32) * 1e-6);
+}
+
+// ------------------------------------------------------ Fig. 3 cost model
+
+TEST(CostModel, CoresScaleLinearlyWithSwitches) {
+  CollectionCostParams params;
+  params.per_core_reports_per_sec = 1.5e6;
+  EXPECT_EQ(cores_needed(1, 19e6, params), 13);  // ceil(19/1.5)
+  EXPECT_EQ(cores_needed(10, 19e6, params), 127);
+  EXPECT_EQ(cores_needed(1000, 19e6, params), 12667);
+}
+
+TEST(CostModel, PaperTenKCoresAtThousandSwitches) {
+  // §2: "for networks comprising around a thousand switches, we would
+  // need to dedicate nearly 10K cores just for collection" (INT 0.5%).
+  CollectionCostParams params;
+  params.per_core_reports_per_sec = 2e6;  // ~MultiLog per-core
+  const double cores = cores_needed(1000, 19e6, params);
+  EXPECT_GT(cores, 5e3);
+  EXPECT_LT(cores, 2e4);
+}
+
+TEST(CostModel, FatTreeGeometry) {
+  EXPECT_EQ(fat_tree_switches(28), 980u);  // 5*28^2/4
+  EXPECT_EQ(fat_tree_servers(28), 5488u);  // 28^3/4
+}
+
+TEST(CostModel, PaperFatTreeFraction) {
+  // §2: in a K=28 fat tree, collection cores ≈ over 11% of the servers'
+  // cores (16 cores each).
+  CollectionCostParams params;
+  params.per_core_reports_per_sec = 2e6;
+  const double frac = collection_core_fraction(28, 19e6, params, 16);
+  EXPECT_GT(frac, 0.08);
+  EXPECT_LT(frac, 0.15);
+}
+
+TEST(CostModel, CurveIsMonotonic) {
+  const auto curve = cost_curve(7.2e6, CollectionCostParams{});
+  ASSERT_GT(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].cores, curve[i - 1].cores);
+  }
+}
+
+// -------------------------------------------------- Tofino resource model
+
+TEST(TofinoModel, DtaReporterMatchesUdp) {
+  // Figure 9's headline: "DTA imposes an almost identical resource
+  // footprint to UDP" — within 2 percentage points on every dimension.
+  const auto udp = reporter_udp().utilization();
+  const auto dta = reporter_dta().utilization();
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    EXPECT_GE(dta[i] + 1e-12, udp[i]);  // DTA never cheaper than UDP
+    EXPECT_LT(dta[i] - udp[i], 0.02)
+        << tofino_resource_name(static_cast<TofinoResource>(i));
+  }
+}
+
+TEST(TofinoModel, RdmaReporterRoughlyDoublesDta) {
+  // "DTA halves the resource footprint of reporters compared with
+  // RDMA-generating alternatives" (§6.3).
+  const auto dta = reporter_dta().utilization();
+  const auto rdma = reporter_rdma().utilization();
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    EXPECT_GT(rdma[i], dta[i] * 1.5)
+        << tofino_resource_name(static_cast<TofinoResource>(i));
+    EXPECT_LT(rdma[i], dta[i] * 3.0);
+  }
+}
+
+TEST(TofinoModel, TranslatorBaseMatchesTable3) {
+  const auto u = translator_base().utilization();
+  EXPECT_NEAR(u[0], 0.132, 0.02);  // SRAM 13.2%
+  EXPECT_NEAR(u[1], 0.106, 0.02);  // crossbar 10.6%
+  EXPECT_NEAR(u[2], 0.490, 0.03);  // table IDs 49.0%
+  EXPECT_NEAR(u[4], 0.307, 0.03);  // ternary bus 30.7%
+  EXPECT_NEAR(u[5], 0.250, 0.03);  // stateful ALU 25.0%
+}
+
+TEST(TofinoModel, BatchingDeltaMatchesTable3) {
+  const auto d = translator_batching_delta(16).utilization();
+  EXPECT_NEAR(d[0], 0.032, 0.01);  // +3.2% SRAM
+  EXPECT_NEAR(d[1], 0.072, 0.01);  // +7.2% crossbar
+  EXPECT_NEAR(d[2], 0.078, 0.015); // +7.8% table IDs
+  EXPECT_NEAR(d[4], 0.078, 0.015); // +7.8% ternary
+  EXPECT_NEAR(d[5], 0.313, 0.03);  // +31.3% stateful ALU
+}
+
+TEST(TofinoModel, BatchingAluScalesLinearly) {
+  // §6.4: batch sizes "linearly correlate with the number of additional
+  // stateful ALU calls".
+  const double alu4 = translator_batching_delta(4).total()[5];
+  const double alu8 = translator_batching_delta(8).total()[5];
+  const double alu16 = translator_batching_delta(16).total()[5];
+  EXPECT_NEAR(alu8 / alu4, 7.0 / 3.0, 0.01);
+  EXPECT_NEAR(alu16 / alu8, 15.0 / 7.0, 0.01);
+}
+
+TEST(TofinoModel, SubsetCheaperThanFull) {
+  // §6.4: "operators might reduce their hardware costs by enabling
+  // fewer primitives."
+  const auto full = translator_subset(true, true, true, 16).total();
+  const auto kw_only = translator_subset(true, false, false, 0).total();
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    EXPECT_LE(kw_only[i], full[i]);
+  }
+  EXPECT_LT(kw_only[0], full[0]);
+}
+
+TEST(TofinoModel, EverythingFitsInTofino1) {
+  // "fits in first-generation programmable switches, while leaving a
+  // majority of resources freed up" (§6.4).
+  const auto u = translator_subset(true, true, true, 16).utilization();
+  for (std::size_t i = 0; i < kNumTofinoResources; ++i) {
+    EXPECT_LT(u[i], 0.60)
+        << tofino_resource_name(static_cast<TofinoResource>(i));
+  }
+}
+
+// ------------------------------------------------------ hardware model
+
+TEST(HwModel, KwRateInverseInRedundancy) {
+  HwParams hw;
+  const double r1 = kw_collection_rate(hw, 1, 4);
+  const double r2 = kw_collection_rate(hw, 2, 4);
+  const double r4 = kw_collection_rate(hw, 4, 4);
+  EXPECT_NEAR(r2, r1 / 2, r1 * 0.01);
+  EXPECT_NEAR(r4, r1 / 4, r1 * 0.01);
+}
+
+TEST(HwModel, KwN1NearPaper) {
+  // Figure 10: ~100-125M reports/s for N=1 with 4B payloads.
+  const double r = kw_collection_rate(HwParams{}, 1, 4);
+  EXPECT_GT(r, 90e6);
+  EXPECT_LT(r, 130e6);
+}
+
+TEST(HwModel, KwRateUnaffectedBySizeUntilLineRate) {
+  // §6.5: "the collection rate is unaffected by the increase in the
+  // telemetry data size until the 100Gbps line rate is reached" (~16B+).
+  HwParams hw;
+  EXPECT_DOUBLE_EQ(kw_collection_rate(hw, 1, 4),
+                   kw_collection_rate(hw, 1, 8));
+  EXPECT_LE(kw_collection_rate(hw, 1, 64), kw_collection_rate(hw, 1, 4));
+}
+
+TEST(HwModel, PostcardingBeatsKwByAggregation) {
+  // §6.6: up to 4.3x over best-case Key-Write for 5-hop collection.
+  HwParams hw;
+  const double kw_paths = kw_collection_rate(hw, 1, 4) / 5.0;  // 5 reports
+  const double pc_paths = postcarding_paths_rate(hw, 5, 1, 1.0);
+  EXPECT_GT(pc_paths, kw_paths * 3.5);
+  EXPECT_LT(pc_paths, kw_paths * 5.5);
+}
+
+TEST(HwModel, PostcardingPeakNearPaper) {
+  // Figure 14 peak: 90.5M paths/s (452.5M postcards/s) with aggregation
+  // success ~0.86 at the best cache configuration.
+  const double paths = postcarding_paths_rate(HwParams{}, 5, 1, 0.86);
+  EXPECT_GT(paths, 75e6);
+  EXPECT_LT(paths, 105e6);
+}
+
+TEST(HwModel, AppendScalesWithBatchUntilLineRate) {
+  HwParams hw;
+  const double b1 = append_collection_rate(hw, 1, 4);
+  const double b2 = append_collection_rate(hw, 2, 4);
+  const double b4 = append_collection_rate(hw, 4, 4);
+  const double b16 = append_collection_rate(hw, 16, 4);
+  EXPECT_NEAR(b2, b1 * 2, b1 * 0.05);   // linear at first
+  EXPECT_NEAR(b4, b1 * 4, b1 * 0.08);
+  EXPECT_LT(b16, b1 * 16);              // sub-linear after line rate
+  EXPECT_GT(b16, 1e9);                  // "over 1 billion reports/s" (§6.7)
+}
+
+TEST(HwModel, MultiNicRaisesCeiling) {
+  HwParams one;
+  HwParams two;
+  two.nics = 2;
+  EXPECT_GT(kw_collection_rate(two, 2, 4), kw_collection_rate(one, 2, 4));
+}
+
+TEST(HwModel, Fig7aSpeedupsReproduced) {
+  // Figure 7a: KW ≥ 4x, Postcarding ≥ 16x, Append ≥ 41x over MultiLog
+  // (16-core MultiLog ≈ 25M reports/s).
+  HwParams hw;
+  const double multilog = cpu_collection_rate(1400, 16);  // ~25M
+  const double kw = kw_collection_rate(hw, 1, 4);
+  const double pc = postcarding_paths_rate(hw, 5, 1, 0.86) * 5;  // postcards
+  const double ap = append_collection_rate(hw, 16, 4);
+  EXPECT_GT(kw / multilog, 3.5);
+  EXPECT_GT(pc / multilog, 14.0);
+  EXPECT_GT(ap / multilog, 38.0);
+}
+
+}  // namespace
+}  // namespace dta::analysis

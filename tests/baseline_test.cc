@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "baseline/btrdb.h"
+#include "baseline/cuckoo.h"
+#include "baseline/ingest.h"
+#include "baseline/intcollector.h"
+#include "baseline/multilog.h"
+#include "perfmodel/cache_model.h"
+
+namespace dta::baseline {
+namespace {
+
+IntReport report_of(std::uint32_t i, std::uint32_t value,
+                    std::uint64_t ts = 0) {
+  IntReport r;
+  r.ts_ns = ts ? ts : i * 1000ull;
+  r.flow = {0x0A000000 + i, 0x0B000000 + i,
+            static_cast<std::uint16_t>(1000 + i % 60000),
+            static_cast<std::uint16_t>(80), 6};
+  r.value = value;
+  return r;
+}
+
+// ------------------------------------------------------------- serialization
+
+TEST(IngestFormat, SerializeParseRoundTrip) {
+  perfmodel::MemCounter mc;
+  const IntReport r = report_of(7, 0xFEED, 123456789);
+  const IntReport back = parse_report(common::ByteSpan(serialize_report(r)), mc);
+  EXPECT_EQ(back.ts_ns, r.ts_ns);
+  EXPECT_EQ(back.flow, r.flow);
+  EXPECT_EQ(back.value, r.value);
+  EXPECT_GT(mc.phase(perfmodel::Phase::kParse).total(), 0u);
+}
+
+// -------------------------------------------------------- shared behaviours
+
+template <typename Backend>
+class BackendTest : public ::testing::Test {
+ protected:
+  Backend backend_;
+  perfmodel::MemCounter mc_;
+};
+
+using Backends =
+    ::testing::Types<MultiLogCollector, CuckooCollector, IntCollectorSim,
+                     BtrDbSim>;
+TYPED_TEST_SUITE(BackendTest, Backends);
+
+TYPED_TEST(BackendTest, InsertThenLookup) {
+  this->backend_.insert(report_of(1, 42), this->mc_);
+  std::uint32_t value = 0;
+  ASSERT_TRUE(this->backend_.lookup(report_of(1, 0).flow, &value));
+  EXPECT_EQ(value, 42u);
+}
+
+TYPED_TEST(BackendTest, MissingFlowNotFound) {
+  this->backend_.insert(report_of(1, 42), this->mc_);
+  std::uint32_t value = 0;
+  EXPECT_FALSE(this->backend_.lookup(report_of(999, 0).flow, &value));
+}
+
+TYPED_TEST(BackendTest, LatestValueVisible) {
+  this->backend_.insert(report_of(1, 10), this->mc_);
+  this->backend_.insert(report_of(1, 20), this->mc_);
+  std::uint32_t value = 0;
+  ASSERT_TRUE(this->backend_.lookup(report_of(1, 0).flow, &value));
+  EXPECT_EQ(value, 20u);
+}
+
+TYPED_TEST(BackendTest, ManyFlowsRetrievable) {
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    this->backend_.insert(report_of(i, i + 7), this->mc_);
+  }
+  int hits = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    std::uint32_t value = 0;
+    if (this->backend_.lookup(report_of(i, 0).flow, &value) &&
+        value == i + 7) {
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, 2000);
+}
+
+TYPED_TEST(BackendTest, InsertionCountsMemoryAccesses) {
+  this->backend_.insert(report_of(1, 1), this->mc_);
+  EXPECT_GT(this->mc_.phase(perfmodel::Phase::kInsert).total(), 0u);
+}
+
+TYPED_TEST(BackendTest, MemoryFootprintReported) {
+  // Dynamic structures grow; the Cuckoo table is pre-allocated (its
+  // footprint is its capacity), so the contract is only non-decreasing.
+  const std::size_t before = this->backend_.memory_bytes();
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    this->backend_.insert(report_of(i, i), this->mc_);
+  }
+  EXPECT_GE(this->backend_.memory_bytes(), before);
+  EXPECT_GT(this->backend_.memory_bytes(), 0u);
+}
+
+// ------------------------------------------------------- MultiLog specifics
+
+TEST(MultiLog, TimeRangeQuery) {
+  MultiLogCollector ml;
+  perfmodel::MemCounter mc;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ml.insert(report_of(i, i, (i + 1) * 1000000ull), mc);  // 1ms apart
+  }
+  // Records 10..19 fall in [11ms, 21ms).
+  const auto hits = ml.query_time_range(11000000, 21000000);
+  EXPECT_EQ(hits.size(), 10u);
+  for (const auto off : hits) {
+    EXPECT_GE(ml.record(off).ts_ns, 11000000u);
+    EXPECT_LT(ml.record(off).ts_ns, 21000000u);
+  }
+}
+
+TEST(MultiLog, SrcIpAttributeQuery) {
+  MultiLogCollector ml;
+  perfmodel::MemCounter mc;
+  for (std::uint32_t i = 0; i < 50; ++i) ml.insert(report_of(i % 5, i), mc);
+  EXPECT_EQ(ml.query_src_ip(0x0A000002).size(), 10u);
+}
+
+TEST(MultiLog, InsertionDominatesCycles) {
+  // Figure 2c: ~72.8% of MultiLog cycles are insertion.
+  MultiLogCollector ml;
+  const auto packets = make_packets(20000, 5000);
+  const IngestResult result = run_ingest(ml, packets);
+  const perfmodel::CacheModel model;
+  const auto est = model.estimate(result.counters, result.reports);
+  const double insert_frac = est.insert_cycles / est.cycles_per_report;
+  EXPECT_GT(insert_frac, 0.55);
+  EXPECT_LT(insert_frac, 0.9);
+}
+
+// --------------------------------------------------------- Cuckoo specifics
+
+TEST(Cuckoo, HandlesCollisionsViaEviction) {
+  CuckooCollector cuckoo(8);  // tiny table: 256 buckets x 4 slots
+  perfmodel::MemCounter mc;
+  for (std::uint32_t i = 0; i < 700; ++i) {  // ~68% load
+    cuckoo.insert(report_of(i, i), mc);
+  }
+  int hits = 0;
+  for (std::uint32_t i = 0; i < 700; ++i) {
+    std::uint32_t v;
+    if (cuckoo.lookup(report_of(i, 0).flow, &v) && v == i) ++hits;
+  }
+  EXPECT_GE(hits + static_cast<int>(cuckoo.failed_inserts()), 700);
+  EXPECT_GT(hits, 650);
+}
+
+TEST(Cuckoo, FewerAccessesThanMultiLog) {
+  // The §2 trade-off: Cuckoo is much lighter per report than MultiLog.
+  CuckooCollector cuckoo;
+  MultiLogCollector ml;
+  const auto packets = make_packets(5000, 2000);
+  const auto rc = run_ingest(cuckoo, packets);
+  const auto rm = run_ingest(ml, packets);
+  EXPECT_LT(rc.counters.total() * 3, rm.counters.total());
+}
+
+TEST(Cuckoo, ProbesAreRandomDramAccesses) {
+  // The §2 observation that makes Cuckoo memory-bound: every report
+  // costs several random (table-sized working set) probes — far more
+  // random traffic per report than MultiLog's compact indexes.
+  CuckooCollector cuckoo;
+  MultiLogCollector ml;
+  const auto packets = make_packets(5000, 5000);
+  const auto rc = run_ingest(cuckoo, packets);
+  const auto rm = run_ingest(ml, packets);
+  const double rand_per_report =
+      static_cast<double>(rc.counters.total_random()) / rc.reports;
+  EXPECT_GE(rand_per_report, 2.0);  // at least both bucket fetches
+  EXPECT_LE(rand_per_report, 8.0);
+  EXPECT_GT(rand_per_report,
+            static_cast<double>(rm.counters.total_random()) / rm.reports);
+}
+
+// ---------------------------------------------------------- BTrDB specifics
+
+TEST(BtrDb, SealsBlocksAndAggregates) {
+  BtrDbSim db(64);
+  perfmodel::MemCounter mc;
+  const net::FiveTuple flow = report_of(1, 0).flow;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    IntReport r = report_of(1, i, (i + 1) * 100);
+    db.insert(r, mc);
+  }
+  EXPECT_EQ(db.sealed_blocks(), 3u);  // 200/64 = 3 full leaves
+
+  const auto agg = db.query_window(flow, 0, 100000);
+  EXPECT_EQ(agg.count, 200u);
+  EXPECT_EQ(agg.v_min, 0u);
+  EXPECT_EQ(agg.v_max, 199u);
+}
+
+TEST(BtrDb, WindowQueryPartialOverlap) {
+  BtrDbSim db(32);
+  perfmodel::MemCounter mc;
+  const net::FiveTuple flow = report_of(2, 0).flow;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    db.insert(report_of(2, i, (i + 1) * 10), mc);
+  }
+  // [155, 405) covers values 15..39 (ts = (i+1)*10).
+  const auto agg = db.query_window(flow, 155, 405);
+  EXPECT_EQ(agg.count, 25u);
+  EXPECT_EQ(agg.v_min, 15u);
+  EXPECT_EQ(agg.v_max, 39u);
+}
+
+// ------------------------------------------------------- Figure 2 dynamics
+
+TEST(Fig2Dynamics, MultiLogScalesCuckooSaturates) {
+  MultiLogCollector ml;
+  CuckooCollector cuckoo;
+  const auto packets = make_packets(20000, 100000);
+  const auto rm = run_ingest(ml, packets);
+  const auto rc = run_ingest(cuckoo, packets);
+
+  const perfmodel::CacheModel model;
+  // MultiLog: throughput keeps growing through 20 cores (CPU-bound).
+  const auto ml8 = model.scale(rm.counters, rm.reports, 8);
+  const auto ml20 = model.scale(rm.counters, rm.reports, 20);
+  EXPECT_GT(ml20.reports_per_sec, ml8.reports_per_sec * 2.0);
+
+  // Cuckoo: saturates between 11 and 20 cores (memory-bound).
+  const auto ck11 = model.scale(rc.counters, rc.reports, 11);
+  const auto ck20 = model.scale(rc.counters, rc.reports, 20);
+  EXPECT_LT(ck20.reports_per_sec, ck11.reports_per_sec * 1.5);
+
+  // Cuckoo's stall fraction grows with cores and exceeds MultiLog's.
+  EXPECT_GT(ck20.stall_fraction, ck11.stall_fraction * 0.99);
+  EXPECT_GT(ck20.stall_fraction, ml20.stall_fraction);
+
+  // Cuckoo is faster per core at low core counts.
+  const auto ml2 = model.scale(rm.counters, rm.reports, 2);
+  const auto ck2 = model.scale(rc.counters, rc.reports, 2);
+  EXPECT_GT(ck2.reports_per_sec, ml2.reports_per_sec);
+}
+
+}  // namespace
+}  // namespace dta::baseline

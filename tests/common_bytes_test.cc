@@ -1,0 +1,99 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace dta::common {
+namespace {
+
+TEST(Bytes, PutReadRoundTripU16) {
+  Bytes b;
+  put_u16(b, 0xBEEF);
+  ASSERT_EQ(b.size(), 2u);
+  Cursor cur((ByteSpan(b)));
+  EXPECT_EQ(cur.u16(), 0xBEEF);
+  EXPECT_TRUE(cur.ok());
+}
+
+TEST(Bytes, PutReadRoundTripU32) {
+  Bytes b;
+  put_u32(b, 0xDEADBEEF);
+  Cursor cur((ByteSpan(b)));
+  EXPECT_EQ(cur.u32(), 0xDEADBEEFu);
+}
+
+TEST(Bytes, PutReadRoundTripU64) {
+  Bytes b;
+  put_u64(b, 0x0123456789ABCDEFull);
+  Cursor cur((ByteSpan(b)));
+  EXPECT_EQ(cur.u64(), 0x0123456789ABCDEFull);
+}
+
+TEST(Bytes, BigEndianLayout) {
+  Bytes b;
+  put_u32(b, 0x01020304);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(Bytes, CursorOverrunSetsNotOk) {
+  Bytes b = {1, 2};
+  Cursor cur((ByteSpan(b)));
+  cur.u32();  // needs 4 bytes, only 2 available
+  EXPECT_FALSE(cur.ok());
+}
+
+TEST(Bytes, CursorOverrunReturnsZero) {
+  Bytes b = {0xFF};
+  Cursor cur((ByteSpan(b)));
+  EXPECT_EQ(cur.u16(), 0u);
+}
+
+TEST(Bytes, CursorStaysNotOkAfterOverrun) {
+  Bytes b = {1};
+  Cursor cur((ByteSpan(b)));
+  cur.u32();
+  EXPECT_FALSE(cur.ok());
+  // Even a fitting read must not resurrect the cursor.
+  EXPECT_EQ(cur.u8(), 0u);
+  EXPECT_FALSE(cur.ok());
+}
+
+TEST(Bytes, CursorBytesSubspan) {
+  Bytes b = {1, 2, 3, 4, 5};
+  Cursor cur((ByteSpan(b)));
+  cur.skip(1);
+  ByteSpan s = cur.bytes(3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(cur.remaining(), 1u);
+}
+
+TEST(Bytes, InPlaceU32RoundTrip) {
+  std::uint8_t buf[4];
+  store_u32(buf, 0xCAFEBABE);
+  EXPECT_EQ(load_u32(buf), 0xCAFEBABEu);
+}
+
+TEST(Bytes, InPlaceU64RoundTrip) {
+  std::uint8_t buf[8];
+  store_u64(buf, 0x1122334455667788ull);
+  EXPECT_EQ(load_u64(buf), 0x1122334455667788ull);
+}
+
+TEST(Bytes, ToHex) {
+  Bytes b = {0x00, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(ByteSpan(b)), "00abff");
+}
+
+TEST(Bytes, PutBytesAppends) {
+  Bytes a = {1, 2};
+  Bytes b = {3, 4};
+  put_bytes(a, ByteSpan(b));
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace dta::common

@@ -1,0 +1,96 @@
+#include "common/crc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dta::common {
+namespace {
+
+ByteSpan span_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32, KnownVectorIeee) {
+  // The canonical check value: CRC-32("123456789") = 0xCBF43926.
+  Crc32 crc(kChecksumPoly);
+  EXPECT_EQ(crc.compute(span_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectorCastagnoli) {
+  // CRC-32C("123456789") = 0xE3069283.
+  Crc32 crc(kValuePoly);
+  EXPECT_EQ(crc.compute(span_of("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32, EmptyInputIsZero) {
+  Crc32 crc(kChecksumPoly);
+  EXPECT_EQ(crc.compute({}), 0u);  // init ^ xor_out with no data
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Crc32 crc(kChecksumPoly);
+  const std::string msg = "direct telemetry access";
+  std::uint32_t state = crc.begin();
+  state = crc.update(state, span_of(msg.substr(0, 7)));
+  state = crc.update(state, span_of(msg.substr(7)));
+  EXPECT_EQ(crc.finish(state), crc.compute(span_of(msg)));
+}
+
+TEST(Crc32, DifferentPolynomialsDiffer) {
+  const std::string msg = "flow-key-0001";
+  std::set<std::uint32_t> hashes;
+  for (unsigned i = 0; i < kSlotPolys.size(); ++i) {
+    hashes.insert(slot_crc(i).compute(span_of(msg)));
+  }
+  // All 8 slot hash functions must produce distinct values for a
+  // representative key (they act as independent hash functions).
+  EXPECT_EQ(hashes.size(), kSlotPolys.size());
+}
+
+TEST(Crc32, HopChecksumsIndependent) {
+  const std::string key = "some-5-tuple!";
+  std::set<std::uint32_t> hashes;
+  for (unsigned hop = 0; hop < 8; ++hop) {
+    hashes.insert(hop_crc(hop).compute(span_of(key)));
+  }
+  EXPECT_EQ(hashes.size(), 8u);
+}
+
+TEST(Crc32, SingleBitChangesHash) {
+  Crc32 crc(kChecksumPoly);
+  Bytes a(16, 0);
+  Bytes b = a;
+  b[7] ^= 0x01;
+  EXPECT_NE(crc.compute(ByteSpan(a)), crc.compute(ByteSpan(b)));
+}
+
+TEST(Crc32, SlotHashesLookUniform) {
+  // Bucket 10K sequential keys into 16 buckets per hash function and
+  // check no bucket deviates more than 30% from the mean — a coarse
+  // uniformity guard for the slot-index functions.
+  constexpr int kKeys = 10000;
+  constexpr int kBuckets = 16;
+  for (unsigned fn = 0; fn < 4; ++fn) {
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kKeys; ++i) {
+      Bytes key;
+      put_u32(key, static_cast<std::uint32_t>(i));
+      counts[slot_crc(fn).compute(ByteSpan(key)) % kBuckets]++;
+    }
+    for (int c : counts) {
+      EXPECT_GT(c, kKeys / kBuckets * 0.7) << "hash fn " << fn;
+      EXPECT_LT(c, kKeys / kBuckets * 1.3) << "hash fn " << fn;
+    }
+  }
+}
+
+TEST(Crc32, SharedEnginesAreStable) {
+  Bytes key = {1, 2, 3};
+  const std::uint32_t first = checksum_crc().compute(ByteSpan(key));
+  EXPECT_EQ(checksum_crc().compute(ByteSpan(key)), first);
+}
+
+}  // namespace
+}  // namespace dta::common

@@ -1,0 +1,104 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dta::common {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowZeroBound) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.next_below(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  const double mean = 250.0;
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_exponential(mean);
+  EXPECT_NEAR(sum / kDraws, mean, mean * 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ZipfInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_zipf(1000, 1.05), 1000u);
+  }
+}
+
+TEST(Rng, ZipfSkewedTowardLowRanks) {
+  Rng rng(19);
+  constexpr int kDraws = 100000;
+  int low = 0;  // rank in the first 1% of the space
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.next_zipf(10000, 1.05) < 100) ++low;
+  }
+  // Under uniform sampling low ≈ 1%; Zipf(1.05) concentrates far more.
+  EXPECT_GT(low, kDraws / 10);
+}
+
+TEST(Rng, ZipfDegenerateSizes) {
+  Rng rng(21);
+  EXPECT_EQ(rng.next_zipf(0, 1.0), 0u);
+  EXPECT_EQ(rng.next_zipf(1, 1.0), 0u);
+}
+
+}  // namespace
+}  // namespace dta::common

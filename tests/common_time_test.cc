@@ -1,0 +1,63 @@
+#include "common/time_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dta::common {
+namespace {
+
+TEST(VirtualClock, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100u);
+}
+
+TEST(VirtualClock, AdvanceToOnlyMovesForward) {
+  VirtualClock clock;
+  clock.advance_to(500);
+  EXPECT_EQ(clock.now(), 500u);
+  clock.advance_to(200);  // in the past: no-op
+  EXPECT_EQ(clock.now(), 500u);
+}
+
+TEST(RateLimitedResource, ServiceTimeFromRate) {
+  RateLimitedResource r(1e9);  // 1 op/ns
+  EXPECT_EQ(r.service_ns(), 1u);
+}
+
+TEST(RateLimitedResource, BackToBackOpsQueue) {
+  RateLimitedResource r(1e8);  // 10ns per op
+  EXPECT_EQ(r.schedule(0), 10u);
+  EXPECT_EQ(r.schedule(0), 20u);  // queues behind the first
+  EXPECT_EQ(r.schedule(0), 30u);
+}
+
+TEST(RateLimitedResource, IdleGapResets) {
+  RateLimitedResource r(1e8);
+  r.schedule(0);
+  // Arriving long after the resource went idle: no queueing.
+  EXPECT_EQ(r.schedule(1000), 1010u);
+}
+
+TEST(RateLimitedResource, VariableCostSchedule) {
+  RateLimitedResource r(0);
+  EXPECT_EQ(r.schedule(100, 50), 150u);
+  EXPECT_EQ(r.schedule(100, 50), 200u);
+}
+
+TEST(RateLimitedResource, ModelsThroughputCeiling) {
+  // 105M ops/s: a million back-to-back ops should take ~9.52ms.
+  RateLimitedResource r(105e6);
+  VirtualNs done = 0;
+  for (int i = 0; i < 1000000; ++i) done = r.schedule(0);
+  const double rate = 1e6 * 1e9 / static_cast<double>(done);
+  EXPECT_NEAR(rate, 105e6, 105e6 * 0.06);  // integer-ns rounding slack
+}
+
+TEST(NsPerEvent, Conversion) {
+  EXPECT_EQ(ns_per_event(1e9), 1u);
+  EXPECT_EQ(ns_per_event(0), 0u);
+}
+
+}  // namespace
+}  // namespace dta::common

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/flow.h"
+#include "net/link.h"
+
+namespace dta::net {
+namespace {
+
+TEST(FiveTuple, ByteRoundTrip) {
+  FiveTuple t{0xC0A80101, 0x0A000002, 443, 51515, 6};
+  const auto bytes = t.to_bytes();
+  const FiveTuple back =
+      FiveTuple::from_bytes(common::ByteSpan(bytes.data(), bytes.size()));
+  EXPECT_EQ(back, t);
+}
+
+TEST(FiveTuple, WireSizeIs13) {
+  EXPECT_EQ(FiveTuple::kWireSize, 13u);
+  EXPECT_EQ(FiveTuple{}.to_bytes().size(), 13u);
+}
+
+TEST(FiveTuple, HashSpreadsNearbyTuples) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint16_t port = 0; port < 1000; ++port) {
+    FiveTuple t{0x0A000001, 0x0A000002, port, 80, 6};
+    hashes.insert(flow_hash64(t));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(FiveTuple, ToStringReadable) {
+  FiveTuple t{0x0A000001, 0x0A000002, 1234, 80, 6};
+  EXPECT_EQ(t.to_string(), "10.0.0.1:1234>10.0.0.2:80/6");
+}
+
+TEST(Packet, WireBytesIncludesFramingAndMinimum) {
+  EXPECT_EQ(wire_bytes(60), 60u + 24u);
+  EXPECT_EQ(wire_bytes(10), 60u + 24u);  // padded to the 60B minimum
+  EXPECT_EQ(wire_bytes(1500), 1500u + 24u);
+}
+
+TEST(Link, DeliversWithSerializationDelay) {
+  LinkParams params;
+  params.gbps = 100.0;
+  params.propagation_ns = 500;
+  Link link(params);
+
+  Packet received;
+  bool got = false;
+  link.set_sink([&](Packet&& p) {
+    received = std::move(p);
+    got = true;
+  });
+
+  Packet pkt(common::Bytes(76, 0));  // 100B on the wire = 8ns at 100G
+  ASSERT_TRUE(link.transmit(std::move(pkt), 0));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(received.arrival_ns, 8u + 500u);
+}
+
+TEST(Link, BackToBackPacketsQueue) {
+  LinkParams params;
+  params.gbps = 100.0;
+  params.propagation_ns = 0;
+  Link link(params);
+
+  std::vector<common::VirtualNs> arrivals;
+  link.set_sink([&](Packet&& p) { arrivals.push_back(p.arrival_ns); });
+  for (int i = 0; i < 3; ++i) {
+    link.transmit(Packet(common::Bytes(76, 0)), 0);
+  }
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], arrivals[2] - arrivals[1]);
+  EXPECT_GT(arrivals[1], arrivals[0]);
+}
+
+TEST(Link, LossDropsConfiguredFraction) {
+  LinkParams params;
+  params.loss_rate = 0.25;
+  params.seed = 3;
+  Link link(params);
+  link.set_sink([](Packet&&) {});
+
+  constexpr int kPackets = 20000;
+  for (int i = 0; i < kPackets; ++i) {
+    link.transmit(Packet(common::Bytes(64, 0)), 0);
+  }
+  EXPECT_NEAR(static_cast<double>(link.dropped()) / kPackets, 0.25, 0.02);
+  EXPECT_EQ(link.delivered() + link.dropped(), kPackets);
+}
+
+TEST(Link, ZeroLossDeliversEverything) {
+  Link link(LinkParams{});
+  int count = 0;
+  link.set_sink([&](Packet&&) { ++count; });
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(link.transmit(Packet(common::Bytes(64, 0)), 0));
+  }
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(Link, ReorderSwapsDelivery) {
+  LinkParams params;
+  params.reorder_rate = 1.0;  // hold every packet until the next
+  Link link(params);
+  std::vector<std::uint8_t> order;
+  link.set_sink([&](Packet&& p) { order.push_back(p.data[0]); });
+
+  Packet a(common::Bytes{1});
+  Packet b(common::Bytes{2});
+  link.transmit(std::move(a), 0);
+  link.transmit(std::move(b), 0);  // also held... then flushed after
+  // With rate 1.0 both are held; nothing delivered yet.
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(link.reordered(), 2u);
+}
+
+TEST(Link, AchievedPpsMatchesLineRate) {
+  LinkParams params;
+  params.gbps = 100.0;
+  params.propagation_ns = 0;
+  Link link(params);
+  link.set_sink([](Packet&&) {});
+  for (int i = 0; i < 10000; ++i) {
+    link.transmit(Packet(common::Bytes(60, 0)), 0);
+  }
+  // 84B wire frames at 100G = ~148.8 Mpps.
+  EXPECT_NEAR(link.achieved_pps(), 148.8e6, 5e6);
+}
+
+}  // namespace
+}  // namespace dta::net

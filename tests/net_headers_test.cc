@@ -1,0 +1,134 @@
+#include "net/headers.h"
+
+#include <gtest/gtest.h>
+
+namespace dta::net {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using common::Cursor;
+
+TEST(Ethernet, EncodeDecodeRoundTrip) {
+  EthernetHeader h;
+  h.dst = {1, 2, 3, 4, 5, 6};
+  h.src = {7, 8, 9, 10, 11, 12};
+  h.ether_type = kEtherTypeIpv4;
+
+  Bytes buf;
+  h.encode(buf);
+  ASSERT_EQ(buf.size(), EthernetHeader::kSize);
+
+  Cursor cur((ByteSpan(buf)));
+  auto decoded = EthernetHeader::decode(cur);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->dst, h.dst);
+  EXPECT_EQ(decoded->src, h.src);
+  EXPECT_EQ(decoded->ether_type, h.ether_type);
+}
+
+TEST(Ipv4, EncodeDecodeRoundTrip) {
+  Ipv4Header h;
+  h.src_ip = 0x0A000001;
+  h.dst_ip = 0x0A0000C0;
+  h.total_length = 128;
+  h.ttl = 12;
+  h.dscp = 9;
+
+  Bytes buf;
+  h.encode(buf);
+  ASSERT_EQ(buf.size(), Ipv4Header::kSize);
+
+  Cursor cur((ByteSpan(buf)));
+  auto decoded = Ipv4Header::decode(cur);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->src_ip, h.src_ip);
+  EXPECT_EQ(decoded->dst_ip, h.dst_ip);
+  EXPECT_EQ(decoded->total_length, h.total_length);
+  EXPECT_EQ(decoded->ttl, h.ttl);
+  EXPECT_EQ(decoded->dscp, h.dscp);
+}
+
+TEST(Ipv4, HeaderChecksumValidates) {
+  Ipv4Header h;
+  h.src_ip = 0xC0A80001;
+  h.dst_ip = 0xC0A80002;
+  h.total_length = 60;
+  Bytes buf;
+  h.encode(buf);
+  // RFC 791: summing the header including its checksum yields 0xFFFF
+  // complement, i.e. checksum(header) == 0.
+  EXPECT_EQ(Ipv4Header::checksum(ByteSpan(buf)), 0u);
+}
+
+TEST(Ipv4, RejectsNonV4) {
+  Bytes buf(20, 0);
+  buf[0] = 0x65;  // version 6
+  Cursor cur((ByteSpan(buf)));
+  EXPECT_FALSE(Ipv4Header::decode(cur));
+}
+
+TEST(Udp, EncodeDecodeRoundTrip) {
+  UdpHeader h;
+  h.src_port = 51000;
+  h.dst_port = kDtaUdpPort;
+  h.length = 44;
+  Bytes buf;
+  h.encode(buf);
+  ASSERT_EQ(buf.size(), UdpHeader::kSize);
+  Cursor cur((ByteSpan(buf)));
+  auto decoded = UdpHeader::decode(cur);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->src_port, h.src_port);
+  EXPECT_EQ(decoded->dst_port, h.dst_port);
+  EXPECT_EQ(decoded->length, h.length);
+}
+
+TEST(UdpFrame, BuildParseRoundTrip) {
+  const Bytes payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  const Bytes frame = build_udp_frame({1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2},
+                                      0x0A000001, 0x0A000002, 1234, 5678,
+                                      ByteSpan(payload));
+  auto view = parse_udp_frame(ByteSpan(frame));
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->ip.src_ip, 0x0A000001u);
+  EXPECT_EQ(view->ip.dst_ip, 0x0A000002u);
+  EXPECT_EQ(view->udp.src_port, 1234);
+  EXPECT_EQ(view->udp.dst_port, 5678);
+  ASSERT_EQ(view->payload_length, payload.size());
+  EXPECT_EQ(Bytes(frame.begin() + view->payload_offset,
+                  frame.begin() + view->payload_offset + view->payload_length),
+            payload);
+}
+
+TEST(UdpFrame, TotalLengthsConsistent) {
+  const Bytes payload(100, 0xAA);
+  const Bytes frame = build_udp_frame({}, {}, 1, 2, 3, 4, ByteSpan(payload));
+  auto view = parse_udp_frame(ByteSpan(frame));
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->ip.total_length,
+            Ipv4Header::kSize + UdpHeader::kSize + payload.size());
+  EXPECT_EQ(view->udp.length, UdpHeader::kSize + payload.size());
+}
+
+TEST(UdpFrame, RejectsTruncated) {
+  const Bytes payload(32, 1);
+  Bytes frame = build_udp_frame({}, {}, 1, 2, 3, 4, ByteSpan(payload));
+  frame.resize(frame.size() - 20);  // cut into the payload
+  EXPECT_FALSE(parse_udp_frame(ByteSpan(frame)));
+}
+
+TEST(UdpFrame, RejectsNonUdpProtocol) {
+  const Bytes payload(8, 1);
+  Bytes frame = build_udp_frame({}, {}, 1, 2, 3, 4, ByteSpan(payload));
+  frame[14 + 9] = 6;  // IP protocol -> TCP
+  EXPECT_FALSE(parse_udp_frame(ByteSpan(frame)));
+}
+
+TEST(UdpFrame, RejectsGarbage) {
+  Bytes junk(10, 0xFF);
+  EXPECT_FALSE(parse_udp_frame(ByteSpan(junk)));
+}
+
+}  // namespace
+}  // namespace dta::net

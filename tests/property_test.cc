@@ -1,0 +1,321 @@
+// Property-based sweeps: the measured behaviour of the real data path
+// must track the paper's closed-form analysis across the parameter
+// grid. These are the strongest correctness checks in the suite — they
+// tie the simulation (translator engines + RDMA + stores) to Appendix A.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/kw_bounds.h"
+#include "collector/rdma_service.h"
+#include "common/rng.h"
+#include "translator/append_engine.h"
+#include "translator/keyincrement_engine.h"
+#include "translator/keywrite_engine.h"
+#include "translator/postcard_cache.h"
+#include "translator/rdma_crafter.h"
+
+namespace dta {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using proto::TelemetryKey;
+using translator::RdmaOp;
+
+TelemetryKey key_of(std::uint64_t id) {
+  // CRC is an affine (and injective) map over GF(2): sequential counter
+  // keys would traverse slots collision-free, which is *better* than the
+  // uniform-hashing assumption of Appendix A. Real telemetry keys (flow
+  // 5-tuples) look random, so mix the id first to match the analysis.
+  std::uint64_t z = id + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  Bytes b;
+  common::put_u64(b, z);
+  return TelemetryKey::from(ByteSpan(b));
+}
+
+// ------------------------------------------------------------------------
+// Key-Write: measured query success rate vs the analytic estimate, over
+// (N, alpha). Writes a probe population, then alpha*M newer keys, then
+// queries the probes. Mirrors the §6.5.2 experiment behind Figure 12.
+// ------------------------------------------------------------------------
+
+class KwSuccessSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, double>> {};
+
+TEST_P(KwSuccessSweep, MeasuredSuccessTracksAnalysis) {
+  const auto [redundancy, alpha] = GetParam();
+  constexpr std::uint64_t kSlots = 1 << 16;
+  constexpr int kProbes = 2000;
+
+  collector::RdmaService service;
+  collector::KeyWriteSetup setup;
+  setup.num_slots = kSlots;
+  setup.value_bytes = 4;
+  service.enable_keywrite(setup);
+  rdma::ConnectRequest req;
+  req.start_psn = 0;
+  const auto accept = service.accept(req);
+
+  translator::KeyWriteGeometry geo;
+  geo.base_va = accept.regions[0].base_va;
+  geo.rkey = accept.regions[0].rkey;
+  geo.value_bytes = 4;
+  geo.num_slots = kSlots;
+  translator::KeyWriteEngine engine(geo);
+  translator::RdmaCrafter crafter({}, accept.responder_qpn, 0);
+
+  auto write = [&](std::uint64_t id) {
+    proto::KeyWriteReport r;
+    r.key = key_of(id);
+    r.redundancy = static_cast<std::uint8_t>(redundancy);
+    common::put_u32(r.data, static_cast<std::uint32_t>(id));
+    std::vector<RdmaOp> ops;
+    engine.translate(r, false, ops);
+    for (auto& op : ops) {
+      service.nic().ingest(crafter.craft(op));
+    }
+  };
+
+  // Probe population, then alpha*M newer distinct keys.
+  for (std::uint64_t i = 0; i < kProbes; ++i) write(i);
+  const auto newer = static_cast<std::uint64_t>(alpha * kSlots);
+  for (std::uint64_t i = 0; i < newer; ++i) write(1000000 + i);
+
+  int success = 0, wrong = 0;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    const auto result = service.keywrite()->query(
+        key_of(i), static_cast<std::uint8_t>(redundancy));
+    if (result.status == collector::QueryStatus::kHit) {
+      if (common::load_u32(result.value.data()) == i) {
+        ++success;
+      } else {
+        ++wrong;
+      }
+    }
+  }
+
+  const double measured = static_cast<double>(success) / kProbes;
+  analysis::KwParams p;
+  p.redundancy = redundancy;
+  p.checksum_bits = 32;
+  p.load_alpha = alpha;
+  const double predicted = analysis::kw_success_rate_estimate(p);
+
+  EXPECT_NEAR(measured, predicted, 0.05)
+      << "N=" << redundancy << " alpha=" << alpha;
+  // Wrong outputs are essentially impossible with 32-bit checksums.
+  EXPECT_EQ(wrong, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KwSuccessSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(0.05, 0.1, 0.2, 0.5, 1.0)),
+    [](const auto& info) {
+      return "N" + std::to_string(std::get<0>(info.param)) + "_alpha" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// ------------------------------------------------------------------------
+// Postcarding: write/decode round trip across path lengths and
+// redundancy. Every written path must decode exactly; no cross-flow
+// contamination.
+// ------------------------------------------------------------------------
+
+class PostcardingSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(PostcardingSweep, PathsRoundTripExactly) {
+  const auto [path_len, redundancy] = GetParam();
+
+  collector::RdmaService service;
+  collector::PostcardingSetup setup;
+  setup.num_chunks = 1 << 14;
+  setup.hops = 5;
+  for (std::uint32_t v = 0; v < 2048; ++v) setup.value_space.push_back(v);
+  service.enable_postcarding(setup);
+  rdma::ConnectRequest req;
+  const auto accept = service.accept(req);
+
+  translator::PostcardingGeometry geo;
+  geo.base_va = accept.regions[0].base_va;
+  geo.rkey = accept.regions[0].rkey;
+  geo.hops = 5;
+  geo.num_chunks = setup.num_chunks;
+  translator::PostcardCache cache(geo, 8192);
+  translator::RdmaCrafter crafter({}, accept.responder_qpn, 0);
+
+  constexpr int kFlows = 300;
+  for (std::uint32_t flow = 0; flow < kFlows; ++flow) {
+    std::vector<RdmaOp> ops;
+    for (std::uint8_t hop = 0; hop < path_len; ++hop) {
+      proto::PostcardReport r;
+      r.key = key_of(flow);
+      r.hop = hop;
+      r.path_len = static_cast<std::uint8_t>(path_len);
+      r.redundancy = static_cast<std::uint8_t>(redundancy);
+      r.value = (flow * 7 + hop) % 2048;
+      cache.ingest(r, ops);
+    }
+    for (auto& op : ops) service.nic().ingest(crafter.craft(op));
+  }
+
+  int exact = 0;
+  for (std::uint32_t flow = 0; flow < kFlows; ++flow) {
+    const auto result = service.postcarding()->query(
+        key_of(flow), static_cast<std::uint8_t>(redundancy));
+    if (!result.found) continue;
+    ASSERT_EQ(result.hop_values.size(), path_len) << "flow " << flow;
+    bool ok = true;
+    for (std::uint8_t hop = 0; hop < path_len; ++hop) {
+      if (result.hop_values[hop] != (flow * 7 + hop) % 2048) ok = false;
+    }
+    if (ok) ++exact;
+  }
+  // Low load factor: nearly all flows must decode, and none incorrectly.
+  EXPECT_GE(exact, kFlows - 4)
+      << "path_len=" << path_len << " N=" << redundancy;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PostcardingSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u,
+                                                              5u),
+                                            ::testing::Values(1u, 2u, 3u)),
+                         [](const auto& info) {
+                           return "len" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_N" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ------------------------------------------------------------------------
+// Append: ring-buffer integrity across (batch, list length) — every
+// entry written must be read back in order across multiple wraps.
+// ------------------------------------------------------------------------
+
+class AppendWrapSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(AppendWrapSweep, OrderPreservedAcrossWraps) {
+  const auto [batch, list_entries] = GetParam();
+
+  collector::RdmaService service;
+  collector::AppendSetup setup;
+  setup.num_lists = 2;
+  setup.entries_per_list = list_entries;
+  setup.entry_bytes = 4;
+  service.enable_append(setup);
+  rdma::ConnectRequest req;
+  const auto accept = service.accept(req);
+
+  translator::AppendGeometry geo;
+  geo.base_va = accept.regions[0].base_va;
+  geo.rkey = accept.regions[0].rkey;
+  geo.num_lists = 2;
+  geo.entries_per_list = list_entries;
+  geo.entry_bytes = 4;
+  translator::AppendEngine engine(geo, batch);
+  translator::RdmaCrafter crafter({}, accept.responder_qpn, 0);
+
+  // Write 2.5 list-lengths of entries; consume while writing so the
+  // tail keeps up (the paper's CPU polls faster than collection, §6.7.1).
+  const std::uint64_t total = list_entries * 5 / 2;
+  std::uint64_t produced = 0, consumed = 0;
+  auto* store = service.append();
+
+  for (std::uint64_t i = 0; i < total; ++i) {
+    proto::AppendReport r;
+    r.list_id = 1;
+    r.entry_size = 4;
+    Bytes e;
+    common::put_u32(e, static_cast<std::uint32_t>(i));
+    r.entries.push_back(std::move(e));
+    std::vector<RdmaOp> ops;
+    engine.ingest(r, false, ops);
+    for (auto& op : ops) service.nic().ingest(crafter.craft(op));
+    produced = (i / batch) * batch;  // entries committed to memory
+
+    while (consumed + batch <= produced) {
+      ASSERT_EQ(common::load_u32(store->poll(1).data()), consumed)
+          << "batch=" << batch << " list=" << list_entries;
+      ++consumed;
+    }
+  }
+  EXPECT_GT(consumed, list_entries);  // we actually wrapped
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AppendWrapSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u,
+                                                              16u),
+                                            ::testing::Values(64u, 256u,
+                                                              1024u)),
+                         [](const auto& info) {
+                           return "b" + std::to_string(std::get<0>(info.param)) +
+                                  "_L" + std::to_string(std::get<1>(info.param));
+                         });
+
+// ------------------------------------------------------------------------
+// Key-Increment: CMS overestimate property under heavy collision load.
+// ------------------------------------------------------------------------
+
+class KiCmsSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KiCmsSweep, EstimateAlwaysAtLeastTruth) {
+  const unsigned redundancy = GetParam();
+  constexpr std::uint64_t kSlots = 512;  // tiny: force collisions
+
+  collector::RdmaService service;
+  collector::KeyIncrementSetup setup;
+  setup.num_slots = kSlots;
+  service.enable_keyincrement(setup);
+  rdma::ConnectRequest req;
+  const auto accept = service.accept(req);
+
+  translator::KeyIncrementGeometry geo;
+  geo.base_va = accept.regions[0].base_va;
+  geo.rkey = accept.regions[0].rkey;
+  geo.num_slots = kSlots;
+  translator::KeyIncrementEngine engine(geo);
+  translator::RdmaCrafter crafter({}, accept.responder_qpn, 0);
+
+  common::Rng rng(redundancy);
+  std::vector<std::uint64_t> truth(400, 0);
+  for (int step = 0; step < 5000; ++step) {
+    const auto id = rng.next_below(truth.size());
+    const std::uint64_t delta = 1 + rng.next_below(9);
+    truth[id] += delta;
+
+    proto::KeyIncrementReport r;
+    r.key = key_of(id);
+    r.redundancy = static_cast<std::uint8_t>(redundancy);
+    r.counter = delta;
+    std::vector<RdmaOp> ops;
+    engine.translate(r, ops);
+    for (auto& op : ops) service.nic().ingest(crafter.craft(op));
+  }
+
+  double total_overestimate = 0;
+  for (std::uint64_t id = 0; id < truth.size(); ++id) {
+    const std::uint64_t est = service.keyincrement()->query(
+        key_of(id), static_cast<std::uint8_t>(redundancy));
+    ASSERT_GE(est, truth[id]) << "CMS underestimated key " << id;
+    total_overestimate += static_cast<double>(est - truth[id]);
+  }
+  // More rows shrink the expected overestimate (CMS property) — with
+  // N=4 the average error must be small relative to total mass.
+  if (redundancy == 4) {
+    const double avg_err = total_overestimate / truth.size();
+    double mass = 0;
+    for (auto t : truth) mass += static_cast<double>(t);
+    EXPECT_LT(avg_err, mass * 2.0 / kSlots * 3.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, KiCmsSweep, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace dta

@@ -1,0 +1,195 @@
+// Tests for the typed query frontend and the checksum-width (b) knob —
+// including the empirical wrong-output measurement that only short
+// checksums make observable (Appendix A.5's trade-off).
+#include <gtest/gtest.h>
+
+#include "collector/query_frontend.h"
+#include "dtalib/fabric.h"
+#include "telemetry/records.h"
+
+namespace dta {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using proto::TelemetryKey;
+
+TelemetryKey key_of(std::uint64_t id) {
+  std::uint64_t z = id + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 31;
+  Bytes b;
+  common::put_u64(b, z);
+  return TelemetryKey::from(ByteSpan(b));
+}
+
+FabricConfig frontend_config() {
+  FabricConfig config;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 15;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  collector::PostcardingSetup pc;
+  pc.num_chunks = 1 << 13;
+  pc.hops = 5;
+  for (std::uint32_t v = 0; v < 512; ++v) pc.value_space.push_back(v);
+  config.postcarding = pc;
+  collector::AppendSetup ap;
+  ap.num_lists = 4;
+  ap.entries_per_list = 256;
+  ap.entry_bytes = 18;
+  config.append = ap;
+  collector::KeyIncrementSetup ki;
+  ki.num_slots = 1 << 12;
+  config.keyincrement = ki;
+  config.translator.append_batch_size = 1;
+  return config;
+}
+
+net::FiveTuple flow_of(std::uint32_t i) {
+  return {0x0A000000 + i, 0x0B000000 + i,
+          static_cast<std::uint16_t>(1000 + i), 443, 6};
+}
+
+TEST(QueryFrontend, FlowMetricRoundTrip) {
+  Fabric fabric(frontend_config());
+  collector::QueryFrontend db(&fabric.collector().service());
+
+  telemetry::MarpleTcpTimeout record;
+  record.flow = flow_of(1);
+  record.timeouts = 9;
+  fabric.report(record.to_dta(2));
+
+  const auto metric = db.flow_metric(flow_of(1), 2);
+  ASSERT_TRUE(metric);
+  EXPECT_EQ(*metric, 9u);
+  EXPECT_FALSE(db.flow_metric(flow_of(999), 2));
+}
+
+TEST(QueryFrontend, FlowPathRoundTrip) {
+  Fabric fabric(frontend_config());
+  collector::QueryFrontend db(&fabric.collector().service());
+
+  for (std::uint8_t hop = 0; hop < 5; ++hop) {
+    telemetry::IntPostcard card;
+    card.flow = flow_of(2);
+    card.hop = hop;
+    card.path_len = 5;
+    card.value = 40 + hop;
+    fabric.report(card.to_dta(1));
+  }
+  const auto path = db.flow_path(flow_of(2), 1);
+  ASSERT_TRUE(path);
+  EXPECT_EQ(*path, (std::vector<std::uint32_t>{40, 41, 42, 43, 44}));
+}
+
+TEST(QueryFrontend, CountersAccumulate) {
+  Fabric fabric(frontend_config());
+  collector::QueryFrontend db(&fabric.collector().service());
+
+  telemetry::TurboFlowRecord rec;
+  rec.flow = flow_of(3);
+  rec.packets = 25;
+  fabric.report(rec.to_dta(2));
+  fabric.report(rec.to_dta(2));
+  EXPECT_EQ(db.flow_counter(flow_of(3), 2), 50u);
+
+  telemetry::MarpleHostCounter host;
+  host.src_ip = 0xC0A80101;
+  host.count = 7;
+  fabric.report(host.to_dta(2));
+  EXPECT_EQ(db.host_counter(0xC0A80101, 2), 7u);
+  EXPECT_EQ(db.host_counter(0xC0A80199, 2), 0u);
+}
+
+TEST(QueryFrontend, EventConsumptionDecodesLossEvents) {
+  Fabric fabric(frontend_config());
+  collector::QueryFrontend db(&fabric.collector().service());
+
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    telemetry::NetSeerLossEvent ev;
+    ev.flow = flow_of(i);
+    ev.packet_seq = 100 + i;
+    ev.reason = static_cast<std::uint8_t>(i % 3);
+    fabric.report(ev.to_dta(2));
+  }
+  std::vector<collector::QueryFrontend::LossEvent> events;
+  const std::size_t n = db.consume_events(
+      2, 6, [&](common::ByteSpan entry) {
+        events.push_back(collector::QueryFrontend::decode_loss_event(entry));
+      });
+  ASSERT_EQ(n, 6u);
+  EXPECT_EQ(events[0].packet_seq, 100u);
+  EXPECT_EQ(events[5].reason, 2);
+  EXPECT_EQ(events[3].flow, flow_of(3));
+}
+
+TEST(QueryFrontend, MaxEventsBoundsTheDrain) {
+  Fabric fabric(frontend_config());
+  collector::QueryFrontend db(&fabric.collector().service());
+  int handled = 0;
+  EXPECT_EQ(db.consume_events(0, 100, [&](ByteSpan) { ++handled; }, 3), 3u);
+  EXPECT_EQ(handled, 3);
+}
+
+// -------------------------------------------------- checksum width (b)
+
+// With b=8 checksums, overwritten slots collide with the query key's
+// checksum with probability 2^-8 — wrong outputs become measurable at
+// high load, exactly as eq. (4) predicts; with b=32 they never appear.
+class ChecksumWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ChecksumWidthTest, WrongOutputRateTracksEq4) {
+  const unsigned bits = GetParam();
+  constexpr std::uint64_t kSlots = 1 << 14;
+  constexpr int kProbes = 3000;
+
+  FabricConfig config;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = kSlots;
+  kw.value_bytes = 4;
+  kw.checksum_bits = bits;
+  config.keywrite = kw;
+  Fabric fabric(config);
+
+  auto write = [&](std::uint64_t id) {
+    proto::KeyWriteReport r;
+    r.key = key_of(id);
+    r.redundancy = 1;
+    common::put_u32(r.data, static_cast<std::uint32_t>(id));
+    fabric.report_direct({proto::DtaHeader{}, r});
+  };
+
+  for (std::uint64_t i = 0; i < kProbes; ++i) write(i);
+  // alpha = 2: every probe slot is almost surely overwritten.
+  for (std::uint64_t i = 0; i < 2 * kSlots; ++i) write((1ull << 32) | i);
+
+  int wrong = 0;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    const auto result =
+        fabric.collector().service().keywrite()->query(key_of(i), 1);
+    if (result.status == collector::QueryStatus::kHit &&
+        common::load_u32(result.value.data()) != i) {
+      ++wrong;
+    }
+  }
+
+  const double rate = static_cast<double>(wrong) / kProbes;
+  if (bits <= 8) {
+    // eq.(4) with q~0.86, N=1, b=8: ~3.4e-3. Expect the same order.
+    EXPECT_GT(wrong, 0);
+    EXPECT_LT(rate, 0.02);
+  } else {
+    // 16+ bit checksums: wrong outputs must be absent at this scale.
+    EXPECT_EQ(wrong, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ChecksumWidthTest,
+                         ::testing::Values(8u, 16u, 32u),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dta

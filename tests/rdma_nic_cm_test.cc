@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "net/headers.h"
+#include "rdma/cm.h"
+#include "rdma/nic.h"
+
+namespace dta::rdma {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+
+net::Packet roce_frame(const Bytes& datagram) {
+  return net::Packet(net::build_udp_frame({}, {}, 1, 2, 999,
+                                          net::kRoceUdpPort,
+                                          ByteSpan(datagram)));
+}
+
+TEST(Nic, RoutesToCorrectQp) {
+  Nic nic;
+  MemoryRegion* mr = nic.pd().register_region(64, kRemoteWrite);
+  QueuePair* qp = nic.create_qp();
+  qp->to_init();
+  qp->to_rtr(0);
+
+  Bth bth;
+  bth.opcode = Opcode::kWriteOnly;
+  bth.dest_qpn = qp->qpn();
+  bth.psn = 0;
+  Reth reth;
+  reth.virtual_addr = mr->base_va();
+  reth.rkey = mr->rkey();
+  reth.dma_length = 1;
+  const Bytes payload = {0x5A};
+  auto outcome = nic.ingest(roce_frame(build_roce_datagram(
+      bth, &reth, nullptr, nullptr, nullptr, ByteSpan(payload))));
+  ASSERT_TRUE(outcome);
+  EXPECT_TRUE(outcome->responder.executed);
+  EXPECT_EQ(mr->data()[0], 0x5A);
+}
+
+TEST(Nic, DropsUnknownQp) {
+  Nic nic;
+  Bth bth;
+  bth.opcode = Opcode::kWriteOnly;
+  bth.dest_qpn = 0x77;
+  Reth reth;
+  reth.dma_length = 0;
+  auto outcome = nic.ingest(roce_frame(
+      build_roce_datagram(bth, &reth, nullptr, nullptr, nullptr, {})));
+  EXPECT_FALSE(outcome);
+  EXPECT_EQ(nic.counters().datagrams_dropped, 1u);
+}
+
+TEST(Nic, DropsNonRoceTraffic) {
+  Nic nic;
+  const Bytes payload = {1, 2, 3};
+  net::Packet pkt(net::build_udp_frame({}, {}, 1, 2, 10, 12345,
+                                       ByteSpan(payload)));
+  EXPECT_FALSE(nic.ingest(pkt));
+}
+
+TEST(Nic, MessageRateModelsServiceTime) {
+  NicParams params;
+  params.base_message_rate = 1e8;  // 10ns per verb
+  Nic nic(params);
+  MemoryRegion* mr = nic.pd().register_region(64, kRemoteWrite);
+  QueuePair* qp = nic.create_qp();
+  qp->to_init();
+  qp->to_rtr(0);
+
+  common::VirtualNs last = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    Bth bth;
+    bth.opcode = Opcode::kWriteOnly;
+    bth.dest_qpn = qp->qpn();
+    bth.psn = i;
+    Reth reth;
+    reth.virtual_addr = mr->base_va();
+    reth.rkey = mr->rkey();
+    reth.dma_length = 1;
+    const Bytes payload = {1};
+    auto out = nic.ingest(roce_frame(build_roce_datagram(
+        bth, &reth, nullptr, nullptr, nullptr, ByteSpan(payload))));
+    ASSERT_TRUE(out);
+    last = out->completed_at;
+  }
+  EXPECT_EQ(last, 1000u);  // 100 verbs x 10ns, all arriving at t=0
+  EXPECT_NEAR(nic.modeled_verbs_per_sec(100), 1e8, 1e6);
+}
+
+TEST(Nic, QpCountDegradesMessageRate) {
+  NicParams params;
+  params.base_message_rate = 100e6;
+  params.qp_cache_size = 4;
+  params.qp_saturation = 64;
+  params.max_qp_slowdown = 5.0;
+  Nic nic(params);
+
+  for (int i = 0; i < 4; ++i) nic.create_qp();
+  EXPECT_DOUBLE_EQ(nic.effective_message_rate(), 100e6);
+
+  for (int i = 0; i < 60; ++i) nic.create_qp();
+  EXPECT_NEAR(nic.effective_message_rate(), 20e6, 1e5);  // 5x slower
+
+  for (int i = 0; i < 100; ++i) nic.create_qp();
+  EXPECT_NEAR(nic.effective_message_rate(), 20e6, 1e5);  // floor
+}
+
+TEST(Nic, QpDegradationIsMonotonic) {
+  NicParams params;
+  params.qp_cache_size = 2;
+  params.qp_saturation = 32;
+  Nic nic(params);
+  double prev = nic.effective_message_rate();
+  for (int i = 0; i < 40; ++i) {
+    nic.create_qp();
+    const double cur = nic.effective_message_rate();
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(Cm, ConnectRequestRoundTrip) {
+  ConnectRequest req;
+  req.requester_qpn = 0x70;
+  req.start_psn = 0x1000;
+  auto decoded = ConnectRequest::decode(ByteSpan(req.encode()));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->requester_qpn, 0x70u);
+  EXPECT_EQ(decoded->start_psn, 0x1000u);
+}
+
+TEST(Cm, ConnectAcceptRoundTripWithRegions) {
+  ConnectAccept acc;
+  acc.responder_qpn = 0x11;
+  acc.start_psn = 0x1000;
+  RegionAdvert kw;
+  kw.kind = RegionKind::kKeyWrite;
+  kw.rkey = 0x1001;
+  kw.base_va = 0x100000000000ull;
+  kw.length = 1 << 20;
+  kw.param1 = 8;
+  kw.param2 = (1 << 20) / 8;
+  acc.regions.push_back(kw);
+  RegionAdvert ap;
+  ap.kind = RegionKind::kAppend;
+  ap.param2 = (255ull << 32) | 65536;
+  acc.regions.push_back(ap);
+
+  auto decoded = ConnectAccept::decode(ByteSpan(acc.encode()));
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->regions.size(), 2u);
+  EXPECT_EQ(decoded->regions[0].kind, RegionKind::kKeyWrite);
+  EXPECT_EQ(decoded->regions[0].param2, (1u << 20) / 8);
+  EXPECT_EQ(decoded->regions[1].param2 >> 32, 255u);
+}
+
+TEST(Cm, RejectsWrongMagic) {
+  Bytes junk = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  EXPECT_FALSE(ConnectRequest::decode(ByteSpan(junk)));
+  EXPECT_FALSE(ConnectAccept::decode(ByteSpan(junk)));
+}
+
+}  // namespace
+}  // namespace dta::rdma

@@ -1,0 +1,179 @@
+#include "rdma/roce.h"
+
+#include <gtest/gtest.h>
+
+namespace dta::rdma {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using common::Cursor;
+
+TEST(Bth, EncodeDecodeRoundTrip) {
+  Bth h;
+  h.opcode = Opcode::kWriteOnly;
+  h.dest_qpn = 0x123456;
+  h.psn = 0xABCDEF;
+  h.ack_request = true;
+
+  Bytes buf;
+  h.encode(buf);
+  ASSERT_EQ(buf.size(), Bth::kSize);
+
+  Cursor cur((ByteSpan(buf)));
+  auto d = Bth::decode(cur);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->opcode, h.opcode);
+  EXPECT_EQ(d->dest_qpn, h.dest_qpn);
+  EXPECT_EQ(d->psn, h.psn);
+  EXPECT_TRUE(d->ack_request);
+}
+
+TEST(Bth, PsnMasked24Bits) {
+  Bth h;
+  h.psn = 0x12ABCDEF;  // above 24 bits
+  Bytes buf;
+  h.encode(buf);
+  Cursor cur((ByteSpan(buf)));
+  EXPECT_EQ(Bth::decode(cur)->psn, 0xABCDEFu);
+}
+
+TEST(Reth, EncodeDecodeRoundTrip) {
+  Reth h;
+  h.virtual_addr = 0x100000000abcull;
+  h.rkey = 0x1001;
+  h.dma_length = 24;
+  Bytes buf;
+  h.encode(buf);
+  ASSERT_EQ(buf.size(), Reth::kSize);
+  Cursor cur((ByteSpan(buf)));
+  auto d = Reth::decode(cur);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->virtual_addr, h.virtual_addr);
+  EXPECT_EQ(d->rkey, h.rkey);
+  EXPECT_EQ(d->dma_length, h.dma_length);
+}
+
+TEST(AtomicEth, EncodeDecodeRoundTrip) {
+  AtomicEth h;
+  h.virtual_addr = 0xFEED0000ull;
+  h.rkey = 7;
+  h.swap_add = 42;
+  Bytes buf;
+  h.encode(buf);
+  ASSERT_EQ(buf.size(), AtomicEth::kSize);
+  Cursor cur((ByteSpan(buf)));
+  auto d = AtomicEth::decode(cur);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->swap_add, 42u);
+}
+
+TEST(Aeth, EncodeDecodeRoundTrip) {
+  Aeth h;
+  h.syndrome = AethSyndrome::kPsnSeqNak;
+  h.msn = 0x010203;
+  Bytes buf;
+  h.encode(buf);
+  ASSERT_EQ(buf.size(), Aeth::kSize);
+  Cursor cur((ByteSpan(buf)));
+  auto d = Aeth::decode(cur);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->syndrome, AethSyndrome::kPsnSeqNak);
+  EXPECT_EQ(d->msn, 0x010203u);
+}
+
+TEST(OpcodeProperties, HeaderRequirements) {
+  EXPECT_TRUE(opcode_has_reth(Opcode::kWriteOnly));
+  EXPECT_TRUE(opcode_has_reth(Opcode::kWriteOnlyImm));
+  EXPECT_FALSE(opcode_has_reth(Opcode::kFetchAdd));
+  EXPECT_TRUE(opcode_has_atomic_eth(Opcode::kFetchAdd));
+  EXPECT_TRUE(opcode_has_imm(Opcode::kWriteOnlyImm));
+  EXPECT_FALSE(opcode_has_imm(Opcode::kWriteOnly));
+}
+
+TEST(RoceDatagram, WriteOnlyRoundTrip) {
+  Bth bth;
+  bth.opcode = Opcode::kWriteOnly;
+  bth.dest_qpn = 0x11;
+  bth.psn = 5;
+  Reth reth;
+  reth.virtual_addr = 0x1000;
+  reth.rkey = 0x42;
+  const Bytes payload = {9, 8, 7, 6};
+  reth.dma_length = static_cast<std::uint32_t>(payload.size());
+
+  const Bytes dgram = build_roce_datagram(bth, &reth, nullptr, nullptr,
+                                          nullptr, ByteSpan(payload));
+  auto view = parse_roce_datagram(ByteSpan(dgram));
+  ASSERT_TRUE(view);
+  EXPECT_TRUE(view->icrc_ok);
+  EXPECT_EQ(view->bth.psn, 5u);
+  ASSERT_TRUE(view->reth);
+  EXPECT_EQ(view->reth->virtual_addr, 0x1000u);
+  EXPECT_EQ(Bytes(view->payload.begin(), view->payload.end()), payload);
+}
+
+TEST(RoceDatagram, FetchAddRoundTrip) {
+  Bth bth;
+  bth.opcode = Opcode::kFetchAdd;
+  AtomicEth eth;
+  eth.virtual_addr = 0x2000;
+  eth.rkey = 1;
+  eth.swap_add = 99;
+  const Bytes dgram =
+      build_roce_datagram(bth, nullptr, &eth, nullptr, nullptr, {});
+  auto view = parse_roce_datagram(ByteSpan(dgram));
+  ASSERT_TRUE(view);
+  ASSERT_TRUE(view->atomic);
+  EXPECT_EQ(view->atomic->swap_add, 99u);
+  EXPECT_TRUE(view->payload.empty());
+}
+
+TEST(RoceDatagram, ImmediateRoundTrip) {
+  Bth bth;
+  bth.opcode = Opcode::kWriteOnlyImm;
+  Reth reth;
+  reth.dma_length = 0;
+  const std::uint32_t imm = 0xFACE;
+  const Bytes dgram =
+      build_roce_datagram(bth, &reth, nullptr, &imm, nullptr, {});
+  auto view = parse_roce_datagram(ByteSpan(dgram));
+  ASSERT_TRUE(view);
+  ASSERT_TRUE(view->immediate);
+  EXPECT_EQ(*view->immediate, 0xFACEu);
+}
+
+TEST(RoceDatagram, CorruptionBreaksIcrc) {
+  Bth bth;
+  bth.opcode = Opcode::kSendOnly;
+  const Bytes payload = {1, 2, 3};
+  Bytes dgram =
+      build_roce_datagram(bth, nullptr, nullptr, nullptr, nullptr,
+                          ByteSpan(payload));
+  dgram[Bth::kSize] ^= 0xFF;  // flip a payload byte
+  auto view = parse_roce_datagram(ByteSpan(dgram));
+  ASSERT_TRUE(view);
+  EXPECT_FALSE(view->icrc_ok);
+}
+
+TEST(RoceDatagram, TooShortRejected) {
+  Bytes junk(8, 0);
+  EXPECT_FALSE(parse_roce_datagram(ByteSpan(junk)));
+}
+
+TEST(RoceDatagram, AckCarriesAeth) {
+  Bth bth;
+  bth.opcode = Opcode::kAcknowledge;
+  Aeth aeth;
+  aeth.syndrome = AethSyndrome::kAck;
+  aeth.msn = 77;
+  const Bytes dgram =
+      build_roce_datagram(bth, nullptr, nullptr, nullptr, &aeth, {});
+  auto view = parse_roce_datagram(ByteSpan(dgram));
+  ASSERT_TRUE(view);
+  ASSERT_TRUE(view->aeth);
+  EXPECT_EQ(view->aeth->msn, 77u);
+}
+
+}  // namespace
+}  // namespace dta::rdma

@@ -1,0 +1,158 @@
+// Golden wire-format vectors.
+//
+// These lock the on-wire encodings (DTA protocol, RoCEv2 headers,
+// Ethernet/IPv4/UDP) against accidental change: interoperability with
+// captures and with the hardware prototype's formats depends on byte
+// stability, not just round-trip symmetry. If an encoding change is
+// intentional, update the hex strings and bump kDtaVersion.
+#include <gtest/gtest.h>
+
+#include "dta/wire.h"
+#include "net/headers.h"
+#include "rdma/roce.h"
+#include "translator/crc_unit.h"
+
+namespace dta {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+
+std::string hex_of(const Bytes& b) { return common::to_hex(ByteSpan(b)); }
+
+TEST(Golden, DtaHeader) {
+  proto::DtaHeader h;
+  h.opcode = proto::PrimitiveOp::kKeyWrite;
+  h.immediate = true;
+  Bytes out;
+  h.encode(out);
+  EXPECT_EQ(hex_of(out), "02010100");
+}
+
+TEST(Golden, KeyWritePayload) {
+  proto::KeyWriteReport r;
+  r.key = proto::TelemetryKey::from(ByteSpan(Bytes{0xAA, 0xBB, 0xCC}));
+  r.redundancy = 2;
+  r.data = {0x11, 0x22, 0x33, 0x44};
+  const Bytes payload = proto::encode_dta_payload(proto::DtaHeader{}, r);
+  //          ver op imm rsv  N  klen key       dlen data
+  EXPECT_EQ(hex_of(payload), "02010000" "02" "03" "aabbcc" "04" "11223344");
+}
+
+TEST(Golden, KeyIncrementPayload) {
+  proto::KeyIncrementReport r;
+  r.key = proto::TelemetryKey::from(ByteSpan(Bytes{0x01}));
+  r.redundancy = 1;
+  r.counter = 0x1122334455667788ull;
+  const Bytes payload = proto::encode_dta_payload(proto::DtaHeader{}, r);
+  EXPECT_EQ(hex_of(payload), "02030000" "01" "01" "01" "1122334455667788");
+}
+
+TEST(Golden, PostcardPayload) {
+  proto::PostcardReport r;
+  r.key = proto::TelemetryKey::from(ByteSpan(Bytes{0xDE, 0xAD}));
+  r.hop = 3;
+  r.path_len = 5;
+  r.redundancy = 2;
+  r.value = 0x00C0FFEE;
+  const Bytes payload = proto::encode_dta_payload(proto::DtaHeader{}, r);
+  EXPECT_EQ(hex_of(payload), "02040000" "02" "dead" "03" "05" "02" "00c0ffee");
+}
+
+TEST(Golden, AppendPayload) {
+  proto::AppendReport r;
+  r.list_id = 0x0000002A;
+  r.entry_size = 4;
+  r.entries.push_back({0xCA, 0xFE, 0xBA, 0xBE});
+  const Bytes payload = proto::encode_dta_payload(proto::DtaHeader{}, r);
+  EXPECT_EQ(hex_of(payload), "02020000" "0000002a" "04" "01" "cafebabe");
+}
+
+TEST(Golden, NackPayload) {
+  proto::NackReport r;
+  r.dropped_op = proto::PrimitiveOp::kAppend;
+  r.dropped_count = 16;
+  const Bytes payload = proto::encode_dta_payload(proto::DtaHeader{}, r);
+  EXPECT_EQ(hex_of(payload), "02fe0000" "02" "00000010");
+}
+
+TEST(Golden, RoceBth) {
+  rdma::Bth bth;
+  bth.opcode = rdma::Opcode::kWriteOnly;
+  bth.dest_qpn = 0x000011;
+  bth.psn = 0x001000;
+  bth.ack_request = true;
+  Bytes out;
+  bth.encode(out);
+  // opcode 0a | flags 40(mig) | pkey ffff | qpn 00000011 | ack|psn 80001000
+  EXPECT_EQ(hex_of(out), "0a40ffff" "00000011" "80001000");
+}
+
+TEST(Golden, RoceReth) {
+  rdma::Reth reth;
+  reth.virtual_addr = 0x0000100000000040ull;
+  reth.rkey = 0x00001001;
+  reth.dma_length = 8;
+  Bytes out;
+  reth.encode(out);
+  EXPECT_EQ(hex_of(out), "0000100000000040" "00001001" "00000008");
+}
+
+TEST(Golden, RoceAtomicEth) {
+  rdma::AtomicEth eth;
+  eth.virtual_addr = 0x2000;
+  eth.rkey = 7;
+  eth.swap_add = 42;
+  Bytes out;
+  eth.encode(out);
+  EXPECT_EQ(hex_of(out),
+            "0000000000002000" "00000007" "000000000000002a"
+            "0000000000000000");
+}
+
+TEST(Golden, Ipv4HeaderWithChecksum) {
+  net::Ipv4Header ip;
+  ip.src_ip = 0x0A000001;
+  ip.dst_ip = 0x0A0000C0;
+  ip.total_length = 46;
+  ip.ttl = 64;
+  Bytes out;
+  ip.encode(out);
+  // version/ihl 45, dscp 00, len 002e, id 0000, DF 4000, ttl 40,
+  // proto 11 (UDP), csum 25ff, src, dst.
+  EXPECT_EQ(hex_of(out), "4500002e" "00004000" "401125ff" "0a000001"
+                         "0a0000c0");
+}
+
+TEST(Golden, UdpHeader) {
+  net::UdpHeader udp;
+  udp.src_port = 51000;
+  udp.dst_port = net::kDtaUdpPort;  // 40050
+  udp.length = 26;
+  Bytes out;
+  udp.encode(out);
+  EXPECT_EQ(hex_of(out), "c738" "9c72" "001a" "0000");
+}
+
+TEST(Golden, WellKnownPorts) {
+  EXPECT_EQ(net::kDtaUdpPort, 40050);
+  EXPECT_EQ(net::kRoceUdpPort, 4791);  // IANA RoCEv2
+}
+
+TEST(Golden, CrcPolynomialCatalogueStable) {
+  // The hash functions are part of the on-disk/wire contract: changing a
+  // polynomial silently invalidates every stored slot index.
+  EXPECT_EQ(common::kChecksumPoly, 0xEDB88320u);
+  EXPECT_EQ(common::kValuePoly, 0x82F63B78u);
+  EXPECT_EQ(common::kSlotPolys[0], 0xEB31D82Eu);
+  EXPECT_EQ(common::kHopPolys[0], 0xAE689191u);
+}
+
+TEST(Golden, SlotIndexVector) {
+  // Pin the full key->slot pipeline for one vector.
+  const auto key = proto::TelemetryKey::from(ByteSpan(Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(translator::key_checksum(key), 0xB63CFBCDu);
+}
+
+}  // namespace
+}  // namespace dta
