@@ -1,0 +1,119 @@
+#include "collector/ingest_pipeline.h"
+
+namespace dta::collector {
+
+IngestPipeline::IngestPipeline(std::vector<CollectorShard*> shards,
+                               IngestPipelineConfig config)
+    : shards_(std::move(shards)) {
+  switch (config.thread_mode) {
+    case ThreadMode::kInline:
+      threaded_ = false;
+      break;
+    case ThreadMode::kThreaded:
+      threaded_ = true;
+      break;
+    case ThreadMode::kAuto:
+      threaded_ = std::thread::hardware_concurrency() > 1;
+      break;
+  }
+  lanes_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    lanes_.push_back(std::make_unique<ShardLane>(config.queue_capacity));
+  }
+  if (threaded_) {
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+      lanes_[i]->worker = std::thread([this, i] { worker_loop(i); });
+    }
+  }
+}
+
+IngestPipeline::~IngestPipeline() { stop(); }
+
+void IngestPipeline::submit(std::uint32_t shard, proto::ParsedDta parsed) {
+  ++stats_.submitted;
+  if (!threaded_ || stopped_) {
+    // Inline mode — or post-stop, when no worker would ever drain the
+    // queue; ingest on the caller thread rather than losing the report.
+    shards_[shard]->ingest(parsed);
+    return;
+  }
+  ShardLane& lane = *lanes_[shard];
+  while (!lane.queue.try_push(std::move(parsed))) {
+    ++stats_.backpressure_waits;
+    std::this_thread::yield();
+  }
+}
+
+void IngestPipeline::flush() {
+  if (!threaded_ || stopped_) {
+    // Inline mode — or workers already joined by stop(), in which case
+    // flushing on the caller thread is safe and the only option.
+    for (CollectorShard* shard : shards_) shard->flush();
+    return;
+  }
+  // Ask every worker for one flush, then wait for all acknowledgements.
+  // Workers only flush once their queue is empty, so everything
+  // submitted before this call is processed first.
+  std::vector<std::uint64_t> targets(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    targets[i] =
+        lanes_[i]->flushes_requested.fetch_add(1, std::memory_order_acq_rel) +
+        1;
+  }
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    while (lanes_[i]->flushes_done.load(std::memory_order_acquire) <
+           targets[i]) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void IngestPipeline::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (threaded_) {
+    stop_.store(true, std::memory_order_release);
+    for (auto& lane : lanes_) {
+      if (lane->worker.joinable()) lane->worker.join();
+    }
+  } else {
+    for (CollectorShard* shard : shards_) shard->flush();
+  }
+}
+
+void IngestPipeline::worker_loop(std::uint32_t shard) {
+  ShardLane& lane = *lanes_[shard];
+  CollectorShard* target = shards_[shard];
+  proto::ParsedDta parsed;
+  for (;;) {
+    bool idle = true;
+    while (lane.queue.try_pop(parsed)) {
+      target->ingest(parsed);
+      idle = false;
+    }
+    // Honour flush requests. The producer pushes before it increments
+    // flushes_requested, so anything submitted before the flush() call
+    // is visible to the re-drain below once the increment is observed
+    // — the barrier can never skip a queued report. The producer is
+    // parked inside flush() until the ack, so nothing new races in
+    // between the re-drain and the ack.
+    const std::uint64_t requested =
+        lane.flushes_requested.load(std::memory_order_acquire);
+    if (lane.flushes_done.load(std::memory_order_relaxed) < requested) {
+      while (lane.queue.try_pop(parsed)) target->ingest(parsed);
+      target->flush();
+      lane.flushes_done.store(requested, std::memory_order_release);
+      idle = false;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      if (lane.queue.empty()) {
+        target->flush();  // final drain of aggregation state
+        return;
+      }
+      continue;
+    }
+    if (idle) std::this_thread::yield();
+  }
+}
+
+}  // namespace dta::collector

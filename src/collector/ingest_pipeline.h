@@ -1,0 +1,87 @@
+// Report fan-in for the sharded collector runtime.
+//
+// One bounded SPSC queue per shard. The submitting thread (the single
+// producer) routes each report to its owning shard's queue; a worker
+// thread per shard drains its queue and drives the shard's translate +
+// batch + deliver path. On a single-core host — or when determinism
+// matters more than parallelism — the pipeline runs inline: submit()
+// executes the shard ingest directly and the queues stay unused.
+//
+// Threading contract: submit()/flush()/stop() must be called from one
+// thread. Shard stores must only be queried after flush() (the queues
+// are drained and translator aggregation state written back) or stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "collector/shard.h"
+#include "common/spsc_queue.h"
+#include "dta/wire.h"
+
+namespace dta::collector {
+
+enum class ThreadMode : std::uint8_t {
+  kAuto,      // threads iff the host has more than one core
+  kInline,    // synchronous, deterministic
+  kThreaded,  // one worker per shard
+};
+
+struct IngestPipelineConfig {
+  std::uint32_t queue_capacity = 4096;  // per shard, entries
+  ThreadMode thread_mode = ThreadMode::kAuto;
+};
+
+struct IngestPipelineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t backpressure_waits = 0;  // full-queue spins on submit
+};
+
+class IngestPipeline {
+ public:
+  IngestPipeline(std::vector<CollectorShard*> shards,
+                 IngestPipelineConfig config);
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  // Hands one report to shard `shard`. Blocks (spin + yield) while that
+  // shard's queue is full — reports are never silently dropped here; the
+  // wire-side rate limiter is where DTA sheds load.
+  void submit(std::uint32_t shard, proto::ParsedDta parsed);
+
+  // Barrier: every submitted report is processed and every shard's
+  // translator-side aggregation state is flushed before this returns.
+  void flush();
+
+  // Drains, flushes and joins the workers. Idempotent; the destructor
+  // calls it.
+  void stop();
+
+  bool threaded() const { return threaded_; }
+  const IngestPipelineStats& stats() const { return stats_; }
+
+ private:
+  struct ShardLane {
+    explicit ShardLane(std::uint32_t capacity) : queue(capacity) {}
+    common::SpscQueue<proto::ParsedDta> queue;
+    std::thread worker;
+    std::atomic<std::uint64_t> flushes_requested{0};
+    std::atomic<std::uint64_t> flushes_done{0};
+  };
+
+  void worker_loop(std::uint32_t shard);
+
+  std::vector<CollectorShard*> shards_;
+  std::vector<std::unique_ptr<ShardLane>> lanes_;
+  std::atomic<bool> stop_{false};
+  bool threaded_ = false;
+  bool stopped_ = false;
+  IngestPipelineStats stats_;
+};
+
+}  // namespace dta::collector

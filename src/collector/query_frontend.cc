@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "collector/shard.h"
+
 namespace dta::collector {
 
 namespace {
@@ -14,12 +16,42 @@ proto::TelemetryKey flow_key(const net::FiveTuple& flow) {
 
 }  // namespace
 
+std::uint32_t QueryFrontend::shard_of_key(
+    const proto::TelemetryKey& key) const {
+  return shard_for_key(key, static_cast<std::uint32_t>(services_.size()));
+}
+
+std::uint32_t QueryFrontend::shard_of_list(std::uint32_t list) const {
+  return shard_for_list(list, static_cast<std::uint32_t>(services_.size()));
+}
+
 std::optional<common::Bytes> QueryFrontend::value_of(
     const proto::TelemetryKey& key, std::uint8_t redundancy) const {
-  if (!service_->keywrite()) return std::nullopt;
-  auto result = service_->keywrite()->query(key, redundancy);
-  if (result.status != QueryStatus::kHit) return std::nullopt;
-  return std::move(result.value);
+  // The ingest pipeline routes each key to one shard, so the owner's
+  // answer is authoritative: a non-owning shard can only produce
+  // spurious hits from slot collisions. The fan-out below covers stores
+  // populated by writers with a different shard layout, and the merge
+  // requires a consensus of two replicas from non-owners so that
+  // single-vote collision garbage can never displace (or stand in for)
+  // the owner's result.
+  RdmaService* owner = services_[shard_of_key(key)];
+  KeyWriteQueryResult best;
+  if (owner->keywrite()) {
+    auto result = owner->keywrite()->query(key, redundancy);
+    if (result.status == QueryStatus::kHit) best = std::move(result);
+  }
+  // A full-vote owner hit cannot be displaced — skip the fan-out.
+  if (best.votes >= redundancy) return std::move(best.value);
+  for (RdmaService* service : services_) {
+    if (service == owner || !service->keywrite()) continue;
+    auto result = service->keywrite()->query(key, redundancy,
+                                             /*consensus_threshold=*/2);
+    if (result.status == QueryStatus::kHit && result.votes > best.votes) {
+      best = std::move(result);
+    }
+  }
+  if (best.status != QueryStatus::kHit) return std::nullopt;
+  return std::move(best.value);
 }
 
 std::optional<std::uint32_t> QueryFrontend::flow_metric(
@@ -31,36 +63,58 @@ std::optional<std::uint32_t> QueryFrontend::flow_metric(
 
 std::optional<std::vector<std::uint32_t>> QueryFrontend::flow_path(
     const net::FiveTuple& flow, std::uint8_t redundancy) const {
-  if (!service_->postcarding()) return std::nullopt;
-  auto result = service_->postcarding()->query(flow_key(flow), redundancy);
-  if (!result.found) return std::nullopt;
-  return std::move(result.hop_values);
+  // The owning shard's chunk is authoritative (ingest routes the key
+  // there); a spurious self-validating chunk elsewhere must not turn a
+  // good answer into a conflict. Only when the owner has nothing do we
+  // fan out — covering differently-routed writers — and then
+  // disagreeing valid chunks are a conflict, same as within a store.
+  const proto::TelemetryKey key = flow_key(flow);
+  RdmaService* owner = services_[shard_of_key(key)];
+  if (owner->postcarding()) {
+    auto result = owner->postcarding()->query(key, redundancy);
+    if (result.found) return std::move(result.hop_values);
+  }
+  std::optional<std::vector<std::uint32_t>> merged;
+  for (RdmaService* service : services_) {
+    if (service == owner || !service->postcarding()) continue;
+    auto result = service->postcarding()->query(key, redundancy);
+    if (!result.found) continue;
+    if (merged && *merged != result.hop_values) return std::nullopt;
+    merged = std::move(result.hop_values);
+  }
+  return merged;
 }
 
 std::uint64_t QueryFrontend::flow_counter(const net::FiveTuple& flow,
                                           std::uint8_t redundancy) const {
-  if (!service_->keyincrement()) return 0;
-  return service_->keyincrement()->query(flow_key(flow), redundancy);
+  const proto::TelemetryKey key = flow_key(flow);
+  RdmaService* service = services_[shard_of_key(key)];
+  if (!service->keyincrement()) return 0;
+  return service->keyincrement()->query(key, redundancy);
 }
 
 std::uint64_t QueryFrontend::host_counter(std::uint32_t src_ip,
                                           std::uint8_t redundancy) const {
-  if (!service_->keyincrement()) return 0;
   common::Bytes kb;
   common::put_u32(kb, src_ip);
-  return service_->keyincrement()->query(
-      proto::TelemetryKey::from(common::ByteSpan(kb)), redundancy);
+  const auto key = proto::TelemetryKey::from(common::ByteSpan(kb));
+  RdmaService* service = services_[shard_of_key(key)];
+  if (!service->keyincrement()) return 0;
+  return service->keyincrement()->query(key, redundancy);
 }
 
 std::size_t QueryFrontend::consume_events(std::uint32_t list,
                                           std::uint64_t available,
                                           const EventHandler& handler,
                                           std::uint64_t max_events) {
-  if (!service_->append()) return 0;
-  AppendStore* store = service_->append();
+  RdmaService* service = services_[shard_of_list(list)];
+  if (!service->append()) return 0;
+  AppendStore* store = service->append();
+  const std::uint32_t local = local_list_id(
+      list, static_cast<std::uint32_t>(services_.size()));
   const std::uint64_t n = std::min(available, max_events);
   for (std::uint64_t i = 0; i < n; ++i) {
-    handler(store->poll(list));
+    handler(store->poll(local));
   }
   return static_cast<std::size_t>(n);
 }

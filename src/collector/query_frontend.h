@@ -24,7 +24,14 @@ namespace dta::collector {
 
 class QueryFrontend {
  public:
-  explicit QueryFrontend(RdmaService* service) : service_(service) {}
+  explicit QueryFrontend(RdmaService* service) : services_{service} {}
+
+  // Sharded frontend over the collector runtime's per-shard services.
+  // Point lookups fan out across shards and merge by redundancy votes;
+  // counter and event queries route to the owning shard with the same
+  // key/list mapping the ingest pipeline uses.
+  explicit QueryFrontend(std::vector<RdmaService*> shards)
+      : services_(std::move(shards)) {}
 
   // --- per-flow metrics (Key-Write) -----------------------------------------
   // Returns the 4B metric for a flow, if recoverable.
@@ -63,10 +70,15 @@ class QueryFrontend {
   };
   static LossEvent decode_loss_event(common::ByteSpan entry);
 
-  RdmaService* service() { return service_; }
+  RdmaService* service() { return services_.front(); }
+  std::size_t num_shards() const { return services_.size(); }
+
+  // Shard owning a key/list (mirrors the ingest pipeline's routing).
+  std::uint32_t shard_of_key(const proto::TelemetryKey& key) const;
+  std::uint32_t shard_of_list(std::uint32_t list) const;
 
  private:
-  RdmaService* service_;
+  std::vector<RdmaService*> services_;
 };
 
 }  // namespace dta::collector

@@ -64,6 +64,7 @@ class RdmaService {
   rdma::ConnectAccept accept(const rdma::ConnectRequest& request);
 
   rdma::Nic& nic() { return nic_; }
+  const rdma::Nic& nic() const { return nic_; }
   rdma::QueuePair* qp() { return qp_; }
 
   KeyWriteStore* keywrite() { return keywrite_.get(); }

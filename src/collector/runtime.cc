@@ -1,0 +1,120 @@
+#include "collector/runtime.h"
+
+#include <algorithm>
+
+namespace dta::collector {
+
+namespace {
+
+// Divides `total` across `shards`, keeping at least `floor` per shard.
+std::uint64_t slice(std::uint64_t total, std::uint32_t shards,
+                    std::uint64_t floor_per_shard) {
+  return std::max<std::uint64_t>(total / shards, floor_per_shard);
+}
+
+}  // namespace
+
+CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  const std::uint32_t n = config_.num_shards;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ShardConfig sc;
+    sc.nic = config_.nic;
+    sc.op_batch_size = config_.op_batch_size;
+    sc.append_batch_size = config_.append_batch_size;
+    sc.postcard_cache_slots = config_.postcard_cache_slots;
+    if (config_.keywrite) {
+      KeyWriteSetup kw = *config_.keywrite;
+      kw.num_slots = slice(kw.num_slots, n, 1024);
+      sc.keywrite = kw;
+    }
+    if (config_.postcarding) {
+      PostcardingSetup pc = *config_.postcarding;
+      pc.num_chunks = slice(pc.num_chunks, n, 1024);
+      sc.postcarding = pc;
+    }
+    if (config_.append) {
+      AppendSetup ap = *config_.append;
+      // Shard i owns global lists {l : l % n == i}; its local id space
+      // must cover ceil(num_lists / n) lists.
+      ap.num_lists = std::max<std::uint32_t>((ap.num_lists + n - 1) / n, 1);
+      sc.append = ap;
+    }
+    if (config_.keyincrement) {
+      KeyIncrementSetup ki = *config_.keyincrement;
+      ki.num_slots = slice(ki.num_slots, n, 1024);
+      sc.keyincrement = ki;
+    }
+    shards_.push_back(std::make_unique<CollectorShard>(i, sc));
+  }
+
+  std::vector<CollectorShard*> shard_ptrs;
+  std::vector<RdmaService*> services;
+  for (auto& shard : shards_) {
+    shard_ptrs.push_back(shard.get());
+    services.push_back(&shard->service());
+  }
+  IngestPipelineConfig pc;
+  pc.queue_capacity = config_.queue_capacity;
+  pc.thread_mode = config_.thread_mode;
+  pipeline_ = std::make_unique<IngestPipeline>(std::move(shard_ptrs), pc);
+  query_ = std::make_unique<QueryFrontend>(std::move(services));
+}
+
+CollectorRuntime::~CollectorRuntime() { stop(); }
+
+std::uint32_t CollectorRuntime::shard_index_for(
+    const proto::ParsedDta& parsed) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(shards_.size());
+  if (const auto* kw = std::get_if<proto::KeyWriteReport>(&parsed.report)) {
+    return shard_for_key(kw->key, n);
+  }
+  if (const auto* ki =
+          std::get_if<proto::KeyIncrementReport>(&parsed.report)) {
+    return shard_for_key(ki->key, n);
+  }
+  if (const auto* pc = std::get_if<proto::PostcardReport>(&parsed.report)) {
+    return shard_for_key(pc->key, n);
+  }
+  if (const auto* ap = std::get_if<proto::AppendReport>(&parsed.report)) {
+    return shard_for_list(ap->list_id, n);
+  }
+  return 0;  // NACKs and unknowns: shard 0 (they carry no key)
+}
+
+void CollectorRuntime::submit(proto::ParsedDta parsed) {
+  const std::uint32_t shard = shard_index_for(parsed);
+  if (auto* ap = std::get_if<proto::AppendReport>(&parsed.report)) {
+    // Rewrite the global list id to the shard-local one; the shard's
+    // engine and store only know their slice of the list space.
+    ap->list_id = local_list_id(ap->list_id, num_shards());
+  }
+  pipeline_->submit(shard, std::move(parsed));
+}
+
+void CollectorRuntime::flush() { pipeline_->flush(); }
+
+void CollectorRuntime::stop() { pipeline_->stop(); }
+
+CollectorRuntimeStats CollectorRuntime::stats() const {
+  CollectorRuntimeStats total;
+  for (const auto& shard : shards_) {
+    const ShardStats& s = shard->stats();
+    total.reports_in += s.reports_in;
+    total.ops_batched += s.ops_batched;
+    total.batch_flushes += s.batch_flushes;
+    total.verbs_executed += s.verbs_executed;
+    total.verbs_failed += s.verbs_failed;
+  }
+  return total;
+}
+
+double CollectorRuntime::modeled_aggregate_verbs_per_sec() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) total += shard->modeled_verbs_per_sec();
+  return total;
+}
+
+}  // namespace dta::collector

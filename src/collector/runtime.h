@@ -1,0 +1,98 @@
+// CollectorRuntime — the sharded, batched collector.
+//
+// The paper removes the collector CPU from the report path; what is left
+// to scale is memory bandwidth and NIC message rate, and both scale by
+// partitioning. The runtime slices every enabled store N-way by CRC of
+// the telemetry key (Append lists round-robin by list id), gives each
+// slice an independent RDMA service + NIC + queue pair, and feeds each
+// shard through a bounded SPSC queue with translator-op batching in
+// front of the NIC. Queries go through a sharded QueryFrontend that
+// fans out and merges redundancy-voted results.
+//
+// This is the seam later scaling work plugs into: multi-collector
+// placement picks a runtime per collector host, NUMA pinning binds shard
+// workers, and an async query frontend snapshots per-shard stores.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "collector/ingest_pipeline.h"
+#include "collector/query_frontend.h"
+#include "collector/shard.h"
+
+namespace dta::collector {
+
+struct CollectorRuntimeConfig {
+  std::uint32_t num_shards = 1;
+
+  // Global store geometry; the runtime divides capacity across shards so
+  // the total memory footprint is shard-count invariant.
+  std::optional<KeyWriteSetup> keywrite;
+  std::optional<PostcardingSetup> postcarding;
+  std::optional<AppendSetup> append;
+  std::optional<KeyIncrementSetup> keyincrement;
+
+  rdma::NicParams nic;
+  std::uint32_t op_batch_size = 16;
+  std::uint32_t append_batch_size = 16;
+  std::uint32_t postcard_cache_slots = 32768;
+
+  std::uint32_t queue_capacity = 4096;
+  ThreadMode thread_mode = ThreadMode::kAuto;
+};
+
+struct CollectorRuntimeStats {
+  std::uint64_t reports_in = 0;
+  std::uint64_t ops_batched = 0;
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t verbs_executed = 0;
+  std::uint64_t verbs_failed = 0;
+};
+
+class CollectorRuntime {
+ public:
+  explicit CollectorRuntime(CollectorRuntimeConfig config);
+  ~CollectorRuntime();
+
+  CollectorRuntime(const CollectorRuntime&) = delete;
+  CollectorRuntime& operator=(const CollectorRuntime&) = delete;
+
+  // Routes one report to its owning shard. Single-producer: call from
+  // one thread. Pass an rvalue to hand the report over without a copy.
+  void submit(proto::ParsedDta parsed);
+
+  // Barrier: all submitted reports processed, all aggregation state
+  // (postcard cache rows, append batches, staged op batches) delivered.
+  // Required before querying.
+  void flush();
+
+  // Flushes and joins the shard workers. Idempotent.
+  void stop();
+
+  // Which shard a report routes to (exposed for tests and benches).
+  std::uint32_t shard_index_for(const proto::ParsedDta& parsed) const;
+
+  QueryFrontend& query() { return *query_; }
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  CollectorShard& shard(std::uint32_t i) { return *shards_[i]; }
+  const IngestPipeline& pipeline() const { return *pipeline_; }
+
+  CollectorRuntimeStats stats() const;
+
+  // Aggregate modeled ingest rate: the sum of the per-shard NIC rates
+  // (each shard owns an independent NIC message unit, so capacity adds).
+  double modeled_aggregate_verbs_per_sec() const;
+
+ private:
+  CollectorRuntimeConfig config_;
+  std::vector<std::unique_ptr<CollectorShard>> shards_;
+  std::unique_ptr<IngestPipeline> pipeline_;
+  std::unique_ptr<QueryFrontend> query_;
+};
+
+}  // namespace dta::collector

@@ -1,0 +1,115 @@
+#include "collector/shard.h"
+
+#include "common/crc.h"
+
+namespace dta::collector {
+
+CollectorShard::CollectorShard(std::uint32_t index, const ShardConfig& config)
+    : index_(index),
+      op_batch_size_(config.op_batch_size == 0 ? 1 : config.op_batch_size),
+      service_(config.nic) {
+  if (config.keywrite) service_.enable_keywrite(*config.keywrite);
+  if (config.postcarding) service_.enable_postcarding(*config.postcarding);
+  if (config.append) service_.enable_append(*config.append);
+  if (config.keyincrement) service_.enable_keyincrement(*config.keyincrement);
+
+  // The same CM handshake the translator performs against a standalone
+  // collector, one per shard: the accept's region adverts configure this
+  // shard's engines.
+  rdma::ConnectRequest request;
+  request.requester_qpn = 0x70 + index;
+  request.start_psn = 0x1000;
+  const rdma::ConnectAccept accept = service_.accept(request);
+
+  for (const auto& region : accept.regions) {
+    switch (region.kind) {
+      case rdma::RegionKind::kKeyWrite:
+        keywrite_ = std::make_unique<translator::KeyWriteEngine>(
+            translator::KeyWriteGeometry::from_advert(region));
+        break;
+      case rdma::RegionKind::kPostcarding:
+        postcarding_ = std::make_unique<translator::PostcardCache>(
+            translator::PostcardingGeometry::from_advert(region),
+            config.postcard_cache_slots);
+        break;
+      case rdma::RegionKind::kAppend:
+        append_ = std::make_unique<translator::AppendEngine>(
+            translator::AppendGeometry::from_advert(region),
+            config.append_batch_size);
+        break;
+      case rdma::RegionKind::kKeyIncrement:
+        keyincrement_ = std::make_unique<translator::KeyIncrementEngine>(
+            translator::KeyIncrementGeometry::from_advert(region));
+        break;
+    }
+  }
+
+  crafter_ = std::make_unique<translator::RdmaCrafter>(
+      translator::CrafterEndpoints{}, accept.responder_qpn, accept.start_psn);
+}
+
+void CollectorShard::ingest(const proto::ParsedDta& parsed) {
+  ++stats_.reports_in;
+  const bool immediate = parsed.header.immediate;
+  const std::size_t before = pending_.size();
+
+  if (const auto* kw = std::get_if<proto::KeyWriteReport>(&parsed.report)) {
+    if (keywrite_) keywrite_->translate(*kw, immediate, pending_);
+  } else if (const auto* ki =
+                 std::get_if<proto::KeyIncrementReport>(&parsed.report)) {
+    if (keyincrement_) keyincrement_->translate(*ki, pending_);
+  } else if (const auto* pc =
+                 std::get_if<proto::PostcardReport>(&parsed.report)) {
+    if (postcarding_) postcarding_->ingest(*pc, pending_);
+  } else if (const auto* ap =
+                 std::get_if<proto::AppendReport>(&parsed.report)) {
+    if (append_) append_->ingest(*ap, immediate, pending_);
+  }
+
+  stats_.ops_batched += pending_.size() - before;
+  if (pending_.size() >= op_batch_size_) deliver_batch();
+}
+
+void CollectorShard::flush() {
+  const std::size_t before = pending_.size();
+  if (postcarding_) postcarding_->flush_all(pending_);
+  if (append_) append_->flush_all(pending_);
+  stats_.ops_batched += pending_.size() - before;
+  deliver_batch();
+}
+
+void CollectorShard::deliver_batch() {
+  if (pending_.empty()) return;
+  // One doorbell for the whole batch: craft + NIC demux runs back to
+  // back over the staged ops without returning to the ingest loop.
+  ++stats_.batch_flushes;
+  for (const auto& op : pending_) {
+    net::Packet frame = crafter_->craft(op);
+    const auto outcome = service_.nic().ingest(frame);
+    if (outcome && outcome->responder.executed) {
+      ++stats_.verbs_executed;
+    } else {
+      ++stats_.verbs_failed;
+    }
+  }
+  pending_.clear();
+}
+
+double CollectorShard::modeled_verbs_per_sec() const {
+  return service_.nic().modeled_verbs_per_sec(stats_.verbs_executed);
+}
+
+std::uint32_t shard_for_key(const proto::TelemetryKey& key,
+                            std::uint32_t num_shards) {
+  return common::shard_of(key.span(), num_shards);
+}
+
+std::uint32_t shard_for_list(std::uint32_t list_id, std::uint32_t num_shards) {
+  return num_shards <= 1 ? 0 : list_id % num_shards;
+}
+
+std::uint32_t local_list_id(std::uint32_t list_id, std::uint32_t num_shards) {
+  return num_shards <= 1 ? list_id : list_id / num_shards;
+}
+
+}  // namespace dta::collector

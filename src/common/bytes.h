@@ -7,15 +7,67 @@
 
 #include <cstdint>
 #include <cstring>
-#include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace dta::common {
 
 using Bytes = std::vector<std::uint8_t>;
-using ByteSpan = std::span<const std::uint8_t>;
-using MutByteSpan = std::span<std::uint8_t>;
+
+// Minimal std::span stand-in (the project builds as C++17). Only the
+// operations the wire formats need: pointer+size views, subspan, and
+// implicit construction from any contiguous container.
+template <typename T>
+class Span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+  using iterator = T*;
+
+  constexpr Span() noexcept = default;
+  constexpr Span(T* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  template <typename C,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<C&>().data()), T*>>>
+  constexpr Span(C& container)  // NOLINT: implicit, like std::span
+      : data_(container.data()), size_(container.size()) {}
+
+  template <typename C,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<const C&>().data()), T*>>>
+  constexpr Span(const C& container)  // NOLINT: implicit, like std::span
+      : data_(container.data()), size_(container.size()) {}
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T* begin() const noexcept { return data_; }
+  constexpr T* end() const noexcept { return data_ + size_; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr Span subspan(std::size_t offset) const {
+    return {data_ + offset, size_ - offset};
+  }
+  constexpr Span subspan(std::size_t offset, std::size_t count) const {
+    return {data_ + offset, count};
+  }
+  constexpr Span first(std::size_t count) const { return {data_, count}; }
+  constexpr Span last(std::size_t count) const {
+    return {data_ + (size_ - count), count};
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+using ByteSpan = Span<const std::uint8_t>;
+using MutByteSpan = Span<std::uint8_t>;
 
 // -- Big-endian primitive writers -------------------------------------------
 

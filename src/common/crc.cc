@@ -50,4 +50,14 @@ const Crc32& hop_crc(unsigned hop) {
   return engines[hop % engines.size()];
 }
 
+const Crc32& shard_crc() {
+  static const Crc32 engine(kShardPoly);
+  return engine;
+}
+
+std::uint32_t shard_of(ByteSpan key, std::uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return shard_crc().compute(key) % num_shards;
+}
+
 }  // namespace dta::common

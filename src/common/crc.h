@@ -50,6 +50,11 @@ class Crc32 {
 // functions checksum(x, i).
 inline constexpr std::uint32_t kChecksumPoly = 0xEDB88320u;  // CRC-32 (IEEE)
 inline constexpr std::uint32_t kValuePoly = 0x82F63B78u;     // CRC-32C
+// Collector-shard selector. A polynomial distinct from the
+// slot/checksum/hop set so that shard placement is uncorrelated with
+// in-shard slot placement (a correlated pair would load shards
+// unevenly). Reflected representation, like every entry here.
+inline constexpr std::uint32_t kShardPoly = 0xC8DF352Fu;  // CRC-32/AUTOSAR
 inline constexpr std::array<std::uint32_t, 8> kSlotPolys = {
     0xEB31D82Eu,  // CRC-32K (Koopman)
     0xD5828281u,  // CRC-32Q (reflected)
@@ -71,5 +76,11 @@ const Crc32& checksum_crc();                // h1
 const Crc32& value_crc();                   // g
 const Crc32& slot_crc(unsigned replica);    // h0(replica, ·), replica < 8
 const Crc32& hop_crc(unsigned hop);         // checksum(·, hop), hop < 8
+const Crc32& shard_crc();                   // collector-shard selector
+
+// Stable shard index for a telemetry key: CRC of the key bytes modulo
+// the shard count. Every component that routes by key (ingest pipeline,
+// query frontend) must agree on this function.
+std::uint32_t shard_of(ByteSpan key, std::uint32_t num_shards);
 
 }  // namespace dta::common

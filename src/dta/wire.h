@@ -11,6 +11,7 @@
 // makes the reporter footprint as small as plain UDP (paper Figure 9).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <variant>
@@ -52,7 +53,10 @@ struct TelemetryKey {
 
   common::ByteSpan span() const { return {bytes.data(), length}; }
   static TelemetryKey from(common::ByteSpan b);
-  bool operator==(const TelemetryKey&) const = default;
+  bool operator==(const TelemetryKey& o) const {
+    return length == o.length && bytes == o.bytes;
+  }
+  bool operator!=(const TelemetryKey& o) const { return !(*this == o); }
 };
 
 // --- Key-Write: (key, data, redundancy) -------------------------------------

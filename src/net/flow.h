@@ -25,7 +25,12 @@ struct FiveTuple {
   std::array<std::uint8_t, kWireSize> to_bytes() const;
   static FiveTuple from_bytes(common::ByteSpan bytes);
 
-  bool operator==(const FiveTuple&) const = default;
+  bool operator==(const FiveTuple& o) const {
+    return src_ip == o.src_ip && dst_ip == o.dst_ip &&
+           src_port == o.src_port && dst_port == o.dst_port &&
+           protocol == o.protocol;
+  }
+  bool operator!=(const FiveTuple& o) const { return !(*this == o); }
 
   std::string to_string() const;
 };

@@ -4,6 +4,16 @@
 
 namespace dta::translator {
 
+AppendGeometry AppendGeometry::from_advert(const rdma::RegionAdvert& advert) {
+  AppendGeometry g;
+  g.base_va = advert.base_va;
+  g.rkey = advert.rkey;
+  g.entry_bytes = advert.param1;
+  g.entries_per_list = advert.param2 & 0xFFFFFFFFull;
+  g.num_lists = static_cast<std::uint32_t>(advert.param2 >> 32);
+  return g;
+}
+
 AppendEngine::AppendEngine(AppendGeometry geometry, std::uint32_t batch_size)
     : geometry_(geometry),
       batch_size_(batch_size == 0 ? 1 : batch_size),

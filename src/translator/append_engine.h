@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dta/wire.h"
+#include "rdma/cm.h"
 #include "translator/rdma_crafter.h"
 
 namespace dta::translator {
@@ -22,6 +23,10 @@ struct AppendGeometry {
   std::uint32_t num_lists = 1;
   std::uint64_t entries_per_list = 0;
   std::uint32_t entry_bytes = 4;
+
+  // Decodes a kAppend CM region advert (param1: entry bytes; param2:
+  // low 32 entries per list, high 32 list count).
+  static AppendGeometry from_advert(const rdma::RegionAdvert& advert);
 
   std::uint64_t list_bytes() const { return entries_per_list * entry_bytes; }
   std::uint64_t list_base(std::uint32_t list) const {

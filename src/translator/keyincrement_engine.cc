@@ -2,6 +2,15 @@
 
 namespace dta::translator {
 
+KeyIncrementGeometry KeyIncrementGeometry::from_advert(
+    const rdma::RegionAdvert& advert) {
+  KeyIncrementGeometry g;
+  g.base_va = advert.base_va;
+  g.rkey = advert.rkey;
+  g.num_slots = advert.param2;
+  return g;
+}
+
 KeyIncrementEngine::KeyIncrementEngine(KeyIncrementGeometry geometry)
     : geometry_(geometry) {}
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dta/wire.h"
+#include "rdma/cm.h"
 #include "translator/crc_unit.h"
 #include "translator/rdma_crafter.h"
 
@@ -21,6 +22,9 @@ struct KeyIncrementGeometry {
   std::uint32_t rkey = 0;
   std::uint64_t num_slots = 0;
   static constexpr std::uint32_t kSlotBytes = 8;  // u64 counters (IB atomics)
+
+  // Decodes a kKeyIncrement CM region advert (param2: slot count).
+  static KeyIncrementGeometry from_advert(const rdma::RegionAdvert& advert);
 };
 
 struct KeyIncrementStats {

@@ -4,6 +4,18 @@
 
 namespace dta::translator {
 
+KeyWriteGeometry KeyWriteGeometry::from_advert(
+    const rdma::RegionAdvert& advert) {
+  KeyWriteGeometry g;
+  g.base_va = advert.base_va;
+  g.rkey = advert.rkey;
+  g.value_bytes = (advert.param1 & 0xFFFF) - 4;  // low half: slot bytes
+  g.checksum_bits = advert.param1 >> 16;
+  if (g.checksum_bits == 0 || g.checksum_bits > 32) g.checksum_bits = 32;
+  g.num_slots = advert.param2;
+  return g;
+}
+
 KeyWriteEngine::KeyWriteEngine(KeyWriteGeometry geometry)
     : geometry_(geometry) {}
 

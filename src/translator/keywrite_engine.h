@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dta/wire.h"
+#include "rdma/cm.h"
 #include "translator/crc_unit.h"
 #include "translator/rdma_crafter.h"
 
@@ -30,6 +31,10 @@ struct KeyWriteGeometry {
   // checksum field; shorter configured widths mask the stored value,
   // reproducing the paper's b-bit analysis (Appendix A.5 ablates b).
   std::uint32_t checksum_bits = 32;
+
+  // Decodes a kKeyWrite CM region advert (param1: low half slot bytes,
+  // high half checksum bits; param2: slot count).
+  static KeyWriteGeometry from_advert(const rdma::RegionAdvert& advert);
   std::uint32_t slot_bytes() const { return 4 + value_bytes; }
   std::uint32_t checksum_mask() const {
     return checksum_bits >= 32 ? 0xFFFFFFFFu

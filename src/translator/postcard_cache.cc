@@ -2,6 +2,16 @@
 
 namespace dta::translator {
 
+PostcardingGeometry PostcardingGeometry::from_advert(
+    const rdma::RegionAdvert& advert) {
+  PostcardingGeometry g;
+  g.base_va = advert.base_va;
+  g.rkey = advert.rkey;
+  g.hops = static_cast<std::uint8_t>(advert.param1 >> 16);
+  g.num_chunks = advert.param2;
+  return g;
+}
+
 PostcardCache::PostcardCache(PostcardingGeometry geometry,
                              std::uint32_t cache_slots)
     : geometry_(geometry), rows_(cache_slots) {}

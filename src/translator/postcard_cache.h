@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dta/wire.h"
+#include "rdma/cm.h"
 #include "translator/crc_unit.h"
 #include "translator/rdma_crafter.h"
 
@@ -32,6 +33,10 @@ struct PostcardingGeometry {
   std::uint64_t num_chunks = 0;
   std::uint8_t hops = 5;  // B
   static constexpr std::uint32_t kSlotBytes = 4;  // b = 32 bits
+
+  // Decodes a kPostcarding CM region advert (param1 high half: hops;
+  // param2: chunk count).
+  static PostcardingGeometry from_advert(const rdma::RegionAdvert& advert);
 
   // Chunk stride padded to the next power of two (8 slots for B=5).
   std::uint32_t padded_hops() const {

@@ -13,46 +13,23 @@ Translator::Translator(TranslatorConfig config, std::uint32_t dest_qpn,
   // "advertise primitive-specific metadata to the translator").
   for (const auto& region : accept.regions) {
     switch (region.kind) {
-      case rdma::RegionKind::kKeyWrite: {
-        KeyWriteGeometry g;
-        g.base_va = region.base_va;
-        g.rkey = region.rkey;
-        g.value_bytes = (region.param1 & 0xFFFF) - 4;  // low half: slot bytes
-        g.checksum_bits = region.param1 >> 16;
-        if (g.checksum_bits == 0 || g.checksum_bits > 32) g.checksum_bits = 32;
-        g.num_slots = region.param2;
-        keywrite_ = std::make_unique<KeyWriteEngine>(g);
+      case rdma::RegionKind::kKeyWrite:
+        keywrite_ = std::make_unique<KeyWriteEngine>(
+            KeyWriteGeometry::from_advert(region));
         break;
-      }
-      case rdma::RegionKind::kKeyIncrement: {
-        KeyIncrementGeometry g;
-        g.base_va = region.base_va;
-        g.rkey = region.rkey;
-        g.num_slots = region.param2;
-        keyincrement_ = std::make_unique<KeyIncrementEngine>(g);
+      case rdma::RegionKind::kKeyIncrement:
+        keyincrement_ = std::make_unique<KeyIncrementEngine>(
+            KeyIncrementGeometry::from_advert(region));
         break;
-      }
-      case rdma::RegionKind::kPostcarding: {
-        PostcardingGeometry g;
-        g.base_va = region.base_va;
-        g.rkey = region.rkey;
-        g.hops = static_cast<std::uint8_t>(region.param1 >> 16);
-        g.num_chunks = region.param2;
+      case rdma::RegionKind::kPostcarding:
         postcarding_ = std::make_unique<PostcardCache>(
-            g, config_.postcard_cache_slots);
+            PostcardingGeometry::from_advert(region),
+            config_.postcard_cache_slots);
         break;
-      }
-      case rdma::RegionKind::kAppend: {
-        AppendGeometry g;
-        g.base_va = region.base_va;
-        g.rkey = region.rkey;
-        g.entry_bytes = region.param1;
-        g.entries_per_list = region.param2 & 0xFFFFFFFFull;
-        g.num_lists = static_cast<std::uint32_t>(region.param2 >> 32);
-        append_ =
-            std::make_unique<AppendEngine>(g, config_.append_batch_size);
+      case rdma::RegionKind::kAppend:
+        append_ = std::make_unique<AppendEngine>(
+            AppendGeometry::from_advert(region), config_.append_batch_size);
         break;
-      }
     }
   }
 }

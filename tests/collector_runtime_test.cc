@@ -1,0 +1,347 @@
+// Sharded collector runtime tests: routing stability, cross-shard query
+// merge, batch/shutdown flushing, and equivalence of a 1-shard runtime
+// with the unsharded store path.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collector/runtime.h"
+#include "common/crc.h"
+#include "translator/keywrite_engine.h"
+#include "translator/rdma_crafter.h"
+
+namespace dta::collector {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using proto::TelemetryKey;
+
+TelemetryKey key_of(std::uint32_t id) {
+  Bytes b;
+  common::put_u32(b, id);
+  return TelemetryKey::from(ByteSpan(b));
+}
+
+proto::ParsedDta keywrite_report(std::uint32_t id, std::uint32_t value,
+                                 std::uint8_t redundancy = 2) {
+  proto::KeyWriteReport r;
+  r.key = key_of(id);
+  r.redundancy = redundancy;
+  common::put_u32(r.data, value);
+  return {proto::DtaHeader{}, std::move(r)};
+}
+
+proto::ParsedDta keyincrement_report(std::uint32_t id, std::uint64_t delta) {
+  proto::KeyIncrementReport r;
+  r.key = key_of(id);
+  r.redundancy = 2;
+  r.counter = delta;
+  return {proto::DtaHeader{}, std::move(r)};
+}
+
+proto::ParsedDta append_report(std::uint32_t list, std::uint32_t value) {
+  proto::AppendReport r;
+  r.list_id = list;
+  r.entry_size = 4;
+  Bytes e;
+  common::put_u32(e, value);
+  r.entries.push_back(std::move(e));
+  return {proto::DtaHeader{}, std::move(r)};
+}
+
+CollectorRuntimeConfig small_config(std::uint32_t shards,
+                                    ThreadMode mode = ThreadMode::kInline) {
+  CollectorRuntimeConfig config;
+  config.num_shards = shards;
+  config.thread_mode = mode;
+  KeyWriteSetup kw;
+  kw.num_slots = 1 << 16;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  KeyIncrementSetup ki;
+  ki.num_slots = 1 << 12;
+  config.keyincrement = ki;
+  AppendSetup ap;
+  ap.num_lists = 8;
+  ap.entries_per_list = 64;
+  ap.entry_bytes = 4;
+  config.append = ap;
+  PostcardingSetup pc;
+  pc.num_chunks = 1 << 14;
+  pc.hops = 5;
+  for (std::uint32_t v = 0; v < 4096; ++v) pc.value_space.push_back(v);
+  config.postcarding = pc;
+  return config;
+}
+
+// ------------------------------------------------------------- routing
+
+TEST(ShardRouting, KeyRoutingIsStable) {
+  for (std::uint32_t id = 0; id < 1000; ++id) {
+    const TelemetryKey key = key_of(id);
+    const std::uint32_t first = shard_for_key(key, 4);
+    EXPECT_EQ(shard_for_key(key, 4), first);
+    EXPECT_LT(first, 4u);
+  }
+}
+
+TEST(ShardRouting, AllPrimitivesOfOneKeyShareAShard) {
+  // Key-Write, Key-Increment and Postcarding reports for the same key
+  // must land on the same shard or cross-shard queries would miss.
+  CollectorRuntime runtime(small_config(4));
+  for (std::uint32_t id = 0; id < 100; ++id) {
+    proto::PostcardReport pc;
+    pc.key = key_of(id);
+    const std::uint32_t kw_shard =
+        runtime.shard_index_for(keywrite_report(id, 1));
+    EXPECT_EQ(runtime.shard_index_for(keyincrement_report(id, 1)), kw_shard);
+    EXPECT_EQ(runtime.shard_index_for({proto::DtaHeader{}, pc}), kw_shard);
+  }
+}
+
+TEST(ShardRouting, KeysSpreadAcrossShards) {
+  std::array<std::uint32_t, 8> hits{};
+  for (std::uint32_t id = 0; id < 8000; ++id) {
+    ++hits[common::shard_of(key_of(id).span(), 8)];
+  }
+  for (std::uint32_t shard = 0; shard < 8; ++shard) {
+    // Uniform expectation 1000 per shard; CRC routing must stay within
+    // a loose 2x band.
+    EXPECT_GT(hits[shard], 500u) << "shard " << shard << " starved";
+    EXPECT_LT(hits[shard], 2000u) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(ShardRouting, ShardSelectorIndependentOfSlotHashes) {
+  // The shard selector must not be correlated with h0(0, .): keys that
+  // collide on the first slot hash should still spread over shards.
+  std::set<std::uint32_t> shards_seen;
+  for (std::uint32_t id = 0; id < 64; ++id) {
+    shards_seen.insert(common::shard_of(key_of(id * 8).span(), 8));
+  }
+  EXPECT_GT(shards_seen.size(), 4u);
+}
+
+// ------------------------------------------------- cross-shard queries
+
+TEST(CollectorRuntimeTest, CrossShardKeyWriteMerge) {
+  CollectorRuntime runtime(small_config(4));
+  for (std::uint32_t id = 0; id < 500; ++id) {
+    runtime.submit(keywrite_report(id, id * 7 + 3));
+  }
+  runtime.flush();
+  int hits = 0;
+  for (std::uint32_t id = 0; id < 500; ++id) {
+    auto value = runtime.query().value_of(key_of(id), 2);
+    if (value && common::load_u32(value->data()) == id * 7 + 3) ++hits;
+  }
+  EXPECT_GE(hits, 498);
+}
+
+TEST(CollectorRuntimeTest, CountersRouteToOwningShard) {
+  CollectorRuntime runtime(small_config(4));
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    for (std::uint32_t id = 0; id < 64; ++id) {
+      runtime.submit(keyincrement_report(id, id + 1));
+    }
+  }
+  runtime.flush();
+  // CMS property must survive sharding: estimates never underestimate.
+  for (std::uint32_t id = 0; id < 64; ++id) {
+    proto::KeyIncrementReport probe;
+    probe.key = key_of(id);
+    RdmaService* owner =
+        &runtime.shard(shard_for_key(probe.key, runtime.num_shards()))
+             .service();
+    EXPECT_GE(owner->keyincrement()->query(probe.key, 2), 3u * (id + 1));
+  }
+}
+
+TEST(CollectorRuntimeTest, AppendListsRouteAndDrainAcrossShards) {
+  CollectorRuntime runtime(small_config(4));
+  for (std::uint32_t list = 0; list < 8; ++list) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      runtime.submit(append_report(list, list * 100 + i));
+    }
+  }
+  runtime.flush();
+  for (std::uint32_t list = 0; list < 8; ++list) {
+    std::vector<std::uint32_t> drained;
+    runtime.query().consume_events(list, 4, [&](ByteSpan entry) {
+      drained.push_back(common::load_u32(entry.data()));
+    });
+    ASSERT_EQ(drained.size(), 4u) << "list " << list;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(drained[i], list * 100 + i) << "list " << list;
+    }
+  }
+}
+
+TEST(CollectorRuntimeTest, PostcardPathsRecoverableAcrossShards) {
+  CollectorRuntime runtime(small_config(4));
+  for (std::uint32_t flow = 0; flow < 100; ++flow) {
+    for (std::uint8_t hop = 0; hop < 5; ++hop) {
+      proto::PostcardReport pc;
+      pc.key = key_of(flow);
+      pc.hop = hop;
+      pc.path_len = 5;
+      pc.redundancy = 1;
+      pc.value = (flow + hop) % 4096;
+      runtime.submit({proto::DtaHeader{}, pc});
+    }
+  }
+  runtime.flush();
+  int found = 0;
+  for (std::uint32_t flow = 0; flow < 100; ++flow) {
+    RdmaService& owner =
+        runtime.shard(shard_for_key(key_of(flow), runtime.num_shards()))
+            .service();
+    auto result = owner.postcarding()->query(key_of(flow), 1);
+    if (result.found && result.hop_values.size() == 5 &&
+        result.hop_values[0] == flow % 4096) {
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 98);
+}
+
+// ------------------------------------------------------ flush/shutdown
+
+TEST(CollectorRuntimeTest, BatchFlushOnShutdown) {
+  auto config = small_config(2);
+  config.op_batch_size = 64;  // far more than we submit: nothing
+                              // reaches the NIC until a flush
+  auto runtime = std::make_unique<CollectorRuntime>(config);
+  for (std::uint32_t id = 0; id < 8; ++id) {
+    runtime->submit(keywrite_report(id, id + 1));
+  }
+  EXPECT_LT(runtime->stats().verbs_executed, 16u);
+  runtime->stop();  // shutdown must deliver the partial batches
+  EXPECT_EQ(runtime->stats().verbs_executed, 16u);  // 8 reports x N=2
+  for (std::uint32_t id = 0; id < 8; ++id) {
+    auto value = runtime->query().value_of(key_of(id), 2);
+    ASSERT_TRUE(value) << "key " << id << " lost at shutdown";
+    EXPECT_EQ(common::load_u32(value->data()), id + 1);
+  }
+}
+
+TEST(CollectorRuntimeTest, FlushAlsoDrainsAppendBatches) {
+  auto config = small_config(2);
+  config.append_batch_size = 16;  // entries stay in the engine registers
+  CollectorRuntime runtime(config);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    runtime.submit(append_report(3, 40 + i));
+  }
+  runtime.flush();
+  std::vector<std::uint32_t> drained;
+  runtime.query().consume_events(3, 5, [&](ByteSpan entry) {
+    drained.push_back(common::load_u32(entry.data()));
+  });
+  EXPECT_EQ(drained, (std::vector<std::uint32_t>{40, 41, 42, 43, 44}));
+}
+
+TEST(CollectorRuntimeTest, FlushAndSubmitAfterStopAreSafe) {
+  // stop() joins the workers; later flush()/submit() must fall back to
+  // the caller thread instead of waiting on (or enqueueing for) workers
+  // that no longer exist.
+  CollectorRuntime runtime(small_config(2, ThreadMode::kThreaded));
+  runtime.submit(keywrite_report(1, 11));
+  runtime.stop();
+  runtime.flush();  // must not hang
+  runtime.submit(keywrite_report(2, 22));
+  runtime.flush();
+  for (std::uint32_t id : {1u, 2u}) {
+    auto value = runtime.query().value_of(key_of(id), 2);
+    ASSERT_TRUE(value) << "key " << id;
+    EXPECT_EQ(common::load_u32(value->data()), id * 11);
+  }
+}
+
+TEST(CollectorRuntimeTest, ThreadedPipelineMatchesInline) {
+  auto threaded_config = small_config(4, ThreadMode::kThreaded);
+  CollectorRuntime runtime(threaded_config);
+  EXPECT_TRUE(runtime.pipeline().threaded());
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    runtime.submit(keywrite_report(id, id ^ 0xA5A5));
+    runtime.submit(keyincrement_report(id % 32, 1));
+  }
+  runtime.flush();
+  int hits = 0;
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    auto value = runtime.query().value_of(key_of(id), 2);
+    if (value && common::load_u32(value->data()) == (id ^ 0xA5A5)) ++hits;
+  }
+  EXPECT_GE(hits, 298);
+  EXPECT_EQ(runtime.stats().reports_in, 600u);
+  runtime.stop();
+}
+
+// ------------------------------------------- single-shard equivalence
+
+TEST(CollectorRuntimeTest, SingleShardMatchesUnshardedStore) {
+  // The same reports through (a) a 1-shard runtime and (b) the raw
+  // unsharded engine->crafter->NIC path must produce byte-identical
+  // Key-Write store memory.
+  auto config = small_config(1);
+  config.op_batch_size = 4;
+  CollectorRuntime runtime(config);
+
+  RdmaService unsharded;
+  KeyWriteSetup kw;
+  kw.num_slots = 1 << 16;
+  kw.value_bytes = 4;
+  unsharded.enable_keywrite(kw);
+  rdma::ConnectRequest req;
+  req.requester_qpn = 0x70;
+  req.start_psn = 0x1000;
+  const rdma::ConnectAccept accept = unsharded.accept(req);
+  translator::KeyWriteGeometry geo;
+  for (const auto& region : accept.regions) {
+    if (region.kind != rdma::RegionKind::kKeyWrite) continue;
+    geo.base_va = region.base_va;
+    geo.rkey = region.rkey;
+    geo.value_bytes = (region.param1 & 0xFFFF) - 4;
+    geo.num_slots = region.param2;
+  }
+  translator::KeyWriteEngine engine(geo);
+  translator::RdmaCrafter crafter(translator::CrafterEndpoints{},
+                                  accept.responder_qpn, accept.start_psn);
+
+  for (std::uint32_t id = 0; id < 200; ++id) {
+    const auto parsed = keywrite_report(id, id * 13 + 7);
+    runtime.submit(parsed);
+    std::vector<translator::RdmaOp> ops;
+    engine.translate(std::get<proto::KeyWriteReport>(parsed.report), false,
+                     ops);
+    for (auto& op : ops) {
+      net::Packet frame = crafter.craft(op);
+      auto out = unsharded.nic().ingest(frame);
+      ASSERT_TRUE(out && out->responder.executed);
+    }
+  }
+  runtime.flush();
+
+  const rdma::MemoryRegion* sharded_region =
+      runtime.shard(0).service().keywrite_region();
+  const rdma::MemoryRegion* unsharded_region = unsharded.keywrite_region();
+  ASSERT_EQ(sharded_region->length(), unsharded_region->length());
+  EXPECT_EQ(std::memcmp(sharded_region->data(), unsharded_region->data(),
+                        sharded_region->length()),
+            0)
+      << "1-shard runtime diverged from the unsharded write path";
+
+  // And the query answers agree.
+  for (std::uint32_t id = 0; id < 200; ++id) {
+    auto via_runtime = runtime.query().value_of(key_of(id), 2);
+    auto direct = unsharded.keywrite()->query(key_of(id), 2);
+    ASSERT_EQ(via_runtime.has_value(), direct.status == QueryStatus::kHit);
+    if (via_runtime) {
+      EXPECT_EQ(common::load_u32(via_runtime->data()),
+                common::load_u32(direct.value.data()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dta::collector
