@@ -1,6 +1,32 @@
 #include "collector/ingest_pipeline.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace dta::collector {
+
+namespace {
+
+// Pins `worker` to `core`, from the spawning thread (no cross-thread
+// stat writes). Returns true on success; silently a no-op off-Linux.
+bool pin_thread(std::thread& worker, int core) {
+#if defined(__linux__)
+  if (core < 0 || core >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  return pthread_setaffinity_np(worker.native_handle(), sizeof(set), &set) ==
+         0;
+#else
+  (void)worker;
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace
 
 IngestPipeline::IngestPipeline(std::vector<CollectorShard*> shards,
                                IngestPipelineConfig config)
@@ -23,6 +49,12 @@ IngestPipeline::IngestPipeline(std::vector<CollectorShard*> shards,
   if (threaded_) {
     for (std::uint32_t i = 0; i < shards_.size(); ++i) {
       lanes_[i]->worker = std::thread([this, i] { worker_loop(i); });
+      if (config.pin_workers) {
+        const int core = i < config.worker_cores.size()
+                             ? config.worker_cores[i]
+                             : static_cast<int>(i);
+        if (pin_thread(lanes_[i]->worker, core)) ++stats_.workers_pinned;
+      }
     }
   }
 }
@@ -44,6 +76,19 @@ void IngestPipeline::submit(std::uint32_t shard, proto::ParsedDta parsed) {
   }
 }
 
+std::uint64_t IngestPipeline::request_flush(std::uint32_t shard) {
+  return lanes_[shard]->flushes_requested.fetch_add(
+             1, std::memory_order_acq_rel) +
+         1;
+}
+
+void IngestPipeline::await_flush(std::uint32_t shard, std::uint64_t target) {
+  while (lanes_[shard]->flushes_done.load(std::memory_order_acquire) <
+         target) {
+    std::this_thread::yield();
+  }
+}
+
 void IngestPipeline::flush() {
   if (!threaded_ || stopped_) {
     // Inline mode — or workers already joined by stop(), in which case
@@ -55,17 +100,20 @@ void IngestPipeline::flush() {
   // Workers only flush once their queue is empty, so everything
   // submitted before this call is processed first.
   std::vector<std::uint64_t> targets(lanes_.size());
-  for (std::size_t i = 0; i < lanes_.size(); ++i) {
-    targets[i] =
-        lanes_[i]->flushes_requested.fetch_add(1, std::memory_order_acq_rel) +
-        1;
+  for (std::uint32_t i = 0; i < lanes_.size(); ++i) {
+    targets[i] = request_flush(i);
   }
-  for (std::size_t i = 0; i < lanes_.size(); ++i) {
-    while (lanes_[i]->flushes_done.load(std::memory_order_acquire) <
-           targets[i]) {
-      std::this_thread::yield();
-    }
+  for (std::uint32_t i = 0; i < lanes_.size(); ++i) {
+    await_flush(i, targets[i]);
   }
+}
+
+void IngestPipeline::flush_shard(std::uint32_t shard) {
+  if (!threaded_ || stopped_) {
+    shards_[shard]->flush();
+    return;
+  }
+  await_flush(shard, request_flush(shard));
 }
 
 void IngestPipeline::stop() {

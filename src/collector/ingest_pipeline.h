@@ -7,9 +7,19 @@
 // matters more than parallelism — the pipeline runs inline: submit()
 // executes the shard ingest directly and the queues stay unused.
 //
+// Workers can optionally be pinned to cores (pin_workers +
+// worker_cores): shard workers otherwise float across cores, losing
+// cache locality with their shard's store memory. Pinning is applied
+// from the constructor via the native thread handle, so no stat is
+// written from worker threads. Full NUMA memory binding remains open
+// (ROADMAP): regions are allocated before worker placement is known.
+//
 // Threading contract: submit()/flush()/stop() must be called from one
-// thread. Shard stores must only be queried after flush() (the queues
-// are drained and translator aggregation state written back) or stop().
+// thread. Shard stores must only be queried after flush() — or, for one
+// shard, flush_shard() — joins the barrier: the queues are drained and
+// translator aggregation state written back, and the release/acquire
+// handshake on the flush counters makes the worker's store writes
+// visible to (and ordered before) the caller's reads.
 #pragma once
 
 #include <atomic>
@@ -33,11 +43,17 @@ enum class ThreadMode : std::uint8_t {
 struct IngestPipelineConfig {
   std::uint32_t queue_capacity = 4096;  // per shard, entries
   ThreadMode thread_mode = ThreadMode::kAuto;
+  // CPU affinity for shard workers. When pin_workers is set, worker i is
+  // pinned to worker_cores[i] (or core i when the list is shorter).
+  // No-op when unset or on platforms without thread affinity.
+  bool pin_workers = false;
+  std::vector<int> worker_cores;
 };
 
 struct IngestPipelineStats {
   std::uint64_t submitted = 0;
   std::uint64_t backpressure_waits = 0;  // full-queue spins on submit
+  std::uint32_t workers_pinned = 0;      // affinity calls that succeeded
 };
 
 class IngestPipeline {
@@ -58,6 +74,12 @@ class IngestPipeline {
   // translator-side aggregation state is flushed before this returns.
   void flush();
 
+  // Same barrier, restricted to one shard: that shard's queue is
+  // drained and its aggregation state flushed; other shards keep
+  // running. This is the synchronization point the snapshot/query tier
+  // uses, so a query against one shard never stalls the others.
+  void flush_shard(std::uint32_t shard);
+
   // Drains, flushes and joins the workers. Idempotent; the destructor
   // calls it.
   void stop();
@@ -75,6 +97,8 @@ class IngestPipeline {
   };
 
   void worker_loop(std::uint32_t shard);
+  std::uint64_t request_flush(std::uint32_t shard);
+  void await_flush(std::uint32_t shard, std::uint64_t target);
 
   std::vector<CollectorShard*> shards_;
   std::vector<std::unique_ptr<ShardLane>> lanes_;

@@ -10,6 +10,12 @@
 // and provides the batch event-consumption loop the paper's §6.7.1
 // polling cores run ("we assume for Append operations the CPU is
 // monitoring the lists continuously").
+//
+// This is the *per-host* query layer: it answers synchronously against
+// one runtime's live shard stores (call only behind the runtime's flush
+// barrier). The cluster merge layer — dta::ClusterQueryFrontend —
+// fans out across hosts, resolves asynchronously from per-shard
+// StoreSnapshots, and adds the replica-failover vote.
 #pragma once
 
 #include <cstdint>

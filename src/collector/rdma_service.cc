@@ -5,6 +5,7 @@ namespace dta::collector {
 RdmaService::RdmaService(rdma::NicParams nic_params) : nic_(nic_params) {}
 
 void RdmaService::enable_keywrite(const KeyWriteSetup& setup) {
+  kw_setup_ = setup;
   const std::uint32_t slot_bytes = 4 + setup.value_bytes;
   kw_region_ = nic_.pd().register_region(setup.num_slots * slot_bytes,
                                          rdma::kRemoteWrite);
@@ -21,6 +22,7 @@ void RdmaService::enable_keywrite(const KeyWriteSetup& setup) {
 }
 
 void RdmaService::enable_postcarding(const PostcardingSetup& setup) {
+  pc_setup_ = setup;
   std::uint32_t padded = 1;
   while (padded < setup.hops) padded <<= 1;
   const std::uint64_t bytes = setup.num_chunks * padded * 4ull;
@@ -38,6 +40,7 @@ void RdmaService::enable_postcarding(const PostcardingSetup& setup) {
 }
 
 void RdmaService::enable_append(const AppendSetup& setup) {
+  ap_setup_ = setup;
   const std::uint64_t bytes = static_cast<std::uint64_t>(setup.num_lists) *
                               setup.entries_per_list * setup.entry_bytes;
   ap_region_ = nic_.pd().register_region(bytes, rdma::kRemoteWrite);
@@ -55,6 +58,7 @@ void RdmaService::enable_append(const AppendSetup& setup) {
 }
 
 void RdmaService::enable_keyincrement(const KeyIncrementSetup& setup) {
+  ki_setup_ = setup;
   ki_region_ = nic_.pd().register_region(setup.num_slots * 8,
                                          rdma::kRemoteAtomic);
   keyincrement_ =

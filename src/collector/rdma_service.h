@@ -71,12 +71,33 @@ class RdmaService {
   PostcardingStore* postcarding() { return postcarding_.get(); }
   AppendStore* append() { return append_.get(); }
   KeyIncrementStore* keyincrement() { return keyincrement_.get(); }
+  const KeyWriteStore* keywrite() const { return keywrite_.get(); }
+  const PostcardingStore* postcarding() const { return postcarding_.get(); }
+  const AppendStore* append() const { return append_.get(); }
+  const KeyIncrementStore* keyincrement() const { return keyincrement_.get(); }
+
+  // The setups the stores were built from (StoreSnapshot reconstructs
+  // equivalent stores over copied memory from these).
+  const std::optional<KeyWriteSetup>& keywrite_setup() const {
+    return kw_setup_;
+  }
+  const std::optional<PostcardingSetup>& postcarding_setup() const {
+    return pc_setup_;
+  }
+  const std::optional<AppendSetup>& append_setup() const { return ap_setup_; }
+  const std::optional<KeyIncrementSetup>& keyincrement_setup() const {
+    return ki_setup_;
+  }
 
   // Raw regions (tests want to inspect memory directly).
   rdma::MemoryRegion* keywrite_region() { return kw_region_; }
   rdma::MemoryRegion* postcarding_region() { return pc_region_; }
   rdma::MemoryRegion* append_region() { return ap_region_; }
   rdma::MemoryRegion* keyincrement_region() { return ki_region_; }
+  const rdma::MemoryRegion* keywrite_region() const { return kw_region_; }
+  const rdma::MemoryRegion* postcarding_region() const { return pc_region_; }
+  const rdma::MemoryRegion* append_region() const { return ap_region_; }
+  const rdma::MemoryRegion* keyincrement_region() const { return ki_region_; }
 
  private:
   rdma::Nic nic_;
@@ -92,6 +113,11 @@ class RdmaService {
   std::unique_ptr<PostcardingStore> postcarding_;
   std::unique_ptr<AppendStore> append_;
   std::unique_ptr<KeyIncrementStore> keyincrement_;
+
+  std::optional<KeyWriteSetup> kw_setup_;
+  std::optional<PostcardingSetup> pc_setup_;
+  std::optional<AppendSetup> ap_setup_;
+  std::optional<KeyIncrementSetup> ki_setup_;
 };
 
 }  // namespace dta::collector

@@ -59,6 +59,8 @@ CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
   IngestPipelineConfig pc;
   pc.queue_capacity = config_.queue_capacity;
   pc.thread_mode = config_.thread_mode;
+  pc.pin_workers = config_.pin_workers;
+  pc.worker_cores = config_.worker_cores;
   pipeline_ = std::make_unique<IngestPipeline>(std::move(shard_ptrs), pc);
   query_ = std::make_unique<QueryFrontend>(std::move(services));
 }
@@ -96,7 +98,22 @@ void CollectorRuntime::submit(proto::ParsedDta parsed) {
 
 void CollectorRuntime::flush() { pipeline_->flush(); }
 
+void CollectorRuntime::flush_shard(std::uint32_t i) {
+  pipeline_->flush_shard(i);
+}
+
 void CollectorRuntime::stop() { pipeline_->stop(); }
+
+std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard(
+    std::uint32_t i) {
+  // The flush barrier both quiesces the shard (everything submitted
+  // before this call is in store memory) and, through the release/
+  // acquire handshake on the flush counters, orders the worker's store
+  // writes before the copy below. Ingest resumed after this call only
+  // touches memory the copy no longer reads from this thread.
+  pipeline_->flush_shard(i);
+  return std::make_shared<const StoreSnapshot>(shards_[i]->service());
+}
 
 CollectorRuntimeStats CollectorRuntime::stats() const {
   CollectorRuntimeStats total;

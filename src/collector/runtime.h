@@ -22,6 +22,7 @@
 #include "collector/ingest_pipeline.h"
 #include "collector/query_frontend.h"
 #include "collector/shard.h"
+#include "collector/snapshot.h"
 
 namespace dta::collector {
 
@@ -42,6 +43,11 @@ struct CollectorRuntimeConfig {
 
   std::uint32_t queue_capacity = 4096;
   ThreadMode thread_mode = ThreadMode::kAuto;
+
+  // CPU affinity for shard workers (no-op when unset): worker i is
+  // pinned to worker_cores[i], or to core i when the list is shorter.
+  bool pin_workers = false;
+  std::vector<int> worker_cores;
 };
 
 struct CollectorRuntimeStats {
@@ -69,8 +75,19 @@ class CollectorRuntime {
   // Required before querying.
   void flush();
 
+  // Per-shard barrier: shard `i`'s queue drained and its aggregation
+  // state delivered; other shards keep running.
+  void flush_shard(std::uint32_t i);
+
   // Flushes and joins the shard workers. Idempotent.
   void stop();
+
+  // Consistent point-in-time copy of shard `i`'s stores, taken behind
+  // the per-shard flush barrier. The returned snapshot is immutable and
+  // safe to query from any thread while ingest continues — the seam the
+  // async cluster query tier resolves its futures from. Must be called
+  // from the control (submitting) thread.
+  std::shared_ptr<const StoreSnapshot> snapshot_shard(std::uint32_t i);
 
   // Which shard a report routes to (exposed for tests and benches).
   std::uint32_t shard_index_for(const proto::ParsedDta& parsed) const;

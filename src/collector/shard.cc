@@ -1,6 +1,6 @@
 #include "collector/shard.h"
 
-#include "common/crc.h"
+#include "common/shard_math.h"
 
 namespace dta::collector {
 
@@ -101,15 +101,15 @@ double CollectorShard::modeled_verbs_per_sec() const {
 
 std::uint32_t shard_for_key(const proto::TelemetryKey& key,
                             std::uint32_t num_shards) {
-  return common::shard_of(key.span(), num_shards);
+  return common::shard_of_key(key.span(), num_shards);
 }
 
 std::uint32_t shard_for_list(std::uint32_t list_id, std::uint32_t num_shards) {
-  return num_shards <= 1 ? 0 : list_id % num_shards;
+  return common::list_partition(list_id, num_shards);
 }
 
 std::uint32_t local_list_id(std::uint32_t list_id, std::uint32_t num_shards) {
-  return num_shards <= 1 ? list_id : list_id / num_shards;
+  return common::list_local_id(list_id, num_shards);
 }
 
 }  // namespace dta::collector

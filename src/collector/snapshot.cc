@@ -1,0 +1,84 @@
+#include "collector/snapshot.h"
+
+#include <cstring>
+
+namespace dta::collector {
+
+std::unique_ptr<rdma::MemoryRegion> StoreSnapshot::copy_region(
+    const rdma::MemoryRegion* src) {
+  // Same base VA and rkey as the live region: the store arithmetic
+  // (base + slot * slot_size) carries over unchanged.
+  auto copy = std::make_unique<rdma::MemoryRegion>(
+      src->base_va(), src->length(), src->rkey(), src->access());
+  std::memcpy(copy->data(), src->data(), src->length());
+  return copy;
+}
+
+StoreSnapshot::StoreSnapshot(const RdmaService& service) {
+  if (service.keywrite()) {
+    const KeyWriteSetup& setup = *service.keywrite_setup();
+    kw_mem_ = copy_region(service.keywrite_region());
+    keywrite_ = std::make_unique<KeyWriteStore>(
+        kw_mem_.get(), service.keywrite()->num_slots(), setup.value_bytes,
+        setup.checksum_bits);
+  }
+  if (service.postcarding()) {
+    const PostcardingSetup& setup = *service.postcarding_setup();
+    pc_mem_ = copy_region(service.postcarding_region());
+    postcarding_ = std::make_unique<PostcardingStore>(
+        pc_mem_.get(), service.postcarding()->num_chunks(),
+        service.postcarding()->hops(), setup.value_space);
+  }
+  if (service.append()) {
+    const AppendStore& live = *service.append();
+    ap_mem_ = copy_region(service.append_region());
+    append_ = std::make_unique<AppendStore>(ap_mem_.get(), live.num_lists(),
+                                            live.entries_per_list(),
+                                            live.entry_bytes());
+    // Freeze the polling positions: snapshot reads start where the live
+    // consumers stood at snapshot time.
+    for (std::uint32_t list = 0; list < live.num_lists(); ++list) {
+      append_->set_tail(list, live.tail(list));
+    }
+  }
+  if (service.keyincrement()) {
+    ki_mem_ = copy_region(service.keyincrement_region());
+    keyincrement_ = std::make_unique<KeyIncrementStore>(
+        ki_mem_.get(), service.keyincrement()->num_slots());
+  }
+}
+
+KeyWriteQueryResult StoreSnapshot::keywrite_query(
+    const proto::TelemetryKey& key, std::uint8_t redundancy,
+    std::uint8_t consensus_threshold) const {
+  if (!keywrite_) return {};
+  return keywrite_->query(key, redundancy, consensus_threshold);
+}
+
+std::optional<std::uint64_t> StoreSnapshot::keyincrement_query(
+    const proto::TelemetryKey& key, std::uint8_t redundancy) const {
+  if (!keyincrement_) return std::nullopt;
+  return keyincrement_->query(key, redundancy);
+}
+
+PostcardingQueryResult StoreSnapshot::postcarding_query(
+    const proto::TelemetryKey& key, std::uint8_t redundancy) const {
+  if (!postcarding_) return {};
+  return postcarding_->query(key, redundancy);
+}
+
+std::vector<common::Bytes> StoreSnapshot::append_read(
+    std::uint32_t local_list, std::uint64_t count) const {
+  std::vector<common::Bytes> out;
+  if (!append_ || local_list >= append_->num_lists()) return out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // poll() advances the snapshot's private tail; the live store's
+    // consumer positions are untouched.
+    const common::ByteSpan entry = append_->poll(local_list);
+    out.emplace_back(entry.begin(), entry.end());
+  }
+  return out;
+}
+
+}  // namespace dta::collector

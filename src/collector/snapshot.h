@@ -1,0 +1,76 @@
+// Immutable point-in-time copy of one shard's query stores.
+//
+// The async query tier (ClusterQueryFrontend) resolves queries on
+// worker threads while ingest keeps running; the live store memory is
+// written by the shard's NIC model, so reading it concurrently would
+// race. A StoreSnapshot is taken on the runtime's control thread behind
+// the per-shard flush barrier (everything submitted before the snapshot
+// is in memory, nothing is being written), copies the registered
+// regions, and rebuilds the query stores over the copies. The snapshot
+// is then immutable and safely shared across any number of query
+// threads — this is how polling cores and queries stop contending on
+// store memory.
+//
+// Cost: one memcpy of the shard's store footprint per snapshot. Shards
+// divide the global geometry N_hosts x M_shards ways, so the per-
+// snapshot copy shrinks as the cluster scales out.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collector/rdma_service.h"
+
+namespace dta::collector {
+
+class StoreSnapshot {
+ public:
+  // Copies every enabled store of `service`. Call only while the shard
+  // is quiesced (CollectorRuntime::snapshot_shard provides the barrier).
+  explicit StoreSnapshot(const RdmaService& service);
+
+  StoreSnapshot(const StoreSnapshot&) = delete;
+  StoreSnapshot& operator=(const StoreSnapshot&) = delete;
+
+  bool has_keywrite() const { return keywrite_ != nullptr; }
+  bool has_postcarding() const { return postcarding_ != nullptr; }
+  bool has_append() const { return append_ != nullptr; }
+  bool has_keyincrement() const { return keyincrement_ != nullptr; }
+
+  // Algorithm 2 vote over the copied Key-Write slots.
+  KeyWriteQueryResult keywrite_query(const proto::TelemetryKey& key,
+                                     std::uint8_t redundancy,
+                                     std::uint8_t consensus_threshold = 1) const;
+
+  // CMS min over the copied Key-Increment counters; nullopt when the
+  // primitive is not enabled.
+  std::optional<std::uint64_t> keyincrement_query(
+      const proto::TelemetryKey& key, std::uint8_t redundancy) const;
+
+  // Chunk-vote path decode over the copied Postcarding chunks.
+  PostcardingQueryResult postcarding_query(const proto::TelemetryKey& key,
+                                           std::uint8_t redundancy) const;
+
+  // Reads `count` entries of shard-local list `local_list`, starting
+  // at the tail position captured at snapshot time, without consuming
+  // from the live store. Returns the entries in list order. Like
+  // AppendStore::poll / QueryFrontend::consume_events, the caller
+  // tracks availability (the paper's polling model: the consumer knows
+  // the producer's head); reading past it yields the unwritten ring
+  // slots as zero entries.
+  std::vector<common::Bytes> append_read(std::uint32_t local_list,
+                                         std::uint64_t count) const;
+
+ private:
+  std::unique_ptr<rdma::MemoryRegion> copy_region(
+      const rdma::MemoryRegion* src);
+
+  std::unique_ptr<rdma::MemoryRegion> kw_mem_, pc_mem_, ap_mem_, ki_mem_;
+  std::unique_ptr<KeyWriteStore> keywrite_;
+  std::unique_ptr<PostcardingStore> postcarding_;
+  std::unique_ptr<AppendStore> append_;
+  std::unique_ptr<KeyIncrementStore> keyincrement_;
+};
+
+}  // namespace dta::collector

@@ -1,0 +1,225 @@
+#include "dtalib/cluster_query_frontend.h"
+
+#include <utility>
+
+#include "common/shard_math.h"
+#include "dtalib/cluster_runtime.h"
+
+namespace dta {
+
+namespace {
+
+proto::TelemetryKey flow_key(const net::FiveTuple& flow) {
+  const auto bytes = flow.to_bytes();
+  return proto::TelemetryKey::from(
+      common::ByteSpan(bytes.data(), bytes.size()));
+}
+
+// Best-vote merge across replica snapshots: each candidate snapshot is
+// the key's owning shard on one host, so every hit is authoritative and
+// the highest-vote one wins. Non-owner candidates only exist under
+// policies where any host may legitimately hold the key.
+collector::KeyWriteQueryResult merge_keywrite(
+    const std::vector<std::shared_ptr<const collector::StoreSnapshot>>& snaps,
+    const proto::TelemetryKey& key, std::uint8_t redundancy) {
+  collector::KeyWriteQueryResult best;
+  for (const auto& snap : snaps) {
+    if (!snap->has_keywrite()) continue;
+    auto result = snap->keywrite_query(key, redundancy);
+    if (result.status != collector::QueryStatus::kHit) continue;
+    if (best.status != collector::QueryStatus::kHit ||
+        result.votes > best.votes) {
+      best = std::move(result);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> ClusterQueryFrontend::candidate_hosts(
+    const proto::TelemetryKey& key) const {
+  std::vector<std::uint32_t> hosts;
+  const auto owner = cluster_->selector().owner_host(key);
+  if (owner) {
+    if (!cluster_->is_failed(*owner)) hosts.push_back(*owner);
+    return hosts;  // kByKeyHash: a dead owner means the partition is lost
+  }
+  for (std::uint32_t h = 0; h < cluster_->num_hosts(); ++h) {
+    if (!cluster_->is_failed(h)) hosts.push_back(h);
+  }
+  return hosts;
+}
+
+std::vector<ClusterQueryFrontend::Snapshot>
+ClusterQueryFrontend::snapshots_for_key(const proto::TelemetryKey& key) {
+  const std::uint32_t shard = cluster_->selector().shard_within_host(key);
+  std::vector<Snapshot> snaps;
+  for (std::uint32_t h : candidate_hosts(key)) {
+    snaps.push_back(cluster_->host(h).snapshot_shard(shard));
+  }
+  return snaps;
+}
+
+std::future<std::optional<common::Bytes>> ClusterQueryFrontend::value_of(
+    proto::TelemetryKey key, std::uint8_t redundancy) {
+  auto snaps = snapshots_for_key(key);
+  return std::async(std::launch::async, [snaps = std::move(snaps), key,
+                                         redundancy]()
+                        -> std::optional<common::Bytes> {
+    auto best = merge_keywrite(snaps, key, redundancy);
+    if (best.status != collector::QueryStatus::kHit) return std::nullopt;
+    return std::move(best.value);
+  });
+}
+
+std::future<std::optional<std::uint32_t>> ClusterQueryFrontend::flow_metric(
+    const net::FiveTuple& flow, std::uint8_t redundancy) {
+  const proto::TelemetryKey key = flow_key(flow);
+  auto snaps = snapshots_for_key(key);
+  return std::async(std::launch::async, [snaps = std::move(snaps), key,
+                                         redundancy]()
+                        -> std::optional<std::uint32_t> {
+    auto best = merge_keywrite(snaps, key, redundancy);
+    if (best.status != collector::QueryStatus::kHit ||
+        best.value.size() < 4) {
+      return std::nullopt;
+    }
+    return common::load_u32(best.value.data());
+  });
+}
+
+std::future<std::uint64_t> ClusterQueryFrontend::flow_counter(
+    const net::FiveTuple& flow, std::uint8_t redundancy) {
+  const proto::TelemetryKey key = flow_key(flow);
+  auto snaps = snapshots_for_key(key);
+  return std::async(
+      std::launch::async,
+      [snaps = std::move(snaps), key, redundancy]() -> std::uint64_t {
+        // Every replica's CMS never underestimates its own ingest; under
+        // replication all replicas saw the same reports, so the max is
+        // the surviving replicas' tightest estimate.
+        std::uint64_t best = 0;
+        for (const auto& snap : snaps) {
+          if (const auto est = snap->keyincrement_query(key, redundancy)) {
+            best = std::max(best, *est);
+          }
+        }
+        return best;
+      });
+}
+
+std::future<std::optional<std::vector<std::uint32_t>>>
+ClusterQueryFrontend::flow_path(const net::FiveTuple& flow,
+                                std::uint8_t redundancy) {
+  const proto::TelemetryKey key = flow_key(flow);
+  auto snaps = snapshots_for_key(key);
+  return std::async(std::launch::async, [snaps = std::move(snaps), key,
+                                         redundancy]()
+                        -> std::optional<std::vector<std::uint32_t>> {
+    std::optional<std::vector<std::uint32_t>> merged;
+    for (const auto& snap : snaps) {
+      if (!snap->has_postcarding()) continue;
+      auto result = snap->postcarding_query(key, redundancy);
+      if (!result.found) continue;
+      // Replicas of one flow must agree; disagreement is a conflict,
+      // same as within a store.
+      if (merged && *merged != result.hop_values) return std::nullopt;
+      merged = std::move(result.hop_values);
+    }
+    return merged;
+  });
+}
+
+std::future<std::vector<std::optional<common::Bytes>>>
+ClusterQueryFrontend::values_of(std::vector<proto::TelemetryKey> keys,
+                                std::uint8_t redundancy) {
+  // Group the batch by its owning shard snapshots: one snapshot set per
+  // distinct (host, shard) owner, each taken once however many keys it
+  // serves.
+  struct Lookup {
+    std::size_t index;
+    proto::TelemetryKey key;
+    std::vector<Snapshot> snaps;
+  };
+  std::vector<Lookup> lookups;
+  lookups.reserve(keys.size());
+  // (host, shard) -> snapshot, cached for the duration of the batch.
+  std::vector<std::vector<Snapshot>> cache(
+      cluster_->num_hosts(),
+      std::vector<Snapshot>(cluster_->shards_per_host()));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint32_t shard =
+        cluster_->selector().shard_within_host(keys[i]);
+    std::vector<Snapshot> snaps;
+    for (std::uint32_t h : candidate_hosts(keys[i])) {
+      if (!cache[h][shard]) {
+        cache[h][shard] = cluster_->host(h).snapshot_shard(shard);
+      }
+      snaps.push_back(cache[h][shard]);
+    }
+    lookups.push_back(Lookup{i, keys[i], std::move(snaps)});
+  }
+  const std::size_t n = keys.size();
+  return std::async(
+      std::launch::async,
+      [lookups = std::move(lookups), n,
+       redundancy]() -> std::vector<std::optional<common::Bytes>> {
+        std::vector<std::optional<common::Bytes>> out(n);
+        for (const auto& lookup : lookups) {
+          auto best = merge_keywrite(lookup.snaps, lookup.key, redundancy);
+          if (best.status == collector::QueryStatus::kHit) {
+            out[lookup.index] = std::move(best.value);
+          }
+        }
+        return out;
+      });
+}
+
+std::future<std::vector<common::Bytes>> ClusterQueryFrontend::events(
+    std::uint32_t list, std::uint64_t count, std::uint32_t dst_ip) {
+  auto& selector = cluster_->selector();
+  std::optional<std::uint32_t> host;
+  switch (selector.policy()) {
+    case translator::PartitionPolicy::kByKeyHash:
+      // The partition owner — or nobody, if it died with the list.
+      host = selector.owner_host_of_list(list);
+      if (host && cluster_->is_failed(*host)) host.reset();
+      break;
+    case translator::PartitionPolicy::kReplicate:
+      // Replicas hold identical copies: first live one answers.
+      for (std::uint32_t h = 0; h < cluster_->num_hosts(); ++h) {
+        if (!cluster_->is_failed(h)) {
+          host = h;
+          break;
+        }
+      }
+      break;
+    case translator::PartitionPolicy::kByDestinationIp: {
+      // Only the host the reporter addressed holds the list; any other
+      // host's ring is untouched memory. Same normalized mapping as
+      // submit().
+      if (dst_ip == 0) dst_ip = cluster_->host_ip(0);
+      const std::uint32_t h =
+          (dst_ip - cluster_->host_ip(0)) % cluster_->num_hosts();
+      if (!cluster_->is_failed(h)) host = h;
+      break;
+    }
+  }
+  if (!host) {
+    // Dead owner (or dead addressed host): those events are lost.
+    return std::async(std::launch::deferred,
+                      [] { return std::vector<common::Bytes>{}; });
+  }
+  const std::uint32_t host_list = selector.host_local_list(list);
+  const std::uint32_t shard = selector.shard_within_host_of_list(host_list);
+  const std::uint32_t shard_list =
+      common::list_local_id(host_list, cluster_->shards_per_host());
+  auto snap = cluster_->host(*host).snapshot_shard(shard);
+  return std::async(std::launch::async,
+                    [snap = std::move(snap), shard_list, count] {
+                      return snap->append_read(shard_list, count);
+                    });
+}
+
+}  // namespace dta

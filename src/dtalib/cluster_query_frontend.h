@@ -1,0 +1,94 @@
+// Cluster-level async query tier.
+//
+// The per-host QueryFrontend (src/collector/query_frontend.h) answers
+// synchronously against live shard stores; this layer sits above it and
+// answers point, range and event queries for the whole cluster as
+// futures. Each query (1) locates its candidate (host, shard) pairs
+// through the same two-level router ingest uses, (2) takes immutable
+// per-shard StoreSnapshots behind the per-shard flush barrier — the
+// only moment it touches live state — and (3) resolves the merge on a
+// detached thread, so queries never contend with the polling/ingest
+// path on store memory.
+//
+// Merging is redundancy-vote based, one layer for both concerns:
+// within a snapshot the store's N-replica vote, across snapshots the
+// best-vote winner. Under kReplicate the candidates are every *live*
+// replica host, which is exactly replica failover: after a collector
+// death the same query code answers from the survivors.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "collector/snapshot.h"
+#include "net/flow.h"
+
+namespace dta {
+
+class ClusterRuntime;
+
+class ClusterQueryFrontend {
+ public:
+  explicit ClusterQueryFrontend(ClusterRuntime* cluster) : cluster_(cluster) {}
+
+  // --- point queries --------------------------------------------------------
+  // Key-Write value lookup: redundancy-vote merged across the owning
+  // shard snapshot of every candidate host.
+  std::future<std::optional<common::Bytes>> value_of(
+      proto::TelemetryKey key, std::uint8_t redundancy = 2);
+  std::future<std::optional<std::uint32_t>> flow_metric(
+      const net::FiveTuple& flow, std::uint8_t redundancy = 2);
+
+  // Key-Increment counter (CMS min; max across replicas — each replica
+  // is a one-sided overestimate built from the same reports, so the max
+  // is the tightest bound that never undercounts a surviving replica).
+  std::future<std::uint64_t> flow_counter(const net::FiveTuple& flow,
+                                          std::uint8_t redundancy = 2);
+
+  // Postcarding path: chunk-vote within a snapshot, agreement across
+  // replicas (disagreeing valid paths are a conflict -> nullopt).
+  std::future<std::optional<std::vector<std::uint32_t>>> flow_path(
+      const net::FiveTuple& flow, std::uint8_t redundancy = 1);
+
+  // --- range queries --------------------------------------------------------
+  // Batch Key-Write lookup: keys are grouped by (host, shard), one
+  // snapshot per group, and the whole batch resolves in one future
+  // (results in input order).
+  std::future<std::vector<std::optional<common::Bytes>>> values_of(
+      std::vector<proto::TelemetryKey> keys, std::uint8_t redundancy = 2);
+
+  // --- event queries --------------------------------------------------------
+  // Reads `count` entries of global Append list `list` from the owning
+  // shard snapshot, starting at the live store's current consumer
+  // position, without consuming. As with the per-host consume_events,
+  // the caller tracks availability (the paper's polling model: the
+  // consumer knows the producer's head) — `count` must not exceed it,
+  // or the unwritten ring slots read back as zero entries. Host choice
+  // by policy: the list's owner under kByKeyHash (empty if it died),
+  // the first live replica under kReplicate (replica failover for
+  // event streams), and the `dst_ip`-addressed host under
+  // kByDestinationIp (only that host holds the list; `dst_ip` is
+  // ignored by the other policies, 0 means host_ip(0)).
+  std::future<std::vector<common::Bytes>> events(std::uint32_t list,
+                                                 std::uint64_t count,
+                                                 std::uint32_t dst_ip = 0);
+
+ private:
+  using Snapshot = std::shared_ptr<const collector::StoreSnapshot>;
+
+  // Candidate hosts for a key-addressed query: the owner under
+  // kByKeyHash (empty if it failed — that partition is lost), every
+  // live host otherwise (kReplicate replicas; kByDestinationIp, where
+  // the key does not determine placement).
+  std::vector<std::uint32_t> candidate_hosts(
+      const proto::TelemetryKey& key) const;
+  // One snapshot of `key`'s shard on each candidate host.
+  std::vector<Snapshot> snapshots_for_key(const proto::TelemetryKey& key);
+
+  ClusterRuntime* cluster_;
+};
+
+}  // namespace dta

@@ -1,0 +1,88 @@
+#include "dtalib/cluster_runtime.h"
+
+#include "common/shard_math.h"
+
+namespace dta {
+
+ClusterRuntime::ClusterRuntime(ClusterRuntimeConfig config)
+    : config_(std::move(config)),
+      selector_(config_.policy,
+                config_.num_hosts == 0 ? 1 : config_.num_hosts,
+                config_.host.num_shards == 0 ? 1 : config_.host.num_shards),
+      failed_(selector_.num_collectors(), false) {
+  hosts_.reserve(selector_.num_collectors());
+  for (std::uint32_t h = 0; h < selector_.num_collectors(); ++h) {
+    hosts_.push_back(
+        std::make_unique<collector::CollectorRuntime>(config_.host));
+  }
+  query_ = std::make_unique<ClusterQueryFrontend>(this);
+}
+
+ClusterRuntime::~ClusterRuntime() { stop(); }
+
+void ClusterRuntime::submit(proto::ParsedDta parsed, std::uint32_t dst_ip) {
+  if (dst_ip == 0) dst_ip = host_ip(0);
+  // Route on the offset from the cluster's base address: the selector's
+  // modulo mapping then sends host_ip(h) to host h exactly (the raw IP
+  // is only aligned with the host index when the base divides evenly).
+  const auto routes =
+      selector_.route_cluster(parsed.report, dst_ip - host_ip(0));
+
+  if (auto* ap = std::get_if<proto::AppendReport>(&parsed.report)) {
+    // Fold the global list id to the host-local space (kByKeyHash only;
+    // the selector knows). The host runtime applies the same fold again
+    // for its shard tier, so ids stay dense at every level.
+    ap->list_id = selector_.host_local_list(ap->list_id);
+  }
+
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    const std::uint32_t h = routes[i].host;
+    if (failed_[h]) continue;  // a dead collector just loses its copy
+    if (i + 1 == routes.size()) {
+      hosts_[h]->submit(std::move(parsed));
+    } else {
+      hosts_[h]->submit(parsed);  // kReplicate: one copy per host
+    }
+  }
+}
+
+void ClusterRuntime::flush() {
+  for (auto& host : hosts_) host->flush();
+}
+
+void ClusterRuntime::stop() {
+  for (auto& host : hosts_) host->stop();
+}
+
+std::uint32_t ClusterRuntime::live_hosts() const {
+  std::uint32_t live = 0;
+  for (std::uint32_t h = 0; h < hosts_.size(); ++h) {
+    if (!failed_[h]) ++live;
+  }
+  return live;
+}
+
+collector::CollectorRuntimeStats ClusterRuntime::stats() const {
+  collector::CollectorRuntimeStats total;
+  for (std::uint32_t h = 0; h < hosts_.size(); ++h) {
+    if (failed_[h]) continue;
+    const auto s = hosts_[h]->stats();
+    total.reports_in += s.reports_in;
+    total.ops_batched += s.ops_batched;
+    total.batch_flushes += s.batch_flushes;
+    total.verbs_executed += s.verbs_executed;
+    total.verbs_failed += s.verbs_failed;
+  }
+  return total;
+}
+
+double ClusterRuntime::modeled_aggregate_verbs_per_sec() const {
+  double total = 0.0;
+  for (std::uint32_t h = 0; h < hosts_.size(); ++h) {
+    if (failed_[h]) continue;
+    total += hosts_[h]->modeled_aggregate_verbs_per_sec();
+  }
+  return total;
+}
+
+}  // namespace dta

@@ -1,0 +1,106 @@
+// ClusterRuntime — the two-level scale-out deployment (paper §7).
+//
+// The collection ceiling is the collector NIC message rate; DTA raises
+// it by partitioning reports, and this class composes the two partition
+// dimensions: N collector *hosts* (each its own NIC/QP set and
+// translator-side RDMA connection) x M *shards* per host (the intra-
+// host CollectorRuntime tier from PR 1). Routing is one decision made
+// by the shared two-level router (translator::CollectorSelector +
+// common/shard_math.h): host by partition policy — kByKeyHash,
+// kByDestinationIp or kReplicate — and shard by key CRC, so every
+// policy composes with intra-host sharding and aggregate capacity
+// scales as N x M.
+//
+// Resiliency: under kReplicate every host holds a full copy;
+// fail_host() simulates a collector death (it stops receiving, its
+// stores stay readable) and the ClusterQueryFrontend answers from the
+// surviving replicas.
+//
+// Threading contract: submit()/flush()/stop() and query() issuance from
+// one control thread; the query futures resolve on their own threads
+// against immutable snapshots.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collector/runtime.h"
+#include "dtalib/cluster_query_frontend.h"
+#include "translator/collector_selector.h"
+
+namespace dta {
+
+struct ClusterRuntimeConfig {
+  // Per-host geometry: shard count, store setups, NIC params, batching.
+  // Every host is configured identically (the paper's partitioning
+  // assumes interchangeable collectors).
+  collector::CollectorRuntimeConfig host;
+  std::uint32_t num_hosts = 2;
+  translator::PartitionPolicy policy =
+      translator::PartitionPolicy::kByKeyHash;
+};
+
+class ClusterRuntime {
+ public:
+  explicit ClusterRuntime(ClusterRuntimeConfig config);
+  ~ClusterRuntime();
+
+  ClusterRuntime(const ClusterRuntime&) = delete;
+  ClusterRuntime& operator=(const ClusterRuntime&) = delete;
+
+  // Routes one report through the two-level router and submits it to
+  // its host runtime(s). `dst_ip` is the report's IP destination
+  // (kByDestinationIp routes on it; 0 means "host 0's address").
+  // Append list ids are folded to the host-local id space under
+  // kByKeyHash, mirroring the intra-host fold.
+  void submit(proto::ParsedDta parsed, std::uint32_t dst_ip = 0);
+
+  // Barrier across every host (dead ones included: reports accepted
+  // before the failure must still become queryable).
+  void flush();
+
+  // Flushes and joins all host pipelines. Idempotent.
+  void stop();
+
+  // Simulates a collector host failure: the host stops receiving new
+  // reports, but its stores stay readable (the dead host's disks don't
+  // vanish; the query tier just stops asking it).
+  void fail_host(std::uint32_t host) { failed_[host] = true; }
+  bool is_failed(std::uint32_t host) const { return failed_[host]; }
+  std::uint32_t live_hosts() const;
+
+  collector::CollectorRuntime& host(std::uint32_t h) { return *hosts_[h]; }
+  std::uint32_t num_hosts() const {
+    return static_cast<std::uint32_t>(hosts_.size());
+  }
+  std::uint32_t shards_per_host() const {
+    return hosts_.front()->num_shards();
+  }
+  // The reporter-visible address of host `h` (the kByDestinationIp
+  // partitioning handle). submit()/events() normalize addresses to
+  // offsets from host_ip(0) before routing, so host_ip(h) addresses
+  // host h exactly, for any host count.
+  std::uint32_t host_ip(std::uint32_t h) const { return 0x0A0000C0 + h; }
+
+  ClusterQueryFrontend& query() { return *query_; }
+  translator::CollectorSelector& selector() { return selector_; }
+  const translator::SelectorStats& selector_stats() const {
+    return selector_.stats();
+  }
+
+  // Aggregate stats and modeled capacity over *live* hosts: the
+  // scale-out headline is the sum of every live shard's NIC rate, so a
+  // kByKeyHash cluster of N x M shards models ~N*M times a 1x1
+  // deployment.
+  collector::CollectorRuntimeStats stats() const;
+  double modeled_aggregate_verbs_per_sec() const;
+
+ private:
+  ClusterRuntimeConfig config_;
+  translator::CollectorSelector selector_;
+  std::vector<std::unique_ptr<collector::CollectorRuntime>> hosts_;
+  std::vector<bool> failed_;
+  std::unique_ptr<ClusterQueryFrontend> query_;
+};
+
+}  // namespace dta

@@ -9,6 +9,10 @@
 // virtual clock that underlies all modeled rates. Applications feed
 // telemetry reports in and run queries against the collector stores;
 // benches read the modeled throughput from the component counters.
+//
+// Fabric is the single-collector wire-fidelity tier; MultiFabric places
+// several of these behind the host-level router, and ClusterRuntime is
+// the N-hosts x M-shards scale tier on the same routing math.
 #pragma once
 
 #include <memory>

@@ -10,6 +10,13 @@
 // space and the aggregate NIC message rate grows with the collector
 // count. Resiliency: under kReplicate a query can be answered by any
 // surviving collector.
+//
+// Tiering: MultiFabric is the *wire-fidelity* tier — every collector is
+// a full Fabric (UDP encapsulation, links, CM handshake, ACK/NAK), with
+// one single-service collector per host. For cluster-scale deployments
+// (N hosts x M shards, async queries, replica failover) use
+// dta::ClusterRuntime, which drives the sharded CollectorRuntime behind
+// the same two-level router this class routes with.
 #pragma once
 
 #include <memory>

@@ -1,20 +1,54 @@
 #include "translator/collector_selector.h"
 
+#include "common/shard_math.h"
+
 namespace dta::translator {
 
 CollectorSelector::CollectorSelector(PartitionPolicy policy,
-                                     std::uint32_t num_collectors)
+                                     std::uint32_t num_collectors,
+                                     std::uint32_t shards_per_host)
     : policy_(policy),
-      num_collectors_(num_collectors == 0 ? 1 : num_collectors) {
+      num_collectors_(num_collectors == 0 ? 1 : num_collectors),
+      shards_per_host_(shards_per_host == 0 ? 1 : shards_per_host) {
   stats_.per_collector.resize(num_collectors_, 0);
 }
 
-std::uint32_t CollectorSelector::shard_of_key(
+std::uint32_t CollectorSelector::host_hash(
     const proto::TelemetryKey& key) const {
-  // A dedicated hop-CRC engine keeps the shard function independent of
-  // the slot/checksum hashes (sharding must not correlate with slot
-  // placement inside a shard).
-  return common::hop_crc(7).compute(key.span()) % num_collectors_;
+  // The host tier uses a CRC engine independent of both the intra-host
+  // shard selector and the slot/checksum hashes (common/shard_math.h),
+  // so the two routing levels compose without correlation.
+  return common::host_of_key(key.span(), num_collectors_);
+}
+
+std::optional<std::uint32_t> CollectorSelector::owner_host(
+    const proto::TelemetryKey& key) const {
+  if (policy_ != PartitionPolicy::kByKeyHash) return std::nullopt;
+  return host_hash(key);
+}
+
+std::optional<std::uint32_t> CollectorSelector::owner_host_of_list(
+    std::uint32_t list_id) const {
+  if (policy_ != PartitionPolicy::kByKeyHash) return std::nullopt;
+  return common::list_partition(list_id, num_collectors_);
+}
+
+std::uint32_t CollectorSelector::shard_within_host(
+    const proto::TelemetryKey& key) const {
+  return common::shard_of_key(key.span(), shards_per_host_);
+}
+
+std::uint32_t CollectorSelector::shard_within_host_of_list(
+    std::uint32_t host_local_list) const {
+  return common::list_partition(host_local_list, shards_per_host_);
+}
+
+std::uint32_t CollectorSelector::host_local_list(std::uint32_t list_id) const {
+  // Only kByKeyHash partitions the list space across hosts; the other
+  // policies leave every host with the full (global) id space, so the
+  // fold would alias distinct lists onto one local id.
+  if (policy_ != PartitionPolicy::kByKeyHash) return list_id;
+  return common::list_local_id(list_id, num_collectors_);
 }
 
 std::vector<std::uint32_t> CollectorSelector::route(
@@ -34,11 +68,11 @@ std::vector<std::uint32_t> CollectorSelector::route(
             if constexpr (std::is_same_v<T, proto::KeyWriteReport> ||
                           std::is_same_v<T, proto::KeyIncrementReport> ||
                           std::is_same_v<T, proto::PostcardReport>) {
-              out.push_back(shard_of_key(r.key));
+              out.push_back(host_hash(r.key));
             } else if constexpr (std::is_same_v<T, proto::AppendReport>) {
               // Lists partition whole: a list's entries must stay
               // contiguous on one collector.
-              out.push_back(r.list_id % num_collectors_);
+              out.push_back(common::list_partition(r.list_id, num_collectors_));
             } else {
               out.push_back(0);  // NACKs etc.: default collector
             }
@@ -53,6 +87,32 @@ std::vector<std::uint32_t> CollectorSelector::route(
   }
 
   for (std::uint32_t c : out) stats_.per_collector[c]++;
+  return out;
+}
+
+std::vector<ClusterRoute> CollectorSelector::route_cluster(
+    const proto::Report& report, std::uint32_t dst_ip) {
+  const std::vector<std::uint32_t> hosts = route(report, dst_ip);
+
+  // The shard tier only looks at the key (or the host-local list id),
+  // so it is identical for every host copy under kReplicate.
+  std::uint32_t shard = 0;
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, proto::KeyWriteReport> ||
+                      std::is_same_v<T, proto::KeyIncrementReport> ||
+                      std::is_same_v<T, proto::PostcardReport>) {
+          shard = shard_within_host(r.key);
+        } else if constexpr (std::is_same_v<T, proto::AppendReport>) {
+          shard = shard_within_host_of_list(host_local_list(r.list_id));
+        }
+      },
+      report);
+
+  std::vector<ClusterRoute> out;
+  out.reserve(hosts.size());
+  for (std::uint32_t host : hosts) out.push_back(ClusterRoute{host, shard});
   return out;
 }
 

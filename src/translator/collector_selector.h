@@ -15,9 +15,16 @@
 //     (redundant collection survives a collector failure).
 // Append reports partition by list id so each list stays contiguous on
 // one collector.
+//
+// Two-level routing: when each collector host itself runs a sharded
+// CollectorRuntime, route_cluster() composes the host-level policy with
+// the intra-host shard router (common/shard_math.h) into one (host,
+// shard) decision, so kByKeyHash, kByDestinationIp and kReplicate all
+// compose with intra-host sharding without any second routing pass.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "dta/wire.h"
@@ -37,9 +44,21 @@ struct SelectorStats {
   std::vector<std::uint64_t> per_collector;
 };
 
+// One routing decision of the two-level router: a collector host and the
+// shard within that host's runtime.
+struct ClusterRoute {
+  std::uint32_t host = 0;
+  std::uint32_t shard = 0;
+  bool operator==(const ClusterRoute& o) const {
+    return host == o.host && shard == o.shard;
+  }
+  bool operator!=(const ClusterRoute& o) const { return !(*this == o); }
+};
+
 class CollectorSelector {
  public:
-  CollectorSelector(PartitionPolicy policy, std::uint32_t num_collectors);
+  CollectorSelector(PartitionPolicy policy, std::uint32_t num_collectors,
+                    std::uint32_t shards_per_host = 1);
 
   // Returns the collector indexes the report must reach (size 1 except
   // under kReplicate). `dst_ip` is the report's IP destination, used by
@@ -47,15 +66,41 @@ class CollectorSelector {
   std::vector<std::uint32_t> route(const proto::Report& report,
                                    std::uint32_t dst_ip);
 
+  // Two-level routing: the hosts from route(), each paired with the
+  // shard the host's runtime will place the report on. Under kReplicate
+  // every copy lands on the same shard index of its host (the shard
+  // router only sees the key).
+  std::vector<ClusterRoute> route_cluster(const proto::Report& report,
+                                          std::uint32_t dst_ip);
+
+  // --- stat-free probes for the query path ----------------------------------
+  // The host that owns a key/list, when the policy determines one
+  // (kByKeyHash); nullopt when ownership is not derivable from the
+  // report alone (kReplicate: any live host; kByDestinationIp: the
+  // reporter's addressing, not the key, chose the host).
+  std::optional<std::uint32_t> owner_host(const proto::TelemetryKey& key) const;
+  std::optional<std::uint32_t> owner_host_of_list(std::uint32_t list_id) const;
+
+  // Intra-host placement (always key/list-determined).
+  std::uint32_t shard_within_host(const proto::TelemetryKey& key) const;
+  std::uint32_t shard_within_host_of_list(std::uint32_t host_local_list) const;
+
+  // The host-local id of a global Append list: folded by the host count
+  // under kByKeyHash (lists partition across hosts), unchanged otherwise
+  // (every host holds the full list space).
+  std::uint32_t host_local_list(std::uint32_t list_id) const;
+
   PartitionPolicy policy() const { return policy_; }
   std::uint32_t num_collectors() const { return num_collectors_; }
+  std::uint32_t shards_per_host() const { return shards_per_host_; }
   const SelectorStats& stats() const { return stats_; }
 
  private:
-  std::uint32_t shard_of_key(const proto::TelemetryKey& key) const;
+  std::uint32_t host_hash(const proto::TelemetryKey& key) const;
 
   PartitionPolicy policy_;
   std::uint32_t num_collectors_;
+  std::uint32_t shards_per_host_;
   SelectorStats stats_;
 };
 
