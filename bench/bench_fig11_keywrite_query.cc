@@ -7,11 +7,25 @@
 // is populated through the RDMA path, then worker threads issue the
 // Algorithm 2 query (CRC checksum + N slot fetches + vote), exactly the
 // paper's worst case of touching every redundancy slot.
+//
+// Section (c) extends the figure to the snapshot tier: queries through
+// the runtime resolve against immutable StoreSnapshots, and the
+// generation-stamped SnapshotCache turns one store copy *per query*
+// into one per flush interval. The sweep measures cached vs fresh
+// acquisition at growing queries-per-flush-interval Q and also reports
+// the modeled throughput from the measured per-op costs
+// (copy + query): fresh = Q / (Q*(t_copy + t_query)), cached =
+// Q / (t_copy + Q*t_query). Machine-readable output:
+// BENCH_snapshot_cache.json. Run with --smoke for the CI-sized sweep
+// (section (c) only, small store).
 #include <atomic>
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "collector/rdma_service.h"
+#include "collector/runtime.h"
 #include "translator/keywrite_engine.h"
 #include "translator/rdma_crafter.h"
 
@@ -45,13 +59,154 @@ double run_queries(const collector::KeyWriteStore& store, unsigned threads,
   return static_cast<double>(threads) * queries_per_thread / seconds;
 }
 
+struct CachePoint {
+  unsigned queries_per_flush = 0;
+  double fresh_qps = 0.0;
+  double cached_qps = 0.0;
+  double modeled_fresh = 0.0;
+  double modeled_cached = 0.0;
+};
+
+// Section (c): cached vs fresh snapshot acquisition through the
+// CollectorRuntime, Q queries per flush interval.
+void run_snapshot_cache_sweep(bool smoke) {
+  using namespace dta::collector;
+  CollectorRuntimeConfig config;
+  config.num_shards = 1;
+  config.thread_mode = ThreadMode::kInline;
+  KeyWriteSetup kw;
+  kw.num_slots = smoke ? (1ull << 16) : (1ull << 20);
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  CollectorRuntime runtime(config);
+
+  const std::uint64_t populate = smoke ? 20000 : 200000;
+  auto write = [&](std::uint64_t id) {
+    proto::KeyWriteReport r;
+    r.key = benchutil::mixed_key(id);
+    r.redundancy = 2;
+    common::put_u32(r.data, static_cast<std::uint32_t>(id));
+    runtime.submit({proto::DtaHeader{}, std::move(r)});
+  };
+  for (std::uint64_t id = 0; id < populate; ++id) write(id);
+  runtime.flush();
+
+  // Per-op costs driving the modeled series.
+  const unsigned copy_reps = smoke ? 20 : 50;
+  benchutil::WallTimer copy_timer;
+  for (unsigned i = 0; i < copy_reps; ++i) {
+    auto snap = runtime.snapshot_shard_fresh(0);
+    (void)snap;
+  }
+  const double t_copy = copy_timer.seconds() / copy_reps;
+
+  const std::uint64_t query_reps = smoke ? 20000 : 200000;
+  auto warm = runtime.snapshot_shard(0);
+  std::uint64_t sink = 0;
+  benchutil::WallTimer query_timer;
+  for (std::uint64_t i = 0; i < query_reps; ++i) {
+    sink += warm->keywrite_query(benchutil::mixed_key(i % populate), 2)
+                .status == QueryStatus::kHit;
+  }
+  const double t_query = query_timer.seconds() / query_reps;
+  (void)sink;
+
+  std::printf("\n(c) snapshot acquisition: cached (generation-stamped) vs "
+              "fresh copy\n");
+  std::printf("    store: %s, copy %.0fus, query %.2fus\n",
+              benchutil::eng(static_cast<double>(kw.num_slots * 8)).c_str(),
+              t_copy * 1e6, t_query * 1e6);
+  std::printf("%6s %14s %14s %14s %14s %10s\n", "Q", "fresh q/s",
+              "cached q/s", "model fresh", "model cached", "speedup");
+
+  std::vector<CachePoint> sweep;
+  const unsigned intervals = smoke ? 5 : 20;
+  std::uint64_t dirty_id = populate;
+  for (unsigned q : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    CachePoint point;
+    point.queries_per_flush = q;
+
+    benchutil::WallTimer fresh_timer;
+    for (unsigned f = 0; f < intervals; ++f) {
+      write(dirty_id++);  // a new flush interval: the store changed
+      for (unsigned i = 0; i < q; ++i) {
+        auto snap = runtime.snapshot_shard_fresh(0);
+        sink += snap->keywrite_query(benchutil::mixed_key(i % populate), 2)
+                    .status == QueryStatus::kHit;
+      }
+    }
+    point.fresh_qps =
+        static_cast<double>(intervals) * q / fresh_timer.seconds();
+
+    benchutil::WallTimer cached_timer;
+    for (unsigned f = 0; f < intervals; ++f) {
+      write(dirty_id++);
+      for (unsigned i = 0; i < q; ++i) {
+        auto snap = runtime.snapshot_shard(0);  // 1 copy, Q-1 cache hits
+        sink += snap->keywrite_query(benchutil::mixed_key(i % populate), 2)
+                    .status == QueryStatus::kHit;
+      }
+    }
+    point.cached_qps =
+        static_cast<double>(intervals) * q / cached_timer.seconds();
+
+    point.modeled_fresh = q / (q * (t_copy + t_query));
+    point.modeled_cached = q / (t_copy + q * t_query);
+    std::printf("%6u %14s %14s %14s %14s %9.1fx\n", q,
+                benchutil::eng(point.fresh_qps).c_str(),
+                benchutil::eng(point.cached_qps).c_str(),
+                benchutil::eng(point.modeled_fresh).c_str(),
+                benchutil::eng(point.modeled_cached).c_str(),
+                point.modeled_cached / point.modeled_fresh);
+    sweep.push_back(point);
+  }
+  const auto stats = runtime.snapshot_cache().stats();
+  std::printf("    cache: %llu hits / %llu copies over the cached series\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
+
+  FILE* json = std::fopen("BENCH_snapshot_cache.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n  \"store_bytes\": %llu,\n  \"copy_ns\": %.1f,\n"
+                 "  \"query_ns\": %.1f,\n  \"sweep\": [\n",
+                 static_cast<unsigned long long>(kw.num_slots * 8),
+                 t_copy * 1e9, t_query * 1e9);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const CachePoint& p = sweep[i];
+      std::fprintf(
+          json,
+          "    {\"queries_per_flush\": %u, \"fresh_qps\": %.1f, "
+          "\"cached_qps\": %.1f, \"modeled_fresh_qps\": %.1f, "
+          "\"modeled_cached_qps\": %.1f, \"modeled_speedup\": %.3f, "
+          "\"measured_speedup\": %.3f}%s\n",
+          p.queries_per_flush, p.fresh_qps, p.cached_qps, p.modeled_fresh,
+          p.modeled_cached, p.modeled_cached / p.modeled_fresh,
+          p.fresh_qps > 0 ? p.cached_qps / p.fresh_qps : 0.0,
+          i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"cache\": {\"hits\": %llu, \"misses\": %llu}\n}\n",
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses));
+    std::fclose(json);
+    std::printf("\nwrote BENCH_snapshot_cache.json\n");
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   benchutil::print_header(
       "Figure 11 — Key-Write query performance",
       "(a) near-linear core scaling (4 cores: 7.1M q/s at N=2); "
       "(b) time dominated by CRC checksum + slot fetch");
+  if (smoke) {
+    // CI-sized: only the snapshot-cache sweep, small store.
+    run_snapshot_cache_sweep(true);
+    return 0;
+  }
 
   // Populate through the RDMA path.
   collector::RdmaService service;
@@ -129,5 +284,7 @@ int main() {
   }
   std::printf("\npaper: most time in CRC hashing (checksum + slot "
               "addresses); 4 cores = 7.1M q/s at N=2\n");
+
+  run_snapshot_cache_sweep(false);
   return 0;
 }

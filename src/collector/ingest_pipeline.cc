@@ -42,6 +42,7 @@ IngestPipeline::IngestPipeline(std::vector<CollectorShard*> shards,
       threaded_ = std::thread::hardware_concurrency() > 1;
       break;
   }
+  first_touch_ = threaded_ && config.pin_workers && config.numa_first_touch;
   lanes_.reserve(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     lanes_.push_back(std::make_unique<ShardLane>(config.queue_capacity));
@@ -50,11 +51,12 @@ IngestPipeline::IngestPipeline(std::vector<CollectorShard*> shards,
     for (std::uint32_t i = 0; i < shards_.size(); ++i) {
       lanes_[i]->worker = std::thread([this, i] { worker_loop(i); });
       if (config.pin_workers) {
-        const int core = i < config.worker_cores.size()
-                             ? config.worker_cores[i]
-                             : static_cast<int>(i);
+        const int core = worker_core_for(config.worker_cores, i);
         if (pin_thread(lanes_[i]->worker, core)) ++stats_.workers_pinned;
       }
+      // Affinity (or the decision to skip it) is in place; the worker's
+      // first-touch pass may proceed on its final core.
+      lanes_[i]->placement_ready.store(true, std::memory_order_release);
     }
   }
 }
@@ -63,17 +65,26 @@ IngestPipeline::~IngestPipeline() { stop(); }
 
 void IngestPipeline::submit(std::uint32_t shard, proto::ParsedDta parsed) {
   ++stats_.submitted;
-  if (!threaded_ || stopped_) {
+  ShardLane& lane = *lanes_[shard];
+  if (!threaded_ || stopped_.load(std::memory_order_acquire)) {
     // Inline mode — or post-stop, when no worker would ever drain the
     // queue; ingest on the caller thread rather than losing the report.
     shards_[shard]->ingest(parsed);
-    return;
+  } else {
+    while (!lane.queue.try_push(std::move(parsed))) {
+      ++stats_.backpressure_waits;
+      std::this_thread::yield();
+    }
   }
-  ShardLane& lane = *lanes_[shard];
-  while (!lane.queue.try_push(std::move(parsed))) {
-    ++stats_.backpressure_waits;
-    std::this_thread::yield();
-  }
+  // Counted only once the report is enqueued (or inline-ingested): the
+  // snapshot cache stamps covers_seq from this counter, and a stamp
+  // must never claim a report a concurrent quiesce drain could not yet
+  // have observed.
+  lane.submitted.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t IngestPipeline::submitted(std::uint32_t shard) const {
+  return lanes_[shard]->submitted.load(std::memory_order_acquire);
 }
 
 std::uint64_t IngestPipeline::request_flush(std::uint32_t shard) {
@@ -90,7 +101,7 @@ void IngestPipeline::await_flush(std::uint32_t shard, std::uint64_t target) {
 }
 
 void IngestPipeline::flush() {
-  if (!threaded_ || stopped_) {
+  if (!threaded_ || stopped_.load(std::memory_order_acquire)) {
     // Inline mode — or workers already joined by stop(), in which case
     // flushing on the caller thread is safe and the only option.
     for (CollectorShard* shard : shards_) shard->flush();
@@ -109,16 +120,50 @@ void IngestPipeline::flush() {
 }
 
 void IngestPipeline::flush_shard(std::uint32_t shard) {
-  if (!threaded_ || stopped_) {
+  if (!threaded_ || stopped_.load(std::memory_order_acquire)) {
     shards_[shard]->flush();
     return;
   }
   await_flush(shard, request_flush(shard));
 }
 
+void IngestPipeline::begin_quiesce(std::uint32_t shard) {
+  if (!threaded_ || stopped_.load(std::memory_order_acquire)) {
+    // Single-threaded contract: the caller is the only thread touching
+    // the shard, so a plain flush is a complete quiesce.
+    shards_[shard]->flush();
+    return;
+  }
+  ShardLane& lane = *lanes_[shard];
+  // `hold` before the request: the acq_rel increment publishes it, so a
+  // worker that grants this request is guaranteed to observe the hold
+  // and park. A dedicated request counter (not the flush counters)
+  // keeps concurrent flush() callers from being mistaken for holders.
+  lane.hold.store(true, std::memory_order_relaxed);
+  const std::uint64_t target =
+      lane.holds_requested.fetch_add(1, std::memory_order_acq_rel) + 1;
+  while (lane.holds_granted.load(std::memory_order_acquire) < target) {
+    if (lane.worker_done.load(std::memory_order_acquire)) {
+      // stop() raced this request and the worker exited without seeing
+      // it. The worker can never write again, so completing the
+      // barrier on this thread is race-free (callers of a stopped
+      // pipeline are serialized per shard by the snapshot cache).
+      shards_[shard]->flush();
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void IngestPipeline::end_quiesce(std::uint32_t shard) {
+  // Always clear the hold in threaded mode — even if stop() completed
+  // meanwhile — so a worker parked on it is never stranded.
+  if (!threaded_) return;
+  lanes_[shard]->hold.store(false, std::memory_order_release);
+}
+
 void IngestPipeline::stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  if (stopped_.load(std::memory_order_acquire)) return;
   if (threaded_) {
     stop_.store(true, std::memory_order_release);
     for (auto& lane : lanes_) {
@@ -127,11 +172,27 @@ void IngestPipeline::stop() {
   } else {
     for (CollectorShard* shard : shards_) shard->flush();
   }
+  // Published only after the join: a cross-thread reader that observes
+  // stopped_ may touch shard state from its own thread, so no worker
+  // can still be running.
+  stopped_.store(true, std::memory_order_release);
 }
 
 void IngestPipeline::worker_loop(std::uint32_t shard) {
   ShardLane& lane = *lanes_[shard];
   CollectorShard* target = shards_[shard];
+  if (first_touch_) {
+    // Wait for the constructor to apply affinity, then touch the
+    // shard's store regions from this (pinned) thread so their pages
+    // land on this worker's NUMA node. Runs before any report, so no
+    // other thread can be reading the regions.
+    while (!lane.placement_ready.load(std::memory_order_acquire) &&
+           !stop_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    first_touched_.fetch_add(target->first_touch_regions(),
+                             std::memory_order_acq_rel);
+  }
   proto::ParsedDta parsed;
   for (;;) {
     bool idle = true;
@@ -153,9 +214,43 @@ void IngestPipeline::worker_loop(std::uint32_t shard) {
       lane.flushes_done.store(requested, std::memory_order_release);
       idle = false;
     }
+    // Honour quiesce requests: drain + flush (the holder's snapshot
+    // must cover everything submitted before its request), grant, then
+    // park until the holder finishes copying. While parked this worker
+    // writes nothing, so the copy cannot tear; flush() callers on the
+    // producer side simply wait out the window.
+    const std::uint64_t holds =
+        lane.holds_requested.load(std::memory_order_acquire);
+    if (lane.holds_granted.load(std::memory_order_relaxed) < holds) {
+      while (lane.queue.try_pop(parsed)) target->ingest(parsed);
+      target->flush();
+      lane.holds_granted.store(holds, std::memory_order_release);
+      // Park until the holder clears `hold` — or a *newer* quiesce
+      // request arrives (its holder serialized behind the previous
+      // end_quiesce, so the copy window is over and re-draining is
+      // safe); without that escape a back-to-back quiesce could re-set
+      // `hold` before this loop ever observed it cleared. Deliberately
+      // no stop_ escape: unparking on stop would let the final flush
+      // below race a holder mid-copy, and every holder clears its hold.
+      while (lane.hold.load(std::memory_order_acquire) &&
+             lane.holds_requested.load(std::memory_order_acquire) <= holds) {
+        std::this_thread::yield();
+      }
+      idle = false;
+    }
     if (stop_.load(std::memory_order_acquire)) {
-      if (lane.queue.empty()) {
+      // Exit only once fully quiet: queue drained, every flush and
+      // quiesce request honoured, no open hold window. A request that
+      // races past this check is caught by the holder's worker_done
+      // fallback in begin_quiesce.
+      if (lane.queue.empty() &&
+          lane.flushes_done.load(std::memory_order_relaxed) >=
+              lane.flushes_requested.load(std::memory_order_acquire) &&
+          lane.holds_granted.load(std::memory_order_relaxed) >=
+              lane.holds_requested.load(std::memory_order_acquire) &&
+          !lane.hold.load(std::memory_order_acquire)) {
         target->flush();  // final drain of aggregation state
+        lane.worker_done.store(true, std::memory_order_release);
         return;
       }
       continue;

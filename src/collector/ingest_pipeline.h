@@ -11,15 +11,24 @@
 // worker_cores): shard workers otherwise float across cores, losing
 // cache locality with their shard's store memory. Pinning is applied
 // from the constructor via the native thread handle, so no stat is
-// written from worker threads. Full NUMA memory binding remains open
-// (ROADMAP): regions are allocated before worker placement is known.
+// written from worker threads. When pinned, each worker also runs a
+// NUMA first-touch pass over its shard's store regions before ingesting
+// anything (see MemoryRegion::first_touch_rebind), so registered memory
+// lands on the worker's node even when the allocation-time node hint
+// could not be honoured.
 //
 // Threading contract: submit()/flush()/stop() must be called from one
-// thread. Shard stores must only be queried after flush() — or, for one
-// shard, flush_shard() — joins the barrier: the queues are drained and
-// translator aggregation state written back, and the release/acquire
-// handshake on the flush counters makes the worker's store writes
-// visible to (and ordered before) the caller's reads.
+// thread. Shard stores must only be read behind a barrier:
+//   * flush()/flush_shard() — queue drained, translator aggregation
+//     state written back, and the release/acquire handshake on the
+//     flush counters publishes the worker's store writes to the caller;
+//   * begin_quiesce()/end_quiesce() — the stronger form the snapshot
+//     tier uses: same drain + flush, after which the worker *parks*
+//     until end_quiesce, so the caller can copy store memory without
+//     racing later batches. Quiesce requests on one shard must be
+//     serialized by the caller (SnapshotCache's per-shard mutex does
+//     this); quiesces on different shards may overlap, and may run from
+//     any thread while the producer keeps submitting.
 #pragma once
 
 #include <atomic>
@@ -48,7 +57,19 @@ struct IngestPipelineConfig {
   // No-op when unset or on platforms without thread affinity.
   bool pin_workers = false;
   std::vector<int> worker_cores;
+  // NUMA first-touch pass from each pinned worker over its shard's
+  // store regions (only meaningful with pin_workers in threaded mode).
+  bool numa_first_touch = true;
 };
+
+// Core assignment for worker `i` under pin_workers: the explicit list
+// when it is long enough, identity otherwise. Shared by the pipeline's
+// pinning and the runtime's NUMA-hint derivation so the two mappings
+// cannot drift apart.
+inline int worker_core_for(const std::vector<int>& worker_cores,
+                           std::uint32_t i) {
+  return i < worker_cores.size() ? worker_cores[i] : static_cast<int>(i);
+}
 
 struct IngestPipelineStats {
   std::uint64_t submitted = 0;
@@ -76,24 +97,53 @@ class IngestPipeline {
 
   // Same barrier, restricted to one shard: that shard's queue is
   // drained and its aggregation state flushed; other shards keep
-  // running. This is the synchronization point the snapshot/query tier
-  // uses, so a query against one shard never stalls the others.
+  // running.
   void flush_shard(std::uint32_t shard);
 
+  // Quiesce window for shard `shard`: drains + flushes it, then parks
+  // its worker until end_quiesce. Between the two calls nothing writes
+  // the shard's store memory, so a snapshot copy is race-free even
+  // while the producer keeps submitting (new reports just queue up).
+  // Callers serialize per shard; see the threading contract above.
+  void begin_quiesce(std::uint32_t shard);
+  void end_quiesce(std::uint32_t shard);
+
+  // Count of reports ever submitted to shard `shard` (readable from any
+  // thread; the snapshot cache's read-your-submits stamp).
+  std::uint64_t submitted(std::uint32_t shard) const;
+
   // Drains, flushes and joins the workers. Idempotent; the destructor
-  // calls it.
+  // calls it. Do not stop() while a quiesce window is open.
   void stop();
 
   bool threaded() const { return threaded_; }
   const IngestPipelineStats& stats() const { return stats_; }
+  // Store regions re-touched by pinned workers (NUMA first-touch).
+  std::uint32_t regions_first_touched() const {
+    return first_touched_.load(std::memory_order_acquire);
+  }
 
  private:
   struct ShardLane {
     explicit ShardLane(std::uint32_t capacity) : queue(capacity) {}
     common::SpscQueue<proto::ParsedDta> queue;
     std::thread worker;
+    std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> flushes_requested{0};
     std::atomic<std::uint64_t> flushes_done{0};
+    // Quiesce handshake: the holder bumps holds_requested and waits for
+    // holds_granted; the worker grants (after drain + flush) and then
+    // parks while `hold` is set.
+    std::atomic<std::uint64_t> holds_requested{0};
+    std::atomic<std::uint64_t> holds_granted{0};
+    std::atomic<bool> hold{false};
+    // Set by the worker right before it returns (it can never write
+    // store memory again): the holder's escape hatch when stop() races
+    // a quiesce request the worker exited without seeing.
+    std::atomic<bool> worker_done{false};
+    // Set once the constructor has applied (or skipped) affinity, so
+    // the worker's first-touch pass runs on the right core.
+    std::atomic<bool> placement_ready{false};
   };
 
   void worker_loop(std::uint32_t shard);
@@ -104,7 +154,12 @@ class IngestPipeline {
   std::vector<std::unique_ptr<ShardLane>> lanes_;
   std::atomic<bool> stop_{false};
   bool threaded_ = false;
-  bool stopped_ = false;
+  // Flipped only after the workers are joined, so cross-thread readers
+  // (the snapshot path) that observe it can safely touch shard state
+  // from the calling thread.
+  std::atomic<bool> stopped_{false};
+  bool first_touch_ = false;
+  std::atomic<std::uint32_t> first_touched_{0};
   IngestPipelineStats stats_;
 };
 

@@ -47,6 +47,15 @@ CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
       ki.num_slots = slice(ki.num_slots, n, 1024);
       sc.keyincrement = ki;
     }
+    if (config_.pin_workers) {
+      // The worker placement is known up front (pin_workers maps shard
+      // i to a core), so the shard's store memory can be asked onto
+      // that core's NUMA node at allocation time; the pinned worker's
+      // first-touch pass is the fallback when the hint can't be
+      // honoured.
+      sc.numa_node =
+          rdma::numa_node_of_core(worker_core_for(config_.worker_cores, i));
+    }
     shards_.push_back(std::make_unique<CollectorShard>(i, sc));
   }
 
@@ -61,8 +70,10 @@ CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
   pc.thread_mode = config_.thread_mode;
   pc.pin_workers = config_.pin_workers;
   pc.worker_cores = config_.worker_cores;
+  pc.numa_first_touch = config_.numa_first_touch;
   pipeline_ = std::make_unique<IngestPipeline>(std::move(shard_ptrs), pc);
   query_ = std::make_unique<QueryFrontend>(std::move(services));
+  snapshot_cache_ = std::make_unique<SnapshotCache>(shards_.size());
 }
 
 CollectorRuntime::~CollectorRuntime() { stop(); }
@@ -106,13 +117,25 @@ void CollectorRuntime::stop() { pipeline_->stop(); }
 
 std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard(
     std::uint32_t i) {
-  // The flush barrier both quiesces the shard (everything submitted
-  // before this call is in store memory) and, through the release/
-  // acquire handshake on the flush counters, orders the worker's store
-  // writes before the copy below. Ingest resumed after this call only
-  // touches memory the copy no longer reads from this thread.
-  pipeline_->flush_shard(i);
-  return std::make_shared<const StoreSnapshot>(shards_[i]->service());
+  // Fast path: an atomic generation compare against the cached copy —
+  // no barrier, no memcpy, shared by every query until the shard's
+  // store memory actually changes. The miss path quiesces the shard
+  // behind the pipeline's hold barrier (worker parked for the copy) and
+  // republishes.
+  if (auto hit = snapshot_cache_->lookup(i, shards_[i]->generation(),
+                                         pipeline_->submitted(i))) {
+    return hit;
+  }
+  return snapshot_cache_->refresh(i, *pipeline_, *shards_[i]);
+}
+
+std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard_fresh(
+    std::uint32_t i) {
+  return snapshot_cache_->copy_fresh(i, *pipeline_, *shards_[i]);
+}
+
+void CollectorRuntime::invalidate_snapshots() {
+  snapshot_cache_->invalidate_all();
 }
 
 CollectorRuntimeStats CollectorRuntime::stats() const {

@@ -23,6 +23,7 @@
 #include "collector/query_frontend.h"
 #include "collector/shard.h"
 #include "collector/snapshot.h"
+#include "collector/snapshot_cache.h"
 
 namespace dta::collector {
 
@@ -46,8 +47,13 @@ struct CollectorRuntimeConfig {
 
   // CPU affinity for shard workers (no-op when unset): worker i is
   // pinned to worker_cores[i], or to core i when the list is shorter.
+  // Pinning also drives NUMA placement: each shard's registered store
+  // memory gets a node hint derived from its worker's core, and the
+  // pinned worker runs a first-touch pass over its regions
+  // (numa_first_touch) before ingesting anything.
   bool pin_workers = false;
   std::vector<int> worker_cores;
+  bool numa_first_touch = true;
 };
 
 struct CollectorRuntimeStats {
@@ -82,12 +88,28 @@ class CollectorRuntime {
   // Flushes and joins the shard workers. Idempotent.
   void stop();
 
-  // Consistent point-in-time copy of shard `i`'s stores, taken behind
-  // the per-shard flush barrier. The returned snapshot is immutable and
-  // safe to query from any thread while ingest continues — the seam the
-  // async cluster query tier resolves its futures from. Must be called
-  // from the control (submitting) thread.
+  // Consistent point-in-time copy of shard `i`'s stores, served from
+  // the generation-stamped SnapshotCache: the copy is only re-taken
+  // when the shard's store memory has changed (generation advanced or
+  // new reports were submitted); all intervening calls share one
+  // immutable snapshot via a lock-free generation compare. The returned
+  // snapshot is safe to query from any thread while ingest continues —
+  // the seam the async cluster query tier resolves its futures from.
+  // With a threaded pipeline this may be called from any thread (misses
+  // quiesce the shard behind the worker hold barrier); with an inline
+  // pipeline, call it from the control thread only.
   std::shared_ptr<const StoreSnapshot> snapshot_shard(std::uint32_t i);
+
+  // Uncached variant: always pays the copy (the bench baseline and the
+  // cache's correctness oracle). Same threading rules as snapshot_shard;
+  // does not publish into the cache.
+  std::shared_ptr<const StoreSnapshot> snapshot_shard_fresh(std::uint32_t i);
+
+  // Drops every cached snapshot (the cluster tier calls this when this
+  // host is declared dead, so its frozen stores stop answering).
+  void invalidate_snapshots();
+
+  const SnapshotCache& snapshot_cache() const { return *snapshot_cache_; }
 
   // Which shard a report routes to (exposed for tests and benches).
   std::uint32_t shard_index_for(const proto::ParsedDta& parsed) const;
@@ -110,6 +132,7 @@ class CollectorRuntime {
   std::vector<std::unique_ptr<CollectorShard>> shards_;
   std::unique_ptr<IngestPipeline> pipeline_;
   std::unique_ptr<QueryFrontend> query_;
+  std::unique_ptr<SnapshotCache> snapshot_cache_;
 };
 
 }  // namespace dta::collector

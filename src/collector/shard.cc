@@ -8,6 +8,11 @@ CollectorShard::CollectorShard(std::uint32_t index, const ShardConfig& config)
     : index_(index),
       op_batch_size_(config.op_batch_size == 0 ? 1 : config.op_batch_size),
       service_(config.nic) {
+  // Placement hint before any store memory is allocated: regions the
+  // enable_* calls register below are asked onto the worker's node.
+  if (config.numa_node >= 0) {
+    service_.nic().pd().set_node_hint(config.numa_node);
+  }
   if (config.keywrite) service_.enable_keywrite(*config.keywrite);
   if (config.postcarding) service_.enable_postcarding(*config.postcarding);
   if (config.append) service_.enable_append(*config.append);
@@ -93,6 +98,27 @@ void CollectorShard::deliver_batch() {
     }
   }
   pending_.clear();
+  // The batch is in store memory; stamp a new generation. Release pairs
+  // with the acquire in generation() so a reader that observes the new
+  // stamp also observes the batch's writes (the flush/quiesce handshake
+  // is what actually publishes them to snapshot takers).
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+std::uint32_t CollectorShard::first_touch_regions() {
+  rdma::MemoryRegion* regions[] = {
+      service_.keywrite_region(), service_.postcarding_region(),
+      service_.append_region(), service_.keyincrement_region()};
+  std::uint32_t touched = 0;
+  for (auto* region : regions) {
+    if (!region) continue;
+    // The allocation-time mbind already placed this region; re-touching
+    // would only re-copy the whole store for nothing.
+    if (region->node_bound()) continue;
+    region->first_touch_rebind();
+    ++touched;
+  }
+  return touched;
 }
 
 double CollectorShard::modeled_verbs_per_sec() const {

@@ -12,6 +12,7 @@
 // per doorbell, not once per verb.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -39,6 +40,9 @@ struct ShardConfig {
   // Translator-side Append entry batching (B of Algorithm 3).
   std::uint32_t append_batch_size = 16;
   std::uint32_t postcard_cache_slots = 32768;
+  // NUMA node the shard's registered store memory should live on
+  // (derived from the shard worker's core by the runtime; -1: unbound).
+  int numa_node = -1;
 };
 
 struct ShardStats {
@@ -70,6 +74,22 @@ class CollectorShard {
   const RdmaService& service() const { return service_; }
   const ShardStats& stats() const { return stats_; }
 
+  // Store-memory generation: bumped once per delivered op batch (the
+  // only moments store memory changes), so generation equality means
+  // the stores are bit-identical. The snapshot cache compares this
+  // stamp lock-free to decide whether a cached snapshot is still
+  // current. Monotonic; safe to read from any thread.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // NUMA first-touch pass: reallocates and touches every enabled store
+  // region from the calling thread (see MemoryRegion::first_touch_rebind).
+  // The ingest pipeline calls this once from the pinned shard worker,
+  // before any report is processed. Returns the number of regions
+  // touched.
+  std::uint32_t first_touch_regions();
+
   // Modeled ingest rate of this shard's NIC (verbs per virtual second).
   double modeled_verbs_per_sec() const;
 
@@ -86,6 +106,7 @@ class CollectorShard {
   std::unique_ptr<translator::AppendEngine> append_;
   std::vector<translator::RdmaOp> pending_;
   ShardStats stats_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 // Routing helpers shared by the ingest pipeline and the query frontend.

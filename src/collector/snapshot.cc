@@ -14,7 +14,9 @@ std::unique_ptr<rdma::MemoryRegion> StoreSnapshot::copy_region(
   return copy;
 }
 
-StoreSnapshot::StoreSnapshot(const RdmaService& service) {
+StoreSnapshot::StoreSnapshot(const RdmaService& service,
+                             std::uint64_t generation)
+    : generation_(generation) {
   if (service.keywrite()) {
     const KeyWriteSetup& setup = *service.keywrite_setup();
     kw_mem_ = copy_region(service.keywrite_region());

@@ -13,7 +13,9 @@
 //
 // Cost: one memcpy of the shard's store footprint per snapshot. Shards
 // divide the global geometry N_hosts x M_shards ways, so the per-
-// snapshot copy shrinks as the cluster scales out.
+// snapshot copy shrinks as the cluster scales out — and the
+// SnapshotCache amortizes it further, from one copy per query to one
+// copy per store-memory generation (i.e. per flush interval).
 #pragma once
 
 #include <cstdint>
@@ -28,7 +30,14 @@ class StoreSnapshot {
  public:
   // Copies every enabled store of `service`. Call only while the shard
   // is quiesced (CollectorRuntime::snapshot_shard provides the barrier).
-  explicit StoreSnapshot(const RdmaService& service);
+  // `generation` is the shard's store-memory generation at copy time;
+  // the SnapshotCache compares it against the live counter to decide
+  // whether this snapshot is still current.
+  explicit StoreSnapshot(const RdmaService& service,
+                         std::uint64_t generation = 0);
+
+  // The shard generation this snapshot reflects.
+  std::uint64_t generation() const { return generation_; }
 
   StoreSnapshot(const StoreSnapshot&) = delete;
   StoreSnapshot& operator=(const StoreSnapshot&) = delete;
@@ -66,6 +75,7 @@ class StoreSnapshot {
   std::unique_ptr<rdma::MemoryRegion> copy_region(
       const rdma::MemoryRegion* src);
 
+  std::uint64_t generation_;
   std::unique_ptr<rdma::MemoryRegion> kw_mem_, pc_mem_, ap_mem_, ki_mem_;
   std::unique_ptr<KeyWriteStore> keywrite_;
   std::unique_ptr<PostcardingStore> postcarding_;

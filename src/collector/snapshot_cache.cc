@@ -1,0 +1,109 @@
+#include "collector/snapshot_cache.h"
+
+#include "collector/ingest_pipeline.h"
+#include "collector/shard.h"
+
+namespace dta::collector {
+
+SnapshotCache::SnapshotCache(std::size_t num_shards) {
+  entries_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    entries_.push_back(std::make_unique<Entry>());
+  }
+}
+
+SnapshotCache::SnapshotPtr SnapshotCache::lookup(std::uint32_t shard,
+                                                 std::uint64_t generation,
+                                                 std::uint64_t submitted_seq) {
+  Entry& entry = *entries_[shard];
+  StampedPtr record =
+      std::atomic_load_explicit(&entry.record, std::memory_order_acquire);
+  if (record && record->snap->generation() == generation &&
+      record->covers_seq == submitted_seq) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return record->snap;
+  }
+  return nullptr;
+}
+
+SnapshotCache::SnapshotPtr SnapshotCache::refresh(std::uint32_t shard_index,
+                                                  IngestPipeline& pipeline,
+                                                  CollectorShard& shard) {
+  Entry& entry = *entries_[shard_index];
+  std::lock_guard<std::mutex> lock(entry.refresh_mu);
+
+  // Double-check: a concurrent miss may have refreshed while we waited.
+  if (auto hit = lookup(shard_index, shard.generation(),
+                        pipeline.submitted(shard_index))) {
+    return hit;
+  }
+
+  // Stamp the submitted count *before* the quiesce: every report counted
+  // here is drained and committed by the barrier, so `covers` is a
+  // sound lower bound (reports racing in during the quiesce are simply
+  // not covered and will miss the cache later).
+  auto record = std::make_shared<Stamped>();
+  record->covers_seq = pipeline.submitted(shard_index);
+  pipeline.begin_quiesce(shard_index);
+  record->snap =
+      std::make_shared<const StoreSnapshot>(shard.service(), shard.generation());
+  pipeline.end_quiesce(shard_index);
+
+  std::atomic_store_explicit(&entry.record, StampedPtr(record),
+                             std::memory_order_release);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return record->snap;
+}
+
+SnapshotCache::SnapshotPtr SnapshotCache::copy_fresh(std::uint32_t shard_index,
+                                                     IngestPipeline& pipeline,
+                                                     CollectorShard& shard) {
+  Entry& entry = *entries_[shard_index];
+  std::lock_guard<std::mutex> lock(entry.refresh_mu);
+  pipeline.begin_quiesce(shard_index);
+  auto snap =
+      std::make_shared<const StoreSnapshot>(shard.service(), shard.generation());
+  pipeline.end_quiesce(shard_index);
+  return snap;
+}
+
+void SnapshotCache::invalidate(std::uint32_t shard) {
+  Entry& entry = *entries_[shard];
+  std::lock_guard<std::mutex> lock(entry.refresh_mu);
+  if (std::atomic_load_explicit(&entry.record, std::memory_order_acquire)) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic_store_explicit(&entry.record, StampedPtr(),
+                             std::memory_order_release);
+}
+
+void SnapshotCache::invalidate_all() {
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) invalidate(i);
+}
+
+SnapshotCache::SnapshotPtr SnapshotCache::peek(std::uint32_t shard) const {
+  const StampedPtr record = std::atomic_load_explicit(
+      &entries_[shard]->record, std::memory_order_acquire);
+  return record ? record->snap : nullptr;
+}
+
+std::size_t SnapshotCache::cached_count() const {
+  std::size_t live = 0;
+  for (const auto& entry : entries_) {
+    if (std::atomic_load_explicit(&entry->record,
+                                  std::memory_order_acquire)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+SnapshotCacheStats SnapshotCache::stats() const {
+  SnapshotCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace dta::collector

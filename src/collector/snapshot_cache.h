@@ -1,0 +1,116 @@
+// Generation-stamped snapshot cache for the query tier.
+//
+// Every point/range/event query resolves against an immutable
+// StoreSnapshot, and before this cache each query paid one memcpy of
+// its shard's store footprint. But store memory only changes when the
+// shard commits an op batch — so between flushes every query can share
+// one immutable copy, the same epoch/generation trick copy-on-write
+// time-series stores (BTrDB, src/baseline/btrdb.*) use for reads. The
+// cache turns O(queries) copies per flush interval into O(flushes).
+//
+// Protocol, per shard:
+//   * CollectorShard::generation() counts delivered op batches; equal
+//     stamps mean bit-identical store memory.
+//   * The cache keeps the latest snapshot stamped with `covers_seq`,
+//     the count of reports submitted to the shard when the snapshot was
+//     taken. Both stamps travel with the snapshot in one atomically
+//     published record, so a torn read can never pair one publication's
+//     snapshot with another's stamps.
+//   * lookup() is the lock-free fast path: an atomic shared_ptr load
+//     plus a generation compare (and a covers_seq compare, so a reader
+//     never misses reports that were submitted but not yet committed to
+//     an op batch — the cache preserves read-your-submits).
+//   * refresh() is the slow path, serialized per shard by a mutex: it
+//     quiesces the shard through the ingest pipeline's hold barrier
+//     (drain + flush + worker parked), copies, publishes, and releases
+//     the worker. Concurrent misses on one shard produce one copy.
+//
+// Thread safety: lookup/refresh/copy_fresh may be called from any
+// thread when the pipeline is threaded; with an inline pipeline the
+// quiesce runs on the caller, so callers must serialize with ingest
+// (the single-control-thread contract that mode already has).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "collector/snapshot.h"
+
+namespace dta::collector {
+
+class CollectorShard;
+class IngestPipeline;
+
+struct SnapshotCacheStats {
+  std::uint64_t hits = 0;        // queries served from a cached copy
+  std::uint64_t misses = 0;      // re-copies (one per stale generation)
+  std::uint64_t invalidations = 0;
+};
+
+class SnapshotCache {
+ public:
+  using SnapshotPtr = std::shared_ptr<const StoreSnapshot>;
+
+  explicit SnapshotCache(std::size_t num_shards);
+
+  // Lock-free fast path: returns the cached snapshot when it is still
+  // current — its generation matches `generation` and no reports were
+  // submitted past `submitted_seq` since it was taken. nullptr = stale
+  // or empty; take the refresh() path.
+  SnapshotPtr lookup(std::uint32_t shard, std::uint64_t generation,
+                     std::uint64_t submitted_seq);
+
+  // Slow path: quiesce shard `shard` behind the pipeline's hold
+  // barrier, copy its stores, publish the copy and return it. Double-
+  // checks under the per-shard mutex, so concurrent misses coalesce
+  // into one copy.
+  SnapshotPtr refresh(std::uint32_t shard_index, IngestPipeline& pipeline,
+                      CollectorShard& shard);
+
+  // Uncached copy behind the same per-shard serialization (the bench
+  // baseline; also keeps a fresh copy safe next to concurrent cached
+  // queries). Does not publish into the cache.
+  SnapshotPtr copy_fresh(std::uint32_t shard_index, IngestPipeline& pipeline,
+                         CollectorShard& shard);
+
+  // Drops shard `shard`'s cached snapshot (or all of them). Used by the
+  // cluster tier when a host dies: its frozen stores must not keep
+  // answering through stale cache entries.
+  void invalidate(std::uint32_t shard);
+  void invalidate_all();
+
+  // The cached entry for `shard` (nullptr if none) — stats-free peek
+  // for tests and introspection.
+  SnapshotPtr peek(std::uint32_t shard) const;
+  // Number of shards with a live cached snapshot.
+  std::size_t cached_count() const;
+
+  SnapshotCacheStats stats() const;
+
+ private:
+  // One publication: the snapshot and the submitted-count it covers,
+  // immutable once built so both stamps are read consistently through
+  // a single atomic shared_ptr load.
+  struct Stamped {
+    SnapshotPtr snap;
+    std::uint64_t covers_seq = 0;
+  };
+  using StampedPtr = std::shared_ptr<const Stamped>;
+
+  struct Entry {
+    std::mutex refresh_mu;
+    // Read with std::atomic_load / written with std::atomic_store; the
+    // fast path never takes refresh_mu.
+    StampedPtr record;
+  };
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace dta::collector

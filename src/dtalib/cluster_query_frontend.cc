@@ -37,6 +37,18 @@ collector::KeyWriteQueryResult merge_keywrite(
 
 }  // namespace
 
+ClusterQueryFrontend::SnapshotPin::SnapshotPin(ClusterRuntime* cluster)
+    : cluster_(cluster),
+      pinned_(cluster->num_hosts(),
+              std::vector<Snapshot>(cluster->shards_per_host())) {}
+
+const ClusterQueryFrontend::Snapshot& ClusterQueryFrontend::SnapshotPin::get(
+    std::uint32_t host, std::uint32_t shard) {
+  Snapshot& slot = pinned_[host][shard];
+  if (!slot) slot = cluster_->host(host).snapshot_shard(shard);
+  return slot;
+}
+
 std::vector<std::uint32_t> ClusterQueryFrontend::candidate_hosts(
     const proto::TelemetryKey& key) const {
   std::vector<std::uint32_t> hosts;
@@ -134,9 +146,10 @@ ClusterQueryFrontend::flow_path(const net::FiveTuple& flow,
 std::future<std::vector<std::optional<common::Bytes>>>
 ClusterQueryFrontend::values_of(std::vector<proto::TelemetryKey> keys,
                                 std::uint8_t redundancy) {
-  // Group the batch by its owning shard snapshots: one snapshot set per
-  // distinct (host, shard) owner, each taken once however many keys it
-  // serves.
+  // One generation pin for the whole batch: every sub-range (each key's
+  // owning (host, shard)) resolves against a snapshot acquired exactly
+  // once for this query, so a multi-shard range can never straddle a
+  // flush — shard A pre-flush, shard B post-flush.
   struct Lookup {
     std::size_t index;
     proto::TelemetryKey key;
@@ -144,19 +157,13 @@ ClusterQueryFrontend::values_of(std::vector<proto::TelemetryKey> keys,
   };
   std::vector<Lookup> lookups;
   lookups.reserve(keys.size());
-  // (host, shard) -> snapshot, cached for the duration of the batch.
-  std::vector<std::vector<Snapshot>> cache(
-      cluster_->num_hosts(),
-      std::vector<Snapshot>(cluster_->shards_per_host()));
+  SnapshotPin pin(cluster_);
   for (std::size_t i = 0; i < keys.size(); ++i) {
     const std::uint32_t shard =
         cluster_->selector().shard_within_host(keys[i]);
     std::vector<Snapshot> snaps;
     for (std::uint32_t h : candidate_hosts(keys[i])) {
-      if (!cache[h][shard]) {
-        cache[h][shard] = cluster_->host(h).snapshot_shard(shard);
-      }
-      snaps.push_back(cache[h][shard]);
+      snaps.push_back(pin.get(h, shard));
     }
     lookups.push_back(Lookup{i, keys[i], std::move(snaps)});
   }

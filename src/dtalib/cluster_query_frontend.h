@@ -4,11 +4,18 @@
 // synchronously against live shard stores; this layer sits above it and
 // answers point, range and event queries for the whole cluster as
 // futures. Each query (1) locates its candidate (host, shard) pairs
-// through the same two-level router ingest uses, (2) takes immutable
-// per-shard StoreSnapshots behind the per-shard flush barrier — the
-// only moment it touches live state — and (3) resolves the merge on a
-// detached thread, so queries never contend with the polling/ingest
-// path on store memory.
+// through the same two-level router ingest uses, (2) acquires immutable
+// per-shard StoreSnapshots through each host's generation-stamped
+// SnapshotCache — a lock-free stamp compare when the shard hasn't
+// changed, one quiesced copy when it has — and (3) resolves the merge
+// on a detached thread, so queries never contend with the polling/
+// ingest path on store memory, and N queries per flush interval cost
+// one copy instead of N.
+//
+// Multi-shard range queries hold a single generation pin: every
+// (host, shard) snapshot is acquired exactly once per query and all
+// sub-ranges resolve against that same pinned generation, so a batch
+// can never see shard A before a flush and shard B after it.
 //
 // Merging is redundancy-vote based, one layer for both concerns:
 // within a snapshot the store's N-replica vote, across snapshots the
@@ -78,6 +85,21 @@ class ClusterQueryFrontend {
 
  private:
   using Snapshot = std::shared_ptr<const collector::StoreSnapshot>;
+
+  // One query's generation pin: each (host, shard) snapshot is acquired
+  // at most once, lazily, and every sub-range of the query resolves
+  // against the same pinned snapshot set (fix for the multi-shard range
+  // merge re-snapshotting — and potentially crossing a generation —
+  // per sub-range).
+  class SnapshotPin {
+   public:
+    explicit SnapshotPin(ClusterRuntime* cluster);
+    const Snapshot& get(std::uint32_t host, std::uint32_t shard);
+
+   private:
+    ClusterRuntime* cluster_;
+    std::vector<std::vector<Snapshot>> pinned_;  // [host][shard]
+  };
 
   // Candidate hosts for a key-addressed query: the owner under
   // kByKeyHash (empty if it failed — that partition is lost), every

@@ -54,6 +54,15 @@ void ClusterRuntime::stop() {
   for (auto& host : hosts_) host->stop();
 }
 
+void ClusterRuntime::fail_host(std::uint32_t host) {
+  failed_[host] = true;
+  // The router already excludes dead hosts from every candidate set;
+  // invalidating makes the coherence story airtight (and frees the
+  // dead host's snapshot memory): no future query can be served from a
+  // snapshot the dead host cached before it died.
+  hosts_[host]->invalidate_snapshots();
+}
+
 std::uint32_t ClusterRuntime::live_hosts() const {
   std::uint32_t live = 0;
   for (std::uint32_t h = 0; h < hosts_.size(); ++h) {

@@ -64,8 +64,10 @@ class ClusterRuntime {
 
   // Simulates a collector host failure: the host stops receiving new
   // reports, but its stores stay readable (the dead host's disks don't
-  // vanish; the query tier just stops asking it).
-  void fail_host(std::uint32_t host) { failed_[host] = true; }
+  // vanish; the query tier just stops asking it). Also drops the dead
+  // host's cached snapshots — cluster-tier cache coherence: a frozen
+  // host must not keep answering through pre-failure cache entries.
+  void fail_host(std::uint32_t host);
   bool is_failed(std::uint32_t host) const { return failed_[host]; }
   std::uint32_t live_hosts() const;
 

@@ -3,7 +3,78 @@
 #include <algorithm>
 #include <cstring>
 
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#endif
+
 namespace dta::rdma {
+
+namespace {
+
+#if defined(__linux__)
+// Parses a sysfs cpulist ("0-3,8-11") into per-core node assignments.
+void assign_cpulist(const std::string& cpulist, int node,
+                    std::vector<int>& core_to_node) {
+  std::stringstream stream(cpulist);
+  std::string range;
+  while (std::getline(stream, range, ',')) {
+    if (range.empty()) continue;
+    int lo = 0, hi = 0;
+    const auto dash = range.find('-');
+    lo = std::atoi(range.c_str());
+    hi = dash == std::string::npos ? lo : std::atoi(range.c_str() + dash + 1);
+    for (int core = lo; core >= 0 && core <= hi; ++core) {
+      if (core >= static_cast<int>(core_to_node.size())) {
+        core_to_node.resize(core + 1, -1);
+      }
+      core_to_node[core] = node;
+    }
+  }
+}
+#endif
+
+// core -> node map read from sysfs once; empty when unavailable.
+struct NumaTopology {
+  int nodes = 1;
+  std::vector<int> core_to_node;
+
+  NumaTopology() {
+#if defined(__linux__)
+    int node_count = 0;
+    for (int node = 0;; ++node) {
+      std::ifstream cpulist("/sys/devices/system/node/node" +
+                            std::to_string(node) + "/cpulist");
+      if (!cpulist.is_open()) break;
+      std::string list;
+      std::getline(cpulist, list);
+      assign_cpulist(list, node, core_to_node);
+      ++node_count;
+    }
+    if (node_count > 0) nodes = node_count;
+#endif
+  }
+};
+
+const NumaTopology& topology() {
+  static const NumaTopology topo;
+  return topo;
+}
+
+}  // namespace
+
+int numa_node_count() { return topology().nodes; }
+
+int numa_node_of_core(int core) {
+  const auto& map = topology().core_to_node;
+  if (core < 0 || core >= static_cast<int>(map.size())) return -1;
+  return map[core];
+}
 
 MemoryRegion::MemoryRegion(std::uint64_t base_va, std::size_t length,
                            std::uint32_t rkey, std::uint32_t access)
@@ -11,6 +82,51 @@ MemoryRegion::MemoryRegion(std::uint64_t base_va, std::size_t length,
 
 void MemoryRegion::zero() {
   std::fill(buffer_.begin(), buffer_.end(), std::uint8_t{0});
+}
+
+bool MemoryRegion::bind_to_node(int node) {
+  if (node < 0) return false;
+  numa_node_ = node;
+#if defined(__linux__) && defined(SYS_mbind)
+  // Raw mbind (libnuma may be absent): move the page-aligned interior
+  // of the buffer. Edge pages shared with neighbouring allocations are
+  // left where they are; MPOL_BIND + MPOL_MF_MOVE also migrates pages
+  // already touched by the allocating thread.
+  if (node >= 64) return false;  // single-word nodemask covers real hosts
+  const long page_size = sysconf(_SC_PAGESIZE);
+  const auto kPage =
+      page_size > 0 ? static_cast<std::uintptr_t>(page_size) : 4096u;
+  const auto start = reinterpret_cast<std::uintptr_t>(buffer_.data());
+  const std::uintptr_t lo = (start + kPage - 1) & ~(kPage - 1);
+  const std::uintptr_t hi = (start + buffer_.size()) & ~(kPage - 1);
+  if (lo >= hi) return false;
+  unsigned long nodemask = 1ul << node;
+  constexpr int kMpolBind = 2;       // MPOL_BIND
+  constexpr unsigned kMpolMfMove = 2;  // MPOL_MF_MOVE
+  node_bound_ = syscall(SYS_mbind, lo, hi - lo, kMpolBind, &nodemask,
+                        sizeof(nodemask) * 8 + 1, kMpolMfMove) == 0;
+  return node_bound_;
+#else
+  return false;
+#endif
+}
+
+void MemoryRegion::first_touch_rebind() {
+  // The copy construction touches every page of the new buffer from the
+  // calling thread, so first-touch policy allocates them on its node.
+  std::vector<std::uint8_t> fresh(buffer_.begin(), buffer_.end());
+  buffer_.swap(fresh);
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu >= 0) {
+    const int node = numa_node_of_core(cpu);
+    // First-touch only places never-faulted pages; the allocator may
+    // have recycled pages already resident on another node. Follow up
+    // with an explicit migrate of the new buffer so the placement (and
+    // its bookkeeping) is real, not assumed.
+    if (node >= 0) bind_to_node(node);
+  }
+#endif
 }
 
 MemoryRegion* ProtectionDomain::register_region(std::size_t length,
@@ -21,6 +137,7 @@ MemoryRegion* ProtectionDomain::register_region(std::size_t length,
   next_va_ += aligned + 0x1000;
   auto region =
       std::make_unique<MemoryRegion>(va, length, next_rkey_++, access);
+  if (node_hint_ >= 0) region->bind_to_node(node_hint_);
   regions_.push_back(std::move(region));
   return regions_.back().get();
 }

@@ -5,6 +5,21 @@
 // huge pages; our regions are single contiguous allocations, which gives
 // the same flat virtual-address arithmetic the translator relies on
 // (base + slot * slot_size).
+//
+// NUMA placement: on a multi-socket collector the NIC DMAs into host
+// memory and the shard worker polls it, so a region landing on the
+// wrong node pays a cross-socket hop on every access. Regions therefore
+// carry a NUMA node hint. Placement is two-phase, matching how the
+// runtime learns worker placement:
+//   1. allocation-time: ProtectionDomain::set_node_hint makes every
+//      subsequently registered region ask the kernel (mbind with
+//      MPOL_MF_MOVE, best-effort) to place its pages on that node;
+//   2. first-touch fallback: after pin_workers has placed the shard
+//      worker, the worker calls first_touch_rebind() to reallocate and
+//      touch the buffer from its own (now pinned) thread, so the
+//      default local-allocation policy lands the pages on its node.
+// Both degrade to no-ops on hosts without NUMA support; the hint is
+// still recorded so deployments can audit intended placement.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +29,11 @@
 #include "common/bytes.h"
 
 namespace dta::rdma {
+
+// Host NUMA topology (Linux sysfs; 1 node / node 0 fallback elsewhere).
+int numa_node_count();
+// The NUMA node owning `core`, or -1 when the topology is unknown.
+int numa_node_of_core(int core);
 
 enum AccessFlags : std::uint32_t {
   kRemoteWrite = 1u << 0,
@@ -47,10 +67,33 @@ class MemoryRegion {
 
   void zero();
 
+  // The node this region is intended to live on (-1: unplaced).
+  int numa_node() const { return numa_node_; }
+  // Whether the kernel accepted an mbind for this region — placement is
+  // already done, so the first-touch fallback can skip it.
+  bool node_bound() const { return node_bound_; }
+
+  // Records `node` as this region's placement and asks the kernel to
+  // move the buffer's page-aligned interior there (Linux mbind with
+  // MPOL_MF_MOVE). Returns whether the kernel accepted; the hint is
+  // recorded either way. No-op off-Linux or for node < 0.
+  bool bind_to_node(int node);
+
+  // First-touch fallback: reallocates the buffer and touches every page
+  // from the calling thread so default NUMA policy places the pages on
+  // the caller's node, then asks the kernel to migrate any allocator-
+  // recycled pages there too (bind_to_node). Contents are preserved.
+  // Call only while no other thread accesses the region (the shard
+  // worker does this once, right after pinning, before it ingests
+  // anything).
+  void first_touch_rebind();
+
  private:
   std::uint64_t base_va_;
   std::uint32_t rkey_;
   std::uint32_t access_;
+  int numa_node_ = -1;
+  bool node_bound_ = false;
   std::vector<std::uint8_t> buffer_;
 };
 
@@ -67,9 +110,15 @@ class ProtectionDomain {
 
   std::size_t region_count() const { return regions_.size(); }
 
+  // NUMA placement hint applied to subsequently registered regions
+  // (-1: none). Set before the enable_* calls allocate store memory.
+  void set_node_hint(int node) { node_hint_ = node; }
+  int node_hint() const { return node_hint_; }
+
  private:
   std::uint64_t next_va_ = 0x100000000000ull;  // arbitrary high VA
   std::uint32_t next_rkey_ = 0x1000;
+  int node_hint_ = -1;
   std::vector<std::unique_ptr<MemoryRegion>> regions_;
 };
 

@@ -255,6 +255,80 @@ TEST(ClusterRuntime, KeyHashDeadOwnerLosesOnlyItsPartition) {
   EXPECT_GT(lost, 50);
 }
 
+TEST(ClusterRuntime, FailoverDoesNotServeDeadHostCachedSnapshots) {
+  // Cluster-tier cache coherence: queries before the failure populate
+  // every host's snapshot cache; fail_host must drop the dead host's
+  // entries, and the failover path must answer every key from the
+  // survivor without ever consulting the dead host's cache again.
+  ClusterRuntime cluster(cluster_config(
+      2, 2, translator::PartitionPolicy::kReplicate));
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    cluster.submit(keywrite_report(id, static_cast<std::uint32_t>(id + 5)));
+  }
+  cluster.flush();
+  for (std::uint64_t id = 0; id < 20; ++id) {
+    ASSERT_TRUE(cluster.query().value_of(key_of(id)).get().has_value());
+  }
+  ASSERT_GT(cluster.host(0).snapshot_cache().cached_count(), 0u);
+  const auto before = cluster.host(0).snapshot_cache().stats();
+
+  cluster.fail_host(0);
+  EXPECT_EQ(cluster.host(0).snapshot_cache().cached_count(), 0u)
+      << "dead host still holds cached snapshots";
+
+  int hits = 0;
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    const auto value = cluster.query().value_of(key_of(id)).get();
+    if (value && common::load_u32(value->data()) == id + 5) ++hits;
+  }
+  EXPECT_EQ(hits, 100);
+
+  const auto after = cluster.host(0).snapshot_cache().stats();
+  EXPECT_EQ(after.hits, before.hits)
+      << "query tier served a snapshot from the dead host's cache";
+  EXPECT_EQ(after.misses, before.misses)
+      << "query tier re-copied from the dead host";
+  EXPECT_EQ(cluster.host(0).snapshot_cache().cached_count(), 0u);
+}
+
+TEST(ClusterRuntime, RangeQueryPinsOneSnapshotPerShard) {
+  // A multi-shard range query must route every sub-range through one
+  // generation pin: however many keys land on a shard, the shard is
+  // copied at most once per query — and an identical repeat of the
+  // query is answered entirely from the cache.
+  ClusterRuntime cluster(cluster_config(2, 2));
+  for (std::uint64_t id = 0; id < 300; ++id) {
+    cluster.submit(keywrite_report(id, static_cast<std::uint32_t>(id)));
+  }
+  cluster.flush();
+
+  std::vector<TelemetryKey> keys;
+  for (std::uint64_t id = 0; id < 300; ++id) keys.push_back(key_of(id));
+  const auto first = cluster.query().values_of(keys).get();
+  ASSERT_EQ(first.size(), keys.size());
+
+  std::uint64_t copies = 0;
+  for (std::uint32_t h = 0; h < 2; ++h) {
+    const auto stats = cluster.host(h).snapshot_cache().stats();
+    EXPECT_LE(stats.misses, 2u) << "host " << h
+                                << " re-snapshotted a shard mid-query";
+    copies += stats.misses;
+  }
+  EXPECT_LE(copies, 4u);  // at most one copy per (host, shard)
+
+  const auto second = cluster.query().values_of(keys).get();
+  ASSERT_EQ(second.size(), keys.size());
+  std::uint64_t copies_after = 0;
+  for (std::uint32_t h = 0; h < 2; ++h) {
+    copies_after += cluster.host(h).snapshot_cache().stats().misses;
+  }
+  EXPECT_EQ(copies_after, copies)
+      << "unchanged shards were re-copied by the second query";
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].has_value(), second[i].has_value()) << "key " << i;
+  }
+}
+
 // ------------------------------------------------------- async queries
 
 TEST(ClusterRuntime, RangeQueryResolvesBatchInInputOrder) {

@@ -8,6 +8,7 @@
 
 #include "analysis/kw_bounds.h"
 #include "collector/rdma_service.h"
+#include "collector/runtime.h"
 #include "common/rng.h"
 #include "translator/append_engine.h"
 #include "translator/keyincrement_engine.h"
@@ -316,6 +317,95 @@ TEST_P(KiCmsSweep, EstimateAlwaysAtLeastTruth) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Rows, KiCmsSweep, ::testing::Values(1u, 2u, 4u));
+
+// ------------------------------------------------------------------------
+// Snapshot generations: across arbitrary interleavings of ingest
+// batches, per-shard flushes and snapshot requests, the shard
+// generation is monotonic (strictly increasing whenever new reports are
+// committed), a cached snapshot's generation never exceeds its shard's,
+// and the cache serves the identical snapshot iff nothing was submitted
+// since it was taken.
+// ------------------------------------------------------------------------
+
+class GenerationSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GenerationSweep, MonotonicGenerationsAndCacheNeverAhead) {
+  const unsigned seed = GetParam();
+  constexpr std::uint32_t kShards = 2;
+
+  collector::CollectorRuntimeConfig config;
+  config.num_shards = kShards;
+  config.thread_mode = collector::ThreadMode::kInline;  // deterministic
+  config.op_batch_size = 4;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 12;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  collector::CollectorRuntime runtime(config);
+
+  common::Rng rng(seed);
+  std::uint64_t next_id = 0;
+  std::uint64_t last_generation[kShards] = {0, 0};
+  std::uint64_t covered_submits[kShards] = {0, 0};
+  std::shared_ptr<const collector::StoreSnapshot> last_snap[kShards];
+
+  auto check_monotonic = [&] {
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      const std::uint64_t g = runtime.shard(s).generation();
+      EXPECT_GE(g, last_generation[s]) << "generation went backwards";
+      last_generation[s] = g;
+      if (const auto cached = runtime.snapshot_cache().peek(s)) {
+        EXPECT_LE(cached->generation(), g)
+            << "cached snapshot ahead of its shard";
+      }
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.next_below(3)) {
+      case 0: {  // a burst of ingest batches
+        const auto burst = 1 + rng.next_below(8);
+        for (std::uint64_t i = 0; i < burst; ++i) {
+          proto::KeyWriteReport r;
+          r.key = key_of(next_id);
+          r.redundancy = 1;
+          common::put_u32(r.data, static_cast<std::uint32_t>(next_id));
+          ++next_id;
+          runtime.submit({proto::DtaHeader{}, std::move(r)});
+        }
+        break;
+      }
+      case 1: {  // per-shard flush barrier
+        runtime.flush_shard(
+            static_cast<std::uint32_t>(rng.next_below(kShards)));
+        break;
+      }
+      case 2: {  // snapshot request through the cache
+        const auto s = static_cast<std::uint32_t>(rng.next_below(kShards));
+        const std::uint64_t submitted = runtime.pipeline().submitted(s);
+        const auto snap = runtime.snapshot_shard(s);
+        EXPECT_LE(snap->generation(), runtime.shard(s).generation());
+        if (last_snap[s]) {
+          if (submitted == covered_submits[s]) {
+            // Nothing new: the cache must serve the very same copy.
+            EXPECT_EQ(snap.get(), last_snap[s].get());
+          } else {
+            // New reports (redundancy-1 Key-Write: always >= 1 op) were
+            // committed by the refresh barrier: strictly newer stamp.
+            EXPECT_GT(snap->generation(), last_snap[s]->generation());
+          }
+        }
+        last_snap[s] = snap;
+        covered_submits[s] = submitted;
+        break;
+      }
+    }
+    check_monotonic();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GenerationSweep,
+                         ::testing::Values(1u, 7u, 21u, 99u, 1234u, 77777u));
 
 }  // namespace
 }  // namespace dta

@@ -1,0 +1,326 @@
+// Snapshot-cache tests: generation-stamped snapshot reuse between
+// flushes, read-your-submits across cache hits, the quiesce (worker
+// hold-barrier) protocol under concurrent ingest+query load — the TSan
+// headline test: many query threads against one flushing shard, where
+// no query may ever observe a torn or stale-beyond-one-generation
+// snapshot — and the NUMA placement bookkeeping on the shard regions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "collector/runtime.h"
+#include "rdma/memory_region.h"
+
+namespace dta::collector {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using proto::TelemetryKey;
+
+TelemetryKey key_of(std::uint64_t id) {
+  std::uint64_t z = id * 0x9E3779B97F4A7C15ull + 1;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 31;
+  Bytes b;
+  common::put_u64(b, z);
+  return TelemetryKey::from(ByteSpan(b));
+}
+
+// An 8-byte value whose halves must agree — a torn snapshot (copy
+// racing a store write) would surface as lo != hi.
+proto::ParsedDta paired_report(std::uint64_t id, std::uint32_t round) {
+  proto::KeyWriteReport r;
+  r.key = key_of(id);
+  r.redundancy = 2;
+  common::put_u32(r.data, round);
+  common::put_u32(r.data, round);
+  return {proto::DtaHeader{}, std::move(r)};
+}
+
+proto::ParsedDta small_report(std::uint64_t id, std::uint32_t value,
+                              std::uint8_t redundancy = 1) {
+  proto::KeyWriteReport r;
+  r.key = key_of(id);
+  r.redundancy = redundancy;
+  common::put_u32(r.data, value);
+  return {proto::DtaHeader{}, std::move(r)};
+}
+
+CollectorRuntimeConfig cache_config(ThreadMode mode,
+                                    std::uint32_t value_bytes = 4,
+                                    std::uint32_t op_batch = 4) {
+  CollectorRuntimeConfig config;
+  config.num_shards = 1;
+  config.thread_mode = mode;
+  config.op_batch_size = op_batch;
+  KeyWriteSetup kw;
+  kw.num_slots = 1 << 14;
+  kw.value_bytes = value_bytes;
+  config.keywrite = kw;
+  return config;
+}
+
+// --------------------------------------------------------------- reuse
+
+TEST(SnapshotCache, ServesCachedSnapshotBetweenChanges) {
+  CollectorRuntime runtime(cache_config(ThreadMode::kInline));
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    runtime.submit(small_report(id, 100 + static_cast<std::uint32_t>(id)));
+  }
+
+  const auto s1 = runtime.snapshot_shard(0);
+  const auto s2 = runtime.snapshot_shard(0);
+  EXPECT_EQ(s1.get(), s2.get()) << "unchanged shard must share one copy";
+  auto stats = runtime.snapshot_cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.hits, 1u);
+
+  // New data invalidates: the next snapshot is a fresh, newer copy.
+  runtime.submit(small_report(99, 7));
+  const auto s3 = runtime.snapshot_shard(0);
+  EXPECT_NE(s3.get(), s1.get());
+  EXPECT_GT(s3->generation(), s1->generation());
+  const auto result = s3->keywrite_query(key_of(99), 1);
+  ASSERT_EQ(result.status, QueryStatus::kHit);
+  EXPECT_EQ(common::load_u32(result.value.data()), 7u);
+  // The old snapshot is immutable: key 99 is invisible to it.
+  EXPECT_NE(s1->keywrite_query(key_of(99), 1).status, QueryStatus::kHit);
+}
+
+TEST(SnapshotCache, GenerationCountsDeliveredBatches) {
+  CollectorRuntime runtime(cache_config(ThreadMode::kInline));
+  EXPECT_EQ(runtime.shard(0).generation(), 0u);
+
+  // op_batch_size = 4, redundancy 1: three reports stage three ops but
+  // deliver nothing, so store memory — and the generation — are
+  // untouched.
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    runtime.submit(small_report(id, 1));
+  }
+  EXPECT_EQ(runtime.shard(0).generation(), 0u);
+
+  runtime.submit(small_report(3, 1));  // fourth op: batch delivered
+  EXPECT_EQ(runtime.shard(0).generation(), 1u);
+
+  runtime.flush();  // nothing staged: no delivery, no bump
+  EXPECT_EQ(runtime.shard(0).generation(), 1u);
+
+  runtime.submit(small_report(4, 1));
+  runtime.flush();  // partial batch forced out
+  EXPECT_EQ(runtime.shard(0).generation(), 2u);
+}
+
+TEST(SnapshotCache, FreshCopyBypassesCache) {
+  CollectorRuntime runtime(cache_config(ThreadMode::kInline));
+  runtime.submit(small_report(1, 5));
+  const auto f1 = runtime.snapshot_shard_fresh(0);
+  const auto f2 = runtime.snapshot_shard_fresh(0);
+  EXPECT_NE(f1.get(), f2.get()) << "fresh copies are never shared";
+  const auto stats = runtime.snapshot_cache().stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(runtime.snapshot_cache().cached_count(), 0u);
+  const auto result = f2->keywrite_query(key_of(1), 1);
+  ASSERT_EQ(result.status, QueryStatus::kHit);
+  EXPECT_EQ(common::load_u32(result.value.data()), 5u);
+}
+
+TEST(SnapshotCache, InvalidationDropsEntries) {
+  CollectorRuntime runtime(cache_config(ThreadMode::kInline));
+  runtime.submit(small_report(1, 5));
+  const auto s1 = runtime.snapshot_shard(0);
+  EXPECT_EQ(runtime.snapshot_cache().cached_count(), 1u);
+
+  runtime.invalidate_snapshots();
+  EXPECT_EQ(runtime.snapshot_cache().cached_count(), 0u);
+  EXPECT_EQ(runtime.snapshot_cache().stats().invalidations, 1u);
+
+  // Next acquisition re-copies even though the generation is unchanged.
+  const auto s2 = runtime.snapshot_shard(0);
+  EXPECT_NE(s2.get(), s1.get());
+  EXPECT_EQ(s2->generation(), s1->generation());
+  EXPECT_EQ(runtime.snapshot_cache().stats().misses, 2u);
+}
+
+TEST(SnapshotCache, ReadYourSubmitsAcrossCacheHits) {
+  // A report that is submitted but not yet committed to an op batch
+  // must still invalidate the cache: generation compare alone would
+  // serve the stale snapshot (the batch hasn't delivered), covers_seq
+  // is what catches it.
+  CollectorRuntime runtime(
+      cache_config(ThreadMode::kThreaded, 4, /*op_batch=*/64));
+  runtime.submit(small_report(1, 11));
+  const auto s1 = runtime.snapshot_shard(0);
+  ASSERT_EQ(s1->keywrite_query(key_of(1), 1).status, QueryStatus::kHit);
+
+  runtime.submit(small_report(2, 22));  // stays staged: batch of 64
+  const auto s2 = runtime.snapshot_shard(0);
+  EXPECT_NE(s2.get(), s1.get());
+  const auto result = s2->keywrite_query(key_of(2), 1);
+  ASSERT_EQ(result.status, QueryStatus::kHit);
+  EXPECT_EQ(common::load_u32(result.value.data()), 22u);
+  runtime.stop();
+}
+
+// ------------------------------------------------- concurrent stress
+
+TEST(SnapshotCache, ConcurrentQueriesSeeFreshUntornSnapshots) {
+  // The TSan headline: query threads acquire snapshots nonstop while
+  // the control thread keeps writing and flushing one shard. Asserted
+  // per observation:
+  //   * torn-freedom — every 8-byte value has matching halves (a copy
+  //     racing an ingest write would tear them);
+  //   * freshness — a snapshot acquired after round R was published
+  //     contains values >= R for every key (never stale beyond the
+  //     generation the control thread pinned);
+  //   * monotonicity — each thread's observed generations never go
+  //     backwards.
+  static constexpr std::uint32_t kKeys = 32;
+  static constexpr std::uint32_t kRounds = 30;
+  constexpr unsigned kQueryThreads = 3;
+
+  CollectorRuntime runtime(
+      cache_config(ThreadMode::kThreaded, /*value_bytes=*/8, /*op_batch=*/8));
+  std::atomic<std::uint32_t> published_round{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&runtime, &published_round, &done] {
+      std::uint64_t last_generation = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::uint32_t floor = published_round.load();
+        const auto snap = runtime.snapshot_shard(0);
+        EXPECT_GE(snap->generation(), last_generation);
+        last_generation = snap->generation();
+        for (std::uint64_t id = 0; id < kKeys; id += 5) {
+          const auto result = snap->keywrite_query(key_of(id), 2);
+          if (floor >= 1) {
+            EXPECT_EQ(result.status, QueryStatus::kHit) << "key " << id;
+          }
+          if (result.status != QueryStatus::kHit) continue;
+          const std::uint32_t lo = common::load_u32(result.value.data());
+          const std::uint32_t hi = common::load_u32(result.value.data() + 4);
+          EXPECT_EQ(lo, hi) << "torn value for key " << id;
+          EXPECT_GE(lo, floor) << "stale snapshot served for key " << id;
+          EXPECT_LE(lo, kRounds);
+        }
+      }
+    });
+  }
+
+  for (std::uint32_t round = 1; round <= kRounds; ++round) {
+    for (std::uint64_t id = 0; id < kKeys; ++id) {
+      runtime.submit(paired_report(id, round));
+    }
+    // Pin the round into the cache (quiesce + copy) before announcing
+    // it: every snapshot acquired after the announcement includes it.
+    const auto snap = runtime.snapshot_shard(0);
+    EXPECT_GE(snap->generation(), round > 1 ? 1u : 0u);
+    published_round.store(round);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  // Reuse must actually have happened, and must still work now that
+  // the shard is idle.
+  const auto a = runtime.snapshot_shard(0);
+  const auto b = runtime.snapshot_shard(0);
+  EXPECT_EQ(a.get(), b.get());
+  const auto stats = runtime.snapshot_cache().stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, kRounds);
+  runtime.stop();
+}
+
+TEST(SnapshotCache, StopRacingSnapshotAcquisitionIsSafe) {
+  // stop() may land while another thread is inside snapshot_shard: the
+  // worker must not exit with an unanswered quiesce (hang) or run its
+  // final flush during a copy (tear). Loop a few races; TSan watches.
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    CollectorRuntime runtime(
+        cache_config(ThreadMode::kThreaded, /*value_bytes=*/8, /*op_batch=*/4));
+    for (std::uint64_t id = 0; id < 16; ++id) {
+      runtime.submit(paired_report(id, 1));
+    }
+    std::atomic<bool> done{false};
+    std::thread reader([&runtime, &done] {
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = runtime.snapshot_shard(0);
+        const auto result = snap->keywrite_query(key_of(3), 2);
+        if (result.status == QueryStatus::kHit) {
+          EXPECT_EQ(common::load_u32(result.value.data()),
+                    common::load_u32(result.value.data() + 4));
+        }
+      }
+    });
+    std::this_thread::yield();
+    runtime.stop();  // races the reader's acquisitions
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    // The stopped pipeline still snapshots (single-threaded fallback).
+    const auto snap = runtime.snapshot_shard(0);
+    EXPECT_EQ(snap->keywrite_query(key_of(3), 2).status, QueryStatus::kHit);
+  }
+}
+
+// ------------------------------------------------------ NUMA placement
+
+TEST(SnapshotCache, NumaPlacementBookkeeping) {
+  CollectorRuntimeConfig config = cache_config(ThreadMode::kThreaded);
+  config.num_shards = 2;
+  config.pin_workers = true;
+  config.worker_cores = {0, 0};  // core 0 always exists
+  CollectorRuntime runtime(config);
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    runtime.submit(small_report(id, 1));
+  }
+  runtime.flush();  // workers past their first-touch pass
+
+  // One Key-Write region per shard: each is placed by the allocation-
+  // time mbind or by its pinned worker's first-touch pass (which itself
+  // migrates via mbind where available) — regions already bound at
+  // allocation are skipped, so at most one touch per region.
+  EXPECT_LE(runtime.pipeline().regions_first_touched(), 2u);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    const auto* region = runtime.shard(s).service().keywrite_region();
+    EXPECT_TRUE(region->node_bound() ||
+                runtime.pipeline().regions_first_touched() > 0)
+        << "shard " << s << " region placed by neither path";
+  }
+
+  const int node = rdma::numa_node_of_core(0);
+#if defined(__linux__)
+  EXPECT_GE(rdma::numa_node_count(), 1);
+  EXPECT_GE(node, 0) << "sysfs topology should map core 0";
+#endif
+  if (node >= 0) {
+    for (std::uint32_t s = 0; s < 2; ++s) {
+      // Allocation-time hint recorded on the domain...
+      EXPECT_EQ(runtime.shard(s).service().nic().pd().node_hint(), node);
+      // ...and placement recorded on the region (hint, or first-touch
+      // from the worker pinned to the same core).
+      if (runtime.pipeline().stats().workers_pinned == 2) {
+        EXPECT_EQ(runtime.shard(s).service().keywrite_region()->numa_node(),
+                  node);
+      }
+    }
+  }
+  runtime.stop();
+}
+
+TEST(SnapshotCache, NoFirstTouchWithoutPinning) {
+  CollectorRuntime runtime(cache_config(ThreadMode::kThreaded));
+  runtime.submit(small_report(1, 1));
+  runtime.flush();
+  EXPECT_EQ(runtime.pipeline().regions_first_touched(), 0u);
+  EXPECT_EQ(runtime.shard(0).service().keywrite_region()->numa_node(), -1);
+  runtime.stop();
+}
+
+}  // namespace
+}  // namespace dta::collector
