@@ -15,10 +15,17 @@
 // acquisition at growing queries-per-flush-interval Q and also reports
 // the modeled throughput from the measured per-op costs
 // (copy + query): fresh = Q / (Q*(t_copy + t_query)), cached =
-// Q / (t_copy + Q*t_query). Machine-readable output:
-// BENCH_snapshot_cache.json. Run with --smoke for the CI-sized sweep
-// (section (c) only, small store).
+// Q / (t_copy + Q*t_query).
+//
+// Section (d) sweeps the *incremental* refresh path: with 1%–100% of
+// the store mutated per flush interval, dirty-chunk patching should
+// cost proportionally to the dirtied bytes while the full copy stays
+// flat — incremental wins exactly at low dirty ratios. Machine-
+// readable output (sections (c)+(d) plus a "gate" summary for the CI
+// regression gate): BENCH_snapshot_cache.json. Run with --smoke for
+// the CI-sized sweep (sections (c)+(d) only, small store).
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -67,9 +74,17 @@ struct CachePoint {
   double modeled_cached = 0.0;
 };
 
+struct CacheSweepResult {
+  std::uint64_t store_bytes = 0;
+  double t_copy = 0.0;
+  double t_query = 0.0;
+  std::vector<CachePoint> sweep;
+  collector::SnapshotCacheStats stats;
+};
+
 // Section (c): cached vs fresh snapshot acquisition through the
 // CollectorRuntime, Q queries per flush interval.
-void run_snapshot_cache_sweep(bool smoke) {
+CacheSweepResult run_snapshot_cache_sweep(bool smoke) {
   using namespace dta::collector;
   CollectorRuntimeConfig config;
   config.num_shards = 1;
@@ -165,33 +180,172 @@ void run_snapshot_cache_sweep(bool smoke) {
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses));
 
-  FILE* json = std::fopen("BENCH_snapshot_cache.json", "w");
-  if (json) {
-    std::fprintf(json,
-                 "{\n  \"store_bytes\": %llu,\n  \"copy_ns\": %.1f,\n"
-                 "  \"query_ns\": %.1f,\n  \"sweep\": [\n",
-                 static_cast<unsigned long long>(kw.num_slots * 8),
-                 t_copy * 1e9, t_query * 1e9);
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-      const CachePoint& p = sweep[i];
-      std::fprintf(
-          json,
-          "    {\"queries_per_flush\": %u, \"fresh_qps\": %.1f, "
-          "\"cached_qps\": %.1f, \"modeled_fresh_qps\": %.1f, "
-          "\"modeled_cached_qps\": %.1f, \"modeled_speedup\": %.3f, "
-          "\"measured_speedup\": %.3f}%s\n",
-          p.queries_per_flush, p.fresh_qps, p.cached_qps, p.modeled_fresh,
-          p.modeled_cached, p.modeled_cached / p.modeled_fresh,
-          p.fresh_qps > 0 ? p.cached_qps / p.fresh_qps : 0.0,
-          i + 1 < sweep.size() ? "," : "");
+  CacheSweepResult result;
+  result.store_bytes = kw.num_slots * 8;
+  result.t_copy = t_copy;
+  result.t_query = t_query;
+  result.sweep = std::move(sweep);
+  result.stats = stats;
+  return result;
+}
+
+struct DirtyPoint {
+  double target_pct = 0.0;      // fraction of chunks aimed at per flush
+  double achieved_ratio = 0.0;  // measured dirty ratio before refresh
+  unsigned writes = 0;          // reports per flush interval
+  double incremental_us = 0.0;  // dirty-chunk-patched refresh latency
+  double full_us = 0.0;         // full-copy snapshot latency
+  double speedup_vs_full = 0.0;
+};
+
+// Section (d): incremental (dirty-chunk) vs full-copy refresh latency
+// as the fraction of the store mutated per flush interval grows. The
+// patch path should scale with dirtied bytes; the full copy is flat.
+std::vector<DirtyPoint> run_dirty_ratio_sweep(bool smoke) {
+  using namespace dta::collector;
+  CollectorRuntimeConfig config;
+  config.num_shards = 1;
+  config.thread_mode = ThreadMode::kInline;
+  config.op_batch_size = 16;
+  KeyWriteSetup kw;
+  kw.num_slots = smoke ? (1ull << 16) : (1ull << 21);
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  config.snapshot_chunk_bytes = 4096;
+  // Measure the pure patch path across the whole sweep (no full-copy
+  // fallback), so the curve shows the crossover honestly.
+  config.snapshot_full_copy_ratio = 1.1;
+  CollectorRuntime runtime(config);
+
+  std::uint64_t next_key = 0;
+  auto write = [&](std::uint64_t id) {
+    proto::KeyWriteReport r;
+    r.key = benchutil::mixed_key(id);
+    r.redundancy = 1;
+    common::put_u32(r.data, static_cast<std::uint32_t>(id));
+    runtime.submit({proto::DtaHeader{}, std::move(r)});
+  };
+  for (std::uint64_t id = 0; id < kw.num_slots / 2; ++id) write(next_key++);
+  runtime.flush();
+  (void)runtime.snapshot_shard(0);  // first build: full copy, tracker reset
+
+  const std::uint64_t store_bytes =
+      runtime.shard(0).service().keywrite_region()->length();
+  const double chunks =
+      static_cast<double>(store_bytes) / config.snapshot_chunk_bytes;
+
+  std::printf("\n(d) refresh cost vs dirty ratio: incremental "
+              "(chunk-patched) vs full copy\n");
+  std::printf("    store %s, chunk %u B\n",
+              benchutil::eng(static_cast<double>(store_bytes)).c_str(),
+              config.snapshot_chunk_bytes);
+  std::printf("%8s %8s %8s %14s %12s %10s\n", "target", "dirty", "writes",
+              "incremental", "full copy", "speedup");
+
+  std::vector<DirtyPoint> sweep;
+  const unsigned intervals = smoke ? 4 : 10;
+  for (const double pct : {1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0}) {
+    DirtyPoint point;
+    point.target_pct = pct;
+    const double p = pct / 100.0;
+    // Coupon collector: K random slot writes leave ~C(1-e^(-K/C))
+    // chunks dirty; invert for the target (p=1: ~e^-7 of a chunk shy).
+    point.writes = static_cast<unsigned>(
+        chunks * (p >= 1.0 ? 7.0 : -std::log(1.0 - p)));
+    if (point.writes == 0) point.writes = 1;
+
+    double dirty_sum = 0.0;
+    benchutil::WallTimer incremental_timer;
+    double incremental_s = 0.0;
+    for (unsigned f = 0; f < intervals; ++f) {
+      for (unsigned w = 0; w < point.writes; ++w) write(next_key++);
+      runtime.flush();
+      dirty_sum += runtime.shard(0).dirty_tracker().dirty_ratio();
+      incremental_timer.reset();
+      auto snap = runtime.snapshot_shard(0);  // patches dirty chunks
+      incremental_s += incremental_timer.seconds();
     }
-    std::fprintf(json,
-                 "  ],\n  \"cache\": {\"hits\": %llu, \"misses\": %llu}\n}\n",
-                 static_cast<unsigned long long>(stats.hits),
-                 static_cast<unsigned long long>(stats.misses));
-    std::fclose(json);
-    std::printf("\nwrote BENCH_snapshot_cache.json\n");
+    point.achieved_ratio = dirty_sum / intervals;
+    point.incremental_us = incremental_s / intervals * 1e6;
+
+    double full_s = 0.0;
+    benchutil::WallTimer full_timer;
+    for (unsigned f = 0; f < intervals; ++f) {
+      for (unsigned w = 0; w < point.writes; ++w) write(next_key++);
+      runtime.flush();
+      full_timer.reset();
+      auto snap = runtime.snapshot_shard_fresh(0);  // always a full copy
+      full_s += full_timer.seconds();
+    }
+    point.full_us = full_s / intervals * 1e6;
+    // copy_fresh leaves the dirty set in place; consume it so the next
+    // point's incremental series starts from a clean tracker.
+    (void)runtime.snapshot_shard(0);
+
+    point.speedup_vs_full =
+        point.incremental_us > 0 ? point.full_us / point.incremental_us : 0;
+    std::printf("%7.0f%% %7.1f%% %8u %12.1fus %10.1fus %9.2fx\n", pct,
+                point.achieved_ratio * 100.0, point.writes,
+                point.incremental_us, point.full_us, point.speedup_vs_full);
+    sweep.push_back(point);
   }
+  return sweep;
+}
+
+// Machine-readable output for sections (c)+(d). The "gate" object is
+// what bench/check_regression.py compares against bench/baselines/.
+void write_bench_json(const CacheSweepResult& cache,
+                      const std::vector<DirtyPoint>& dirty) {
+  FILE* json = std::fopen("BENCH_snapshot_cache.json", "w");
+  if (!json) return;
+  std::fprintf(json,
+               "{\n  \"store_bytes\": %llu,\n  \"copy_ns\": %.1f,\n"
+               "  \"query_ns\": %.1f,\n  \"sweep\": [\n",
+               static_cast<unsigned long long>(cache.store_bytes),
+               cache.t_copy * 1e9, cache.t_query * 1e9);
+  for (std::size_t i = 0; i < cache.sweep.size(); ++i) {
+    const CachePoint& p = cache.sweep[i];
+    std::fprintf(
+        json,
+        "    {\"queries_per_flush\": %u, \"fresh_qps\": %.1f, "
+        "\"cached_qps\": %.1f, \"modeled_fresh_qps\": %.1f, "
+        "\"modeled_cached_qps\": %.1f, \"modeled_speedup\": %.3f, "
+        "\"measured_speedup\": %.3f}%s\n",
+        p.queries_per_flush, p.fresh_qps, p.cached_qps, p.modeled_fresh,
+        p.modeled_cached, p.modeled_cached / p.modeled_fresh,
+        p.fresh_qps > 0 ? p.cached_qps / p.fresh_qps : 0.0,
+        i + 1 < cache.sweep.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"cache\": {\"hits\": %llu, \"misses\": %llu},\n"
+               "  \"dirty_sweep\": [\n",
+               static_cast<unsigned long long>(cache.stats.hits),
+               static_cast<unsigned long long>(cache.stats.misses));
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const DirtyPoint& p = dirty[i];
+    std::fprintf(json,
+                 "    {\"target_pct\": %.0f, \"achieved_ratio\": %.4f, "
+                 "\"writes\": %u, \"incremental_us\": %.2f, "
+                 "\"full_us\": %.2f, \"speedup_vs_full\": %.3f}%s\n",
+                 p.target_pct, p.achieved_ratio, p.writes, p.incremental_us,
+                 p.full_us, p.speedup_vs_full,
+                 i + 1 < dirty.size() ? "," : "");
+  }
+  // Gate metrics: ratios, not absolute rates, so the regression gate is
+  // portable across runner hardware.
+  const CachePoint& top_q = cache.sweep.back();
+  const DirtyPoint& low_dirty = dirty.front();
+  const DirtyPoint& mid_dirty = dirty[dirty.size() / 2];
+  std::fprintf(
+      json,
+      "  ],\n  \"gate\": {\n"
+      "    \"cached_speedup_top_q\": %.3f,\n"
+      "    \"incremental_speedup_low_dirty\": %.3f,\n"
+      "    \"incremental_speedup_mid_dirty\": %.3f\n  }\n}\n",
+      top_q.fresh_qps > 0 ? top_q.cached_qps / top_q.fresh_qps : 0.0,
+      low_dirty.speedup_vs_full, mid_dirty.speedup_vs_full);
+  std::fclose(json);
+  std::printf("\nwrote BENCH_snapshot_cache.json\n");
 }
 
 }  // namespace
@@ -203,8 +357,10 @@ int main(int argc, char** argv) {
       "(a) near-linear core scaling (4 cores: 7.1M q/s at N=2); "
       "(b) time dominated by CRC checksum + slot fetch");
   if (smoke) {
-    // CI-sized: only the snapshot-cache sweep, small store.
-    run_snapshot_cache_sweep(true);
+    // CI-sized: only the snapshot-tier sweeps, small store.
+    const CacheSweepResult cache = run_snapshot_cache_sweep(true);
+    const std::vector<DirtyPoint> dirty = run_dirty_ratio_sweep(true);
+    write_bench_json(cache, dirty);
     return 0;
   }
 
@@ -285,6 +441,8 @@ int main(int argc, char** argv) {
   std::printf("\npaper: most time in CRC hashing (checksum + slot "
               "addresses); 4 cores = 7.1M q/s at N=2\n");
 
-  run_snapshot_cache_sweep(false);
+  const CacheSweepResult cache = run_snapshot_cache_sweep(false);
+  const std::vector<DirtyPoint> dirty = run_dirty_ratio_sweep(false);
+  write_bench_json(cache, dirty);
   return 0;
 }

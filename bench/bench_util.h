@@ -58,6 +58,7 @@ inline proto::TelemetryKey mixed_key(std::uint64_t id) {
 class WallTimer {
  public:
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
   double seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_)

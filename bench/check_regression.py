@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a bench run's JSON output against a checked-in baseline and
+fails when any gated metric regressed beyond the tolerance. Gated
+metrics are the numeric leaves of the baseline's "gate" object (or the
+object named by --key); every one is treated as higher-is-better, and
+baselines are committed as conservative *floors* (ratios, not absolute
+rates) so the gate is portable across runner hardware.
+
+A current value passes iff:  current >= baseline * (1 - tolerance)
+
+Usage:
+  python3 bench/check_regression.py \
+      --baseline bench/baselines/BENCH_snapshot_cache.json \
+      --current BENCH_snapshot_cache.json \
+      --tolerance 0.15
+
+Refreshing baselines: run the bench (e.g. `bench_fig11_keywrite_query
+--smoke`), inspect the emitted "gate" values, and commit floors safely
+below what CI-class hardware produces — the gate should catch a broken
+fast path (ratios collapsing toward 1), not machine jitter.
+
+Exit status: 0 all metrics within tolerance, 1 otherwise (including
+missing metrics or unreadable files).
+"""
+
+import argparse
+import json
+import sys
+
+
+def numeric_leaves(node, prefix=""):
+    """Yields (dotted_path, value) for every numeric leaf under node."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield prefix, float(node)
+    elif isinstance(node, dict):
+        for key in sorted(node):
+            path = f"{prefix}.{key}" if prefix else key
+            yield from numeric_leaves(node[key], path)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            yield from numeric_leaves(item, f"{prefix}[{i}]")
+
+
+def lookup(node, path):
+    """Resolves a dotted path (with [i] indexes) produced above."""
+    for part in path.replace("]", "").split("."):
+        for piece in part.split("["):
+            if piece == "":
+                continue
+            if isinstance(node, list):
+                node = node[int(piece)]
+            elif isinstance(node, dict) and piece in node:
+                node = node[piece]
+            else:
+                return None
+    return node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON (the floors)")
+    parser.add_argument("--current", required=True,
+                        help="freshly emitted bench JSON")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop below the baseline "
+                             "floor (default 0.15)")
+    parser.add_argument("--key", default="gate",
+                        help="object holding the gated metrics "
+                             "(default: 'gate'; '' gates every numeric "
+                             "leaf in the baseline)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL: cannot load inputs: {err}")
+        return 1
+
+    gated_baseline = baseline.get(args.key) if args.key else baseline
+    gated_current = current.get(args.key) if args.key else current
+    if gated_baseline is None:
+        print(f"FAIL: baseline has no '{args.key}' object")
+        return 1
+    if gated_current is None:
+        print(f"FAIL: current run has no '{args.key}' object")
+        return 1
+
+    metrics = list(numeric_leaves(gated_baseline))
+    if not metrics:
+        print("FAIL: baseline gates no numeric metrics")
+        return 1
+
+    failures = 0
+    width = max(len(path) for path, _ in metrics)
+    print(f"{'metric':<{width}} {'baseline':>10} {'floor':>10} "
+          f"{'current':>10}  status")
+    for path, floor_value in metrics:
+        value = lookup(gated_current, path)
+        floor = floor_value * (1.0 - args.tolerance)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            print(f"{path:<{width}} {floor_value:>10.3f} {floor:>10.3f} "
+                  f"{'missing':>10}  FAIL")
+            failures += 1
+            continue
+        ok = float(value) >= floor
+        print(f"{path:<{width}} {floor_value:>10.3f} {floor:>10.3f} "
+              f"{float(value):>10.3f}  {'ok' if ok else 'FAIL'}")
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"\n{failures} gated metric(s) regressed beyond "
+              f"{args.tolerance:.0%} of baseline "
+              f"({args.baseline} vs {args.current})")
+        return 1
+    print(f"\nall {len(metrics)} gated metrics within {args.tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -46,6 +47,18 @@ class AppendStore {
   std::uint64_t entries_per_list() const { return entries_per_list_; }
   std::uint32_t entry_bytes() const { return entry_bytes_; }
   std::uint64_t polled() const { return polled_; }
+
+  // Byte extent of one ring entry within the store's region ({offset,
+  // length}). Production dirty tracking marks the translator-crafted
+  // batch-write extents directly; this is the store-side statement of
+  // the same layout, the oracle the dirty-tracker tests cross-check
+  // against.
+  std::pair<std::uint64_t, std::uint64_t> entry_byte_range(
+      std::uint32_t list, std::uint64_t entry) const {
+    return {(static_cast<std::uint64_t>(list) * entries_per_list_ + entry) *
+                entry_bytes_,
+            entry_bytes_};
+  }
 
  private:
   const rdma::MemoryRegion* region_;

@@ -1,0 +1,142 @@
+#include "collector/dirty_tracker.h"
+
+#include <algorithm>
+
+namespace dta::collector {
+
+namespace {
+
+// Smallest power of two >= max(value, 64).
+std::uint32_t round_chunk(std::uint32_t value) {
+  std::uint32_t chunk = 64;
+  while (chunk < value && chunk < (1u << 30)) chunk <<= 1;
+  return chunk;
+}
+
+std::uint32_t log2_of(std::uint32_t pow2) {
+  std::uint32_t shift = 0;
+  while ((1u << shift) < pow2) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+DirtyTracker::DirtyTracker(std::uint32_t chunk_bytes)
+    : chunk_bytes_(round_chunk(chunk_bytes == 0 ? 4096 : chunk_bytes)),
+      chunk_shift_(log2_of(chunk_bytes_)) {}
+
+void DirtyTracker::track(const rdma::MemoryRegion* region) {
+  if (!region || region->length() == 0) return;
+  Tracked tracked;
+  tracked.region = region;
+  tracked.num_chunks =
+      (region->length() + chunk_bytes_ - 1) >> chunk_shift_;
+  tracked.bits.assign((tracked.num_chunks + 63) / 64, 0);
+  tracked_bytes_ += region->length();
+  tracked_.push_back(std::move(tracked));
+}
+
+DirtyTracker::Tracked* DirtyTracker::find(std::uint64_t va, std::size_t len) {
+  for (Tracked& tracked : tracked_) {
+    if (tracked.region->contains(va, len)) return &tracked;
+  }
+  return nullptr;
+}
+
+const DirtyTracker::Tracked* DirtyTracker::find_region(
+    const rdma::MemoryRegion* region) const {
+  for (const Tracked& tracked : tracked_) {
+    if (tracked.region == region) return &tracked;
+  }
+  return nullptr;
+}
+
+void DirtyTracker::mark(std::uint64_t va, std::size_t len) {
+  if (len == 0) return;
+  ++stats_.marks;
+  stats_.bytes_marked += len;
+  if (saturated_) return;  // already a full copy; skip the bit work
+  Tracked* tracked = find(va, len);
+  if (!tracked) {
+    // A write we cannot attribute: degrade to full copy, never to a
+    // missed patch.
+    mark_all();
+    return;
+  }
+  const std::uint64_t base = tracked->region->base_va();
+  const std::uint64_t first = (va - base) >> chunk_shift_;
+  const std::uint64_t last = (va - base + len - 1) >> chunk_shift_;
+  for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+    const std::uint64_t mask = 1ull << (chunk & 63);
+    std::uint64_t& word = tracked->bits[chunk >> 6];
+    if (!(word & mask)) {
+      word |= mask;
+      ++tracked->dirty_chunks;
+    }
+  }
+}
+
+void DirtyTracker::mark_all() {
+  saturated_ = true;
+  ++stats_.saturations;
+}
+
+void DirtyTracker::clear() {
+  saturated_ = false;
+  for (Tracked& tracked : tracked_) {
+    if (tracked.dirty_chunks == 0) continue;
+    std::fill(tracked.bits.begin(), tracked.bits.end(), 0);
+    tracked.dirty_chunks = 0;
+  }
+}
+
+std::uint64_t DirtyTracker::dirty_bytes() const {
+  if (saturated_) return tracked_bytes_;
+  std::uint64_t total = 0;
+  for (const Tracked& tracked : tracked_) {
+    total += std::min<std::uint64_t>(
+        tracked.dirty_chunks << chunk_shift_, tracked.region->length());
+  }
+  return total;
+}
+
+double DirtyTracker::dirty_ratio() const {
+  if (tracked_bytes_ == 0) return 0.0;
+  return static_cast<double>(dirty_bytes()) /
+         static_cast<double>(tracked_bytes_);
+}
+
+std::vector<DirtyTracker::Range> DirtyTracker::dirty_ranges(
+    const rdma::MemoryRegion* region) const {
+  std::vector<Range> ranges;
+  if (!region || region->length() == 0) return ranges;
+  const Tracked* tracked = find_region(region);
+  if (saturated_ || !tracked) {
+    ranges.emplace_back(0, region->length());
+    return ranges;
+  }
+  if (tracked->dirty_chunks == 0) return ranges;
+  const std::uint64_t length = region->length();
+  std::uint64_t run_start = 0;
+  bool in_run = false;
+  for (std::uint64_t chunk = 0; chunk < tracked->num_chunks; ++chunk) {
+    const bool dirty =
+        (tracked->bits[chunk >> 6] >> (chunk & 63)) & 1;
+    if (dirty && !in_run) {
+      run_start = chunk;
+      in_run = true;
+    } else if (!dirty && in_run) {
+      const std::uint64_t begin = run_start << chunk_shift_;
+      ranges.emplace_back(begin,
+                          std::min(chunk << chunk_shift_, length) - begin);
+      in_run = false;
+    }
+  }
+  if (in_run) {
+    const std::uint64_t begin = run_start << chunk_shift_;
+    ranges.emplace_back(begin, length - begin);
+  }
+  return ranges;
+}
+
+}  // namespace dta::collector

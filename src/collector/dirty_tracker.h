@@ -1,0 +1,101 @@
+// Dirty-chunk tracking for incremental snapshot refresh.
+//
+// PR 3's SnapshotCache made store copies O(flushes) instead of
+// O(queries), but each refresh still memcpys the *entire* shard store
+// under a worker quiesce. At production store sizes that stall grows
+// linearly with the store even when an op batch dirtied a handful of
+// slots. The tracker records which fixed-size chunks of each registered
+// store region were written since the last snapshot consume, so a
+// refresh can copy only the dirtied bytes — the quiesce window then
+// scales with mutation, not store size.
+//
+// Granularity: regions are divided into chunks of `chunk_bytes`
+// (rounded up to a power of two, min 64 B). One bit per chunk; the
+// shard's delivery loop marks the byte range of every executed RDMA op
+// (WRITE payload extents, 8 B per FETCH_ADD — the only two verbs that
+// touch registered store memory). An op landing outside every tracked
+// region saturates the tracker (mark_all), so unknown writes degrade to
+// a full copy instead of a missed patch.
+//
+// Thread safety: none — by design. Marks happen on the shard's ingest
+// thread (worker or inline caller); reads and clear() happen only
+// inside a quiesce window (worker parked behind the pipeline's hold
+// barrier), whose handshake orders them against the marks. The tracker
+// must never be read while the shard is ingesting.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rdma/memory_region.h"
+
+namespace dta::collector {
+
+struct DirtyTrackerStats {
+  std::uint64_t marks = 0;         // mark() calls since construction
+  std::uint64_t bytes_marked = 0;  // sum of marked extents (pre-dedup)
+  std::uint64_t saturations = 0;   // mark_all / out-of-range fallbacks
+};
+
+class DirtyTracker {
+ public:
+  // Byte range within one region: {offset, length}.
+  using Range = std::pair<std::uint64_t, std::uint64_t>;
+
+  explicit DirtyTracker(std::uint32_t chunk_bytes = 4096);
+
+  // Registers a region for tracking. Null regions are ignored. Call
+  // before any mark (the shard tracks its store regions at setup).
+  void track(const rdma::MemoryRegion* region);
+
+  // Marks the chunks covering [va, va + len) dirty. A range outside
+  // every tracked region saturates the tracker instead (safety: the
+  // next refresh falls back to a full copy).
+  void mark(std::uint64_t va, std::size_t len);
+
+  // Everything dirty; the next refresh must full-copy.
+  void mark_all();
+
+  // Resets all chunks to clean. The snapshot refresher calls this once
+  // its copy has consumed the dirty set (inside the quiesce window).
+  void clear();
+
+  std::uint32_t chunk_bytes() const { return chunk_bytes_; }
+  std::uint64_t tracked_bytes() const { return tracked_bytes_; }
+  bool saturated() const { return saturated_; }
+
+  // Upper bound on the bytes a refresh must copy (chunk-rounded; equals
+  // tracked_bytes() when saturated).
+  std::uint64_t dirty_bytes() const;
+  // dirty_bytes / tracked_bytes (0 when nothing is tracked).
+  double dirty_ratio() const;
+
+  // Coalesced dirty byte ranges of `region`, clamped to its length.
+  // A saturated tracker — or an untracked region — reports one range
+  // covering the whole region, so consumers degrade to a full copy
+  // rather than ever missing a write.
+  std::vector<Range> dirty_ranges(const rdma::MemoryRegion* region) const;
+
+  const DirtyTrackerStats& stats() const { return stats_; }
+
+ private:
+  struct Tracked {
+    const rdma::MemoryRegion* region = nullptr;
+    std::vector<std::uint64_t> bits;  // one bit per chunk
+    std::uint64_t num_chunks = 0;
+    std::uint64_t dirty_chunks = 0;
+  };
+
+  Tracked* find(std::uint64_t va, std::size_t len);
+  const Tracked* find_region(const rdma::MemoryRegion* region) const;
+
+  std::uint32_t chunk_bytes_;
+  std::uint32_t chunk_shift_;
+  std::uint64_t tracked_bytes_ = 0;
+  bool saturated_ = false;
+  std::vector<Tracked> tracked_;
+  DirtyTrackerStats stats_;
+};
+
+}  // namespace dta::collector

@@ -87,6 +87,10 @@ std::uint64_t IngestPipeline::submitted(std::uint32_t shard) const {
   return lanes_[shard]->submitted.load(std::memory_order_acquire);
 }
 
+std::uint64_t IngestPipeline::quiesces(std::uint32_t shard) const {
+  return lanes_[shard]->quiesces.load(std::memory_order_relaxed);
+}
+
 std::uint64_t IngestPipeline::request_flush(std::uint32_t shard) {
   return lanes_[shard]->flushes_requested.fetch_add(
              1, std::memory_order_acq_rel) +
@@ -128,6 +132,7 @@ void IngestPipeline::flush_shard(std::uint32_t shard) {
 }
 
 void IngestPipeline::begin_quiesce(std::uint32_t shard) {
+  lanes_[shard]->quiesces.fetch_add(1, std::memory_order_relaxed);
   if (!threaded_ || stopped_.load(std::memory_order_acquire)) {
     // Single-threaded contract: the caller is the only thread touching
     // the shard, so a plain flush is a complete quiesce.

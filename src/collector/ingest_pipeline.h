@@ -112,6 +112,12 @@ class IngestPipeline {
   // thread; the snapshot cache's read-your-submits stamp).
   std::uint64_t submitted(std::uint32_t shard) const;
 
+  // Count of quiesce windows ever opened on shard `shard` (any mode,
+  // including the inline and post-stop fallbacks). Bounded-staleness
+  // serving is asserted against this: a snapshot served within budget
+  // must not have opened a window.
+  std::uint64_t quiesces(std::uint32_t shard) const;
+
   // Drains, flushes and joins the workers. Idempotent; the destructor
   // calls it. Do not stop() while a quiesce window is open.
   void stop();
@@ -136,6 +142,9 @@ class IngestPipeline {
     // parks while `hold` is set.
     std::atomic<std::uint64_t> holds_requested{0};
     std::atomic<std::uint64_t> holds_granted{0};
+    // Total quiesce windows opened (all modes; holds_requested only
+    // counts the threaded handshake).
+    std::atomic<std::uint64_t> quiesces{0};
     std::atomic<bool> hold{false};
     // Set by the worker right before it returns (it can never write
     // store memory again): the holder's escape hatch when stop() races

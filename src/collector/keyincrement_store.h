@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "dta/wire.h"
 #include "rdma/memory_region.h"
@@ -32,6 +33,16 @@ class KeyIncrementStore {
   void reset();
 
   std::uint64_t num_slots() const { return num_slots_; }
+  static constexpr std::uint32_t slot_bytes() { return 8; }
+
+  // Byte extent of counter `slot` within the store's region ({offset,
+  // length}). Production dirty tracking marks the op extents directly
+  // (8 B per FETCH_ADD); this is the store-side statement of the same
+  // layout, the oracle the dirty-tracker tests cross-check against.
+  std::pair<std::uint64_t, std::uint64_t> slot_byte_range(
+      std::uint64_t slot) const {
+    return {slot * slot_bytes(), slot_bytes()};
+  }
 
  private:
   rdma::MemoryRegion* region_;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "dta/wire.h"
@@ -54,6 +55,16 @@ class KeyWriteStore {
   std::uint32_t value_bytes() const { return value_bytes_; }
   std::uint32_t slot_bytes() const { return 4 + value_bytes_; }
   std::uint32_t checksum_bits() const { return checksum_bits_; }
+
+  // Byte extent of slot `slot` within the store's region ({offset,
+  // length}). Production dirty tracking marks the translator-crafted op
+  // extents (remote_va + payload) directly; this is the store-side
+  // statement of the same slot→bytes layout, the oracle the dirty-
+  // tracker tests cross-check marked ranges against.
+  std::pair<std::uint64_t, std::uint64_t> slot_byte_range(
+      std::uint64_t slot) const {
+    return {slot * slot_bytes(), slot_bytes()};
+  }
 
  private:
   std::uint32_t checksum_mask() const {

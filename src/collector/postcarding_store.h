@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dta/wire.h"
@@ -52,6 +53,15 @@ class PostcardingStore {
   std::uint64_t num_chunks() const { return num_chunks_; }
   std::uint8_t hops() const { return hops_; }
   std::uint32_t chunk_bytes() const { return padded_hops_ * 4; }
+
+  // Byte extent of chunk `chunk` within the store's region ({offset,
+  // length}). Production dirty tracking marks the chunk-write op
+  // extents directly; this is the store-side statement of the same
+  // layout, the oracle the dirty-tracker tests cross-check against.
+  std::pair<std::uint64_t, std::uint64_t> chunk_byte_range(
+      std::uint64_t chunk) const {
+    return {chunk * chunk_bytes(), chunk_bytes()};
+  }
 
  private:
   std::optional<std::uint32_t> invert(std::uint32_t code) const;

@@ -15,7 +15,8 @@ std::uint64_t slice(std::uint64_t total, std::uint32_t shards,
 }  // namespace
 
 CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      staleness_budget_(config_.staleness_budget) {
   if (config_.num_shards == 0) config_.num_shards = 1;
   const std::uint32_t n = config_.num_shards;
 
@@ -25,6 +26,7 @@ CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
     sc.op_batch_size = config_.op_batch_size;
     sc.append_batch_size = config_.append_batch_size;
     sc.postcard_cache_slots = config_.postcard_cache_slots;
+    sc.snapshot_chunk_bytes = config_.snapshot_chunk_bytes;
     if (config_.keywrite) {
       KeyWriteSetup kw = *config_.keywrite;
       kw.num_slots = slice(kw.num_slots, n, 1024);
@@ -73,7 +75,11 @@ CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
   pc.numa_first_touch = config_.numa_first_touch;
   pipeline_ = std::make_unique<IngestPipeline>(std::move(shard_ptrs), pc);
   query_ = std::make_unique<QueryFrontend>(std::move(services));
-  snapshot_cache_ = std::make_unique<SnapshotCache>(shards_.size());
+  SnapshotCacheConfig cache_config;
+  cache_config.incremental = config_.incremental_snapshots;
+  cache_config.full_copy_dirty_ratio = config_.snapshot_full_copy_ratio;
+  snapshot_cache_ =
+      std::make_unique<SnapshotCache>(shards_.size(), cache_config);
 }
 
 CollectorRuntime::~CollectorRuntime() { stop(); }
@@ -127,6 +133,22 @@ std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard(
     return hit;
   }
   return snapshot_cache_->refresh(i, *pipeline_, *shards_[i]);
+}
+
+std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard_bounded(
+    std::uint32_t i, std::uint64_t min_covers_seq) {
+  // Exactly-current first (a plain hit beats a stale one), then the
+  // staleness budget — a within-budget snapshot is served with no
+  // refresh and no quiesce — then the refresh slow path.
+  SnapshotCache& cache = *snapshot_cache_;
+  const std::uint64_t generation = shards_[i]->generation();
+  const std::uint64_t submitted = pipeline_->submitted(i);
+  if (auto hit = cache.lookup(i, generation, submitted)) return hit;
+  const SnapshotStalenessBudget& budget = staleness_budget_;
+  if (auto s = cache.lookup_bounded(i, generation, budget, min_covers_seq)) {
+    return s;
+  }
+  return cache.refresh(i, *pipeline_, *shards_[i]);
 }
 
 std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard_fresh(

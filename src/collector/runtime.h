@@ -54,6 +54,18 @@ struct CollectorRuntimeConfig {
   bool pin_workers = false;
   std::vector<int> worker_cores;
   bool numa_first_touch = true;
+
+  // Snapshot tier. Incremental refresh patches only the chunks ingest
+  // dirtied since the last refresh (snapshot_chunk_bytes granularity,
+  // rounded up to a power of two) instead of recopying whole stores;
+  // past snapshot_full_copy_ratio dirty it falls back to one full
+  // memcpy. The staleness budget lets snapshot_shard_bounded serve a
+  // cached snapshot within the budget without any refresh or quiesce
+  // (disabled by default: zero budget means exact freshness).
+  bool incremental_snapshots = true;
+  std::uint32_t snapshot_chunk_bytes = 4096;
+  double snapshot_full_copy_ratio = 0.5;
+  SnapshotStalenessBudget staleness_budget;
 };
 
 struct CollectorRuntimeStats {
@@ -100,10 +112,30 @@ class CollectorRuntime {
   // pipeline, call it from the control thread only.
   std::shared_ptr<const StoreSnapshot> snapshot_shard(std::uint32_t i);
 
+  // Bounded-staleness variant: like snapshot_shard, but a cached
+  // snapshot whose generation lag and age fit the configured
+  // staleness_budget is served as-is — stale, but within budget — with
+  // no refresh and no quiesce at all. A non-zero `min_covers_seq`
+  // (typically pipeline().submitted(i)) is the read-your-submits
+  // override: a cached snapshot that does not cover it is never served
+  // stale, budget or not. With the budget disabled (the default) this
+  // is exactly snapshot_shard.
+  std::shared_ptr<const StoreSnapshot> snapshot_shard_bounded(
+      std::uint32_t i, std::uint64_t min_covers_seq = 0);
+
   // Uncached variant: always pays the copy (the bench baseline and the
   // cache's correctness oracle). Same threading rules as snapshot_shard;
   // does not publish into the cache.
   std::shared_ptr<const StoreSnapshot> snapshot_shard_fresh(std::uint32_t i);
+
+  // Replaces the staleness budget consulted by snapshot_shard_bounded.
+  // Call from the control thread (not concurrently with queries).
+  void set_staleness_budget(const SnapshotStalenessBudget& budget) {
+    staleness_budget_ = budget;
+  }
+  const SnapshotStalenessBudget& staleness_budget() const {
+    return staleness_budget_;
+  }
 
   // Drops every cached snapshot (the cluster tier calls this when this
   // host is declared dead, so its frozen stores stop answering).
@@ -129,6 +161,7 @@ class CollectorRuntime {
 
  private:
   CollectorRuntimeConfig config_;
+  SnapshotStalenessBudget staleness_budget_;
   std::vector<std::unique_ptr<CollectorShard>> shards_;
   std::unique_ptr<IngestPipeline> pipeline_;
   std::unique_ptr<QueryFrontend> query_;

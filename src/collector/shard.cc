@@ -7,7 +7,8 @@ namespace dta::collector {
 CollectorShard::CollectorShard(std::uint32_t index, const ShardConfig& config)
     : index_(index),
       op_batch_size_(config.op_batch_size == 0 ? 1 : config.op_batch_size),
-      service_(config.nic) {
+      service_(config.nic),
+      dirty_(config.snapshot_chunk_bytes) {
   // Placement hint before any store memory is allocated: regions the
   // enable_* calls register below are asked onto the worker's node.
   if (config.numa_node >= 0) {
@@ -51,6 +52,13 @@ CollectorShard::CollectorShard(std::uint32_t index, const ShardConfig& config)
 
   crafter_ = std::make_unique<translator::RdmaCrafter>(
       translator::CrafterEndpoints{}, accept.responder_qpn, accept.start_psn);
+
+  // Every registered store region is chunk-tracked so snapshot refresh
+  // can copy only what the delivered batches actually dirtied.
+  dirty_.track(service_.keywrite_region());
+  dirty_.track(service_.postcarding_region());
+  dirty_.track(service_.append_region());
+  dirty_.track(service_.keyincrement_region());
 }
 
 void CollectorShard::ingest(const proto::ParsedDta& parsed) {
@@ -89,6 +97,21 @@ void CollectorShard::deliver_batch() {
   // back over the staged ops without returning to the ingest loop.
   ++stats_.batch_flushes;
   for (const auto& op : pending_) {
+    // Mark the op's byte extent dirty before executing it (over-
+    // approximate on failure — a spurious chunk copy is harmless, a
+    // missed one is a stale snapshot). WRITEs dirty their payload
+    // extent, FETCH_ADDs one 8 B counter; SENDs never touch registered
+    // store memory.
+    switch (op.kind) {
+      case translator::RdmaOp::Kind::kWrite:
+        dirty_.mark(op.remote_va, op.payload.size());
+        break;
+      case translator::RdmaOp::Kind::kFetchAdd:
+        dirty_.mark(op.remote_va, 8);
+        break;
+      case translator::RdmaOp::Kind::kSend:
+        break;
+    }
     net::Packet frame = crafter_->craft(op);
     const auto outcome = service_.nic().ingest(frame);
     if (outcome && outcome->responder.executed) {

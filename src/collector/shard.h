@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "collector/dirty_tracker.h"
 #include "collector/rdma_service.h"
 #include "translator/append_engine.h"
 #include "translator/keyincrement_engine.h"
@@ -43,6 +44,9 @@ struct ShardConfig {
   // NUMA node the shard's registered store memory should live on
   // (derived from the shard worker's core by the runtime; -1: unbound).
   int numa_node = -1;
+  // Dirty-chunk granularity for incremental snapshot refresh (rounded
+  // up to a power of two, min 64 B).
+  std::uint32_t snapshot_chunk_bytes = 4096;
 };
 
 struct ShardStats {
@@ -83,6 +87,14 @@ class CollectorShard {
     return generation_.load(std::memory_order_acquire);
   }
 
+  // Dirty-chunk set accumulated since the last snapshot consume: the
+  // delivery loop marks every executed op's byte extent. Written on the
+  // ingest thread; read and cleared by the snapshot refresher only
+  // inside a quiesce window (the hold-barrier handshake orders the
+  // two).
+  DirtyTracker& dirty_tracker() { return dirty_; }
+  const DirtyTracker& dirty_tracker() const { return dirty_; }
+
   // NUMA first-touch pass: reallocates and touches every enabled store
   // region from the calling thread (see MemoryRegion::first_touch_rebind).
   // The ingest pipeline calls this once from the pinned shard worker,
@@ -105,6 +117,7 @@ class CollectorShard {
   std::unique_ptr<translator::PostcardCache> postcarding_;
   std::unique_ptr<translator::AppendEngine> append_;
   std::vector<translator::RdmaOp> pending_;
+  DirtyTracker dirty_;
   ShardStats stats_;
   std::atomic<std::uint64_t> generation_{0};
 };

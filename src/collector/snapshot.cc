@@ -1,6 +1,9 @@
 #include "collector/snapshot.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "collector/dirty_tracker.h"
 
 namespace dta::collector {
 
@@ -48,6 +51,80 @@ StoreSnapshot::StoreSnapshot(const RdmaService& service,
     keyincrement_ = std::make_unique<KeyIncrementStore>(
         ki_mem_.get(), service.keyincrement()->num_slots());
   }
+}
+
+std::unique_ptr<StoreSnapshot> StoreSnapshot::clone(
+    const RdmaService& service) const {
+  // Not make_unique: the shell constructor is private.
+  std::unique_ptr<StoreSnapshot> out(new StoreSnapshot(generation_));
+  if (keywrite_) {
+    const KeyWriteSetup& setup = *service.keywrite_setup();
+    out->kw_mem_ = out->copy_region(kw_mem_.get());
+    out->keywrite_ = std::make_unique<KeyWriteStore>(
+        out->kw_mem_.get(), keywrite_->num_slots(), setup.value_bytes,
+        setup.checksum_bits);
+  }
+  if (postcarding_) {
+    const PostcardingSetup& setup = *service.postcarding_setup();
+    out->pc_mem_ = out->copy_region(pc_mem_.get());
+    out->postcarding_ = std::make_unique<PostcardingStore>(
+        out->pc_mem_.get(), postcarding_->num_chunks(), postcarding_->hops(),
+        setup.value_space);
+  }
+  if (append_) {
+    out->ap_mem_ = out->copy_region(ap_mem_.get());
+    out->append_ = std::make_unique<AppendStore>(
+        out->ap_mem_.get(), append_->num_lists(), append_->entries_per_list(),
+        append_->entry_bytes());
+    for (std::uint32_t list = 0; list < append_->num_lists(); ++list) {
+      out->append_->set_tail(list, append_->tail(list));
+    }
+  }
+  if (keyincrement_) {
+    out->ki_mem_ = out->copy_region(ki_mem_.get());
+    out->keyincrement_ = std::make_unique<KeyIncrementStore>(
+        out->ki_mem_.get(), keyincrement_->num_slots());
+  }
+  return out;
+}
+
+std::uint64_t StoreSnapshot::refresh_from(const RdmaService& service,
+                                          std::uint64_t generation,
+                                          const DirtyTracker& dirty,
+                                          bool full_copy) {
+  std::uint64_t copied = 0;
+  const auto patch = [&](rdma::MemoryRegion* dst,
+                         const rdma::MemoryRegion* live) {
+    if (!dst || !live) return;
+    if (full_copy || dst->length() != live->length()) {
+      // min() guards the mismatch branch itself: if the geometry
+      // invariant ever breaks, degrade to a short copy, not a heap
+      // overflow.
+      const std::size_t length = std::min(dst->length(), live->length());
+      std::memcpy(dst->data(), live->data(), length);
+      copied += length;
+      return;
+    }
+    for (const auto& range : dirty.dirty_ranges(live)) {
+      std::memcpy(dst->data() + range.first, live->data() + range.first,
+                  range.second);
+      copied += range.second;
+    }
+  };
+  patch(kw_mem_.get(), service.keywrite_region());
+  patch(pc_mem_.get(), service.postcarding_region());
+  patch(ap_mem_.get(), service.append_region());
+  patch(ki_mem_.get(), service.keyincrement_region());
+  if (append_ && service.append()) {
+    // Re-freeze the polling positions at refresh time, exactly like the
+    // full-copy constructor does.
+    const AppendStore& live = *service.append();
+    for (std::uint32_t list = 0; list < live.num_lists(); ++list) {
+      append_->set_tail(list, live.tail(list));
+    }
+  }
+  generation_ = generation;
+  return copied;
 }
 
 KeyWriteQueryResult StoreSnapshot::keywrite_query(

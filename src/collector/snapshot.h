@@ -26,6 +26,8 @@
 
 namespace dta::collector {
 
+class DirtyTracker;
+
 class StoreSnapshot {
  public:
   // Copies every enabled store of `service`. Call only while the shard
@@ -41,6 +43,31 @@ class StoreSnapshot {
 
   StoreSnapshot(const StoreSnapshot&) = delete;
   StoreSnapshot& operator=(const StoreSnapshot&) = delete;
+
+  // Deep copy of this snapshot: buffers memcpy'd from *this* (immutable,
+  // so the copy is race-free even while the shard ingests — the
+  // SnapshotCache clones pinned snapshots *outside* the quiesce window),
+  // stores rebuilt from `service`'s immutable setups. `service` must be
+  // the service this snapshot was built from.
+  std::unique_ptr<StoreSnapshot> clone(const RdmaService& service) const;
+
+  // Incremental refresh: copies `dirty`'s chunk ranges (or everything,
+  // when `full_copy` is set) from `service`'s live regions into this
+  // snapshot's buffers, re-freezes the Append consumer positions, and
+  // restamps the generation. Call only inside a quiesce window, and
+  // only on a snapshot no reader can reach (the SnapshotCache's pin
+  // protocol guarantees both). Returns the bytes copied.
+  std::uint64_t refresh_from(const RdmaService& service,
+                             std::uint64_t generation,
+                             const DirtyTracker& dirty, bool full_copy);
+
+  // The copied regions (nullptr when the primitive is disabled) — the
+  // byte-for-byte oracle the incremental-vs-full property sweep
+  // compares.
+  const rdma::MemoryRegion* keywrite_mem() const { return kw_mem_.get(); }
+  const rdma::MemoryRegion* postcarding_mem() const { return pc_mem_.get(); }
+  const rdma::MemoryRegion* append_mem() const { return ap_mem_.get(); }
+  const rdma::MemoryRegion* keyincrement_mem() const { return ki_mem_.get(); }
 
   bool has_keywrite() const { return keywrite_ != nullptr; }
   bool has_postcarding() const { return postcarding_ != nullptr; }
@@ -72,6 +99,9 @@ class StoreSnapshot {
                                          std::uint64_t count) const;
 
  private:
+  // Empty shell for clone(): regions and stores are filled in by hand.
+  explicit StoreSnapshot(std::uint64_t generation) : generation_(generation) {}
+
   std::unique_ptr<rdma::MemoryRegion> copy_region(
       const rdma::MemoryRegion* src);
 

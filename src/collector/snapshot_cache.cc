@@ -1,15 +1,62 @@
 #include "collector/snapshot_cache.h"
 
+#include <chrono>
+
 #include "collector/ingest_pipeline.h"
 #include "collector/shard.h"
 
 namespace dta::collector {
 
-SnapshotCache::SnapshotCache(std::size_t num_shards) {
+namespace {
+
+// Total registered store bytes — what a full-copy refresh memcpys.
+std::uint64_t store_footprint(const RdmaService& service) {
+  std::uint64_t total = 0;
+  const rdma::MemoryRegion* regions[] = {
+      service.keywrite_region(), service.postcarding_region(),
+      service.append_region(), service.keyincrement_region()};
+  for (const auto* region : regions) {
+    if (region) total += region->length();
+  }
+  return total;
+}
+
+}  // namespace
+
+SnapshotCache::SnapshotCache(std::size_t num_shards,
+                             SnapshotCacheConfig config)
+    : config_(config) {
   entries_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     entries_.push_back(std::make_unique<Entry>());
   }
+}
+
+std::uint64_t SnapshotCache::now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool SnapshotCache::try_pin(const Stamped& record) {
+  // acq_rel: a successful pin orders this reader's snapshot reads after
+  // any earlier in-place patch, and the failed-CAS observation on the
+  // refresh side orders them before the next one.
+  if (record.pins.fetch_add(1, std::memory_order_acq_rel) >= 0) return true;
+  // Poisoned: a refresh claimed the record for in-place patching.
+  record.pins.fetch_sub(1, std::memory_order_relaxed);
+  return false;
+}
+
+SnapshotCache::SnapshotPtr SnapshotCache::make_handle(StampedPtr record) {
+  const StoreSnapshot* raw = record->snap.get();
+  // The deleter owns the record (keeping the snapshot alive) and drops
+  // the pin with release ordering, so a refresh that later claims the
+  // record via CAS observes every read this handle performed.
+  return SnapshotPtr(raw, [record = std::move(record)](const StoreSnapshot*) {
+    record->pins.fetch_sub(1, std::memory_order_release);
+  });
 }
 
 SnapshotCache::SnapshotPtr SnapshotCache::lookup(std::uint32_t shard,
@@ -18,12 +65,57 @@ SnapshotCache::SnapshotPtr SnapshotCache::lookup(std::uint32_t shard,
   Entry& entry = *entries_[shard];
   StampedPtr record =
       std::atomic_load_explicit(&entry.record, std::memory_order_acquire);
-  if (record && record->snap->generation() == generation &&
+  if (!record || !try_pin(*record)) return nullptr;
+  // Currency checks only after the pin: the pin is what guarantees no
+  // in-place patch is mutating the snapshot (or its stamps) under us.
+  if (record->snap->generation() == generation &&
       record->covers_seq == submitted_seq) {
     hits_.fetch_add(1, std::memory_order_relaxed);
-    return record->snap;
+    return make_handle(std::move(record));
   }
+  record->pins.fetch_sub(1, std::memory_order_release);
   return nullptr;
+}
+
+SnapshotCache::SnapshotPtr SnapshotCache::lookup_bounded(
+    std::uint32_t shard, std::uint64_t generation,
+    const SnapshotStalenessBudget& budget, std::uint64_t min_covers_seq) {
+  if (!budget.enabled()) return nullptr;
+  Entry& entry = *entries_[shard];
+  StampedPtr record =
+      std::atomic_load_explicit(&entry.record, std::memory_order_acquire);
+  if (!record || !try_pin(*record)) return nullptr;
+  // Read-your-submits overrides any budget: a caller that names a
+  // submit floor never gets a snapshot from before it.
+  bool serve = min_covers_seq == 0 || record->covers_seq >= min_covers_seq;
+  if (serve && budget.generations > 0) {
+    const std::uint64_t snap_generation = record->snap->generation();
+    serve = generation - snap_generation <= budget.generations;
+  }
+  if (serve && budget.age_us > 0) {
+    serve = now_us() - record->taken_at_us <= budget.age_us;
+  }
+  if (serve) {
+    stale_hits_.fetch_add(1, std::memory_order_relaxed);
+    return make_handle(std::move(record));
+  }
+  record->pins.fetch_sub(1, std::memory_order_release);
+  return nullptr;
+}
+
+SnapshotCache::SnapshotPtr SnapshotCache::publish(
+    Entry& entry, std::shared_ptr<StoreSnapshot> snap,
+    std::uint64_t covers_seq) {
+  auto record = std::make_shared<Stamped>();
+  record->snap = snap;
+  record->covers_seq = covers_seq;
+  record->taken_at_us = now_us();
+  entry.writable = std::move(snap);
+  StampedPtr published(std::move(record));
+  std::atomic_store_explicit(&entry.record, published,
+                             std::memory_order_release);
+  try_pin(*published);  // fresh record: never poisoned
+  return make_handle(std::move(published));
 }
 
 SnapshotCache::SnapshotPtr SnapshotCache::refresh(std::uint32_t shard_index,
@@ -42,17 +134,56 @@ SnapshotCache::SnapshotPtr SnapshotCache::refresh(std::uint32_t shard_index,
   // here is drained and committed by the barrier, so `covers` is a
   // sound lower bound (reports racing in during the quiesce are simply
   // not covered and will miss the cache later).
-  auto record = std::make_shared<Stamped>();
-  record->covers_seq = pipeline.submitted(shard_index);
+  const std::uint64_t covers_seq = pipeline.submitted(shard_index);
+
+  std::shared_ptr<StoreSnapshot> target;
+  bool incremental = config_.incremental && entry.writable != nullptr;
+  if (incremental) {
+    const StampedPtr old =
+        std::atomic_load_explicit(&entry.record, std::memory_order_acquire);
+    std::int64_t expected = 0;
+    if (old && old->pins.compare_exchange_strong(
+                   expected, kPoisonedPins, std::memory_order_acq_rel,
+                   std::memory_order_relaxed)) {
+      // No live handle and no future pinner: the published snapshot is
+      // unreachable and safe to patch in place.
+      target = entry.writable;
+    } else {
+      // A reader still pins the previous snapshot: copy-on-write. The
+      // clone reads only the immutable previous snapshot, so it runs
+      // *outside* the quiesce window — the worker keeps ingesting while
+      // we pay the full-size copy, and only the chunk patch below
+      // stalls it.
+      target = entry.writable->clone(shard.service());
+      cow_clones_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   pipeline.begin_quiesce(shard_index);
-  record->snap =
-      std::make_shared<const StoreSnapshot>(shard.service(), shard.generation());
+  std::uint64_t copied = 0;
+  if (incremental) {
+    const DirtyTracker& dirty = shard.dirty_tracker();
+    const bool full = dirty.saturated() ||
+                      dirty.dirty_ratio() > config_.full_copy_dirty_ratio;
+    copied = target->refresh_from(shard.service(), shard.generation(), dirty,
+                                  full);
+    (full ? full_refreshes_ : incremental_refreshes_)
+        .fetch_add(1, std::memory_order_relaxed);
+  } else {
+    target = std::make_shared<StoreSnapshot>(shard.service(),
+                                             shard.generation());
+    copied = store_footprint(shard.service());
+    full_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The new publication covers everything delivered so far; the dirty
+  // set is consumed (still inside the window — the worker must not be
+  // marking while we clear).
+  shard.dirty_tracker().clear();
   pipeline.end_quiesce(shard_index);
 
-  std::atomic_store_explicit(&entry.record, StampedPtr(record),
-                             std::memory_order_release);
+  quiesce_bytes_copied_.fetch_add(copied, std::memory_order_relaxed);
   misses_.fetch_add(1, std::memory_order_relaxed);
-  return record->snap;
+  return publish(entry, std::move(target), covers_seq);
 }
 
 SnapshotCache::SnapshotPtr SnapshotCache::copy_fresh(std::uint32_t shard_index,
@@ -61,8 +192,8 @@ SnapshotCache::SnapshotPtr SnapshotCache::copy_fresh(std::uint32_t shard_index,
   Entry& entry = *entries_[shard_index];
   std::lock_guard<std::mutex> lock(entry.refresh_mu);
   pipeline.begin_quiesce(shard_index);
-  auto snap =
-      std::make_shared<const StoreSnapshot>(shard.service(), shard.generation());
+  auto snap = std::make_shared<const StoreSnapshot>(shard.service(),
+                                                    shard.generation());
   pipeline.end_quiesce(shard_index);
   return snap;
 }
@@ -75,6 +206,7 @@ void SnapshotCache::invalidate(std::uint32_t shard) {
   }
   std::atomic_store_explicit(&entry.record, StampedPtr(),
                              std::memory_order_release);
+  entry.writable.reset();
 }
 
 void SnapshotCache::invalidate_all() {
@@ -82,9 +214,10 @@ void SnapshotCache::invalidate_all() {
 }
 
 SnapshotCache::SnapshotPtr SnapshotCache::peek(std::uint32_t shard) const {
-  const StampedPtr record = std::atomic_load_explicit(
-      &entries_[shard]->record, std::memory_order_acquire);
-  return record ? record->snap : nullptr;
+  StampedPtr record = std::atomic_load_explicit(&entries_[shard]->record,
+                                                std::memory_order_acquire);
+  if (!record || !try_pin(*record)) return nullptr;
+  return make_handle(std::move(record));
 }
 
 std::size_t SnapshotCache::cached_count() const {
@@ -98,11 +231,24 @@ std::size_t SnapshotCache::cached_count() const {
   return live;
 }
 
+std::uint64_t SnapshotCache::age_us(std::uint32_t shard) const {
+  const StampedPtr record = std::atomic_load_explicit(
+      &entries_[shard]->record, std::memory_order_acquire);
+  return record ? now_us() - record->taken_at_us : 0;
+}
+
 SnapshotCacheStats SnapshotCache::stats() const {
   SnapshotCacheStats out;
   out.hits = hits_.load(std::memory_order_relaxed);
+  out.stale_hits = stale_hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.incremental_refreshes =
+      incremental_refreshes_.load(std::memory_order_relaxed);
+  out.full_refreshes = full_refreshes_.load(std::memory_order_relaxed);
+  out.cow_clones = cow_clones_.load(std::memory_order_relaxed);
+  out.quiesce_bytes_copied =
+      quiesce_bytes_copied_.load(std::memory_order_relaxed);
   return out;
 }
 

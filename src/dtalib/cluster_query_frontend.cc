@@ -45,7 +45,7 @@ ClusterQueryFrontend::SnapshotPin::SnapshotPin(ClusterRuntime* cluster)
 const ClusterQueryFrontend::Snapshot& ClusterQueryFrontend::SnapshotPin::get(
     std::uint32_t host, std::uint32_t shard) {
   Snapshot& slot = pinned_[host][shard];
-  if (!slot) slot = cluster_->host(host).snapshot_shard(shard);
+  if (!slot) slot = cluster_->host(host).snapshot_shard_bounded(shard);
   return slot;
 }
 
@@ -68,7 +68,7 @@ ClusterQueryFrontend::snapshots_for_key(const proto::TelemetryKey& key) {
   const std::uint32_t shard = cluster_->selector().shard_within_host(key);
   std::vector<Snapshot> snaps;
   for (std::uint32_t h : candidate_hosts(key)) {
-    snaps.push_back(cluster_->host(h).snapshot_shard(shard));
+    snaps.push_back(cluster_->host(h).snapshot_shard_bounded(shard));
   }
   return snaps;
 }
@@ -222,7 +222,7 @@ std::future<std::vector<common::Bytes>> ClusterQueryFrontend::events(
   const std::uint32_t shard = selector.shard_within_host_of_list(host_list);
   const std::uint32_t shard_list =
       common::list_local_id(host_list, cluster_->shards_per_host());
-  auto snap = cluster_->host(*host).snapshot_shard(shard);
+  auto snap = cluster_->host(*host).snapshot_shard_bounded(shard);
   return std::async(std::launch::async,
                     [snap = std::move(snap), shard_list, count] {
                       return snap->append_read(shard_list, count);

@@ -17,6 +17,15 @@
 // sub-ranges resolve against that same pinned generation, so a batch
 // can never see shard A before a flush and shard B after it.
 //
+// Staleness: snapshots are acquired through each host runtime's
+// snapshot_shard_bounded, so a per-host SnapshotStalenessBudget
+// (CollectorRuntimeConfig::staleness_budget, or set_staleness_budget at
+// runtime) lets monitoring-style queries ride a recent cached snapshot
+// without triggering any refresh or quiesce. The budget defaults to
+// disabled — exact freshness, the pre-budget behavior — and a caller
+// that must read its own submits queries the host runtime directly
+// with a covers_seq floor.
+//
 // Merging is redundancy-vote based, one layer for both concerns:
 // within a snapshot the store's N-replica vote, across snapshots the
 // best-vote winner. Under kReplicate the candidates are every *live*

@@ -4,6 +4,7 @@
 // tie the simulation (translator engines + RDMA + stores) to Appendix A.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <tuple>
 
 #include "analysis/kw_bounds.h"
@@ -406,6 +407,145 @@ TEST_P(GenerationSweep, MonotonicGenerationsAndCacheNeverAhead) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GenerationSweep,
                          ::testing::Values(1u, 7u, 21u, 99u, 1234u, 77777u));
+
+// ------------------------------------------------------------------------
+// Incremental snapshot refresh: across randomized op batches over all
+// four store types, the chunk-patched cached snapshot must stay byte-
+// identical to a fresh full copy — including when held snapshots force
+// the copy-on-write clone path. This is the correctness oracle for the
+// dirty-chunk tracker + SnapshotCache::refresh patch path.
+// ------------------------------------------------------------------------
+
+class IncrementalSnapshotSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IncrementalSnapshotSweep, ByteIdenticalToFullCopy) {
+  const unsigned seed = GetParam();
+
+  collector::CollectorRuntimeConfig config;
+  config.num_shards = 1;
+  config.thread_mode = collector::ThreadMode::kInline;  // deterministic
+  config.op_batch_size = 4;
+  config.snapshot_chunk_bytes = 256;  // small chunks: many patch ranges
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 12;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  collector::KeyIncrementSetup ki;
+  ki.num_slots = 1 << 12;
+  config.keyincrement = ki;
+  collector::AppendSetup ap;
+  ap.num_lists = 4;
+  ap.entries_per_list = 256;
+  ap.entry_bytes = 4;
+  config.append = ap;
+  collector::PostcardingSetup pc;
+  pc.num_chunks = 1 << 10;
+  pc.hops = 5;
+  for (std::uint32_t v = 0; v < 256; ++v) pc.value_space.push_back(v);
+  config.postcarding = pc;
+  collector::CollectorRuntime runtime(config);
+
+  const auto identical = [](const rdma::MemoryRegion* a,
+                            const rdma::MemoryRegion* b, const char* what) {
+    ASSERT_EQ(a == nullptr, b == nullptr) << what;
+    if (!a) return;
+    ASSERT_EQ(a->length(), b->length()) << what;
+    EXPECT_EQ(std::memcmp(a->data(), b->data(), a->length()), 0)
+        << what << " diverged from the full-copy reference";
+  };
+
+  common::Rng rng(seed);
+  std::uint64_t next_id = 0;
+  bool ever_pinned = false;
+  std::vector<std::shared_ptr<const collector::StoreSnapshot>> pinned;
+
+  for (int step = 0; step < 250; ++step) {
+    switch (rng.next_below(5)) {
+      case 0: {  // Key-Write burst
+        const auto burst = 1 + rng.next_below(6);
+        for (std::uint64_t i = 0; i < burst; ++i) {
+          proto::KeyWriteReport r;
+          r.key = key_of(next_id++);
+          r.redundancy = static_cast<std::uint8_t>(1 + rng.next_below(3));
+          common::put_u32(r.data, static_cast<std::uint32_t>(next_id));
+          runtime.submit({proto::DtaHeader{}, std::move(r)});
+        }
+        break;
+      }
+      case 1: {  // Key-Increment (FETCH_ADD extents)
+        proto::KeyIncrementReport r;
+        r.key = key_of(rng.next_below(64));
+        r.redundancy = 2;
+        r.counter = 1 + rng.next_below(100);
+        runtime.submit({proto::DtaHeader{}, std::move(r)});
+        break;
+      }
+      case 2: {  // Postcarding (chunk writes via the postcard cache)
+        const std::uint64_t flow = rng.next_below(64);
+        for (std::uint8_t hop = 0; hop < 5; ++hop) {
+          proto::PostcardReport r;
+          r.key = key_of(1000 + flow);
+          r.hop = hop;
+          r.path_len = 5;
+          r.redundancy = 1;
+          r.value = static_cast<std::uint32_t>(rng.next_below(256));
+          runtime.submit({proto::DtaHeader{}, r});
+        }
+        break;
+      }
+      case 3: {  // Append entries (ring writes, wrap included)
+        proto::AppendReport r;
+        r.list_id = static_cast<std::uint32_t>(rng.next_below(4));
+        r.entry_size = 4;
+        const auto entries = 1 + rng.next_below(8);
+        for (std::uint64_t i = 0; i < entries; ++i) {
+          Bytes entry;
+          common::put_u32(entry, static_cast<std::uint32_t>(next_id++));
+          r.entries.push_back(std::move(entry));
+        }
+        runtime.submit({proto::DtaHeader{}, std::move(r)});
+        break;
+      }
+      case 4: {  // flush barrier (drains postcard rows + append batches)
+        runtime.flush();
+        break;
+      }
+    }
+
+    if (rng.next_below(4) == 0) {
+      const auto cached = runtime.snapshot_shard(0);
+      const auto reference = runtime.snapshot_shard_fresh(0);
+      EXPECT_EQ(cached->generation(), reference->generation());
+      identical(cached->keywrite_mem(), reference->keywrite_mem(),
+                "keywrite");
+      identical(cached->postcarding_mem(), reference->postcarding_mem(),
+                "postcarding");
+      identical(cached->append_mem(), reference->append_mem(), "append");
+      identical(cached->keyincrement_mem(), reference->keyincrement_mem(),
+                "keyincrement");
+      // Hold some snapshots across future refreshes: a pinned reader
+      // must force the copy-on-write clone path, and the clone must be
+      // just as byte-faithful.
+      if (rng.next_below(3) == 0) {
+        pinned.push_back(cached);
+        ever_pinned = true;
+      } else if (!pinned.empty() && rng.next_below(3) == 0) {
+        pinned.erase(pinned.begin());
+      }
+    }
+  }
+
+  const auto stats = runtime.snapshot_cache().stats();
+  EXPECT_GE(stats.incremental_refreshes, 1u)
+      << "sweep never exercised the patch path";
+  if (ever_pinned) {
+    EXPECT_GE(stats.cow_clones, 1u)
+        << "pinned snapshots never forced a copy-on-write clone";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSnapshotSweep,
+                         ::testing::Values(3u, 17u, 4242u, 90210u));
 
 }  // namespace
 }  // namespace dta

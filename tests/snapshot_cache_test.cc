@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -266,6 +268,284 @@ TEST(SnapshotCache, StopRacingSnapshotAcquisitionIsSafe) {
     const auto snap = runtime.snapshot_shard(0);
     EXPECT_EQ(snap->keywrite_query(key_of(3), 2).status, QueryStatus::kHit);
   }
+}
+
+// ------------------------------------------- incremental refresh (PR 4)
+
+// Byte-for-byte equality of two snapshots' copied regions.
+void expect_snapshots_identical(const StoreSnapshot& a,
+                                const StoreSnapshot& b) {
+  const auto compare = [](const rdma::MemoryRegion* x,
+                          const rdma::MemoryRegion* y, const char* what) {
+    ASSERT_EQ(x == nullptr, y == nullptr) << what;
+    if (!x) return;
+    ASSERT_EQ(x->length(), y->length()) << what;
+    EXPECT_EQ(std::memcmp(x->data(), y->data(), x->length()), 0)
+        << what << " memory diverged";
+  };
+  EXPECT_EQ(a.generation(), b.generation());
+  compare(a.keywrite_mem(), b.keywrite_mem(), "keywrite");
+  compare(a.postcarding_mem(), b.postcarding_mem(), "postcarding");
+  compare(a.append_mem(), b.append_mem(), "append");
+  compare(a.keyincrement_mem(), b.keyincrement_mem(), "keyincrement");
+}
+
+TEST(SnapshotCache, IncrementalRefreshMatchesFullCopy) {
+  CollectorRuntime runtime(cache_config(ThreadMode::kInline));
+  for (std::uint32_t round = 1; round <= 8; ++round) {
+    for (std::uint64_t id = round; id < round + 6; ++id) {
+      runtime.submit(small_report(id, round));
+    }
+    runtime.flush();
+    const auto cached = runtime.snapshot_shard(0);
+    const auto reference = runtime.snapshot_shard_fresh(0);
+    expect_snapshots_identical(*cached, *reference);
+  }
+  const auto stats = runtime.snapshot_cache().stats();
+  // First build is a full copy; every later round only patched chunks.
+  EXPECT_EQ(stats.full_refreshes, 1u);
+  EXPECT_EQ(stats.incremental_refreshes, 7u);
+}
+
+TEST(SnapshotCache, IncrementalRefreshCopiesOnlyDirtiedBytes) {
+  CollectorRuntimeConfig config = cache_config(ThreadMode::kInline);
+  config.snapshot_chunk_bytes = 4096;
+  CollectorRuntime runtime(config);
+  const std::uint64_t store_bytes =
+      runtime.shard(0).service().keywrite_region()->length();
+
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    runtime.submit(small_report(id, 1));
+  }
+  (void)runtime.snapshot_shard(0);  // full first build
+  const std::uint64_t after_build =
+      runtime.snapshot_cache().stats().quiesce_bytes_copied;
+  EXPECT_GE(after_build, store_bytes);
+
+  // One report dirties one chunk: the next refresh must quiesce-copy a
+  // tiny fraction of the store, not all of it.
+  runtime.submit(small_report(7777, 2));
+  runtime.flush();
+  (void)runtime.snapshot_shard(0);
+  const auto stats = runtime.snapshot_cache().stats();
+  EXPECT_EQ(stats.incremental_refreshes, 1u);
+  const std::uint64_t patched = stats.quiesce_bytes_copied - after_build;
+  EXPECT_GT(patched, 0u);
+  EXPECT_LE(patched, store_bytes / 4) << "patch should be chunk-sized";
+}
+
+TEST(SnapshotCache, PinnedReaderForcesCopyOnWrite) {
+  CollectorRuntime runtime(cache_config(ThreadMode::kInline));
+  runtime.submit(small_report(1, 10));
+  auto pinned = runtime.snapshot_shard(0);
+
+  // The pinned snapshot must stay frozen: the refresh clones instead of
+  // patching in place.
+  runtime.submit(small_report(2, 20));
+  auto fresh = runtime.snapshot_shard(0);
+  EXPECT_NE(fresh.get(), pinned.get());
+  EXPECT_EQ(runtime.snapshot_cache().stats().cow_clones, 1u);
+  EXPECT_NE(pinned->keywrite_query(key_of(2), 1).status, QueryStatus::kHit);
+  ASSERT_EQ(fresh->keywrite_query(key_of(2), 1).status, QueryStatus::kHit);
+
+  // With no handle outstanding the next refresh patches the published
+  // snapshot in place — same object, new contents.
+  const StoreSnapshot* recycled = fresh.get();
+  pinned.reset();
+  fresh.reset();
+  runtime.submit(small_report(3, 30));
+  const auto in_place = runtime.snapshot_shard(0);
+  EXPECT_EQ(in_place.get(), recycled);
+  EXPECT_EQ(runtime.snapshot_cache().stats().cow_clones, 1u);
+  ASSERT_EQ(in_place->keywrite_query(key_of(3), 1).status, QueryStatus::kHit);
+}
+
+TEST(SnapshotCache, HighDirtyRatioFallsBackToFullCopy) {
+  CollectorRuntimeConfig config = cache_config(ThreadMode::kInline);
+  KeyWriteSetup kw;
+  kw.num_slots = 1 << 10;  // tiny store: a burst dirties most chunks
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  config.snapshot_chunk_bytes = 64;
+  config.snapshot_full_copy_ratio = 0.25;
+  CollectorRuntime runtime(config);
+  runtime.submit(small_report(0, 1));
+  (void)runtime.snapshot_shard(0);  // first build
+
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    runtime.submit(small_report(id, 2));
+  }
+  runtime.flush();
+  const auto snap = runtime.snapshot_shard(0);
+  const auto stats = runtime.snapshot_cache().stats();
+  EXPECT_EQ(stats.incremental_refreshes, 0u);
+  EXPECT_EQ(stats.full_refreshes, 2u);
+  expect_snapshots_identical(*snap, *runtime.snapshot_shard_fresh(0));
+}
+
+TEST(SnapshotCache, IncrementalDisabledAlwaysFullCopies) {
+  CollectorRuntimeConfig config = cache_config(ThreadMode::kInline);
+  config.incremental_snapshots = false;
+  CollectorRuntime runtime(config);
+  for (std::uint32_t round = 1; round <= 3; ++round) {
+    runtime.submit(small_report(round, round));
+    (void)runtime.snapshot_shard(0);
+  }
+  const auto stats = runtime.snapshot_cache().stats();
+  EXPECT_EQ(stats.incremental_refreshes, 0u);
+  EXPECT_EQ(stats.full_refreshes, 3u);
+  EXPECT_EQ(stats.cow_clones, 0u);
+}
+
+// --------------------------------------------- bounded staleness (PR 4)
+
+TEST(SnapshotCache, WithinBudgetServesWithoutQuiesce) {
+  CollectorRuntimeConfig config = cache_config(ThreadMode::kInline);
+  config.staleness_budget.generations = 100;
+  CollectorRuntime runtime(config);
+  runtime.submit(small_report(1, 1));
+  const auto base = runtime.snapshot_shard_bounded(0);  // miss: first build
+  const std::uint64_t quiesces_after_build = runtime.pipeline().quiesces(0);
+  EXPECT_GE(quiesces_after_build, 1u);
+
+  // The store changes; a bounded acquisition within budget serves the
+  // stale snapshot without opening a quiesce window or refreshing.
+  runtime.submit(small_report(2, 2));
+  runtime.flush();
+  const std::uint64_t quiesces_before = runtime.pipeline().quiesces(0);
+  const auto stale = runtime.snapshot_shard_bounded(0);
+  EXPECT_EQ(stale.get(), base.get()) << "budget must reuse the cached copy";
+  EXPECT_EQ(runtime.pipeline().quiesces(0), quiesces_before)
+      << "a within-budget serve must not quiesce";
+  EXPECT_GE(runtime.snapshot_cache().stats().stale_hits, 1u);
+  EXPECT_LT(stale->generation(), runtime.shard(0).generation());
+
+  // The exact-freshness path still refreshes.
+  const auto fresh = runtime.snapshot_shard(0);
+  EXPECT_GT(runtime.pipeline().quiesces(0), quiesces_before);
+  EXPECT_EQ(fresh->generation(), runtime.shard(0).generation());
+}
+
+TEST(SnapshotCache, ExpiredGenerationBudgetRefreshes) {
+  CollectorRuntimeConfig config = cache_config(ThreadMode::kInline);
+  config.staleness_budget.generations = 2;
+  // op_batch 4 (cache_config): each flushed report = one generation.
+  CollectorRuntime runtime(config);
+  runtime.submit(small_report(0, 1));
+  runtime.flush();
+  const auto base = runtime.snapshot_shard_bounded(0);
+
+  // Lag 2 generations: still within budget.
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    runtime.submit(small_report(id, 1));
+    runtime.flush();
+  }
+  EXPECT_EQ(runtime.snapshot_shard_bounded(0).get(), base.get());
+
+  // A third generation exceeds the budget: the cache must refresh.
+  runtime.submit(small_report(3, 1));
+  runtime.flush();
+  const std::uint64_t quiesces_before = runtime.pipeline().quiesces(0);
+  const auto refreshed = runtime.snapshot_shard_bounded(0);
+  EXPECT_NE(refreshed.get(), base.get());
+  EXPECT_EQ(refreshed->generation(), runtime.shard(0).generation());
+  EXPECT_GT(runtime.pipeline().quiesces(0), quiesces_before);
+}
+
+TEST(SnapshotCache, AgeBudgetExpires) {
+  CollectorRuntimeConfig config = cache_config(ThreadMode::kInline);
+  config.staleness_budget.age_us = 600ull * 1000 * 1000;  // 10 min
+  CollectorRuntime runtime(config);
+  runtime.submit(small_report(1, 1));
+  const auto base = runtime.snapshot_shard_bounded(0);
+
+  // Any generation lag is fine while the snapshot is young.
+  runtime.submit(small_report(2, 2));
+  runtime.flush();
+  EXPECT_EQ(runtime.snapshot_shard_bounded(0).get(), base.get());
+
+  // Shrink the budget below the snapshot's age: it must refresh.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  SnapshotStalenessBudget tight;
+  tight.age_us = 1;
+  runtime.set_staleness_budget(tight);
+  const auto refreshed = runtime.snapshot_shard_bounded(0);
+  EXPECT_NE(refreshed.get(), base.get());
+  EXPECT_EQ(refreshed->generation(), runtime.shard(0).generation());
+}
+
+TEST(SnapshotCache, CoversSeqFloorOverridesBudget) {
+  CollectorRuntimeConfig config = cache_config(ThreadMode::kInline);
+  config.staleness_budget.generations = 100;
+  CollectorRuntime runtime(config);
+  runtime.submit(small_report(1, 11));
+  const auto base = runtime.snapshot_shard_bounded(0);
+
+  runtime.submit(small_report(2, 22));
+  // Without a floor the budget serves the stale copy (key 2 invisible)…
+  const auto stale = runtime.snapshot_shard_bounded(0);
+  EXPECT_EQ(stale.get(), base.get());
+  EXPECT_NE(stale->keywrite_query(key_of(2), 1).status, QueryStatus::kHit);
+
+  // …but a read-your-submits floor forces a covering refresh.
+  const auto covering =
+      runtime.snapshot_shard_bounded(0, runtime.pipeline().submitted(0));
+  EXPECT_NE(covering.get(), base.get());
+  const auto result = covering->keywrite_query(key_of(2), 1);
+  ASSERT_EQ(result.status, QueryStatus::kHit);
+  EXPECT_EQ(common::load_u32(result.value.data()), 22u);
+}
+
+TEST(SnapshotCache, StaleServingQueriesDuringIngest) {
+  // TSan stress for the bounded path: readers spin on
+  // snapshot_shard_bounded — mostly riding stale cached snapshots, so
+  // almost never quiescing — while the control thread keeps writing and
+  // pinning fresh generations. Asserts torn-freedom and per-thread
+  // generation monotonicity; TSan watches the rest.
+  static constexpr std::uint32_t kKeys = 32;
+  static constexpr std::uint32_t kRounds = 20;
+  constexpr unsigned kQueryThreads = 3;
+
+  CollectorRuntimeConfig config =
+      cache_config(ThreadMode::kThreaded, /*value_bytes=*/8, /*op_batch=*/8);
+  config.staleness_budget.generations = 4;
+  CollectorRuntime runtime(config);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&runtime, &done] {
+      std::uint64_t last_generation = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = runtime.snapshot_shard_bounded(0);
+        EXPECT_GE(snap->generation(), last_generation);
+        last_generation = snap->generation();
+        for (std::uint64_t id = 0; id < kKeys; id += 7) {
+          const auto result = snap->keywrite_query(key_of(id), 2);
+          if (result.status != QueryStatus::kHit) continue;
+          const std::uint32_t lo = common::load_u32(result.value.data());
+          const std::uint32_t hi = common::load_u32(result.value.data() + 4);
+          EXPECT_EQ(lo, hi) << "torn value for key " << id;
+          EXPECT_LE(lo, kRounds);
+        }
+      }
+    });
+  }
+
+  for (std::uint32_t round = 1; round <= kRounds; ++round) {
+    for (std::uint64_t id = 0; id < kKeys; ++id) {
+      runtime.submit(paired_report(id, round));
+    }
+    // Pin each round through the exact path so refreshes (and their
+    // in-place/COW decisions) interleave with the stale serves.
+    (void)runtime.snapshot_shard(0);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  const auto stats = runtime.snapshot_cache().stats();
+  EXPECT_GE(stats.misses, kRounds);
+  runtime.stop();
 }
 
 // ------------------------------------------------------ NUMA placement
