@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "dta/report_builders.h"
 #include "dtalib/cluster_runtime.h"
 
 using namespace dta;
@@ -52,7 +53,7 @@ SweepPoint run_point(std::uint32_t hosts, std::uint32_t shards,
     r.key = benchutil::mixed_key(k);
     r.redundancy = 1;
     common::put_u32(r.data, 1);
-    cluster.submit({proto::DtaHeader{}, std::move(r)});
+    cluster.submit(reports::wrap(std::move(r)));
   }
   cluster.flush();
 
@@ -115,7 +116,7 @@ int main() {
     r.key = benchutil::mixed_key(k);
     r.redundancy = 2;
     common::put_u32(r.data, static_cast<std::uint32_t>(k));
-    cluster.submit({proto::DtaHeader{}, std::move(r)});
+    cluster.submit(reports::wrap(std::move(r)));
   }
   cluster.flush();
 

@@ -6,12 +6,13 @@
 // measure the software rate this machine sustains, and (2) prints the
 // modeled-hardware rate, where the BlueField-2-class message rate is the
 // binding resource (the paper's bottleneck).
-// The sharded sweep at the bottom drives the CollectorRuntime: shard
-// counts 1/2/4/8 x op-batch sizes, reporting the aggregate modeled
-// ops/s (per-shard NIC message units add) next to the software rate.
+// The sharded sweep at the bottom drives the dta::Client facade over a
+// LocalBackend (sharded CollectorRuntime): shard counts 1/2/4/8 x
+// op-batch sizes, reporting the aggregate modeled ops/s (per-shard NIC
+// message units add) next to the software rate.
 #include "analysis/hw_model.h"
 #include "bench_util.h"
-#include "collector/runtime.h"
+#include "dtalib/client.h"
 #include "dtalib/fabric.h"
 
 using namespace dta;
@@ -37,12 +38,11 @@ Measurement run(unsigned redundancy, unsigned value_bytes,
   std::vector<proto::ParsedDta> parsed;
   parsed.reserve(reports);
   for (std::uint32_t i = 0; i < reports; ++i) {
-    proto::KeyWriteReport r;
-    r.key = benchutil::mixed_key(i);
-    r.redundancy = static_cast<std::uint8_t>(redundancy);
-    r.data.resize(value_bytes);
-    common::store_u32(r.data.data(), i);
-    parsed.push_back({proto::DtaHeader{}, std::move(r)});
+    common::Bytes data(value_bytes);
+    common::store_u32(data.data(), i);
+    parsed.push_back(reports::keywrite(
+        benchutil::mixed_key(i), common::ByteSpan(data),
+        static_cast<std::uint8_t>(redundancy)));
   }
 
   benchutil::WallTimer timer;
@@ -64,7 +64,7 @@ struct ShardedMeasurement {
 };
 
 ShardedMeasurement run_sharded(std::uint32_t shards, std::uint32_t batch,
-                               std::uint32_t reports) {
+                               std::uint32_t report_count) {
   collector::CollectorRuntimeConfig config;
   config.num_shards = shards;
   config.op_batch_size = batch;
@@ -73,33 +73,29 @@ ShardedMeasurement run_sharded(std::uint32_t shards, std::uint32_t batch,
   kw.num_slots = 1 << 20;  // total across shards
   kw.value_bytes = 4;
   config.keywrite = kw;
-  collector::CollectorRuntime runtime(config);
+  Client client = Client::local(config);
 
-  std::vector<proto::ParsedDta> parsed;
-  parsed.reserve(reports);
-  for (std::uint32_t i = 0; i < reports; ++i) {
-    proto::KeyWriteReport r;
-    r.key = benchutil::mixed_key(i);
-    r.redundancy = 2;
-    r.data.resize(4);
-    common::store_u32(r.data.data(), i);
-    parsed.push_back({proto::DtaHeader{}, std::move(r)});
+  std::vector<proto::ParsedDta> prebuilt;
+  prebuilt.reserve(report_count);
+  for (std::uint32_t i = 0; i < report_count; ++i) {
+    prebuilt.push_back(reports::keywrite_u32(benchutil::mixed_key(i), i));
   }
 
   benchutil::WallTimer timer;
-  for (const auto& p : parsed) runtime.submit(p);
-  runtime.flush();
+  for (const auto& p : prebuilt) client.backend().submit(p, {});
+  client.flush();
   const double seconds = timer.seconds();
-  runtime.stop();
+  client.stop();
 
-  const auto stats = runtime.stats();
+  const auto stats = client.stats();
   ShardedMeasurement m;
-  m.aggregate_modeled = runtime.modeled_aggregate_verbs_per_sec();
-  m.software_rate = reports / seconds;
-  m.ops_per_doorbell = stats.batch_flushes == 0
-                           ? 0.0
-                           : static_cast<double>(stats.ops_batched) /
-                                 static_cast<double>(stats.batch_flushes);
+  m.aggregate_modeled = client.modeled_verbs_per_sec();
+  m.software_rate = report_count / seconds;
+  m.ops_per_doorbell =
+      stats.ingest.batch_flushes == 0
+          ? 0.0
+          : static_cast<double>(stats.ingest.ops_batched) /
+                static_cast<double>(stats.ingest.batch_flushes);
   return m;
 }
 

@@ -32,7 +32,7 @@
 
 #include "bench_util.h"
 #include "collector/rdma_service.h"
-#include "collector/runtime.h"
+#include "dtalib/client.h"
 #include "translator/keywrite_engine.h"
 #include "translator/rdma_crafter.h"
 
@@ -82,8 +82,8 @@ struct CacheSweepResult {
   collector::SnapshotCacheStats stats;
 };
 
-// Section (c): cached vs fresh snapshot acquisition through the
-// CollectorRuntime, Q queries per flush interval.
+// Section (c): cached vs fresh snapshot acquisition through the Client
+// facade's LocalBackend runtime, Q queries per flush interval.
 CacheSweepResult run_snapshot_cache_sweep(bool smoke) {
   using namespace dta::collector;
   CollectorRuntimeConfig config;
@@ -93,18 +93,16 @@ CacheSweepResult run_snapshot_cache_sweep(bool smoke) {
   kw.num_slots = smoke ? (1ull << 16) : (1ull << 20);
   kw.value_bytes = 4;
   config.keywrite = kw;
-  CollectorRuntime runtime(config);
+  Client client = Client::local(config);
+  CollectorRuntime& runtime = *client.local_runtime();
 
   const std::uint64_t populate = smoke ? 20000 : 200000;
   auto write = [&](std::uint64_t id) {
-    proto::KeyWriteReport r;
-    r.key = benchutil::mixed_key(id);
-    r.redundancy = 2;
-    common::put_u32(r.data, static_cast<std::uint32_t>(id));
-    runtime.submit({proto::DtaHeader{}, std::move(r)});
+    client.keywrite().put_u32(benchutil::mixed_key(id),
+                              static_cast<std::uint32_t>(id));
   };
   for (std::uint64_t id = 0; id < populate; ++id) write(id);
-  runtime.flush();
+  client.flush();
 
   // Per-op costs driving the modeled series.
   const unsigned copy_reps = smoke ? 20 : 50;
@@ -215,18 +213,17 @@ std::vector<DirtyPoint> run_dirty_ratio_sweep(bool smoke) {
   // Measure the pure patch path across the whole sweep (no full-copy
   // fallback), so the curve shows the crossover honestly.
   config.snapshot_full_copy_ratio = 1.1;
-  CollectorRuntime runtime(config);
+  Client client = Client::local(config);
+  CollectorRuntime& runtime = *client.local_runtime();
 
   std::uint64_t next_key = 0;
   auto write = [&](std::uint64_t id) {
-    proto::KeyWriteReport r;
-    r.key = benchutil::mixed_key(id);
-    r.redundancy = 1;
-    common::put_u32(r.data, static_cast<std::uint32_t>(id));
-    runtime.submit({proto::DtaHeader{}, std::move(r)});
+    client.keywrite().put_u32(benchutil::mixed_key(id),
+                              static_cast<std::uint32_t>(id),
+                              /*redundancy=*/1);
   };
   for (std::uint64_t id = 0; id < kw.num_slots / 2; ++id) write(next_key++);
-  runtime.flush();
+  client.flush();
   (void)runtime.snapshot_shard(0);  // first build: full copy, tracker reset
 
   const std::uint64_t store_bytes =

@@ -7,13 +7,14 @@
 // the NIC), and the link/NIC model prices the ingress and message-rate
 // bounds. List sizes are scaled 1/64 in memory (ring behaviour is
 // size-independent, which the run verifies by wrapping both rings).
-// The sharded sweep at the bottom drives the CollectorRuntime: shard
-// counts 1/2/4/8 x append batch sizes, lists striped over shards, with
-// the aggregate modeled entries/s (per-shard NIC rate x batch) next to
-// the software rate.
+// The sharded sweep at the bottom drives the dta::Client facade over a
+// LocalBackend (sharded CollectorRuntime): shard counts 1/2/4/8 x
+// append batch sizes, lists striped over shards, with the aggregate
+// modeled entries/s (per-shard NIC rate x batch) next to the software
+// rate.
 #include "analysis/hw_model.h"
 #include "bench_util.h"
-#include "collector/runtime.h"
+#include "dtalib/client.h"
 #include "dtalib/fabric.h"
 
 using namespace dta;
@@ -39,13 +40,7 @@ RunResult run(std::uint32_t batch, std::uint64_t entries_per_list) {
   std::vector<proto::ParsedDta> parsed;
   parsed.reserve(1000);
   for (std::uint32_t i = 0; i < 1000; ++i) {
-    proto::AppendReport r;
-    r.list_id = 0;
-    r.entry_size = 4;
-    common::Bytes e;
-    common::put_u32(e, i);
-    r.entries.push_back(std::move(e));
-    parsed.push_back({proto::DtaHeader{}, std::move(r)});
+    parsed.push_back(reports::append_u32(0, i));
   }
 
   benchutil::WallTimer timer;
@@ -80,38 +75,31 @@ ShardedResult run_sharded(std::uint32_t shards, std::uint32_t batch,
   ap.entries_per_list = 1 << 14;
   ap.entry_bytes = 4;
   config.append = ap;
-  collector::CollectorRuntime runtime(config);
+  Client client = Client::local(config);
 
   std::vector<proto::ParsedDta> parsed;
   parsed.reserve(1000);
   for (std::uint32_t i = 0; i < 1000; ++i) {
-    proto::AppendReport r;
-    r.list_id = i % 8;
-    r.entry_size = 4;
-    common::Bytes e;
-    common::put_u32(e, i);
-    r.entries.push_back(std::move(e));
-    parsed.push_back({proto::DtaHeader{}, std::move(r)});
+    parsed.push_back(reports::append_u32(i % 8, i));
   }
 
   benchutil::WallTimer timer;
   for (std::uint64_t i = 0; i < total_entries; ++i) {
-    runtime.submit(parsed[i % parsed.size()]);
+    client.backend().submit(parsed[i % parsed.size()], {});
   }
-  runtime.flush();
+  client.flush();
   const double seconds = timer.seconds();
-  runtime.stop();
+  client.stop();
 
-  const auto stats = runtime.stats();
+  const auto stats = client.stats();
   ShardedResult result;
-  result.aggregate_modeled_entries =
-      runtime.modeled_aggregate_verbs_per_sec() * batch;
+  result.aggregate_modeled_entries = client.modeled_verbs_per_sec() * batch;
   result.software_rate = static_cast<double>(total_entries) / seconds;
   result.entries_per_write =
-      stats.verbs_executed == 0
+      stats.ingest.verbs_executed == 0
           ? 0.0
           : static_cast<double>(total_entries) /
-                static_cast<double>(stats.verbs_executed);
+                static_cast<double>(stats.ingest.verbs_executed);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "baseline/intcollector.h"
 #include "baseline/multilog.h"
 #include "bench_util.h"
+#include "dta/report_builders.h"
 #include "dtalib/fabric.h"
 #include "perfmodel/cache_model.h"
 
@@ -70,7 +71,7 @@ int main() {
         r.path_len = 5;
         r.redundancy = 1;
         r.value = flow % 4096;
-        fabric.report_direct({proto::DtaHeader{}, r});
+        fabric.report_direct(reports::wrap(r));
       }
     }
     const auto& st = fabric.translator().postcarding()->stats();
@@ -98,7 +99,7 @@ int main() {
       common::Bytes e;
       common::put_u32(e, i);
       r.entries.push_back(std::move(e));
-      fabric.report_direct({proto::DtaHeader{}, r});
+      fabric.report_direct(reports::wrap(r));
     }
     const auto& st = fabric.translator().append()->stats();
     ap_batch_efficiency = static_cast<double>(st.entries_in) /

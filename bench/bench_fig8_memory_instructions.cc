@@ -10,6 +10,7 @@
 #include "baseline/ingest.h"
 #include "baseline/multilog.h"
 #include "bench_util.h"
+#include "dta/report_builders.h"
 #include "dtalib/fabric.h"
 
 using namespace dta;
@@ -29,7 +30,7 @@ double keywrite_mem_ops() {
     r.key = benchutil::mixed_key(i);
     r.redundancy = 2;
     common::put_u32(r.data, i);
-    fabric.report_direct({proto::DtaHeader{}, r});
+    fabric.report_direct(reports::wrap(r));
   }
   return static_cast<double>(fabric.collector().stats().verbs_executed) /
          kReports;
@@ -53,7 +54,7 @@ double postcarding_mem_ops() {
       r.path_len = 5;
       r.redundancy = 2;
       r.value = flow % 1024;
-      fabric.report_direct({proto::DtaHeader{}, r});
+      fabric.report_direct(reports::wrap(r));
     }
   }
   return static_cast<double>(fabric.collector().stats().verbs_executed) /
@@ -78,7 +79,7 @@ double append_mem_ops() {
     common::Bytes e;
     common::put_u32(e, i);
     r.entries.push_back(std::move(e));
-    fabric.report_direct({proto::DtaHeader{}, r});
+    fabric.report_direct(reports::wrap(r));
   }
   return static_cast<double>(fabric.collector().stats().verbs_executed) /
          kEntries;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "dta/report_builders.h"
 #include "dta/wire.h"
 
 namespace dta::benchutil {
@@ -44,16 +45,10 @@ inline std::string eng(double value) {
 }
 
 // Deterministic key generator matching the uniform-hashing assumption of
-// the paper's analysis (real 5-tuples look random; see tests/property_test).
-inline proto::TelemetryKey mixed_key(std::uint64_t id) {
-  std::uint64_t z = id + 0x9E3779B97F4A7C15ull;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  z ^= z >> 31;
-  common::Bytes b;
-  common::put_u64(b, z);
-  return proto::TelemetryKey::from(common::ByteSpan(b));
-}
+// the paper's analysis (real 5-tuples look random; see
+// tests/property_test). One definition for benches and tests alike —
+// the shared typed builders own it now.
+using reports::mixed_key;
 
 class WallTimer {
  public:

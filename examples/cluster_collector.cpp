@@ -1,15 +1,16 @@
-// Cluster-scale collection walkthrough.
+// Cluster-scale collection walkthrough on the v2 client API.
 //
-// Spins up a 2-host x 2-shard ClusterRuntime under replication, pushes
-// per-flow metrics, loss counters and an event stream through the
-// two-level router (host by policy, shard by key CRC), answers
-// point/range/event queries as futures resolved from per-shard store
-// snapshots, then kills one collector host and repeats a point query to
-// show replica failover — the scaled-out, resilient version of
-// sharded_collector.cpp.
+// Spins up a 2-host x 2-shard cluster under replication behind
+// dta::Client (ClusterBackend), pushes per-flow metrics, loss counters
+// and an event stream through the two-level router (host by policy,
+// shard by key CRC), answers point/batch/async/event queries through
+// the same typed handles a single-host deployment uses, then kills one
+// collector host and repeats a point query to show replica failover —
+// the scaled-out, resilient version of sharded_collector.cpp, with not
+// one call site aware of the topology.
 #include <cstdio>
 
-#include "dtalib/cluster_runtime.h"
+#include "dtalib/client.h"
 
 using namespace dta;
 
@@ -23,12 +24,6 @@ net::FiveTuple flow_of(std::uint32_t id) {
   tuple.dst_port = 443;
   tuple.protocol = 6;
   return tuple;
-}
-
-proto::TelemetryKey key_of(std::uint32_t id) {
-  const auto bytes = flow_of(id).to_bytes();
-  return proto::TelemetryKey::from(
-      common::ByteSpan(bytes.data(), bytes.size()));
 }
 
 }  // namespace
@@ -54,78 +49,74 @@ int main() {
   ap.entry_bytes = 4;
   config.host.append = ap;
 
-  ClusterRuntime cluster(config);
+  Client client = Client::cluster(config);
   std::printf("cluster: %u hosts x %u shards, %s partitioning\n",
-              cluster.num_hosts(), cluster.shards_per_host(), "replicate");
+              client.cluster_runtime()->num_hosts(),
+              client.cluster_runtime()->shards_per_host(), "replicate");
 
   // Report path: 1000 flows, each with a latency metric, a drop counter
   // and one loss event on list (flow % 4). Every report is routed once
   // by the two-level router and lands on both replica hosts.
   for (std::uint32_t flow = 0; flow < 1000; ++flow) {
-    proto::KeyWriteReport metric;
-    metric.key = key_of(flow);
-    metric.redundancy = 2;
-    common::put_u32(metric.data, 100 + flow % 50);  // usec latency
-    cluster.submit({proto::DtaHeader{}, metric});
-
-    proto::KeyIncrementReport drops;
-    drops.key = key_of(flow);
-    drops.redundancy = 2;
-    drops.counter = flow % 3;
-    cluster.submit({proto::DtaHeader{}, drops});
-
-    proto::AppendReport event;
-    event.list_id = flow % 4;
-    event.entry_size = 4;
-    common::Bytes entry;
-    common::put_u32(entry, flow);
-    event.entries.push_back(std::move(entry));
-    cluster.submit({proto::DtaHeader{}, event});
+    const auto key = flow_key(flow_of(flow));
+    client.keywrite().put_u32(key, 100 + flow % 50);  // usec latency
+    client.counters().add(key, flow % 3);
+    client.list(flow % 4).append_u32(flow);
   }
-  cluster.flush();
+  client.flush();
 
-  const auto stats = cluster.stats();
+  const auto stats = client.stats();
   std::printf("ingested %llu reports (both replicas) -> %llu verbs\n",
-              static_cast<unsigned long long>(stats.reports_in),
-              static_cast<unsigned long long>(stats.verbs_executed));
+              static_cast<unsigned long long>(stats.ingest.reports_in),
+              static_cast<unsigned long long>(stats.ingest.verbs_executed));
 
-  // Query path: futures resolved from per-shard snapshots. Issue all
-  // three, then collect — ingest could keep running meanwhile.
-  auto latency = cluster.query().flow_metric(flow_of(44));
-  auto drops = cluster.query().flow_counter(flow_of(44));
-  auto events = cluster.query().events(/*list=*/0, /*count=*/16);
-  if (auto value = latency.get()) {
-    std::printf("flow 44 latency: %u usec\n", *value);
+  // Query path: async gets resolve from per-shard snapshots on their
+  // own threads — issue all three, then collect; ingest could keep
+  // running meanwhile.
+  const auto probe = flow_key(flow_of(44));
+  auto latency = client.keywrite().get_async(probe);
+  auto drops = client.counters().get_async(probe);
+  auto events = client.list(0).read_async(16);
+  if (const auto value = latency.get(); value.ok()) {
+    std::printf("flow 44 latency: %u usec\n",
+                common::load_u32(value->data()));
   }
   std::printf("flow 44 drops: %llu\n",
-              static_cast<unsigned long long>(drops.get()));
-  std::printf("list 0 head: %zu events (first flows:", events.get().size());
-  for (const auto& entry : cluster.query().events(0, 4).get()) {
-    std::printf(" %u", common::load_u32(entry.data()));
+              static_cast<unsigned long long>(drops.get().value_or(0)));
+  const auto head = events.get();
+  std::printf("list 0 head: %zu events (first flows:",
+              head.ok() ? head->size() : 0);
+  if (head.ok()) {
+    for (std::size_t i = 0; i < 4 && i < head->size(); ++i) {
+      std::printf(" %u", common::load_u32((*head)[i].data()));
+    }
   }
   std::printf(")\n");
 
-  // Range query: one future for a whole batch of keys.
+  // Batch query: one generation pin for a whole batch of keys.
   std::vector<proto::TelemetryKey> batch;
   for (std::uint32_t flow = 100; flow < 110; ++flow) {
-    batch.push_back(key_of(flow));
+    batch.push_back(flow_key(flow_of(flow)));
   }
-  const auto range = cluster.query().values_of(batch).get();
+  const auto range = client.keywrite().get_many(batch);
   int range_hits = 0;
-  for (const auto& value : range) range_hits += value.has_value();
-  std::printf("range query: %d/%zu flows answered\n", range_hits,
-              range.size());
+  if (range.ok()) {
+    for (const auto& value : *range) range_hits += value.has_value();
+  }
+  std::printf("batch query: %d/%zu flows answered\n", range_hits,
+              batch.size());
 
   // Replica failover: host 0 dies; the same point query still answers
-  // from host 1's copy.
-  cluster.fail_host(0);
-  std::printf("host 0 failed (%u live host)\n", cluster.live_hosts());
-  if (auto value = cluster.query().flow_metric(flow_of(44)).get()) {
+  // from host 1's copy — and a typed kUnavailable replaces silence if
+  // the whole replica set is gone.
+  client.fail_host(0);
+  std::printf("host 0 failed (%u live host)\n", client.stats().live_hosts);
+  if (const auto value = client.keywrite().get_u32(probe); value.ok()) {
     std::printf("flow 44 latency after failover: %u usec\n", *value);
   } else {
-    std::printf("flow 44 lost!\n");
+    std::printf("flow 44: %s\n", value.status().to_string().c_str());
   }
   std::printf("aggregate modeled ingest after failover: %.1fM verbs/s\n",
-              cluster.modeled_aggregate_verbs_per_sec() / 1e6);
+              client.modeled_verbs_per_sec() / 1e6);
   return 0;
 }

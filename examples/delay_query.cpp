@@ -1,34 +1,33 @@
 // In-network query processing (paper §7 "Query-Enhancing Extensions")
-// plus the sketch-based heavy-hitter extension (§4 "Extensibility").
+// plus the sketch-based heavy-hitter extension (§4 "Extensibility"),
+// on the v2 client API.
 //
 // Deploys two active translator extensions over the same postcard /
 // counter streams:
-//   1. SELECT flowID, path WHERE SUM(latency) > T — the translator sums
+//   1. SELECT flowID, path WHERE SUM(latency) > T — the extension sums
 //      per-hop latency postcards and exports only flows whose end-to-end
 //      delay crosses T, through an Append list;
 //   2. network-wide heavy hitters — per-flow byte counters from many
 //      switches aggregate into a translator-SRAM Count-Min sketch;
 //      flows crossing the threshold are exported once, and the whole
 //      sketch mirrors to collector memory with 3 RDMA writes per epoch.
+// Both export streams land in collector lists read back through
+// dta::Client's typed AppendList handles.
 //
 //   $ ./example_delay_query [num_flows]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "dtalib/fabric.h"
+#include "dta/report_builders.h"
+#include "dtalib/client.h"
 #include "translator/heavy_hitter.h"
 #include "translator/query_engine.h"
 
 namespace {
 
-dta::proto::TelemetryKey flow_key(std::uint32_t id) {
-  std::uint64_t z = id + 0x9E3779B97F4A7C15ull;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z ^= z >> 31;
-  dta::common::Bytes b;
-  dta::common::put_u64(b, z);
-  return dta::proto::TelemetryKey::from(dta::common::ByteSpan(b));
+dta::proto::TelemetryKey flow_key_of(std::uint32_t id) {
+  return dta::reports::mixed_key(id);
 }
 
 }  // namespace
@@ -41,14 +40,14 @@ int main(int argc, char** argv) {
 
   // Collector: one Append region whose lists receive both extensions'
   // exports (list 0 = delay matches, list 1 = heavy hitters).
-  dta::FabricConfig config;
+  dta::collector::CollectorRuntimeConfig config;
   dta::collector::AppendSetup ap;
   ap.num_lists = 2;
   ap.entries_per_list = 1 << 14;
   ap.entry_bytes = 36;  // 16B key + 8B sum + up to 3x4B path
   config.append = ap;
-  config.translator.append_batch_size = 1;
-  dta::Fabric fabric(config);
+  config.append_batch_size = 1;
+  dta::Client client = dta::Client::local(config);
 
   // The two active extensions live beside the translator's standard
   // primitive engines.
@@ -70,31 +69,31 @@ int main(int argc, char** argv) {
     const bool congested = flow % 23 == 0;
     for (std::uint8_t hop = 0; hop < 3; ++hop) {
       dta::proto::PostcardReport card;
-      card.key = flow_key(flow);
+      card.key = flow_key_of(flow);
       card.hop = hop;
       card.path_len = 3;
       card.redundancy = 1;
       card.value = congested && hop == 1 ? 150 : 20 + flow % 17;
 
       if (auto match = delay_query.ingest(card)) {
-        ++delay_exports;
-        fabric.report_direct(
-            {dta::proto::DtaHeader{}, match->to_append(query)});
+        const auto status = client.report(match->to_append(query));
+        if (status.ok()) ++delay_exports;
       }
     }
     // Byte counters: a few elephants dominate.
     dta::proto::KeyIncrementReport counter;
-    counter.key = flow_key(flow % 50);  // 50 distinct hosts
+    counter.key = flow_key_of(flow % 50);  // 50 distinct hosts
     counter.redundancy = 1;
     counter.counter = (flow % 50) < 5 ? 4000 : 80;  // 5 elephants
     if (auto discovered = heavy_hitters.update(counter)) {
-      ++hh_exports;
       // Pad the 24B discovery entry to the shared region's 36B geometry.
       discovered->entry_size = 36;
       discovered->entries[0].resize(36, 0);
-      fabric.report_direct({dta::proto::DtaHeader{}, *discovered});
+      const auto status = client.report(*discovered);
+      if (status.ok()) ++hh_exports;
     }
   }
+  client.flush();
 
   // Epoch end: mirror the sketch to the collector (3 writes).
   auto sketch_writes = heavy_hitters.flush_epoch();
@@ -110,24 +109,31 @@ int main(int argc, char** argv) {
                   heavy_hitters.stats().updates_in),
               sketch_writes.size());
 
-  // The operator reads both lists straight from collector memory.
-  auto* store = fabric.collector().service().append();
+  // The operator reads both export lists through typed handles.
   std::printf("\nfirst delayed flows (key-prefix, total latency):\n");
-  for (std::uint64_t i = 0; i < std::min<std::uint64_t>(delay_exports, 5);
-       ++i) {
-    const auto entry = store->poll(0);
-    std::printf("  %s...  %llu us\n",
-                dta::common::to_hex(entry.subspan(0, 6)).c_str(),
-                static_cast<unsigned long long>(
-                    dta::common::load_u64(entry.data() + 16)));
+  const auto delayed = client.list(0).read(
+      std::min<std::uint64_t>(delay_exports, 5));
+  if (delayed.ok()) {
+    for (const auto& entry : *delayed) {
+      std::printf("  %s...  %llu us\n",
+                  dta::common::to_hex(
+                      dta::common::ByteSpan(entry.data(), 6))
+                      .c_str(),
+                  static_cast<unsigned long long>(
+                      dta::common::load_u64(entry.data() + 16)));
+    }
   }
   std::printf("heavy hitters discovered in-network:\n");
-  for (std::uint64_t i = 0; i < hh_exports; ++i) {
-    const auto entry = store->poll(1);
-    std::printf("  %s...  ~%llu bytes\n",
-                dta::common::to_hex(entry.subspan(0, 6)).c_str(),
-                static_cast<unsigned long long>(
-                    dta::common::load_u64(entry.data() + 16)));
+  const auto heavies = client.list(1).read(hh_exports);
+  if (heavies.ok()) {
+    for (const auto& entry : *heavies) {
+      std::printf("  %s...  ~%llu bytes\n",
+                  dta::common::to_hex(
+                      dta::common::ByteSpan(entry.data(), 6))
+                      .c_str(),
+                  static_cast<unsigned long long>(
+                      dta::common::load_u64(entry.data() + 16)));
+    }
   }
   return 0;
 }

@@ -1,19 +1,20 @@
 // Network-wide loss-event monitoring with the Append primitive
-// (paper §4 "Append", Table 2 NetSeer row, §6.7).
+// (paper §4 "Append", Table 2 NetSeer row, §6.7), on the v2 client API.
 //
-// NetSeer-style loss events (18B: flow + seq + drop cause) stream from a
-// switch into per-cause ring-buffer lists in collector memory. The
-// translator batches 8 events per RDMA WRITE; the collector CPU polls
-// the lists — "a pointer increment ... and then reading the memory
-// location" — and builds a live drop-cause breakdown. Critical events
-// can set the DTA immediate flag to raise a CPU interrupt.
+// NetSeer-style loss events (18B: flow + seq + drop cause) stream from
+// a switch into per-cause ring-buffer lists in collector memory. The
+// per-shard translator engines batch 8 events per RDMA WRITE; the
+// operator reads the lists through typed AppendList handles — "a
+// pointer increment ... and then reading the memory location" — and
+// builds a live drop-cause breakdown. Critical events can set the DTA
+// immediate flag to request a CPU interrupt.
 //
 //   $ ./example_loss_event_monitor [num_events]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "dtalib/fabric.h"
+#include "dtalib/client.h"
 #include "telemetry/netseer_gen.h"
 
 namespace {
@@ -25,14 +26,14 @@ int main(int argc, char** argv) {
   constexpr std::uint32_t kBatch = 8;
 
   // One list per drop cause, 64K events each, 18B entries.
-  dta::FabricConfig config;
+  dta::collector::CollectorRuntimeConfig config;
   dta::collector::AppendSetup ap;
   ap.num_lists = 3;
   ap.entries_per_list = 1 << 16;
   ap.entry_bytes = 18;
   config.append = ap;
-  config.translator.append_batch_size = kBatch;
-  dta::Fabric fabric(config);
+  config.append_batch_size = kBatch;
+  dta::Client client = dta::Client::local(config);
 
   // Reporter: NetSeer loss events over synthetic DC traffic.
   dta::telemetry::TraceConfig tc;
@@ -42,49 +43,56 @@ int main(int argc, char** argv) {
   std::printf("streaming %d loss events (batch %u per RDMA write)...\n",
               num_events, kBatch);
   std::uint64_t per_cause_sent[3] = {};
+  int urgent_flags = 0;
   for (int i = 0; i < num_events; ++i) {
     const auto event = netseer.next_event();
     ++per_cause_sent[event.reason % 3];
     // Route each event to its cause's list; bursts of queue-overflow
     // drops get the immediate flag so the collector reacts at once.
-    auto report = event.to_dta(/*list_id=*/event.reason % 3);
-    const bool urgent = event.reason == 0 && (i % 64 == 63);
-    fabric.report(report, 0, urgent);
+    dta::ReportOptions opts;
+    opts.immediate = event.reason == 0 && (i % 64 == 63);
+    urgent_flags += opts.immediate;
+    const auto status =
+        client.report(event.to_dta(/*list_id=*/event.reason % 3), opts);
+    if (!status.ok()) {
+      std::printf("report rejected: %s\n", status.to_string().c_str());
+      return 1;
+    }
   }
-  fabric.flush();
+  client.flush();
+  std::printf("%d urgent bursts flagged for immediate CPU interrupts\n",
+              urgent_flags);
 
-  // Collector: drain the immediate-event completions first...
-  int interrupts = 0;
-  while (fabric.collector().poll_event()) ++interrupts;
-  std::printf("collector saw %d immediate interrupts for urgent bursts\n",
-              interrupts);
-
-  // ...then poll the lists like the §6.7.1 consumer threads would.
-  auto* store = fabric.collector().service().append();
+  // The operator reads each cause's list through its typed handle.
   for (std::uint32_t cause = 0; cause < 3; ++cause) {
-    std::uint64_t polled = 0;
+    const auto entries = client.list(cause).read(per_cause_sent[cause]);
+    if (!entries.ok()) {
+      std::printf("  %-15s : read failed: %s\n", kCauseNames[cause],
+                  entries.status().to_string().c_str());
+      continue;
+    }
     std::uint32_t sample_seq = 0;
     dta::net::FiveTuple sample_flow;
-    const std::uint64_t available = per_cause_sent[cause];
-    for (std::uint64_t i = 0; i < available; ++i) {
-      const auto entry = store->poll(cause);
-      if (i == 0) {
-        sample_flow = dta::net::FiveTuple::from_bytes(entry.subspan(0, 13));
-        sample_seq = dta::common::load_u32(entry.data() + 13);
-      }
-      ++polled;
+    if (!entries->empty()) {
+      const auto& first = entries->front();
+      sample_flow = dta::net::FiveTuple::from_bytes(
+          dta::common::ByteSpan(first.data(), 13));
+      sample_seq = dta::common::load_u32(first.data() + 13);
     }
-    std::printf("  %-15s : %8llu events (first: %s seq=%u)\n",
-                kCauseNames[cause], static_cast<unsigned long long>(polled),
-                polled ? sample_flow.to_string().c_str() : "-", sample_seq);
+    std::printf("  %-15s : %8zu events (first: %s seq=%u)\n",
+                kCauseNames[cause], entries->size(),
+                entries->empty() ? "-" : sample_flow.to_string().c_str(),
+                sample_seq);
   }
 
-  const auto& stats = fabric.translator().append()->stats();
-  std::printf("translator: %llu entries -> %llu RDMA writes "
+  const auto stats = client.stats();
+  std::printf("translation: %llu entries -> %llu RDMA writes "
               "(%.1f events per memory operation)\n",
-              static_cast<unsigned long long>(stats.entries_in),
-              static_cast<unsigned long long>(stats.writes_emitted),
-              static_cast<double>(stats.entries_in) /
-                  static_cast<double>(stats.writes_emitted));
+              static_cast<unsigned long long>(
+                  stats.translation.append_entries_in),
+              static_cast<unsigned long long>(
+                  stats.translation.append_writes),
+              static_cast<double>(stats.translation.append_entries_in) /
+                  static_cast<double>(stats.translation.append_writes));
   return 0;
 }

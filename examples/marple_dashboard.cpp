@@ -1,4 +1,5 @@
-// Marple-over-DTA integration (paper §6.1 / Figure 7b, Table 2).
+// Marple-over-DTA integration (paper §6.1 / Figure 7b, Table 2), on
+// the v2 client API.
 //
 // Runs the three Marple queries the paper evaluates on one packet
 // stream and routes each through its designated DTA primitive:
@@ -7,7 +8,7 @@
 //   * Flowlet Sizes  -> Append, flow+size tuples for offline histograms;
 // plus TurboFlow-style evicted per-host counters -> Key-Increment.
 // Afterwards it renders the operator "dashboard" entirely from
-// collector-memory queries.
+// dta::Client queries against collector memory.
 //
 //   $ ./example_marple_dashboard [num_packets]
 
@@ -15,14 +16,14 @@
 #include <cstdlib>
 #include <map>
 
-#include "dtalib/fabric.h"
+#include "dtalib/client.h"
 #include "telemetry/marple_gen.h"
 
 int main(int argc, char** argv) {
   const int num_packets = argc > 1 ? std::atoi(argv[1]) : 200000;
   constexpr std::uint32_t kLossyBase = 0, kLossyRanges = 4, kFlowletList = 4;
 
-  dta::FabricConfig config;
+  dta::collector::CollectorRuntimeConfig config;
   dta::collector::AppendSetup ap;
   ap.num_lists = 5;             // 4 lossy ranges + 1 flowlet list
   ap.entries_per_list = 1 << 16;
@@ -35,8 +36,8 @@ int main(int argc, char** argv) {
   dta::collector::KeyIncrementSetup ki;
   ki.num_slots = 1 << 16;
   config.keyincrement = ki;
-  config.translator.append_batch_size = 4;
-  dta::Fabric fabric(config);
+  config.append_batch_size = 4;
+  dta::Client client = dta::Client::local(config);
 
   dta::telemetry::TraceConfig tc;
   tc.num_flows = 5000;
@@ -52,26 +53,27 @@ int main(int argc, char** argv) {
 
   std::printf("running 3 Marple queries over %d packets...\n", num_packets);
   std::uint64_t flowlets = 0, timeouts = 0, lossy = 0;
+  std::uint64_t lossy_per_range[kLossyRanges] = {};
   std::vector<dta::net::FiveTuple> timeout_flows;
   for (int i = 0; i < num_packets; ++i) {
     const auto result = marple.step();
     if (result.flowlet) {
       ++flowlets;
-      // Flowlet sizes append to a shared list (entry padded to 17B).
-      auto report = result.flowlet->to_dta(kFlowletList);
-      fabric.report(report);
+      // Flowlet sizes append to a shared list.
+      client.report(result.flowlet->to_dta(kFlowletList));
     }
     if (result.tcp_timeout) {
       ++timeouts;
       timeout_flows.push_back(result.tcp_timeout->flow);
-      fabric.report(result.tcp_timeout->to_dta(2));
+      client.report(result.tcp_timeout->to_dta(2));
     }
     if (result.lossy_flow) {
       ++lossy;
       auto report = result.lossy_flow->to_dta(kLossyBase, kLossyRanges);
+      ++lossy_per_range[report.list_id - kLossyBase];
       report.entry_size = 17;  // shared region geometry
       report.entries[0].resize(17, 0);
-      fabric.report(report);
+      client.report(std::move(report));
     }
     // TurboFlow-ish per-source-IP packet counters via Key-Increment.
     if (i % 64 == 0) {
@@ -79,64 +81,65 @@ int main(int argc, char** argv) {
       counter.src_ip = trace.flow_at(static_cast<std::uint32_t>(i) % 5000)
                            .src_ip;
       counter.count = 64;
-      fabric.report(counter.to_dta(2));
+      client.report(counter.to_dta(2));
     }
   }
-  fabric.flush();
+  client.flush();
   std::printf("query results shipped: %llu flowlets, %llu timeouts, "
               "%llu lossy flows\n\n",
               static_cast<unsigned long long>(flowlets),
               static_cast<unsigned long long>(timeouts),
               static_cast<unsigned long long>(lossy));
 
-  // ---- Dashboard, rendered purely from collector memory ----
+  // ---- Dashboard, rendered purely from dta::Client queries ----
   std::printf("=== lossy connections by loss-rate range ===\n");
-  auto* store = fabric.collector().service().append();
   const char* kRanges[4] = {"<0.1%", "0.1-1%", "1-10%", ">10%"};
   for (std::uint32_t range = 0; range < kLossyRanges; ++range) {
-    // In a deployment the CPU knows its per-list fill level; here we
-    // conservatively poll what was flushed.
-    std::printf("  %-7s: list %u at collector VA offset %llu\n",
-                kRanges[range], range,
-                static_cast<unsigned long long>(store->tail(range)));
+    const std::uint64_t available =
+        std::min<std::uint64_t>(lossy_per_range[range], ap.entries_per_list);
+    const auto entries = client.list(kLossyBase + range).read(available);
+    std::printf("  %-7s: %llu lossy connections on list %u\n",
+                kRanges[range],
+                static_cast<unsigned long long>(
+                    entries.ok() ? entries->size() : 0),
+                kLossyBase + range);
   }
 
   std::printf("\n=== per-flow TCP timeouts (sampled flows) ===\n");
   int shown = 0;
   for (const auto& flow : timeout_flows) {
-    const auto kb = flow.to_bytes();
-    const auto key = dta::proto::TelemetryKey::from(
-        dta::common::ByteSpan(kb.data(), kb.size()));
-    const auto result =
-        fabric.collector().service().keywrite()->query(key, 2);
-    if (result.status == dta::collector::QueryStatus::kHit && shown < 5) {
-      std::printf("  %-28s %u timeouts\n", flow.to_string().c_str(),
-                  dta::common::load_u32(result.value.data()));
+    const auto count = client.keywrite().get_u32(dta::flow_key(flow));
+    if (count.ok() && shown < 5) {
+      std::printf("  %-28s %u timeouts\n", flow.to_string().c_str(), *count);
       ++shown;
     }
   }
 
   std::printf("\n=== flowlet-size histogram (from Append list) ===\n");
   std::map<std::uint32_t, int> histogram;
-  const auto& ap_stats = fabric.translator().append()->stats();
-  std::uint64_t flowlet_entries =
+  const std::uint64_t flowlet_entries =
       std::min<std::uint64_t>(flowlets, ap.entries_per_list);
-  for (std::uint64_t i = 0; i < flowlet_entries; ++i) {
-    const auto entry = store->poll(kFlowletList);
-    const std::uint32_t size = dta::common::load_u32(entry.data() + 13);
-    if (size == 0) continue;  // unfilled tail region
-    // Bucket by power of two.
-    std::uint32_t bucket = 1;
-    while (bucket * 2 <= size) bucket *= 2;
-    histogram[bucket]++;
+  const auto flowlet_data = client.list(kFlowletList).read(flowlet_entries);
+  if (flowlet_data.ok()) {
+    for (const auto& entry : *flowlet_data) {
+      const std::uint32_t size = dta::common::load_u32(entry.data() + 13);
+      if (size == 0) continue;  // unfilled tail region
+      // Bucket by power of two.
+      std::uint32_t bucket = 1;
+      while (bucket * 2 <= size) bucket *= 2;
+      histogram[bucket]++;
+    }
   }
   for (const auto& [bucket, count] : histogram) {
-    std::printf("  %6u-%-6u packets: %d flowlets\n", bucket, bucket * 2 - 1,
-                count);
+    std::printf("  %6u-%-6u packets: %d flowlets\n", bucket,
+                bucket * 2 - 1, count);
   }
 
-  std::printf("\ntranslator emitted %llu RDMA writes for %llu entries\n",
-              static_cast<unsigned long long>(ap_stats.writes_emitted),
-              static_cast<unsigned long long>(ap_stats.entries_in));
+  const auto stats = client.stats();
+  std::printf("\ntranslation emitted %llu RDMA writes for %llu entries\n",
+              static_cast<unsigned long long>(
+                  stats.translation.append_writes),
+              static_cast<unsigned long long>(
+                  stats.translation.append_entries_in));
   return 0;
 }

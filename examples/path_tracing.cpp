@@ -1,17 +1,19 @@
-// Per-packet path tracing with the Postcarding primitive (paper §4, §6.6).
+// Per-packet path tracing with the Postcarding primitive (paper §4,
+// §6.6), on the v2 client API.
 //
 // Simulates an INT-XD deployment: switches along each sampled packet's
-// path emit 4B postcards; the translator aggregates the postcards of
-// each flow in its 32K-slot cache and writes complete paths to the
-// collector with a single RDMA WRITE. The operator then asks "which
-// switches did flow X traverse?" straight from collector memory.
+// path emit 4B postcards; the per-shard translator engines aggregate
+// each flow's postcards and write complete paths to collector memory
+// with a single RDMA WRITE. The operator then asks "which switches did
+// flow X traverse?" through dta::Client — a typed path or a typed
+// Status, never a wrong answer.
 //
 //   $ ./example_path_tracing [num_flows]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "dtalib/fabric.h"
+#include "dtalib/client.h"
 #include "telemetry/int_gen.h"
 
 int main(int argc, char** argv) {
@@ -19,7 +21,7 @@ int main(int argc, char** argv) {
 
   // Collector: a 128K-chunk Postcarding store over the 2^18 switch-ID
   // space the paper's example uses.
-  dta::FabricConfig config;
+  dta::collector::CollectorRuntimeConfig config;
   dta::collector::PostcardingSetup pc;
   pc.num_chunks = 1 << 17;
   pc.hops = 5;
@@ -27,9 +29,9 @@ int main(int argc, char** argv) {
   pc.value_space.reserve(kSwitches);
   for (std::uint32_t v = 1; v <= kSwitches; ++v) pc.value_space.push_back(v);
   config.postcarding = pc;
-  config.translator.postcard_cache_slots = 32768;
+  config.postcard_cache_slots = 32768;
 
-  dta::Fabric fabric(config);
+  dta::Client client = dta::Client::local(config);
 
   // Reporter side: INT-XD over synthetic DC traffic.
   dta::telemetry::TraceConfig tc;
@@ -46,45 +48,43 @@ int main(int argc, char** argv) {
     const auto cards = generator.next_postcards();
     sampled.push_back(cards[0].flow);
     for (const auto& card : cards) {
-      fabric.report(card.to_dta(/*redundancy=*/1));
+      const auto status = client.report(card.to_dta(/*redundancy=*/1));
+      if (!status.ok()) {
+        std::printf("report rejected: %s\n", status.to_string().c_str());
+        return 1;
+      }
     }
   }
-  fabric.flush();  // drain the translator cache at end of run
+  client.flush();  // drain the per-shard postcard caches
 
-  const auto& cache_stats = fabric.translator().postcarding()->stats();
-  std::printf("translator cache: %llu postcards -> %llu full paths, "
-              "%llu early emissions (collisions)\n",
-              static_cast<unsigned long long>(cache_stats.postcards_in),
-              static_cast<unsigned long long>(cache_stats.full_emissions),
-              static_cast<unsigned long long>(cache_stats.early_emissions));
+  const auto stats = client.stats();
+  std::printf("translation: %llu postcards -> %llu path writes\n",
+              static_cast<unsigned long long>(
+                  stats.translation.postcards_in),
+              static_cast<unsigned long long>(
+                  stats.translation.postcard_writes));
 
   // Query the paths back and validate against the generator's oracle.
+  auto postcards = client.postcards();
   int found = 0, correct = 0;
   for (const auto& flow : sampled) {
-    const auto kb = flow.to_bytes();
-    const auto key = dta::proto::TelemetryKey::from(
-        dta::common::ByteSpan(kb.data(), kb.size()));
-    const auto result =
-        fabric.collector().service().postcarding()->query(key, 1);
-    if (!result.found) continue;
+    const auto result = postcards.path_of(dta::flow_key(flow));
+    if (!result.ok()) continue;
     ++found;
-    if (result.hop_values == generator.path_of(flow)) ++correct;
+    if (*result == generator.path_of(flow)) ++correct;
   }
   std::printf("queried %zu flows: %d paths recovered, %d exactly correct "
               "(%.1f%% success, 0 wrong outputs tolerated)\n",
-              sampled.size(), found, correct, 100.0 * found / sampled.size());
+              sampled.size(), found, correct,
+              100.0 * found / sampled.size());
 
   // Show one path end-to-end.
   const auto& flow = sampled.front();
-  const auto kb = flow.to_bytes();
-  const auto key = dta::proto::TelemetryKey::from(
-      dta::common::ByteSpan(kb.data(), kb.size()));
-  const auto result =
-      fabric.collector().service().postcarding()->query(key, 1);
-  if (result.found) {
-    std::printf("example: %s traversed switches [", flow.to_string().c_str());
-    for (std::size_t i = 0; i < result.hop_values.size(); ++i) {
-      std::printf("%s%u", i ? ", " : "", result.hop_values[i]);
+  if (const auto path = postcards.path_of(dta::flow_key(flow)); path.ok()) {
+    std::printf("example: %s traversed switches [",
+                flow.to_string().c_str());
+    for (std::size_t i = 0; i < path->size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", (*path)[i]);
     }
     std::printf("]\n");
   }

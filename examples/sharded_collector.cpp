@@ -1,12 +1,13 @@
-// Sharded collector runtime walkthrough.
+// Sharded collector walkthrough on the v2 client API.
 //
-// Spins up a 4-shard CollectorRuntime, pushes per-flow Key-Write
-// metrics, per-flow loss counters and an Append event stream through
-// the sharded ingest pipeline, then answers queries through the
-// fan-out/merge frontend — the scaled-out version of quickstart.cpp.
+// Spins up a 4-shard collector behind dta::Client (LocalBackend),
+// pushes per-flow Key-Write metrics, per-flow loss counters and an
+// Append event stream through the sharded ingest pipeline, then
+// answers queries through the typed handles — the scaled-out version
+// of quickstart.cpp. The shard topology never leaks into the calls.
 #include <cstdio>
 
-#include "collector/runtime.h"
+#include "dtalib/client.h"
 
 using namespace dta;
 
@@ -30,75 +31,56 @@ int main() {
   ap.entry_bytes = 4;
   config.append = ap;
 
-  collector::CollectorRuntime runtime(config);
+  Client client = Client::local(config);
+  collector::CollectorRuntime& runtime = *client.local_runtime();
   std::printf("collector runtime: %u shards, op batch %u, %s pipeline\n",
               runtime.num_shards(), config.op_batch_size,
               runtime.pipeline().threaded() ? "threaded" : "inline");
 
   // Report path: 1000 flows, each with a latency metric, a drop counter
   // and one loss event on list (flow % 4).
-  for (std::uint32_t flow = 0; flow < 1000; ++flow) {
+  auto flow_of = [](std::uint32_t id) {
     net::FiveTuple tuple;
-    tuple.src_ip = 0x0A000000 + flow;
-    tuple.dst_ip = 0x0B000000 + (flow % 16);
-    tuple.src_port = static_cast<std::uint16_t>(10000 + flow);
+    tuple.src_ip = 0x0A000000 + id;
+    tuple.dst_ip = 0x0B000000 + (id % 16);
+    tuple.src_port = static_cast<std::uint16_t>(10000 + id);
     tuple.dst_port = 443;
     tuple.protocol = 6;
-    const auto bytes = tuple.to_bytes();
-    const auto key = proto::TelemetryKey::from(
-        common::ByteSpan(bytes.data(), bytes.size()));
-
-    proto::KeyWriteReport metric;
-    metric.key = key;
-    metric.redundancy = 2;
-    common::put_u32(metric.data, 100 + flow % 50);  // usec latency
-    runtime.submit({proto::DtaHeader{}, metric});
-
-    proto::KeyIncrementReport drops;
-    drops.key = key;
-    drops.redundancy = 2;
-    drops.counter = flow % 3;
-    runtime.submit({proto::DtaHeader{}, drops});
-
-    proto::AppendReport event;
-    event.list_id = flow % 4;
-    event.entry_size = 4;
-    common::Bytes entry;
-    common::put_u32(entry, flow);
-    event.entries.push_back(std::move(entry));
-    runtime.submit({proto::DtaHeader{}, event});
+    return tuple;
+  };
+  for (std::uint32_t flow = 0; flow < 1000; ++flow) {
+    const auto key = flow_key(flow_of(flow));
+    client.keywrite().put_u32(key, 100 + flow % 50);  // usec latency
+    client.counters().add(key, flow % 3);             // drops
+    client.list(flow % 4).append_u32(flow);           // loss event
   }
-  runtime.flush();
+  client.flush();
 
-  const auto stats = runtime.stats();
+  const auto stats = client.stats();
   std::printf("ingested %llu reports -> %llu verbs in %llu doorbells "
               "(%.1f ops/doorbell)\n",
-              static_cast<unsigned long long>(stats.reports_in),
-              static_cast<unsigned long long>(stats.verbs_executed),
-              static_cast<unsigned long long>(stats.batch_flushes),
-              static_cast<double>(stats.ops_batched) /
-                  static_cast<double>(stats.batch_flushes));
+              static_cast<unsigned long long>(stats.ingest.reports_in),
+              static_cast<unsigned long long>(stats.ingest.verbs_executed),
+              static_cast<unsigned long long>(stats.ingest.batch_flushes),
+              static_cast<double>(stats.ingest.ops_batched) /
+                  static_cast<double>(stats.ingest.batch_flushes));
 
   // Query path: point lookups fan out across shards and merge votes.
-  net::FiveTuple probe;
-  probe.src_ip = 0x0A000000 + 44;
-  probe.dst_ip = 0x0B000000 + (44 % 16);
-  probe.src_port = 10044;
-  probe.dst_port = 443;
-  probe.protocol = 6;
-  if (auto latency = runtime.query().flow_metric(probe)) {
+  const auto probe = flow_key(flow_of(44));
+  if (const auto latency = client.keywrite().get_u32(probe); latency.ok()) {
     std::printf("flow 44 latency: %u usec\n", *latency);
   }
   std::printf("flow 44 drops: %llu\n",
               static_cast<unsigned long long>(
-                  runtime.query().flow_counter(probe)));
+                  client.counters().get(probe).value_or(0)));
 
   std::size_t events = 0;
   for (std::uint32_t list = 0; list < 4; ++list) {
-    events += runtime.query().consume_events(
-        list, 250, [](common::ByteSpan) {});
+    if (const auto entries = client.list(list).read(250); entries.ok()) {
+      events += entries->size();
+    }
   }
-  std::printf("drained %zu loss events across 4 striped lists\n", events);
+  std::printf("read %zu loss events across 4 striped lists\n", events);
 
   // Per-shard view: the aggregate modeled rate is the scaling headline.
   for (std::uint32_t i = 0; i < runtime.num_shards(); ++i) {
@@ -108,6 +90,6 @@ int main() {
                 static_cast<unsigned long long>(s.verbs_executed));
   }
   std::printf("aggregate modeled ingest: %.1fM verbs/s\n",
-              runtime.modeled_aggregate_verbs_per_sec() / 1e6);
+              client.modeled_verbs_per_sec() / 1e6);
   return 0;
 }

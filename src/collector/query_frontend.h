@@ -16,6 +16,12 @@
 // barrier). The cluster merge layer — dta::ClusterQueryFrontend —
 // fans out across hosts, resolves asynchronously from per-shard
 // StoreSnapshots, and adds the replica-failover vote.
+//
+// DEPRECATED (dtalib v2): application code should use the typed,
+// backend-agnostic dta::Client facade (src/dtalib/client.h), which
+// resolves queries from immutable snapshots and reports failures as
+// dta::Status instead of optionals. This class stays as a thin shim
+// for one PR for internal plumbing and live-store oracles.
 #pragma once
 
 #include <cstdint>

@@ -137,6 +137,12 @@ std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard(
 
 std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard_bounded(
     std::uint32_t i, std::uint64_t min_covers_seq) {
+  return snapshot_shard_bounded(i, min_covers_seq, staleness_budget_);
+}
+
+std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard_bounded(
+    std::uint32_t i, std::uint64_t min_covers_seq,
+    const SnapshotStalenessBudget& budget) {
   // Exactly-current first (a plain hit beats a stale one), then the
   // staleness budget — a within-budget snapshot is served with no
   // refresh and no quiesce — then the refresh slow path.
@@ -144,7 +150,6 @@ std::shared_ptr<const StoreSnapshot> CollectorRuntime::snapshot_shard_bounded(
   const std::uint64_t generation = shards_[i]->generation();
   const std::uint64_t submitted = pipeline_->submitted(i);
   if (auto hit = cache.lookup(i, generation, submitted)) return hit;
-  const SnapshotStalenessBudget& budget = staleness_budget_;
   if (auto s = cache.lookup_bounded(i, generation, budget, min_covers_seq)) {
     return s;
   }
@@ -170,6 +175,12 @@ CollectorRuntimeStats CollectorRuntime::stats() const {
     total.verbs_executed += s.verbs_executed;
     total.verbs_failed += s.verbs_failed;
   }
+  return total;
+}
+
+TranslationStats CollectorRuntime::translation_stats() const {
+  TranslationStats total;
+  for (const auto& shard : shards_) total += shard->translation_stats();
   return total;
 }
 

@@ -74,6 +74,15 @@ struct CollectorRuntimeStats {
   std::uint64_t batch_flushes = 0;
   std::uint64_t verbs_executed = 0;
   std::uint64_t verbs_failed = 0;
+
+  CollectorRuntimeStats& operator+=(const CollectorRuntimeStats& o) {
+    reports_in += o.reports_in;
+    ops_batched += o.ops_batched;
+    batch_flushes += o.batch_flushes;
+    verbs_executed += o.verbs_executed;
+    verbs_failed += o.verbs_failed;
+    return *this;
+  }
 };
 
 class CollectorRuntime {
@@ -123,6 +132,14 @@ class CollectorRuntime {
   std::shared_ptr<const StoreSnapshot> snapshot_shard_bounded(
       std::uint32_t i, std::uint64_t min_covers_seq = 0);
 
+  // Per-call budget variant: like snapshot_shard_bounded but consults
+  // `budget` instead of the runtime-wide staleness_budget(). This is
+  // the single acquisition path dta::QueryOptions threads through — a
+  // per-query budget never mutates runtime state.
+  std::shared_ptr<const StoreSnapshot> snapshot_shard_bounded(
+      std::uint32_t i, std::uint64_t min_covers_seq,
+      const SnapshotStalenessBudget& budget);
+
   // Uncached variant: always pays the copy (the bench baseline and the
   // cache's correctness oracle). Same threading rules as snapshot_shard;
   // does not publish into the cache.
@@ -146,6 +163,9 @@ class CollectorRuntime {
   // Which shard a report routes to (exposed for tests and benches).
   std::uint32_t shard_index_for(const proto::ParsedDta& parsed) const;
 
+  // The (normalized) configuration this runtime was built from.
+  const CollectorRuntimeConfig& config() const { return config_; }
+
   QueryFrontend& query() { return *query_; }
   std::uint32_t num_shards() const {
     return static_cast<std::uint32_t>(shards_.size());
@@ -154,6 +174,10 @@ class CollectorRuntime {
   const IngestPipeline& pipeline() const { return *pipeline_; }
 
   CollectorRuntimeStats stats() const;
+
+  // Aggregate of every shard's translator-engine counters (the
+  // per-primitive translation layer). Read behind a flush barrier.
+  TranslationStats translation_stats() const;
 
   // Aggregate modeled ingest rate: the sum of the per-shard NIC rates
   // (each shard owns an independent NIC message unit, so capacity adds).

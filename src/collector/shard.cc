@@ -4,6 +4,49 @@
 
 namespace dta::collector {
 
+TranslationStats& TranslationStats::operator+=(const TranslationStats& o) {
+  keywrite_reports += o.keywrite_reports;
+  keywrite_writes += o.keywrite_writes;
+  truncated_values += o.truncated_values;
+  keyincrement_reports += o.keyincrement_reports;
+  fetch_adds += o.fetch_adds;
+  postcards_in += o.postcards_in;
+  postcard_writes += o.postcard_writes;
+  append_entries_in += o.append_entries_in;
+  append_writes += o.append_writes;
+  append_bytes_written += o.append_bytes_written;
+  append_dropped_bad_list += o.append_dropped_bad_list;
+  return *this;
+}
+
+TranslationStats CollectorShard::translation_stats() const {
+  TranslationStats out;
+  if (keywrite_) {
+    const auto& s = keywrite_->stats();
+    out.keywrite_reports = s.reports;
+    out.keywrite_writes = s.writes_emitted;
+    out.truncated_values = s.truncated_values;
+  }
+  if (keyincrement_) {
+    const auto& s = keyincrement_->stats();
+    out.keyincrement_reports = s.reports;
+    out.fetch_adds = s.fetch_adds_emitted;
+  }
+  if (postcarding_) {
+    const auto& s = postcarding_->stats();
+    out.postcards_in = s.postcards_in;
+    out.postcard_writes = s.writes_emitted;
+  }
+  if (append_) {
+    const auto& s = append_->stats();
+    out.append_entries_in = s.entries_in;
+    out.append_writes = s.writes_emitted;
+    out.append_bytes_written = s.bytes_written;
+    out.append_dropped_bad_list = s.dropped_bad_list;
+  }
+  return out;
+}
+
 CollectorShard::CollectorShard(std::uint32_t index, const ShardConfig& config)
     : index_(index),
       op_batch_size_(config.op_batch_size == 0 ? 1 : config.op_batch_size),

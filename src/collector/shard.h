@@ -57,6 +57,27 @@ struct ShardStats {
   std::uint64_t verbs_failed = 0;
 };
 
+// Aggregated view of the shard's translator-engine counters (the
+// per-primitive translation layer the shard runs in front of its NIC).
+// One addable struct, so the runtime and cluster tiers can sum it
+// across shards and hosts instead of callers poking each engine.
+// Read behind a flush barrier, like ShardStats.
+struct TranslationStats {
+  std::uint64_t keywrite_reports = 0;
+  std::uint64_t keywrite_writes = 0;
+  std::uint64_t truncated_values = 0;
+  std::uint64_t keyincrement_reports = 0;
+  std::uint64_t fetch_adds = 0;
+  std::uint64_t postcards_in = 0;
+  std::uint64_t postcard_writes = 0;
+  std::uint64_t append_entries_in = 0;
+  std::uint64_t append_writes = 0;
+  std::uint64_t append_bytes_written = 0;
+  std::uint64_t append_dropped_bad_list = 0;
+
+  TranslationStats& operator+=(const TranslationStats& o);
+};
+
 class CollectorShard {
  public:
   CollectorShard(std::uint32_t index, const ShardConfig& config);
@@ -77,6 +98,10 @@ class CollectorShard {
   RdmaService& service() { return service_; }
   const RdmaService& service() const { return service_; }
   const ShardStats& stats() const { return stats_; }
+
+  // Snapshot of this shard's translator-engine counters (disabled
+  // primitives contribute zeros). Read behind a flush barrier.
+  TranslationStats translation_stats() const;
 
   // Store-memory generation: bumped once per delivered op batch (the
   // only moments store memory changes), so generation equality means

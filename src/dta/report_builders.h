@@ -1,0 +1,63 @@
+// Typed DTA report builders — the single place reports are assembled.
+//
+// Before dtalib v2, every bench, example and test hand-assembled
+// proto::ParsedDta structs (header + variant) with its own copy-pasted
+// helper. These builders are the one shared definition: applications,
+// the dta::Client facade, benches and tests all construct reports here,
+// so the wire-struct layout has exactly one construction site outside
+// the protocol code itself.
+//
+// Builders return fully-formed ParsedDta values ready for any ingest
+// seam (Client::report, Fabric::report_direct, CollectorRuntime/
+// ClusterRuntime submit) and for proto::encode_dta_payload.
+#pragma once
+
+#include <cstdint>
+
+#include "dta/wire.h"
+
+namespace dta::reports {
+
+// --- keys -------------------------------------------------------------------
+// Fixed-width integer keys in network byte order (the test corpus
+// convention).
+proto::TelemetryKey u32_key(std::uint32_t id);
+proto::TelemetryKey u64_key(std::uint64_t id);
+
+// Deterministic well-mixed 8-byte key matching the uniform-hashing
+// assumption of the paper's analysis (real 5-tuples look random; see
+// tests/property_test). Shared by the benches' key generators.
+proto::TelemetryKey mixed_key(std::uint64_t id);
+
+// --- reports ----------------------------------------------------------------
+// Wraps a typed report in a ParsedDta with a default header (the
+// opcode travels in the variant); `immediate` sets the header's
+// CPU-interrupt flag (paper §7).
+proto::ParsedDta wrap(proto::Report report, bool immediate = false);
+
+// Key-Write: (key, value, N).
+proto::ParsedDta keywrite(const proto::TelemetryKey& key,
+                          common::ByteSpan value,
+                          std::uint8_t redundancy = 2);
+// Key-Write with a 4B integer value (the common metric shape).
+proto::ParsedDta keywrite_u32(const proto::TelemetryKey& key,
+                              std::uint32_t value,
+                              std::uint8_t redundancy = 2);
+
+// Key-Increment: (key, delta, N).
+proto::ParsedDta keyincrement(const proto::TelemetryKey& key,
+                              std::uint64_t delta,
+                              std::uint8_t redundancy = 2);
+
+// Append: one entry onto `list`. The entry's size is the report's
+// declared entry size; the store's geometry must match.
+proto::ParsedDta append(std::uint32_t list, common::ByteSpan entry);
+// Append with a 4B integer entry.
+proto::ParsedDta append_u32(std::uint32_t list, std::uint32_t value);
+
+// Postcard: (key, hop, path_len, value, N).
+proto::ParsedDta postcard(const proto::TelemetryKey& key, std::uint8_t hop,
+                          std::uint8_t path_len, std::uint32_t value,
+                          std::uint8_t redundancy = 1);
+
+}  // namespace dta::reports

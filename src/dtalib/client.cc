@@ -1,0 +1,763 @@
+#include "dtalib/client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/shard_math.h"
+#include "dta/report_builders.h"
+
+namespace dta {
+
+namespace {
+
+using collector::StoreSnapshot;
+using SnapshotPtr = Backend::SnapshotPtr;
+
+// Validates a report against the (per-host) store geometry before it
+// touches any router: the pre-v2 seams silently dropped or UB'd on
+// these, the v2 contract is a distinct Status per failure class.
+Status validate_submit(const proto::ParsedDta& parsed,
+                       const collector::CollectorRuntimeConfig& config,
+                       std::uint32_t num_lists) {
+  if (const auto* kw = std::get_if<proto::KeyWriteReport>(&parsed.report)) {
+    if (!config.keywrite) {
+      return {StatusCode::kNotConfigured, "Key-Write store not enabled"};
+    }
+    if (kw->key.length == 0) {
+      return {StatusCode::kInvalidArgument, "empty telemetry key"};
+    }
+    if (kw->redundancy == 0) {
+      return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
+    }
+    if (kw->data.size() > config.keywrite->value_bytes) {
+      return {StatusCode::kOutOfRange,
+              "value wider than the store's value_bytes"};
+    }
+    return Status::Ok();
+  }
+  if (const auto* ki =
+          std::get_if<proto::KeyIncrementReport>(&parsed.report)) {
+    if (!config.keyincrement) {
+      return {StatusCode::kNotConfigured, "Key-Increment store not enabled"};
+    }
+    if (ki->key.length == 0) {
+      return {StatusCode::kInvalidArgument, "empty telemetry key"};
+    }
+    if (ki->redundancy == 0) {
+      return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
+    }
+    return Status::Ok();
+  }
+  if (const auto* pc = std::get_if<proto::PostcardReport>(&parsed.report)) {
+    if (!config.postcarding) {
+      return {StatusCode::kNotConfigured, "Postcarding store not enabled"};
+    }
+    if (pc->key.length == 0) {
+      return {StatusCode::kInvalidArgument, "empty telemetry key"};
+    }
+    if (pc->hop >= config.postcarding->hops ||
+        pc->path_len > config.postcarding->hops) {
+      return {StatusCode::kOutOfRange, "hop index beyond the store's hops"};
+    }
+    return Status::Ok();
+  }
+  if (const auto* ap = std::get_if<proto::AppendReport>(&parsed.report)) {
+    if (!config.append) {
+      return {StatusCode::kNotConfigured, "Append store not enabled"};
+    }
+    if (ap->list_id >= num_lists) {
+      return {StatusCode::kUnknownList, "Append list id out of range"};
+    }
+    if (ap->entries.empty()) {
+      return {StatusCode::kInvalidArgument, "Append report with no entries"};
+    }
+    if (ap->entry_size != config.append->entry_bytes) {
+      return {StatusCode::kOutOfRange,
+              "entry size differs from the store's entry_bytes"};
+    }
+    // Check the actual payload sizes too: the wire field is 8-bit, so a
+    // >255B entry would alias a small entry_size and silently truncate
+    // in the engine — exactly the failure class Status exists to name.
+    for (const auto& entry : ap->entries) {
+      if (entry.size() != config.append->entry_bytes) {
+        return {StatusCode::kOutOfRange,
+                "entry payload differs from the store's entry_bytes"};
+      }
+    }
+    return Status::Ok();
+  }
+  return {StatusCode::kUnsupported,
+          "NACKs flow translator->reporter, not into a collector"};
+}
+
+// The single snapshot-acquisition path both backends share: resolve
+// the read-your-submits floor, reject unsatisfiable floors, pick the
+// per-call or runtime staleness budget, acquire bounded.
+Expected<SnapshotPtr> acquire_snapshot(collector::CollectorRuntime& runtime,
+                                       std::uint32_t shard,
+                                       const QueryOptions& opts) {
+  const std::uint64_t submitted = runtime.pipeline().submitted(shard);
+  std::uint64_t floor = opts.covers_seq;
+  if (opts.read_your_submits) floor = std::max(floor, submitted);
+  if (floor > submitted) {
+    return Status(StatusCode::kStalenessViolation,
+                  "covers_seq floor ahead of everything submitted");
+  }
+  const collector::SnapshotStalenessBudget& budget =
+      opts.staleness ? *opts.staleness : runtime.staleness_budget();
+  return runtime.snapshot_shard_bounded(shard, floor, budget);
+}
+
+Status query_precheck(const proto::TelemetryKey& key,
+                      const QueryOptions& opts) {
+  if (key.length == 0) {
+    return {StatusCode::kInvalidArgument, "empty telemetry key"};
+  }
+  if (opts.redundancy == 0) {
+    return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
+  }
+  return Status::Ok();
+}
+
+// Per-primitive query prechecks, shared by the sync/async/batch
+// variants of each handle so the rules cannot drift between them.
+Status keywrite_precheck(const Backend& backend,
+                         const proto::TelemetryKey& key,
+                         const QueryOptions& opts) {
+  if (!backend.host_config().keywrite) {
+    return {StatusCode::kNotConfigured, "Key-Write store not enabled"};
+  }
+  return query_precheck(key, opts);
+}
+
+Status keywrite_batch_precheck(const Backend& backend,
+                               const std::vector<proto::TelemetryKey>& keys,
+                               const QueryOptions& opts) {
+  if (!backend.host_config().keywrite) {
+    return {StatusCode::kNotConfigured, "Key-Write store not enabled"};
+  }
+  for (const auto& key : keys) {
+    if (auto status = query_precheck(key, opts); !status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status counter_precheck(const Backend& backend,
+                        const proto::TelemetryKey& key,
+                        const QueryOptions& opts) {
+  if (!backend.host_config().keyincrement) {
+    return {StatusCode::kNotConfigured, "Key-Increment store not enabled"};
+  }
+  return query_precheck(key, opts);
+}
+
+Status postcard_precheck(const Backend& backend,
+                         const proto::TelemetryKey& key,
+                         const QueryOptions& opts) {
+  if (!backend.host_config().postcarding) {
+    return {StatusCode::kNotConfigured, "Postcarding store not enabled"};
+  }
+  return query_precheck(key, opts);
+}
+
+Status append_read_precheck(const Backend& backend, std::uint64_t count) {
+  const auto& config = backend.host_config();
+  if (!config.append) {
+    return {StatusCode::kNotConfigured, "Append store not enabled"};
+  }
+  if (count > config.append->entries_per_list) {
+    return {StatusCode::kOutOfRange, "count exceeds the ring capacity"};
+  }
+  return Status::Ok();
+}
+
+// Best-vote merge across replica snapshots (one snapshot per candidate
+// host). A conflict anywhere without a hit anywhere is reported as
+// kConflict — the caller can tell ambiguity from absence.
+Expected<common::Bytes> merge_keywrite(const std::vector<SnapshotPtr>& snaps,
+                                       const proto::TelemetryKey& key,
+                                       const QueryOptions& opts) {
+  collector::KeyWriteQueryResult best;
+  bool conflict = false;
+  for (const auto& snap : snaps) {
+    if (!snap->has_keywrite()) continue;
+    auto result =
+        snap->keywrite_query(key, opts.redundancy, opts.consensus_threshold);
+    if (result.status == collector::QueryStatus::kHit) {
+      if (best.status != collector::QueryStatus::kHit ||
+          result.votes > best.votes) {
+        best = std::move(result);
+      }
+    } else if (result.status == collector::QueryStatus::kConflict) {
+      conflict = true;
+    }
+  }
+  if (best.status == collector::QueryStatus::kHit) {
+    return std::move(best.value);
+  }
+  if (conflict) {
+    return Status(StatusCode::kConflict,
+                  "replica slots disagree or vote below threshold");
+  }
+  return Status(StatusCode::kNotFound, "no slot carried the key's checksum");
+}
+
+Expected<std::uint64_t> merge_counter(const std::vector<SnapshotPtr>& snaps,
+                                      const proto::TelemetryKey& key,
+                                      const QueryOptions& opts) {
+  std::optional<std::uint64_t> best;
+  for (const auto& snap : snaps) {
+    if (const auto est = snap->keyincrement_query(key, opts.redundancy)) {
+      best = std::max(best.value_or(0), *est);
+    }
+  }
+  if (!best) {
+    return Status(StatusCode::kNotFound,
+                  "no candidate snapshot held a Key-Increment store");
+  }
+  return *best;
+}
+
+Expected<std::vector<std::uint32_t>> merge_path(
+    const std::vector<SnapshotPtr>& snaps, const proto::TelemetryKey& key,
+    const QueryOptions& opts) {
+  std::optional<std::vector<std::uint32_t>> merged;
+  for (const auto& snap : snaps) {
+    if (!snap->has_postcarding()) continue;
+    auto result = snap->postcarding_query(key, opts.redundancy);
+    if (!result.found) continue;
+    if (merged && *merged != result.hop_values) {
+      return Status(StatusCode::kConflict,
+                    "replica hosts decoded different paths");
+    }
+    merged = std::move(result.hop_values);
+  }
+  if (!merged) {
+    return Status(StatusCode::kNotFound, "no path recovered for the key");
+  }
+  return *std::move(merged);
+}
+
+}  // namespace
+
+proto::TelemetryKey flow_key(const net::FiveTuple& flow) {
+  const auto bytes = flow.to_bytes();
+  return proto::TelemetryKey::from(
+      common::ByteSpan(bytes.data(), bytes.size()));
+}
+
+// --- LocalBackend ------------------------------------------------------------
+
+LocalBackend::LocalBackend(collector::CollectorRuntimeConfig config)
+    : runtime_(std::move(config)) {}
+
+Status LocalBackend::submit(proto::ParsedDta parsed,
+                            const ReportOptions& opts) {
+  // (dst_ip addresses hosts; a local backend is host 0.)
+  if (auto status = validate_submit(parsed, host_config(), num_lists());
+      !status.ok()) {
+    return status;
+  }
+  if (opts.immediate) parsed.header.immediate = true;
+  runtime_.submit(std::move(parsed));
+  return Status::Ok();
+}
+
+Status LocalBackend::flush() {
+  runtime_.flush();
+  return Status::Ok();
+}
+
+void LocalBackend::stop() { runtime_.stop(); }
+
+Expected<SnapshotPtr> LocalBackend::acquire(std::uint32_t shard,
+                                            const QueryOptions& opts) {
+  return acquire_snapshot(runtime_, shard, opts);
+}
+
+Expected<std::vector<SnapshotPtr>> LocalBackend::key_snapshots(
+    const proto::TelemetryKey& key, const QueryOptions& opts) {
+  const std::uint32_t shard =
+      collector::shard_for_key(key, runtime_.num_shards());
+  auto snap = acquire(shard, opts);
+  if (!snap.ok()) return snap.status();
+  return std::vector<SnapshotPtr>{std::move(snap).value()};
+}
+
+Expected<std::vector<std::vector<SnapshotPtr>>>
+LocalBackend::key_snapshots_batch(const std::vector<proto::TelemetryKey>& keys,
+                                  const QueryOptions& opts) {
+  // One pin per shard: each shard is snapshotted at most once per batch.
+  std::vector<SnapshotPtr> pinned(runtime_.num_shards());
+  std::vector<std::vector<SnapshotPtr>> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) {
+    const std::uint32_t shard =
+        collector::shard_for_key(key, runtime_.num_shards());
+    if (!pinned[shard]) {
+      auto snap = acquire(shard, opts);
+      if (!snap.ok()) return snap.status();
+      pinned[shard] = std::move(snap).value();
+    }
+    out.push_back({pinned[shard]});
+  }
+  return out;
+}
+
+Expected<Backend::ListSlice> LocalBackend::list_snapshot(
+    std::uint32_t list, const QueryOptions& opts) {
+  if (!host_config().append) {
+    return Status(StatusCode::kNotConfigured, "Append store not enabled");
+  }
+  if (list >= num_lists()) {
+    return Status(StatusCode::kUnknownList, "Append list id out of range");
+  }
+  const std::uint32_t shard =
+      collector::shard_for_list(list, runtime_.num_shards());
+  auto snap = acquire(shard, opts);
+  if (!snap.ok()) return snap.status();
+  ListSlice slice;
+  slice.snap = std::move(snap).value();
+  slice.shard_list = collector::local_list_id(list, runtime_.num_shards());
+  return slice;
+}
+
+const collector::CollectorRuntimeConfig& LocalBackend::host_config() const {
+  return runtime_.config();
+}
+
+std::uint32_t LocalBackend::num_lists() const {
+  return host_config().append ? host_config().append->num_lists : 0;
+}
+
+ClientStats LocalBackend::stats() const {
+  ClientStats out;
+  out.ingest = runtime_.stats();
+  out.translation = runtime_.translation_stats();
+  out.num_hosts = 1;
+  out.live_hosts = 1;
+  ClusterHostStats host;
+  host.ingest = out.ingest;
+  host.translation = out.translation;
+  host.snapshots = runtime_.snapshot_cache().stats();
+  out.per_host.push_back(std::move(host));
+  return out;
+}
+
+double LocalBackend::modeled_verbs_per_sec() const {
+  return runtime_.modeled_aggregate_verbs_per_sec();
+}
+
+Status LocalBackend::fail_host(std::uint32_t host) {
+  (void)host;
+  return {StatusCode::kUnsupported, "LocalBackend has no host to fail"};
+}
+
+// --- ClusterBackend ----------------------------------------------------------
+
+ClusterBackend::ClusterBackend(ClusterRuntimeConfig config)
+    : cluster_(std::move(config)) {}
+
+Status ClusterBackend::submit(proto::ParsedDta parsed,
+                              const ReportOptions& opts) {
+  if (auto status = validate_submit(parsed, host_config(), num_lists());
+      !status.ok()) {
+    return status;
+  }
+  if (opts.immediate) parsed.header.immediate = true;
+  cluster_.submit(std::move(parsed), opts.dst_ip);
+  return Status::Ok();
+}
+
+Status ClusterBackend::flush() {
+  cluster_.flush();
+  return Status::Ok();
+}
+
+void ClusterBackend::stop() { cluster_.stop(); }
+
+std::vector<std::uint32_t> ClusterBackend::candidate_hosts(
+    const proto::TelemetryKey& key) const {
+  std::vector<std::uint32_t> hosts;
+  const auto owner = cluster_.selector().owner_host(key);
+  if (owner) {
+    if (!cluster_.is_failed(*owner)) hosts.push_back(*owner);
+    return hosts;  // kByKeyHash: a dead owner means the partition is lost
+  }
+  for (std::uint32_t h = 0; h < cluster_.num_hosts(); ++h) {
+    if (!cluster_.is_failed(h)) hosts.push_back(h);
+  }
+  return hosts;
+}
+
+Expected<SnapshotPtr> ClusterBackend::acquire(std::uint32_t host,
+                                              std::uint32_t shard,
+                                              const QueryOptions& opts) {
+  return acquire_snapshot(cluster_.host(host), shard, opts);
+}
+
+Expected<std::vector<SnapshotPtr>> ClusterBackend::key_snapshots(
+    const proto::TelemetryKey& key, const QueryOptions& opts) {
+  const auto hosts = candidate_hosts(key);
+  if (hosts.empty()) {
+    return Status(StatusCode::kUnavailable,
+                  "every candidate replica host is failed");
+  }
+  const std::uint32_t shard = cluster_.selector().shard_within_host(key);
+  std::vector<SnapshotPtr> snaps;
+  snaps.reserve(hosts.size());
+  for (const std::uint32_t h : hosts) {
+    auto snap = acquire(h, shard, opts);
+    if (!snap.ok()) return snap.status();
+    snaps.push_back(std::move(snap).value());
+  }
+  return snaps;
+}
+
+Expected<std::vector<std::vector<SnapshotPtr>>>
+ClusterBackend::key_snapshots_batch(
+    const std::vector<proto::TelemetryKey>& keys, const QueryOptions& opts) {
+  // One pin per (host, shard) for the whole batch.
+  std::vector<std::vector<SnapshotPtr>> pinned(
+      cluster_.num_hosts(),
+      std::vector<SnapshotPtr>(cluster_.shards_per_host()));
+  std::vector<std::vector<SnapshotPtr>> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) {
+    const auto hosts = candidate_hosts(key);
+    if (hosts.empty()) {
+      return Status(StatusCode::kUnavailable,
+                    "every candidate replica host is failed");
+    }
+    const std::uint32_t shard = cluster_.selector().shard_within_host(key);
+    std::vector<SnapshotPtr> snaps;
+    snaps.reserve(hosts.size());
+    for (const std::uint32_t h : hosts) {
+      if (!pinned[h][shard]) {
+        auto snap = acquire(h, shard, opts);
+        if (!snap.ok()) return snap.status();
+        pinned[h][shard] = std::move(snap).value();
+      }
+      snaps.push_back(pinned[h][shard]);
+    }
+    out.push_back(std::move(snaps));
+  }
+  return out;
+}
+
+Expected<Backend::ListSlice> ClusterBackend::list_snapshot(
+    std::uint32_t list, const QueryOptions& opts) {
+  if (!host_config().append) {
+    return Status(StatusCode::kNotConfigured, "Append store not enabled");
+  }
+  if (list >= num_lists()) {
+    return Status(StatusCode::kUnknownList, "Append list id out of range");
+  }
+  auto& selector = cluster_.selector();
+  std::optional<std::uint32_t> host;
+  switch (selector.policy()) {
+    case translator::PartitionPolicy::kByKeyHash:
+      // The partition owner — or nobody, if it died with the list.
+      host = selector.owner_host_of_list(list);
+      if (host && cluster_.is_failed(*host)) host.reset();
+      break;
+    case translator::PartitionPolicy::kReplicate:
+      // Replicas hold identical copies: first live one answers.
+      for (std::uint32_t h = 0; h < cluster_.num_hosts(); ++h) {
+        if (!cluster_.is_failed(h)) {
+          host = h;
+          break;
+        }
+      }
+      break;
+    case translator::PartitionPolicy::kByDestinationIp: {
+      // Only the host the reporter addressed holds the list; same
+      // normalized mapping as submit().
+      std::uint32_t dst_ip = opts.dst_ip;
+      if (dst_ip == 0) dst_ip = cluster_.host_ip(0);
+      const std::uint32_t h =
+          (dst_ip - cluster_.host_ip(0)) % cluster_.num_hosts();
+      if (!cluster_.is_failed(h)) host = h;
+      break;
+    }
+  }
+  if (!host) {
+    return Status(StatusCode::kUnavailable,
+                  "the list's owning host is failed");
+  }
+  const std::uint32_t host_list = selector.host_local_list(list);
+  const std::uint32_t shard = selector.shard_within_host_of_list(host_list);
+  auto snap = acquire(*host, shard, opts);
+  if (!snap.ok()) return snap.status();
+  ListSlice slice;
+  slice.snap = std::move(snap).value();
+  slice.shard_list =
+      common::list_local_id(host_list, cluster_.shards_per_host());
+  return slice;
+}
+
+const collector::CollectorRuntimeConfig& ClusterBackend::host_config() const {
+  return cluster_.config().host;
+}
+
+std::uint32_t ClusterBackend::num_lists() const {
+  if (!host_config().append) return 0;
+  const std::uint32_t per_host = host_config().append->num_lists;
+  // Only kByKeyHash partitions the list space across hosts (the global
+  // id folds by the host count); the other policies give every host the
+  // full space.
+  if (cluster_.selector().policy() == translator::PartitionPolicy::kByKeyHash) {
+    return per_host * cluster_.num_hosts();
+  }
+  return per_host;
+}
+
+ClientStats ClusterBackend::stats() const {
+  const ClusterStats cs = cluster_.cluster_stats();
+  ClientStats out;
+  out.ingest = cs.ingest;
+  out.translation = cs.translation;
+  out.num_hosts = cluster_.num_hosts();
+  out.live_hosts = cs.live_hosts;
+  out.per_host = cs.per_host;
+  return out;
+}
+
+double ClusterBackend::modeled_verbs_per_sec() const {
+  return cluster_.modeled_aggregate_verbs_per_sec();
+}
+
+Status ClusterBackend::fail_host(std::uint32_t host) {
+  if (host >= cluster_.num_hosts()) {
+    return {StatusCode::kInvalidArgument, "host index out of range"};
+  }
+  cluster_.fail_host(host);
+  return Status::Ok();
+}
+
+// --- KeyWriteTable -----------------------------------------------------------
+
+Status KeyWriteTable::put(const proto::TelemetryKey& key,
+                          common::ByteSpan value, std::uint8_t redundancy,
+                          const ReportOptions& opts) {
+  return backend_->submit(reports::keywrite(key, value, redundancy), opts);
+}
+
+Status KeyWriteTable::put_u32(const proto::TelemetryKey& key,
+                              std::uint32_t value, std::uint8_t redundancy,
+                              const ReportOptions& opts) {
+  return backend_->submit(reports::keywrite_u32(key, value, redundancy),
+                          opts);
+}
+
+Expected<common::Bytes> KeyWriteTable::get(const proto::TelemetryKey& key,
+                                           const QueryOptions& opts) const {
+  if (auto status = keywrite_precheck(*backend_, key, opts); !status.ok()) {
+    return status;
+  }
+  auto snaps = backend_->key_snapshots(key, opts);
+  if (!snaps.ok()) return snaps.status();
+  return merge_keywrite(*snaps, key, opts);
+}
+
+Expected<std::uint32_t> KeyWriteTable::get_u32(const proto::TelemetryKey& key,
+                                               const QueryOptions& opts) const {
+  auto value = get(key, opts);
+  if (!value.ok()) return value.status();
+  if (value->size() < 4) {
+    return Status(StatusCode::kOutOfRange, "stored value narrower than 4B");
+  }
+  return common::load_u32(value->data());
+}
+
+std::future<Expected<common::Bytes>> KeyWriteTable::get_async(
+    const proto::TelemetryKey& key, const QueryOptions& opts) const {
+  // Snapshots are acquired now (stable against later ingest); only the
+  // merge runs on the detached thread.
+  const Status precheck = keywrite_precheck(*backend_, key, opts);
+  Expected<std::vector<SnapshotPtr>> snaps =
+      precheck.ok() ? backend_->key_snapshots(key, opts)
+                    : Expected<std::vector<SnapshotPtr>>(precheck);
+  return std::async(std::launch::async,
+                    [snaps = std::move(snaps), key,
+                     opts]() -> Expected<common::Bytes> {
+                      if (!snaps.ok()) return snaps.status();
+                      return merge_keywrite(*snaps, key, opts);
+                    });
+}
+
+Expected<std::vector<std::optional<common::Bytes>>> KeyWriteTable::get_many(
+    const std::vector<proto::TelemetryKey>& keys,
+    const QueryOptions& opts) const {
+  if (auto status = keywrite_batch_precheck(*backend_, keys, opts);
+      !status.ok()) {
+    return status;
+  }
+  auto batch = backend_->key_snapshots_batch(keys, opts);
+  if (!batch.ok()) return batch.status();
+  std::vector<std::optional<common::Bytes>> out(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto merged = merge_keywrite((*batch)[i], keys[i], opts);
+    if (merged.ok()) out[i] = std::move(merged).value();
+  }
+  return out;
+}
+
+std::future<Expected<std::vector<std::optional<common::Bytes>>>>
+KeyWriteTable::get_many_async(std::vector<proto::TelemetryKey> keys,
+                              const QueryOptions& opts) const {
+  const Status precheck = keywrite_batch_precheck(*backend_, keys, opts);
+  Expected<std::vector<std::vector<SnapshotPtr>>> batch =
+      precheck.ok() ? backend_->key_snapshots_batch(keys, opts)
+                    : Expected<std::vector<std::vector<SnapshotPtr>>>(precheck);
+  return std::async(
+      std::launch::async,
+      [batch = std::move(batch), keys = std::move(keys),
+       opts]() -> Expected<std::vector<std::optional<common::Bytes>>> {
+        if (!batch.ok()) return batch.status();
+        std::vector<std::optional<common::Bytes>> out(keys.size());
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          auto merged = merge_keywrite((*batch)[i], keys[i], opts);
+          if (merged.ok()) out[i] = std::move(merged).value();
+        }
+        return out;
+      });
+}
+
+// --- CounterTable ------------------------------------------------------------
+
+Status CounterTable::add(const proto::TelemetryKey& key, std::uint64_t delta,
+                         std::uint8_t redundancy, const ReportOptions& opts) {
+  return backend_->submit(reports::keyincrement(key, delta, redundancy),
+                          opts);
+}
+
+Expected<std::uint64_t> CounterTable::get(const proto::TelemetryKey& key,
+                                          const QueryOptions& opts) const {
+  if (auto status = counter_precheck(*backend_, key, opts); !status.ok()) {
+    return status;
+  }
+  auto snaps = backend_->key_snapshots(key, opts);
+  if (!snaps.ok()) return snaps.status();
+  return merge_counter(*snaps, key, opts);
+}
+
+std::future<Expected<std::uint64_t>> CounterTable::get_async(
+    const proto::TelemetryKey& key, const QueryOptions& opts) const {
+  const Status precheck = counter_precheck(*backend_, key, opts);
+  Expected<std::vector<SnapshotPtr>> snaps =
+      precheck.ok() ? backend_->key_snapshots(key, opts)
+                    : Expected<std::vector<SnapshotPtr>>(precheck);
+  return std::async(std::launch::async,
+                    [snaps = std::move(snaps), key,
+                     opts]() -> Expected<std::uint64_t> {
+                      if (!snaps.ok()) return snaps.status();
+                      return merge_counter(*snaps, key, opts);
+                    });
+}
+
+// --- AppendList --------------------------------------------------------------
+
+Status AppendList::append(common::ByteSpan entry, const ReportOptions& opts) {
+  return backend_->submit(reports::append(list_, entry), opts);
+}
+
+Status AppendList::append_u32(std::uint32_t value, const ReportOptions& opts) {
+  return backend_->submit(reports::append_u32(list_, value), opts);
+}
+
+Expected<std::vector<common::Bytes>> AppendList::read(
+    std::uint64_t count, const QueryOptions& opts) const {
+  if (auto status = append_read_precheck(*backend_, count); !status.ok()) {
+    return status;
+  }
+  auto slice = backend_->list_snapshot(list_, opts);
+  if (!slice.ok()) return slice.status();
+  return slice->snap->append_read(slice->shard_list, count);
+}
+
+std::future<Expected<std::vector<common::Bytes>>> AppendList::read_async(
+    std::uint64_t count, const QueryOptions& opts) const {
+  const Status precheck = append_read_precheck(*backend_, count);
+  Expected<Backend::ListSlice> slice =
+      precheck.ok() ? backend_->list_snapshot(list_, opts)
+                    : Expected<Backend::ListSlice>(precheck);
+  return std::async(std::launch::async,
+                    [slice = std::move(slice),
+                     count]() -> Expected<std::vector<common::Bytes>> {
+                      if (!slice.ok()) return slice.status();
+                      return slice->snap->append_read(slice->shard_list,
+                                                      count);
+                    });
+}
+
+// --- PostcardStream ----------------------------------------------------------
+
+Status PostcardStream::report(const proto::TelemetryKey& key,
+                              std::uint8_t hop, std::uint8_t path_len,
+                              std::uint32_t value, std::uint8_t redundancy,
+                              const ReportOptions& opts) {
+  return backend_->submit(
+      reports::postcard(key, hop, path_len, value, redundancy), opts);
+}
+
+Expected<std::vector<std::uint32_t>> PostcardStream::path_of(
+    const proto::TelemetryKey& key, const QueryOptions& opts) const {
+  if (auto status = postcard_precheck(*backend_, key, opts); !status.ok()) {
+    return status;
+  }
+  auto snaps = backend_->key_snapshots(key, opts);
+  if (!snaps.ok()) return snaps.status();
+  return merge_path(*snaps, key, opts);
+}
+
+// --- Client ------------------------------------------------------------------
+
+Client Client::local(collector::CollectorRuntimeConfig config) {
+  return Client(std::make_unique<LocalBackend>(std::move(config)));
+}
+
+Client Client::cluster(ClusterRuntimeConfig config) {
+  return Client(std::make_unique<ClusterBackend>(std::move(config)));
+}
+
+Client::Client(std::unique_ptr<Backend> backend)
+    : backend_(std::move(backend)) {}
+
+Client::~Client() {
+  if (backend_) backend_->stop();
+}
+
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+Status Client::report(proto::Report report, const ReportOptions& opts) {
+  return backend_->submit(reports::wrap(std::move(report), opts.immediate),
+                          opts);
+}
+
+Status Client::flush() { return backend_->flush(); }
+
+void Client::stop() { backend_->stop(); }
+
+ClientStats Client::stats() const { return backend_->stats(); }
+
+double Client::modeled_verbs_per_sec() const {
+  return backend_->modeled_verbs_per_sec();
+}
+
+Status Client::fail_host(std::uint32_t host) {
+  return backend_->fail_host(host);
+}
+
+collector::CollectorRuntime* Client::local_runtime() {
+  auto* local = dynamic_cast<LocalBackend*>(backend_.get());
+  return local ? &local->runtime() : nullptr;
+}
+
+ClusterRuntime* Client::cluster_runtime() {
+  auto* cluster = dynamic_cast<ClusterBackend*>(backend_.get());
+  return cluster ? &cluster->cluster() : nullptr;
+}
+
+}  // namespace dta

@@ -1,0 +1,363 @@
+// dtalib v2 — dta::Client, the typed, backend-agnostic client API.
+//
+// The paper's collector-side library ("dtalib") is the surface
+// applications program against. Client exposes the four DTA primitives
+// as typed handles:
+//
+//   KeyWriteTable   — redundancy-aware per-key values (put/get)
+//   CounterTable    — Key-Increment CMS counters (add/get)
+//   AppendList      — event-stream ring lists (append/read)
+//   PostcardStream  — per-flow path aggregation (report/path_of)
+//
+// over a Backend interface with two implementations, so callers never
+// see host/shard topology:
+//
+//   LocalBackend    — one collector host: wraps the sharded
+//                     CollectorRuntime (and its per-shard translator
+//                     engines) behind the facade.
+//   ClusterBackend  — N hosts x M shards: wraps ClusterRuntime and
+//                     routes through the same two-level router the
+//                     cluster query tier uses, with replica failover.
+//
+// Every query resolves against immutable StoreSnapshots acquired
+// through one path (the generation-stamped SnapshotCache), and every
+// per-call freshness knob — redundancy, consensus threshold,
+// read-your-submits floor, staleness budget — travels in one
+// QueryOptions struct. Failures come back as dta::Status /
+// dta::Expected<T> (see status.h) instead of the pre-v2 bool/optional
+// mix: distinct codes for "not reported", "replicas disagree", "replica
+// set dead", "list does not exist", "freshness floor unsatisfiable".
+//
+// Threading contract: report()/flush()/stop() from one control thread
+// (the runtimes' single-producer rule). Queries may run from any
+// thread; *_async variants acquire their snapshots at call time and
+// resolve on a detached thread, so results are stable against later
+// ingest.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "collector/runtime.h"
+#include "dtalib/cluster_runtime.h"
+#include "dtalib/status.h"
+#include "net/flow.h"
+
+namespace dta {
+
+// The canonical telemetry key of a flow (13B wire 5-tuple).
+proto::TelemetryKey flow_key(const net::FiveTuple& flow);
+
+// Per-call query knobs — the one struct threaded through the whole
+// snapshot-acquisition path (replaces the covers_seq /
+// SnapshotStalenessBudget / vote-threshold overload sprawl).
+struct QueryOptions {
+  // Replica slots to read (N). Must match the redundancy the data was
+  // reported with to find every replica.
+  std::uint8_t redundancy = 2;
+  // Votes required before a Key-Write hit is returned (Appendix A.5:
+  // consensus can be demanded per query).
+  std::uint8_t consensus_threshold = 1;
+  // Read-your-submits floor: the snapshot must cover at least this many
+  // submitted reports on the key's shard. A floor ahead of everything
+  // ever submitted is unsatisfiable -> kStalenessViolation.
+  std::uint64_t covers_seq = 0;
+  // Sugar for "cover everything I submitted so far": raises the floor
+  // to the shard's current submitted count.
+  bool read_your_submits = false;
+  // Per-call staleness budget override; unset uses the backend's
+  // configured budget (CollectorRuntimeConfig::staleness_budget).
+  std::optional<collector::SnapshotStalenessBudget> staleness;
+  // kByDestinationIp addressing for AppendList reads (which host's list
+  // to read); 0 means host 0. Ignored by other policies and backends.
+  std::uint32_t dst_ip = 0;
+};
+
+struct ReportOptions {
+  // kByDestinationIp addressing (ClusterBackend); 0 means host 0.
+  std::uint32_t dst_ip = 0;
+  // Request a collector CPU interrupt (DTA header immediate flag, §7).
+  bool immediate = false;
+};
+
+// Uniform stats over both backends: totals across live hosts plus the
+// per-host breakdown (one row for LocalBackend).
+struct ClientStats {
+  collector::CollectorRuntimeStats ingest;
+  collector::TranslationStats translation;
+  std::uint32_t num_hosts = 1;
+  std::uint32_t live_hosts = 1;
+  std::vector<ClusterHostStats> per_host;
+};
+
+// The deployment seam under Client. Both implementations submit
+// through their runtime's router and serve queries from immutable
+// per-shard snapshots acquired through one bounded-staleness path.
+class Backend {
+ public:
+  using SnapshotPtr = std::shared_ptr<const collector::StoreSnapshot>;
+
+  // One Append list slice: the snapshot holding the list and the
+  // shard-local id to read it under.
+  struct ListSlice {
+    SnapshotPtr snap;
+    std::uint32_t shard_list = 0;
+  };
+
+  virtual ~Backend() = default;
+
+  // Validates the report against the configured store geometry, then
+  // routes and submits it. Single-producer, like the runtimes.
+  virtual Status submit(proto::ParsedDta parsed,
+                        const ReportOptions& opts) = 0;
+  virtual Status flush() = 0;
+  virtual void stop() = 0;
+
+  // One snapshot of `key`'s owning shard on every live candidate host
+  // (exactly one for LocalBackend; the replica set for ClusterBackend).
+  // kUnavailable when no candidate survives.
+  virtual Expected<std::vector<SnapshotPtr>> key_snapshots(
+      const proto::TelemetryKey& key, const QueryOptions& opts) = 0;
+
+  // Batch variant holding one generation pin: every (host, shard)
+  // snapshot is acquired at most once, so a multi-shard batch can never
+  // straddle a flush.
+  virtual Expected<std::vector<std::vector<SnapshotPtr>>> key_snapshots_batch(
+      const std::vector<proto::TelemetryKey>& keys,
+      const QueryOptions& opts) = 0;
+
+  // The snapshot holding global Append list `list` (host chosen by
+  // policy; replica failover under kReplicate) and its shard-local id.
+  virtual Expected<ListSlice> list_snapshot(std::uint32_t list,
+                                            const QueryOptions& opts) = 0;
+
+  // The per-host store/runtime geometry (identical across hosts).
+  virtual const collector::CollectorRuntimeConfig& host_config() const = 0;
+  // Size of the backend-global Append list id space.
+  virtual std::uint32_t num_lists() const = 0;
+
+  virtual ClientStats stats() const = 0;
+  virtual double modeled_verbs_per_sec() const = 0;
+
+  // Simulates a collector host death (resiliency tests/drills).
+  // LocalBackend has no host to lose -> kUnsupported.
+  virtual Status fail_host(std::uint32_t host) = 0;
+};
+
+// --- typed primitive handles -------------------------------------------------
+// Lightweight views over the Client's backend; valid while the Client
+// lives. Copyable — hand them to the subsystem that owns the workload.
+
+class KeyWriteTable {
+ public:
+  explicit KeyWriteTable(Backend* backend) : backend_(backend) {}
+
+  Status put(const proto::TelemetryKey& key, common::ByteSpan value,
+             std::uint8_t redundancy = 2, const ReportOptions& opts = {});
+  Status put_u32(const proto::TelemetryKey& key, std::uint32_t value,
+                 std::uint8_t redundancy = 2, const ReportOptions& opts = {});
+
+  // Redundancy-aware get: Algorithm 2 vote within each snapshot,
+  // best-vote merge across replica hosts.
+  Expected<common::Bytes> get(const proto::TelemetryKey& key,
+                              const QueryOptions& opts = {}) const;
+  Expected<std::uint32_t> get_u32(const proto::TelemetryKey& key,
+                                  const QueryOptions& opts = {}) const;
+  std::future<Expected<common::Bytes>> get_async(
+      const proto::TelemetryKey& key, const QueryOptions& opts = {}) const;
+
+  // Batch get under one generation pin; per-key misses are nullopt
+  // (structural failures surface on the outer Expected).
+  Expected<std::vector<std::optional<common::Bytes>>> get_many(
+      const std::vector<proto::TelemetryKey>& keys,
+      const QueryOptions& opts = {}) const;
+  std::future<Expected<std::vector<std::optional<common::Bytes>>>>
+  get_many_async(std::vector<proto::TelemetryKey> keys,
+                 const QueryOptions& opts = {}) const;
+
+ private:
+  Backend* backend_;
+};
+
+class CounterTable {
+ public:
+  explicit CounterTable(Backend* backend) : backend_(backend) {}
+
+  Status add(const proto::TelemetryKey& key, std::uint64_t delta,
+             std::uint8_t redundancy = 2, const ReportOptions& opts = {});
+
+  // CMS estimate: min over the N counters within a snapshot, max across
+  // replica hosts (each replica is a one-sided overestimate of the same
+  // reports, so the max never undercounts a survivor).
+  Expected<std::uint64_t> get(const proto::TelemetryKey& key,
+                              const QueryOptions& opts = {}) const;
+  std::future<Expected<std::uint64_t>> get_async(
+      const proto::TelemetryKey& key, const QueryOptions& opts = {}) const;
+
+ private:
+  Backend* backend_;
+};
+
+class AppendList {
+ public:
+  AppendList(Backend* backend, std::uint32_t list)
+      : backend_(backend), list_(list) {}
+
+  std::uint32_t id() const { return list_; }
+
+  Status append(common::ByteSpan entry, const ReportOptions& opts = {});
+  Status append_u32(std::uint32_t value, const ReportOptions& opts = {});
+
+  // Reads `count` entries from the list's snapshot, starting at the
+  // live store's consumer position, without consuming. The caller
+  // tracks availability (the paper's polling model); count beyond the
+  // ring capacity is kOutOfRange.
+  Expected<std::vector<common::Bytes>> read(
+      std::uint64_t count, const QueryOptions& opts = {}) const;
+  std::future<Expected<std::vector<common::Bytes>>> read_async(
+      std::uint64_t count, const QueryOptions& opts = {}) const;
+
+ private:
+  Backend* backend_;
+  std::uint32_t list_;
+};
+
+class PostcardStream {
+ public:
+  explicit PostcardStream(Backend* backend) : backend_(backend) {}
+
+  Status report(const proto::TelemetryKey& key, std::uint8_t hop,
+                std::uint8_t path_len, std::uint32_t value,
+                std::uint8_t redundancy = 1, const ReportOptions& opts = {});
+
+  // Chunk-vote path decode; replica hosts must agree (-> kConflict).
+  // Postcarding defaults to N=1, hence the dedicated default options.
+  Expected<std::vector<std::uint32_t>> path_of(
+      const proto::TelemetryKey& key,
+      const QueryOptions& opts = path_defaults()) const;
+
+  static QueryOptions path_defaults() {
+    QueryOptions opts;
+    opts.redundancy = 1;
+    return opts;
+  }
+
+ private:
+  Backend* backend_;
+};
+
+// --- the facade --------------------------------------------------------------
+
+class Client {
+ public:
+  // One collector host (sharded CollectorRuntime under the hood).
+  static Client local(collector::CollectorRuntimeConfig config);
+  // N hosts x M shards behind the two-level router.
+  static Client cluster(ClusterRuntimeConfig config);
+  // Bring-your-own Backend (tests, future remote/replay backends).
+  explicit Client(std::unique_ptr<Backend> backend);
+
+  ~Client();
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Generic typed-report ingest (the handles call this under the hood;
+  // integrations with their own report generators use it directly).
+  Status report(proto::Report report, const ReportOptions& opts = {});
+
+  // Barrier: everything reported is queryable afterwards.
+  Status flush();
+  // Flushes and joins the backend's pipelines. Idempotent.
+  void stop();
+
+  KeyWriteTable keywrite() { return KeyWriteTable(backend_.get()); }
+  CounterTable counters() { return CounterTable(backend_.get()); }
+  AppendList list(std::uint32_t id) { return AppendList(backend_.get(), id); }
+  PostcardStream postcards() { return PostcardStream(backend_.get()); }
+
+  ClientStats stats() const;
+  double modeled_verbs_per_sec() const;
+  Status fail_host(std::uint32_t host);
+
+  Backend& backend() { return *backend_; }
+  const Backend& backend() const { return *backend_; }
+
+  // Escape hatches to the wrapped runtime (benches asserting on cache
+  // internals, tests poking shard state). nullptr when the backend is
+  // not of that kind.
+  collector::CollectorRuntime* local_runtime();
+  ClusterRuntime* cluster_runtime();
+
+ private:
+  std::unique_ptr<Backend> backend_;
+};
+
+// --- backend implementations -------------------------------------------------
+
+class LocalBackend final : public Backend {
+ public:
+  explicit LocalBackend(collector::CollectorRuntimeConfig config);
+
+  collector::CollectorRuntime& runtime() { return runtime_; }
+
+  Status submit(proto::ParsedDta parsed, const ReportOptions& opts) override;
+  Status flush() override;
+  void stop() override;
+  Expected<std::vector<SnapshotPtr>> key_snapshots(
+      const proto::TelemetryKey& key, const QueryOptions& opts) override;
+  Expected<std::vector<std::vector<SnapshotPtr>>> key_snapshots_batch(
+      const std::vector<proto::TelemetryKey>& keys,
+      const QueryOptions& opts) override;
+  Expected<ListSlice> list_snapshot(std::uint32_t list,
+                                    const QueryOptions& opts) override;
+  const collector::CollectorRuntimeConfig& host_config() const override;
+  std::uint32_t num_lists() const override;
+  ClientStats stats() const override;
+  double modeled_verbs_per_sec() const override;
+  Status fail_host(std::uint32_t host) override;
+
+ private:
+  Expected<SnapshotPtr> acquire(std::uint32_t shard, const QueryOptions& opts);
+
+  collector::CollectorRuntime runtime_;
+};
+
+class ClusterBackend final : public Backend {
+ public:
+  explicit ClusterBackend(ClusterRuntimeConfig config);
+
+  ClusterRuntime& cluster() { return cluster_; }
+
+  Status submit(proto::ParsedDta parsed, const ReportOptions& opts) override;
+  Status flush() override;
+  void stop() override;
+  Expected<std::vector<SnapshotPtr>> key_snapshots(
+      const proto::TelemetryKey& key, const QueryOptions& opts) override;
+  Expected<std::vector<std::vector<SnapshotPtr>>> key_snapshots_batch(
+      const std::vector<proto::TelemetryKey>& keys,
+      const QueryOptions& opts) override;
+  Expected<ListSlice> list_snapshot(std::uint32_t list,
+                                    const QueryOptions& opts) override;
+  const collector::CollectorRuntimeConfig& host_config() const override;
+  std::uint32_t num_lists() const override;
+  ClientStats stats() const override;
+  double modeled_verbs_per_sec() const override;
+  Status fail_host(std::uint32_t host) override;
+
+ private:
+  // Live hosts that may hold `key`: the owner under kByKeyHash (empty
+  // if it died — the partition is lost), every live host otherwise.
+  std::vector<std::uint32_t> candidate_hosts(
+      const proto::TelemetryKey& key) const;
+  Expected<SnapshotPtr> acquire(std::uint32_t host, std::uint32_t shard,
+                                const QueryOptions& opts);
+
+  ClusterRuntime cluster_;
+};
+
+}  // namespace dta

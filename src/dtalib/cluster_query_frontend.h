@@ -31,6 +31,12 @@
 // best-vote winner. Under kReplicate the candidates are every *live*
 // replica host, which is exactly replica failover: after a collector
 // death the same query code answers from the survivors.
+//
+// DEPRECATED (dtalib v2): application code should use the typed,
+// backend-agnostic dta::Client facade (src/dtalib/client.h) — the
+// same snapshot acquisition and merge rules, with a uniform
+// dta::Status/Expected error model and sync + async variants. This
+// future-based frontend stays as a thin shim for one PR.
 #pragma once
 
 #include <cstdint>

@@ -75,14 +75,28 @@ collector::CollectorRuntimeStats ClusterRuntime::stats() const {
   collector::CollectorRuntimeStats total;
   for (std::uint32_t h = 0; h < hosts_.size(); ++h) {
     if (failed_[h]) continue;
-    const auto s = hosts_[h]->stats();
-    total.reports_in += s.reports_in;
-    total.ops_batched += s.ops_batched;
-    total.batch_flushes += s.batch_flushes;
-    total.verbs_executed += s.verbs_executed;
-    total.verbs_failed += s.verbs_failed;
+    total += hosts_[h]->stats();
   }
   return total;
+}
+
+ClusterStats ClusterRuntime::cluster_stats() const {
+  ClusterStats out;
+  out.per_host.reserve(hosts_.size());
+  for (std::uint32_t h = 0; h < hosts_.size(); ++h) {
+    ClusterHostStats host;
+    host.ingest = hosts_[h]->stats();
+    host.translation = hosts_[h]->translation_stats();
+    host.snapshots = hosts_[h]->snapshot_cache().stats();
+    host.failed = failed_[h];
+    if (!host.failed) {
+      ++out.live_hosts;
+      out.ingest += host.ingest;
+      out.translation += host.translation;
+    }
+    out.per_host.push_back(std::move(host));
+  }
+  return out;
 }
 
 double ClusterRuntime::modeled_aggregate_verbs_per_sec() const {

@@ -30,6 +30,27 @@
 
 namespace dta {
 
+// Per-host stats row of ClusterStats: ingest counters + the host's
+// aggregated translator-engine counters, plus liveness — the whole
+// observable state of one collector host, so callers stop poking
+// host(h) internals one by one.
+struct ClusterHostStats {
+  collector::CollectorRuntimeStats ingest;
+  collector::TranslationStats translation;
+  collector::SnapshotCacheStats snapshots;
+  bool failed = false;
+};
+
+// Cluster-wide stats: totals over *live* hosts (the scale-out headline
+// excludes dead capacity) plus the per-host breakdown over every host,
+// dead ones included (their pre-failure counters stay readable).
+struct ClusterStats {
+  collector::CollectorRuntimeStats ingest;
+  collector::TranslationStats translation;
+  std::uint32_t live_hosts = 0;
+  std::vector<ClusterHostStats> per_host;
+};
+
 struct ClusterRuntimeConfig {
   // Per-host geometry: shard count, store setups, NIC params, batching.
   // Every host is configured identically (the paper's partitioning
@@ -84,8 +105,12 @@ class ClusterRuntime {
   // host h exactly, for any host count.
   std::uint32_t host_ip(std::uint32_t h) const { return 0x0A0000C0 + h; }
 
+  // The configuration this cluster was built from.
+  const ClusterRuntimeConfig& config() const { return config_; }
+
   ClusterQueryFrontend& query() { return *query_; }
   translator::CollectorSelector& selector() { return selector_; }
+  const translator::CollectorSelector& selector() const { return selector_; }
   const translator::SelectorStats& selector_stats() const {
     return selector_.stats();
   }
@@ -93,8 +118,11 @@ class ClusterRuntime {
   // Aggregate stats and modeled capacity over *live* hosts: the
   // scale-out headline is the sum of every live shard's NIC rate, so a
   // kByKeyHash cluster of N x M shards models ~N*M times a 1x1
-  // deployment.
+  // deployment. stats() is the legacy ingest-only view; cluster_stats()
+  // adds the per-host translator-engine counters and breakdown (the
+  // dta::Client::stats() source).
   collector::CollectorRuntimeStats stats() const;
+  ClusterStats cluster_stats() const;
   double modeled_aggregate_verbs_per_sec() const;
 
  private:

@@ -1,0 +1,138 @@
+// dtalib v2 error model: dta::Status and dta::Expected<T>.
+//
+// Before v2 the library's seams reported failure as a mix of bools,
+// optionals, empty vectors and asserts; callers could not tell "key not
+// reported" from "replica set dead" from "you asked for a list that
+// does not exist". Status gives every failure a distinct, comparable
+// code, and Expected<T> carries either a value or the Status that
+// explains its absence — uniformly across LocalBackend and
+// ClusterBackend, so application code is backend-agnostic.
+//
+// Conventions:
+//   * kNotFound / kConflict are *data* outcomes (the store answered,
+//     the answer is empty or ambiguous) — expected in normal operation.
+//   * kUnavailable / kStalenessViolation are *serving* outcomes (no
+//     live replica, or the freshness floor cannot be met).
+//   * kInvalidArgument / kOutOfRange / kUnknownList / kNotConfigured /
+//     kUnsupported are *caller* errors, reported instead of UB.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dta {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  // Data outcomes.
+  kNotFound,   // no slot carried the key's checksum / no path recovered
+  kConflict,   // replicas or slots disagree / vote below threshold
+  // Serving outcomes.
+  kUnavailable,         // every candidate replica host is failed
+  kStalenessViolation,  // covers_seq floor ahead of everything submitted
+  // Caller errors.
+  kInvalidArgument,  // empty key, zero-length entry, ...
+  kOutOfRange,       // value/entry/count exceeds the store geometry
+  kUnknownList,      // Append list id outside the configured list space
+  kNotConfigured,    // primitive not enabled on this backend
+  kUnsupported,      // operation not meaningful for this backend
+};
+
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+  bool operator!=(const Status& o) const { return !(*this == o); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kConflict: return "CONFLICT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kStalenessViolation: return "STALENESS_VIOLATION";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnknownList: return "UNKNOWN_LIST";
+    case StatusCode::kNotConfigured: return "NOT_CONFIGURED";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+// A value or the Status explaining its absence. Constructing from a
+// value yields ok(); constructing from a non-OK Status yields an empty
+// Expected carrying that Status. (An OK Status without a value is a
+// programming error and asserts.) [[nodiscard]]: dropping a query
+// result on the floor is always a bug.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value)  // NOLINT: implicit, like absl::StatusOr
+      : value_(std::move(value)) {}
+  Expected(Status status)  // NOLINT: implicit
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Expected built from OK status without a value");
+  }
+  Expected(StatusCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+  StatusCode code() const { return status_.code(); }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dta

@@ -1,0 +1,485 @@
+// dtalib v2 acceptance tests: every primitive round-trips through the
+// typed dta::Client facade identically against LocalBackend (sharded
+// CollectorRuntime) and ClusterBackend (N hosts x M shards, replica
+// failover), and every failure mode of the error model comes back as a
+// distinct dta::Status code — no bools, no optionals, no asserts/UB.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "dta/report_builders.h"
+#include "dtalib/client.h"
+
+namespace dta {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using proto::TelemetryKey;
+
+enum class BackendKind { kLocal, kCluster };
+
+const char* kind_name(BackendKind kind) {
+  return kind == BackendKind::kLocal ? "Local" : "Cluster";
+}
+
+collector::CollectorRuntimeConfig host_config(
+    collector::ThreadMode mode = collector::ThreadMode::kInline) {
+  collector::CollectorRuntimeConfig config;
+  config.num_shards = 2;
+  config.thread_mode = mode;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 16;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  collector::KeyIncrementSetup ki;
+  ki.num_slots = 1 << 12;
+  config.keyincrement = ki;
+  collector::AppendSetup ap;
+  ap.num_lists = 8;
+  ap.entries_per_list = 256;
+  ap.entry_bytes = 4;
+  config.append = ap;
+  config.append_batch_size = 1;
+  collector::PostcardingSetup pc;
+  pc.num_chunks = 1 << 14;
+  pc.hops = 5;
+  for (std::uint32_t v = 0; v < 4096; ++v) pc.value_space.push_back(v);
+  config.postcarding = pc;
+  return config;
+}
+
+Client make_client(BackendKind kind,
+                   collector::ThreadMode mode = collector::ThreadMode::kInline,
+                   translator::PartitionPolicy policy =
+                       translator::PartitionPolicy::kReplicate) {
+  if (kind == BackendKind::kLocal) {
+    return Client::local(host_config(mode));
+  }
+  ClusterRuntimeConfig config;
+  config.num_hosts = 2;
+  config.policy = policy;
+  config.host = host_config(mode);
+  return Client::cluster(config);
+}
+
+class ClientApiTest : public ::testing::TestWithParam<BackendKind> {};
+
+// ------------------------------------------------------ Key-Write
+
+TEST_P(ClientApiTest, KeyWriteRoundTrip) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id * 7 + 3).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  int hits = 0;
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    const auto value = table.get_u32(reports::mixed_key(id));
+    if (value.ok() && *value == id * 7 + 3) ++hits;
+  }
+  EXPECT_GE(hits, 298);  // slot collisions may cost a key or two
+
+  // A key never reported is kNotFound — not a bare nullopt.
+  const auto miss = table.get(reports::mixed_key(999999));
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+}
+
+TEST_P(ClientApiTest, KeyWriteRawBytesRoundTrip) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  Bytes value;
+  common::put_u32(value, 0xDEADBEEF);
+  ASSERT_TRUE(table.put(reports::u32_key(7), ByteSpan(value)).ok());
+  ASSERT_TRUE(client.flush().ok());
+  const auto got = table.get(reports::u32_key(7));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(common::load_u32(got->data()), 0xDEADBEEFu);
+}
+
+TEST_P(ClientApiTest, GetManyResolvesBatchInInputOrder) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    table.put_u32(reports::mixed_key(id), id ^ 0x5A);
+  }
+  client.flush();
+  std::vector<TelemetryKey> keys;
+  for (std::uint32_t id = 0; id < 300; id += 3) {
+    keys.push_back(reports::mixed_key(id));
+  }
+  keys.push_back(reports::mixed_key(999999));  // never written
+  const auto results = table.get_many(keys);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), keys.size());
+  int hits = 0;
+  for (std::size_t i = 0; i + 1 < results->size(); ++i) {
+    const auto& value = (*results)[i];
+    if (value && common::load_u32(value->data()) == ((3 * i) ^ 0x5A)) ++hits;
+  }
+  EXPECT_GE(hits, 98);
+  EXPECT_FALSE(results->back().has_value());
+}
+
+TEST_P(ClientApiTest, AsyncGetsResolve) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 50; ++id) {
+    table.put_u32(reports::mixed_key(id), id + 5);
+  }
+  client.flush();
+  std::vector<std::future<Expected<common::Bytes>>> pending;
+  for (std::uint32_t id = 0; id < 50; ++id) {
+    pending.push_back(table.get_async(reports::mixed_key(id)));
+  }
+  int hits = 0;
+  for (auto& future : pending) {
+    const auto value = future.get();
+    if (value.ok()) ++hits;
+  }
+  EXPECT_GE(hits, 49);
+
+  auto batch = table.get_many_async({reports::mixed_key(1)}).get();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_TRUE((*batch)[0].has_value());
+}
+
+// --------------------------------------------------- Key-Increment
+
+TEST_P(ClientApiTest, CounterRoundTrip) {
+  Client client = make_client(GetParam());
+  auto counters = client.counters();
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t id = 0; id < 32; ++id) {
+      ASSERT_TRUE(counters.add(reports::u32_key(id), id + 1).ok());
+    }
+  }
+  client.flush();
+  for (std::uint32_t id = 0; id < 32; ++id) {
+    const auto estimate = counters.get(reports::u32_key(id));
+    ASSERT_TRUE(estimate.ok()) << estimate.status().to_string();
+    EXPECT_GE(*estimate, 3u * (id + 1));  // CMS never underestimates
+  }
+  const auto async_estimate = counters.get_async(reports::u32_key(1)).get();
+  ASSERT_TRUE(async_estimate.ok());
+  EXPECT_GE(*async_estimate, 6u);
+}
+
+// ---------------------------------------------------------- Append
+
+TEST_P(ClientApiTest, AppendRoundTrip) {
+  Client client = make_client(GetParam());
+  auto list = client.list(3);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(list.append_u32(30 + i).ok());
+  }
+  client.flush();
+  const auto events = list.read(6);
+  ASSERT_TRUE(events.ok()) << events.status().to_string();
+  ASSERT_EQ(events->size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(common::load_u32((*events)[i].data()), 30 + i);
+  }
+  const auto async_events = list.read_async(6).get();
+  ASSERT_TRUE(async_events.ok());
+  EXPECT_EQ(async_events->size(), 6u);
+}
+
+// ----------------------------------------------------- Postcarding
+
+TEST_P(ClientApiTest, PostcardRoundTrip) {
+  Client client = make_client(GetParam());
+  auto postcards = client.postcards();
+  for (std::uint32_t flow = 0; flow < 100; ++flow) {
+    for (std::uint8_t hop = 0; hop < 5; ++hop) {
+      ASSERT_TRUE(postcards
+                      .report(reports::u32_key(flow), hop, /*path_len=*/5,
+                              (flow + hop) % 4096)
+                      .ok());
+    }
+  }
+  client.flush();
+  int found = 0;
+  for (std::uint32_t flow = 0; flow < 100; ++flow) {
+    const auto path = postcards.path_of(reports::u32_key(flow));
+    if (path.ok() && path->size() == 5 && (*path)[0] == flow % 4096) ++found;
+  }
+  EXPECT_GE(found, 98);
+
+  const auto miss = postcards.path_of(reports::u32_key(999999));
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------ error model
+
+TEST_P(ClientApiTest, ErrorModelDistinctCodes) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  table.put_u32(reports::u32_key(1), 11);
+  client.flush();
+
+  // Empty keys are invalid, for reporting and querying.
+  EXPECT_EQ(table.put_u32(TelemetryKey{}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.get(TelemetryKey{}).code(), StatusCode::kInvalidArgument);
+
+  // Zero redundancy can neither write nor vote.
+  EXPECT_EQ(table.put_u32(reports::u32_key(2), 1, /*redundancy=*/0).code(),
+            StatusCode::kInvalidArgument);
+  QueryOptions zero_votes;
+  zero_votes.redundancy = 0;
+  EXPECT_EQ(table.get(reports::u32_key(1), zero_votes).code(),
+            StatusCode::kInvalidArgument);
+
+  // A value wider than the store's geometry is rejected, not truncated.
+  Bytes wide(64, 0xAB);
+  EXPECT_EQ(table.put(reports::u32_key(3), ByteSpan(wide)).code(),
+            StatusCode::kOutOfRange);
+
+  // Unknown Append list ids, for appends and reads.
+  const std::uint32_t bogus_list = 1000;
+  EXPECT_EQ(client.list(bogus_list).append_u32(1).code(),
+            StatusCode::kUnknownList);
+  EXPECT_EQ(client.list(bogus_list).read(1).code(), StatusCode::kUnknownList);
+
+  // Entry size must match the ring geometry.
+  Bytes wrong_entry(8, 1);
+  EXPECT_EQ(client.list(0).append(ByteSpan(wrong_entry)).code(),
+            StatusCode::kOutOfRange);
+
+  // A 260B entry aliases entry_size 4 in the 8-bit wire field; the
+  // payload-size check must reject it instead of silently truncating.
+  Bytes huge_entry(260, 2);
+  EXPECT_EQ(client.list(0).append(ByteSpan(huge_entry)).code(),
+            StatusCode::kOutOfRange);
+
+  // Reading beyond the ring capacity is kOutOfRange, not zero-filled UB.
+  EXPECT_EQ(client.list(0).read(1 << 20).code(), StatusCode::kOutOfRange);
+
+  // A covers_seq floor ahead of everything submitted is unsatisfiable.
+  QueryOptions future_floor;
+  future_floor.covers_seq = 1u << 30;
+  EXPECT_EQ(table.get(reports::u32_key(1), future_floor).code(),
+            StatusCode::kStalenessViolation);
+
+  // Postcard hop beyond the configured path length.
+  EXPECT_EQ(client.postcards()
+                .report(reports::u32_key(1), /*hop=*/9, /*path_len=*/5, 1)
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_P(ClientApiTest, NotConfiguredPrimitivesReportCleanly) {
+  // A client with only Key-Write enabled: the other handles fail with
+  // kNotConfigured instead of dereferencing a missing store.
+  collector::CollectorRuntimeConfig config;
+  config.num_shards = 2;
+  config.thread_mode = collector::ThreadMode::kInline;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 12;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+
+  Client client = GetParam() == BackendKind::kLocal
+                      ? Client::local(config)
+                      : Client::cluster([&] {
+                          ClusterRuntimeConfig cluster;
+                          cluster.num_hosts = 2;
+                          cluster.policy =
+                              translator::PartitionPolicy::kReplicate;
+                          cluster.host = config;
+                          return cluster;
+                        }());
+
+  EXPECT_EQ(client.counters().add(reports::u32_key(1), 1).code(),
+            StatusCode::kNotConfigured);
+  EXPECT_EQ(client.counters().get(reports::u32_key(1)).code(),
+            StatusCode::kNotConfigured);
+  EXPECT_EQ(client.list(0).append_u32(1).code(), StatusCode::kNotConfigured);
+  EXPECT_EQ(client.list(0).read(1).code(), StatusCode::kNotConfigured);
+  EXPECT_EQ(client.postcards().report(reports::u32_key(1), 0, 1, 1).code(),
+            StatusCode::kNotConfigured);
+  EXPECT_EQ(client.postcards().path_of(reports::u32_key(1)).code(),
+            StatusCode::kNotConfigured);
+  // Key-Write itself works.
+  EXPECT_TRUE(client.keywrite().put_u32(reports::u32_key(1), 5).ok());
+}
+
+// -------------------------------------------------- failover paths
+
+TEST_P(ClientApiTest, FailoverAndUnavailability) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 100; ++id) {
+    table.put_u32(reports::mixed_key(id), id + 5);
+  }
+  client.flush();
+
+  if (GetParam() == BackendKind::kLocal) {
+    // A local backend has no host to fail — typed error, not UB.
+    EXPECT_EQ(client.fail_host(0).code(), StatusCode::kUnsupported);
+    return;
+  }
+
+  // Replica failover: host 0 dies, every key still answers from the
+  // survivor through the same facade calls.
+  ASSERT_TRUE(client.fail_host(0).ok());
+  int hits = 0;
+  for (std::uint32_t id = 0; id < 100; ++id) {
+    const auto value = table.get_u32(reports::mixed_key(id));
+    if (value.ok() && *value == id + 5) ++hits;
+  }
+  EXPECT_EQ(hits, 100);
+  EXPECT_EQ(client.stats().live_hosts, 1u);
+
+  // The whole replica set dead: a typed kUnavailable, for point, batch
+  // and event queries alike.
+  ASSERT_TRUE(client.fail_host(1).ok());
+  const auto dead = table.get(reports::mixed_key(1));
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(table.get_many({reports::mixed_key(1)}).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(client.list(0).read(1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.fail_host(9).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClientApiClusterTest, KeyHashDeadOwnerLosesOnlyItsPartition) {
+  Client client = make_client(BackendKind::kCluster,
+                              collector::ThreadMode::kInline,
+                              translator::PartitionPolicy::kByKeyHash);
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 200; ++id) {
+    table.put_u32(reports::mixed_key(id), 1);
+  }
+  client.flush();
+  ASSERT_TRUE(client.fail_host(0).ok());
+
+  ClusterRuntime& cluster = *client.cluster_runtime();
+  int answered = 0, unavailable = 0;
+  for (std::uint32_t id = 0; id < 200; ++id) {
+    const auto owner =
+        cluster.selector().owner_host(reports::mixed_key(id));
+    ASSERT_TRUE(owner.has_value());
+    const auto value = table.get(reports::mixed_key(id));
+    if (*owner == 0) {
+      ASSERT_FALSE(value.ok());
+      EXPECT_EQ(value.code(), StatusCode::kUnavailable) << "key " << id;
+      ++unavailable;
+    } else if (value.ok()) {
+      ++answered;
+    }
+  }
+  EXPECT_GT(answered, 50);
+  EXPECT_GT(unavailable, 50);
+}
+
+// -------------------------------------------- staleness-budget path
+
+TEST_P(ClientApiTest, StalenessBudgetServesStaleAndFloorOverrides) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  table.put_u32(reports::u32_key(1), 11);
+  client.flush();
+  ASSERT_TRUE(table.get_u32(reports::u32_key(1)).ok());  // warm the cache
+
+  // New reports land; a budgeted query may ride the cached snapshot
+  // and miss them (stale within budget)...
+  table.put_u32(reports::u32_key(2), 22);
+  client.flush();
+  QueryOptions stale;
+  stale.staleness = collector::SnapshotStalenessBudget{};
+  stale.staleness->generations = 1u << 20;
+  const auto stale_read = table.get_u32(reports::u32_key(2), stale);
+  if (stale_read.ok()) {
+    EXPECT_EQ(*stale_read, 22u);  // the cache may have been refreshed
+  } else {
+    EXPECT_EQ(stale_read.code(), StatusCode::kNotFound);
+  }
+
+  // ...but read_your_submits overrides any budget: the same query with
+  // the floor set must see the report.
+  QueryOptions fresh = stale;
+  fresh.read_your_submits = true;
+  const auto fresh_read = table.get_u32(reports::u32_key(2), fresh);
+  ASSERT_TRUE(fresh_read.ok()) << fresh_read.status().to_string();
+  EXPECT_EQ(*fresh_read, 22u);
+
+  // And the pre-budget exact-freshness default still answers.
+  const auto exact = table.get_u32(reports::u32_key(2));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 22u);
+}
+
+// ------------------------------------------- concurrency (TSan target)
+
+TEST_P(ClientApiTest, QueriesRunConcurrentlyWithThreadedIngest) {
+  Client client = make_client(GetParam(), collector::ThreadMode::kThreaded);
+  auto table = client.keywrite();
+  std::vector<std::future<Expected<common::Bytes>>> pending;
+  std::uint32_t next_id = 0;
+  for (std::uint32_t round = 0; round < 20; ++round) {
+    for (std::uint32_t i = 0; i < 50; ++i, ++next_id) {
+      table.put_u32(reports::mixed_key(next_id), next_id * 7 + 1);
+    }
+    if (round > 0) {
+      const std::uint32_t probe = (round - 1) * 50;
+      pending.push_back(table.get_async(reports::mixed_key(probe)));
+      pending.push_back(table.get_async(reports::mixed_key(probe + 49)));
+    }
+  }
+  int hits = 0;
+  for (auto& future : pending) {
+    if (future.get().ok()) ++hits;
+  }
+  EXPECT_EQ(hits, static_cast<int>(pending.size()));
+  client.stop();
+  const auto stats = client.stats();
+  const std::uint64_t copies =
+      GetParam() == BackendKind::kCluster ? 2u : 1u;
+  EXPECT_EQ(stats.ingest.reports_in, copies * 1000u);
+}
+
+// ------------------------------------------------------------- stats
+
+TEST_P(ClientApiTest, StatsAggregateIngestAndTranslation) {
+  Client client = make_client(GetParam());
+  for (std::uint32_t id = 0; id < 40; ++id) {
+    client.keywrite().put_u32(reports::mixed_key(id), id);
+    client.counters().add(reports::mixed_key(id), 2);
+  }
+  client.list(1).append_u32(9);
+  client.flush();
+
+  const auto stats = client.stats();
+  const std::uint64_t copies =
+      GetParam() == BackendKind::kCluster ? 2u : 1u;
+  EXPECT_EQ(stats.ingest.reports_in, copies * 81u);
+  EXPECT_EQ(stats.translation.keywrite_reports, copies * 40u);
+  EXPECT_EQ(stats.translation.keywrite_writes, copies * 80u);  // N=2
+  EXPECT_EQ(stats.translation.keyincrement_reports, copies * 40u);
+  EXPECT_EQ(stats.translation.fetch_adds, copies * 80u);
+  EXPECT_EQ(stats.translation.append_entries_in, copies * 1u);
+  EXPECT_EQ(stats.num_hosts, copies);
+  EXPECT_EQ(stats.live_hosts, copies);
+  ASSERT_EQ(stats.per_host.size(), copies);
+  EXPECT_EQ(stats.per_host[0].ingest.reports_in, 81u);
+  EXPECT_FALSE(stats.per_host[0].failed);
+  EXPECT_GT(client.modeled_verbs_per_sec(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ClientApiTest,
+                         ::testing::Values(BackendKind::kLocal,
+                                           BackendKind::kCluster),
+                         [](const ::testing::TestParamInfo<BackendKind>& info) {
+                           return kind_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace dta

@@ -1,13 +1,18 @@
-// ClusterRuntime tests: two-level scale-out (hosts x shards), replica
+// ClusterRuntime tests, driven through the dta::Client facade
+// (ClusterBackend): two-level scale-out (hosts x shards), replica
 // failover after a collector death, the async snapshot-based query
-// tier (point/range/event futures, concurrent with ingest — the TSan
+// tier (point/range/event queries, concurrent with ingest — the TSan
 // target), worker pinning, and the translator's per-host connections.
+// Reports are built by the shared typed builders; cluster internals
+// (selector, snapshot caches, per-shard stats) are reached through
+// Client::cluster_runtime().
 #include <gtest/gtest.h>
 
 #include <future>
 #include <thread>
 
-#include "dtalib/cluster_runtime.h"
+#include "dta/report_builders.h"
+#include "dtalib/client.h"
 #include "translator/translator.h"
 
 namespace dta {
@@ -21,36 +26,7 @@ TelemetryKey key_of(std::uint64_t id) {
   std::uint64_t z = id * 0x9E3779B97F4A7C15ull + 1;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z ^= z >> 31;
-  Bytes b;
-  common::put_u64(b, z);
-  return TelemetryKey::from(ByteSpan(b));
-}
-
-proto::ParsedDta keywrite_report(std::uint64_t id, std::uint32_t value,
-                                 std::uint8_t redundancy = 2) {
-  proto::KeyWriteReport r;
-  r.key = key_of(id);
-  r.redundancy = redundancy;
-  common::put_u32(r.data, value);
-  return {proto::DtaHeader{}, std::move(r)};
-}
-
-proto::ParsedDta keyincrement_report(std::uint64_t id, std::uint64_t delta) {
-  proto::KeyIncrementReport r;
-  r.key = key_of(id);
-  r.redundancy = 2;
-  r.counter = delta;
-  return {proto::DtaHeader{}, std::move(r)};
-}
-
-proto::ParsedDta append_report(std::uint32_t list, std::uint32_t value) {
-  proto::AppendReport r;
-  r.list_id = list;
-  r.entry_size = 4;
-  Bytes e;
-  common::put_u32(e, value);
-  r.entries.push_back(std::move(e));
-  return {proto::DtaHeader{}, std::move(r)};
+  return reports::u64_key(z);
 }
 
 ClusterRuntimeConfig cluster_config(
@@ -86,60 +62,62 @@ TEST(ClusterRuntime, AggregateRateScalesHostsTimesShards) {
   // host owns an independent NIC message unit, so a 4x4 kByKeyHash
   // cluster models ~16x the 1x1 deployment (exact up to shard balance;
   // with CRC routing every shard is hit at these key counts).
-  auto one = cluster_config(1, 1);
-  ClusterRuntime single(one);
-  auto sixteen = cluster_config(4, 4);
-  ClusterRuntime cluster(sixteen);
+  Client single = Client::cluster(cluster_config(1, 1));
+  Client cluster = Client::cluster(cluster_config(4, 4));
 
   for (std::uint64_t id = 0; id < 8000; ++id) {
-    single.submit(keywrite_report(id, 1, /*redundancy=*/1));
-    cluster.submit(keywrite_report(id, 1, /*redundancy=*/1));
+    single.keywrite().put_u32(key_of(id), 1, /*redundancy=*/1);
+    cluster.keywrite().put_u32(key_of(id), 1, /*redundancy=*/1);
   }
   single.flush();
   cluster.flush();
 
-  const double base = single.modeled_aggregate_verbs_per_sec();
+  const double base = single.modeled_verbs_per_sec();
   ASSERT_GT(base, 0.0);
-  const double ratio = cluster.modeled_aggregate_verbs_per_sec() / base;
+  const double ratio = cluster.modeled_verbs_per_sec() / base;
   EXPECT_NEAR(ratio, 16.0, 16.0 * 0.02);
 
   // All 16 shard NICs took part.
+  ClusterRuntime& runtime = *cluster.cluster_runtime();
   for (std::uint32_t h = 0; h < 4; ++h) {
     for (std::uint32_t s = 0; s < 4; ++s) {
-      EXPECT_GT(cluster.host(h).shard(s).stats().verbs_executed, 0u)
+      EXPECT_GT(runtime.host(h).shard(s).stats().verbs_executed, 0u)
           << "host " << h << " shard " << s;
     }
   }
 }
 
 TEST(ClusterRuntime, KeyHashClusterAnswersEveryKey) {
-  ClusterRuntime cluster(cluster_config(3, 2));
+  Client client = Client::cluster(cluster_config(3, 2));
   for (std::uint64_t id = 0; id < 600; ++id) {
-    cluster.submit(keywrite_report(id, static_cast<std::uint32_t>(id * 3)));
+    client.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id * 3));
   }
-  cluster.flush();
+  client.flush();
   int hits = 0;
   for (std::uint64_t id = 0; id < 600; ++id) {
-    auto value = cluster.query().value_of(key_of(id)).get();
-    if (value && common::load_u32(value->data()) == id * 3) ++hits;
+    const auto value = client.keywrite().get_u32(key_of(id));
+    if (value.ok() && *value == id * 3) ++hits;
   }
   EXPECT_GE(hits, 598);  // slot collisions may cost a key or two
 }
 
 TEST(ClusterRuntime, ByDestinationIpRoutesOnAddress) {
-  ClusterRuntime cluster(cluster_config(
+  Client client = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kByDestinationIp));
+  ClusterRuntime& cluster = *client.cluster_runtime();
+  ReportOptions to_host1;
+  to_host1.dst_ip = cluster.host_ip(1);
   for (std::uint64_t id = 0; id < 100; ++id) {
-    cluster.submit(keywrite_report(id, 7), cluster.host_ip(1));
+    client.keywrite().put_u32(key_of(id), 7, 2, to_host1);
   }
-  cluster.flush();
+  client.flush();
   EXPECT_EQ(cluster.host(0).stats().reports_in, 0u);
   EXPECT_EQ(cluster.host(1).stats().reports_in, 100u);
   // The key still determines the host-internal shard, and queries (which
   // fan out over hosts under this policy) find the values.
   int hits = 0;
   for (std::uint64_t id = 0; id < 100; ++id) {
-    if (cluster.query().value_of(key_of(id)).get()) ++hits;
+    if (client.keywrite().get(key_of(id)).ok()) ++hits;
   }
   EXPECT_GE(hits, 99);
 }
@@ -148,14 +126,17 @@ TEST(ClusterRuntime, HostIpAddressesExactlyThatHost) {
   // Regression: with 3 hosts the raw base address is not divisible by
   // the host count, so an unnormalized modulo would rotate the mapping
   // (host_ip(0) -> host 1). host_ip(h) must deliver to host h exactly.
-  ClusterRuntime cluster(cluster_config(
+  Client client = Client::cluster(cluster_config(
       3, 2, translator::PartitionPolicy::kByDestinationIp));
+  ClusterRuntime& cluster = *client.cluster_runtime();
   for (std::uint32_t h = 0; h < 3; ++h) {
+    ReportOptions to_host;
+    to_host.dst_ip = cluster.host_ip(h);
     for (std::uint64_t id = 0; id < 10; ++id) {
-      cluster.submit(keywrite_report(h * 100 + id, 1), cluster.host_ip(h));
+      client.keywrite().put_u32(key_of(h * 100 + id), 1, 2, to_host);
     }
   }
-  cluster.flush();
+  client.flush();
   for (std::uint32_t h = 0; h < 3; ++h) {
     EXPECT_EQ(cluster.host(h).stats().reports_in, 10u) << "host " << h;
   }
@@ -165,89 +146,98 @@ TEST(ClusterRuntime, ByDestinationIpEventsReadTheAddressedHost) {
   // Only the addressed host holds the list under kByDestinationIp; the
   // event query must follow the same mapping as submit, not fall back
   // to an arbitrary live host with an untouched (zero) ring.
-  ClusterRuntime cluster(cluster_config(
+  Client client = Client::cluster(cluster_config(
       3, 2, translator::PartitionPolicy::kByDestinationIp));
+  ClusterRuntime& cluster = *client.cluster_runtime();
+  ReportOptions to_host1;
+  to_host1.dst_ip = cluster.host_ip(1);
   for (std::uint32_t i = 0; i < 4; ++i) {
-    cluster.submit(append_report(2, 70 + i), cluster.host_ip(1));
+    ASSERT_TRUE(client.list(2).append_u32(70 + i, to_host1).ok());
   }
-  cluster.flush();
-  const auto events = cluster.query().events(2, 4, cluster.host_ip(1)).get();
-  ASSERT_EQ(events.size(), 4u);
+  client.flush();
+  QueryOptions from_host1;
+  from_host1.dst_ip = cluster.host_ip(1);
+  const auto events = client.list(2).read(4, from_host1);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 4u);
   for (std::uint32_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(common::load_u32(events[i].data()), 70 + i);
+    EXPECT_EQ(common::load_u32((*events)[i].data()), 70 + i);
   }
 }
 
 // ----------------------------------------------------------- failover
 
 TEST(ClusterRuntime, ReplicatePointQuerySurvivesHostDeath) {
-  ClusterRuntime cluster(cluster_config(
+  Client client = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate));
   for (std::uint64_t id = 0; id < 100; ++id) {
-    cluster.submit(keywrite_report(id, static_cast<std::uint32_t>(id + 5)));
+    client.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id + 5));
   }
-  cluster.flush();
+  client.flush();
 
-  cluster.fail_host(0);
-  EXPECT_EQ(cluster.live_hosts(), 1u);
+  ASSERT_TRUE(client.fail_host(0).ok());
+  EXPECT_EQ(client.stats().live_hosts, 1u);
 
   // Every key is still answerable — the merge layer asks the survivor.
   int hits = 0;
   for (std::uint64_t id = 0; id < 100; ++id) {
-    auto value = cluster.query().value_of(key_of(id)).get();
-    if (value && common::load_u32(value->data()) == id + 5) ++hits;
+    const auto value = client.keywrite().get_u32(key_of(id));
+    if (value.ok() && *value == id + 5) ++hits;
   }
   EXPECT_EQ(hits, 100);
 
   // New reports only land on the survivor.
-  cluster.submit(keywrite_report(1000, 99));
-  cluster.flush();
+  client.keywrite().put_u32(key_of(1000), 99);
+  client.flush();
+  ClusterRuntime& cluster = *client.cluster_runtime();
   EXPECT_EQ(cluster.host(0).stats().reports_in, 100u);
   EXPECT_EQ(cluster.host(1).stats().reports_in, 101u);
 
   // Aggregate capacity reflects the loss (same workload, no failure:
   // twice the live shard NICs).
-  ClusterRuntime healthy(cluster_config(
+  Client healthy = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate));
   for (std::uint64_t id = 0; id < 100; ++id) {
-    healthy.submit(keywrite_report(id, static_cast<std::uint32_t>(id + 5)));
+    healthy.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id + 5));
   }
   healthy.flush();
-  EXPECT_LT(cluster.modeled_aggregate_verbs_per_sec(),
-            healthy.modeled_aggregate_verbs_per_sec());
+  EXPECT_LT(client.modeled_verbs_per_sec(), healthy.modeled_verbs_per_sec());
 }
 
 TEST(ClusterRuntime, ReplicateEventQueryFailsOver) {
-  ClusterRuntime cluster(cluster_config(
+  Client client = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate));
   for (std::uint32_t i = 0; i < 5; ++i) {
-    cluster.submit(append_report(3, 30 + i));
+    client.list(3).append_u32(30 + i);
   }
-  cluster.flush();
-  cluster.fail_host(0);
-  const auto events = cluster.query().events(3, 5).get();
-  ASSERT_EQ(events.size(), 5u);
+  client.flush();
+  ASSERT_TRUE(client.fail_host(0).ok());
+  const auto events = client.list(3).read(5);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 5u);
   for (std::uint32_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(common::load_u32(events[i].data()), 30 + i);
+    EXPECT_EQ(common::load_u32((*events)[i].data()), 30 + i);
   }
 }
 
 TEST(ClusterRuntime, KeyHashDeadOwnerLosesOnlyItsPartition) {
-  ClusterRuntime cluster(cluster_config(2, 2));
+  Client client = Client::cluster(cluster_config(2, 2));
   for (std::uint64_t id = 0; id < 200; ++id) {
-    cluster.submit(keywrite_report(id, 1));
+    client.keywrite().put_u32(key_of(id), 1);
   }
-  cluster.flush();
-  cluster.fail_host(0);
+  client.flush();
+  ASSERT_TRUE(client.fail_host(0).ok());
+  ClusterRuntime& cluster = *client.cluster_runtime();
   int answered = 0, lost = 0;
   for (std::uint64_t id = 0; id < 200; ++id) {
     const auto owner = cluster.selector().owner_host(key_of(id));
     ASSERT_TRUE(owner.has_value());
-    const bool hit = cluster.query().value_of(key_of(id)).get().has_value();
+    const auto value = client.keywrite().get(key_of(id));
     if (*owner == 0) {
-      EXPECT_FALSE(hit) << "key " << id << " answered by a dead host";
+      ASSERT_FALSE(value.ok()) << "key " << id << " answered by a dead host";
+      EXPECT_EQ(value.code(), StatusCode::kUnavailable) << "key " << id;
       ++lost;
-    } else if (hit) {
+    } else if (value.ok()) {
       ++answered;
     }
   }
@@ -260,26 +250,27 @@ TEST(ClusterRuntime, FailoverDoesNotServeDeadHostCachedSnapshots) {
   // every host's snapshot cache; fail_host must drop the dead host's
   // entries, and the failover path must answer every key from the
   // survivor without ever consulting the dead host's cache again.
-  ClusterRuntime cluster(cluster_config(
+  Client client = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate));
   for (std::uint64_t id = 0; id < 100; ++id) {
-    cluster.submit(keywrite_report(id, static_cast<std::uint32_t>(id + 5)));
+    client.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id + 5));
   }
-  cluster.flush();
+  client.flush();
   for (std::uint64_t id = 0; id < 20; ++id) {
-    ASSERT_TRUE(cluster.query().value_of(key_of(id)).get().has_value());
+    ASSERT_TRUE(client.keywrite().get(key_of(id)).ok());
   }
+  ClusterRuntime& cluster = *client.cluster_runtime();
   ASSERT_GT(cluster.host(0).snapshot_cache().cached_count(), 0u);
   const auto before = cluster.host(0).snapshot_cache().stats();
 
-  cluster.fail_host(0);
+  ASSERT_TRUE(client.fail_host(0).ok());
   EXPECT_EQ(cluster.host(0).snapshot_cache().cached_count(), 0u)
       << "dead host still holds cached snapshots";
 
   int hits = 0;
   for (std::uint64_t id = 0; id < 100; ++id) {
-    const auto value = cluster.query().value_of(key_of(id)).get();
-    if (value && common::load_u32(value->data()) == id + 5) ++hits;
+    const auto value = client.keywrite().get_u32(key_of(id));
+    if (value.ok() && *value == id + 5) ++hits;
   }
   EXPECT_EQ(hits, 100);
 
@@ -292,21 +283,23 @@ TEST(ClusterRuntime, FailoverDoesNotServeDeadHostCachedSnapshots) {
 }
 
 TEST(ClusterRuntime, RangeQueryPinsOneSnapshotPerShard) {
-  // A multi-shard range query must route every sub-range through one
+  // A multi-shard batch get must route every sub-range through one
   // generation pin: however many keys land on a shard, the shard is
   // copied at most once per query — and an identical repeat of the
   // query is answered entirely from the cache.
-  ClusterRuntime cluster(cluster_config(2, 2));
+  Client client = Client::cluster(cluster_config(2, 2));
   for (std::uint64_t id = 0; id < 300; ++id) {
-    cluster.submit(keywrite_report(id, static_cast<std::uint32_t>(id)));
+    client.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id));
   }
-  cluster.flush();
+  client.flush();
 
   std::vector<TelemetryKey> keys;
   for (std::uint64_t id = 0; id < 300; ++id) keys.push_back(key_of(id));
-  const auto first = cluster.query().values_of(keys).get();
-  ASSERT_EQ(first.size(), keys.size());
+  const auto first = client.keywrite().get_many(keys);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), keys.size());
 
+  ClusterRuntime& cluster = *client.cluster_runtime();
   std::uint64_t copies = 0;
   for (std::uint32_t h = 0; h < 2; ++h) {
     const auto stats = cluster.host(h).snapshot_cache().stats();
@@ -316,63 +309,63 @@ TEST(ClusterRuntime, RangeQueryPinsOneSnapshotPerShard) {
   }
   EXPECT_LE(copies, 4u);  // at most one copy per (host, shard)
 
-  const auto second = cluster.query().values_of(keys).get();
-  ASSERT_EQ(second.size(), keys.size());
+  const auto second = client.keywrite().get_many(keys);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->size(), keys.size());
   std::uint64_t copies_after = 0;
   for (std::uint32_t h = 0; h < 2; ++h) {
     copies_after += cluster.host(h).snapshot_cache().stats().misses;
   }
   EXPECT_EQ(copies_after, copies)
       << "unchanged shards were re-copied by the second query";
-  for (std::size_t i = 0; i < first.size(); ++i) {
-    ASSERT_EQ(first[i].has_value(), second[i].has_value()) << "key " << i;
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    ASSERT_EQ((*first)[i].has_value(), (*second)[i].has_value())
+        << "key " << i;
   }
 }
 
 // ------------------------------------------------------- async queries
 
 TEST(ClusterRuntime, RangeQueryResolvesBatchInInputOrder) {
-  ClusterRuntime cluster(cluster_config(2, 2));
+  Client client = Client::cluster(cluster_config(2, 2));
   for (std::uint64_t id = 0; id < 300; ++id) {
-    cluster.submit(keywrite_report(id, static_cast<std::uint32_t>(id ^ 0x5A)));
+    client.keywrite().put_u32(key_of(id),
+                              static_cast<std::uint32_t>(id ^ 0x5A));
   }
-  cluster.flush();
+  client.flush();
   std::vector<TelemetryKey> keys;
   for (std::uint64_t id = 0; id < 300; id += 3) keys.push_back(key_of(id));
   keys.push_back(key_of(999999));  // never written
-  const auto results = cluster.query().values_of(keys).get();
-  ASSERT_EQ(results.size(), keys.size());
+  const auto results = client.keywrite().get_many_async(keys).get();
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), keys.size());
   int hits = 0;
-  for (std::size_t i = 0; i + 1 < results.size(); ++i) {
-    if (results[i] &&
-        common::load_u32(results[i]->data()) == ((3 * i) ^ 0x5A)) {
+  for (std::size_t i = 0; i + 1 < results->size(); ++i) {
+    const auto& value = (*results)[i];
+    if (value && common::load_u32(value->data()) == ((3 * i) ^ 0x5A)) {
       ++hits;
     }
   }
   EXPECT_GE(hits, 98);
-  EXPECT_FALSE(results.back().has_value());
+  EXPECT_FALSE(results->back().has_value());
 }
 
 TEST(ClusterRuntime, CounterAndEventFuturesResolve) {
-  ClusterRuntime cluster(cluster_config(2, 2));
+  Client client = Client::cluster(cluster_config(2, 2));
   net::FiveTuple flow{0x0A000001, 0x0B000001, 1234, 443, 6};
-  const auto bytes = flow.to_bytes();
-  const auto key =
-      TelemetryKey::from(ByteSpan(bytes.data(), bytes.size()));
   for (int i = 0; i < 3; ++i) {
-    proto::KeyIncrementReport r;
-    r.key = key;
-    r.redundancy = 2;
-    r.counter = 4;
-    cluster.submit({proto::DtaHeader{}, r});
+    client.counters().add(flow_key(flow), 4);
   }
-  for (std::uint32_t i = 0; i < 6; ++i) cluster.submit(append_report(5, i));
-  cluster.flush();
-  EXPECT_GE(cluster.query().flow_counter(flow).get(), 12u);  // CMS: >= truth
-  const auto events = cluster.query().events(5, 6).get();
-  ASSERT_EQ(events.size(), 6u);
-  EXPECT_EQ(common::load_u32(events[0].data()), 0u);
-  EXPECT_EQ(common::load_u32(events[5].data()), 5u);
+  for (std::uint32_t i = 0; i < 6; ++i) client.list(5).append_u32(i);
+  client.flush();
+  const auto counter = client.counters().get_async(flow_key(flow)).get();
+  ASSERT_TRUE(counter.ok());
+  EXPECT_GE(*counter, 12u);  // CMS: >= truth
+  const auto events = client.list(5).read_async(6).get();
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 6u);
+  EXPECT_EQ(common::load_u32((*events)[0].data()), 0u);
+  EXPECT_EQ(common::load_u32((*events)[5].data()), 5u);
 }
 
 TEST(ClusterRuntime, QueriesRunConcurrentlyWithThreadedIngest) {
@@ -380,34 +373,34 @@ TEST(ClusterRuntime, QueriesRunConcurrentlyWithThreadedIngest) {
   // per-shard snapshots on their own threads while the threaded ingest
   // pipelines keep writing store memory. Any cross-thread read of live
   // store state would be a data race; snapshots make it race-free.
-  ClusterRuntime cluster(cluster_config(
+  Client client = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate,
       collector::ThreadMode::kThreaded));
 
-  std::vector<std::future<std::optional<common::Bytes>>> pending;
+  std::vector<std::future<Expected<common::Bytes>>> pending;
   std::uint64_t next_id = 0;
   for (std::uint32_t round = 0; round < 20; ++round) {
     for (std::uint32_t i = 0; i < 50; ++i, ++next_id) {
-      cluster.submit(keywrite_report(
-          next_id, static_cast<std::uint32_t>(next_id * 7 + 1)));
+      client.keywrite().put_u32(
+          key_of(next_id), static_cast<std::uint32_t>(next_id * 7 + 1));
     }
     // Queries for keys from earlier rounds, issued while this round's
     // reports are still in flight through the SPSC queues.
     if (round > 0) {
       const std::uint64_t probe = (round - 1) * 50;
-      pending.push_back(cluster.query().value_of(key_of(probe)));
-      pending.push_back(cluster.query().value_of(key_of(probe + 49)));
+      pending.push_back(client.keywrite().get_async(key_of(probe)));
+      pending.push_back(client.keywrite().get_async(key_of(probe + 49)));
     }
   }
   int hits = 0;
   for (auto& future : pending) {
-    if (future.get()) ++hits;
+    if (future.get().ok()) ++hits;
   }
   // Every probed key was flushed by its snapshot barrier before the
   // query resolved.
   EXPECT_EQ(hits, static_cast<int>(pending.size()));
-  cluster.stop();
-  EXPECT_EQ(cluster.stats().reports_in, 2u * 1000u);  // both replicas
+  client.stop();
+  EXPECT_EQ(client.stats().ingest.reports_in, 2u * 1000u);  // both replicas
 }
 
 // ------------------------------------------------------ worker pinning
@@ -417,11 +410,12 @@ TEST(ClusterRuntime, PinnedWorkersReportAffinity) {
   config.host.thread_mode = collector::ThreadMode::kThreaded;
   config.host.pin_workers = true;
   config.host.worker_cores = {0, 0};  // core 0 always exists
-  ClusterRuntime cluster(config);
+  Client client = Client::cluster(config);
   for (std::uint64_t id = 0; id < 100; ++id) {
-    cluster.submit(keywrite_report(id, 1));
+    client.keywrite().put_u32(key_of(id), 1);
   }
-  cluster.flush();
+  client.flush();
+  ClusterRuntime& cluster = *client.cluster_runtime();
 #if defined(__linux__)
   EXPECT_EQ(cluster.host(0).pipeline().stats().workers_pinned, 2u);
 #else
@@ -431,11 +425,12 @@ TEST(ClusterRuntime, PinnedWorkersReportAffinity) {
 }
 
 TEST(ClusterRuntime, UnpinnedIsTheDefaultNoOp) {
-  ClusterRuntime cluster(cluster_config(
+  Client client = Client::cluster(cluster_config(
       1, 2, translator::PartitionPolicy::kByKeyHash,
       collector::ThreadMode::kThreaded));
-  cluster.submit(keywrite_report(1, 1));
-  cluster.flush();
+  client.keywrite().put_u32(key_of(1), 1);
+  client.flush();
+  ClusterRuntime& cluster = *client.cluster_runtime();
   EXPECT_EQ(cluster.host(0).pipeline().stats().workers_pinned, 0u);
 }
 

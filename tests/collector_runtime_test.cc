@@ -1,12 +1,17 @@
-// Sharded collector runtime tests: routing stability, cross-shard query
-// merge, batch/shutdown flushing, and equivalence of a 1-shard runtime
-// with the unsharded store path.
+// Sharded collector runtime tests, driven through the dta::Client
+// facade (LocalBackend): routing stability, cross-shard query merge,
+// batch/shutdown flushing, and equivalence of a 1-shard runtime with
+// the unsharded store path. Reports are built by the shared typed
+// builders (dta/report_builders.h); internals (shard stats, store
+// memory) are reached through Client::local_runtime().
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "collector/runtime.h"
 #include "common/crc.h"
+#include "dta/report_builders.h"
+#include "dtalib/client.h"
 #include "translator/keywrite_engine.h"
 #include "translator/rdma_crafter.h"
 
@@ -16,39 +21,7 @@ namespace {
 using common::ByteSpan;
 using common::Bytes;
 using proto::TelemetryKey;
-
-TelemetryKey key_of(std::uint32_t id) {
-  Bytes b;
-  common::put_u32(b, id);
-  return TelemetryKey::from(ByteSpan(b));
-}
-
-proto::ParsedDta keywrite_report(std::uint32_t id, std::uint32_t value,
-                                 std::uint8_t redundancy = 2) {
-  proto::KeyWriteReport r;
-  r.key = key_of(id);
-  r.redundancy = redundancy;
-  common::put_u32(r.data, value);
-  return {proto::DtaHeader{}, std::move(r)};
-}
-
-proto::ParsedDta keyincrement_report(std::uint32_t id, std::uint64_t delta) {
-  proto::KeyIncrementReport r;
-  r.key = key_of(id);
-  r.redundancy = 2;
-  r.counter = delta;
-  return {proto::DtaHeader{}, std::move(r)};
-}
-
-proto::ParsedDta append_report(std::uint32_t list, std::uint32_t value) {
-  proto::AppendReport r;
-  r.list_id = list;
-  r.entry_size = 4;
-  Bytes e;
-  common::put_u32(e, value);
-  r.entries.push_back(std::move(e));
-  return {proto::DtaHeader{}, std::move(r)};
-}
+using reports::u32_key;
 
 CollectorRuntimeConfig small_config(std::uint32_t shards,
                                     ThreadMode mode = ThreadMode::kInline) {
@@ -79,7 +52,7 @@ CollectorRuntimeConfig small_config(std::uint32_t shards,
 
 TEST(ShardRouting, KeyRoutingIsStable) {
   for (std::uint32_t id = 0; id < 1000; ++id) {
-    const TelemetryKey key = key_of(id);
+    const TelemetryKey key = u32_key(id);
     const std::uint32_t first = shard_for_key(key, 4);
     EXPECT_EQ(shard_for_key(key, 4), first);
     EXPECT_LT(first, 4u);
@@ -89,21 +62,22 @@ TEST(ShardRouting, KeyRoutingIsStable) {
 TEST(ShardRouting, AllPrimitivesOfOneKeyShareAShard) {
   // Key-Write, Key-Increment and Postcarding reports for the same key
   // must land on the same shard or cross-shard queries would miss.
-  CollectorRuntime runtime(small_config(4));
+  Client client = Client::local(small_config(4));
+  CollectorRuntime& runtime = *client.local_runtime();
   for (std::uint32_t id = 0; id < 100; ++id) {
-    proto::PostcardReport pc;
-    pc.key = key_of(id);
-    const std::uint32_t kw_shard =
-        runtime.shard_index_for(keywrite_report(id, 1));
-    EXPECT_EQ(runtime.shard_index_for(keyincrement_report(id, 1)), kw_shard);
-    EXPECT_EQ(runtime.shard_index_for({proto::DtaHeader{}, pc}), kw_shard);
+    const auto keywrite = reports::keywrite_u32(u32_key(id), 1);
+    const auto counter = reports::keyincrement(u32_key(id), 1);
+    const auto postcard = reports::postcard(u32_key(id), 0, 5, 1);
+    const std::uint32_t kw_shard = runtime.shard_index_for(keywrite);
+    EXPECT_EQ(runtime.shard_index_for(counter), kw_shard);
+    EXPECT_EQ(runtime.shard_index_for(postcard), kw_shard);
   }
 }
 
 TEST(ShardRouting, KeysSpreadAcrossShards) {
   std::array<std::uint32_t, 8> hits{};
   for (std::uint32_t id = 0; id < 8000; ++id) {
-    ++hits[common::shard_of(key_of(id).span(), 8)];
+    ++hits[common::shard_of(u32_key(id).span(), 8)];
   }
   for (std::uint32_t shard = 0; shard < 8; ++shard) {
     // Uniform expectation 1000 per shard; CRC routing must stay within
@@ -118,7 +92,7 @@ TEST(ShardRouting, ShardSelectorIndependentOfSlotHashes) {
   // collide on the first slot hash should still spread over shards.
   std::set<std::uint32_t> shards_seen;
   for (std::uint32_t id = 0; id < 64; ++id) {
-    shards_seen.insert(common::shard_of(key_of(id * 8).span(), 8));
+    shards_seen.insert(common::shard_of(u32_key(id * 8).span(), 8));
   }
   EXPECT_GT(shards_seen.size(), 4u);
 }
@@ -126,80 +100,76 @@ TEST(ShardRouting, ShardSelectorIndependentOfSlotHashes) {
 // ------------------------------------------------- cross-shard queries
 
 TEST(CollectorRuntimeTest, CrossShardKeyWriteMerge) {
-  CollectorRuntime runtime(small_config(4));
+  Client client = Client::local(small_config(4));
+  auto table = client.keywrite();
   for (std::uint32_t id = 0; id < 500; ++id) {
-    runtime.submit(keywrite_report(id, id * 7 + 3));
+    ASSERT_TRUE(table.put_u32(u32_key(id), id * 7 + 3).ok());
   }
-  runtime.flush();
+  client.flush();
   int hits = 0;
   for (std::uint32_t id = 0; id < 500; ++id) {
-    auto value = runtime.query().value_of(key_of(id), 2);
-    if (value && common::load_u32(value->data()) == id * 7 + 3) ++hits;
+    const auto value = table.get_u32(u32_key(id));
+    if (value.ok() && *value == id * 7 + 3) ++hits;
   }
   EXPECT_GE(hits, 498);
 }
 
 TEST(CollectorRuntimeTest, CountersRouteToOwningShard) {
-  CollectorRuntime runtime(small_config(4));
+  Client client = Client::local(small_config(4));
   for (std::uint32_t round = 0; round < 3; ++round) {
     for (std::uint32_t id = 0; id < 64; ++id) {
-      runtime.submit(keyincrement_report(id, id + 1));
+      ASSERT_TRUE(client.counters().add(u32_key(id), id + 1).ok());
     }
   }
-  runtime.flush();
-  // CMS property must survive sharding: estimates never underestimate.
+  client.flush();
+  // CMS property must survive sharding: estimates never underestimate —
+  // through the facade and on the owning shard's live store alike.
+  CollectorRuntime& runtime = *client.local_runtime();
   for (std::uint32_t id = 0; id < 64; ++id) {
-    proto::KeyIncrementReport probe;
-    probe.key = key_of(id);
+    const auto estimate = client.counters().get(u32_key(id));
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_GE(*estimate, 3u * (id + 1));
     RdmaService* owner =
-        &runtime.shard(shard_for_key(probe.key, runtime.num_shards()))
+        &runtime.shard(shard_for_key(u32_key(id), runtime.num_shards()))
              .service();
-    EXPECT_GE(owner->keyincrement()->query(probe.key, 2), 3u * (id + 1));
+    EXPECT_GE(owner->keyincrement()->query(u32_key(id), 2), 3u * (id + 1));
   }
 }
 
 TEST(CollectorRuntimeTest, AppendListsRouteAndDrainAcrossShards) {
-  CollectorRuntime runtime(small_config(4));
+  Client client = Client::local(small_config(4));
   for (std::uint32_t list = 0; list < 8; ++list) {
     for (std::uint32_t i = 0; i < 4; ++i) {
-      runtime.submit(append_report(list, list * 100 + i));
+      ASSERT_TRUE(client.list(list).append_u32(list * 100 + i).ok());
     }
   }
-  runtime.flush();
+  client.flush();
   for (std::uint32_t list = 0; list < 8; ++list) {
-    std::vector<std::uint32_t> drained;
-    runtime.query().consume_events(list, 4, [&](ByteSpan entry) {
-      drained.push_back(common::load_u32(entry.data()));
-    });
-    ASSERT_EQ(drained.size(), 4u) << "list " << list;
+    const auto events = client.list(list).read(4);
+    ASSERT_TRUE(events.ok()) << "list " << list;
+    ASSERT_EQ(events->size(), 4u) << "list " << list;
     for (std::uint32_t i = 0; i < 4; ++i) {
-      EXPECT_EQ(drained[i], list * 100 + i) << "list " << list;
+      EXPECT_EQ(common::load_u32((*events)[i].data()), list * 100 + i)
+          << "list " << list;
     }
   }
 }
 
 TEST(CollectorRuntimeTest, PostcardPathsRecoverableAcrossShards) {
-  CollectorRuntime runtime(small_config(4));
+  Client client = Client::local(small_config(4));
+  auto postcards = client.postcards();
   for (std::uint32_t flow = 0; flow < 100; ++flow) {
     for (std::uint8_t hop = 0; hop < 5; ++hop) {
-      proto::PostcardReport pc;
-      pc.key = key_of(flow);
-      pc.hop = hop;
-      pc.path_len = 5;
-      pc.redundancy = 1;
-      pc.value = (flow + hop) % 4096;
-      runtime.submit({proto::DtaHeader{}, pc});
+      const auto status =
+          postcards.report(u32_key(flow), hop, 5, (flow + hop) % 4096);
+      ASSERT_TRUE(status.ok());
     }
   }
-  runtime.flush();
+  client.flush();
   int found = 0;
   for (std::uint32_t flow = 0; flow < 100; ++flow) {
-    RdmaService& owner =
-        runtime.shard(shard_for_key(key_of(flow), runtime.num_shards()))
-            .service();
-    auto result = owner.postcarding()->query(key_of(flow), 1);
-    if (result.found && result.hop_values.size() == 5 &&
-        result.hop_values[0] == flow % 4096) {
+    const auto path = postcards.path_of(u32_key(flow));
+    if (path.ok() && path->size() == 5 && (*path)[0] == flow % 4096) {
       ++found;
     }
   }
@@ -212,80 +182,81 @@ TEST(CollectorRuntimeTest, BatchFlushOnShutdown) {
   auto config = small_config(2);
   config.op_batch_size = 64;  // far more than we submit: nothing
                               // reaches the NIC until a flush
-  auto runtime = std::make_unique<CollectorRuntime>(config);
+  Client client = Client::local(config);
   for (std::uint32_t id = 0; id < 8; ++id) {
-    runtime->submit(keywrite_report(id, id + 1));
+    ASSERT_TRUE(client.keywrite().put_u32(u32_key(id), id + 1).ok());
   }
-  EXPECT_LT(runtime->stats().verbs_executed, 16u);
-  runtime->stop();  // shutdown must deliver the partial batches
-  EXPECT_EQ(runtime->stats().verbs_executed, 16u);  // 8 reports x N=2
+  EXPECT_LT(client.stats().ingest.verbs_executed, 16u);
+  client.stop();  // shutdown must deliver the partial batches
+  EXPECT_EQ(client.stats().ingest.verbs_executed, 16u);  // 8 reports x N=2
   for (std::uint32_t id = 0; id < 8; ++id) {
-    auto value = runtime->query().value_of(key_of(id), 2);
-    ASSERT_TRUE(value) << "key " << id << " lost at shutdown";
-    EXPECT_EQ(common::load_u32(value->data()), id + 1);
+    const auto value = client.keywrite().get_u32(u32_key(id));
+    ASSERT_TRUE(value.ok()) << "key " << id << " lost at shutdown";
+    EXPECT_EQ(*value, id + 1);
   }
 }
 
 TEST(CollectorRuntimeTest, FlushAlsoDrainsAppendBatches) {
   auto config = small_config(2);
   config.append_batch_size = 16;  // entries stay in the engine registers
-  CollectorRuntime runtime(config);
+  Client client = Client::local(config);
   for (std::uint32_t i = 0; i < 5; ++i) {
-    runtime.submit(append_report(3, 40 + i));
+    ASSERT_TRUE(client.list(3).append_u32(40 + i).ok());
   }
-  runtime.flush();
+  client.flush();
+  const auto events = client.list(3).read(5);
+  ASSERT_TRUE(events.ok());
   std::vector<std::uint32_t> drained;
-  runtime.query().consume_events(3, 5, [&](ByteSpan entry) {
+  for (const auto& entry : *events) {
     drained.push_back(common::load_u32(entry.data()));
-  });
+  }
   EXPECT_EQ(drained, (std::vector<std::uint32_t>{40, 41, 42, 43, 44}));
 }
 
 TEST(CollectorRuntimeTest, FlushAndSubmitAfterStopAreSafe) {
-  // stop() joins the workers; later flush()/submit() must fall back to
+  // stop() joins the workers; later flush()/report() must fall back to
   // the caller thread instead of waiting on (or enqueueing for) workers
   // that no longer exist.
-  CollectorRuntime runtime(small_config(2, ThreadMode::kThreaded));
-  runtime.submit(keywrite_report(1, 11));
-  runtime.stop();
-  runtime.flush();  // must not hang
-  runtime.submit(keywrite_report(2, 22));
-  runtime.flush();
+  Client client = Client::local(small_config(2, ThreadMode::kThreaded));
+  client.keywrite().put_u32(u32_key(1), 11);
+  client.stop();
+  EXPECT_TRUE(client.flush().ok());  // must not hang
+  client.keywrite().put_u32(u32_key(2), 22);
+  client.flush();
   for (std::uint32_t id : {1u, 2u}) {
-    auto value = runtime.query().value_of(key_of(id), 2);
-    ASSERT_TRUE(value) << "key " << id;
-    EXPECT_EQ(common::load_u32(value->data()), id * 11);
+    const auto value = client.keywrite().get_u32(u32_key(id));
+    ASSERT_TRUE(value.ok()) << "key " << id;
+    EXPECT_EQ(*value, id * 11);
   }
 }
 
 TEST(CollectorRuntimeTest, ThreadedPipelineMatchesInline) {
-  auto threaded_config = small_config(4, ThreadMode::kThreaded);
-  CollectorRuntime runtime(threaded_config);
-  EXPECT_TRUE(runtime.pipeline().threaded());
+  Client client = Client::local(small_config(4, ThreadMode::kThreaded));
+  EXPECT_TRUE(client.local_runtime()->pipeline().threaded());
   for (std::uint32_t id = 0; id < 300; ++id) {
-    runtime.submit(keywrite_report(id, id ^ 0xA5A5));
-    runtime.submit(keyincrement_report(id % 32, 1));
+    client.keywrite().put_u32(u32_key(id), id ^ 0xA5A5);
+    client.counters().add(u32_key(id % 32), 1);
   }
-  runtime.flush();
+  client.flush();
   int hits = 0;
   for (std::uint32_t id = 0; id < 300; ++id) {
-    auto value = runtime.query().value_of(key_of(id), 2);
-    if (value && common::load_u32(value->data()) == (id ^ 0xA5A5)) ++hits;
+    const auto value = client.keywrite().get_u32(u32_key(id));
+    if (value.ok() && *value == (id ^ 0xA5A5)) ++hits;
   }
   EXPECT_GE(hits, 298);
-  EXPECT_EQ(runtime.stats().reports_in, 600u);
-  runtime.stop();
+  EXPECT_EQ(client.stats().ingest.reports_in, 600u);
+  client.stop();
 }
 
 // ------------------------------------------- single-shard equivalence
 
 TEST(CollectorRuntimeTest, SingleShardMatchesUnshardedStore) {
-  // The same reports through (a) a 1-shard runtime and (b) the raw
-  // unsharded engine->crafter->NIC path must produce byte-identical
-  // Key-Write store memory.
+  // The same reports through (a) a 1-shard runtime behind the Client
+  // facade and (b) the raw unsharded engine->crafter->NIC path must
+  // produce byte-identical Key-Write store memory.
   auto config = small_config(1);
   config.op_batch_size = 4;
-  CollectorRuntime runtime(config);
+  Client client = Client::local(config);
 
   RdmaService unsharded;
   KeyWriteSetup kw;
@@ -309,8 +280,8 @@ TEST(CollectorRuntimeTest, SingleShardMatchesUnshardedStore) {
                                   accept.responder_qpn, accept.start_psn);
 
   for (std::uint32_t id = 0; id < 200; ++id) {
-    const auto parsed = keywrite_report(id, id * 13 + 7);
-    runtime.submit(parsed);
+    const auto parsed = reports::keywrite_u32(u32_key(id), id * 13 + 7);
+    ASSERT_TRUE(client.keywrite().put_u32(u32_key(id), id * 13 + 7).ok());
     std::vector<translator::RdmaOp> ops;
     engine.translate(std::get<proto::KeyWriteReport>(parsed.report), false,
                      ops);
@@ -320,8 +291,9 @@ TEST(CollectorRuntimeTest, SingleShardMatchesUnshardedStore) {
       ASSERT_TRUE(out && out->responder.executed);
     }
   }
-  runtime.flush();
+  client.flush();
 
+  CollectorRuntime& runtime = *client.local_runtime();
   const rdma::MemoryRegion* sharded_region =
       runtime.shard(0).service().keywrite_region();
   const rdma::MemoryRegion* unsharded_region = unsharded.keywrite_region();
@@ -333,12 +305,11 @@ TEST(CollectorRuntimeTest, SingleShardMatchesUnshardedStore) {
 
   // And the query answers agree.
   for (std::uint32_t id = 0; id < 200; ++id) {
-    auto via_runtime = runtime.query().value_of(key_of(id), 2);
-    auto direct = unsharded.keywrite()->query(key_of(id), 2);
-    ASSERT_EQ(via_runtime.has_value(), direct.status == QueryStatus::kHit);
-    if (via_runtime) {
-      EXPECT_EQ(common::load_u32(via_runtime->data()),
-                common::load_u32(direct.value.data()));
+    const auto via_client = client.keywrite().get_u32(u32_key(id));
+    const auto direct = unsharded.keywrite()->query(u32_key(id), 2);
+    ASSERT_EQ(via_client.ok(), direct.status == QueryStatus::kHit);
+    if (via_client.ok()) {
+      EXPECT_EQ(*via_client, common::load_u32(direct.value.data()));
     }
   }
 }

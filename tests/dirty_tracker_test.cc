@@ -8,6 +8,7 @@
 
 #include "collector/dirty_tracker.h"
 #include "collector/runtime.h"
+#include "dta/report_builders.h"
 #include "rdma/memory_region.h"
 
 namespace dta::collector {
@@ -176,7 +177,7 @@ TEST(DirtyTracker, ShardMarksExactlyTheWrittenSlots) {
           static_cast<std::uint64_t>(span.data() - region->data());
       expected_chunks.insert(offset / tracker.chunk_bytes());
     }
-    runtime.submit({proto::DtaHeader{}, std::move(r)});
+    runtime.submit(reports::wrap(std::move(r)));
   }
   runtime.flush();
 

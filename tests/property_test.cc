@@ -11,6 +11,7 @@
 #include "collector/rdma_service.h"
 #include "collector/runtime.h"
 #include "common/rng.h"
+#include "dta/report_builders.h"
 #include "translator/append_engine.h"
 #include "translator/keyincrement_engine.h"
 #include "translator/keywrite_engine.h"
@@ -372,7 +373,7 @@ TEST_P(GenerationSweep, MonotonicGenerationsAndCacheNeverAhead) {
           r.redundancy = 1;
           common::put_u32(r.data, static_cast<std::uint32_t>(next_id));
           ++next_id;
-          runtime.submit({proto::DtaHeader{}, std::move(r)});
+          runtime.submit(reports::wrap(std::move(r)));
         }
         break;
       }
@@ -468,7 +469,7 @@ TEST_P(IncrementalSnapshotSweep, ByteIdenticalToFullCopy) {
           r.key = key_of(next_id++);
           r.redundancy = static_cast<std::uint8_t>(1 + rng.next_below(3));
           common::put_u32(r.data, static_cast<std::uint32_t>(next_id));
-          runtime.submit({proto::DtaHeader{}, std::move(r)});
+          runtime.submit(reports::wrap(std::move(r)));
         }
         break;
       }
@@ -477,7 +478,7 @@ TEST_P(IncrementalSnapshotSweep, ByteIdenticalToFullCopy) {
         r.key = key_of(rng.next_below(64));
         r.redundancy = 2;
         r.counter = 1 + rng.next_below(100);
-        runtime.submit({proto::DtaHeader{}, std::move(r)});
+        runtime.submit(reports::wrap(std::move(r)));
         break;
       }
       case 2: {  // Postcarding (chunk writes via the postcard cache)
@@ -489,7 +490,7 @@ TEST_P(IncrementalSnapshotSweep, ByteIdenticalToFullCopy) {
           r.path_len = 5;
           r.redundancy = 1;
           r.value = static_cast<std::uint32_t>(rng.next_below(256));
-          runtime.submit({proto::DtaHeader{}, r});
+          runtime.submit(reports::wrap(r));
         }
         break;
       }
@@ -503,7 +504,7 @@ TEST_P(IncrementalSnapshotSweep, ByteIdenticalToFullCopy) {
           common::put_u32(entry, static_cast<std::uint32_t>(next_id++));
           r.entries.push_back(std::move(entry));
         }
-        runtime.submit({proto::DtaHeader{}, std::move(r)});
+        runtime.submit(reports::wrap(std::move(r)));
         break;
       }
       case 4: {  // flush barrier (drains postcard rows + append batches)

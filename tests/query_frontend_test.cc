@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "collector/query_frontend.h"
+#include "dta/report_builders.h"
 #include "dtalib/fabric.h"
 #include "telemetry/records.h"
 
@@ -157,7 +158,7 @@ TEST_P(ChecksumWidthTest, WrongOutputRateTracksEq4) {
     r.key = key_of(id);
     r.redundancy = 1;
     common::put_u32(r.data, static_cast<std::uint32_t>(id));
-    fabric.report_direct({proto::DtaHeader{}, r});
+    fabric.report_direct(reports::wrap(r));
   };
 
   for (std::uint64_t i = 0; i < kProbes; ++i) write(i);

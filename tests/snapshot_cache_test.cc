@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "collector/runtime.h"
+#include "dta/report_builders.h"
 #include "rdma/memory_region.h"
 
 namespace dta::collector {
@@ -34,21 +35,15 @@ TelemetryKey key_of(std::uint64_t id) {
 // An 8-byte value whose halves must agree — a torn snapshot (copy
 // racing a store write) would surface as lo != hi.
 proto::ParsedDta paired_report(std::uint64_t id, std::uint32_t round) {
-  proto::KeyWriteReport r;
-  r.key = key_of(id);
-  r.redundancy = 2;
-  common::put_u32(r.data, round);
-  common::put_u32(r.data, round);
-  return {proto::DtaHeader{}, std::move(r)};
+  Bytes data;
+  common::put_u32(data, round);
+  common::put_u32(data, round);
+  return reports::keywrite(key_of(id), ByteSpan(data), /*redundancy=*/2);
 }
 
 proto::ParsedDta small_report(std::uint64_t id, std::uint32_t value,
                               std::uint8_t redundancy = 1) {
-  proto::KeyWriteReport r;
-  r.key = key_of(id);
-  r.redundancy = redundancy;
-  common::put_u32(r.data, value);
-  return {proto::DtaHeader{}, std::move(r)};
+  return reports::keywrite_u32(key_of(id), value, redundancy);
 }
 
 CollectorRuntimeConfig cache_config(ThreadMode mode,
