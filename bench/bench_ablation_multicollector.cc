@@ -120,12 +120,14 @@ int main() {
   }
   cluster.flush();
 
-  // The async point-query path answers from the surviving replica.
+  // The surviving replica (host 1) answers every key directly.
   int survivor_hits = 0;
   for (std::uint64_t k = 0; k < kKeys; ++k) {
-    if (cluster.query().value_of(benchutil::mixed_key(k), 2).get()) {
-      ++survivor_hits;
-    }
+    const std::uint32_t shard =
+        cluster.selector().shard_within_host(benchutil::mixed_key(k));
+    auto result = cluster.host(1).shard(shard).service().keywrite()->query(
+        benchutil::mixed_key(k), 2);
+    if (result.status == collector::QueryStatus::kHit) ++survivor_hits;
   }
   // The dead host only ever saw the pre-failure half.
   int dead_hits = 0;

@@ -98,11 +98,11 @@ CacheSweepResult run_snapshot_cache_sweep(bool smoke) {
 
   const std::uint64_t populate = smoke ? 20000 : 200000;
   auto write = [&](std::uint64_t id) {
-    client.keywrite().put_u32(benchutil::mixed_key(id),
-                              static_cast<std::uint32_t>(id));
+    (void)client.keywrite().put_u32(benchutil::mixed_key(id),
+                                    static_cast<std::uint32_t>(id));
   };
   for (std::uint64_t id = 0; id < populate; ++id) write(id);
-  client.flush();
+  (void)client.flush();
 
   // Per-op costs driving the modeled series.
   const unsigned copy_reps = smoke ? 20 : 50;
@@ -218,12 +218,12 @@ std::vector<DirtyPoint> run_dirty_ratio_sweep(bool smoke) {
 
   std::uint64_t next_key = 0;
   auto write = [&](std::uint64_t id) {
-    client.keywrite().put_u32(benchutil::mixed_key(id),
-                              static_cast<std::uint32_t>(id),
-                              /*redundancy=*/1);
+    (void)client.keywrite().put_u32(benchutil::mixed_key(id),
+                                    static_cast<std::uint32_t>(id),
+                                    /*redundancy=*/1);
   };
   for (std::uint64_t id = 0; id < kw.num_slots / 2; ++id) write(next_key++);
-  client.flush();
+  (void)client.flush();
   (void)runtime.snapshot_shard(0);  // first build: full copy, tracker reset
 
   const std::uint64_t store_bytes =

@@ -85,9 +85,9 @@ ShardedResult run_sharded(std::uint32_t shards, std::uint32_t batch,
 
   benchutil::WallTimer timer;
   for (std::uint64_t i = 0; i < total_entries; ++i) {
-    client.backend().submit(parsed[i % parsed.size()], {});
+    (void)client.backend().submit(parsed[i % parsed.size()], {});
   }
-  client.flush();
+  (void)client.flush();
   const double seconds = timer.seconds();
   client.stop();
 

@@ -9,6 +9,7 @@
 // the scaled-out, resilient version of sharded_collector.cpp, with not
 // one call site aware of the topology.
 #include <cstdio>
+#include <cstdlib>
 
 #include "dtalib/client.h"
 
@@ -24,6 +25,15 @@ net::FiveTuple flow_of(std::uint32_t id) {
   tuple.dst_port = 443;
   tuple.protocol = 6;
   return tuple;
+}
+
+// Every dta::Status is [[nodiscard]]; a walkthrough bails on the first
+// failure instead of silently dropping it.
+void must(const Status& status) {
+  if (!status.ok()) {
+    std::printf("DTA call failed: %s\n", status.to_string().c_str());
+    std::exit(1);
+  }
 }
 
 }  // namespace
@@ -59,11 +69,11 @@ int main() {
   // by the two-level router and lands on both replica hosts.
   for (std::uint32_t flow = 0; flow < 1000; ++flow) {
     const auto key = flow_key(flow_of(flow));
-    client.keywrite().put_u32(key, 100 + flow % 50);  // usec latency
-    client.counters().add(key, flow % 3);
-    client.list(flow % 4).append_u32(flow);
+    must(client.keywrite().put_u32(key, 100 + flow % 50));  // usec latency
+    must(client.counters().add(key, flow % 3));
+    must(client.list(flow % 4).append_u32(flow));
   }
-  client.flush();
+  must(client.flush());
 
   const auto stats = client.stats();
   std::printf("ingested %llu reports (both replicas) -> %llu verbs\n",
@@ -109,7 +119,7 @@ int main() {
   // Replica failover: host 0 dies; the same point query still answers
   // from host 1's copy — and a typed kUnavailable replaces silence if
   // the whole replica set is gone.
-  client.fail_host(0);
+  must(client.fail_host(0));
   std::printf("host 0 failed (%u live host)\n", client.stats().live_hosts);
   if (const auto value = client.keywrite().get_u32(probe); value.ok()) {
     std::printf("flow 44 latency after failover: %u usec\n", *value);

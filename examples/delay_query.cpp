@@ -93,7 +93,10 @@ int main(int argc, char** argv) {
       if (status.ok()) ++hh_exports;
     }
   }
-  client.flush();
+  if (const auto status = client.flush(); !status.ok()) {
+    std::printf("flush failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
 
   // Epoch end: mirror the sketch to the collector (3 writes).
   auto sketch_writes = heavy_hitters.flush_epoch();

@@ -59,7 +59,10 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  client.flush();
+  if (const auto status = client.flush(); !status.ok()) {
+    std::printf("flush failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
   std::printf("%d urgent bursts flagged for immediate CPU interrupts\n",
               urgent_flags);
 

@@ -19,6 +19,19 @@
 #include "dtalib/client.h"
 #include "telemetry/marple_gen.h"
 
+namespace {
+
+// Every dta::Status is [[nodiscard]]; the dashboard bails on the first
+// failure instead of silently dropping reports.
+void must(const dta::Status& status) {
+  if (!status.ok()) {
+    std::printf("DTA call failed: %s\n", status.to_string().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int num_packets = argc > 1 ? std::atoi(argv[1]) : 200000;
   constexpr std::uint32_t kLossyBase = 0, kLossyRanges = 4, kFlowletList = 4;
@@ -60,12 +73,12 @@ int main(int argc, char** argv) {
     if (result.flowlet) {
       ++flowlets;
       // Flowlet sizes append to a shared list.
-      client.report(result.flowlet->to_dta(kFlowletList));
+      must(client.report(result.flowlet->to_dta(kFlowletList)));
     }
     if (result.tcp_timeout) {
       ++timeouts;
       timeout_flows.push_back(result.tcp_timeout->flow);
-      client.report(result.tcp_timeout->to_dta(2));
+      must(client.report(result.tcp_timeout->to_dta(2)));
     }
     if (result.lossy_flow) {
       ++lossy;
@@ -73,7 +86,7 @@ int main(int argc, char** argv) {
       ++lossy_per_range[report.list_id - kLossyBase];
       report.entry_size = 17;  // shared region geometry
       report.entries[0].resize(17, 0);
-      client.report(std::move(report));
+      must(client.report(std::move(report)));
     }
     // TurboFlow-ish per-source-IP packet counters via Key-Increment.
     if (i % 64 == 0) {
@@ -81,10 +94,10 @@ int main(int argc, char** argv) {
       counter.src_ip = trace.flow_at(static_cast<std::uint32_t>(i) % 5000)
                            .src_ip;
       counter.count = 64;
-      client.report(counter.to_dta(2));
+      must(client.report(counter.to_dta(2)));
     }
   }
-  client.flush();
+  must(client.flush());
   std::printf("query results shipped: %llu flowlets, %llu timeouts, "
               "%llu lossy flows\n\n",
               static_cast<unsigned long long>(flowlets),

@@ -55,7 +55,11 @@ int main(int argc, char** argv) {
       }
     }
   }
-  client.flush();  // drain the per-shard postcard caches
+  // Drain the per-shard postcard caches.
+  if (const auto status = client.flush(); !status.ok()) {
+    std::printf("flush failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
 
   const auto stats = client.stats();
   std::printf("translation: %llu postcards -> %llu path writes\n",

@@ -37,7 +37,10 @@ int main() {
       return 1;
     }
   }
-  client.flush();
+  if (const auto status = client.flush(); !status.ok()) {
+    std::printf("flush failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
   std::printf("sent 10 Key-Write reports (N=2) -> %llu RDMA writes, "
               "0 collector CPU cycles\n",
               static_cast<unsigned long long>(

@@ -6,10 +6,24 @@
 // answers queries through the typed handles — the scaled-out version
 // of quickstart.cpp. The shard topology never leaks into the calls.
 #include <cstdio>
+#include <cstdlib>
 
 #include "dtalib/client.h"
 
 using namespace dta;
+
+namespace {
+
+// Every dta::Status is [[nodiscard]]; a walkthrough bails on the first
+// failure instead of silently dropping it.
+void must(const Status& status) {
+  if (!status.ok()) {
+    std::printf("DTA call failed: %s\n", status.to_string().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
 
 int main() {
   collector::CollectorRuntimeConfig config;
@@ -50,11 +64,11 @@ int main() {
   };
   for (std::uint32_t flow = 0; flow < 1000; ++flow) {
     const auto key = flow_key(flow_of(flow));
-    client.keywrite().put_u32(key, 100 + flow % 50);  // usec latency
-    client.counters().add(key, flow % 3);             // drops
-    client.list(flow % 4).append_u32(flow);           // loss event
+    must(client.keywrite().put_u32(key, 100 + flow % 50));  // usec latency
+    must(client.counters().add(key, flow % 3));             // drops
+    must(client.list(flow % 4).append_u32(flow));           // loss event
   }
-  client.flush();
+  must(client.flush());
 
   const auto stats = client.stats();
   std::printf("ingested %llu reports -> %llu verbs in %llu doorbells "

@@ -62,11 +62,7 @@ CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
   }
 
   std::vector<CollectorShard*> shard_ptrs;
-  std::vector<RdmaService*> services;
-  for (auto& shard : shards_) {
-    shard_ptrs.push_back(shard.get());
-    services.push_back(&shard->service());
-  }
+  for (auto& shard : shards_) shard_ptrs.push_back(shard.get());
   IngestPipelineConfig pc;
   pc.queue_capacity = config_.queue_capacity;
   pc.thread_mode = config_.thread_mode;
@@ -74,7 +70,6 @@ CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
   pc.worker_cores = config_.worker_cores;
   pc.numa_first_touch = config_.numa_first_touch;
   pipeline_ = std::make_unique<IngestPipeline>(std::move(shard_ptrs), pc);
-  query_ = std::make_unique<QueryFrontend>(std::move(services));
   SnapshotCacheConfig cache_config;
   cache_config.incremental = config_.incremental_snapshots;
   cache_config.full_copy_dirty_ratio = config_.snapshot_full_copy_ratio;
@@ -174,6 +169,17 @@ CollectorRuntimeStats CollectorRuntime::stats() const {
     total.batch_flushes += s.batch_flushes;
     total.verbs_executed += s.verbs_executed;
     total.verbs_failed += s.verbs_failed;
+  }
+  return total;
+}
+
+std::unordered_map<TenantId, std::uint64_t> CollectorRuntime::tenant_ingest()
+    const {
+  std::unordered_map<TenantId, std::uint64_t> total;
+  for (const auto& shard : shards_) {
+    for (const auto& [tenant, count] : shard->tenant_reports_in()) {
+      total[tenant] += count;
+    }
   }
   return total;
 }

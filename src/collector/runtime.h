@@ -6,8 +6,9 @@
 // the telemetry key (Append lists round-robin by list id), gives each
 // slice an independent RDMA service + NIC + queue pair, and feeds each
 // shard through a bounded SPSC queue with translator-op batching in
-// front of the NIC. Queries go through a sharded QueryFrontend that
-// fans out and merges redundancy-voted results.
+// front of the NIC. Queries resolve against immutable per-shard
+// snapshots acquired through the generation-stamped SnapshotCache (the
+// dta::Client merge path).
 //
 // This is the seam later scaling work plugs into: multi-collector
 // placement picks a runtime per collector host, NUMA pinning binds shard
@@ -17,10 +18,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "collector/ingest_pipeline.h"
-#include "collector/query_frontend.h"
 #include "collector/shard.h"
 #include "collector/snapshot.h"
 #include "collector/snapshot_cache.h"
@@ -166,7 +167,6 @@ class CollectorRuntime {
   // The (normalized) configuration this runtime was built from.
   const CollectorRuntimeConfig& config() const { return config_; }
 
-  QueryFrontend& query() { return *query_; }
   std::uint32_t num_shards() const {
     return static_cast<std::uint32_t>(shards_.size());
   }
@@ -174,6 +174,11 @@ class CollectorRuntime {
   const IngestPipeline& pipeline() const { return *pipeline_; }
 
   CollectorRuntimeStats stats() const;
+
+  // Per-tenant slice of reports_in, summed across shards (the
+  // DtaHeader.tenant annotation stamped by the serving plane at
+  // submit). Read behind a flush barrier, like stats().
+  std::unordered_map<TenantId, std::uint64_t> tenant_ingest() const;
 
   // Aggregate of every shard's translator-engine counters (the
   // per-primitive translation layer). Read behind a flush barrier.
@@ -188,7 +193,6 @@ class CollectorRuntime {
   SnapshotStalenessBudget staleness_budget_;
   std::vector<std::unique_ptr<CollectorShard>> shards_;
   std::unique_ptr<IngestPipeline> pipeline_;
-  std::unique_ptr<QueryFrontend> query_;
   std::unique_ptr<SnapshotCache> snapshot_cache_;
 };
 

@@ -106,6 +106,7 @@ CollectorShard::CollectorShard(std::uint32_t index, const ShardConfig& config)
 
 void CollectorShard::ingest(const proto::ParsedDta& parsed) {
   ++stats_.reports_in;
+  ++tenant_reports_in_[parsed.header.tenant];
   const bool immediate = parsed.header.immediate;
   const std::size_t before = pending_.size();
 

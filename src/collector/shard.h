@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "collector/dirty_tracker.h"
+#include "dta/tenant.h"
 #include "collector/rdma_service.h"
 #include "translator/append_engine.h"
 #include "translator/keyincrement_engine.h"
@@ -99,6 +101,14 @@ class CollectorShard {
   const RdmaService& service() const { return service_; }
   const ShardStats& stats() const { return stats_; }
 
+  // Per-tenant slice of reports_in, keyed by the in-process
+  // DtaHeader.tenant annotation the serving plane stamps at submit.
+  // Read behind a flush barrier, like stats().
+  const std::unordered_map<TenantId, std::uint64_t>& tenant_reports_in()
+      const {
+    return tenant_reports_in_;
+  }
+
   // Snapshot of this shard's translator-engine counters (disabled
   // primitives contribute zeros). Read behind a flush barrier.
   TranslationStats translation_stats() const;
@@ -144,6 +154,7 @@ class CollectorShard {
   std::vector<translator::RdmaOp> pending_;
   DirtyTracker dirty_;
   ShardStats stats_;
+  std::unordered_map<TenantId, std::uint64_t> tenant_reports_in_;
   std::atomic<std::uint64_t> generation_{0};
 };
 

@@ -1,6 +1,6 @@
 // Immutable point-in-time copy of one shard's query stores.
 //
-// The async query tier (ClusterQueryFrontend) resolves queries on
+// The serving plane (dta::Client's merge path) resolves queries on
 // worker threads while ingest keeps running; the live store memory is
 // written by the shard's NIC model, so reading it concurrently would
 // race. A StoreSnapshot is taken on the runtime's control thread behind
@@ -91,7 +91,7 @@ class StoreSnapshot {
   // Reads `count` entries of shard-local list `local_list`, starting
   // at the tail position captured at snapshot time, without consuming
   // from the live store. Returns the entries in list order. Like
-  // AppendStore::poll / QueryFrontend::consume_events, the caller
+  // AppendStore::poll, the caller
   // tracks availability (the paper's polling model: the consumer knows
   // the producer's head); reading past it yields the unwritten ring
   // slots as zero entries.

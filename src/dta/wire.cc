@@ -159,12 +159,14 @@ std::optional<AppendReport> AppendReport::decode(Cursor& cur) {
 void NackReport::encode(Bytes& out) const {
   common::put_u8(out, static_cast<std::uint8_t>(dropped_op));
   common::put_u32(out, dropped_count);
+  common::put_u32(out, retry_after_us);
 }
 
 std::optional<NackReport> NackReport::decode(Cursor& cur) {
   NackReport r;
   r.dropped_op = static_cast<PrimitiveOp>(cur.u8());
   r.dropped_count = cur.u32();
+  r.retry_after_us = cur.u32();
   if (!cur.ok()) return std::nullopt;
   return r;
 }

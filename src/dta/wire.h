@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "dta/tenant.h"
 
 namespace dta::proto {
 
@@ -39,6 +40,12 @@ struct DtaHeader {
   PrimitiveOp opcode = PrimitiveOp::kKeyWrite;
   bool immediate = false;  // request a CPU interrupt at the collector (§7)
   std::uint8_t reserved = 0;
+
+  // In-process annotation only — NOT encoded to the wire. The serving
+  // plane (dta::Client) stamps the submitting tenant here so the
+  // collector tiers can account ingest per tenant; wire reporters are
+  // infrastructure switches and carry no tenancy.
+  TenantId tenant = kDefaultTenant;
 
   static constexpr std::size_t kSize = 4;
   void encode(common::Bytes& out) const;
@@ -105,9 +112,14 @@ struct AppendReport {
 };
 
 // --- NACK: dropped-report notification --------------------------------------
+// The translator's congestion backpressure signal (§5.2). v2 adds a
+// retry-after hint — the rate limiter's token-refill horizon, in
+// microseconds (0 = no estimate) — so the reporter endpoint can back
+// off for a bounded, load-derived interval instead of guessing.
 struct NackReport {
   PrimitiveOp dropped_op = PrimitiveOp::kKeyWrite;
   std::uint32_t dropped_count = 0;
+  std::uint32_t retry_after_us = 0;
 
   void encode(common::Bytes& out) const;
   static std::optional<NackReport> decode(common::Cursor& cur);

@@ -108,6 +108,15 @@ Expected<SnapshotPtr> acquire_snapshot(collector::CollectorRuntime& runtime,
   return runtime.snapshot_shard_bounded(shard, floor, budget);
 }
 
+// Quota weight of one report: packed Append entries bill at their
+// true count, everything else is one op.
+std::uint32_t submit_ops(const proto::ParsedDta& parsed) {
+  if (const auto* ap = std::get_if<proto::AppendReport>(&parsed.report)) {
+    return static_cast<std::uint32_t>(ap->entries.size());
+  }
+  return 1;
+}
+
 Status query_precheck(const proto::TelemetryKey& key,
                       const QueryOptions& opts) {
   if (key.length == 0) {
@@ -258,17 +267,30 @@ Status LocalBackend::submit(proto::ParsedDta parsed,
       !status.ok()) {
     return status;
   }
+  // Admission after validation: a malformed report never consumes
+  // quota. Over-quota tenants get kResourceExhausted with the bucket's
+  // refill horizon — never a silent drop.
+  if (auto status = tenants_.admit_submit(opts.tenant, submit_ops(parsed));
+      !status.ok()) {
+    return status;
+  }
+  parsed.header.tenant = opts.tenant;
   if (opts.immediate) parsed.header.immediate = true;
+  std::lock_guard<std::mutex> lock(submit_mu_);
   runtime_.submit(std::move(parsed));
   return Status::Ok();
 }
 
 Status LocalBackend::flush() {
+  std::lock_guard<std::mutex> lock(submit_mu_);
   runtime_.flush();
   return Status::Ok();
 }
 
-void LocalBackend::stop() { runtime_.stop(); }
+void LocalBackend::stop() {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  runtime_.stop();
+}
 
 Expected<SnapshotPtr> LocalBackend::acquire(std::uint32_t shard,
                                             const QueryOptions& opts) {
@@ -277,6 +299,9 @@ Expected<SnapshotPtr> LocalBackend::acquire(std::uint32_t shard,
 
 Expected<std::vector<SnapshotPtr>> LocalBackend::key_snapshots(
     const proto::TelemetryKey& key, const QueryOptions& opts) {
+  if (auto status = tenants_.admit_query(opts.tenant); !status.ok()) {
+    return status;
+  }
   const std::uint32_t shard =
       collector::shard_for_key(key, runtime_.num_shards());
   auto snap = acquire(shard, opts);
@@ -287,6 +312,11 @@ Expected<std::vector<SnapshotPtr>> LocalBackend::key_snapshots(
 Expected<std::vector<std::vector<SnapshotPtr>>>
 LocalBackend::key_snapshots_batch(const std::vector<proto::TelemetryKey>& keys,
                                   const QueryOptions& opts) {
+  if (auto status = tenants_.admit_query(
+          opts.tenant, static_cast<std::uint32_t>(keys.size()));
+      !status.ok()) {
+    return status;
+  }
   // One pin per shard: each shard is snapshotted at most once per batch.
   std::vector<SnapshotPtr> pinned(runtime_.num_shards());
   std::vector<std::vector<SnapshotPtr>> out;
@@ -306,6 +336,9 @@ LocalBackend::key_snapshots_batch(const std::vector<proto::TelemetryKey>& keys,
 
 Expected<Backend::ListSlice> LocalBackend::list_snapshot(
     std::uint32_t list, const QueryOptions& opts) {
+  if (auto status = tenants_.admit_query(opts.tenant); !status.ok()) {
+    return status;
+  }
   if (!host_config().append) {
     return Status(StatusCode::kNotConfigured, "Append store not enabled");
   }
@@ -341,6 +374,8 @@ ClientStats LocalBackend::stats() const {
   host.translation = out.translation;
   host.snapshots = runtime_.snapshot_cache().stats();
   out.per_host.push_back(std::move(host));
+  out.per_tenant =
+      join_tenant_ingest(tenants_.stats(), runtime_.tenant_ingest());
   return out;
 }
 
@@ -364,17 +399,31 @@ Status ClusterBackend::submit(proto::ParsedDta parsed,
       !status.ok()) {
     return status;
   }
+  // Admission after validation: a malformed report never consumes
+  // quota. Over-quota tenants get kResourceExhausted with the bucket's
+  // refill horizon — never a silent drop.
+  if (auto status =
+          cluster_.tenants().admit_submit(opts.tenant, submit_ops(parsed));
+      !status.ok()) {
+    return status;
+  }
+  parsed.header.tenant = opts.tenant;
   if (opts.immediate) parsed.header.immediate = true;
+  std::lock_guard<std::mutex> lock(submit_mu_);
   cluster_.submit(std::move(parsed), opts.dst_ip);
   return Status::Ok();
 }
 
 Status ClusterBackend::flush() {
+  std::lock_guard<std::mutex> lock(submit_mu_);
   cluster_.flush();
   return Status::Ok();
 }
 
-void ClusterBackend::stop() { cluster_.stop(); }
+void ClusterBackend::stop() {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  cluster_.stop();
+}
 
 std::vector<std::uint32_t> ClusterBackend::candidate_hosts(
     const proto::TelemetryKey& key) const {
@@ -398,6 +447,10 @@ Expected<SnapshotPtr> ClusterBackend::acquire(std::uint32_t host,
 
 Expected<std::vector<SnapshotPtr>> ClusterBackend::key_snapshots(
     const proto::TelemetryKey& key, const QueryOptions& opts) {
+  if (auto status = cluster_.tenants().admit_query(opts.tenant);
+      !status.ok()) {
+    return status;
+  }
   const auto hosts = candidate_hosts(key);
   if (hosts.empty()) {
     return Status(StatusCode::kUnavailable,
@@ -417,6 +470,11 @@ Expected<std::vector<SnapshotPtr>> ClusterBackend::key_snapshots(
 Expected<std::vector<std::vector<SnapshotPtr>>>
 ClusterBackend::key_snapshots_batch(
     const std::vector<proto::TelemetryKey>& keys, const QueryOptions& opts) {
+  if (auto status = cluster_.tenants().admit_query(
+          opts.tenant, static_cast<std::uint32_t>(keys.size()));
+      !status.ok()) {
+    return status;
+  }
   // One pin per (host, shard) for the whole batch.
   std::vector<std::vector<SnapshotPtr>> pinned(
       cluster_.num_hosts(),
@@ -447,6 +505,10 @@ ClusterBackend::key_snapshots_batch(
 
 Expected<Backend::ListSlice> ClusterBackend::list_snapshot(
     std::uint32_t list, const QueryOptions& opts) {
+  if (auto status = cluster_.tenants().admit_query(opts.tenant);
+      !status.ok()) {
+    return status;
+  }
   if (!host_config().append) {
     return Status(StatusCode::kNotConfigured, "Append store not enabled");
   }
@@ -513,13 +575,14 @@ std::uint32_t ClusterBackend::num_lists() const {
 }
 
 ClientStats ClusterBackend::stats() const {
-  const ClusterStats cs = cluster_.cluster_stats();
+  ClusterStats cs = cluster_.cluster_stats();
   ClientStats out;
   out.ingest = cs.ingest;
   out.translation = cs.translation;
   out.num_hosts = cluster_.num_hosts();
   out.live_hosts = cs.live_hosts;
-  out.per_host = cs.per_host;
+  out.per_host = std::move(cs.per_host);
+  out.per_tenant = std::move(cs.per_tenant);
   return out;
 }
 

@@ -28,22 +28,32 @@
 // mix: distinct codes for "not reported", "replicas disagree", "replica
 // set dead", "list does not exist", "freshness floor unsatisfiable".
 //
-// Threading contract: report()/flush()/stop() from one control thread
-// (the runtimes' single-producer rule). Queries may run from any
-// thread; *_async variants acquire their snapshots at call time and
-// resolve on a detached thread, so results are stable against later
-// ingest.
+// Multi-tenancy: every submit and query bills a TenantId (options
+// structs, default tenant 0). The backend's TenantRegistry enforces
+// per-tenant token-bucket quotas at the submit/query seams — over
+// quota means kResourceExhausted with a retry-after hint, never a
+// silent drop — keeps per-tenant admitted/shed counters, and serves
+// per-tenant QueryOptions defaults (Client::tenant_options()).
+//
+// Threading contract: report()/flush()/stop() are serialized behind a
+// backend mutex, so multiple tenants may submit from concurrent
+// threads. Queries may run from any thread; *_async variants acquire
+// their snapshots at call time and resolve on a detached thread, so
+// results are stable against later ingest.
 #pragma once
 
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "collector/runtime.h"
 #include "dtalib/cluster_runtime.h"
+#include "dtalib/options.h"
 #include "dtalib/status.h"
+#include "dtalib/tenant_registry.h"
 #include "net/flow.h"
 
 namespace dta {
@@ -51,46 +61,16 @@ namespace dta {
 // The canonical telemetry key of a flow (13B wire 5-tuple).
 proto::TelemetryKey flow_key(const net::FiveTuple& flow);
 
-// Per-call query knobs — the one struct threaded through the whole
-// snapshot-acquisition path (replaces the covers_seq /
-// SnapshotStalenessBudget / vote-threshold overload sprawl).
-struct QueryOptions {
-  // Replica slots to read (N). Must match the redundancy the data was
-  // reported with to find every replica.
-  std::uint8_t redundancy = 2;
-  // Votes required before a Key-Write hit is returned (Appendix A.5:
-  // consensus can be demanded per query).
-  std::uint8_t consensus_threshold = 1;
-  // Read-your-submits floor: the snapshot must cover at least this many
-  // submitted reports on the key's shard. A floor ahead of everything
-  // ever submitted is unsatisfiable -> kStalenessViolation.
-  std::uint64_t covers_seq = 0;
-  // Sugar for "cover everything I submitted so far": raises the floor
-  // to the shard's current submitted count.
-  bool read_your_submits = false;
-  // Per-call staleness budget override; unset uses the backend's
-  // configured budget (CollectorRuntimeConfig::staleness_budget).
-  std::optional<collector::SnapshotStalenessBudget> staleness;
-  // kByDestinationIp addressing for AppendList reads (which host's list
-  // to read); 0 means host 0. Ignored by other policies and backends.
-  std::uint32_t dst_ip = 0;
-};
-
-struct ReportOptions {
-  // kByDestinationIp addressing (ClusterBackend); 0 means host 0.
-  std::uint32_t dst_ip = 0;
-  // Request a collector CPU interrupt (DTA header immediate flag, §7).
-  bool immediate = false;
-};
-
 // Uniform stats over both backends: totals across live hosts plus the
-// per-host breakdown (one row for LocalBackend).
+// per-host breakdown (one row for LocalBackend) and the per-tenant
+// serving-plane rows (admission counters + ingest attribution).
 struct ClientStats {
   collector::CollectorRuntimeStats ingest;
   collector::TranslationStats translation;
   std::uint32_t num_hosts = 1;
   std::uint32_t live_hosts = 1;
   std::vector<ClusterHostStats> per_host;
+  std::vector<TenantStatsRow> per_tenant;
 };
 
 // The deployment seam under Client. Both implementations submit
@@ -109,8 +89,10 @@ class Backend {
 
   virtual ~Backend() = default;
 
-  // Validates the report against the configured store geometry, then
-  // routes and submits it. Single-producer, like the runtimes.
+  // Validates the report against the configured store geometry, admits
+  // it against the submitting tenant's quota (kResourceExhausted with
+  // a retry-after hint when exhausted), then routes and submits it.
+  // Thread-safe: concurrent submitters are serialized internally.
   virtual Status submit(proto::ParsedDta parsed,
                         const ReportOptions& opts) = 0;
   virtual Status flush() = 0;
@@ -141,6 +123,10 @@ class Backend {
 
   virtual ClientStats stats() const = 0;
   virtual double modeled_verbs_per_sec() const = 0;
+
+  // The backend's tenant plane: quota registration, admission
+  // counters, per-tenant query defaults. Thread-safe.
+  virtual TenantRegistry& tenants() = 0;
 
   // Simulates a collector host death (resiliency tests/drills).
   // LocalBackend has no host to lose -> kUnsupported.
@@ -284,6 +270,15 @@ class Client {
   double modeled_verbs_per_sec() const;
   Status fail_host(std::uint32_t host);
 
+  // The tenant plane: register quotas and per-tenant query defaults,
+  // read per-tenant admission counters.
+  TenantRegistry& tenants() { return backend_->tenants(); }
+  // The registered QueryOptions defaults of `tenant` (tenant field
+  // stamped) — the starting point for that tenant's per-call options.
+  QueryOptions tenant_options(TenantId tenant) {
+    return backend_->tenants().query_defaults(tenant);
+  }
+
   Backend& backend() { return *backend_; }
   const Backend& backend() const { return *backend_; }
 
@@ -319,12 +314,17 @@ class LocalBackend final : public Backend {
   std::uint32_t num_lists() const override;
   ClientStats stats() const override;
   double modeled_verbs_per_sec() const override;
+  TenantRegistry& tenants() override { return tenants_; }
   Status fail_host(std::uint32_t host) override;
 
  private:
   Expected<SnapshotPtr> acquire(std::uint32_t shard, const QueryOptions& opts);
 
   collector::CollectorRuntime runtime_;
+  TenantRegistry tenants_;
+  // Serializes submit/flush/stop onto the runtime's single-producer
+  // ingest contract, so tenants may submit from concurrent threads.
+  std::mutex submit_mu_;
 };
 
 class ClusterBackend final : public Backend {
@@ -347,6 +347,7 @@ class ClusterBackend final : public Backend {
   std::uint32_t num_lists() const override;
   ClientStats stats() const override;
   double modeled_verbs_per_sec() const override;
+  TenantRegistry& tenants() override { return cluster_.tenants(); }
   Status fail_host(std::uint32_t host) override;
 
  private:
@@ -358,6 +359,9 @@ class ClusterBackend final : public Backend {
                                 const QueryOptions& opts);
 
   ClusterRuntime cluster_;
+  // Serializes submit/flush/stop onto the cluster's single-producer
+  // ingest contract, so tenants may submit from concurrent threads.
+  std::mutex submit_mu_;
 };
 
 }  // namespace dta

@@ -1,5 +1,7 @@
 #include "dtalib/cluster_runtime.h"
 
+#include <unordered_map>
+
 #include "common/shard_math.h"
 
 namespace dta {
@@ -15,7 +17,6 @@ ClusterRuntime::ClusterRuntime(ClusterRuntimeConfig config)
     hosts_.push_back(
         std::make_unique<collector::CollectorRuntime>(config_.host));
   }
-  query_ = std::make_unique<ClusterQueryFrontend>(this);
 }
 
 ClusterRuntime::~ClusterRuntime() { stop(); }
@@ -96,6 +97,16 @@ ClusterStats ClusterRuntime::cluster_stats() const {
     }
     out.per_host.push_back(std::move(host));
   }
+  // Per-tenant rows: the registry's admission counters joined with the
+  // collector-tier ingest attribution (every host, dead ones included).
+  std::unordered_map<TenantId, std::uint64_t> ingest_by_tenant;
+  for (const auto& host : hosts_) {
+    for (const auto& [tenant, count] : host->tenant_ingest()) {
+      ingest_by_tenant[tenant] += count;
+    }
+  }
+  out.per_tenant =
+      join_tenant_ingest(tenants_.stats(), std::move(ingest_by_tenant));
   return out;
 }
 

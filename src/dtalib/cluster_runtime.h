@@ -13,19 +13,19 @@
 //
 // Resiliency: under kReplicate every host holds a full copy;
 // fail_host() simulates a collector death (it stops receiving, its
-// stores stay readable) and the ClusterQueryFrontend answers from the
-// surviving replicas.
+// stores stay readable) and the serving plane (dta::Client's replica
+// merge) answers from the surviving replicas.
 //
-// Threading contract: submit()/flush()/stop() and query() issuance from
-// one control thread; the query futures resolve on their own threads
-// against immutable snapshots.
+// Threading contract: submit()/flush()/stop() from one control thread
+// (the backends serialize concurrent submitters behind a mutex);
+// queries resolve on any thread against immutable snapshots.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "collector/runtime.h"
-#include "dtalib/cluster_query_frontend.h"
+#include "dtalib/tenant_registry.h"
 #include "translator/collector_selector.h"
 
 namespace dta {
@@ -49,6 +49,12 @@ struct ClusterStats {
   collector::TranslationStats translation;
   std::uint32_t live_hosts = 0;
   std::vector<ClusterHostStats> per_host;
+  // One row per tenant ever seen: serving-plane admission counters
+  // (submits/queries admitted and shed) from the tenant registry, plus
+  // the collector-tier ingest attributed to the tenant across every
+  // host (dead ones included — their pre-failure counters stay
+  // readable).
+  std::vector<TenantStatsRow> per_tenant;
 };
 
 struct ClusterRuntimeConfig {
@@ -108,7 +114,12 @@ class ClusterRuntime {
   // The configuration this cluster was built from.
   const ClusterRuntimeConfig& config() const { return config_; }
 
-  ClusterQueryFrontend& query() { return *query_; }
+  // The cluster's tenant plane: quotas, admission counters, per-tenant
+  // query defaults. ClusterBackend enforces against this instance so
+  // cluster_stats() can report genuine per-tenant rows.
+  TenantRegistry& tenants() { return tenants_; }
+  const TenantRegistry& tenants() const { return tenants_; }
+
   translator::CollectorSelector& selector() { return selector_; }
   const translator::CollectorSelector& selector() const { return selector_; }
   const translator::SelectorStats& selector_stats() const {
@@ -130,7 +141,7 @@ class ClusterRuntime {
   translator::CollectorSelector selector_;
   std::vector<std::unique_ptr<collector::CollectorRuntime>> hosts_;
   std::vector<bool> failed_;
-  std::unique_ptr<ClusterQueryFrontend> query_;
+  TenantRegistry tenants_;
 };
 
 }  // namespace dta

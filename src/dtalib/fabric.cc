@@ -44,6 +44,20 @@ Fabric::Fabric(FabricConfig config) : config_(std::move(config)) {
       [this](const rdma::Aeth& aeth, std::uint32_t expected) {
         translator_->handle_ack(aeth, expected);
       });
+  // Congestion NACKs route back to the reporter they were addressed to,
+  // where they surface as typed backpressure (take_backpressure()).
+  // Previously the sink was left unwired and sheds were silent.
+  translator_->set_nack_sink([this](net::Packet&& pkt) {
+    auto udp = net::parse_udp_frame(pkt.span());
+    if (!udp) return;
+    auto parsed = proto::decode_dta_payload(
+        pkt.span().subspan(udp->payload_offset, udp->payload_length));
+    if (!parsed) return;
+    const auto* nack = std::get_if<proto::NackReport>(&parsed->report);
+    if (!nack) return;
+    const std::uint32_t idx = udp->ip.dst_ip - 0x0A000001;
+    if (idx < reporters_.size()) reporters_[idx]->handle_nack(*nack);
+  });
 
   for (std::uint32_t i = 0; i < config_.num_reporters; ++i) {
     reporter::ReporterConfig rc;

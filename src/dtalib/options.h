@@ -1,0 +1,60 @@
+// Per-call option structs of the dtalib serving plane.
+//
+// Split out of client.h so the tenant plane (tenant_registry.h) can
+// store per-tenant QueryOptions defaults without pulling in the whole
+// Client/Backend surface. Everything here is a plain value struct: the
+// one QueryOptions threaded through the snapshot-acquisition path, and
+// the ReportOptions threaded through submit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "collector/snapshot_cache.h"
+#include "dta/tenant.h"
+
+namespace dta {
+
+// Per-call query knobs — the one struct threaded through the whole
+// snapshot-acquisition path (replaces the covers_seq /
+// SnapshotStalenessBudget / vote-threshold overload sprawl).
+struct QueryOptions {
+  // Replica slots to read (N). Must match the redundancy the data was
+  // reported with to find every replica.
+  std::uint8_t redundancy = 2;
+  // Votes required before a Key-Write hit is returned (Appendix A.5:
+  // consensus can be demanded per query).
+  std::uint8_t consensus_threshold = 1;
+  // Read-your-submits floor: the snapshot must cover at least this many
+  // submitted reports on the key's shard. A floor ahead of everything
+  // ever submitted is unsatisfiable -> kStalenessViolation.
+  std::uint64_t covers_seq = 0;
+  // Sugar for "cover everything I submitted so far": raises the floor
+  // to the shard's current submitted count.
+  bool read_your_submits = false;
+  // Per-call staleness budget override; unset uses the backend's
+  // configured budget (CollectorRuntimeConfig::staleness_budget).
+  std::optional<collector::SnapshotStalenessBudget> staleness;
+  // kByDestinationIp addressing for AppendList reads (which host's list
+  // to read); 0 means host 0. Ignored by other policies and backends.
+  std::uint32_t dst_ip = 0;
+  // Tenant this query bills against. Queries are admitted against the
+  // tenant's query quota (kResourceExhausted with a retry-after hint on
+  // exhaustion) and counted in its per-tenant stats row. Tenant 0 is
+  // the default/unregistered tenant: never shed, shared counters.
+  TenantId tenant = kDefaultTenant;
+};
+
+struct ReportOptions {
+  // kByDestinationIp addressing (ClusterBackend); 0 means host 0.
+  std::uint32_t dst_ip = 0;
+  // Request a collector CPU interrupt (DTA header immediate flag, §7).
+  bool immediate = false;
+  // Tenant this submit bills against (token-bucket admission at the
+  // Backend::submit seam; kResourceExhausted carries the bucket's
+  // refill horizon when the quota is exhausted). Tenant 0 is the
+  // default/unregistered tenant and is never shed.
+  TenantId tenant = kDefaultTenant;
+};
+
+}  // namespace dta

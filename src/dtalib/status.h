@@ -8,13 +8,26 @@
 // explains its absence — uniformly across LocalBackend and
 // ClusterBackend, so application code is backend-agnostic.
 //
-// Conventions:
+// The error-code contract (every submit/query entry point of the
+// client surface obeys it):
 //   * kNotFound / kConflict are *data* outcomes (the store answered,
 //     the answer is empty or ambiguous) — expected in normal operation.
-//   * kUnavailable / kStalenessViolation are *serving* outcomes (no
-//     live replica, or the freshness floor cannot be met).
+//     Retrying without new reports will not change them.
+//   * kUnavailable / kStalenessViolation / kResourceExhausted are
+//     *serving* outcomes (no live replica, the freshness floor cannot
+//     be met, or admission control shed the call). kResourceExhausted
+//     is the client-visible backpressure signal — the serving-plane
+//     form of the translator's congestion NACK (paper §5.2) — and
+//     carries a retry-after hint (retry_after_ns): back off at least
+//     that long, then retry. Never a silent drop.
 //   * kInvalidArgument / kOutOfRange / kUnknownList / kNotConfigured /
 //     kUnsupported are *caller* errors, reported instead of UB.
+//     Retrying the identical call is a bug.
+//
+// Status is [[nodiscard]]: every submit/report/flush entry point
+// returns one, and dropping it on the floor is how backpressure
+// becomes a silent drop — the exact failure mode this model exists to
+// eliminate.
 #pragma once
 
 #include <cassert>
@@ -33,6 +46,7 @@ enum class StatusCode : std::uint8_t {
   // Serving outcomes.
   kUnavailable,         // every candidate replica host is failed
   kStalenessViolation,  // covers_seq floor ahead of everything submitted
+  kResourceExhausted,   // tenant quota / rate limit shed the call (NACK)
   // Caller errors.
   kInvalidArgument,  // empty key, zero-length entry, ...
   kOutOfRange,       // value/entry/count exceeds the store geometry
@@ -43,7 +57,7 @@ enum class StatusCode : std::uint8_t {
 
 const char* status_code_name(StatusCode code);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string message)
@@ -51,9 +65,25 @@ class Status {
 
   static Status Ok() { return Status(); }
 
+  // Backpressure constructor: kResourceExhausted with the structured
+  // retry-after hint. `retry_after_ns` is the admission controller's
+  // estimate of when the shed call would next be admitted (token-bucket
+  // refill horizon); 0 means "no estimate, back off exponentially".
+  static Status ResourceExhausted(std::string message,
+                                  std::uint64_t retry_after_ns) {
+    Status status(StatusCode::kResourceExhausted, std::move(message));
+    status.retry_after_ns_ = retry_after_ns;
+    return status;
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // The structured retry-after payload. Only ever non-zero on
+  // kResourceExhausted; the typed accessor keeps callers from parsing
+  // the hint out of the message string.
+  std::uint64_t retry_after_ns() const { return retry_after_ns_; }
 
   std::string to_string() const {
     std::string out = status_code_name(code_);
@@ -61,15 +91,23 @@ class Status {
       out += ": ";
       out += message_;
     }
+    if (retry_after_ns_ > 0) {
+      out += " (retry after ";
+      out += std::to_string(retry_after_ns_ / 1000);
+      out += "us)";
+    }
     return out;
   }
 
+  // Statuses compare by code: callers branch on the failure class, not
+  // on message text or the (load-dependent) retry hint.
   bool operator==(const Status& o) const { return code_ == o.code_; }
   bool operator!=(const Status& o) const { return !(*this == o); }
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  std::uint64_t retry_after_ns_ = 0;
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -79,6 +117,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kConflict: return "CONFLICT";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kStalenessViolation: return "STALENESS_VIOLATION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kUnknownList: return "UNKNOWN_LIST";

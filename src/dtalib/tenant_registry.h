@@ -1,0 +1,129 @@
+// The serving-plane tenant registry: per-tenant quotas, admission
+// control, and accounting for dta::Client.
+//
+// DTA's translator tier already sheds load with token buckets + NACKs
+// (§5.2); the serving plane reuses the exact same token-bucket
+// semantics (translator::RateLimiter) at the Backend::submit/query
+// seam, so a tenant over its quota gets the same shape of answer an
+// overloaded wire would give a reporter: kResourceExhausted with a
+// retry-after hint equal to the bucket's refill horizon. Admission is
+// never silent — every shed is counted and typed.
+//
+// Tenant 0 (kDefaultTenant) is the default/unregistered tenant: it is
+// never shed and its traffic lands in the shared row. A quota rate of
+// 0 means unlimited (admission always passes; only counting happens).
+//
+// Thread-safe: admission and stats take an internal mutex, so both
+// backends can call it from concurrent submitting/querying threads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time_model.h"
+#include "dta/tenant.h"
+#include "dtalib/options.h"
+#include "dtalib/status.h"
+#include "translator/rate_limiter.h"
+
+namespace dta {
+
+// Per-tenant rate quota. Rates are ops/second against a token bucket
+// of the given burst; 0 ops/second = unlimited (that dimension is
+// counted but never shed).
+struct TenantQuota {
+  double submits_per_second = 0.0;
+  std::uint32_t submit_burst = 64;
+  double queries_per_second = 0.0;
+  std::uint32_t query_burst = 64;
+};
+
+// Everything the serving plane knows about one tenant: its quota and
+// the QueryOptions defaults applied when the tenant queries without
+// explicit per-call options.
+struct TenantConfig {
+  TenantQuota quota;
+  QueryOptions query_defaults;
+};
+
+struct TenantCounters {
+  std::uint64_t submits_admitted = 0;
+  std::uint64_t submits_shed = 0;
+  std::uint64_t queries_admitted = 0;
+  std::uint64_t queries_shed = 0;
+};
+
+struct TenantStatsRow {
+  TenantId tenant = kDefaultTenant;
+  TenantCounters counters;
+  // Collector-tier ingest attributed to this tenant (per-shard
+  // reports_in slices summed across shards and hosts). Zero in the
+  // registry's own stats(); the backends' stats() fill it from
+  // CollectorRuntime::tenant_ingest().
+  std::uint64_t ingest_reports = 0;
+};
+
+// Joins registry rows with a collector-tier per-tenant ingest map:
+// fills ingest_reports on matching rows and appends rows for tenants
+// seen only at the collector tier. Result sorted by tenant id.
+std::vector<TenantStatsRow> join_tenant_ingest(
+    std::vector<TenantStatsRow> rows,
+    std::unordered_map<TenantId, std::uint64_t> ingest);
+
+class TenantRegistry {
+ public:
+  TenantRegistry();
+
+  // Installs (or replaces) a tenant's quota + query defaults. Buckets
+  // restart full at the configured burst.
+  void register_tenant(TenantId tenant, TenantConfig config);
+  bool is_registered(TenantId tenant) const;
+  std::optional<TenantConfig> config(TenantId tenant) const;
+
+  // Admission at the submit seam: ok and counted, or
+  // kResourceExhausted carrying the token-refill horizon (ns) as the
+  // retry-after hint. `ops` bills multi-op reports (e.g. packed
+  // Append entries) against the bucket at their true weight.
+  Status admit_submit(TenantId tenant, std::uint32_t ops = 1);
+  // Admission at the query seam (one op per snapshot acquisition).
+  Status admit_query(TenantId tenant, std::uint32_t ops = 1);
+
+  // Deterministic variants for tests: admission at an explicit virtual
+  // time instead of the wall clock.
+  Status admit_submit_at(TenantId tenant, common::VirtualNs now,
+                         std::uint32_t ops = 1);
+  Status admit_query_at(TenantId tenant, common::VirtualNs now,
+                        std::uint32_t ops = 1);
+
+  // The tenant's registered QueryOptions defaults (tenant field
+  // stamped), or plain defaults for unregistered tenants.
+  QueryOptions query_defaults(TenantId tenant) const;
+
+  // One row per tenant ever seen (registered or merely counted),
+  // sorted by tenant id. Tenant 0's row aggregates all unregistered
+  // traffic.
+  std::vector<TenantStatsRow> stats() const;
+  TenantCounters counters(TenantId tenant) const;
+
+ private:
+  common::VirtualNs now_ns() const;
+  Status admit_locked(translator::RateLimiter& limiter, TenantId tenant,
+                      common::VirtualNs now, std::uint32_t ops,
+                      std::uint64_t TenantCounters::*admitted,
+                      std::uint64_t TenantCounters::*shed, const char* verb);
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::unordered_map<TenantId, TenantConfig> configs_;
+  std::unordered_map<TenantId, TenantCounters> counters_;
+  // Token buckets, one limiter per admission dimension. Only tenants
+  // with a nonzero rate get a bucket; everyone else passes through.
+  translator::RateLimiter submit_limiter_;
+  translator::RateLimiter query_limiter_;
+};
+
+}  // namespace dta

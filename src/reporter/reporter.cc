@@ -1,6 +1,15 @@
 #include "reporter/reporter.h"
 
+#include <string>
+
 namespace dta::reporter {
+
+Status status_from_nack(const proto::NackReport& nack) {
+  return Status::ResourceExhausted(
+      "translator shed " + std::to_string(nack.dropped_count) + " " +
+          std::string(proto::primitive_name(nack.dropped_op)) + " op(s)",
+      static_cast<std::uint64_t>(nack.retry_after_us) * 1000);
+}
 
 net::Packet Reporter::make_frame(const proto::Report& report, bool immediate) {
   proto::DtaHeader hdr;
@@ -18,6 +27,19 @@ net::Packet Reporter::make_frame(const proto::Report& report, bool immediate) {
 void Reporter::handle_nack(const proto::NackReport& nack) {
   ++stats_.nacks_received;
   stats_.reports_dropped_remote += nack.dropped_count;
+  backpressure_.push_back(status_from_nack(nack));
+  // Bound the queue: a reporter that never polls must not leak memory
+  // under sustained shed. Oldest statuses drop first — the freshest
+  // retry-after hint is the one worth keeping.
+  constexpr std::size_t kMaxPending = 64;
+  while (backpressure_.size() > kMaxPending) backpressure_.pop_front();
+}
+
+std::optional<Status> Reporter::take_backpressure() {
+  if (backpressure_.empty()) return std::nullopt;
+  Status s = std::move(backpressure_.front());
+  backpressure_.pop_front();
+  return s;
 }
 
 }  // namespace dta::reporter

@@ -6,11 +6,20 @@
 // plane". No RDMA state, no sequence numbers, no checksum engines beyond
 // what UDP generation already needs: that is why Figure 9 shows DTA's
 // reporter footprint matching a plain UDP exporter.
+//
+// Backpressure (§5.2, made client-visible): translator congestion NACKs
+// terminate here. Instead of only bumping a counter, the reporter
+// converts each NACK into a typed dta::Status (kResourceExhausted with
+// the NACK's retry-after hint) and queues it for the report loop —
+// recovery is driven by the endpoint, not hidden in the channel.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 
 #include "dta/wire.h"
+#include "dtalib/status.h"
 #include "net/headers.h"
 #include "net/packet.h"
 
@@ -31,6 +40,11 @@ struct ReporterStats {
   std::uint64_t reports_dropped_remote = 0;  // per NACK feedback
 };
 
+// The typed form of one translator NACK: kResourceExhausted carrying
+// the NACK's retry-after hint. Shared with the serving plane so wire
+// backpressure and quota backpressure look identical to callers.
+Status status_from_nack(const proto::NackReport& nack);
+
 class Reporter {
  public:
   explicit Reporter(ReporterConfig config) : config_(config) {}
@@ -38,8 +52,16 @@ class Reporter {
   // Encapsulates one report into a ready-to-send frame.
   net::Packet make_frame(const proto::Report& report, bool immediate = false);
 
-  // Feedback path: the translator's congestion NACKs (§5.2).
+  // Feedback path: the translator's congestion NACKs (§5.2). Each one
+  // is queued as a typed Status for take_backpressure().
   void handle_nack(const proto::NackReport& nack);
+
+  // Pops the oldest pending backpressure Status (kResourceExhausted,
+  // retry-after hint included), or nullopt when the channel reported
+  // nothing since the last take. The report loop polls this and backs
+  // off — the NACK no longer vanishes into a counter.
+  std::optional<Status> take_backpressure();
+  std::size_t backpressure_pending() const { return backpressure_.size(); }
 
   const ReporterStats& stats() const { return stats_; }
   const ReporterConfig& config() const { return config_; }
@@ -47,6 +69,7 @@ class Reporter {
  private:
   ReporterConfig config_;
   ReporterStats stats_;
+  std::deque<Status> backpressure_;
 };
 
 }  // namespace dta::reporter

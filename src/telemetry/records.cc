@@ -71,6 +71,15 @@ proto::AppendReport MarpleLossyFlow::to_dta(std::uint32_t base_list,
   return r;
 }
 
+NetSeerLossEvent NetSeerLossEvent::from_entry(common::ByteSpan entry) {
+  NetSeerLossEvent ev{};
+  if (entry.size() < 18) return ev;
+  ev.flow = net::FiveTuple::from_bytes(entry.subspan(0, 13));
+  ev.packet_seq = common::load_u32(entry.data() + 13);
+  ev.reason = entry[17];
+  return ev;
+}
+
 proto::AppendReport NetSeerLossEvent::to_dta(std::uint32_t list_id) const {
   proto::AppendReport r;
   r.list_id = list_id;

@@ -70,6 +70,9 @@ struct NetSeerLossEvent {
   std::uint32_t packet_seq = 0;  // 4B
   std::uint8_t reason = 0;       // 1B drop cause
   proto::AppendReport to_dta(std::uint32_t list_id) const;
+  // Inverse of to_dta's entry layout: decodes one 18B list entry (as
+  // read back from an Append store/snapshot) into the record.
+  static NetSeerLossEvent from_entry(common::ByteSpan entry);
 };
 
 // Marple host counter: 4B counter keyed by source IP, aggregated by

@@ -8,6 +8,9 @@ Translator::Translator(TranslatorConfig config, std::uint32_t dest_qpn,
     : config_(config),
       crafter_(config.endpoints, dest_qpn, start_psn),
       rate_limiter_(config.rate_limiter) {
+  for (const auto& [tenant, params] : config_.tenant_rate_limits) {
+    rate_limiter_.set_tenant_params(tenant, params);
+  }
   // Instantiate one engine per advertised memory region: the collector
   // tells the translator where each primitive's structure lives (§5.3
   // "advertise primitive-specific metadata to the translator").
@@ -37,11 +40,18 @@ Translator::Translator(TranslatorConfig config, std::uint32_t dest_qpn,
 void Translator::emit_ops(std::vector<RdmaOp>& ops, proto::PrimitiveOp op,
                           common::VirtualNs now, std::uint32_t reporter_ip) {
   if (ops.empty()) return;
+  const TenantId tenant = config_.tenant_of_reporter
+                              ? config_.tenant_of_reporter(reporter_ip)
+                              : kDefaultTenant;
+  const auto count = static_cast<std::uint32_t>(ops.size());
   if (config_.rate_limiting_enabled &&
-      !rate_limiter_.admit(now, static_cast<std::uint32_t>(ops.size()))) {
+      !rate_limiter_.admit(tenant, now, count)) {
     stats_.rate_limited_drops += ops.size();
+    // The shed is never silent: the NACK carries the bucket's refill
+    // horizon back to the reporter as a retry-after hint.
     if (auto nack = rate_limiter_.make_nack(
-            op, static_cast<std::uint32_t>(ops.size()))) {
+            tenant, op, count,
+            rate_limiter_.retry_after_ns(tenant, now, count))) {
       send_nack(*nack, reporter_ip);
     }
     ops.clear();

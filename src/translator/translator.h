@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "dta/wire.h"
@@ -37,6 +38,15 @@ struct TranslatorConfig {
   std::uint32_t append_batch_size = 16;
   RateLimiterParams rate_limiter;
   bool rate_limiting_enabled = false;  // benches enable explicitly
+
+  // Multi-tenant rate limiting: classifies a reporter IP to the tenant
+  // whose token bucket its reports consume (unset: everything shares
+  // the default bucket, the pre-tenant behavior), and the per-tenant
+  // bucket params installed into the rate limiter at construction.
+  // Tenants absent from tenant_rate_limits fall back to the shared
+  // default bucket even when classified.
+  std::function<TenantId(std::uint32_t reporter_ip)> tenant_of_reporter;
+  std::vector<std::pair<TenantId, RateLimiterParams>> tenant_rate_limits;
 };
 
 struct TranslatorStats {
@@ -94,6 +104,8 @@ class Translator {
   void flush(common::VirtualNs now);
 
   const TranslatorStats& stats() const { return stats_; }
+  // Per-tenant admit/drop counters live on the limiter's buckets.
+  const RateLimiter& rate_limiter() const { return rate_limiter_; }
   const KeyWriteEngine* keywrite() const { return keywrite_.get(); }
   const KeyIncrementEngine* keyincrement() const { return keyincrement_.get(); }
   const PostcardCache* postcarding() const { return postcarding_.get(); }

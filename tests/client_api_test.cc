@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "dta/report_builders.h"
@@ -105,9 +106,9 @@ TEST_P(ClientApiTest, GetManyResolvesBatchInInputOrder) {
   Client client = make_client(GetParam());
   auto table = client.keywrite();
   for (std::uint32_t id = 0; id < 300; ++id) {
-    table.put_u32(reports::mixed_key(id), id ^ 0x5A);
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id ^ 0x5A).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   std::vector<TelemetryKey> keys;
   for (std::uint32_t id = 0; id < 300; id += 3) {
     keys.push_back(reports::mixed_key(id));
@@ -129,9 +130,9 @@ TEST_P(ClientApiTest, AsyncGetsResolve) {
   Client client = make_client(GetParam());
   auto table = client.keywrite();
   for (std::uint32_t id = 0; id < 50; ++id) {
-    table.put_u32(reports::mixed_key(id), id + 5);
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id + 5).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   std::vector<std::future<Expected<common::Bytes>>> pending;
   for (std::uint32_t id = 0; id < 50; ++id) {
     pending.push_back(table.get_async(reports::mixed_key(id)));
@@ -159,7 +160,7 @@ TEST_P(ClientApiTest, CounterRoundTrip) {
       ASSERT_TRUE(counters.add(reports::u32_key(id), id + 1).ok());
     }
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   for (std::uint32_t id = 0; id < 32; ++id) {
     const auto estimate = counters.get(reports::u32_key(id));
     ASSERT_TRUE(estimate.ok()) << estimate.status().to_string();
@@ -178,7 +179,7 @@ TEST_P(ClientApiTest, AppendRoundTrip) {
   for (std::uint32_t i = 0; i < 6; ++i) {
     ASSERT_TRUE(list.append_u32(30 + i).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   const auto events = list.read(6);
   ASSERT_TRUE(events.ok()) << events.status().to_string();
   ASSERT_EQ(events->size(), 6u);
@@ -203,7 +204,7 @@ TEST_P(ClientApiTest, PostcardRoundTrip) {
                       .ok());
     }
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   int found = 0;
   for (std::uint32_t flow = 0; flow < 100; ++flow) {
     const auto path = postcards.path_of(reports::u32_key(flow));
@@ -221,8 +222,8 @@ TEST_P(ClientApiTest, PostcardRoundTrip) {
 TEST_P(ClientApiTest, ErrorModelDistinctCodes) {
   Client client = make_client(GetParam());
   auto table = client.keywrite();
-  table.put_u32(reports::u32_key(1), 11);
-  client.flush();
+  ASSERT_TRUE(table.put_u32(reports::u32_key(1), 11).ok());
+  ASSERT_TRUE(client.flush().ok());
 
   // Empty keys are invalid, for reporting and querying.
   EXPECT_EQ(table.put_u32(TelemetryKey{}, 1).code(),
@@ -317,9 +318,9 @@ TEST_P(ClientApiTest, FailoverAndUnavailability) {
   Client client = make_client(GetParam());
   auto table = client.keywrite();
   for (std::uint32_t id = 0; id < 100; ++id) {
-    table.put_u32(reports::mixed_key(id), id + 5);
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id + 5).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
 
   if (GetParam() == BackendKind::kLocal) {
     // A local backend has no host to fail — typed error, not UB.
@@ -356,9 +357,9 @@ TEST(ClientApiClusterTest, KeyHashDeadOwnerLosesOnlyItsPartition) {
                               translator::PartitionPolicy::kByKeyHash);
   auto table = client.keywrite();
   for (std::uint32_t id = 0; id < 200; ++id) {
-    table.put_u32(reports::mixed_key(id), 1);
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), 1).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   ASSERT_TRUE(client.fail_host(0).ok());
 
   ClusterRuntime& cluster = *client.cluster_runtime();
@@ -385,14 +386,14 @@ TEST(ClientApiClusterTest, KeyHashDeadOwnerLosesOnlyItsPartition) {
 TEST_P(ClientApiTest, StalenessBudgetServesStaleAndFloorOverrides) {
   Client client = make_client(GetParam());
   auto table = client.keywrite();
-  table.put_u32(reports::u32_key(1), 11);
-  client.flush();
+  ASSERT_TRUE(table.put_u32(reports::u32_key(1), 11).ok());
+  ASSERT_TRUE(client.flush().ok());
   ASSERT_TRUE(table.get_u32(reports::u32_key(1)).ok());  // warm the cache
 
   // New reports land; a budgeted query may ride the cached snapshot
   // and miss them (stale within budget)...
-  table.put_u32(reports::u32_key(2), 22);
-  client.flush();
+  ASSERT_TRUE(table.put_u32(reports::u32_key(2), 22).ok());
+  ASSERT_TRUE(client.flush().ok());
   QueryOptions stale;
   stale.staleness = collector::SnapshotStalenessBudget{};
   stale.staleness->generations = 1u << 20;
@@ -426,7 +427,7 @@ TEST_P(ClientApiTest, QueriesRunConcurrentlyWithThreadedIngest) {
   std::uint32_t next_id = 0;
   for (std::uint32_t round = 0; round < 20; ++round) {
     for (std::uint32_t i = 0; i < 50; ++i, ++next_id) {
-      table.put_u32(reports::mixed_key(next_id), next_id * 7 + 1);
+      ASSERT_TRUE(table.put_u32(reports::mixed_key(next_id), next_id * 7 + 1).ok());
     }
     if (round > 0) {
       const std::uint32_t probe = (round - 1) * 50;
@@ -451,11 +452,11 @@ TEST_P(ClientApiTest, QueriesRunConcurrentlyWithThreadedIngest) {
 TEST_P(ClientApiTest, StatsAggregateIngestAndTranslation) {
   Client client = make_client(GetParam());
   for (std::uint32_t id = 0; id < 40; ++id) {
-    client.keywrite().put_u32(reports::mixed_key(id), id);
-    client.counters().add(reports::mixed_key(id), 2);
+    ASSERT_TRUE(client.keywrite().put_u32(reports::mixed_key(id), id).ok());
+    ASSERT_TRUE(client.counters().add(reports::mixed_key(id), 2).ok());
   }
-  client.list(1).append_u32(9);
-  client.flush();
+  ASSERT_TRUE(client.list(1).append_u32(9).ok());
+  ASSERT_TRUE(client.flush().ok());
 
   const auto stats = client.stats();
   const std::uint64_t copies =
@@ -472,6 +473,168 @@ TEST_P(ClientApiTest, StatsAggregateIngestAndTranslation) {
   EXPECT_EQ(stats.per_host[0].ingest.reports_in, 81u);
   EXPECT_FALSE(stats.per_host[0].failed);
   EXPECT_GT(client.modeled_verbs_per_sec(), 0.0);
+}
+
+// ------------------------------------------------- multi-tenant plane
+
+TEST_P(ClientApiTest, TenantQuotaExhaustionIsTypedNotSilent) {
+  Client client = make_client(GetParam());
+  TenantConfig config;
+  config.quota.submits_per_second = 1.0;  // refills ~nothing mid-test
+  config.quota.submit_burst = 5;
+  client.tenants().register_tenant(7, config);
+
+  ReportOptions as7;
+  as7.tenant = 7;
+  auto table = client.keywrite();
+  int admitted = 0, shed = 0;
+  Status last_shed = Status::Ok();
+  for (std::uint32_t id = 0; id < 20; ++id) {
+    const Status status = table.put_u32(reports::u32_key(id), id, 2, as7);
+    if (status.ok()) {
+      ++admitted;
+    } else {
+      ++shed;
+      last_shed = status;
+    }
+  }
+  // The burst admits, the rest sheds with a typed, hinted Status.
+  EXPECT_EQ(admitted, 5);
+  EXPECT_EQ(shed, 15);
+  EXPECT_EQ(last_shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(last_shed.retry_after_ns(), 0u);
+
+  // Shedding is accounted, never silent.
+  const auto counters = client.tenants().counters(7);
+  EXPECT_EQ(counters.submits_admitted, 5u);
+  EXPECT_EQ(counters.submits_shed, 15u);
+
+  // Tenant 7's exhaustion never touches the default tenant.
+  EXPECT_TRUE(table.put_u32(reports::u32_key(100), 1).ok());
+}
+
+TEST_P(ClientApiTest, TenantQueryQuotaShedsQueries) {
+  Client client = make_client(GetParam());
+  TenantConfig config;
+  config.quota.queries_per_second = 1.0;
+  config.quota.query_burst = 3;
+  client.tenants().register_tenant(9, config);
+
+  auto table = client.keywrite();
+  ASSERT_TRUE(table.put_u32(reports::u32_key(1), 11).ok());
+  ASSERT_TRUE(client.flush().ok());
+
+  QueryOptions as9 = client.tenant_options(9);
+  ASSERT_EQ(as9.tenant, 9u);
+  int ok = 0, shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto value = table.get_u32(reports::u32_key(1), as9);
+    if (value.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(value.code(), StatusCode::kResourceExhausted);
+      EXPECT_GT(value.status().retry_after_ns(), 0u);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(shed, 7);
+  EXPECT_EQ(client.tenants().counters(9).queries_shed, 7u);
+
+  // The default tenant still queries freely.
+  EXPECT_TRUE(table.get_u32(reports::u32_key(1)).ok());
+}
+
+TEST_P(ClientApiTest, TenantOptionsCarryRegisteredDefaults) {
+  Client client = make_client(GetParam());
+  TenantConfig config;
+  config.query_defaults.redundancy = 1;
+  config.query_defaults.read_your_submits = true;
+  client.tenants().register_tenant(4, config);
+
+  const QueryOptions opts = client.tenant_options(4);
+  EXPECT_EQ(opts.tenant, 4u);
+  EXPECT_EQ(opts.redundancy, 1u);
+  EXPECT_TRUE(opts.read_your_submits);
+
+  // Unregistered tenants get plain defaults, tenant stamped.
+  const QueryOptions plain = client.tenant_options(12);
+  EXPECT_EQ(plain.tenant, 12u);
+  EXPECT_EQ(plain.redundancy, 2u);
+  EXPECT_FALSE(plain.read_your_submits);
+}
+
+TEST_P(ClientApiTest, PerTenantStatsAttributeIngest) {
+  Client client = make_client(GetParam());
+  client.tenants().register_tenant(2, {});
+  client.tenants().register_tenant(3, {});
+
+  ReportOptions as2, as3;
+  as2.tenant = 2;
+  as3.tenant = 3;
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 12; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id, 2, as2).ok());
+  }
+  for (std::uint32_t id = 100; id < 105; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id, 2, as3).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  const auto stats = client.stats();
+  const std::uint64_t copies =
+      GetParam() == BackendKind::kCluster ? 2u : 1u;
+  auto row_of = [&](TenantId tenant) -> const TenantStatsRow* {
+    for (const auto& row : stats.per_tenant) {
+      if (row.tenant == tenant) return &row;
+    }
+    return nullptr;
+  };
+  const auto* row2 = row_of(2);
+  const auto* row3 = row_of(3);
+  ASSERT_NE(row2, nullptr);
+  ASSERT_NE(row3, nullptr);
+  EXPECT_EQ(row2->counters.submits_admitted, 12u);
+  EXPECT_EQ(row2->ingest_reports, copies * 12u);
+  EXPECT_EQ(row3->counters.submits_admitted, 5u);
+  EXPECT_EQ(row3->ingest_reports, copies * 5u);
+  // Rows come back sorted by tenant id.
+  for (std::size_t i = 1; i < stats.per_tenant.size(); ++i) {
+    EXPECT_LT(stats.per_tenant[i - 1].tenant, stats.per_tenant[i].tenant);
+  }
+}
+
+// Two tenants submitting from concurrent threads (TSan target): the
+// backend serializes submits internally, so neither ingest nor the
+// tenant counters may race or lose reports.
+TEST_P(ClientApiTest, TwoTenantsSubmitConcurrently) {
+  Client client = make_client(GetParam(), collector::ThreadMode::kThreaded);
+  client.tenants().register_tenant(2, {});
+  client.tenants().register_tenant(3, {});
+
+  constexpr std::uint32_t kPerTenant = 400;
+  auto submit_as = [&client](TenantId tenant, std::uint32_t base) {
+    ReportOptions opts;
+    opts.tenant = tenant;
+    auto table = client.keywrite();
+    for (std::uint32_t i = 0; i < kPerTenant; ++i) {
+      ASSERT_TRUE(
+          table.put_u32(reports::mixed_key(base + i), i, 2, opts).ok());
+    }
+  };
+  std::thread t2([&] { submit_as(2, 0); });
+  std::thread t3([&] { submit_as(3, 1u << 20); });
+  t2.join();
+  t3.join();
+  ASSERT_TRUE(client.flush().ok());
+  client.stop();
+
+  const auto stats = client.stats();
+  const std::uint64_t copies =
+      GetParam() == BackendKind::kCluster ? 2u : 1u;
+  EXPECT_EQ(stats.ingest.reports_in, copies * 2u * kPerTenant);
+  EXPECT_EQ(client.tenants().counters(2).submits_admitted, kPerTenant);
+  EXPECT_EQ(client.tenants().counters(3).submits_admitted, kPerTenant);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, ClientApiTest,

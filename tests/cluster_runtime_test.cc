@@ -66,11 +66,13 @@ TEST(ClusterRuntime, AggregateRateScalesHostsTimesShards) {
   Client cluster = Client::cluster(cluster_config(4, 4));
 
   for (std::uint64_t id = 0; id < 8000; ++id) {
-    single.keywrite().put_u32(key_of(id), 1, /*redundancy=*/1);
-    cluster.keywrite().put_u32(key_of(id), 1, /*redundancy=*/1);
+    ASSERT_TRUE(
+        single.keywrite().put_u32(key_of(id), 1, /*redundancy=*/1).ok());
+    ASSERT_TRUE(
+        cluster.keywrite().put_u32(key_of(id), 1, /*redundancy=*/1).ok());
   }
-  single.flush();
-  cluster.flush();
+  ASSERT_TRUE(single.flush().ok());
+  ASSERT_TRUE(cluster.flush().ok());
 
   const double base = single.modeled_verbs_per_sec();
   ASSERT_GT(base, 0.0);
@@ -90,9 +92,11 @@ TEST(ClusterRuntime, AggregateRateScalesHostsTimesShards) {
 TEST(ClusterRuntime, KeyHashClusterAnswersEveryKey) {
   Client client = Client::cluster(cluster_config(3, 2));
   for (std::uint64_t id = 0; id < 600; ++id) {
-    client.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id * 3));
+    ASSERT_TRUE(client.keywrite()
+                    .put_u32(key_of(id), static_cast<std::uint32_t>(id * 3))
+                    .ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   int hits = 0;
   for (std::uint64_t id = 0; id < 600; ++id) {
     const auto value = client.keywrite().get_u32(key_of(id));
@@ -108,9 +112,9 @@ TEST(ClusterRuntime, ByDestinationIpRoutesOnAddress) {
   ReportOptions to_host1;
   to_host1.dst_ip = cluster.host_ip(1);
   for (std::uint64_t id = 0; id < 100; ++id) {
-    client.keywrite().put_u32(key_of(id), 7, 2, to_host1);
+    ASSERT_TRUE(client.keywrite().put_u32(key_of(id), 7, 2, to_host1).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   EXPECT_EQ(cluster.host(0).stats().reports_in, 0u);
   EXPECT_EQ(cluster.host(1).stats().reports_in, 100u);
   // The key still determines the host-internal shard, and queries (which
@@ -133,10 +137,11 @@ TEST(ClusterRuntime, HostIpAddressesExactlyThatHost) {
     ReportOptions to_host;
     to_host.dst_ip = cluster.host_ip(h);
     for (std::uint64_t id = 0; id < 10; ++id) {
-      client.keywrite().put_u32(key_of(h * 100 + id), 1, 2, to_host);
+      ASSERT_TRUE(
+          client.keywrite().put_u32(key_of(h * 100 + id), 1, 2, to_host).ok());
     }
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   for (std::uint32_t h = 0; h < 3; ++h) {
     EXPECT_EQ(cluster.host(h).stats().reports_in, 10u) << "host " << h;
   }
@@ -154,7 +159,7 @@ TEST(ClusterRuntime, ByDestinationIpEventsReadTheAddressedHost) {
   for (std::uint32_t i = 0; i < 4; ++i) {
     ASSERT_TRUE(client.list(2).append_u32(70 + i, to_host1).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   QueryOptions from_host1;
   from_host1.dst_ip = cluster.host_ip(1);
   const auto events = client.list(2).read(4, from_host1);
@@ -171,9 +176,11 @@ TEST(ClusterRuntime, ReplicatePointQuerySurvivesHostDeath) {
   Client client = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate));
   for (std::uint64_t id = 0; id < 100; ++id) {
-    client.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id + 5));
+    ASSERT_TRUE(client.keywrite()
+                    .put_u32(key_of(id), static_cast<std::uint32_t>(id + 5))
+                    .ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
 
   ASSERT_TRUE(client.fail_host(0).ok());
   EXPECT_EQ(client.stats().live_hosts, 1u);
@@ -187,8 +194,8 @@ TEST(ClusterRuntime, ReplicatePointQuerySurvivesHostDeath) {
   EXPECT_EQ(hits, 100);
 
   // New reports only land on the survivor.
-  client.keywrite().put_u32(key_of(1000), 99);
-  client.flush();
+  ASSERT_TRUE(client.keywrite().put_u32(key_of(1000), 99).ok());
+  ASSERT_TRUE(client.flush().ok());
   ClusterRuntime& cluster = *client.cluster_runtime();
   EXPECT_EQ(cluster.host(0).stats().reports_in, 100u);
   EXPECT_EQ(cluster.host(1).stats().reports_in, 101u);
@@ -198,9 +205,11 @@ TEST(ClusterRuntime, ReplicatePointQuerySurvivesHostDeath) {
   Client healthy = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate));
   for (std::uint64_t id = 0; id < 100; ++id) {
-    healthy.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id + 5));
+    ASSERT_TRUE(healthy.keywrite()
+                    .put_u32(key_of(id), static_cast<std::uint32_t>(id + 5))
+                    .ok());
   }
-  healthy.flush();
+  ASSERT_TRUE(healthy.flush().ok());
   EXPECT_LT(client.modeled_verbs_per_sec(), healthy.modeled_verbs_per_sec());
 }
 
@@ -208,9 +217,9 @@ TEST(ClusterRuntime, ReplicateEventQueryFailsOver) {
   Client client = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate));
   for (std::uint32_t i = 0; i < 5; ++i) {
-    client.list(3).append_u32(30 + i);
+    ASSERT_TRUE(client.list(3).append_u32(30 + i).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   ASSERT_TRUE(client.fail_host(0).ok());
   const auto events = client.list(3).read(5);
   ASSERT_TRUE(events.ok());
@@ -223,9 +232,9 @@ TEST(ClusterRuntime, ReplicateEventQueryFailsOver) {
 TEST(ClusterRuntime, KeyHashDeadOwnerLosesOnlyItsPartition) {
   Client client = Client::cluster(cluster_config(2, 2));
   for (std::uint64_t id = 0; id < 200; ++id) {
-    client.keywrite().put_u32(key_of(id), 1);
+    ASSERT_TRUE(client.keywrite().put_u32(key_of(id), 1).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   ASSERT_TRUE(client.fail_host(0).ok());
   ClusterRuntime& cluster = *client.cluster_runtime();
   int answered = 0, lost = 0;
@@ -253,9 +262,11 @@ TEST(ClusterRuntime, FailoverDoesNotServeDeadHostCachedSnapshots) {
   Client client = Client::cluster(cluster_config(
       2, 2, translator::PartitionPolicy::kReplicate));
   for (std::uint64_t id = 0; id < 100; ++id) {
-    client.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id + 5));
+    ASSERT_TRUE(client.keywrite()
+                    .put_u32(key_of(id), static_cast<std::uint32_t>(id + 5))
+                    .ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   for (std::uint64_t id = 0; id < 20; ++id) {
     ASSERT_TRUE(client.keywrite().get(key_of(id)).ok());
   }
@@ -289,9 +300,11 @@ TEST(ClusterRuntime, RangeQueryPinsOneSnapshotPerShard) {
   // query is answered entirely from the cache.
   Client client = Client::cluster(cluster_config(2, 2));
   for (std::uint64_t id = 0; id < 300; ++id) {
-    client.keywrite().put_u32(key_of(id), static_cast<std::uint32_t>(id));
+    ASSERT_TRUE(client.keywrite()
+                    .put_u32(key_of(id), static_cast<std::uint32_t>(id))
+                    .ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
 
   std::vector<TelemetryKey> keys;
   for (std::uint64_t id = 0; id < 300; ++id) keys.push_back(key_of(id));
@@ -329,10 +342,11 @@ TEST(ClusterRuntime, RangeQueryPinsOneSnapshotPerShard) {
 TEST(ClusterRuntime, RangeQueryResolvesBatchInInputOrder) {
   Client client = Client::cluster(cluster_config(2, 2));
   for (std::uint64_t id = 0; id < 300; ++id) {
-    client.keywrite().put_u32(key_of(id),
-                              static_cast<std::uint32_t>(id ^ 0x5A));
+    ASSERT_TRUE(client.keywrite()
+                    .put_u32(key_of(id), static_cast<std::uint32_t>(id ^ 0x5A))
+                    .ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   std::vector<TelemetryKey> keys;
   for (std::uint64_t id = 0; id < 300; id += 3) keys.push_back(key_of(id));
   keys.push_back(key_of(999999));  // never written
@@ -354,10 +368,12 @@ TEST(ClusterRuntime, CounterAndEventFuturesResolve) {
   Client client = Client::cluster(cluster_config(2, 2));
   net::FiveTuple flow{0x0A000001, 0x0B000001, 1234, 443, 6};
   for (int i = 0; i < 3; ++i) {
-    client.counters().add(flow_key(flow), 4);
+    ASSERT_TRUE(client.counters().add(flow_key(flow), 4).ok());
   }
-  for (std::uint32_t i = 0; i < 6; ++i) client.list(5).append_u32(i);
-  client.flush();
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client.list(5).append_u32(i).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
   const auto counter = client.counters().get_async(flow_key(flow)).get();
   ASSERT_TRUE(counter.ok());
   EXPECT_GE(*counter, 12u);  // CMS: >= truth
@@ -381,8 +397,10 @@ TEST(ClusterRuntime, QueriesRunConcurrentlyWithThreadedIngest) {
   std::uint64_t next_id = 0;
   for (std::uint32_t round = 0; round < 20; ++round) {
     for (std::uint32_t i = 0; i < 50; ++i, ++next_id) {
-      client.keywrite().put_u32(
-          key_of(next_id), static_cast<std::uint32_t>(next_id * 7 + 1));
+      ASSERT_TRUE(client.keywrite()
+                      .put_u32(key_of(next_id),
+                               static_cast<std::uint32_t>(next_id * 7 + 1))
+                      .ok());
     }
     // Queries for keys from earlier rounds, issued while this round's
     // reports are still in flight through the SPSC queues.
@@ -412,9 +430,9 @@ TEST(ClusterRuntime, PinnedWorkersReportAffinity) {
   config.host.worker_cores = {0, 0};  // core 0 always exists
   Client client = Client::cluster(config);
   for (std::uint64_t id = 0; id < 100; ++id) {
-    client.keywrite().put_u32(key_of(id), 1);
+    ASSERT_TRUE(client.keywrite().put_u32(key_of(id), 1).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   ClusterRuntime& cluster = *client.cluster_runtime();
 #if defined(__linux__)
   EXPECT_EQ(cluster.host(0).pipeline().stats().workers_pinned, 2u);
@@ -428,8 +446,8 @@ TEST(ClusterRuntime, UnpinnedIsTheDefaultNoOp) {
   Client client = Client::cluster(cluster_config(
       1, 2, translator::PartitionPolicy::kByKeyHash,
       collector::ThreadMode::kThreaded));
-  client.keywrite().put_u32(key_of(1), 1);
-  client.flush();
+  ASSERT_TRUE(client.keywrite().put_u32(key_of(1), 1).ok());
+  ASSERT_TRUE(client.flush().ok());
   ClusterRuntime& cluster = *client.cluster_runtime();
   EXPECT_EQ(cluster.host(0).pipeline().stats().workers_pinned, 0u);
 }

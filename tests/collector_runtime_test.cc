@@ -105,7 +105,7 @@ TEST(CollectorRuntimeTest, CrossShardKeyWriteMerge) {
   for (std::uint32_t id = 0; id < 500; ++id) {
     ASSERT_TRUE(table.put_u32(u32_key(id), id * 7 + 3).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   int hits = 0;
   for (std::uint32_t id = 0; id < 500; ++id) {
     const auto value = table.get_u32(u32_key(id));
@@ -121,7 +121,7 @@ TEST(CollectorRuntimeTest, CountersRouteToOwningShard) {
       ASSERT_TRUE(client.counters().add(u32_key(id), id + 1).ok());
     }
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   // CMS property must survive sharding: estimates never underestimate —
   // through the facade and on the owning shard's live store alike.
   CollectorRuntime& runtime = *client.local_runtime();
@@ -143,7 +143,7 @@ TEST(CollectorRuntimeTest, AppendListsRouteAndDrainAcrossShards) {
       ASSERT_TRUE(client.list(list).append_u32(list * 100 + i).ok());
     }
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   for (std::uint32_t list = 0; list < 8; ++list) {
     const auto events = client.list(list).read(4);
     ASSERT_TRUE(events.ok()) << "list " << list;
@@ -165,7 +165,7 @@ TEST(CollectorRuntimeTest, PostcardPathsRecoverableAcrossShards) {
       ASSERT_TRUE(status.ok());
     }
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   int found = 0;
   for (std::uint32_t flow = 0; flow < 100; ++flow) {
     const auto path = postcards.path_of(u32_key(flow));
@@ -203,7 +203,7 @@ TEST(CollectorRuntimeTest, FlushAlsoDrainsAppendBatches) {
   for (std::uint32_t i = 0; i < 5; ++i) {
     ASSERT_TRUE(client.list(3).append_u32(40 + i).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   const auto events = client.list(3).read(5);
   ASSERT_TRUE(events.ok());
   std::vector<std::uint32_t> drained;
@@ -218,11 +218,11 @@ TEST(CollectorRuntimeTest, FlushAndSubmitAfterStopAreSafe) {
   // the caller thread instead of waiting on (or enqueueing for) workers
   // that no longer exist.
   Client client = Client::local(small_config(2, ThreadMode::kThreaded));
-  client.keywrite().put_u32(u32_key(1), 11);
+  ASSERT_TRUE(client.keywrite().put_u32(u32_key(1), 11).ok());
   client.stop();
   EXPECT_TRUE(client.flush().ok());  // must not hang
-  client.keywrite().put_u32(u32_key(2), 22);
-  client.flush();
+  ASSERT_TRUE(client.keywrite().put_u32(u32_key(2), 22).ok());
+  ASSERT_TRUE(client.flush().ok());
   for (std::uint32_t id : {1u, 2u}) {
     const auto value = client.keywrite().get_u32(u32_key(id));
     ASSERT_TRUE(value.ok()) << "key " << id;
@@ -234,10 +234,10 @@ TEST(CollectorRuntimeTest, ThreadedPipelineMatchesInline) {
   Client client = Client::local(small_config(4, ThreadMode::kThreaded));
   EXPECT_TRUE(client.local_runtime()->pipeline().threaded());
   for (std::uint32_t id = 0; id < 300; ++id) {
-    client.keywrite().put_u32(u32_key(id), id ^ 0xA5A5);
-    client.counters().add(u32_key(id % 32), 1);
+    ASSERT_TRUE(client.keywrite().put_u32(u32_key(id), id ^ 0xA5A5).ok());
+    ASSERT_TRUE(client.counters().add(u32_key(id % 32), 1).ok());
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
   int hits = 0;
   for (std::uint32_t id = 0; id < 300; ++id) {
     const auto value = client.keywrite().get_u32(u32_key(id));
@@ -291,7 +291,7 @@ TEST(CollectorRuntimeTest, SingleShardMatchesUnshardedStore) {
       ASSERT_TRUE(out && out->responder.executed);
     }
   }
-  client.flush();
+  ASSERT_TRUE(client.flush().ok());
 
   CollectorRuntime& runtime = *client.local_runtime();
   const rdma::MemoryRegion* sharded_region =

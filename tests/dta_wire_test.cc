@@ -133,11 +133,14 @@ TEST(Nack, RoundTrip) {
   NackReport r;
   r.dropped_op = PrimitiveOp::kAppend;
   r.dropped_count = 16;
+  r.retry_after_us = 1500;
   const Bytes payload = encode_dta_payload(DtaHeader{}, r);
   auto parsed = decode_dta_payload(ByteSpan(payload));
   ASSERT_TRUE(parsed);
   EXPECT_EQ(parsed->header.opcode, PrimitiveOp::kNack);
-  EXPECT_EQ(std::get<NackReport>(parsed->report).dropped_count, 16u);
+  const auto& back = std::get<NackReport>(parsed->report);
+  EXPECT_EQ(back.dropped_count, 16u);
+  EXPECT_EQ(back.retry_after_us, 1500u);
 }
 
 TEST(Decode, RejectsTruncatedPayloads) {

@@ -230,6 +230,15 @@ TEST(FabricE2E, RateLimiterDropsAndNacks) {
   EXPECT_GT(fabric.translator().stats().rate_limited_drops, 0u);
   EXPECT_GT(fabric.translator().stats().nacks_sent, 0u);
   EXPECT_LT(fabric.collector().stats().verbs_executed, 50u);
+
+  // The fabric routes the wire NACK back to the reporter, which
+  // surfaces it as a typed, client-visible backpressure Status with the
+  // translator's retry-after hint attached.
+  EXPECT_GT(fabric.reporter(0).stats().nacks_received, 0u);
+  auto status = fabric.reporter(0).take_backpressure();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(status->retry_after_ns(), 0u);
 }
 
 TEST(FabricE2E, ImmediateFlagRaisesCollectorEvent) {

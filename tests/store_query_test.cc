@@ -1,9 +1,12 @@
-// Tests for the typed query frontend and the checksum-width (b) knob —
-// including the empirical wrong-output measurement that only short
-// checksums make observable (Appendix A.5's trade-off).
+// Wire-path round-trips against the collector stores themselves — the
+// typed telemetry records of Table 2 reported through the full fabric
+// and queried straight from the per-primitive stores — plus the
+// checksum-width (b) knob, including the empirical wrong-output
+// measurement that only short checksums make observable (Appendix
+// A.5's trade-off). (The application-facing query surface is
+// dta::Client; see client_api_test.cc.)
 #include <gtest/gtest.h>
 
-#include "collector/query_frontend.h"
 #include "dta/report_builders.h"
 #include "dtalib/fabric.h"
 #include "telemetry/records.h"
@@ -24,7 +27,12 @@ TelemetryKey key_of(std::uint64_t id) {
   return TelemetryKey::from(ByteSpan(b));
 }
 
-FabricConfig frontend_config() {
+TelemetryKey key_of_flow(const net::FiveTuple& flow) {
+  const auto bytes = flow.to_bytes();
+  return TelemetryKey::from(ByteSpan(bytes.data(), bytes.size()));
+}
+
+FabricConfig store_config() {
   FabricConfig config;
   collector::KeyWriteSetup kw;
   kw.num_slots = 1 << 15;
@@ -52,24 +60,26 @@ net::FiveTuple flow_of(std::uint32_t i) {
           static_cast<std::uint16_t>(1000 + i), 443, 6};
 }
 
-TEST(QueryFrontend, FlowMetricRoundTrip) {
-  Fabric fabric(frontend_config());
-  collector::QueryFrontend db(&fabric.collector().service());
+TEST(StoreQuery, FlowMetricRoundTrip) {
+  Fabric fabric(store_config());
+  auto& service = fabric.collector().service();
 
   telemetry::MarpleTcpTimeout record;
   record.flow = flow_of(1);
   record.timeouts = 9;
   fabric.report(record.to_dta(2));
 
-  const auto metric = db.flow_metric(flow_of(1), 2);
-  ASSERT_TRUE(metric);
-  EXPECT_EQ(*metric, 9u);
-  EXPECT_FALSE(db.flow_metric(flow_of(999), 2));
+  const auto result = service.keywrite()->query(key_of_flow(flow_of(1)), 2);
+  ASSERT_EQ(result.status, collector::QueryStatus::kHit);
+  ASSERT_GE(result.value.size(), 4u);
+  EXPECT_EQ(common::load_u32(result.value.data()), 9u);
+  EXPECT_NE(service.keywrite()->query(key_of_flow(flow_of(999)), 2).status,
+            collector::QueryStatus::kHit);
 }
 
-TEST(QueryFrontend, FlowPathRoundTrip) {
-  Fabric fabric(frontend_config());
-  collector::QueryFrontend db(&fabric.collector().service());
+TEST(StoreQuery, FlowPathRoundTrip) {
+  Fabric fabric(store_config());
+  auto& service = fabric.collector().service();
 
   for (std::uint8_t hop = 0; hop < 5; ++hop) {
     telemetry::IntPostcard card;
@@ -79,33 +89,40 @@ TEST(QueryFrontend, FlowPathRoundTrip) {
     card.value = 40 + hop;
     fabric.report(card.to_dta(1));
   }
-  const auto path = db.flow_path(flow_of(2), 1);
-  ASSERT_TRUE(path);
-  EXPECT_EQ(*path, (std::vector<std::uint32_t>{40, 41, 42, 43, 44}));
+  const auto result = service.postcarding()->query(key_of_flow(flow_of(2)), 1);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.hop_values, (std::vector<std::uint32_t>{40, 41, 42, 43, 44}));
 }
 
-TEST(QueryFrontend, CountersAccumulate) {
-  Fabric fabric(frontend_config());
-  collector::QueryFrontend db(&fabric.collector().service());
+TEST(StoreQuery, CountersAccumulate) {
+  Fabric fabric(store_config());
+  auto& service = fabric.collector().service();
 
   telemetry::TurboFlowRecord rec;
   rec.flow = flow_of(3);
   rec.packets = 25;
   fabric.report(rec.to_dta(2));
   fabric.report(rec.to_dta(2));
-  EXPECT_EQ(db.flow_counter(flow_of(3), 2), 50u);
+  EXPECT_EQ(service.keyincrement()->query(key_of_flow(flow_of(3)), 2), 50u);
 
   telemetry::MarpleHostCounter host;
   host.src_ip = 0xC0A80101;
   host.count = 7;
   fabric.report(host.to_dta(2));
-  EXPECT_EQ(db.host_counter(0xC0A80101, 2), 7u);
-  EXPECT_EQ(db.host_counter(0xC0A80199, 2), 0u);
+  Bytes hk;
+  common::put_u32(hk, 0xC0A80101);
+  EXPECT_EQ(
+      service.keyincrement()->query(TelemetryKey::from(ByteSpan(hk)), 2), 7u);
+  Bytes miss;
+  common::put_u32(miss, 0xC0A80199);
+  EXPECT_EQ(
+      service.keyincrement()->query(TelemetryKey::from(ByteSpan(miss)), 2),
+      0u);
 }
 
-TEST(QueryFrontend, EventConsumptionDecodesLossEvents) {
-  Fabric fabric(frontend_config());
-  collector::QueryFrontend db(&fabric.collector().service());
+TEST(StoreQuery, AppendPollDecodesLossEvents) {
+  Fabric fabric(store_config());
+  auto& service = fabric.collector().service();
 
   for (std::uint32_t i = 0; i < 6; ++i) {
     telemetry::NetSeerLossEvent ev;
@@ -114,23 +131,15 @@ TEST(QueryFrontend, EventConsumptionDecodesLossEvents) {
     ev.reason = static_cast<std::uint8_t>(i % 3);
     fabric.report(ev.to_dta(2));
   }
-  std::vector<collector::QueryFrontend::LossEvent> events;
-  const std::size_t n = db.consume_events(
-      2, 6, [&](common::ByteSpan entry) {
-        events.push_back(collector::QueryFrontend::decode_loss_event(entry));
-      });
-  ASSERT_EQ(n, 6u);
+  std::vector<telemetry::NetSeerLossEvent> events;
+  for (int i = 0; i < 6; ++i) {
+    events.push_back(
+        telemetry::NetSeerLossEvent::from_entry(service.append()->poll(2)));
+  }
+  ASSERT_EQ(events.size(), 6u);
   EXPECT_EQ(events[0].packet_seq, 100u);
   EXPECT_EQ(events[5].reason, 2);
   EXPECT_EQ(events[3].flow, flow_of(3));
-}
-
-TEST(QueryFrontend, MaxEventsBoundsTheDrain) {
-  Fabric fabric(frontend_config());
-  collector::QueryFrontend db(&fabric.collector().service());
-  int handled = 0;
-  EXPECT_EQ(db.consume_events(0, 100, [&](ByteSpan) { ++handled; }, 3), 3u);
-  EXPECT_EQ(handled, 3);
 }
 
 // -------------------------------------------------- checksum width (b)

@@ -72,8 +72,9 @@ TEST(Golden, NackPayload) {
   proto::NackReport r;
   r.dropped_op = proto::PrimitiveOp::kAppend;
   r.dropped_count = 16;
+  r.retry_after_us = 0x000003E8;
   const Bytes payload = proto::encode_dta_payload(proto::DtaHeader{}, r);
-  EXPECT_EQ(hex_of(payload), "02fe0000" "02" "00000010");
+  EXPECT_EQ(hex_of(payload), "02fe0000" "02" "00000010" "000003e8");
 }
 
 TEST(Golden, RoceBth) {
