@@ -289,10 +289,73 @@ std::vector<DirtyPoint> run_dirty_ratio_sweep(bool smoke) {
   return sweep;
 }
 
-// Machine-readable output for sections (c)+(d). The "gate" object is
-// what bench/check_regression.py compares against bench/baselines/.
+struct ZeroCopyResult {
+  double copy_qps = 0.0;  // get(): merge + copy the winning value out
+  double view_qps = 0.0;  // get_view(): merge, ByteView into the snapshot
+};
+
+// Section (e): zero-copy serving. Both arms run the identical merge
+// path against the cached snapshot; get() then materializes a Bytes
+// per query while get_view() hands back a pinned view — the delta is
+// exactly the per-result allocation + memcpy the zero-copy tier
+// removes. 64B values so the copy is visible next to the merge cost.
+ZeroCopyResult run_zero_copy_sweep(bool smoke) {
+  using namespace dta::collector;
+  CollectorRuntimeConfig config;
+  config.num_shards = 1;
+  config.thread_mode = ThreadMode::kInline;
+  KeyWriteSetup kw;
+  kw.num_slots = 1ull << 16;
+  kw.value_bytes = 64;
+  config.keywrite = kw;
+  Client client = Client::local(config);
+
+  const std::uint64_t populate = smoke ? 10000 : 50000;
+  common::Bytes value(64);
+  for (std::uint64_t id = 0; id < populate; ++id) {
+    common::store_u32(value.data(), static_cast<std::uint32_t>(id));
+    (void)client.keywrite().put(benchutil::mixed_key(id),
+                                common::ByteSpan(value));
+  }
+  (void)client.flush();
+
+  const std::uint64_t iters = smoke ? 50000 : 200000;
+  auto table = client.keywrite();
+  std::uint64_t hits = 0;
+
+  // Warm the snapshot cache so both arms measure the cached regime.
+  (void)table.get(benchutil::mixed_key(0), {});
+
+  benchutil::WallTimer copy_timer;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    auto r = table.get(benchutil::mixed_key(i % populate), {});
+    hits += r.ok() && !r->empty();
+  }
+  const double copy_qps = iters / copy_timer.seconds();
+
+  benchutil::WallTimer view_timer;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    auto r = table.get_view(benchutil::mixed_key(i % populate), {});
+    hits += r.ok() && !r->empty();
+  }
+  const double view_qps = iters / view_timer.seconds();
+  (void)hits;
+
+  std::printf("\n(e) zero-copy serving (64B values, cached snapshot): "
+              "get %s q/s vs get_view %s q/s (%.2fx)\n",
+              benchutil::eng(copy_qps).c_str(),
+              benchutil::eng(view_qps).c_str(), view_qps / copy_qps);
+  ZeroCopyResult result;
+  result.copy_qps = copy_qps;
+  result.view_qps = view_qps;
+  return result;
+}
+
+// Machine-readable output for sections (c)+(d)+(e). The "gate" object
+// is what bench/check_regression.py compares against bench/baselines/.
 void write_bench_json(const CacheSweepResult& cache,
-                      const std::vector<DirtyPoint>& dirty) {
+                      const std::vector<DirtyPoint>& dirty,
+                      const ZeroCopyResult& zero_copy) {
   FILE* json = std::fopen("BENCH_snapshot_cache.json", "w");
   if (!json) return;
   std::fprintf(json,
@@ -333,14 +396,20 @@ void write_bench_json(const CacheSweepResult& cache,
   const CachePoint& top_q = cache.sweep.back();
   const DirtyPoint& low_dirty = dirty.front();
   const DirtyPoint& mid_dirty = dirty[dirty.size() / 2];
+  std::fprintf(json,
+               "  ],\n  \"zero_copy\": {\"copy_qps\": %.1f, "
+               "\"view_qps\": %.1f},\n",
+               zero_copy.copy_qps, zero_copy.view_qps);
   std::fprintf(
       json,
-      "  ],\n  \"gate\": {\n"
+      "  \"gate\": {\n"
       "    \"cached_speedup_top_q\": %.3f,\n"
       "    \"incremental_speedup_low_dirty\": %.3f,\n"
-      "    \"incremental_speedup_mid_dirty\": %.3f\n  }\n}\n",
+      "    \"incremental_speedup_mid_dirty\": %.3f,\n"
+      "    \"zero_copy_view_speedup\": %.3f\n  }\n}\n",
       top_q.fresh_qps > 0 ? top_q.cached_qps / top_q.fresh_qps : 0.0,
-      low_dirty.speedup_vs_full, mid_dirty.speedup_vs_full);
+      low_dirty.speedup_vs_full, mid_dirty.speedup_vs_full,
+      zero_copy.copy_qps > 0 ? zero_copy.view_qps / zero_copy.copy_qps : 0.0);
   std::fclose(json);
   std::printf("\nwrote BENCH_snapshot_cache.json\n");
 }
@@ -357,7 +426,8 @@ int main(int argc, char** argv) {
     // CI-sized: only the snapshot-tier sweeps, small store.
     const CacheSweepResult cache = run_snapshot_cache_sweep(true);
     const std::vector<DirtyPoint> dirty = run_dirty_ratio_sweep(true);
-    write_bench_json(cache, dirty);
+    const ZeroCopyResult zero_copy = run_zero_copy_sweep(true);
+    write_bench_json(cache, dirty, zero_copy);
     return 0;
   }
 
@@ -440,6 +510,7 @@ int main(int argc, char** argv) {
 
   const CacheSweepResult cache = run_snapshot_cache_sweep(false);
   const std::vector<DirtyPoint> dirty = run_dirty_ratio_sweep(false);
-  write_bench_json(cache, dirty);
+  const ZeroCopyResult zero_copy = run_zero_copy_sweep(false);
+  write_bench_json(cache, dirty, zero_copy);
   return 0;
 }

@@ -71,7 +71,8 @@ void IngestPipeline::submit(std::uint32_t shard, proto::ParsedDta parsed) {
     // queue; ingest on the caller thread rather than losing the report.
     shards_[shard]->ingest(parsed);
   } else {
-    while (!lane.queue.try_push(std::move(parsed))) {
+    IngestItem item(std::move(parsed));
+    while (!lane.queue.try_push(std::move(item))) {
       ++stats_.backpressure_waits;
       std::this_thread::yield();
     }
@@ -81,6 +82,25 @@ void IngestPipeline::submit(std::uint32_t shard, proto::ParsedDta parsed) {
   // must never claim a report a concurrent quiesce drain could not yet
   // have observed.
   lane.submitted.fetch_add(1, std::memory_order_release);
+}
+
+void IngestPipeline::submit_block(std::uint32_t shard, OpBlock block) {
+  const std::uint64_t count = block.size();
+  if (count == 0) return;
+  stats_.submitted += count;
+  ShardLane& lane = *lanes_[shard];
+  if (!threaded_ || stopped_.load(std::memory_order_acquire)) {
+    shards_[shard]->ingest_block(block);
+  } else {
+    IngestItem item(std::move(block));
+    while (!lane.queue.try_push(std::move(item))) {
+      ++stats_.backpressure_waits;
+      std::this_thread::yield();
+    }
+  }
+  // Same covers_seq rule as submit(): the whole block is reachable by a
+  // quiesce drain before the counter claims any of its reports.
+  lane.submitted.fetch_add(count, std::memory_order_release);
 }
 
 std::uint64_t IngestPipeline::submitted(std::uint32_t shard) const {
@@ -198,13 +218,22 @@ void IngestPipeline::worker_loop(std::uint32_t shard) {
     first_touched_.fetch_add(target->first_touch_regions(),
                              std::memory_order_acq_rel);
   }
-  proto::ParsedDta parsed;
-  for (;;) {
-    bool idle = true;
-    while (lane.queue.try_pop(parsed)) {
-      target->ingest(parsed);
-      idle = false;
+  IngestItem item;
+  // Pops and ingests everything queued; returns whether anything ran.
+  const auto drain = [&lane, target, &item] {
+    bool any = false;
+    while (lane.queue.try_pop(item)) {
+      if (const auto* parsed = std::get_if<proto::ParsedDta>(&item)) {
+        target->ingest(*parsed);
+      } else {
+        target->ingest_block(std::get<OpBlock>(item));
+      }
+      any = true;
     }
+    return any;
+  };
+  for (;;) {
+    bool idle = !drain();
     // Honour flush requests. The producer pushes before it increments
     // flushes_requested, so anything submitted before the flush() call
     // is visible to the re-drain below once the increment is observed
@@ -214,7 +243,7 @@ void IngestPipeline::worker_loop(std::uint32_t shard) {
     const std::uint64_t requested =
         lane.flushes_requested.load(std::memory_order_acquire);
     if (lane.flushes_done.load(std::memory_order_relaxed) < requested) {
-      while (lane.queue.try_pop(parsed)) target->ingest(parsed);
+      drain();
       target->flush();
       lane.flushes_done.store(requested, std::memory_order_release);
       idle = false;
@@ -227,7 +256,7 @@ void IngestPipeline::worker_loop(std::uint32_t shard) {
     const std::uint64_t holds =
         lane.holds_requested.load(std::memory_order_acquire);
     if (lane.holds_granted.load(std::memory_order_relaxed) < holds) {
-      while (lane.queue.try_pop(parsed)) target->ingest(parsed);
+      drain();
       target->flush();
       lane.holds_granted.store(holds, std::memory_order_release);
       // Park until the holder clears `hold` — or a *newer* quiesce

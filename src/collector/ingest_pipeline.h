@@ -35,8 +35,10 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <variant>
 #include <vector>
 
+#include "collector/op_block.h"
 #include "collector/shard.h"
 #include "common/spsc_queue.h"
 #include "dta/wire.h"
@@ -91,6 +93,15 @@ class IngestPipeline {
   // wire-side rate limiter is where DTA sheds load.
   void submit(std::uint32_t shard, proto::ParsedDta parsed);
 
+  // Hands a whole pre-bucketed block to shard `shard` in ONE queue slot
+  // (the batched-ingest fast path: one push, one pop, one contiguous
+  // translate run per primitive — see OpBlock). Equivalent to
+  // submitting each report individually; the submitted() counter
+  // advances by block.size() once the block is enqueued, preserving
+  // the same covers_seq guarantee as submit(). Empty blocks are
+  // ignored. Same single-producer contract as submit().
+  void submit_block(std::uint32_t shard, OpBlock block);
+
   // Barrier: every submitted report is processed and every shard's
   // translator-side aggregation state is flushed before this returns.
   void flush();
@@ -130,9 +141,14 @@ class IngestPipeline {
   }
 
  private:
+  // Queue element: a single report (the latency path) or a whole SoA
+  // block (the throughput path, one slot per batch). The variant keeps
+  // per-report submits free of OpBlock's vector baggage.
+  using IngestItem = std::variant<proto::ParsedDta, OpBlock>;
+
   struct ShardLane {
     explicit ShardLane(std::uint32_t capacity) : queue(capacity) {}
-    common::SpscQueue<proto::ParsedDta> queue;
+    common::SpscQueue<IngestItem> queue;
     std::thread worker;
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> flushes_requested{0};

@@ -1,5 +1,6 @@
 #include "collector/keywrite_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dta::collector {
@@ -29,8 +30,27 @@ common::ByteSpan KeyWriteStore::fetch_slot(const proto::TelemetryKey& key,
 KeyWriteQueryResult KeyWriteStore::query(const proto::TelemetryKey& key,
                                          std::uint8_t redundancy,
                                          std::uint8_t threshold) const {
+  const KeyWriteViewResult view = query_view(key, redundancy, threshold);
   KeyWriteQueryResult result;
-  const std::uint32_t expect = compute_checksum(key) & checksum_mask();
+  result.status = view.status;
+  result.votes = view.votes;
+  if (view.status == QueryStatus::kHit) {
+    result.value.assign(view.value.begin(), view.value.end());
+  }
+  return result;
+}
+
+KeyWriteViewResult KeyWriteStore::query_view(const proto::TelemetryKey& key,
+                                             std::uint8_t redundancy,
+                                             std::uint8_t threshold) const {
+  KeyWriteViewResult result;
+
+  // h1 plus all N slot indexes in one interleaved pass over the key.
+  const unsigned n_replicas = std::min<unsigned>(redundancy, 8);
+  std::uint32_t checksum = 0;
+  std::uint64_t slots[8];
+  translator::key_hashes(key, n_replicas, num_slots_, &checksum, slots);
+  const std::uint32_t expect = checksum & checksum_mask();
 
   // Candidate values and their vote counts. N <= 8, so flat arrays beat
   // any map; comparisons are memcmp over the fixed-width value.
@@ -43,8 +63,8 @@ KeyWriteQueryResult KeyWriteStore::query(const proto::TelemetryKey& key,
   std::array<std::uint64_t, 8> seen_slots{};
   std::size_t seen = 0;
 
-  for (std::uint8_t n = 0; n < redundancy && n < 8; ++n) {
-    const std::uint64_t slot_idx = translator::slot_index(n, key, num_slots_);
+  for (unsigned n = 0; n < n_replicas; ++n) {
+    const std::uint64_t slot_idx = slots[n];
     bool duplicate = false;
     for (std::size_t s = 0; s < seen; ++s) {
       if (seen_slots[s] == slot_idx) {
@@ -55,11 +75,10 @@ KeyWriteQueryResult KeyWriteStore::query(const proto::TelemetryKey& key,
     if (duplicate) continue;
     seen_slots[seen++] = slot_idx;
 
-    const common::ByteSpan slot = fetch_slot(key, n);
-    const std::uint32_t stored =
-        common::load_u32(slot.data()) & checksum_mask();
+    const std::uint8_t* slot = region_->data() + slot_idx * slot_bytes();
+    const std::uint32_t stored = common::load_u32(slot) & checksum_mask();
     if (stored != expect) continue;
-    const std::uint8_t* value = slot.data() + 4;
+    const std::uint8_t* value = slot + 4;
 
     bool merged = false;
     for (std::size_t c = 0; c < distinct; ++c) {
@@ -100,7 +119,7 @@ KeyWriteQueryResult KeyWriteStore::query(const proto::TelemetryKey& key,
 
   result.status = QueryStatus::kHit;
   result.votes = votes[best];
-  result.value.assign(candidates[best], candidates[best] + value_bytes_);
+  result.value = common::ByteSpan(candidates[best], value_bytes_);
   return result;
 }
 

@@ -34,6 +34,17 @@ struct KeyWriteQueryResult {
   std::uint8_t votes = 0;    // how many replicas agreed
 };
 
+// Zero-copy variant: `value` points directly into the store's region
+// memory, valid only while that memory is stable (for snapshot-backed
+// stores: while the snapshot stays pinned). dtalib wraps it into a
+// ByteView that owns the snapshot pin; callers that need the bytes past
+// the pin copy explicitly.
+struct KeyWriteViewResult {
+  QueryStatus status = QueryStatus::kNotFound;
+  common::ByteSpan value{};  // valid when status == kHit
+  std::uint8_t votes = 0;
+};
+
 class KeyWriteStore {
  public:
   // `region` must hold num_slots * (4 + value_bytes) bytes.
@@ -41,9 +52,15 @@ class KeyWriteStore {
                 std::uint32_t value_bytes, std::uint32_t checksum_bits = 32);
 
   // Algorithm 2 with plurality vote and optional consensus threshold.
+  // query() copies the winning value out; query_view() is the zero-copy
+  // core both share — one interleaved CRC pass for h1 + all N slot
+  // indexes, candidate pointers into region memory, no allocation.
   KeyWriteQueryResult query(const proto::TelemetryKey& key,
                             std::uint8_t redundancy,
                             std::uint8_t consensus_threshold = 1) const;
+  KeyWriteViewResult query_view(const proto::TelemetryKey& key,
+                                std::uint8_t redundancy,
+                                std::uint8_t consensus_threshold = 1) const;
 
   // Split-phase helpers used by the Figure 11b breakdown bench: the
   // checksum computation and the slot fetch are the two measured parts.

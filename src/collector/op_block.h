@@ -1,0 +1,84 @@
+// Struct-of-arrays report block for batched ingest.
+//
+// The per-report ingest path pays a variant dispatch, a tenant-map
+// probe and a queue slot per report. An OpBlock amortizes all three:
+// the submitter buckets a batch of parsed reports by primitive into
+// contiguous arrays, the block rides the SPSC queue in ONE slot, and
+// the shard runs each primitive's translate loop over a contiguous run
+// (one engine, one branch target, hot tables resident) instead of
+// re-dispatching per report.
+//
+// Per-report metadata that the translate loops need (tenant accounting,
+// the DTA immediate flag) is split into parallel Meta arrays so the
+// report payloads stay densely packed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dta/tenant.h"
+#include "dta/wire.h"
+
+namespace dta::collector {
+
+struct OpBlock {
+  struct Meta {
+    TenantId tenant = kDefaultTenant;
+    bool immediate = false;
+  };
+
+  std::vector<proto::KeyWriteReport> keywrites;
+  std::vector<Meta> keywrite_meta;
+  std::vector<proto::KeyIncrementReport> keyincrements;
+  std::vector<Meta> keyincrement_meta;
+  std::vector<proto::PostcardReport> postcards;
+  std::vector<Meta> postcard_meta;
+  std::vector<proto::AppendReport> appends;
+  std::vector<Meta> append_meta;
+  // Reports that carry no translatable primitive (NACKs, unknown
+  // opcodes): counted for ingest accounting, never translated.
+  std::vector<Meta> other_meta;
+
+  // Buckets one parsed report into its primitive's arrays.
+  void add(proto::ParsedDta&& parsed) {
+    const Meta meta{parsed.header.tenant, parsed.header.immediate};
+    if (auto* kw = std::get_if<proto::KeyWriteReport>(&parsed.report)) {
+      keywrites.push_back(std::move(*kw));
+      keywrite_meta.push_back(meta);
+    } else if (auto* ki =
+                   std::get_if<proto::KeyIncrementReport>(&parsed.report)) {
+      keyincrements.push_back(std::move(*ki));
+      keyincrement_meta.push_back(meta);
+    } else if (auto* pc = std::get_if<proto::PostcardReport>(&parsed.report)) {
+      postcards.push_back(std::move(*pc));
+      postcard_meta.push_back(meta);
+    } else if (auto* ap = std::get_if<proto::AppendReport>(&parsed.report)) {
+      appends.push_back(std::move(*ap));
+      append_meta.push_back(meta);
+    } else {
+      other_meta.push_back(meta);
+    }
+  }
+
+  std::size_t size() const {
+    return keywrites.size() + keyincrements.size() + postcards.size() +
+           appends.size() + other_meta.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  void clear() {
+    keywrites.clear();
+    keywrite_meta.clear();
+    keyincrements.clear();
+    keyincrement_meta.clear();
+    postcards.clear();
+    postcard_meta.clear();
+    appends.clear();
+    append_meta.clear();
+    other_meta.clear();
+  }
+};
+
+}  // namespace dta::collector

@@ -46,6 +46,12 @@ struct CollectorRuntimeConfig {
   std::uint32_t queue_capacity = 4096;
   ThreadMode thread_mode = ThreadMode::kAuto;
 
+  // Hot-path switches (see ShardConfig for semantics): direct verb
+  // execution on the shard's queue pair instead of per-verb RoCE frame
+  // craft + parse, and transparent-huge-page advice for store regions.
+  bool direct_execution = true;
+  bool hugepage_store_memory = true;
+
   // CPU affinity for shard workers (no-op when unset): worker i is
   // pinned to worker_cores[i], or to core i when the list is shorter.
   // Pinning also drives NUMA placement: each shard's registered store
@@ -97,6 +103,14 @@ class CollectorRuntime {
   // Routes one report to its owning shard. Single-producer: call from
   // one thread. Pass an rvalue to hand the report over without a copy.
   void submit(proto::ParsedDta parsed);
+
+  // Batched submit: routes a whole batch with one interleaved CRC pass
+  // (common::shard_of_batch), buckets it into per-shard SoA blocks and
+  // hands each shard its block in a single queue slot. Equivalent to
+  // calling submit() per report — same ordering guarantees per shard,
+  // same read-your-submits accounting — at a fraction of the per-report
+  // cost. Same single-producer contract as submit().
+  void submit_batch(std::vector<proto::ParsedDta> reports);
 
   // Barrier: all submitted reports processed, all aggregation state
   // (postcard cache rows, append batches, staged op batches) delivered.

@@ -50,8 +50,12 @@ TranslationStats CollectorShard::translation_stats() const {
 CollectorShard::CollectorShard(std::uint32_t index, const ShardConfig& config)
     : index_(index),
       op_batch_size_(config.op_batch_size == 0 ? 1 : config.op_batch_size),
+      direct_execution_(config.direct_execution),
       service_(config.nic),
       dirty_(config.snapshot_chunk_bytes) {
+  if (config.hugepage_store_memory) {
+    service_.nic().pd().set_hugepage_hint(true);
+  }
   // Placement hint before any store memory is allocated: regions the
   // enable_* calls register below are asked onto the worker's node.
   if (config.numa_node >= 0) {
@@ -127,6 +131,65 @@ void CollectorShard::ingest(const proto::ParsedDta& parsed) {
   if (pending_.size() >= op_batch_size_) deliver_batch();
 }
 
+void CollectorShard::ingest_block(const OpBlock& block) {
+  stats_.reports_in += block.size();
+  for (const auto* metas :
+       {&block.keywrite_meta, &block.keyincrement_meta, &block.postcard_meta,
+        &block.append_meta, &block.other_meta}) {
+    for (const OpBlock::Meta& meta : *metas) {
+      ++tenant_reports_in_[meta.tenant];
+    }
+  }
+
+  // One contiguous run per primitive: the engine, its geometry and the
+  // CRC tables stay hot across the whole run instead of being re-fetched
+  // per report through a variant dispatch.
+  std::size_t before = pending_.size();
+  if (keywrite_) {
+    for (std::size_t i = 0; i < block.keywrites.size(); ++i) {
+      keywrite_->translate(block.keywrites[i], block.keywrite_meta[i].immediate,
+                           pending_);
+      if (pending_.size() >= op_batch_size_) {
+        stats_.ops_batched += pending_.size() - before;
+        deliver_batch();
+        before = 0;
+      }
+    }
+  }
+  if (keyincrement_) {
+    for (const auto& report : block.keyincrements) {
+      keyincrement_->translate(report, pending_);
+      if (pending_.size() >= op_batch_size_) {
+        stats_.ops_batched += pending_.size() - before;
+        deliver_batch();
+        before = 0;
+      }
+    }
+  }
+  if (postcarding_) {
+    for (const auto& report : block.postcards) {
+      postcarding_->ingest(report, pending_);
+      if (pending_.size() >= op_batch_size_) {
+        stats_.ops_batched += pending_.size() - before;
+        deliver_batch();
+        before = 0;
+      }
+    }
+  }
+  if (append_) {
+    for (std::size_t i = 0; i < block.appends.size(); ++i) {
+      append_->ingest(block.appends[i], block.append_meta[i].immediate,
+                      pending_);
+      if (pending_.size() >= op_batch_size_) {
+        stats_.ops_batched += pending_.size() - before;
+        deliver_batch();
+        before = 0;
+      }
+    }
+  }
+  stats_.ops_batched += pending_.size() - before;
+}
+
 void CollectorShard::flush() {
   const std::size_t before = pending_.size();
   if (postcarding_) postcarding_->flush_all(pending_);
@@ -155,6 +218,30 @@ void CollectorShard::deliver_batch() {
         break;
       case translator::RdmaOp::Kind::kSend:
         break;
+    }
+    // Direct execution: WRITEs and FETCH_ADDs run straight on the queue
+    // pair (validation + DMA + message-rate charge, no frame craft, no
+    // parse, no PSN). SENDs — and everything when disabled — still take
+    // the wire path, whose PSN stream stays self-consistent because
+    // direct verbs never touch it.
+    if (direct_execution_ && service_.qp() != nullptr &&
+        op.kind != translator::RdmaOp::Kind::kSend) {
+      rdma::Nic::Outcome outcome;
+      if (op.kind == translator::RdmaOp::Kind::kWrite) {
+        outcome = service_.nic().execute_write(*service_.qp(), op.remote_va,
+                                               op.rkey, op.payload,
+                                               op.immediate);
+      } else {
+        outcome = service_.nic().execute_fetch_add(*service_.qp(),
+                                                   op.remote_va, op.rkey,
+                                                   op.add_value);
+      }
+      if (outcome.responder.executed) {
+        ++stats_.verbs_executed;
+      } else {
+        ++stats_.verbs_failed;
+      }
+      continue;
     }
     net::Packet frame = crafter_->craft(op);
     const auto outcome = service_.nic().ingest(frame);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "collector/dirty_tracker.h"
+#include "collector/op_block.h"
 #include "dta/tenant.h"
 #include "collector/rdma_service.h"
 #include "translator/append_engine.h"
@@ -49,6 +50,17 @@ struct ShardConfig {
   // Dirty-chunk granularity for incremental snapshot refresh (rounded
   // up to a power of two, min 64 B).
   std::uint32_t snapshot_chunk_bytes = 4096;
+  // Execute WRITE / FETCH_ADD verbs directly on the shard's queue pair
+  // (QueuePair::execute_*) instead of crafting + re-parsing a RoCE
+  // frame per verb. The translator and responder share an address
+  // space here, so the frame round-trip is pure overhead; disable for
+  // full wire parity (every verb serialized, ICRC'd and PSN-checked).
+  bool direct_execution = true;
+  // Advise the kernel to back store regions with transparent huge
+  // pages (MADV_HUGEPAGE on the 2 MiB-aligned interior; the paper puts
+  // all RDMA-registered memory on huge pages). Best-effort, no-op
+  // off-Linux.
+  bool hugepage_store_memory = true;
 };
 
 struct ShardStats {
@@ -91,6 +103,12 @@ class CollectorShard {
   // resulting RDMA ops; delivers a batch once op_batch_size is reached.
   // Append reports must already carry shard-local list ids.
   void ingest(const proto::ParsedDta& parsed);
+
+  // Batched ingest: one contiguous translate run per primitive instead
+  // of a per-report variant dispatch (the block's submitter already
+  // bucketed the reports — see OpBlock). Same effects and accounting
+  // as calling ingest() per report, minus the per-report overheads.
+  void ingest_block(const OpBlock& block);
 
   // Drains the translator-side aggregation state (postcard cache rows,
   // append batch registers) and delivers any staged ops.
@@ -145,6 +163,7 @@ class CollectorShard {
 
   std::uint32_t index_;
   std::uint32_t op_batch_size_;
+  bool direct_execution_;
   RdmaService service_;
   std::unique_ptr<translator::RdmaCrafter> crafter_;
   std::unique_ptr<translator::KeyWriteEngine> keywrite_;

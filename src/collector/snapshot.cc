@@ -134,6 +134,13 @@ KeyWriteQueryResult StoreSnapshot::keywrite_query(
   return keywrite_->query(key, redundancy, consensus_threshold);
 }
 
+KeyWriteViewResult StoreSnapshot::keywrite_query_view(
+    const proto::TelemetryKey& key, std::uint8_t redundancy,
+    std::uint8_t consensus_threshold) const {
+  if (!keywrite_) return {};
+  return keywrite_->query_view(key, redundancy, consensus_threshold);
+}
+
 std::optional<std::uint64_t> StoreSnapshot::keyincrement_query(
     const proto::TelemetryKey& key, std::uint8_t redundancy) const {
   if (!keyincrement_) return std::nullopt;
@@ -156,6 +163,19 @@ std::vector<common::Bytes> StoreSnapshot::append_read(
     // consumer positions are untouched.
     const common::ByteSpan entry = append_->poll(local_list);
     out.emplace_back(entry.begin(), entry.end());
+  }
+  return out;
+}
+
+std::vector<common::ByteSpan> StoreSnapshot::append_read_views(
+    std::uint32_t local_list, std::uint64_t count) const {
+  std::vector<common::ByteSpan> out;
+  if (!append_ || local_list >= append_->num_lists()) return out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // Same private-tail walk as append_read, minus the per-entry copy:
+    // the spans point straight into the snapshot's ring memory.
+    out.push_back(append_->poll(local_list));
   }
   return out;
 }

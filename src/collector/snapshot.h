@@ -79,6 +79,14 @@ class StoreSnapshot {
                                      std::uint8_t redundancy,
                                      std::uint8_t consensus_threshold = 1) const;
 
+  // Zero-copy variant: the winning value as a span into this snapshot's
+  // copied region memory. Valid while the snapshot is alive and pinned
+  // (the SnapshotCache never patches a pinned snapshot in place);
+  // dtalib's ByteView carries that ownership for callers.
+  KeyWriteViewResult keywrite_query_view(
+      const proto::TelemetryKey& key, std::uint8_t redundancy,
+      std::uint8_t consensus_threshold = 1) const;
+
   // CMS min over the copied Key-Increment counters; nullopt when the
   // primitive is not enabled.
   std::optional<std::uint64_t> keyincrement_query(
@@ -97,6 +105,12 @@ class StoreSnapshot {
   // slots as zero entries.
   std::vector<common::Bytes> append_read(std::uint32_t local_list,
                                          std::uint64_t count) const;
+
+  // Zero-copy variant of append_read: spans into the snapshot's copied
+  // ring memory (same lifetime rules as keywrite_query_view). Each span
+  // is one entry; the ring is fixed-width so every entry is contiguous.
+  std::vector<common::ByteSpan> append_read_views(std::uint32_t local_list,
+                                                  std::uint64_t count) const;
 
  private:
   // Empty shell for clone(): regions and stores are filled in by hand.

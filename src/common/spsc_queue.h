@@ -62,10 +62,14 @@ class SpscQueue {
   std::size_t capacity() const { return mask_ + 1; }
 
  private:
-  // Indices grow monotonically; the mask maps them into the ring.
+  // Indices grow monotonically; the mask maps them into the ring. Each
+  // index gets a cache line of its own, and the read-mostly slot vector
+  // + mask get a third: the producer dereferences the slot pointer on
+  // every push, so it must not share tail_'s line (every consumer-side
+  // tail_ store would otherwise bounce the producer's line too).
   alignas(64) std::atomic<std::size_t> head_{0};  // next write (producer)
   alignas(64) std::atomic<std::size_t> tail_{0};  // next read (consumer)
-  std::vector<T> slots_;
+  alignas(64) std::vector<T> slots_;
   std::size_t mask_ = 0;
 };
 

@@ -1,0 +1,53 @@
+// Zero-copy query results.
+//
+// A ByteView is a span into an immutable StoreSnapshot's memory plus
+// shared ownership of whatever keeps that memory alive. Holding the
+// snapshot's shared_ptr holds its cache pin, and the SnapshotCache
+// never patches a pinned snapshot in place (refreshes divert to a
+// copy-on-write clone), so the viewed bytes are stable for the view's
+// whole lifetime — queries in the cached-snapshot regime return
+// without any per-result memcpy.
+//
+// Lifetime rule: the view (not the Client, not the snapshot variable
+// you may have dropped) is what keeps the bytes alive. Holding many
+// views pins their snapshots, which makes later refreshes clone
+// (memory, not correctness); call to_bytes() to detach when a result
+// must outlive the query scope cheaply.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace dta {
+
+class ByteView {
+ public:
+  ByteView() = default;
+  ByteView(std::shared_ptr<const void> owner, common::ByteSpan bytes)
+      : owner_(std::move(owner)), bytes_(bytes) {}
+
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  std::uint8_t operator[](std::size_t i) const { return bytes_[i]; }
+  const std::uint8_t* begin() const { return bytes_.begin(); }
+  const std::uint8_t* end() const { return bytes_.end(); }
+
+  common::ByteSpan span() const { return bytes_; }
+
+  // Explicit copy escape: detaches the bytes from the snapshot (and
+  // releases the pin once the view itself is dropped).
+  common::Bytes to_bytes() const {
+    return common::Bytes(bytes_.begin(), bytes_.end());
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  common::ByteSpan bytes_;
+};
+
+}  // namespace dta

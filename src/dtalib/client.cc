@@ -29,6 +29,10 @@ Status validate_submit(const proto::ParsedDta& parsed,
     if (kw->redundancy == 0) {
       return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
     }
+    if (kw->redundancy > 8) {
+      return {StatusCode::kOutOfRange,
+              "redundancy exceeds the 8 slot-hash engines"};
+    }
     if (kw->data.size() > config.keywrite->value_bytes) {
       return {StatusCode::kOutOfRange,
               "value wider than the store's value_bytes"};
@@ -45,6 +49,10 @@ Status validate_submit(const proto::ParsedDta& parsed,
     }
     if (ki->redundancy == 0) {
       return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
+    }
+    if (ki->redundancy > 8) {
+      return {StatusCode::kOutOfRange,
+              "redundancy exceeds the 8 slot-hash engines"};
     }
     return Status::Ok();
   }
@@ -125,6 +133,10 @@ Status query_precheck(const proto::TelemetryKey& key,
   if (opts.redundancy == 0) {
     return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
   }
+  if (opts.redundancy > 8) {
+    return {StatusCode::kOutOfRange,
+            "redundancy exceeds the 8 slot-hash engines"};
+  }
   return Status::Ok();
 }
 
@@ -183,32 +195,47 @@ Status append_read_precheck(const Backend& backend, std::uint64_t count) {
 // Best-vote merge across replica snapshots (one snapshot per candidate
 // host). A conflict anywhere without a hit anywhere is reported as
 // kConflict — the caller can tell ambiguity from absence.
-Expected<common::Bytes> merge_keywrite(const std::vector<SnapshotPtr>& snaps,
+//
+// This is the zero-copy core: each snapshot's vote resolves to a span
+// into that snapshot's memory (no candidate is ever copied), and the
+// winner comes back as a ByteView holding the winning snapshot's pin.
+// merge_keywrite() is the copy mode layered on top.
+Expected<ByteView> merge_keywrite_view(const std::vector<SnapshotPtr>& snaps,
                                        const proto::TelemetryKey& key,
                                        const QueryOptions& opts) {
-  collector::KeyWriteQueryResult best;
+  collector::KeyWriteViewResult best;
+  const SnapshotPtr* best_snap = nullptr;
   bool conflict = false;
   for (const auto& snap : snaps) {
     if (!snap->has_keywrite()) continue;
-    auto result =
-        snap->keywrite_query(key, opts.redundancy, opts.consensus_threshold);
+    const auto result = snap->keywrite_query_view(key, opts.redundancy,
+                                                  opts.consensus_threshold);
     if (result.status == collector::QueryStatus::kHit) {
       if (best.status != collector::QueryStatus::kHit ||
           result.votes > best.votes) {
-        best = std::move(result);
+        best = result;
+        best_snap = &snap;
       }
     } else if (result.status == collector::QueryStatus::kConflict) {
       conflict = true;
     }
   }
   if (best.status == collector::QueryStatus::kHit) {
-    return std::move(best.value);
+    return ByteView(*best_snap, best.value);
   }
   if (conflict) {
     return Status(StatusCode::kConflict,
                   "replica slots disagree or vote below threshold");
   }
   return Status(StatusCode::kNotFound, "no slot carried the key's checksum");
+}
+
+Expected<common::Bytes> merge_keywrite(const std::vector<SnapshotPtr>& snaps,
+                                       const proto::TelemetryKey& key,
+                                       const QueryOptions& opts) {
+  auto view = merge_keywrite_view(snaps, key, opts);
+  if (!view.ok()) return view.status();
+  return view->to_bytes();
 }
 
 Expected<std::uint64_t> merge_counter(const std::vector<SnapshotPtr>& snaps,
@@ -623,6 +650,16 @@ Expected<common::Bytes> KeyWriteTable::get(const proto::TelemetryKey& key,
   return merge_keywrite(*snaps, key, opts);
 }
 
+Expected<ByteView> KeyWriteTable::get_view(const proto::TelemetryKey& key,
+                                           const QueryOptions& opts) const {
+  if (auto status = keywrite_precheck(*backend_, key, opts); !status.ok()) {
+    return status;
+  }
+  auto snaps = backend_->key_snapshots(key, opts);
+  if (!snaps.ok()) return snaps.status();
+  return merge_keywrite_view(*snaps, key, opts);
+}
+
 Expected<std::uint32_t> KeyWriteTable::get_u32(const proto::TelemetryKey& key,
                                                const QueryOptions& opts) const {
   auto value = get(key, opts);
@@ -661,6 +698,23 @@ Expected<std::vector<std::optional<common::Bytes>>> KeyWriteTable::get_many(
   std::vector<std::optional<common::Bytes>> out(keys.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
     auto merged = merge_keywrite((*batch)[i], keys[i], opts);
+    if (merged.ok()) out[i] = std::move(merged).value();
+  }
+  return out;
+}
+
+Expected<std::vector<std::optional<ByteView>>> KeyWriteTable::get_many_views(
+    const std::vector<proto::TelemetryKey>& keys,
+    const QueryOptions& opts) const {
+  if (auto status = keywrite_batch_precheck(*backend_, keys, opts);
+      !status.ok()) {
+    return status;
+  }
+  auto batch = backend_->key_snapshots_batch(keys, opts);
+  if (!batch.ok()) return batch.status();
+  std::vector<std::optional<ByteView>> out(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto merged = merge_keywrite_view((*batch)[i], keys[i], opts);
     if (merged.ok()) out[i] = std::move(merged).value();
   }
   return out;
@@ -737,6 +791,22 @@ Expected<std::vector<common::Bytes>> AppendList::read(
   auto slice = backend_->list_snapshot(list_, opts);
   if (!slice.ok()) return slice.status();
   return slice->snap->append_read(slice->shard_list, count);
+}
+
+Expected<std::vector<ByteView>> AppendList::read_views(
+    std::uint64_t count, const QueryOptions& opts) const {
+  if (auto status = append_read_precheck(*backend_, count); !status.ok()) {
+    return status;
+  }
+  auto slice = backend_->list_snapshot(list_, opts);
+  if (!slice.ok()) return slice.status();
+  const auto spans = slice->snap->append_read_views(slice->shard_list, count);
+  std::vector<ByteView> out;
+  out.reserve(spans.size());
+  for (const common::ByteSpan span : spans) {
+    out.emplace_back(slice->snap, span);
+  }
+  return out;
 }
 
 std::future<Expected<std::vector<common::Bytes>>> AppendList::read_async(

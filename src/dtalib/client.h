@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "collector/runtime.h"
+#include "dtalib/byte_view.h"
 #include "dtalib/cluster_runtime.h"
 #include "dtalib/options.h"
 #include "dtalib/status.h"
@@ -147,8 +148,15 @@ class KeyWriteTable {
                  std::uint8_t redundancy = 2, const ReportOptions& opts = {});
 
   // Redundancy-aware get: Algorithm 2 vote within each snapshot,
-  // best-vote merge across replica hosts.
+  // best-vote merge across replica hosts. get() copies the winning
+  // value out (the bytes outlive everything); get_view() is the
+  // zero-copy core it wraps — the returned ByteView points into the
+  // winning snapshot's memory and keeps that snapshot pinned alive, so
+  // cached-snapshot queries pay no per-result memcpy. Use to_bytes()
+  // on the view to detach.
   Expected<common::Bytes> get(const proto::TelemetryKey& key,
+                              const QueryOptions& opts = {}) const;
+  Expected<ByteView> get_view(const proto::TelemetryKey& key,
                               const QueryOptions& opts = {}) const;
   Expected<std::uint32_t> get_u32(const proto::TelemetryKey& key,
                                   const QueryOptions& opts = {}) const;
@@ -158,6 +166,11 @@ class KeyWriteTable {
   // Batch get under one generation pin; per-key misses are nullopt
   // (structural failures surface on the outer Expected).
   Expected<std::vector<std::optional<common::Bytes>>> get_many(
+      const std::vector<proto::TelemetryKey>& keys,
+      const QueryOptions& opts = {}) const;
+  // Zero-copy batch: the whole batch shares the per-shard snapshot
+  // pins, so N hits against one cached shard cost zero copies total.
+  Expected<std::vector<std::optional<ByteView>>> get_many_views(
       const std::vector<proto::TelemetryKey>& keys,
       const QueryOptions& opts = {}) const;
   std::future<Expected<std::vector<std::optional<common::Bytes>>>>
@@ -202,6 +215,10 @@ class AppendList {
   // tracks availability (the paper's polling model); count beyond the
   // ring capacity is kOutOfRange.
   Expected<std::vector<common::Bytes>> read(
+      std::uint64_t count, const QueryOptions& opts = {}) const;
+  // Zero-copy variant: entry views into the list's snapshot, all
+  // sharing one pin. Same semantics as read() otherwise.
+  Expected<std::vector<ByteView>> read_views(
       std::uint64_t count, const QueryOptions& opts = {}) const;
   std::future<Expected<std::vector<common::Bytes>>> read_async(
       std::uint64_t count, const QueryOptions& opts = {}) const;

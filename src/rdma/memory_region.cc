@@ -5,6 +5,7 @@
 
 #if defined(__linux__)
 #include <sched.h>
+#include <sys/mman.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
@@ -111,11 +112,34 @@ bool MemoryRegion::bind_to_node(int node) {
 #endif
 }
 
+bool MemoryRegion::advise_hugepages() {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  // madvise wants the range aligned; advise the 2 MiB-aligned interior
+  // of the buffer (the ragged edges stay on base pages — a region has
+  // to span at least one full huge page to benefit anyway).
+  constexpr std::uintptr_t kHuge = 2ull << 20;
+  const auto start = reinterpret_cast<std::uintptr_t>(buffer_.data());
+  const std::uintptr_t lo = (start + kHuge - 1) & ~(kHuge - 1);
+  const std::uintptr_t hi = (start + buffer_.size()) & ~(kHuge - 1);
+  if (lo >= hi) return false;
+  if (madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE) == 0) {
+    hugepage_advised_ = true;
+  }
+  return hugepage_advised_;
+#else
+  return false;
+#endif
+}
+
 void MemoryRegion::first_touch_rebind() {
   // The copy construction touches every page of the new buffer from the
   // calling thread, so first-touch policy allocates them on its node.
+  const bool rehuge = hugepage_advised_;
+  hugepage_advised_ = false;
   std::vector<std::uint8_t> fresh(buffer_.begin(), buffer_.end());
   buffer_.swap(fresh);
+  // The swap moved the region onto new pages; re-advise them.
+  if (rehuge) advise_hugepages();
 #if defined(__linux__)
   const int cpu = sched_getcpu();
   if (cpu >= 0) {
@@ -138,6 +162,7 @@ MemoryRegion* ProtectionDomain::register_region(std::size_t length,
   auto region =
       std::make_unique<MemoryRegion>(va, length, next_rkey_++, access);
   if (node_hint_ >= 0) region->bind_to_node(node_hint_);
+  if (hugepage_hint_) region->advise_hugepages();
   regions_.push_back(std::move(region));
   return regions_.back().get();
 }

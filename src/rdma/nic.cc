@@ -78,6 +78,46 @@ std::optional<Nic::Outcome> Nic::ingest(const net::Packet& frame) {
   return out;
 }
 
+Nic::Outcome Nic::execute_write(QueuePair& qp, std::uint64_t va,
+                                std::uint32_t rkey, common::ByteSpan payload,
+                                std::optional<std::uint32_t> immediate,
+                                common::VirtualNs arrival_ns) {
+  const double rate = effective_message_rate();
+  const auto cost = static_cast<common::VirtualNs>(1e9 / std::max(rate, 1.0));
+  Outcome out;
+  out.completed_at = message_unit_.schedule(arrival_ns, cost);
+  out.qpn = qp.qpn();
+  out.responder = qp.execute_write(va, rkey, payload, immediate);
+  if (out.responder.ack) {
+    if (out.responder.ack->syndrome == AethSyndrome::kAck) {
+      ++counters_.acks_emitted;
+    } else {
+      ++counters_.naks_emitted;
+    }
+  }
+  return out;
+}
+
+Nic::Outcome Nic::execute_fetch_add(QueuePair& qp, std::uint64_t va,
+                                    std::uint32_t rkey,
+                                    std::uint64_t add_value,
+                                    common::VirtualNs arrival_ns) {
+  const double rate = effective_message_rate();
+  const auto cost = static_cast<common::VirtualNs>(1e9 / std::max(rate, 1.0));
+  Outcome out;
+  out.completed_at = message_unit_.schedule(arrival_ns, cost);
+  out.qpn = qp.qpn();
+  out.responder = qp.execute_fetch_add(va, rkey, add_value);
+  if (out.responder.ack) {
+    if (out.responder.ack->syndrome == AethSyndrome::kAck) {
+      ++counters_.acks_emitted;
+    } else {
+      ++counters_.naks_emitted;
+    }
+  }
+  return out;
+}
+
 double Nic::modeled_verbs_per_sec(std::uint64_t verbs) const {
   const common::VirtualNs busy = message_unit_.free_at();
   if (busy == 0 || verbs == 0) return 0.0;

@@ -67,6 +67,21 @@ class Nic {
   };
   std::optional<Outcome> ingest(const net::Packet& frame);
 
+  // Direct-execution doorbells: run one verb on `qp` without a wire
+  // frame (no UDP/BTH decode, no ICRC, no PSN — see
+  // QueuePair::execute_*). Message-rate accounting is identical to
+  // ingest(): each verb costs one message slot at the effective rate,
+  // so modeled throughput readouts cannot tell the two paths apart.
+  // `datagrams_in` is NOT bumped (nothing arrived on the wire); ACK/NAK
+  // counters mirror the wire path.
+  Outcome execute_write(QueuePair& qp, std::uint64_t va, std::uint32_t rkey,
+                        common::ByteSpan payload,
+                        std::optional<std::uint32_t> immediate,
+                        common::VirtualNs arrival_ns = 0);
+  Outcome execute_fetch_add(QueuePair& qp, std::uint64_t va,
+                            std::uint32_t rkey, std::uint64_t add_value,
+                            common::VirtualNs arrival_ns = 0);
+
   const NicCounters& counters() const { return counters_; }
   common::VirtualNs busy_until() const { return message_unit_.free_at(); }
 

@@ -118,6 +118,57 @@ ResponderResult QueuePair::process(common::ByteSpan roce_datagram) {
   return result;
 }
 
+ResponderResult QueuePair::execute_write(std::uint64_t va, std::uint32_t rkey,
+                                         common::ByteSpan payload,
+                                         std::optional<std::uint32_t> immediate) {
+  ResponderResult result;
+  if (state_ != QpState::kReadyToReceive) return result;
+  MemoryRegion* mr = pd_->find(rkey);
+  const std::size_t len = payload.size();
+  if (!mr || !(mr->access() & kRemoteWrite) || !mr->contains(va, len)) {
+    state_ = QpState::kError;
+    return nak(AethSyndrome::kRemoteAccessNak);
+  }
+  std::memcpy(mr->at(va), payload.data(), len);
+  ++counters_.writes_executed;
+  counters_.bytes_written += len;
+  if (immediate) {
+    ++counters_.immediates;
+    completions_.push_back(Completion{Opcode::kWriteOnlyImm,
+                                      static_cast<std::uint32_t>(len),
+                                      immediate});
+  }
+  ++msn_;
+  result.executed = true;
+  return result;
+}
+
+ResponderResult QueuePair::execute_fetch_add(std::uint64_t va,
+                                             std::uint32_t rkey,
+                                             std::uint64_t add_value) {
+  ResponderResult result;
+  if (state_ != QpState::kReadyToReceive) return result;
+  MemoryRegion* mr = pd_->find(rkey);
+  if (!mr || !(mr->access() & kRemoteAtomic) || !mr->contains(va, 8) ||
+      (va & 0x7) != 0) {
+    state_ = QpState::kError;
+    return nak(AethSyndrome::kRemoteAccessNak);
+  }
+  std::uint8_t* p = mr->at(va);
+  const std::uint64_t original = common::load_u64(p);
+  common::store_u64(p, original + add_value);
+  result.atomic_original = original;
+  ++counters_.atomics_executed;
+  ++msn_;
+  result.executed = true;
+  // Atomics always return their original value in an ACK, wire or not.
+  Aeth aeth;
+  aeth.syndrome = AethSyndrome::kAck;
+  aeth.msn = msn_;
+  result.ack = aeth;
+  return result;
+}
+
 std::optional<Completion> QueuePair::poll_completion() {
   if (completions_.empty()) return std::nullopt;
   Completion c = completions_.front();

@@ -67,6 +67,21 @@ class QueuePair {
   // Responder path: parse + validate + execute one RoCE datagram.
   ResponderResult process(common::ByteSpan roce_datagram);
 
+  // Direct-execution path ("doorbell" fast path): the same validation
+  // and memory effects as the wire path's WRITE / FETCH_ADD opcodes,
+  // minus the frame parse, ICRC check and PSN sequencing. Used by the
+  // in-process collector shard, whose translator and responder share an
+  // address space, so serializing each verb through a crafted RoCE
+  // frame only to re-parse it is pure overhead. PSN state is untouched:
+  // the crafter's PSN stream stays in lockstep with the wire path for
+  // the frames that still take it (SENDs, and everything when direct
+  // execution is disabled).
+  ResponderResult execute_write(std::uint64_t va, std::uint32_t rkey,
+                                common::ByteSpan payload,
+                                std::optional<std::uint32_t> immediate);
+  ResponderResult execute_fetch_add(std::uint64_t va, std::uint32_t rkey,
+                                    std::uint64_t add_value);
+
   // Completion queue for SENDs / immediates (polled by the collector CPU).
   std::optional<Completion> poll_completion();
   std::size_t pending_completions() const { return completions_.size(); }

@@ -32,6 +32,16 @@ std::uint32_t hop_checksum(const proto::TelemetryKey& key, unsigned hop);
 
 std::uint32_t value_code(std::uint32_t value);
 
+// Amortized form of key_checksum + slot_index(0..replicas-1): the key
+// bytes are read once and folded through all replicas+1 hash engines in
+// one interleaved pass (common::Crc32::compute_multi) instead of
+// replicas+1 separate passes. `checksum` receives h1(K); slots[i]
+// receives h0(i, K) mod num_slots. Pass checksum == nullptr to skip h1
+// (the Key-Increment shape). replicas <= 8, like slot_index.
+void key_hashes(const proto::TelemetryKey& key, unsigned replicas,
+                std::uint64_t num_slots, std::uint32_t* checksum,
+                std::uint64_t* slots);
+
 // The "blank" value ⊔ written for hops beyond a short path (§4). Any
 // sentinel outside the value space works; we use the all-ones pattern.
 inline constexpr std::uint32_t kBlankValue = 0xFFFFFFFFu;

@@ -1,5 +1,7 @@
 #include "translator/keyincrement_engine.h"
 
+#include <algorithm>
+
 namespace dta::translator {
 
 KeyIncrementGeometry KeyIncrementGeometry::from_advert(
@@ -17,9 +19,13 @@ KeyIncrementEngine::KeyIncrementEngine(KeyIncrementGeometry geometry)
 void KeyIncrementEngine::translate(const proto::KeyIncrementReport& report,
                                    std::vector<RdmaOp>& out) {
   ++stats_.reports;
+  std::uint64_t slots[8];
+  key_hashes(report.key, std::min<unsigned>(report.redundancy, 8),
+             geometry_.num_slots, nullptr, slots);
   for (unsigned replica = 0; replica < report.redundancy; ++replica) {
     const std::uint64_t slot =
-        slot_index(replica, report.key, geometry_.num_slots);
+        replica < 8 ? slots[replica]
+                    : slot_index(replica, report.key, geometry_.num_slots);
     RdmaOp op;
     op.kind = RdmaOp::Kind::kFetchAdd;
     op.remote_va =

@@ -126,6 +126,102 @@ TEST_P(ClientApiTest, GetManyResolvesBatchInInputOrder) {
   EXPECT_FALSE(results->back().has_value());
 }
 
+TEST_P(ClientApiTest, ZeroCopyViewsMatchCopiesAndOutliveRefresh) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id * 11 + 1).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  // get_view resolves through the same merge as get, without the copy.
+  int hits = 0;
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    const auto view = table.get_view(reports::mixed_key(id));
+    if (view.ok() && view->size() == 4 &&
+        common::load_u32(view->data()) == id * 11 + 1) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 298);
+  EXPECT_EQ(table.get_view(reports::mixed_key(999999)).code(),
+            StatusCode::kNotFound);
+
+  // Lifetime rule: a held view pins its snapshot, so overwriting the
+  // key and refreshing serves the new value to new queries while the
+  // held view's bytes stay exactly as read.
+  const auto held = table.get_view(reports::mixed_key(5));
+  ASSERT_TRUE(held.ok());
+  const std::uint32_t before = common::load_u32(held->data());
+  ASSERT_TRUE(table.put_u32(reports::mixed_key(5), 0xFEED).ok());
+  ASSERT_TRUE(client.flush().ok());
+  const auto after = table.get_view(reports::mixed_key(5));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(common::load_u32(after->data()), 0xFEEDu);
+  EXPECT_EQ(common::load_u32(held->data()), before);
+  // The copy escape detaches: equal bytes, owned storage.
+  const Bytes detached = held->to_bytes();
+  EXPECT_EQ(common::load_u32(detached.data()), before);
+
+  // Batch views: input order, nullopt misses, all zero-copy.
+  std::vector<TelemetryKey> keys;
+  for (std::uint32_t id = 0; id < 300; id += 3) {
+    keys.push_back(reports::mixed_key(id));
+  }
+  keys.push_back(reports::mixed_key(999999));
+  const auto views = table.get_many_views(keys);
+  ASSERT_TRUE(views.ok());
+  ASSERT_EQ(views->size(), keys.size());
+  int batch_hits = 0;
+  for (std::size_t i = 0; i + 1 < views->size(); ++i) {
+    const auto& view = (*views)[i];
+    if (view && common::load_u32(view->data()) == (3 * i) * 11 + 1) {
+      ++batch_hits;
+    }
+  }
+  EXPECT_GE(batch_hits, 97);
+  EXPECT_FALSE(views->back().has_value());
+
+  // Append views: list order, zero-copy, same entries as read().
+  auto list = client.list(1);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(list.append_u32(700 + i).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+  const auto entry_views = list.read_views(10);
+  ASSERT_TRUE(entry_views.ok());
+  ASSERT_EQ(entry_views->size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(common::load_u32((*entry_views)[i].data()), 700 + i);
+  }
+}
+
+TEST_P(ClientApiTest, RedundancyBeyondEngineCountRejected) {
+  // The CRC catalogue has exactly 8 slot-hash engines; redundancy 9
+  // would need a ninth. The facade rejects it as kOutOfRange instead of
+  // letting slot_crc() abort on the out-of-range engine index.
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  EXPECT_EQ(table.put_u32(reports::u32_key(1), 1, /*redundancy=*/9).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(client.counters().add(reports::u32_key(1), 1, 9).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(table.put_u32(reports::u32_key(1), 1, 8).ok());
+  ASSERT_TRUE(client.flush().ok());
+  QueryOptions nine;
+  nine.redundancy = 9;
+  EXPECT_EQ(table.get(reports::u32_key(1), nine).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(table.get_view(reports::u32_key(1), nine).code(),
+            StatusCode::kOutOfRange);
+  // The full 8 engines work end to end.
+  QueryOptions eight;
+  eight.redundancy = 8;
+  const auto got = table.get_u32(reports::u32_key(1), eight);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 1u);
+}
+
 TEST_P(ClientApiTest, AsyncGetsResolve) {
   Client client = make_client(GetParam());
   auto table = client.keywrite();

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace dta::common {
 namespace {
@@ -91,6 +93,143 @@ TEST(Crc32, SharedEnginesAreStable) {
   const std::uint32_t first = checksum_crc().compute(ByteSpan(key));
   EXPECT_EQ(checksum_crc().compute(ByteSpan(key)), first);
 }
+
+// -- Equivalence fuzzing: the slice-by-8 and hardware fast paths must be
+// byte-identical to the byte-at-a-time reference for every catalogue
+// polynomial, across random lengths, alignments and split points. ------
+
+std::vector<const Crc32*> catalogue_engines() {
+  std::vector<const Crc32*> engines = {&checksum_crc(), &value_crc(),
+                                       &shard_crc()};
+  for (unsigned i = 0; i < kSlotPolys.size(); ++i) engines.push_back(&slot_crc(i));
+  for (unsigned i = 0; i < kHopPolys.size(); ++i) engines.push_back(&hop_crc(i));
+  return engines;
+}
+
+std::uint32_t reference_compute(const Crc32& crc, ByteSpan data) {
+  return crc.finish(crc.update_bytewise(crc.begin(), data));
+}
+
+TEST(Crc32, SlicedAndHwMatchReferenceFuzz) {
+  std::mt19937 rng(0xDA7A0701u);
+  // A shared pool bigger than any message, so sub-spans at random
+  // offsets exercise every alignment of the 8-byte folding loop.
+  Bytes pool(8192);
+  for (auto& b : pool) b = static_cast<std::uint8_t>(rng());
+  const auto engines = catalogue_engines();
+  std::uniform_int_distribution<std::size_t> len_dist(0, 1500);
+  std::uniform_int_distribution<std::size_t> off_dist(0, 63);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t len = len_dist(rng);
+    const std::size_t off = off_dist(rng);
+    const ByteSpan msg(pool.data() + off, len);
+    const auto& crc = *engines[iter % engines.size()];
+    EXPECT_EQ(crc.compute(msg), reference_compute(crc, msg))
+        << "poly=0x" << std::hex << crc.polynomial() << " len=" << std::dec
+        << len << " off=" << off;
+  }
+}
+
+TEST(Crc32, IncrementalSplitPointsMatchFuzz) {
+  std::mt19937 rng(0xDA7A0702u);
+  Bytes pool(4096);
+  for (auto& b : pool) b = static_cast<std::uint8_t>(rng());
+  const auto engines = catalogue_engines();
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t len = rng() % 1024;
+    const ByteSpan msg(pool.data() + (rng() % 16), len);
+    const auto& crc = *engines[iter % engines.size()];
+    // Feed the message through update() in random-sized chunks: every
+    // split point must land on the same digest as one-shot compute().
+    std::uint32_t state = crc.begin();
+    std::size_t pos = 0;
+    while (pos < len) {
+      const std::size_t chunk = std::min<std::size_t>(1 + rng() % 33, len - pos);
+      state = crc.update(state, msg.subspan(pos, chunk));
+      pos += chunk;
+    }
+    EXPECT_EQ(crc.finish(state), crc.compute(msg))
+        << "poly=0x" << std::hex << crc.polynomial();
+  }
+}
+
+TEST(Crc32, HardwareDispatchOnlyForValuePoly) {
+  EXPECT_FALSE(checksum_crc().hardware_accelerated());
+  EXPECT_FALSE(shard_crc().hardware_accelerated());
+#if defined(DTA_DISABLE_HW_CRC)
+  EXPECT_FALSE(value_crc().hardware_accelerated());
+  EXPECT_FALSE(cpu_has_hw_crc32c());
+#else
+  EXPECT_EQ(value_crc().hardware_accelerated(), cpu_has_hw_crc32c());
+#endif
+}
+
+TEST(Crc32, BatchMatchesPerMessage) {
+  std::mt19937 rng(0xDA7A0703u);
+  Bytes pool(65536);
+  for (auto& b : pool) b = static_cast<std::uint8_t>(rng());
+  for (const Crc32* crc : catalogue_engines()) {
+    // Deliberately ragged batch sizes (including < 4, the interleave
+    // width) and ragged message lengths.
+    for (std::size_t count : {0u, 1u, 3u, 4u, 5u, 16u, 33u}) {
+      std::vector<ByteSpan> msgs;
+      for (std::size_t i = 0; i < count; ++i) {
+        msgs.emplace_back(pool.data() + rng() % 128, rng() % 777);
+      }
+      std::vector<std::uint32_t> batched(count, 0);
+      crc->compute_batch(msgs.data(), count, batched.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(batched[i], crc->compute(msgs[i]))
+            << "poly=0x" << std::hex << crc->polynomial() << " i=" << std::dec
+            << i << "/" << count;
+      }
+    }
+  }
+}
+
+TEST(Crc32, MultiEngineMatchesPerEngine) {
+  std::mt19937 rng(0xDA7A0704u);
+  Bytes pool(4096);
+  for (auto& b : pool) b = static_cast<std::uint8_t>(rng());
+  const auto engines = catalogue_engines();
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t count = 1 + rng() % engines.size();
+    const ByteSpan msg(pool.data() + rng() % 32, rng() % 512);
+    std::vector<std::uint32_t> multi(count, 0);
+    Crc32::compute_multi(engines.data(), count, msg, multi.data());
+    for (std::size_t e = 0; e < count; ++e) {
+      ASSERT_EQ(multi[e], engines[e]->compute(msg));
+    }
+  }
+}
+
+TEST(Crc32, ShardOfBatchMatchesShardOf) {
+  std::mt19937 rng(0xDA7A0705u);
+  std::vector<Bytes> keys;
+  std::vector<ByteSpan> spans;
+  for (int i = 0; i < 100; ++i) {
+    Bytes key(1 + rng() % 40);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+    keys.push_back(std::move(key));
+  }
+  for (const auto& k : keys) spans.emplace_back(k.data(), k.size());
+  for (std::uint32_t shards : {1u, 2u, 7u, 16u}) {
+    std::vector<std::uint32_t> out(spans.size(), 1234567u);
+    shard_of_batch(spans.data(), spans.size(), shards, out.data());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      ASSERT_EQ(out[i], shard_of(spans[i], shards));
+    }
+  }
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(Crc32DeathTest, OutOfRangeReplicaAborts) {
+  // The `< 8` contract is enforced, not silently wrapped: index 8 must
+  // not alias engine 0.
+  EXPECT_DEATH(slot_crc(8), "range|contract");
+  EXPECT_DEATH(hop_crc(9), "range|contract");
+}
+#endif
 
 }  // namespace
 }  // namespace dta::common

@@ -4,12 +4,14 @@
 // tie the simulation (translator engines + RDMA + stores) to Appendix A.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <tuple>
 
 #include "analysis/kw_bounds.h"
 #include "collector/rdma_service.h"
 #include "collector/runtime.h"
+#include "common/crc.h"
 #include "common/rng.h"
 #include "dta/report_builders.h"
 #include "translator/append_engine.h"
@@ -547,6 +549,232 @@ TEST_P(IncrementalSnapshotSweep, ByteIdenticalToFullCopy) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSnapshotSweep,
                          ::testing::Values(3u, 17u, 4242u, 90210u));
+
+// ------------------------------------------------------------------------
+// Hot-path equivalence: the raw-speed paths (direct verb execution,
+// batched submit, interleaved batch CRC) are pure optimizations — every
+// one must be observationally identical to the slow path it bypasses.
+// ------------------------------------------------------------------------
+
+// One deterministic mixed-primitive report stream shared by the
+// equivalence sweeps below.
+std::vector<proto::ParsedDta> mixed_report_stream(unsigned seed, int count) {
+  common::Rng rng(seed);
+  std::vector<proto::ParsedDta> out;
+  std::uint64_t next_id = 0;
+  for (int i = 0; i < count; ++i) {
+    switch (rng.next_below(4)) {
+      case 0: {
+        proto::KeyWriteReport r;
+        r.key = key_of(next_id++);
+        r.redundancy = static_cast<std::uint8_t>(1 + rng.next_below(3));
+        common::put_u32(r.data, static_cast<std::uint32_t>(next_id));
+        out.push_back(reports::wrap(std::move(r), rng.next_below(8) == 0));
+        break;
+      }
+      case 1: {
+        proto::KeyIncrementReport r;
+        r.key = key_of(rng.next_below(64));
+        r.redundancy = 2;
+        r.counter = 1 + rng.next_below(100);
+        out.push_back(reports::wrap(std::move(r)));
+        break;
+      }
+      case 2: {
+        proto::PostcardReport r;
+        r.key = key_of(1000 + rng.next_below(64));
+        r.hop = static_cast<std::uint8_t>(rng.next_below(5));
+        r.path_len = 5;
+        r.redundancy = 1;
+        r.value = static_cast<std::uint32_t>(rng.next_below(256));
+        out.push_back(reports::wrap(r));
+        break;
+      }
+      case 3: {
+        proto::AppendReport r;
+        r.list_id = static_cast<std::uint32_t>(rng.next_below(4));
+        r.entry_size = 4;
+        Bytes entry;
+        common::put_u32(entry, static_cast<std::uint32_t>(next_id++));
+        r.entries.push_back(std::move(entry));
+        out.push_back(reports::wrap(std::move(r)));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+collector::CollectorRuntimeConfig equivalence_config() {
+  collector::CollectorRuntimeConfig config;
+  config.num_shards = 2;
+  config.thread_mode = collector::ThreadMode::kInline;
+  config.op_batch_size = 4;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 12;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  collector::KeyIncrementSetup ki;
+  ki.num_slots = 1 << 12;
+  config.keyincrement = ki;
+  collector::AppendSetup ap;
+  ap.num_lists = 4;
+  ap.entries_per_list = 256;
+  ap.entry_bytes = 4;
+  config.append = ap;
+  collector::PostcardingSetup pc;
+  pc.num_chunks = 1 << 10;
+  pc.hops = 5;
+  for (std::uint32_t v = 0; v < 256; ++v) pc.value_space.push_back(v);
+  config.postcarding = pc;
+  return config;
+}
+
+void expect_identical_stores(collector::CollectorRuntime& a,
+                             collector::CollectorRuntime& b,
+                             std::uint32_t num_shards) {
+  const auto identical = [](const rdma::MemoryRegion* x,
+                            const rdma::MemoryRegion* y, const char* what,
+                            std::uint32_t shard) {
+    ASSERT_EQ(x == nullptr, y == nullptr) << what << " shard " << shard;
+    if (!x) return;
+    ASSERT_EQ(x->length(), y->length()) << what << " shard " << shard;
+    EXPECT_EQ(std::memcmp(x->data(), y->data(), x->length()), 0)
+        << what << " shard " << shard << " diverged";
+  };
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const auto& sa = a.shard(s).service();
+    const auto& sb = b.shard(s).service();
+    identical(sa.keywrite_region(), sb.keywrite_region(), "keywrite", s);
+    identical(sa.keyincrement_region(), sb.keyincrement_region(),
+              "keyincrement", s);
+    identical(sa.append_region(), sb.append_region(), "append", s);
+    identical(sa.postcarding_region(), sb.postcarding_region(), "postcarding",
+              s);
+  }
+}
+
+class DirectExecutionSweep : public ::testing::TestWithParam<unsigned> {};
+
+// Direct verb execution (no frame craft, no RoCE parse) must leave
+// every store byte and every verb counter exactly where the wire path
+// leaves them.
+TEST_P(DirectExecutionSweep, StoreIdenticalToWirePath) {
+  auto config = equivalence_config();
+  config.direct_execution = false;
+  collector::CollectorRuntime wire(config);
+  config.direct_execution = true;
+  collector::CollectorRuntime direct(config);
+
+  const auto stream = mixed_report_stream(GetParam(), 600);
+  for (const auto& p : stream) {
+    wire.submit(p);
+    direct.submit(p);
+  }
+  wire.flush();
+  direct.flush();
+
+  expect_identical_stores(wire, direct, config.num_shards);
+  const auto ws = wire.stats();
+  const auto ds = direct.stats();
+  EXPECT_EQ(ws.reports_in, ds.reports_in);
+  EXPECT_EQ(ws.verbs_executed, ds.verbs_executed);
+  EXPECT_EQ(ws.verbs_failed, ds.verbs_failed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectExecutionSweep,
+                         ::testing::Values(5u, 29u, 8080u));
+
+class SubmitBatchSweep : public ::testing::TestWithParam<unsigned> {};
+
+// submit_batch (one interleaved routing pass, SoA op blocks through
+// the queue) must be observationally identical to submitting the same
+// reports one at a time.
+TEST_P(SubmitBatchSweep, StoreIdenticalToPerReportSubmit) {
+  const auto config = equivalence_config();
+  collector::CollectorRuntime per_report(config);
+  collector::CollectorRuntime batched(config);
+
+  common::Rng rng(GetParam() ^ 0xB10C);
+  const auto stream = mixed_report_stream(GetParam(), 600);
+  for (const auto& p : stream) per_report.submit(p);
+  // Random batch sizes, including size-1 and size-0 edge cases.
+  std::size_t at = 0;
+  while (at < stream.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(rng.next_below(40), stream.size() - at);
+    batched.submit_batch(std::vector<proto::ParsedDta>(
+        stream.begin() + at, stream.begin() + at + n));
+    at += n;
+  }
+  per_report.flush();
+  batched.flush();
+
+  expect_identical_stores(per_report, batched, config.num_shards);
+  EXPECT_EQ(per_report.stats().reports_in, batched.stats().reports_in);
+  EXPECT_EQ(per_report.stats().verbs_executed,
+            batched.stats().verbs_executed);
+  EXPECT_EQ(per_report.translation_stats().keywrite_reports,
+            batched.translation_stats().keywrite_reports);
+  EXPECT_EQ(per_report.translation_stats().fetch_adds,
+            batched.translation_stats().fetch_adds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubmitBatchSweep,
+                         ::testing::Values(11u, 53u, 31337u));
+
+class CrcBatchEquivalenceSweep : public ::testing::TestWithParam<unsigned> {};
+
+// The interleaved batch-hash APIs are bit-exact aliases of the scalar
+// calls, for every catalogue engine, across random message lengths and
+// alignments (including empty messages and lanes of unequal length).
+TEST_P(CrcBatchEquivalenceSweep, BatchApisMatchScalarCalls) {
+  common::Rng rng(GetParam());
+  std::vector<std::uint8_t> pool(4096);
+  for (auto& b : pool) b = static_cast<std::uint8_t>(rng.next_below(256));
+
+  const common::Crc32* engines[] = {
+      &common::checksum_crc(), &common::value_crc(), &common::shard_crc(),
+      &common::slot_crc(0),    &common::slot_crc(7), &common::hop_crc(3),
+  };
+
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t count = rng.next_below(13);  // not a multiple of 4
+    std::vector<ByteSpan> msgs(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t len = rng.next_below(65);
+      const std::size_t off = rng.next_below(pool.size() - 64);
+      msgs[i] = ByteSpan(pool.data() + off, len);
+    }
+
+    for (const common::Crc32* engine : engines) {
+      std::vector<std::uint32_t> batch(count), scalar(count);
+      engine->compute_batch(msgs.data(), count, batch.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        scalar[i] = engine->compute(msgs[i]);
+      }
+      EXPECT_EQ(batch, scalar) << "poly " << std::hex
+                               << engine->polynomial();
+    }
+
+    if (count > 0) {
+      std::uint32_t multi[6], single[6];
+      common::Crc32::compute_multi(engines, 6, msgs[0], multi);
+      for (int e = 0; e < 6; ++e) single[e] = engines[e]->compute(msgs[0]);
+      for (int e = 0; e < 6; ++e) EXPECT_EQ(multi[e], single[e]) << e;
+    }
+
+    std::vector<std::uint32_t> shards(count), shards_ref(count);
+    common::shard_of_batch(msgs.data(), count, 7, shards.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      shards_ref[i] = common::shard_of(msgs[i], 7);
+    }
+    EXPECT_EQ(shards, shards_ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrcBatchEquivalenceSweep,
+                         ::testing::Values(2u, 19u, 7777u));
 
 }  // namespace
 }  // namespace dta

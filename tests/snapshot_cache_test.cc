@@ -545,6 +545,133 @@ TEST(SnapshotCache, StaleServingQueriesDuringIngest) {
 
 // ------------------------------------------------------ NUMA placement
 
+// ------------------------------------------------------------ zero-copy
+
+TEST(SnapshotCache, ZeroCopyViewsStableAcrossRefreshes) {
+  // The zero-copy serving contract: a query-view span into a pinned
+  // snapshot stays byte-stable forever, because the cache never patches
+  // a pinned snapshot in place — refreshes divert to a COW clone.
+  CollectorRuntime runtime(cache_config(ThreadMode::kInline));
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    runtime.submit(small_report(id, 100 + static_cast<std::uint32_t>(id)));
+  }
+
+  const auto pinned = runtime.snapshot_shard(0);
+  const auto view = pinned->keywrite_query_view(key_of(3), 1);
+  ASSERT_EQ(view.status, QueryStatus::kHit);
+  ASSERT_EQ(view.value.size(), 4u);
+  EXPECT_EQ(common::load_u32(view.value.data()), 103u);
+
+  // Overwrite the very key the view points at, across several refresh
+  // cycles, while the original snapshot stays pinned.
+  for (std::uint32_t round = 0; round < 5; ++round) {
+    runtime.submit(small_report(3, 1000 + round));
+    const auto fresh = runtime.snapshot_shard(0);
+    const auto fresh_view = fresh->keywrite_query_view(key_of(3), 1);
+    ASSERT_EQ(fresh_view.status, QueryStatus::kHit);
+    EXPECT_EQ(common::load_u32(fresh_view.value.data()), 1000 + round);
+    // The held view is untouched by every refresh.
+    EXPECT_EQ(common::load_u32(view.value.data()), 103u)
+        << "pinned view mutated in round " << round;
+  }
+  EXPECT_GE(runtime.snapshot_cache().stats().cow_clones, 1u)
+      << "refreshes over a pinned snapshot must clone, not patch";
+}
+
+TEST(SnapshotCache, ZeroCopyAppendViewsShareSnapshotMemory) {
+  auto config = cache_config(ThreadMode::kInline);
+  AppendSetup ap;
+  ap.num_lists = 2;
+  ap.entries_per_list = 64;
+  ap.entry_bytes = 4;
+  config.append = ap;
+  CollectorRuntime runtime(config);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    runtime.submit(reports::append_u32(0, 500 + i));
+  }
+
+  const auto snap = runtime.snapshot_shard(0);
+  const auto views = snap->append_read_views(0, 8);
+  ASSERT_EQ(views.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(common::load_u32(views[i].data()), 500 + i);
+    // Genuinely zero-copy: the spans point into the snapshot's region.
+    const auto* mem = snap->append_mem();
+    EXPECT_GE(views[i].data(), mem->data());
+    EXPECT_LT(views[i].data(), mem->data() + mem->length());
+  }
+  // Like append_read, the view walk consumes the snapshot's private
+  // tail: the next call picks up exactly where this one stopped, and
+  // the earlier spans stay valid (the ring memory is immutable).
+  const auto rest = snap->append_read_views(0, 8);
+  ASSERT_EQ(rest.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(common::load_u32(rest[i].data()), 508 + i);
+  }
+  EXPECT_EQ(common::load_u32(views[0].data()), 500u);
+}
+
+TEST(SnapshotCache, ConcurrentZeroCopyViewsUnderIngest) {
+  // TSan coverage for the view lifetime rule: reader threads hold
+  // query-view spans across ingest + refresh cycles and re-validate
+  // their bytes; the control thread keeps mutating the same keys. Any
+  // in-place patch of a pinned snapshot is a data race TSan flags and
+  // a value mismatch this test catches.
+  static constexpr std::uint32_t kKeys = 16;
+  static constexpr std::uint32_t kRounds = 25;
+  constexpr unsigned kReaders = 2;
+
+  CollectorRuntime runtime(
+      cache_config(ThreadMode::kThreaded, /*value_bytes=*/8, /*op_batch=*/8));
+  for (std::uint64_t id = 0; id < kKeys; ++id) {
+    runtime.submit(paired_report(id, 1));
+  }
+  (void)runtime.snapshot_shard(0);
+  std::atomic<bool> done{false};
+
+  struct HeldView {
+    std::shared_ptr<const StoreSnapshot> snap;
+    ByteSpan value;
+    std::uint32_t observed = 0;
+  };
+
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&runtime, &done] {
+      std::vector<HeldView> held;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = runtime.snapshot_shard(0);
+        for (std::uint64_t id = 0; id < kKeys; id += 3) {
+          const auto view = snap->keywrite_query_view(key_of(id), 2);
+          if (view.status != QueryStatus::kHit) continue;
+          HeldView h;
+          h.snap = snap;
+          h.value = view.value;
+          h.observed = common::load_u32(view.value.data());
+          held.push_back(std::move(h));
+        }
+        // Every retained view — possibly several refreshes old — must
+        // still read exactly what it read at acquisition time.
+        for (const auto& h : held) {
+          EXPECT_EQ(common::load_u32(h.value.data()), h.observed);
+          EXPECT_EQ(common::load_u32(h.value.data() + 4), h.observed);
+        }
+        if (held.size() > 24) held.erase(held.begin(), held.begin() + 12);
+      }
+    });
+  }
+
+  for (std::uint32_t round = 2; round <= kRounds; ++round) {
+    for (std::uint64_t id = 0; id < kKeys; ++id) {
+      runtime.submit(paired_report(id, round));
+    }
+    (void)runtime.snapshot_shard(0);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  runtime.stop();
+}
+
 TEST(SnapshotCache, NumaPlacementBookkeeping) {
   CollectorRuntimeConfig config = cache_config(ThreadMode::kThreaded);
   config.num_shards = 2;
