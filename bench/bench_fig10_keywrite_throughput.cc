@@ -10,10 +10,21 @@
 // LocalBackend (sharded CollectorRuntime): shard counts 1/2/4/8 x
 // op-batch sizes, reporting the aggregate modeled ops/s (per-shard NIC
 // message units add) next to the software rate.
+//
+// Flags:
+//   --smoke           scaled-down report counts for CI smoke runs (does
+//                     not write BENCH_fig10.json — the bench gate reads
+//                     full-length runs only)
+//   --replay <path>   first replay a committed .dtatrace through the
+//                     fig10 store geometry and fail on any rejection
+#include <cstring>
+
 #include "analysis/hw_model.h"
 #include "bench_util.h"
 #include "dtalib/client.h"
 #include "dtalib/fabric.h"
+#include "dtalib/replay_backend.h"
+#include "telemetry/report_trace.h"
 
 using namespace dta;
 
@@ -175,9 +186,74 @@ void write_bench_json(const HotPathAblation& ablation) {
   std::printf("\nwrote BENCH_fig10.json\n");
 }
 
+// Replays a committed .dtatrace (see gen_golden_trace) through the
+// fig10 single-shard Key-Write store: the CI replay-smoke proof that a
+// trace recorded by the ReplayBackend drives the real ingest path
+// end to end. Returns nonzero on any decode error or rejected record.
+int run_replay(const std::string& path) {
+  benchutil::print_header("Replay smoke — committed trace vs fig10 store",
+                          "trace-driven ingest; every record must be "
+                          "accepted");
+  const auto records = telemetry::read_trace_file(path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 records.status().to_string().c_str());
+    return 1;
+  }
+
+  collector::CollectorRuntimeConfig config;
+  config.num_shards = 1;
+  config.thread_mode = collector::ThreadMode::kInline;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 20;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  Client client = Client::local(config);
+
+  benchutil::WallTimer timer;
+  const Status status = ReplayBackend::replay(records.value(), client.backend());
+  const double seconds = timer.seconds();
+  if (!status.ok()) {
+    std::fprintf(stderr, "replay rejected: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  const auto stats = client.stats();
+  std::printf("%s: %zu records replayed in %.3fs (%s reports/s), "
+              "%llu ingested\n",
+              path.c_str(), records.value().size(), seconds,
+              benchutil::eng(records.value().size() / seconds).c_str(),
+              static_cast<unsigned long long>(stats.ingest.reports_in));
+  if (stats.ingest.reports_in != records.value().size()) {
+    std::fprintf(stderr, "ingest count mismatch: %llu != %zu\n",
+                 static_cast<unsigned long long>(stats.ingest.reports_in),
+                 records.value().size());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string replay_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--replay <trace>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!replay_path.empty()) {
+    if (int rc = run_replay(replay_path)) return rc;
+  }
+  const std::uint32_t scale = smoke ? 10 : 1;
+
   benchutil::print_header(
       "Figure 10 — Key-Write collection rate vs redundancy",
       "N=1 ~105M reports/s, halving per redundancy step; rate unaffected "
@@ -190,7 +266,7 @@ int main() {
     std::printf("%4s %16s %16s %14s\n", "N", "modeled-hw", "software",
                 "verbs/report");
     for (unsigned n = 1; n <= 4; ++n) {
-      const auto m = run(n, value_bytes, 200000 / n);
+      const auto m = run(n, value_bytes, 200000 / n / scale);
       const double modeled = analysis::kw_collection_rate(hw, n, value_bytes);
       std::printf("%4u %16s %16s %14.2f\n", n,
                   benchutil::eng(modeled).c_str(),
@@ -208,7 +284,7 @@ int main() {
               "software", "ops/doorbell");
   for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
     for (std::uint32_t batch : {1u, 16u}) {
-      const auto m = run_sharded(shards, batch, 100000);
+      const auto m = run_sharded(shards, batch, 100000 / scale);
       std::printf("%8u %8u %18s %16s %14.2f\n", shards, batch,
                   benchutil::eng(m.aggregate_modeled).c_str(),
                   benchutil::eng(m.software_rate).c_str(),
@@ -221,7 +297,7 @@ int main() {
               "collector-scaling claim); ops/doorbell shows the per-op "
               "delivery overhead amortized by batching.\n");
 
-  const auto ablation = run_hot_path_ablation(200000);
+  const auto ablation = run_hot_path_ablation(200000 / scale);
   std::printf("\nHot-path ablation (2 shards, N=2, 4B payloads, software "
               "reports/s):\n");
   std::printf("  wire (craft + parse per verb)   %12s\n",
@@ -232,6 +308,6 @@ int main() {
   std::printf("  + batched submit (SoA blocks)   %12s  (%5.2fx)\n",
               benchutil::eng(ablation.batched_rate).c_str(),
               ablation.batched_rate / ablation.wire_rate);
-  write_bench_json(ablation);
+  if (!smoke) write_bench_json(ablation);
   return 0;
 }

@@ -27,7 +27,7 @@ double aggregation_success(std::uint32_t cache_slots,
   geo.hops = 5;
   translator::PostcardCache cache(geo, cache_slots);
 
-  common::Rng rng(cache_slots * 31 + intermediate);
+  common::Rng rng(benchutil::seed(cache_slots * 31 + intermediate));
   constexpr std::uint32_t kFlows = 20000;
   std::vector<translator::RdmaOp> ops;
   std::uint64_t id = 0;

@@ -17,10 +17,17 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "dta/report_builders.h"
 #include "dta/wire.h"
 
 namespace dta::benchutil {
+
+// Bench-side alias for the DTA_TEST_SEED override (logged once): benches
+// seed their generators through this so a flaky run is reproducible.
+inline std::uint64_t seed(std::uint64_t preferred) {
+  return common::test_seed(preferred);
+}
 
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("\n==================================================================\n");

@@ -1,6 +1,8 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace dta::common {
 namespace {
@@ -62,6 +64,30 @@ double Rng::next_exponential(double mean) {
   // Guard against log(0).
   if (u <= 0.0) u = 0x1.0p-53;
   return -mean * std::log(u);
+}
+
+std::uint64_t test_seed(std::uint64_t preferred) {
+  struct SeedOverride {
+    bool set = false;
+    std::uint64_t value = 0;
+  };
+  static const SeedOverride env_override = [] {
+    SeedOverride o;
+    if (const char* env = std::getenv("DTA_TEST_SEED")) {
+      o.set = true;
+      o.value = std::strtoull(env, nullptr, 0);
+      std::fprintf(stderr,
+                   "DTA_TEST_SEED=%llu (mixed into every preferred seed; "
+                   "unset to restore defaults)\n",
+                   static_cast<unsigned long long>(o.value));
+    }
+    return o;
+  }();
+  if (!env_override.set) return preferred;
+  // splitmix the (env, preferred) pair so distinct cases stay distinct
+  // while both inputs perturb the stream.
+  std::uint64_t sm = env_override.value ^ (preferred * 0x9E3779B97F4A7C15ull);
+  return splitmix64(sm);
 }
 
 std::uint64_t Rng::next_zipf(std::uint64_t n, double s) {

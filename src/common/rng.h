@@ -38,4 +38,12 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+// Seed override for tests and benches: if DTA_TEST_SEED is set in the
+// environment, returns the env seed mixed with `preferred` (so
+// parameterized cases still get distinct streams); otherwise returns
+// `preferred` unchanged. The override is read once per process and
+// logged to stderr, so a failing run can be reproduced by exporting the
+// logged value.
+std::uint64_t test_seed(std::uint64_t preferred);
+
 }  // namespace dta::common

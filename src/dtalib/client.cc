@@ -8,15 +8,12 @@
 
 namespace dta {
 
-namespace {
-
-using collector::StoreSnapshot;
-using SnapshotPtr = Backend::SnapshotPtr;
-
 // Validates a report against the (per-host) store geometry before it
 // touches any router: the pre-v2 seams silently dropped or UB'd on
 // these, the v2 contract is a distinct Status per failure class.
-Status validate_submit(const proto::ParsedDta& parsed,
+// Exported so every Backend (including out-of-file ones like
+// FabricBackend) rejects the same inputs with the same codes.
+Status validate_report(const proto::ParsedDta& parsed,
                        const collector::CollectorRuntimeConfig& config,
                        std::uint32_t num_lists) {
   if (const auto* kw = std::get_if<proto::KeyWriteReport>(&parsed.report)) {
@@ -97,6 +94,11 @@ Status validate_submit(const proto::ParsedDta& parsed,
   return {StatusCode::kUnsupported,
           "NACKs flow translator->reporter, not into a collector"};
 }
+
+namespace {
+
+using collector::StoreSnapshot;
+using SnapshotPtr = Backend::SnapshotPtr;
 
 // The single snapshot-acquisition path both backends share: resolve
 // the read-your-submits floor, reject unsatisfiable floors, pick the
@@ -290,7 +292,7 @@ LocalBackend::LocalBackend(collector::CollectorRuntimeConfig config)
 Status LocalBackend::submit(proto::ParsedDta parsed,
                             const ReportOptions& opts) {
   // (dst_ip addresses hosts; a local backend is host 0.)
-  if (auto status = validate_submit(parsed, host_config(), num_lists());
+  if (auto status = validate_report(parsed, host_config(), num_lists());
       !status.ok()) {
     return status;
   }
@@ -422,7 +424,7 @@ ClusterBackend::ClusterBackend(ClusterRuntimeConfig config)
 
 Status ClusterBackend::submit(proto::ParsedDta parsed,
                               const ReportOptions& opts) {
-  if (auto status = validate_submit(parsed, host_config(), num_lists());
+  if (auto status = validate_report(parsed, host_config(), num_lists());
       !status.ok()) {
     return status;
   }

@@ -74,6 +74,15 @@ struct ClientStats {
   std::vector<TenantStatsRow> per_tenant;
 };
 
+// The one validation gate every Backend runs before a report touches
+// its router: a distinct Status per failure class (geometry mismatch,
+// empty key, redundancy out of range, unknown list, ...). Exported so
+// out-of-file backends (FabricBackend, wrappers) reject the same
+// inputs with the same codes as LocalBackend/ClusterBackend.
+Status validate_report(const proto::ParsedDta& parsed,
+                       const collector::CollectorRuntimeConfig& config,
+                       std::uint32_t num_lists);
+
 // The deployment seam under Client. Both implementations submit
 // through their runtime's router and serve queries from immutable
 // per-shard snapshots acquired through one bounded-staleness path.

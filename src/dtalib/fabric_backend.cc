@@ -1,0 +1,225 @@
+#include "dtalib/fabric_backend.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dta {
+
+namespace {
+
+// Quota weight of one report (mirrors the other backends: packed
+// Append entries bill at their true count).
+std::uint32_t submit_ops(const proto::ParsedDta& parsed) {
+  if (const auto* ap = std::get_if<proto::AppendReport>(&parsed.report)) {
+    return static_cast<std::uint32_t>(ap->entries.size());
+  }
+  return 1;
+}
+
+collector::CollectorRuntimeConfig host_config_from(
+    const FabricConfig& config) {
+  collector::CollectorRuntimeConfig out;
+  out.num_shards = 1;
+  out.keywrite = config.keywrite;
+  out.postcarding = config.postcarding;
+  out.append = config.append;
+  out.keyincrement = config.keyincrement;
+  out.nic = config.nic;
+  out.append_batch_size = config.translator.append_batch_size;
+  out.postcard_cache_slots = config.translator.postcard_cache_slots;
+  out.thread_mode = collector::ThreadMode::kInline;
+  out.direct_execution = false;  // every verb rides a crafted RoCE frame
+  return out;
+}
+
+}  // namespace
+
+FabricConfig FabricBackend::fabric_config_from(
+    const collector::CollectorRuntimeConfig& config) {
+  FabricConfig out;
+  out.keywrite = config.keywrite;
+  out.postcarding = config.postcarding;
+  out.append = config.append;
+  out.keyincrement = config.keyincrement;
+  out.nic = config.nic;
+  out.translator.append_batch_size = config.append_batch_size;
+  out.translator.postcard_cache_slots = config.postcard_cache_slots;
+  return out;
+}
+
+FabricBackend::FabricBackend(FabricConfig config)
+    : fabric_(std::make_unique<Fabric>(config)),
+      host_config_(host_config_from(config)) {}
+
+Status FabricBackend::submit(proto::ParsedDta parsed,
+                             const ReportOptions& opts) {
+  if (auto status = validate_report(parsed, host_config_, num_lists());
+      !status.ok()) {
+    return status;
+  }
+  // Admission after validation (a malformed report never consumes
+  // quota), identical to the other backends.
+  if (auto status = tenants_.admit_submit(opts.tenant, submit_ops(parsed));
+      !status.ok()) {
+    return status;
+  }
+  const bool immediate = opts.immediate || parsed.header.immediate;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    return {StatusCode::kUnavailable, "backend is stopped"};
+  }
+  // The wire does not carry the tenant annotation (DtaHeader.tenant is
+  // in-process only), so ingest attribution is tracked here at the
+  // submit seam rather than read back from the collector tier.
+  fabric_->report(parsed.report, 0, immediate);
+  ++submitted_;
+  ++tenant_ingest_[opts.tenant];
+  return Status::Ok();
+}
+
+Status FabricBackend::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fabric_->flush();
+  return Status::Ok();
+}
+
+void FabricBackend::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fabric_->flush();
+  stopped_ = true;
+}
+
+Expected<Backend::SnapshotPtr> FabricBackend::acquire_locked(
+    const QueryOptions& opts) {
+  std::uint64_t floor = opts.covers_seq;
+  if (opts.read_your_submits) floor = std::max(floor, submitted_);
+  if (floor > submitted_) {
+    return Status(StatusCode::kStalenessViolation,
+                  "covers_seq floor ahead of everything submitted");
+  }
+  // The fabric path is synchronous, so a snapshot built now covers
+  // every accepted submit — rebuild only when one landed since the
+  // last build (the flush is the quiesce barrier: postcard cache rows
+  // and append batches are delivered before the copy, exactly like the
+  // shard hold barrier under LocalBackend).
+  if (!snapshot_ || snapshot_covers_ != submitted_) {
+    fabric_->flush();
+    snapshot_ = std::make_shared<collector::StoreSnapshot>(
+        fabric_->collector().service(), ++generation_);
+    snapshot_covers_ = submitted_;
+  }
+  return snapshot_;
+}
+
+Expected<std::vector<Backend::SnapshotPtr>> FabricBackend::key_snapshots(
+    const proto::TelemetryKey& key, const QueryOptions& opts) {
+  (void)key;  // one shard: every key resolves against the same snapshot
+  if (auto status = tenants_.admit_query(opts.tenant); !status.ok()) {
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto snap = acquire_locked(opts);
+  if (!snap.ok()) return snap.status();
+  return std::vector<SnapshotPtr>{std::move(snap).value()};
+}
+
+Expected<std::vector<std::vector<Backend::SnapshotPtr>>>
+FabricBackend::key_snapshots_batch(const std::vector<proto::TelemetryKey>& keys,
+                                   const QueryOptions& opts) {
+  if (auto status = tenants_.admit_query(
+          opts.tenant, static_cast<std::uint32_t>(keys.size()));
+      !status.ok()) {
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto snap = acquire_locked(opts);
+  if (!snap.ok()) return snap.status();
+  // One shard -> one pin shared by the whole batch.
+  std::vector<std::vector<SnapshotPtr>> out;
+  out.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out.push_back({snap.value()});
+  }
+  return out;
+}
+
+Expected<Backend::ListSlice> FabricBackend::list_snapshot(
+    std::uint32_t list, const QueryOptions& opts) {
+  if (auto status = tenants_.admit_query(opts.tenant); !status.ok()) {
+    return status;
+  }
+  if (!host_config_.append) {
+    return Status(StatusCode::kNotConfigured, "Append store not enabled");
+  }
+  if (list >= num_lists()) {
+    return Status(StatusCode::kUnknownList, "Append list id out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto snap = acquire_locked(opts);
+  if (!snap.ok()) return snap.status();
+  ListSlice slice;
+  slice.snap = std::move(snap).value();
+  slice.shard_list = list;  // one shard: global ids are shard-local ids
+  return slice;
+}
+
+const collector::CollectorRuntimeConfig& FabricBackend::host_config() const {
+  return host_config_;
+}
+
+std::uint32_t FabricBackend::num_lists() const {
+  return host_config_.append ? host_config_.append->num_lists : 0;
+}
+
+ClientStats FabricBackend::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClientStats out;
+  out.ingest.reports_in = submitted_;
+  out.ingest.verbs_executed = fabric_->collector().stats().verbs_executed;
+
+  // Per-primitive translation counters straight off the translator's
+  // engines (the same aggregation CollectorShard::translation_stats
+  // runs over its direct-execution engines).
+  const translator::Translator& tr = fabric_->translator();
+  if (const auto* kw = tr.keywrite()) {
+    out.translation.keywrite_reports = kw->stats().reports;
+    out.translation.keywrite_writes = kw->stats().writes_emitted;
+    out.translation.truncated_values = kw->stats().truncated_values;
+  }
+  if (const auto* ki = tr.keyincrement()) {
+    out.translation.keyincrement_reports = ki->stats().reports;
+    out.translation.fetch_adds = ki->stats().fetch_adds_emitted;
+  }
+  if (const auto* pc = tr.postcarding()) {
+    out.translation.postcards_in = pc->stats().postcards_in;
+    out.translation.postcard_writes = pc->stats().writes_emitted;
+  }
+  if (const auto* ap = tr.append()) {
+    out.translation.append_entries_in = ap->stats().entries_in;
+    out.translation.append_writes = ap->stats().writes_emitted;
+    out.translation.append_bytes_written = ap->stats().bytes_written;
+    out.translation.append_dropped_bad_list = ap->stats().dropped_bad_list;
+  }
+
+  out.num_hosts = 1;
+  out.live_hosts = 1;
+  ClusterHostStats host;
+  host.ingest = out.ingest;
+  host.translation = out.translation;
+  out.per_host.push_back(std::move(host));
+  out.per_tenant = join_tenant_ingest(tenants_.stats(), tenant_ingest_);
+  return out;
+}
+
+double FabricBackend::modeled_verbs_per_sec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fabric_->modeled_verbs_per_sec();
+}
+
+Status FabricBackend::fail_host(std::uint32_t host) {
+  (void)host;
+  return {StatusCode::kUnsupported,
+          "a Fabric is one collector; there is no host to fail"};
+}
+
+}  // namespace dta

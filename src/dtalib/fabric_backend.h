@@ -1,0 +1,89 @@
+// FabricBackend — the wire-fidelity dta::Backend.
+//
+// LocalBackend routes submits through the sharded CollectorRuntime with
+// direct verb execution; FabricBackend routes every submit through the
+// real dta::Fabric loop instead: reporter UDP/DTA encapsulation, the
+// reporter->translator link, the translator's per-primitive engines,
+// RoCEv2 frame crafting, the rdma link, and the collector NIC executing
+// verbs into registered memory. Every report a client submits is
+// encoded and decoded exactly as it would be on the wire — this is the
+// backend the conformance kit uses to prove the client API observes
+// identical results over the modeled network as over direct execution.
+//
+// Geometry: one collector host, one shard (the Fabric is the paper's
+// single-collector topology). Queries serve from StoreSnapshots copied
+// off the collector's RDMA service; since the fabric path is fully
+// synchronous, a snapshot taken after a submit always covers it —
+// read-your-submits holds trivially, and the only staleness failure is
+// an unsatisfiable covers_seq floor.
+//
+// Threading: the Fabric object is single-threaded by construction, so
+// submit/flush/snapshot-building serialize behind one mutex. Queries on
+// an already-built snapshot are lock-free (immutable snapshot sharing,
+// same as the other backends).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "dtalib/client.h"
+#include "dtalib/fabric.h"
+
+namespace dta {
+
+class FabricBackend : public Backend {
+ public:
+  explicit FabricBackend(FabricConfig config);
+
+  // The store geometry of `config` as a FabricConfig (num_shards
+  // collapses to 1; the wire path has no sharding). The conformance
+  // fixtures use this to build a Fabric with the same stores as a
+  // LocalBackend.
+  static FabricConfig fabric_config_from(
+      const collector::CollectorRuntimeConfig& config);
+
+  Status submit(proto::ParsedDta parsed, const ReportOptions& opts) override;
+  Status flush() override;
+  void stop() override;
+
+  Expected<std::vector<SnapshotPtr>> key_snapshots(
+      const proto::TelemetryKey& key, const QueryOptions& opts) override;
+  Expected<std::vector<std::vector<SnapshotPtr>>> key_snapshots_batch(
+      const std::vector<proto::TelemetryKey>& keys,
+      const QueryOptions& opts) override;
+  Expected<ListSlice> list_snapshot(std::uint32_t list,
+                                    const QueryOptions& opts) override;
+
+  const collector::CollectorRuntimeConfig& host_config() const override;
+  std::uint32_t num_lists() const override;
+  ClientStats stats() const override;
+  double modeled_verbs_per_sec() const override;
+  TenantRegistry& tenants() override { return tenants_; }
+
+  // A Fabric is one collector; there is no host to fail over to.
+  Status fail_host(std::uint32_t host) override;
+
+  Fabric& fabric() { return *fabric_; }
+
+ private:
+  // The current snapshot, building it if any submit landed since the
+  // last one. Caller must hold mu_.
+  Expected<SnapshotPtr> acquire_locked(const QueryOptions& opts);
+
+  std::unique_ptr<Fabric> fabric_;
+  // The fabric's store geometry restated as the per-host runtime config
+  // every Backend exposes (num_shards = 1, wire execution).
+  collector::CollectorRuntimeConfig host_config_;
+  TenantRegistry tenants_;
+
+  mutable std::mutex mu_;
+  std::uint64_t submitted_ = 0;         // reports accepted into the fabric
+  std::uint64_t snapshot_covers_ = 0;   // submitted_ at snapshot build time
+  std::uint64_t generation_ = 0;
+  SnapshotPtr snapshot_;
+  std::unordered_map<TenantId, std::uint64_t> tenant_ingest_;
+  bool stopped_ = false;
+};
+
+}  // namespace dta

@@ -1,0 +1,66 @@
+#include "dtalib/replay_backend.h"
+
+#include <utility>
+
+namespace dta {
+
+Status ReplayBackend::submit(proto::ParsedDta parsed,
+                             const ReportOptions& opts) {
+  // Copy before handing over: the record must hold the report exactly
+  // as submitted, and the inner backend takes the parsed by value.
+  proto::ParsedDta recorded_copy = parsed;
+  Status status = inner_->submit(std::move(parsed), opts);
+  if (!status.ok()) return status;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry::TraceRecord record;
+  record.timestamp_ns = ++seq_;  // logical stamp: order is the contract
+  record.tenant = opts.tenant;
+  record.dst_ip = opts.dst_ip;
+  record.immediate = opts.immediate || recorded_copy.header.immediate;
+  record.parsed = std::move(recorded_copy);
+  writer_.add(std::move(record));
+  return status;
+}
+
+std::uint64_t ReplayBackend::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.size();
+}
+
+std::vector<telemetry::TraceRecord> ReplayBackend::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.records();
+}
+
+common::Bytes ReplayBackend::serialize_trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.serialize();
+}
+
+Status ReplayBackend::write_trace(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.write_file(path);
+}
+
+Status ReplayBackend::replay(
+    const std::vector<telemetry::TraceRecord>& records, Backend& backend) {
+  for (const telemetry::TraceRecord& record : records) {
+    ReportOptions opts;
+    opts.tenant = record.tenant;
+    opts.dst_ip = record.dst_ip;
+    opts.immediate = record.immediate;
+    if (auto status = backend.submit(record.parsed, opts); !status.ok()) {
+      return status;
+    }
+  }
+  return backend.flush();
+}
+
+Status ReplayBackend::replay_file(const std::string& path, Backend& backend) {
+  auto records = telemetry::read_trace_file(path);
+  if (!records.ok()) return records.status();
+  return replay(records.value(), backend);
+}
+
+}  // namespace dta

@@ -1,0 +1,101 @@
+// ReplayBackend — record/replay for any dta::Backend.
+//
+// A decorator over an inner Backend: every submit the inner backend
+// *accepts* is recorded (in admission order, with its tenant, dst_ip
+// and immediate flag) into an in-memory ReportTraceWriter that
+// serializes to the versioned .dtatrace format (telemetry/
+// report_trace.h). Rejected submits — validation failures, shed
+// tenants — are not recorded: the trace is exactly the accepted
+// stream, so replaying it through a fresh backend of the same
+// configuration reproduces byte-identical store state.
+//
+// Replay is a free function over records, not a Backend method: any
+// backend (Local, Cluster, Fabric, or another Replay) can be the
+// replay target, which is what the backend-conformance kit uses to
+// prove all backends compute the same stores from the same trace.
+//
+// Timestamps are logical (1, 2, 3, ...): the record order is the
+// contract, and logical stamps keep recorded fixtures byte-stable
+// across machines and runs.
+//
+// Thread-safe: recording appends under an internal mutex after the
+// inner submit returns, so concurrent submitters serialize their
+// records in the order the statuses resolve; queries delegate straight
+// to the inner backend and stay as concurrent as it allows.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dtalib/client.h"
+#include "telemetry/report_trace.h"
+
+namespace dta {
+
+class ReplayBackend : public Backend {
+ public:
+  explicit ReplayBackend(std::unique_ptr<Backend> inner)
+      : inner_(std::move(inner)) {}
+
+  Status submit(proto::ParsedDta parsed, const ReportOptions& opts) override;
+  Status flush() override { return inner_->flush(); }
+  void stop() override { inner_->stop(); }
+
+  Expected<std::vector<SnapshotPtr>> key_snapshots(
+      const proto::TelemetryKey& key, const QueryOptions& opts) override {
+    return inner_->key_snapshots(key, opts);
+  }
+  Expected<std::vector<std::vector<SnapshotPtr>>> key_snapshots_batch(
+      const std::vector<proto::TelemetryKey>& keys,
+      const QueryOptions& opts) override {
+    return inner_->key_snapshots_batch(keys, opts);
+  }
+  Expected<ListSlice> list_snapshot(std::uint32_t list,
+                                    const QueryOptions& opts) override {
+    return inner_->list_snapshot(list, opts);
+  }
+
+  const collector::CollectorRuntimeConfig& host_config() const override {
+    return inner_->host_config();
+  }
+  std::uint32_t num_lists() const override { return inner_->num_lists(); }
+  ClientStats stats() const override { return inner_->stats(); }
+  double modeled_verbs_per_sec() const override {
+    return inner_->modeled_verbs_per_sec();
+  }
+  TenantRegistry& tenants() override { return inner_->tenants(); }
+  Status fail_host(std::uint32_t host) override {
+    return inner_->fail_host(host);
+  }
+
+  Backend& inner() { return *inner_; }
+
+  // --- the recorded trace ---------------------------------------------------
+  std::uint64_t recorded() const;
+  std::vector<telemetry::TraceRecord> records() const;
+  // The .dtatrace image of everything recorded so far.
+  common::Bytes serialize_trace() const;
+  Status write_trace(const std::string& path) const;
+
+  // --- replay ---------------------------------------------------------------
+  // Submits every record into `backend` in trace order (tenant, dst_ip
+  // and immediate restored per record), then flushes. Stops at the
+  // first rejected submit — a trace recorded from an accepted stream
+  // replays cleanly into an identically-configured backend, so a
+  // rejection means the target's configuration does not match the
+  // recording.
+  static Status replay(const std::vector<telemetry::TraceRecord>& records,
+                       Backend& backend);
+  // read_trace_file + replay.
+  static Status replay_file(const std::string& path, Backend& backend);
+
+ private:
+  std::unique_ptr<Backend> inner_;
+  mutable std::mutex mu_;
+  telemetry::ReportTraceWriter writer_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace dta

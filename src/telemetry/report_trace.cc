@@ -1,0 +1,154 @@
+#include "telemetry/report_trace.h"
+
+#include <cstdio>
+
+#include "common/crc.h"
+
+namespace dta::telemetry {
+
+namespace {
+
+// IEEE CRC-32 over the payload bytes: an integrity stamp, not a store
+// hash, so it deliberately shares no polynomial with the slot engines.
+const common::Crc32& payload_crc() {
+  static const common::Crc32 crc(0xEDB88320u);
+  return crc;
+}
+
+constexpr std::uint8_t kFlagImmediate = 1u << 0;
+
+Status truncated(const char* what) {
+  return {StatusCode::kInvalidArgument,
+          std::string("truncated trace: ") + what};
+}
+
+}  // namespace
+
+common::Bytes ReportTraceWriter::serialize() const {
+  common::Bytes out;
+  common::put_u32(out, kTraceMagic);
+  common::put_u16(out, kTraceVersion);
+  common::put_u16(out, 0);  // reserved
+  common::put_u64(out, records_.size());
+  for (const TraceRecord& record : records_) {
+    common::put_u64(out, record.timestamp_ns);
+    common::put_u32(out, record.tenant);
+    common::put_u32(out, record.dst_ip);
+    common::put_u8(out, record.immediate ? kFlagImmediate : 0);
+    common::put_u8(out, 0);
+    common::put_u8(out, 0);
+    common::put_u8(out, 0);
+    const common::Bytes payload = proto::encode_dta_payload(
+        record.parsed.header, record.parsed.report);
+    common::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    common::put_bytes(out, common::ByteSpan(payload));
+    common::put_u32(out, payload_crc().compute(common::ByteSpan(payload)));
+  }
+  return out;
+}
+
+Status ReportTraceWriter::write_file(const std::string& path) const {
+  const common::Bytes image = serialize();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    return {StatusCode::kInvalidArgument,
+            "cannot open trace file for writing: " + path};
+  }
+  const std::size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != image.size() || !closed) {
+    return {StatusCode::kInvalidArgument,
+            "short write to trace file: " + path};
+  }
+  return Status::Ok();
+}
+
+Expected<std::vector<TraceRecord>> decode_trace(common::ByteSpan data) {
+  common::Cursor cur(data);
+  const std::uint32_t magic = cur.u32();
+  const std::uint16_t version = cur.u16();
+  cur.u16();  // reserved
+  const std::uint64_t count = cur.u64();
+  if (!cur.ok()) return truncated("header shorter than 16 bytes");
+  if (magic != kTraceMagic) {
+    return Status(StatusCode::kInvalidArgument, "bad trace magic");
+  }
+  if (version != kTraceVersion) {
+    return Status(StatusCode::kInvalidArgument,
+                  "unsupported trace version " + std::to_string(version));
+  }
+  // A record_count no buffer of this size could hold is a corrupt
+  // header, caught before any allocation sized from it.
+  if (count > data.size() / kTraceRecordOverheadBytes) {
+    return Status(StatusCode::kOutOfRange,
+                  "record count exceeds what the buffer could hold");
+  }
+
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord record;
+    record.timestamp_ns = cur.u64();
+    record.tenant = cur.u32();
+    record.dst_ip = cur.u32();
+    const std::uint8_t flags = cur.u8();
+    cur.skip(3);  // reserved
+    const std::uint32_t payload_len = cur.u32();
+    if (!cur.ok()) return truncated("record header cut short");
+    if (payload_len > kTraceMaxPayloadBytes) {
+      return Status(StatusCode::kOutOfRange,
+                    "payload length exceeds the report MTU");
+    }
+    if (payload_len + 4u > cur.remaining()) {
+      return Status(StatusCode::kOutOfRange,
+                    "payload length runs past the end of the trace");
+    }
+    const common::ByteSpan payload = cur.bytes(payload_len);
+    const std::uint32_t stored_crc = cur.u32();
+    if (!cur.ok()) return truncated("payload cut short");
+    if (payload_crc().compute(payload) != stored_crc) {
+      return Status(StatusCode::kInvalidArgument,
+                    "payload checksum mismatch (corrupted record)");
+    }
+    auto parsed = proto::decode_dta_payload(payload);
+    if (!parsed) {
+      return Status(StatusCode::kInvalidArgument,
+                    "payload is not a decodable DTA report");
+    }
+    record.immediate = (flags & kFlagImmediate) != 0;
+    record.parsed = *std::move(parsed);
+    // The header's in-process annotations are not on the wire; restore
+    // them from the record fields so replay submits what was recorded.
+    record.parsed.header.tenant = record.tenant;
+    record.parsed.header.immediate = record.immediate;
+    records.push_back(std::move(record));
+  }
+  if (cur.remaining() != 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "trailing bytes after the last record");
+  }
+  return records;
+}
+
+Expected<std::vector<TraceRecord>> read_trace_file(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cannot open trace file: " + path);
+  }
+  common::Bytes image;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    image.insert(image.end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status(StatusCode::kInvalidArgument,
+                  "error reading trace file: " + path);
+  }
+  return decode_trace(common::ByteSpan(image));
+}
+
+}  // namespace dta::telemetry

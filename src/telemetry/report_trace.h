@@ -1,0 +1,102 @@
+// Recorded report traces — the versioned binary .dtatrace format.
+//
+// A report trace is the serving-plane twin of a packet capture: every
+// Backend::submit that the serving plane admitted, in admission order,
+// with the per-call context a replay needs to reproduce it exactly
+// (tenant, dst_ip addressing, the immediate flag, and a logical
+// timestamp). The payload of each record is the wire encoding of the
+// report itself (proto::encode_dta_payload), so a trace exercises the
+// same decode path the translator runs — a trace is valid wire traffic.
+//
+// Replaying a trace through any dta::Backend is deterministic: the same
+// trace produces byte-identical store state on every replay (the
+// backend-conformance kit asserts this by memcmp over StoreSnapshot
+// regions). That makes committed traces reproducible macro-benchmark
+// inputs and cross-backend differential-test fixtures.
+//
+// Layout (all fields big-endian, like every wire format here):
+//
+//   header:  u32 magic 'DTAT' | u16 version | u16 reserved
+//            u64 record_count
+//   record:  u64 timestamp_ns  (logical; replay preserves order only)
+//            u32 tenant        (serving-plane annotation, not on wire)
+//            u32 dst_ip        (kByDestinationIp addressing; 0 = host 0)
+//            u8  flags         (bit 0: immediate)
+//            u8  reserved x3
+//            u32 payload_len
+//            payload           (encode_dta_payload: DTA hdr + report)
+//            u32 payload_crc   (CRC32 of payload; detects bit flips)
+//
+// Decoding is total: truncated headers, bad magic, overlong lengths and
+// corrupted payloads come back as typed dta::Status errors
+// (kInvalidArgument / kOutOfRange), never a crash or an assert — the
+// fuzz suite in tests/replay_trace_test.cc walks every truncation point
+// and every payload bit flip under ASan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dta/tenant.h"
+#include "dta/wire.h"
+#include "dtalib/status.h"
+
+namespace dta::telemetry {
+
+inline constexpr std::uint32_t kTraceMagic = 0x44544154;  // "DTAT"
+inline constexpr std::uint16_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceHeaderBytes = 16;
+// Per-record fixed overhead around the payload (everything but the
+// payload bytes themselves).
+inline constexpr std::size_t kTraceRecordOverheadBytes = 28;
+// A single DTA report payload is bounded by the UDP MTU; anything
+// claiming more is a corrupt length field, not a big report.
+inline constexpr std::uint32_t kTraceMaxPayloadBytes = 9000;
+
+// One recorded submit: the parsed report plus the per-call serving
+// context a replay must reproduce.
+struct TraceRecord {
+  std::uint64_t timestamp_ns = 0;  // logical sequence stamp
+  TenantId tenant = kDefaultTenant;
+  std::uint32_t dst_ip = 0;
+  bool immediate = false;
+  proto::ParsedDta parsed;
+};
+
+// Accumulates records and serializes them into the .dtatrace format.
+class ReportTraceWriter {
+ public:
+  void add(TraceRecord record) { records_.push_back(std::move(record)); }
+
+  std::uint64_t size() const { return records_.size(); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  // The full trace image (header + every record).
+  common::Bytes serialize() const;
+
+  // Writes serialize() to `path`. kInvalidArgument when the file cannot
+  // be created or written.
+  Status write_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+// Decodes a serialized trace. Every malformation is a typed error:
+//   * buffer shorter than the header, or a record cut short anywhere
+//     -> kInvalidArgument ("truncated ...")
+//   * wrong magic -> kInvalidArgument ("bad trace magic")
+//   * version from the future -> kInvalidArgument ("unsupported version")
+//   * payload_len beyond kTraceMaxPayloadBytes or past the end of the
+//     buffer -> kOutOfRange
+//   * payload CRC mismatch (bit flips) or an undecodable DTA payload
+//     -> kInvalidArgument
+Expected<std::vector<TraceRecord>> decode_trace(common::ByteSpan data);
+
+// Reads and decodes `path`. Missing/unreadable files are
+// kInvalidArgument.
+Expected<std::vector<TraceRecord>> read_trace_file(const std::string& path);
+
+}  // namespace dta::telemetry

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "dta/report_builders.h"
+
 namespace dta::telemetry {
 
 TraceGenerator::TraceGenerator(TraceConfig config)
@@ -79,6 +81,53 @@ TracePacket TraceGenerator::next() {
     p.flow_start = true;
   }
   return p;
+}
+
+std::vector<proto::ParsedDta> synthesize_reports(TraceGenerator& gen,
+                                                 std::uint32_t count,
+                                                 const ReportMix& mix) {
+  std::vector<proto::ParsedDta> out;
+  out.reserve(count);
+
+  // The enabled primitives, in a fixed rotation. An empty mix is a
+  // caller bug; fall back to Key-Write so `count` reports still emerge.
+  enum class Kind { kKeyWrite, kKeyIncrement, kAppend, kPostcard };
+  std::vector<Kind> rotation;
+  if (mix.keywrite) rotation.push_back(Kind::kKeyWrite);
+  if (mix.keyincrement) rotation.push_back(Kind::kKeyIncrement);
+  if (mix.num_lists > 0) rotation.push_back(Kind::kAppend);
+  if (mix.postcard_hops > 0) rotation.push_back(Kind::kPostcard);
+  if (rotation.empty()) rotation.push_back(Kind::kKeyWrite);
+
+  std::uint8_t hop = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const TracePacket pkt = gen.next();
+    const auto key_bytes = pkt.flow.to_bytes();
+    const proto::TelemetryKey key = proto::TelemetryKey::from(
+        common::ByteSpan(key_bytes.data(), key_bytes.size()));
+
+    switch (rotation[i % rotation.size()]) {
+      case Kind::kKeyWrite:
+        out.push_back(reports::keywrite_u32(key, pkt.size_bytes,
+                                            mix.redundancy));
+        break;
+      case Kind::kKeyIncrement:
+        out.push_back(reports::keyincrement(key, pkt.size_bytes,
+                                            mix.redundancy));
+        break;
+      case Kind::kAppend:
+        out.push_back(reports::append_u32(pkt.flow_index % mix.num_lists,
+                                          pkt.size_bytes));
+        break;
+      case Kind::kPostcard:
+        out.push_back(reports::postcard(
+            key, hop, mix.postcard_hops,
+            pkt.flow_index % mix.postcard_value_space));
+        hop = static_cast<std::uint8_t>((hop + 1) % mix.postcard_hops);
+        break;
+    }
+  }
+  return out;
 }
 
 }  // namespace dta::telemetry

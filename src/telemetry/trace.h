@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "dta/wire.h"
 #include "net/flow.h"
 
 namespace dta::telemetry {
@@ -63,5 +64,29 @@ class TraceGenerator {
   double mean_interarrival_ns_;
   std::vector<bool> seen_;
 };
+
+// --- trace-driven report workloads ------------------------------------------
+// Turns the synthetic packet stream into a deterministic mix of DTA
+// reports — the workload the recorded-trace tooling (gen_golden_trace,
+// the replay benches and the backend-conformance kit) feeds through
+// Backend::submit. Deterministic given the generator's seed: the same
+// TraceConfig always synthesizes the same report sequence.
+struct ReportMix {
+  // Primitives cycle per packet in this order, skipping the disabled
+  // ones: Key-Write (flow key -> 4B packet size), Key-Increment (flow
+  // key += packet bytes), Append (list = flow % num_lists, 4B entry),
+  // Postcard (per-hop 4B INT value).
+  bool keywrite = true;
+  bool keyincrement = true;
+  std::uint32_t num_lists = 0;        // 0 disables Append reports
+  std::uint8_t postcard_hops = 0;     // 0 disables Postcard reports
+  std::uint32_t postcard_value_space = 4096;
+  std::uint8_t redundancy = 2;
+};
+
+// `count` reports derived from the generator's next packets.
+std::vector<proto::ParsedDta> synthesize_reports(TraceGenerator& gen,
+                                                 std::uint32_t count,
+                                                 const ReportMix& mix);
 
 }  // namespace dta::telemetry

@@ -1,0 +1,679 @@
+// Backend-conformance kit: every dta::Client scenario holds over all
+// four Backend kinds — LocalBackend (direct execution), ClusterBackend
+// (replicated hosts), FabricBackend (the real UDP/translator/RoCE wire
+// loop) and ReplayBackend (recording decorator) — and the record/replay
+// differential: a trace recorded from any backend replays into a fresh
+// backend with identical client-visible results, and two replays of the
+// same trace produce byte-identical store state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "dta/report_builders.h"
+#include "tests/backend_fixtures.h"
+
+namespace dta {
+namespace {
+
+using common::ByteSpan;
+using common::Bytes;
+using proto::TelemetryKey;
+using testing::BackendKind;
+using testing::conformance_host_config;
+using testing::conformance_probes;
+using testing::conformance_workload;
+using testing::images_equal;
+using testing::ingest_copies;
+using testing::kind_name;
+using testing::make_backend;
+using testing::make_client;
+using testing::observe;
+using testing::ObservedResults;
+using testing::store_images;
+
+class BackendConformanceTest : public ::testing::TestWithParam<BackendKind> {};
+
+// ------------------------------------------------------ Key-Write
+
+TEST_P(BackendConformanceTest, KeyWriteRoundTrip) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id * 7 + 3).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  int hits = 0;
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    const auto value = table.get_u32(reports::mixed_key(id));
+    if (value.ok() && *value == id * 7 + 3) ++hits;
+  }
+  EXPECT_GE(hits, 298);  // slot collisions may cost a key or two
+
+  const auto miss = table.get(reports::mixed_key(999999));
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+}
+
+TEST_P(BackendConformanceTest, KeyWriteRawBytesRoundTrip) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  Bytes value;
+  common::put_u32(value, 0xDEADBEEF);
+  ASSERT_TRUE(table.put(reports::u32_key(7), ByteSpan(value)).ok());
+  ASSERT_TRUE(client.flush().ok());
+  const auto got = table.get(reports::u32_key(7));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(common::load_u32(got->data()), 0xDEADBEEFu);
+}
+
+TEST_P(BackendConformanceTest, GetManyResolvesBatchInInputOrder) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id ^ 0x5A).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+  std::vector<TelemetryKey> keys;
+  for (std::uint32_t id = 0; id < 300; id += 3) {
+    keys.push_back(reports::mixed_key(id));
+  }
+  keys.push_back(reports::mixed_key(999999));  // never written
+  const auto results = table.get_many(keys);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), keys.size());
+  int hits = 0;
+  for (std::size_t i = 0; i + 1 < results->size(); ++i) {
+    const auto& value = (*results)[i];
+    if (value && common::load_u32(value->data()) == ((3 * i) ^ 0x5A)) ++hits;
+  }
+  EXPECT_GE(hits, 98);
+  EXPECT_FALSE(results->back().has_value());
+}
+
+TEST_P(BackendConformanceTest, ZeroCopyViewsMatchCopiesAndOutliveRefresh) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id * 11 + 1).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  int hits = 0;
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    const auto view = table.get_view(reports::mixed_key(id));
+    if (view.ok() && view->size() == 4 &&
+        common::load_u32(view->data()) == id * 11 + 1) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 298);
+  EXPECT_EQ(table.get_view(reports::mixed_key(999999)).code(),
+            StatusCode::kNotFound);
+
+  // A held view pins its snapshot across an overwrite + refresh.
+  const auto held = table.get_view(reports::mixed_key(5));
+  ASSERT_TRUE(held.ok());
+  const std::uint32_t before = common::load_u32(held->data());
+  ASSERT_TRUE(table.put_u32(reports::mixed_key(5), 0xFEED).ok());
+  ASSERT_TRUE(client.flush().ok());
+  const auto after = table.get_view(reports::mixed_key(5));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(common::load_u32(after->data()), 0xFEEDu);
+  EXPECT_EQ(common::load_u32(held->data()), before);
+  const Bytes detached = held->to_bytes();
+  EXPECT_EQ(common::load_u32(detached.data()), before);
+
+  auto list = client.list(1);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(list.append_u32(700 + i).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+  const auto entry_views = list.read_views(10);
+  ASSERT_TRUE(entry_views.ok());
+  ASSERT_EQ(entry_views->size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(common::load_u32((*entry_views)[i].data()), 700 + i);
+  }
+}
+
+TEST_P(BackendConformanceTest, RedundancyBeyondEngineCountRejected) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  EXPECT_EQ(table.put_u32(reports::u32_key(1), 1, /*redundancy=*/9).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(client.counters().add(reports::u32_key(1), 1, 9).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(table.put_u32(reports::u32_key(1), 1, 8).ok());
+  ASSERT_TRUE(client.flush().ok());
+  QueryOptions nine;
+  nine.redundancy = 9;
+  EXPECT_EQ(table.get(reports::u32_key(1), nine).code(),
+            StatusCode::kOutOfRange);
+  QueryOptions eight;
+  eight.redundancy = 8;
+  const auto got = table.get_u32(reports::u32_key(1), eight);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST_P(BackendConformanceTest, AsyncGetsResolve) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 50; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id + 5).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+  std::vector<std::future<Expected<common::Bytes>>> pending;
+  for (std::uint32_t id = 0; id < 50; ++id) {
+    pending.push_back(table.get_async(reports::mixed_key(id)));
+  }
+  int hits = 0;
+  for (auto& future : pending) {
+    if (future.get().ok()) ++hits;
+  }
+  EXPECT_GE(hits, 49);
+
+  auto batch = table.get_many_async({reports::mixed_key(1)}).get();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_TRUE((*batch)[0].has_value());
+}
+
+// --------------------------------------------------- Key-Increment
+
+TEST_P(BackendConformanceTest, CounterRoundTrip) {
+  Client client = make_client(GetParam());
+  auto counters = client.counters();
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t id = 0; id < 32; ++id) {
+      ASSERT_TRUE(counters.add(reports::u32_key(id), id + 1).ok());
+    }
+  }
+  ASSERT_TRUE(client.flush().ok());
+  for (std::uint32_t id = 0; id < 32; ++id) {
+    const auto estimate = counters.get(reports::u32_key(id));
+    ASSERT_TRUE(estimate.ok()) << estimate.status().to_string();
+    EXPECT_GE(*estimate, 3u * (id + 1));  // CMS never underestimates
+  }
+}
+
+// ---------------------------------------------------------- Append
+
+TEST_P(BackendConformanceTest, AppendRoundTrip) {
+  Client client = make_client(GetParam());
+  auto list = client.list(3);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(list.append_u32(30 + i).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+  const auto events = list.read(6);
+  ASSERT_TRUE(events.ok()) << events.status().to_string();
+  ASSERT_EQ(events->size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(common::load_u32((*events)[i].data()), 30 + i);
+  }
+}
+
+// ----------------------------------------------------- Postcarding
+
+TEST_P(BackendConformanceTest, PostcardRoundTrip) {
+  Client client = make_client(GetParam());
+  auto postcards = client.postcards();
+  for (std::uint32_t flow = 0; flow < 100; ++flow) {
+    for (std::uint8_t hop = 0; hop < 5; ++hop) {
+      ASSERT_TRUE(postcards
+                      .report(reports::u32_key(flow), hop, /*path_len=*/5,
+                              (flow + hop) % 4096)
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(client.flush().ok());
+  int found = 0;
+  for (std::uint32_t flow = 0; flow < 100; ++flow) {
+    const auto path = postcards.path_of(reports::u32_key(flow));
+    if (path.ok() && path->size() == 5 && (*path)[0] == flow % 4096) ++found;
+  }
+  EXPECT_GE(found, 98);
+
+  const auto miss = postcards.path_of(reports::u32_key(999999));
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------ error model
+
+TEST_P(BackendConformanceTest, ErrorModelDistinctCodes) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  ASSERT_TRUE(table.put_u32(reports::u32_key(1), 11).ok());
+  ASSERT_TRUE(client.flush().ok());
+
+  EXPECT_EQ(table.put_u32(TelemetryKey{}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.get(TelemetryKey{}).code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(table.put_u32(reports::u32_key(2), 1, /*redundancy=*/0).code(),
+            StatusCode::kInvalidArgument);
+  QueryOptions zero_votes;
+  zero_votes.redundancy = 0;
+  EXPECT_EQ(table.get(reports::u32_key(1), zero_votes).code(),
+            StatusCode::kInvalidArgument);
+
+  Bytes wide(64, 0xAB);
+  EXPECT_EQ(table.put(reports::u32_key(3), ByteSpan(wide)).code(),
+            StatusCode::kOutOfRange);
+
+  const std::uint32_t bogus_list = 1000;
+  EXPECT_EQ(client.list(bogus_list).append_u32(1).code(),
+            StatusCode::kUnknownList);
+  EXPECT_EQ(client.list(bogus_list).read(1).code(), StatusCode::kUnknownList);
+
+  Bytes wrong_entry(8, 1);
+  EXPECT_EQ(client.list(0).append(ByteSpan(wrong_entry)).code(),
+            StatusCode::kOutOfRange);
+
+  Bytes huge_entry(260, 2);
+  EXPECT_EQ(client.list(0).append(ByteSpan(huge_entry)).code(),
+            StatusCode::kOutOfRange);
+
+  EXPECT_EQ(client.list(0).read(1 << 20).code(), StatusCode::kOutOfRange);
+
+  QueryOptions future_floor;
+  future_floor.covers_seq = 1u << 30;
+  EXPECT_EQ(table.get(reports::u32_key(1), future_floor).code(),
+            StatusCode::kStalenessViolation);
+
+  EXPECT_EQ(client.postcards()
+                .report(reports::u32_key(1), /*hop=*/9, /*path_len=*/5, 1)
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_P(BackendConformanceTest, NotConfiguredPrimitivesReportCleanly) {
+  collector::CollectorRuntimeConfig config;
+  config.num_shards = 2;
+  config.thread_mode = collector::ThreadMode::kInline;
+  collector::KeyWriteSetup kw;
+  kw.num_slots = 1 << 12;
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  Client client(make_backend(GetParam(), config));
+
+  EXPECT_EQ(client.counters().add(reports::u32_key(1), 1).code(),
+            StatusCode::kNotConfigured);
+  EXPECT_EQ(client.counters().get(reports::u32_key(1)).code(),
+            StatusCode::kNotConfigured);
+  EXPECT_EQ(client.list(0).append_u32(1).code(), StatusCode::kNotConfigured);
+  EXPECT_EQ(client.list(0).read(1).code(), StatusCode::kNotConfigured);
+  EXPECT_EQ(client.postcards().report(reports::u32_key(1), 0, 1, 1).code(),
+            StatusCode::kNotConfigured);
+  EXPECT_EQ(client.postcards().path_of(reports::u32_key(1)).code(),
+            StatusCode::kNotConfigured);
+  EXPECT_TRUE(client.keywrite().put_u32(reports::u32_key(1), 5).ok());
+}
+
+// -------------------------------------------------- failover paths
+
+TEST_P(BackendConformanceTest, FailoverAndUnavailability) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 100; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id + 5).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  if (GetParam() != BackendKind::kCluster) {
+    // Single-collector backends have no host to fail — typed, not UB.
+    EXPECT_EQ(client.fail_host(0).code(), StatusCode::kUnsupported);
+    return;
+  }
+
+  ASSERT_TRUE(client.fail_host(0).ok());
+  int hits = 0;
+  for (std::uint32_t id = 0; id < 100; ++id) {
+    const auto value = table.get_u32(reports::mixed_key(id));
+    if (value.ok() && *value == id + 5) ++hits;
+  }
+  EXPECT_EQ(hits, 100);
+  EXPECT_EQ(client.stats().live_hosts, 1u);
+
+  ASSERT_TRUE(client.fail_host(1).ok());
+  const auto dead = table.get(reports::mixed_key(1));
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.code(), StatusCode::kUnavailable);
+}
+
+// -------------------------------------------- staleness-budget path
+
+TEST_P(BackendConformanceTest, StalenessBudgetServesStaleAndFloorOverrides) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+  ASSERT_TRUE(table.put_u32(reports::u32_key(1), 11).ok());
+  ASSERT_TRUE(client.flush().ok());
+  ASSERT_TRUE(table.get_u32(reports::u32_key(1)).ok());  // warm the cache
+
+  ASSERT_TRUE(table.put_u32(reports::u32_key(2), 22).ok());
+  ASSERT_TRUE(client.flush().ok());
+  QueryOptions stale;
+  stale.staleness = collector::SnapshotStalenessBudget{};
+  stale.staleness->generations = 1u << 20;
+  const auto stale_read = table.get_u32(reports::u32_key(2), stale);
+  if (stale_read.ok()) {
+    EXPECT_EQ(*stale_read, 22u);  // a fresh backend may not serve stale
+  } else {
+    EXPECT_EQ(stale_read.code(), StatusCode::kNotFound);
+  }
+
+  QueryOptions fresh = stale;
+  fresh.read_your_submits = true;
+  const auto fresh_read = table.get_u32(reports::u32_key(2), fresh);
+  ASSERT_TRUE(fresh_read.ok()) << fresh_read.status().to_string();
+  EXPECT_EQ(*fresh_read, 22u);
+
+  const auto exact = table.get_u32(reports::u32_key(2));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 22u);
+}
+
+// ------------------------------------------- concurrency (TSan target)
+
+TEST_P(BackendConformanceTest, QueriesRunConcurrentlyWithIngest) {
+  Client client = make_client(GetParam(), collector::ThreadMode::kThreaded);
+  auto table = client.keywrite();
+  std::vector<std::future<Expected<common::Bytes>>> pending;
+  std::uint32_t next_id = 0;
+  for (std::uint32_t round = 0; round < 20; ++round) {
+    for (std::uint32_t i = 0; i < 50; ++i, ++next_id) {
+      ASSERT_TRUE(
+          table.put_u32(reports::mixed_key(next_id), next_id * 7 + 1).ok());
+    }
+    if (round > 0) {
+      const std::uint32_t probe = (round - 1) * 50;
+      pending.push_back(table.get_async(reports::mixed_key(probe)));
+      pending.push_back(table.get_async(reports::mixed_key(probe + 49)));
+    }
+  }
+  int hits = 0;
+  for (auto& future : pending) {
+    if (future.get().ok()) ++hits;
+  }
+  EXPECT_EQ(hits, static_cast<int>(pending.size()));
+  client.stop();
+  EXPECT_EQ(client.stats().ingest.reports_in,
+            ingest_copies(GetParam()) * 1000u);
+}
+
+// Concurrent submitters + queriers against the wire-fidelity backend
+// (the Fabric object itself is synchronous; the backend's mutex must
+// make it safe), and record-while-serving on the replay decorator.
+TEST_P(BackendConformanceTest, ConcurrentSubmitAndQueryStress) {
+  Client client = make_client(GetParam(), collector::ThreadMode::kThreaded);
+  client.tenants().register_tenant(2, {});
+  client.tenants().register_tenant(3, {});
+
+  constexpr std::uint32_t kPerTenant = 200;
+  auto submit_as = [&client](TenantId tenant, std::uint32_t base) {
+    ReportOptions opts;
+    opts.tenant = tenant;
+    auto table = client.keywrite();
+    for (std::uint32_t i = 0; i < kPerTenant; ++i) {
+      ASSERT_TRUE(
+          table.put_u32(reports::mixed_key(base + i), i + 1, 2, opts).ok());
+    }
+  };
+  std::atomic<bool> done{false};
+  std::thread querier([&] {
+    auto table = client.keywrite();
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)table.get_u32(reports::mixed_key(0));
+    }
+  });
+  std::thread t2([&] { submit_as(2, 0); });
+  std::thread t3([&] { submit_as(3, 1u << 20); });
+  t2.join();
+  t3.join();
+  done.store(true, std::memory_order_relaxed);
+  querier.join();
+  ASSERT_TRUE(client.flush().ok());
+  client.stop();
+
+  EXPECT_EQ(client.stats().ingest.reports_in,
+            ingest_copies(GetParam()) * 2u * kPerTenant);
+  EXPECT_EQ(client.tenants().counters(2).submits_admitted, kPerTenant);
+  EXPECT_EQ(client.tenants().counters(3).submits_admitted, kPerTenant);
+
+  // Record-while-serving: everything both tenants submitted is in the
+  // trace when the backend is a recorder.
+  if (auto* replay = dynamic_cast<ReplayBackend*>(&client.backend())) {
+    EXPECT_EQ(replay->recorded(), 2u * kPerTenant);
+  }
+}
+
+// ------------------------------------------------------------- stats
+
+TEST_P(BackendConformanceTest, StatsAggregateIngestAndTranslation) {
+  Client client = make_client(GetParam());
+  for (std::uint32_t id = 0; id < 40; ++id) {
+    ASSERT_TRUE(client.keywrite().put_u32(reports::mixed_key(id), id).ok());
+    ASSERT_TRUE(client.counters().add(reports::mixed_key(id), 2).ok());
+  }
+  ASSERT_TRUE(client.list(1).append_u32(9).ok());
+  ASSERT_TRUE(client.flush().ok());
+
+  const auto stats = client.stats();
+  const std::uint64_t copies = ingest_copies(GetParam());
+  EXPECT_EQ(stats.ingest.reports_in, copies * 81u);
+  EXPECT_EQ(stats.translation.keywrite_reports, copies * 40u);
+  EXPECT_EQ(stats.translation.keywrite_writes, copies * 80u);  // N=2
+  EXPECT_EQ(stats.translation.keyincrement_reports, copies * 40u);
+  EXPECT_EQ(stats.translation.fetch_adds, copies * 80u);
+  EXPECT_EQ(stats.translation.append_entries_in, copies * 1u);
+  EXPECT_EQ(stats.num_hosts, copies);
+  EXPECT_EQ(stats.live_hosts, copies);
+  ASSERT_EQ(stats.per_host.size(), copies);
+  EXPECT_EQ(stats.per_host[0].ingest.reports_in, 81u);
+  EXPECT_FALSE(stats.per_host[0].failed);
+  EXPECT_GT(client.modeled_verbs_per_sec(), 0.0);
+}
+
+// ------------------------------------------------- multi-tenant plane
+
+TEST_P(BackendConformanceTest, TenantQuotaExhaustionIsTypedNotSilent) {
+  Client client = make_client(GetParam());
+  TenantConfig config;
+  config.quota.submits_per_second = 1.0;
+  config.quota.submit_burst = 5;
+  client.tenants().register_tenant(7, config);
+
+  ReportOptions as7;
+  as7.tenant = 7;
+  auto table = client.keywrite();
+  int admitted = 0, shed = 0;
+  Status last_shed = Status::Ok();
+  for (std::uint32_t id = 0; id < 20; ++id) {
+    const Status status = table.put_u32(reports::u32_key(id), id, 2, as7);
+    if (status.ok()) {
+      ++admitted;
+    } else {
+      ++shed;
+      last_shed = status;
+    }
+  }
+  EXPECT_EQ(admitted, 5);
+  EXPECT_EQ(shed, 15);
+  EXPECT_EQ(last_shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(last_shed.retry_after_ns(), 0u);
+  EXPECT_EQ(client.tenants().counters(7).submits_admitted, 5u);
+  EXPECT_EQ(client.tenants().counters(7).submits_shed, 15u);
+  EXPECT_TRUE(table.put_u32(reports::u32_key(100), 1).ok());
+
+  // A recorder records only the admitted stream: the 15 shed submits
+  // must not be in the trace.
+  if (auto* replay = dynamic_cast<ReplayBackend*>(&client.backend())) {
+    EXPECT_EQ(replay->recorded(), 6u);
+  }
+}
+
+TEST_P(BackendConformanceTest, PerTenantStatsAttributeIngest) {
+  Client client = make_client(GetParam());
+  client.tenants().register_tenant(2, {});
+  client.tenants().register_tenant(3, {});
+
+  ReportOptions as2, as3;
+  as2.tenant = 2;
+  as3.tenant = 3;
+  auto table = client.keywrite();
+  for (std::uint32_t id = 0; id < 12; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id, 2, as2).ok());
+  }
+  for (std::uint32_t id = 100; id < 105; ++id) {
+    ASSERT_TRUE(table.put_u32(reports::mixed_key(id), id, 2, as3).ok());
+  }
+  ASSERT_TRUE(client.flush().ok());
+
+  const auto stats = client.stats();
+  const std::uint64_t copies = ingest_copies(GetParam());
+  auto row_of = [&](TenantId tenant) -> const TenantStatsRow* {
+    for (const auto& row : stats.per_tenant) {
+      if (row.tenant == tenant) return &row;
+    }
+    return nullptr;
+  };
+  const auto* row2 = row_of(2);
+  const auto* row3 = row_of(3);
+  ASSERT_NE(row2, nullptr);
+  ASSERT_NE(row3, nullptr);
+  EXPECT_EQ(row2->counters.submits_admitted, 12u);
+  EXPECT_EQ(row2->ingest_reports, copies * 12u);
+  EXPECT_EQ(row3->counters.submits_admitted, 5u);
+  EXPECT_EQ(row3->ingest_reports, copies * 5u);
+  for (std::size_t i = 1; i < stats.per_tenant.size(); ++i) {
+    EXPECT_LT(stats.per_tenant[i - 1].tenant, stats.per_tenant[i].tenant);
+  }
+}
+
+// =================================================== record / replay
+
+// Helper: run the standard workload through `backend` (recording if it
+// is a recorder), rotating tenants 0/1/2.
+void submit_workload(Backend& backend,
+                     const std::vector<proto::ParsedDta>& workload) {
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    ReportOptions opts;
+    opts.tenant = static_cast<TenantId>(i % 3);
+    ASSERT_TRUE(backend.submit(workload[i], opts).ok());
+  }
+  ASSERT_TRUE(backend.flush().ok());
+}
+
+// A trace recorded over any backend kind replays into a fresh backend
+// of the same kind with identical client-visible query results.
+TEST_P(BackendConformanceTest, ReplayReproducesIdenticalQueryResults) {
+  const auto workload = conformance_workload(600);
+  const auto probes = conformance_probes();
+
+  auto recorder = std::make_unique<ReplayBackend>(
+      make_backend(GetParam(), conformance_host_config()));
+  submit_workload(*recorder, workload);
+  const auto records = recorder->records();
+  ASSERT_EQ(records.size(), workload.size());
+
+  Client recorded_client(std::move(recorder));
+  const auto recorded_results = observe(recorded_client, probes, 8, 32);
+
+  Client fresh_client(make_backend(GetParam(), conformance_host_config()));
+  ASSERT_TRUE(
+      ReplayBackend::replay(records, fresh_client.backend()).ok());
+  const auto replayed_results = observe(fresh_client, probes, 8, 32);
+
+  EXPECT_TRUE(recorded_results == replayed_results)
+      << "replay diverged on " << kind_name(GetParam());
+}
+
+// The cross-backend differential: with single-shard geometry (so every
+// backend computes the same slot layout), one recorded trace replayed
+// through Local, Cluster, Fabric and Replay yields identical
+// client-visible results on all four.
+TEST(BackendDifferentialTest, OneTraceIdenticalResultsAcrossAllBackends) {
+  const auto config =
+      conformance_host_config(collector::ThreadMode::kInline, 1);
+  const auto workload = conformance_workload(600);
+  const auto probes = conformance_probes();
+
+  ReplayBackend recorder(std::make_unique<LocalBackend>(config));
+  submit_workload(recorder, workload);
+  // Serialize + decode round-trip: the replayed records are the ones
+  // that went through the wire format, not the in-memory ones.
+  const auto decoded =
+      telemetry::decode_trace(common::ByteSpan(recorder.serialize_trace()));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded.value().size(), workload.size());
+
+  std::vector<ObservedResults> all;
+  for (BackendKind kind : testing::all_backend_kinds()) {
+    Client client(make_backend(kind, config));
+    ASSERT_TRUE(
+        ReplayBackend::replay(decoded.value(), client.backend()).ok())
+        << kind_name(kind);
+    all.push_back(observe(client, probes, 8, 32));
+  }
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_TRUE(all[0] == all[i])
+        << kind_name(testing::all_backend_kinds()[i])
+        << " diverged from Local";
+  }
+}
+
+// Determinism: two replays of the same trace produce byte-identical
+// store state — every registered region memcmp-equal — on every
+// backend kind.
+TEST_P(BackendConformanceTest, ReplayDeterminismByteIdenticalStores) {
+  const auto config = conformance_host_config();
+  const auto workload = conformance_workload(400);
+
+  ReplayBackend recorder(std::make_unique<LocalBackend>(config));
+  submit_workload(recorder, workload);
+  const auto records = recorder.records();
+
+  auto first = make_backend(GetParam(), config);
+  auto second = make_backend(GetParam(), config);
+  ASSERT_TRUE(ReplayBackend::replay(records, *first).ok());
+  ASSERT_TRUE(ReplayBackend::replay(records, *second).ok());
+  EXPECT_TRUE(images_equal(store_images(*first), store_images(*second)))
+      << "two replays diverged on " << kind_name(GetParam());
+}
+
+// The wire path computes the same bytes as direct execution: a trace
+// replayed through the Fabric leaves the single-shard stores
+// byte-identical to LocalBackend's (the PR 7 direct-vs-wire
+// equivalence, now holding end-to-end through the serving plane).
+TEST(BackendDifferentialTest, WireAndDirectStoresByteIdentical) {
+  const auto config =
+      conformance_host_config(collector::ThreadMode::kInline, 1);
+  const auto workload = conformance_workload(400);
+
+  ReplayBackend recorder(std::make_unique<LocalBackend>(config));
+  submit_workload(recorder, workload);
+  const auto records = recorder.records();
+
+  auto local = make_backend(BackendKind::kLocal, config);
+  auto fabric = make_backend(BackendKind::kFabric, config);
+  ASSERT_TRUE(ReplayBackend::replay(records, *local).ok());
+  ASSERT_TRUE(ReplayBackend::replay(records, *fabric).ok());
+  EXPECT_TRUE(images_equal(store_images(*local), store_images(*fabric)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendConformanceTest,
+    ::testing::Values(BackendKind::kLocal, BackendKind::kCluster,
+                      BackendKind::kFabric, BackendKind::kReplay),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return kind_name(info.param);
+    });
+
+}  // namespace
+}  // namespace dta

@@ -287,7 +287,7 @@ TEST_P(KiCmsSweep, EstimateAlwaysAtLeastTruth) {
   translator::KeyIncrementEngine engine(geo);
   translator::RdmaCrafter crafter({}, accept.responder_qpn, 0);
 
-  common::Rng rng(redundancy);
+  common::Rng rng(common::test_seed(redundancy));
   std::vector<std::uint64_t> truth(400, 0);
   for (int step = 0; step < 5000; ++step) {
     const auto id = rng.next_below(truth.size());
@@ -347,7 +347,7 @@ TEST_P(GenerationSweep, MonotonicGenerationsAndCacheNeverAhead) {
   config.keywrite = kw;
   collector::CollectorRuntime runtime(config);
 
-  common::Rng rng(seed);
+  common::Rng rng(common::test_seed(seed));
   std::uint64_t next_id = 0;
   std::uint64_t last_generation[kShards] = {0, 0};
   std::uint64_t covered_submits[kShards] = {0, 0};
@@ -457,7 +457,7 @@ TEST_P(IncrementalSnapshotSweep, ByteIdenticalToFullCopy) {
         << what << " diverged from the full-copy reference";
   };
 
-  common::Rng rng(seed);
+  common::Rng rng(common::test_seed(seed));
   std::uint64_t next_id = 0;
   bool ever_pinned = false;
   std::vector<std::shared_ptr<const collector::StoreSnapshot>> pinned;
@@ -559,7 +559,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSnapshotSweep,
 // One deterministic mixed-primitive report stream shared by the
 // equivalence sweeps below.
 std::vector<proto::ParsedDta> mixed_report_stream(unsigned seed, int count) {
-  common::Rng rng(seed);
+  common::Rng rng(common::test_seed(seed));
   std::vector<proto::ParsedDta> out;
   std::uint64_t next_id = 0;
   for (int i = 0; i < count; ++i) {
@@ -695,7 +695,7 @@ TEST_P(SubmitBatchSweep, StoreIdenticalToPerReportSubmit) {
   collector::CollectorRuntime per_report(config);
   collector::CollectorRuntime batched(config);
 
-  common::Rng rng(GetParam() ^ 0xB10C);
+  common::Rng rng(common::test_seed(GetParam() ^ 0xB10C));
   const auto stream = mixed_report_stream(GetParam(), 600);
   for (const auto& p : stream) per_report.submit(p);
   // Random batch sizes, including size-1 and size-0 edge cases.
@@ -729,7 +729,7 @@ class CrcBatchEquivalenceSweep : public ::testing::TestWithParam<unsigned> {};
 // calls, for every catalogue engine, across random message lengths and
 // alignments (including empty messages and lanes of unequal length).
 TEST_P(CrcBatchEquivalenceSweep, BatchApisMatchScalarCalls) {
-  common::Rng rng(GetParam());
+  common::Rng rng(common::test_seed(GetParam()));
   std::vector<std::uint8_t> pool(4096);
   for (auto& b : pool) b = static_cast<std::uint8_t>(rng.next_below(256));
 
