@@ -23,15 +23,22 @@
 // flat — incremental wins exactly at low dirty ratios. Machine-
 // readable output (sections (c)+(d) plus a "gate" summary for the CI
 // regression gate): BENCH_snapshot_cache.json. Run with --smoke for
-// the CI-sized sweep (sections (c)+(d) only, small store).
+// the CI-sized sweep (sections (c)+(d)+(f) only, small store).
+//
+// Section (f) benchmarks the secondary index: indexed range queries vs
+// the old-API scan (a get_many sweep over the full key catalog with a
+// client-side filter), swept over selectivity. Emits BENCH_index.json.
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "collector/rdma_service.h"
+#include "collector/shard_index.h"
 #include "dtalib/client.h"
 #include "translator/keywrite_engine.h"
 #include "translator/rdma_crafter.h"
@@ -414,6 +421,151 @@ void write_bench_json(const CacheSweepResult& cache,
   std::printf("\nwrote BENCH_snapshot_cache.json\n");
 }
 
+// Section (f): indexed range queries vs the scan path, sweeping
+// selectivity at a fixed key count. Without the secondary index the
+// stores cannot enumerate keys (slots hold 32-bit checksums), so the
+// old-API way to answer "every key in [a, b] with its value" was a
+// point-get sweep over the client's full key catalog with a
+// client-side filter — get_many(catalog), then keep the in-window
+// results. The indexed path walks only the window. The win must grow
+// as the window narrows; the CI gate holds the floor at the 0.1% and
+// 1% selectivity points.
+
+struct IndexPoint {
+  double selectivity_pct = 0.0;
+  std::uint64_t window_keys = 0;
+  double indexed_us = 0.0;
+  double scan_us = 0.0;
+  double speedup = 0.0;
+};
+
+struct IndexSweepResult {
+  std::uint64_t keys = 0;
+  std::vector<IndexPoint> sweep;
+};
+
+IndexSweepResult run_index_sweep(bool smoke) {
+  using namespace dta::collector;
+  CollectorRuntimeConfig config;
+  config.num_shards = 1;
+  config.thread_mode = ThreadMode::kInline;
+  KeyWriteSetup kw;
+  kw.num_slots = smoke ? (1ull << 18) : (1ull << 22);
+  kw.value_bytes = 4;
+  config.keywrite = kw;
+  Client client = Client::local(config);
+
+  IndexSweepResult result;
+  result.keys = smoke ? 100000 : 1000000;
+  std::vector<proto::TelemetryKey> catalog;
+  catalog.reserve(result.keys);
+  for (std::uint64_t id = 0; id < result.keys; ++id) {
+    catalog.push_back(benchutil::mixed_key(id));
+    (void)client.keywrite().put_u32(catalog.back(),
+                                    static_cast<std::uint32_t>(id));
+  }
+  (void)client.flush();
+
+  // Index-order sort, used only to carve contiguous selectivity
+  // windows — the scan path itself has no order to lean on.
+  std::vector<proto::TelemetryKey> sorted = catalog;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const proto::TelemetryKey& a, const proto::TelemetryKey& b) {
+              return collector::index_key_less(a, b);
+            });
+
+  std::printf("\n(f) indexed range vs catalog scan — %s keys\n",
+              benchutil::eng(static_cast<double>(result.keys)).c_str());
+  std::printf("%8s %12s %12s %12s %10s\n", "sel", "window", "indexed",
+              "scan", "speedup");
+  for (const double sel_pct : {10.0, 1.0, 0.1}) {
+    IndexPoint point;
+    point.selectivity_pct = sel_pct;
+    point.window_keys = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(result.keys) * sel_pct / 100.0));
+    const std::size_t start = (sorted.size() - point.window_keys) / 2;
+    const proto::TelemetryKey from = sorted[start];
+    const proto::TelemetryKey to = sorted[start + point.window_keys - 1];
+
+    const unsigned indexed_reps = smoke ? 10 : 20;
+    std::size_t indexed_hits = 0;
+    benchutil::WallTimer indexed_timer;
+    for (unsigned rep = 0; rep < indexed_reps; ++rep) {
+      const auto range =
+          client.range(client.keywrite()).from(from).to(to).run();
+      indexed_hits = range.ok() ? range->entries.size() : 0;
+    }
+    point.indexed_us = indexed_timer.seconds() * 1e6 / indexed_reps;
+
+    const unsigned scan_reps = smoke ? 3 : 3;
+    std::size_t scan_hits = 0;
+    benchutil::WallTimer scan_timer;
+    for (unsigned rep = 0; rep < scan_reps; ++rep) {
+      scan_hits = 0;
+      const auto values = client.keywrite().get_many(catalog);
+      if (!values.ok()) continue;
+      for (std::size_t i = 0; i < catalog.size(); ++i) {
+        if ((*values)[i].has_value() &&
+            !collector::index_key_less(catalog[i], from) &&
+            !collector::index_key_less(to, catalog[i])) {
+          ++scan_hits;
+        }
+      }
+    }
+    point.scan_us = scan_timer.seconds() * 1e6 / scan_reps;
+    point.speedup = point.indexed_us > 0 ? point.scan_us / point.indexed_us
+                                         : 0.0;
+
+    // Both paths must agree on the window's membership — a fast wrong
+    // answer is not a win.
+    if (indexed_hits != scan_hits) {
+      std::fprintf(stderr,
+                   "section (f): indexed (%zu) and scan (%zu) hit counts "
+                   "diverged at %.1f%% selectivity\n",
+                   indexed_hits, scan_hits, sel_pct);
+      std::exit(1);
+    }
+
+    std::printf("%7.1f%% %12llu %10.1fus %10.1fus %9.1fx\n", sel_pct,
+                static_cast<unsigned long long>(point.window_keys),
+                point.indexed_us, point.scan_us, point.speedup);
+    result.sweep.push_back(point);
+  }
+  return result;
+}
+
+// Machine-readable output for section (f); gated like the others via
+// bench/check_regression.py against bench/baselines/BENCH_index.json.
+void write_index_json(const IndexSweepResult& result) {
+  FILE* json = std::fopen("BENCH_index.json", "w");
+  if (!json) return;
+  std::fprintf(json, "{\n  \"keys\": %llu,\n  \"sweep\": [\n",
+               static_cast<unsigned long long>(result.keys));
+  for (std::size_t i = 0; i < result.sweep.size(); ++i) {
+    const IndexPoint& p = result.sweep[i];
+    std::fprintf(json,
+                 "    {\"selectivity_pct\": %.2f, \"window_keys\": %llu, "
+                 "\"indexed_us\": %.2f, \"scan_us\": %.2f, "
+                 "\"speedup\": %.3f}%s\n",
+                 p.selectivity_pct,
+                 static_cast<unsigned long long>(p.window_keys),
+                 p.indexed_us, p.scan_us, p.speedup,
+                 i + 1 < result.sweep.size() ? "," : "");
+  }
+  // Gate floors are the narrow-window speedups — the whole point of the
+  // index. Ratios, not absolute rates, for hardware portability.
+  const IndexPoint& pct1 = result.sweep[result.sweep.size() - 2];
+  const IndexPoint& low = result.sweep.back();
+  std::fprintf(json,
+               "  ],\n  \"gate\": {\n"
+               "    \"indexed_speedup_1pct\": %.3f,\n"
+               "    \"indexed_speedup_0p1pct\": %.3f\n  }\n}\n",
+               pct1.speedup, low.speedup);
+  std::fclose(json);
+  std::printf("wrote BENCH_index.json\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -428,6 +580,7 @@ int main(int argc, char** argv) {
     const std::vector<DirtyPoint> dirty = run_dirty_ratio_sweep(true);
     const ZeroCopyResult zero_copy = run_zero_copy_sweep(true);
     write_bench_json(cache, dirty, zero_copy);
+    write_index_json(run_index_sweep(true));
     return 0;
   }
 
@@ -512,5 +665,6 @@ int main(int argc, char** argv) {
   const std::vector<DirtyPoint> dirty = run_dirty_ratio_sweep(false);
   const ZeroCopyResult zero_copy = run_zero_copy_sweep(false);
   write_bench_json(cache, dirty, zero_copy);
+  write_index_json(run_index_sweep(false));
   return 0;
 }

@@ -86,7 +86,9 @@ int main() {
   const auto probe = flow_key(flow_of(44));
   auto latency = client.keywrite().get_async(probe);
   auto drops = client.counters().get_async(probe);
-  auto events = client.list(0).read_async(16);
+  auto events = std::async(std::launch::async, [&client] {
+    return client.events(0).max(16).run();
+  });
   if (const auto value = latency.get(); value.ok()) {
     std::printf("flow 44 latency: %u usec\n",
                 common::load_u32(value->data()));
@@ -95,10 +97,10 @@ int main() {
               static_cast<unsigned long long>(drops.get().value_or(0)));
   const auto head = events.get();
   std::printf("list 0 head: %zu events (first flows:",
-              head.ok() ? head->size() : 0);
+              head.ok() ? head->entries.size() : 0);
   if (head.ok()) {
-    for (std::size_t i = 0; i < 4 && i < head->size(); ++i) {
-      std::printf(" %u", common::load_u32((*head)[i].data()));
+    for (std::size_t i = 0; i < 4 && i < head->entries.size(); ++i) {
+      std::printf(" %u", common::load_u32(head->entries[i].data()));
     }
   }
   std::printf(")\n");

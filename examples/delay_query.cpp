@@ -114,10 +114,11 @@ int main(int argc, char** argv) {
 
   // The operator reads both export lists through typed handles.
   std::printf("\nfirst delayed flows (key-prefix, total latency):\n");
-  const auto delayed = client.list(0).read(
-      std::min<std::uint64_t>(delay_exports, 5));
+  const auto delayed = client.events(0)
+                           .max(std::min<std::uint64_t>(delay_exports, 5))
+                           .run();
   if (delayed.ok()) {
-    for (const auto& entry : *delayed) {
+    for (const auto& entry : delayed->entries) {
       std::printf("  %s...  %llu us\n",
                   dta::common::to_hex(
                       dta::common::ByteSpan(entry.data(), 6))
@@ -127,9 +128,9 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("heavy hitters discovered in-network:\n");
-  const auto heavies = client.list(1).read(hh_exports);
+  const auto heavies = client.events(1).max(hh_exports).run();
   if (heavies.ok()) {
-    for (const auto& entry : *heavies) {
+    for (const auto& entry : heavies->entries) {
       std::printf("  %s...  ~%llu bytes\n",
                   dta::common::to_hex(
                       dta::common::ByteSpan(entry.data(), 6))

@@ -68,23 +68,24 @@ int main(int argc, char** argv) {
 
   // The operator reads each cause's list through its typed handle.
   for (std::uint32_t cause = 0; cause < 3; ++cause) {
-    const auto entries = client.list(cause).read(per_cause_sent[cause]);
-    if (!entries.ok()) {
+    const auto batch =
+        client.events(cause).max(per_cause_sent[cause]).run();
+    if (!batch.ok()) {
       std::printf("  %-15s : read failed: %s\n", kCauseNames[cause],
-                  entries.status().to_string().c_str());
+                  batch.status().to_string().c_str());
       continue;
     }
     std::uint32_t sample_seq = 0;
     dta::net::FiveTuple sample_flow;
-    if (!entries->empty()) {
-      const auto& first = entries->front();
+    if (!batch->entries.empty()) {
+      const auto& first = batch->entries.front();
       sample_flow = dta::net::FiveTuple::from_bytes(
           dta::common::ByteSpan(first.data(), 13));
       sample_seq = dta::common::load_u32(first.data() + 13);
     }
     std::printf("  %-15s : %8zu events (first: %s seq=%u)\n",
-                kCauseNames[cause], entries->size(),
-                entries->empty() ? "-" : sample_flow.to_string().c_str(),
+                kCauseNames[cause], batch->entries.size(),
+                batch->entries.empty() ? "-" : sample_flow.to_string().c_str(),
                 sample_seq);
   }
 

@@ -110,11 +110,11 @@ int main(int argc, char** argv) {
   for (std::uint32_t range = 0; range < kLossyRanges; ++range) {
     const std::uint64_t available =
         std::min<std::uint64_t>(lossy_per_range[range], ap.entries_per_list);
-    const auto entries = client.list(kLossyBase + range).read(available);
+    const auto batch = client.events(kLossyBase + range).max(available).run();
     std::printf("  %-7s: %llu lossy connections on list %u\n",
                 kRanges[range],
                 static_cast<unsigned long long>(
-                    entries.ok() ? entries->size() : 0),
+                    batch.ok() ? batch->entries.size() : 0),
                 kLossyBase + range);
   }
 
@@ -132,9 +132,10 @@ int main(int argc, char** argv) {
   std::map<std::uint32_t, int> histogram;
   const std::uint64_t flowlet_entries =
       std::min<std::uint64_t>(flowlets, ap.entries_per_list);
-  const auto flowlet_data = client.list(kFlowletList).read(flowlet_entries);
+  const auto flowlet_data =
+      client.events(kFlowletList).max(flowlet_entries).run();
   if (flowlet_data.ok()) {
-    for (const auto& entry : *flowlet_data) {
+    for (const auto& entry : flowlet_data->entries) {
       const std::uint32_t size = dta::common::load_u32(entry.data() + 13);
       if (size == 0) continue;  // unfilled tail region
       // Bucket by power of two.

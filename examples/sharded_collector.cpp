@@ -90,8 +90,8 @@ int main() {
 
   std::size_t events = 0;
   for (std::uint32_t list = 0; list < 4; ++list) {
-    if (const auto entries = client.list(list).read(250); entries.ok()) {
-      events += entries->size();
+    if (const auto batch = client.events(list).max(250).run(); batch.ok()) {
+      events += batch->entries.size();
     }
   }
   std::printf("read %zu loss events across 4 striped lists\n", events);

@@ -65,6 +65,13 @@ CollectorRuntime::CollectorRuntime(CollectorRuntimeConfig config)
     shards_.push_back(std::make_unique<CollectorShard>(i, sc));
   }
 
+  IndexPublisher::Config index_config;
+  index_config.publish_batch = config_.index_publish_batch;
+  index_config.target_leaf_entries = config_.index_leaf_entries;
+  index_publisher_ =
+      std::make_unique<IndexPublisher>(shards_.size(), index_config);
+  for (auto& shard : shards_) shard->set_index_sink(index_publisher_.get());
+
   std::vector<CollectorShard*> shard_ptrs;
   for (auto& shard : shards_) shard_ptrs.push_back(shard.get());
   IngestPipelineConfig pc;

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "collector/index_publisher.h"
 #include "collector/ingest_pipeline.h"
 #include "collector/shard.h"
 #include "collector/snapshot.h"
@@ -73,6 +74,13 @@ struct CollectorRuntimeConfig {
   std::uint32_t snapshot_chunk_bytes = 4096;
   double snapshot_full_copy_ratio = 0.5;
   SnapshotStalenessBudget staleness_budget;
+
+  // Secondary index tier (range/event queries). Deltas queue per
+  // delivered op batch and fold in once index_publish_batch of them
+  // accumulate (defer-publish) — or on demand when a query needs a
+  // newer generation than the published version covers.
+  std::uint32_t index_publish_batch = 64;
+  std::uint32_t index_leaf_entries = 128;
 };
 
 struct CollectorRuntimeStats {
@@ -169,6 +177,21 @@ class CollectorRuntime {
     return staleness_budget_;
   }
 
+  // Secondary-index version for shard `i` with generation >=
+  // `min_generation` — pass the generation of the snapshot the query
+  // pinned (snapshot->generation()), and the returned index is
+  // guaranteed to contain every key whose data that snapshot holds
+  // (index generations are supersets; extra keys resolve as snapshot
+  // misses). Lock-free when the published version already covers the
+  // generation; otherwise drains the shard's delta queue once. Safe
+  // from any thread.
+  std::shared_ptr<const ShardIndexVersion> index_shard(
+      std::uint32_t i, std::uint64_t min_generation = 0) {
+    return index_publisher_->version_at_least(i, min_generation);
+  }
+
+  const IndexPublisher& index_publisher() const { return *index_publisher_; }
+
   // Drops every cached snapshot (the cluster tier calls this when this
   // host is declared dead, so its frozen stores stop answering).
   void invalidate_snapshots();
@@ -206,6 +229,7 @@ class CollectorRuntime {
   CollectorRuntimeConfig config_;
   SnapshotStalenessBudget staleness_budget_;
   std::vector<std::unique_ptr<CollectorShard>> shards_;
+  std::unique_ptr<IndexPublisher> index_publisher_;
   std::unique_ptr<IngestPipeline> pipeline_;
   std::unique_ptr<SnapshotCache> snapshot_cache_;
 };

@@ -106,6 +106,20 @@ CollectorShard::CollectorShard(std::uint32_t index, const ShardConfig& config)
   dirty_.track(service_.postcarding_region());
   dirty_.track(service_.append_region());
   dirty_.track(service_.keyincrement_region());
+
+  // Append geometry for the event-cursor heads: the delivery loop
+  // reverse-maps each append-region WRITE to its list by offset.
+  if (service_.append() != nullptr) {
+    const AppendStore& store = *service_.append();
+    append_base_va_ = service_.append_region()->base_va();
+    append_region_len_ = service_.append_region()->length();
+    append_entry_bytes_ = store.entry_bytes();
+    append_list_stride_ =
+        store.entries_per_list() * static_cast<std::uint64_t>(
+                                       append_entry_bytes_);
+    append_batch_counts_.assign(store.num_lists(), 0);
+    append_delivered_.assign(store.num_lists(), 0);
+  }
 }
 
 void CollectorShard::ingest(const proto::ParsedDta& parsed) {
@@ -115,13 +129,22 @@ void CollectorShard::ingest(const proto::ParsedDta& parsed) {
   const std::size_t before = pending_.size();
 
   if (const auto* kw = std::get_if<proto::KeyWriteReport>(&parsed.report)) {
-    if (keywrite_) keywrite_->translate(*kw, immediate, pending_);
+    if (keywrite_) {
+      stage_key(kw->key, kIndexKeyWrite);
+      keywrite_->translate(*kw, immediate, pending_);
+    }
   } else if (const auto* ki =
                  std::get_if<proto::KeyIncrementReport>(&parsed.report)) {
-    if (keyincrement_) keyincrement_->translate(*ki, pending_);
+    if (keyincrement_) {
+      stage_key(ki->key, kIndexKeyIncrement);
+      keyincrement_->translate(*ki, pending_);
+    }
   } else if (const auto* pc =
                  std::get_if<proto::PostcardReport>(&parsed.report)) {
-    if (postcarding_) postcarding_->ingest(*pc, pending_);
+    if (postcarding_) {
+      stage_key(pc->key, kIndexPostcarding);
+      postcarding_->ingest(*pc, pending_);
+    }
   } else if (const auto* ap =
                  std::get_if<proto::AppendReport>(&parsed.report)) {
     if (append_) append_->ingest(*ap, immediate, pending_);
@@ -147,6 +170,7 @@ void CollectorShard::ingest_block(const OpBlock& block) {
   std::size_t before = pending_.size();
   if (keywrite_) {
     for (std::size_t i = 0; i < block.keywrites.size(); ++i) {
+      stage_key(block.keywrites[i].key, kIndexKeyWrite);
       keywrite_->translate(block.keywrites[i], block.keywrite_meta[i].immediate,
                            pending_);
       if (pending_.size() >= op_batch_size_) {
@@ -158,6 +182,7 @@ void CollectorShard::ingest_block(const OpBlock& block) {
   }
   if (keyincrement_) {
     for (const auto& report : block.keyincrements) {
+      stage_key(report.key, kIndexKeyIncrement);
       keyincrement_->translate(report, pending_);
       if (pending_.size() >= op_batch_size_) {
         stats_.ops_batched += pending_.size() - before;
@@ -168,6 +193,7 @@ void CollectorShard::ingest_block(const OpBlock& block) {
   }
   if (postcarding_) {
     for (const auto& report : block.postcards) {
+      stage_key(report.key, kIndexPostcarding);
       postcarding_->ingest(report, pending_);
       if (pending_.size() >= op_batch_size_) {
         stats_.ops_batched += pending_.size() - before;
@@ -212,6 +238,18 @@ void CollectorShard::deliver_batch() {
     switch (op.kind) {
       case translator::RdmaOp::Kind::kWrite:
         dirty_.mark(op.remote_va, op.payload.size());
+        // Reverse-map append-region writes to their list: the engine
+        // emits per-list batch writes, so payload / entry_bytes is an
+        // exact delivered-entry count (the event-cursor head advance).
+        if (append_entry_bytes_ != 0 && op.remote_va >= append_base_va_ &&
+            op.remote_va < append_base_va_ + append_region_len_) {
+          const std::uint64_t list =
+              (op.remote_va - append_base_va_) / append_list_stride_;
+          if (list < append_batch_counts_.size()) {
+            append_batch_counts_[list] +=
+                op.payload.size() / append_entry_bytes_;
+          }
+        }
         break;
       case translator::RdmaOp::Kind::kFetchAdd:
         dirty_.mark(op.remote_va, 8);
@@ -252,6 +290,23 @@ void CollectorShard::deliver_batch() {
     }
   }
   pending_.clear();
+  // Fold this batch's append counts into the cumulative heads and hand
+  // the index its delta — before the generation bump, so an observer of
+  // the new generation always finds the matching delta enqueued.
+  IndexDelta delta;
+  for (std::size_t list = 0; list < append_batch_counts_.size(); ++list) {
+    if (append_batch_counts_[list] == 0) continue;
+    append_delivered_[list] += append_batch_counts_[list];
+    delta.append_deltas.emplace_back(static_cast<std::uint32_t>(list),
+                                     append_batch_counts_[list]);
+    append_batch_counts_[list] = 0;
+  }
+  if (index_sink_ != nullptr) {
+    delta.generation = generation_.load(std::memory_order_relaxed) + 1;
+    delta.keys = std::move(staged_keys_);
+    staged_keys_.clear();
+    index_sink_->enqueue(index_, std::move(delta));
+  }
   // The batch is in store memory; stamp a new generation. Release pairs
   // with the acquire in generation() so a reader that observes the new
   // stamp also observes the batch's writes (the flush/quiesce handshake

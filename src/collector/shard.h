@@ -21,6 +21,7 @@
 
 #include "collector/dirty_tracker.h"
 #include "collector/op_block.h"
+#include "collector/shard_index.h"
 #include "dta/tenant.h"
 #include "collector/rdma_service.h"
 #include "translator/append_engine.h"
@@ -158,8 +159,31 @@ class CollectorShard {
   // Modeled ingest rate of this shard's NIC (verbs per virtual second).
   double modeled_verbs_per_sec() const;
 
+  // Secondary-index feed: when set, every delivered op batch hands the
+  // sink one IndexDelta — the telemetry keys the batch's reports
+  // carried (staged at translate time; store memory cannot recover
+  // them) plus per-list append entry counts — stamped with the
+  // generation the delivery produces. The delta is enqueued *before*
+  // the generation bump, so an observer of generation G always finds
+  // delta G already queued. Call before ingesting (not thread-safe
+  // against the worker).
+  void set_index_sink(IndexSink* sink) { index_sink_ = sink; }
+
+  // Cumulative entries delivered per shard-local append list — the
+  // event-cursor heads. Written by the ingest thread; read by the
+  // snapshot refresher inside a quiesce window only.
+  const std::vector<std::uint64_t>& append_delivered() const {
+    return append_delivered_;
+  }
+
  private:
   void deliver_batch();
+
+  // Stages one translated report's key for the next IndexDelta. Only
+  // active with a sink attached — otherwise nothing drains the stage.
+  void stage_key(const proto::TelemetryKey& key, std::uint8_t primitive) {
+    if (index_sink_ != nullptr) staged_keys_.push_back({key, primitive});
+  }
 
   std::uint32_t index_;
   std::uint32_t op_batch_size_;
@@ -171,6 +195,17 @@ class CollectorShard {
   std::unique_ptr<translator::PostcardCache> postcarding_;
   std::unique_ptr<translator::AppendEngine> append_;
   std::vector<translator::RdmaOp> pending_;
+  // Index maintenance: keys staged since the last delivery, the
+  // append-region geometry the delivery loop reverse-maps WRITE ops
+  // through, and per-batch/cumulative append entry counts.
+  IndexSink* index_sink_ = nullptr;
+  std::vector<IndexEntry> staged_keys_;
+  std::uint64_t append_base_va_ = 0;
+  std::uint64_t append_region_len_ = 0;
+  std::uint64_t append_list_stride_ = 0;
+  std::uint32_t append_entry_bytes_ = 0;
+  std::vector<std::uint64_t> append_batch_counts_;
+  std::vector<std::uint64_t> append_delivered_;
   DirtyTracker dirty_;
   ShardStats stats_;
   std::unordered_map<TenantId, std::uint64_t> tenant_reports_in_;

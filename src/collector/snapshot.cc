@@ -85,6 +85,7 @@ std::unique_ptr<StoreSnapshot> StoreSnapshot::clone(
     out->keyincrement_ = std::make_unique<KeyIncrementStore>(
         out->ki_mem_.get(), keyincrement_->num_slots());
   }
+  out->append_heads_ = append_heads_;
   return out;
 }
 
@@ -163,6 +164,26 @@ std::vector<common::Bytes> StoreSnapshot::append_read(
     // consumer positions are untouched.
     const common::ByteSpan entry = append_->poll(local_list);
     out.emplace_back(entry.begin(), entry.end());
+  }
+  return out;
+}
+
+std::uint64_t StoreSnapshot::append_entries_per_list() const {
+  return append_ ? append_->entries_per_list() : 0;
+}
+
+std::vector<common::Bytes> StoreSnapshot::append_read_range(
+    std::uint32_t local_list, std::uint64_t start_entry,
+    std::uint64_t count) const {
+  std::vector<common::Bytes> out;
+  if (!append_ || local_list >= append_->num_lists()) return out;
+  const std::uint64_t per_list = append_->entries_per_list();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto [offset, length] =
+        append_->entry_byte_range(local_list, (start_entry + i) % per_list);
+    const std::uint8_t* data = ap_mem_->data() + offset;
+    out.emplace_back(data, data + length);
   }
   return out;
 }

@@ -112,6 +112,30 @@ class StoreSnapshot {
   std::vector<common::ByteSpan> append_read_views(std::uint32_t local_list,
                                                   std::uint64_t count) const;
 
+  // --- event cursor ---------------------------------------------------------
+  // Cumulative per-list delivered-entry counts captured at snapshot
+  // time (CollectorShard::append_delivered, read inside the quiesce
+  // window). Together with append_read_range these give cursor-based
+  // event reads: absolute position p lives at ring slot
+  // p % entries_per_list as long as it is within the last
+  // entries_per_list delivered entries.
+  void set_append_heads(std::vector<std::uint64_t> heads) {
+    append_heads_ = std::move(heads);
+  }
+  std::uint64_t append_head(std::uint32_t local_list) const {
+    return local_list < append_heads_.size() ? append_heads_[local_list] : 0;
+  }
+  std::uint64_t append_entries_per_list() const;
+
+  // Reads `count` entries of `local_list` starting at absolute entry
+  // position `start_entry`, by ring arithmetic, without touching the
+  // snapshot's polling tails. The caller bounds [start_entry,
+  // start_entry+count) to the live window [head - entries_per_list,
+  // head); positions outside it alias overwritten ring slots.
+  std::vector<common::Bytes> append_read_range(std::uint32_t local_list,
+                                               std::uint64_t start_entry,
+                                               std::uint64_t count) const;
+
  private:
   // Empty shell for clone(): regions and stores are filled in by hand.
   explicit StoreSnapshot(std::uint64_t generation) : generation_(generation) {}
@@ -120,6 +144,7 @@ class StoreSnapshot {
       const rdma::MemoryRegion* src);
 
   std::uint64_t generation_;
+  std::vector<std::uint64_t> append_heads_;
   std::unique_ptr<rdma::MemoryRegion> kw_mem_, pc_mem_, ap_mem_, ki_mem_;
   std::unique_ptr<KeyWriteStore> keywrite_;
   std::unique_ptr<PostcardingStore> postcarding_;

@@ -175,6 +175,9 @@ SnapshotCache::SnapshotPtr SnapshotCache::refresh(std::uint32_t shard_index,
     copied = store_footprint(shard.service());
     full_refreshes_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Event-cursor heads travel with the snapshot: captured inside the
+  // window, so they are exact for the generation the snapshot reflects.
+  target->set_append_heads(shard.append_delivered());
   // The new publication covers everything delivered so far; the dirty
   // set is consumed (still inside the window — the worker must not be
   // marking while we clear).
@@ -192,8 +195,9 @@ SnapshotCache::SnapshotPtr SnapshotCache::copy_fresh(std::uint32_t shard_index,
   Entry& entry = *entries_[shard_index];
   std::lock_guard<std::mutex> lock(entry.refresh_mu);
   pipeline.begin_quiesce(shard_index);
-  auto snap = std::make_shared<const StoreSnapshot>(shard.service(),
-                                                    shard.generation());
+  auto snap = std::make_shared<StoreSnapshot>(shard.service(),
+                                              shard.generation());
+  snap->set_append_heads(shard.append_delivered());
   pipeline.end_quiesce(shard_index);
   return snap;
 }

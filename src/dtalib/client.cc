@@ -1,10 +1,12 @@
 #include "dtalib/client.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/shard_math.h"
 #include "dta/report_builders.h"
+#include "dtalib/query_core.h"
 
 namespace dta {
 
@@ -13,6 +15,33 @@ namespace dta {
 // these, the v2 contract is a distinct Status per failure class.
 // Exported so every Backend (including out-of-file ones like
 // FabricBackend) rejects the same inputs with the same codes.
+namespace {
+
+// Shared key/redundancy checks, with the report/query context threaded
+// into the message so callers can tell *which* field of *which*
+// primitive failed without a debugger (the bare "kInvalidArgument"
+// messages these replace named neither).
+Status check_key_and_redundancy(const char* what,
+                                const proto::TelemetryKey& key,
+                                std::uint8_t redundancy) {
+  if (key.length == 0) {
+    return {StatusCode::kInvalidArgument,
+            std::string(what) + ": empty telemetry key (key.length == 0)"};
+  }
+  if (redundancy == 0) {
+    return {StatusCode::kInvalidArgument,
+            std::string(what) + ": redundancy 0, must be >= 1"};
+  }
+  if (redundancy > 8) {
+    return {StatusCode::kOutOfRange,
+            std::string(what) + ": redundancy " + std::to_string(redundancy) +
+                " exceeds the 8 slot-hash engines"};
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status validate_report(const proto::ParsedDta& parsed,
                        const collector::CollectorRuntimeConfig& config,
                        std::uint32_t num_lists) {
@@ -20,19 +49,17 @@ Status validate_report(const proto::ParsedDta& parsed,
     if (!config.keywrite) {
       return {StatusCode::kNotConfigured, "Key-Write store not enabled"};
     }
-    if (kw->key.length == 0) {
-      return {StatusCode::kInvalidArgument, "empty telemetry key"};
-    }
-    if (kw->redundancy == 0) {
-      return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
-    }
-    if (kw->redundancy > 8) {
-      return {StatusCode::kOutOfRange,
-              "redundancy exceeds the 8 slot-hash engines"};
+    if (auto status =
+            check_key_and_redundancy("Key-Write report", kw->key,
+                                     kw->redundancy);
+        !status.ok()) {
+      return status;
     }
     if (kw->data.size() > config.keywrite->value_bytes) {
       return {StatusCode::kOutOfRange,
-              "value wider than the store's value_bytes"};
+              "Key-Write report: " + std::to_string(kw->data.size()) +
+                  "B value wider than the store's value_bytes " +
+                  std::to_string(config.keywrite->value_bytes)};
     }
     return Status::Ok();
   }
@@ -41,28 +68,24 @@ Status validate_report(const proto::ParsedDta& parsed,
     if (!config.keyincrement) {
       return {StatusCode::kNotConfigured, "Key-Increment store not enabled"};
     }
-    if (ki->key.length == 0) {
-      return {StatusCode::kInvalidArgument, "empty telemetry key"};
-    }
-    if (ki->redundancy == 0) {
-      return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
-    }
-    if (ki->redundancy > 8) {
-      return {StatusCode::kOutOfRange,
-              "redundancy exceeds the 8 slot-hash engines"};
-    }
-    return Status::Ok();
+    return check_key_and_redundancy("Key-Increment report", ki->key,
+                                    ki->redundancy);
   }
   if (const auto* pc = std::get_if<proto::PostcardReport>(&parsed.report)) {
     if (!config.postcarding) {
       return {StatusCode::kNotConfigured, "Postcarding store not enabled"};
     }
     if (pc->key.length == 0) {
-      return {StatusCode::kInvalidArgument, "empty telemetry key"};
+      return {StatusCode::kInvalidArgument,
+              "Postcard report: empty telemetry key (key.length == 0)"};
     }
     if (pc->hop >= config.postcarding->hops ||
         pc->path_len > config.postcarding->hops) {
-      return {StatusCode::kOutOfRange, "hop index beyond the store's hops"};
+      return {StatusCode::kOutOfRange,
+              "Postcard report: hop " + std::to_string(pc->hop) +
+                  " / path_len " + std::to_string(pc->path_len) +
+                  " beyond the store's " +
+                  std::to_string(config.postcarding->hops) + " hops"};
     }
     return Status::Ok();
   }
@@ -71,22 +94,30 @@ Status validate_report(const proto::ParsedDta& parsed,
       return {StatusCode::kNotConfigured, "Append store not enabled"};
     }
     if (ap->list_id >= num_lists) {
-      return {StatusCode::kUnknownList, "Append list id out of range"};
+      return {StatusCode::kUnknownList,
+              "Append report: list id " + std::to_string(ap->list_id) +
+                  " outside [0, " + std::to_string(num_lists) + ")"};
     }
     if (ap->entries.empty()) {
-      return {StatusCode::kInvalidArgument, "Append report with no entries"};
+      return {StatusCode::kInvalidArgument,
+              "Append report: entries empty (nothing to append)"};
     }
     if (ap->entry_size != config.append->entry_bytes) {
       return {StatusCode::kOutOfRange,
-              "entry size differs from the store's entry_bytes"};
+              "Append report: entry_size " + std::to_string(ap->entry_size) +
+                  " differs from the store's entry_bytes " +
+                  std::to_string(config.append->entry_bytes)};
     }
     // Check the actual payload sizes too: the wire field is 8-bit, so a
     // >255B entry would alias a small entry_size and silently truncate
     // in the engine — exactly the failure class Status exists to name.
-    for (const auto& entry : ap->entries) {
-      if (entry.size() != config.append->entry_bytes) {
+    for (std::size_t i = 0; i < ap->entries.size(); ++i) {
+      if (ap->entries[i].size() != config.append->entry_bytes) {
         return {StatusCode::kOutOfRange,
-                "entry payload differs from the store's entry_bytes"};
+                "Append report: entry " + std::to_string(i) + " payload of " +
+                    std::to_string(ap->entries[i].size()) +
+                    "B differs from the store's entry_bytes " +
+                    std::to_string(config.append->entry_bytes)};
       }
     }
     return Status::Ok();
@@ -129,17 +160,7 @@ std::uint32_t submit_ops(const proto::ParsedDta& parsed) {
 
 Status query_precheck(const proto::TelemetryKey& key,
                       const QueryOptions& opts) {
-  if (key.length == 0) {
-    return {StatusCode::kInvalidArgument, "empty telemetry key"};
-  }
-  if (opts.redundancy == 0) {
-    return {StatusCode::kInvalidArgument, "redundancy must be >= 1"};
-  }
-  if (opts.redundancy > 8) {
-    return {StatusCode::kOutOfRange,
-            "redundancy exceeds the 8 slot-hash engines"};
-  }
-  return Status::Ok();
+  return check_key_and_redundancy("query", key, opts.redundancy);
 }
 
 // Per-primitive query prechecks, shared by the sync/async/batch
@@ -189,92 +210,25 @@ Status append_read_precheck(const Backend& backend, std::uint64_t count) {
     return {StatusCode::kNotConfigured, "Append store not enabled"};
   }
   if (count > config.append->entries_per_list) {
-    return {StatusCode::kOutOfRange, "count exceeds the ring capacity"};
+    return {StatusCode::kOutOfRange,
+            "read count " + std::to_string(count) +
+                " exceeds the ring capacity " +
+                std::to_string(config.append->entries_per_list)};
   }
   return Status::Ok();
 }
 
-// Best-vote merge across replica snapshots (one snapshot per candidate
-// host). A conflict anywhere without a hit anywhere is reported as
-// kConflict — the caller can tell ambiguity from absence.
-//
-// This is the zero-copy core: each snapshot's vote resolves to a span
-// into that snapshot's memory (no candidate is ever copied), and the
-// winner comes back as a ByteView holding the winning snapshot's pin.
-// merge_keywrite() is the copy mode layered on top.
-Expected<ByteView> merge_keywrite_view(const std::vector<SnapshotPtr>& snaps,
-                                       const proto::TelemetryKey& key,
-                                       const QueryOptions& opts) {
-  collector::KeyWriteViewResult best;
-  const SnapshotPtr* best_snap = nullptr;
-  bool conflict = false;
-  for (const auto& snap : snaps) {
-    if (!snap->has_keywrite()) continue;
-    const auto result = snap->keywrite_query_view(key, opts.redundancy,
-                                                  opts.consensus_threshold);
-    if (result.status == collector::QueryStatus::kHit) {
-      if (best.status != collector::QueryStatus::kHit ||
-          result.votes > best.votes) {
-        best = result;
-        best_snap = &snap;
-      }
-    } else if (result.status == collector::QueryStatus::kConflict) {
-      conflict = true;
-    }
-  }
-  if (best.status == collector::QueryStatus::kHit) {
-    return ByteView(*best_snap, best.value);
-  }
-  if (conflict) {
-    return Status(StatusCode::kConflict,
-                  "replica slots disagree or vote below threshold");
-  }
-  return Status(StatusCode::kNotFound, "no slot carried the key's checksum");
-}
-
-Expected<common::Bytes> merge_keywrite(const std::vector<SnapshotPtr>& snaps,
-                                       const proto::TelemetryKey& key,
-                                       const QueryOptions& opts) {
-  auto view = merge_keywrite_view(snaps, key, opts);
-  if (!view.ok()) return view.status();
-  return view->to_bytes();
-}
-
-Expected<std::uint64_t> merge_counter(const std::vector<SnapshotPtr>& snaps,
-                                      const proto::TelemetryKey& key,
-                                      const QueryOptions& opts) {
-  std::optional<std::uint64_t> best;
-  for (const auto& snap : snaps) {
-    if (const auto est = snap->keyincrement_query(key, opts.redundancy)) {
-      best = std::max(best.value_or(0), *est);
-    }
-  }
-  if (!best) {
-    return Status(StatusCode::kNotFound,
-                  "no candidate snapshot held a Key-Increment store");
-  }
-  return *best;
-}
-
-Expected<std::vector<std::uint32_t>> merge_path(
-    const std::vector<SnapshotPtr>& snaps, const proto::TelemetryKey& key,
-    const QueryOptions& opts) {
-  std::optional<std::vector<std::uint32_t>> merged;
-  for (const auto& snap : snaps) {
-    if (!snap->has_postcarding()) continue;
-    auto result = snap->postcarding_query(key, opts.redundancy);
-    if (!result.found) continue;
-    if (merged && *merged != result.hop_values) {
-      return Status(StatusCode::kConflict,
-                    "replica hosts decoded different paths");
-    }
-    merged = std::move(result.hop_values);
-  }
-  if (!merged) {
-    return Status(StatusCode::kNotFound, "no path recovered for the key");
-  }
-  return *std::move(merged);
-}
+// The merge and range-resolution core lives in dtalib/query_core.h so
+// FabricBackend resolves through the exact same path (the conformance
+// kit's byte-equality depends on there being only one).
+using internal::collect_range_candidates;
+using internal::merge_counter;
+using internal::merge_keywrite;
+using internal::merge_keywrite_view;
+using internal::merge_path;
+using internal::range_precheck;
+using internal::resolve_range_entry;
+using internal::scan_range_candidates;
 
 }  // namespace
 
@@ -282,6 +236,40 @@ proto::TelemetryKey flow_key(const net::FiveTuple& flow) {
   const auto bytes = flow.to_bytes();
   return proto::TelemetryKey::from(
       common::ByteSpan(bytes.data(), bytes.size()));
+}
+
+// --- Backend (shared event-query path) ---------------------------------------
+
+// Implemented once over list_snapshot(): the snapshot carries the
+// delivered-entry head of every local list, so cursor arithmetic is
+// identical on every backend (and the ReplayBackend gets it for free
+// through its delegated list_snapshot).
+Expected<EventBatch> Backend::events_query(std::uint32_t list,
+                                           std::uint64_t cursor,
+                                           std::uint64_t max_entries,
+                                           const QueryOptions& opts) {
+  auto slice = list_snapshot(list, opts);
+  if (!slice.ok()) return slice.status();
+  const collector::StoreSnapshot& snap = *slice->snap;
+  const std::uint64_t head = snap.append_head(slice->shard_list);
+  if (cursor > head) {
+    return Status(StatusCode::kOutOfRange,
+                  "event cursor " + std::to_string(cursor) +
+                      " is ahead of list " + std::to_string(list) +
+                      "'s delivered head " + std::to_string(head));
+  }
+  // The ring only holds the last `capacity` entries; anything the
+  // cursor asked for below that line was overwritten -> `dropped`.
+  const std::uint64_t capacity = snap.append_entries_per_list();
+  const std::uint64_t oldest = head > capacity ? head - capacity : 0;
+  const std::uint64_t start = std::max(cursor, oldest);
+  const std::uint64_t n = std::min(max_entries, head - start);
+  EventBatch out;
+  out.dropped = start - cursor;
+  out.entries = snap.append_read_range(slice->shard_list, start, n);
+  out.next.position = start + n;
+  out.remaining = head - out.next.position;
+  return out;
 }
 
 // --- LocalBackend ------------------------------------------------------------
@@ -382,6 +370,37 @@ Expected<Backend::ListSlice> LocalBackend::list_snapshot(
   slice.snap = std::move(snap).value();
   slice.shard_list = collector::local_list_id(list, runtime_.num_shards());
   return slice;
+}
+
+Expected<RangeResult> LocalBackend::range_query(const RangeSpec& spec,
+                                                const QueryOptions& opts) {
+  if (auto status = range_precheck(*this, spec, opts); !status.ok()) {
+    return status;
+  }
+  if (auto status = tenants_.admit_query(opts.tenant); !status.ok()) {
+    return status;
+  }
+  // Pin every shard's snapshot, then catch each shard's index up to the
+  // pinned generation: the returned version is then a superset of the
+  // keys that snapshot holds, so no key the scan path would return can
+  // be missing from the candidates.
+  const std::uint32_t n = runtime_.num_shards();
+  std::vector<SnapshotPtr> pinned(n);
+  std::vector<std::shared_ptr<const collector::ShardIndexVersion>> indexes;
+  indexes.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    auto snap = acquire(s, opts);
+    if (!snap.ok()) return snap.status();
+    pinned[s] = std::move(snap).value();
+    indexes.push_back(runtime_.index_shard(s, pinned[s]->generation()));
+  }
+  const auto candidates = collect_range_candidates(indexes, spec);
+  return scan_range_candidates(
+      candidates, spec.limit, [&](const proto::TelemetryKey& key) {
+        const std::vector<SnapshotPtr> snaps{
+            pinned[collector::shard_for_key(key, n)]};
+        return resolve_range_entry(snaps, key, spec, opts);
+      });
 }
 
 const collector::CollectorRuntimeConfig& LocalBackend::host_config() const {
@@ -587,6 +606,56 @@ Expected<Backend::ListSlice> ClusterBackend::list_snapshot(
   return slice;
 }
 
+Expected<RangeResult> ClusterBackend::range_query(const RangeSpec& spec,
+                                                  const QueryOptions& opts) {
+  if (auto status = range_precheck(*this, spec, opts); !status.ok()) {
+    return status;
+  }
+  if (auto status = cluster_.tenants().admit_query(opts.tenant);
+      !status.ok()) {
+    return status;
+  }
+  std::vector<std::uint32_t> live;
+  for (std::uint32_t h = 0; h < cluster_.num_hosts(); ++h) {
+    if (!cluster_.is_failed(h)) live.push_back(h);
+  }
+  if (live.empty()) {
+    return Status(StatusCode::kUnavailable, "every collector host is failed");
+  }
+  // Pin one snapshot + caught-up index per live (host, shard).
+  // Candidates are the union across hosts; each candidate then resolves
+  // over exactly its candidate_hosts' pinned snapshots — the same
+  // replica set, same merge, as a point get of that key.
+  const std::uint32_t shards = cluster_.shards_per_host();
+  std::vector<std::vector<SnapshotPtr>> pinned(
+      cluster_.num_hosts(), std::vector<SnapshotPtr>(shards));
+  std::vector<std::shared_ptr<const collector::ShardIndexVersion>> indexes;
+  indexes.reserve(live.size() * shards);
+  for (const std::uint32_t h : live) {
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      auto snap = acquire(h, s, opts);
+      if (!snap.ok()) return snap.status();
+      pinned[h][s] = std::move(snap).value();
+      indexes.push_back(
+          cluster_.host(h).index_shard(s, pinned[h][s]->generation()));
+    }
+  }
+  const auto candidates = collect_range_candidates(indexes, spec);
+  return scan_range_candidates(
+      candidates, spec.limit,
+      [&](const proto::TelemetryKey& key) -> std::optional<RangeEntry> {
+        const auto hosts = candidate_hosts(key);
+        // Empty under kByKeyHash when the key's owner died: the
+        // partition is lost, point gets fail, so ranges skip it too.
+        if (hosts.empty()) return std::nullopt;
+        const std::uint32_t shard = cluster_.selector().shard_within_host(key);
+        std::vector<SnapshotPtr> snaps;
+        snaps.reserve(hosts.size());
+        for (const std::uint32_t h : hosts) snaps.push_back(pinned[h][shard]);
+        return resolve_range_entry(snaps, key, spec, opts);
+      });
+}
+
 const collector::CollectorRuntimeConfig& ClusterBackend::host_config() const {
   return cluster_.config().host;
 }
@@ -621,7 +690,9 @@ double ClusterBackend::modeled_verbs_per_sec() const {
 
 Status ClusterBackend::fail_host(std::uint32_t host) {
   if (host >= cluster_.num_hosts()) {
-    return {StatusCode::kInvalidArgument, "host index out of range"};
+    return {StatusCode::kInvalidArgument,
+            "host index " + std::to_string(host) + " outside [0, " +
+                std::to_string(cluster_.num_hosts()) + ")"};
   }
   cluster_.fail_host(host);
   return Status::Ok();
@@ -844,6 +915,36 @@ Expected<std::vector<std::uint32_t>> PostcardStream::path_of(
   auto snaps = backend_->key_snapshots(key, opts);
   if (!snaps.ok()) return snaps.status();
   return merge_path(*snaps, key, opts);
+}
+
+// --- query builders ----------------------------------------------------------
+
+Expected<RangeResult> RangeQuery::run() const {
+  return backend_->range_query(spec_, opts_);
+}
+
+Expected<CounterRangeResult> CounterRangeQuery::run() const {
+  auto raw = backend_->range_query(spec_, opts_);
+  if (!raw.ok()) return raw.status();
+  CounterRangeResult out;
+  out.truncated = raw->truncated;
+  out.next = raw->next;
+  out.entries.reserve(raw->entries.size());
+  for (const auto& entry : raw->entries) {
+    CounterRangeEntry decoded;
+    decoded.key = entry.key;
+    // The backend carries counter estimates big-endian in 8 bytes.
+    decoded.count =
+        (static_cast<std::uint64_t>(common::load_u32(entry.value.data()))
+         << 32) |
+        common::load_u32(entry.value.data() + 4);
+    out.entries.push_back(decoded);
+  }
+  return out;
+}
+
+Expected<EventBatch> EventQuery::run() const {
+  return backend_->events_query(list_, cursor_, max_entries_, opts_);
 }
 
 // --- Client ------------------------------------------------------------------

@@ -53,6 +53,7 @@
 #include "dtalib/byte_view.h"
 #include "dtalib/cluster_runtime.h"
 #include "dtalib/options.h"
+#include "dtalib/query.h"
 #include "dtalib/status.h"
 #include "dtalib/tenant_registry.h"
 #include "net/flow.h"
@@ -125,6 +126,23 @@ class Backend {
   // policy; replica failover under kReplicate) and its shard-local id.
   virtual Expected<ListSlice> list_snapshot(std::uint32_t list,
                                             const QueryOptions& opts) = 0;
+
+  // Indexed range query (dtalib/query.h): candidate keys come from the
+  // per-shard secondary indexes, every candidate resolves through the
+  // same snapshot point lookups the get() path uses — results are
+  // byte-identical to scanning a key catalog, in O(log n + results).
+  virtual Expected<RangeResult> range_query(const RangeSpec& spec,
+                                            const QueryOptions& opts) = 0;
+
+  // Cursor-based event read over Append list `list`: entries from
+  // absolute position `cursor` up to the snapshot's delivered head
+  // (at most `max_entries`), with ring-overwrite loss reported as
+  // EventBatch::dropped. Implemented once over list_snapshot(); the
+  // snapshot carries the delivered-entry heads.
+  virtual Expected<EventBatch> events_query(std::uint32_t list,
+                                            std::uint64_t cursor,
+                                            std::uint64_t max_entries,
+                                            const QueryOptions& opts);
 
   // The per-host store/runtime geometry (identical across hosts).
   virtual const collector::CollectorRuntimeConfig& host_config() const = 0;
@@ -223,12 +241,20 @@ class AppendList {
   // live store's consumer position, without consuming. The caller
   // tracks availability (the paper's polling model); count beyond the
   // ring capacity is kOutOfRange.
+  //
+  // Deprecated (one PR): positionless reads cannot resume or detect
+  // ring overwrite — use the cursor-based event query instead:
+  //   client.events(list).since(cursor).max(n).run()
+  // (see the README migration table). Removal follows next PR.
+  [[deprecated("use client.events(list).since(cursor).max(n).run()")]]
   Expected<std::vector<common::Bytes>> read(
       std::uint64_t count, const QueryOptions& opts = {}) const;
   // Zero-copy variant: entry views into the list's snapshot, all
   // sharing one pin. Same semantics as read() otherwise.
+  [[deprecated("use client.events(list).since(cursor).max(n).run()")]]
   Expected<std::vector<ByteView>> read_views(
       std::uint64_t count, const QueryOptions& opts = {}) const;
+  [[deprecated("use client.events(list).since(cursor).max(n).run()")]]
   std::future<Expected<std::vector<common::Bytes>>> read_async(
       std::uint64_t count, const QueryOptions& opts = {}) const;
 
@@ -292,6 +318,25 @@ class Client {
   AppendList list(std::uint32_t id) { return AppendList(backend_.get(), id); }
   PostcardStream postcards() { return PostcardStream(backend_.get()); }
 
+  // Typed query builders (dtalib/query.h). The handle argument selects
+  // the primitive; the builder starts from default QueryOptions (or a
+  // tenant's defaults via .options(tenant_options(t))):
+  //   client.range(client.keywrite()).from(k1).to(k2).limit(n).run()
+  //   client.range(client.counters()).from(k1).to(k2).run()
+  //   client.events(client.list(3)).since(cursor).max(64).run()
+  RangeQuery range(const KeyWriteTable&) {
+    return RangeQuery(backend_.get(), QueryOptions{});
+  }
+  CounterRangeQuery range(const CounterTable&) {
+    return CounterRangeQuery(backend_.get(), QueryOptions{});
+  }
+  EventQuery events(const AppendList& list) {
+    return EventQuery(backend_.get(), list.id(), QueryOptions{});
+  }
+  EventQuery events(std::uint32_t list) {
+    return EventQuery(backend_.get(), list, QueryOptions{});
+  }
+
   ClientStats stats() const;
   double modeled_verbs_per_sec() const;
   Status fail_host(std::uint32_t host);
@@ -336,6 +381,8 @@ class LocalBackend final : public Backend {
       const QueryOptions& opts) override;
   Expected<ListSlice> list_snapshot(std::uint32_t list,
                                     const QueryOptions& opts) override;
+  Expected<RangeResult> range_query(const RangeSpec& spec,
+                                    const QueryOptions& opts) override;
   const collector::CollectorRuntimeConfig& host_config() const override;
   std::uint32_t num_lists() const override;
   ClientStats stats() const override;
@@ -368,6 +415,8 @@ class ClusterBackend final : public Backend {
       const std::vector<proto::TelemetryKey>& keys,
       const QueryOptions& opts) override;
   Expected<ListSlice> list_snapshot(std::uint32_t list,
+                                    const QueryOptions& opts) override;
+  Expected<RangeResult> range_query(const RangeSpec& spec,
                                     const QueryOptions& opts) override;
   const collector::CollectorRuntimeConfig& host_config() const override;
   std::uint32_t num_lists() const override;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "dtalib/query_core.h"
+
 namespace dta {
 
 namespace {
@@ -49,7 +51,10 @@ FabricConfig FabricBackend::fabric_config_from(
 
 FabricBackend::FabricBackend(FabricConfig config)
     : fabric_(std::make_unique<Fabric>(config)),
-      host_config_(host_config_from(config)) {}
+      host_config_(host_config_from(config)) {
+  staged_append_.assign(num_lists(), 0);
+  index_ = index_builder_.publish();  // empty version at generation 0
+}
 
 Status FabricBackend::submit(proto::ParsedDta parsed,
                              const ReportOptions& opts) {
@@ -74,6 +79,21 @@ Status FabricBackend::submit(proto::ParsedDta parsed,
   fabric_->report(parsed.report, 0, immediate);
   ++submitted_;
   ++tenant_ingest_[opts.tenant];
+  // Stage the key for the secondary index while it is still a full key
+  // (the wire reduces it to a checksum); folds in at the next snapshot
+  // rebuild.
+  if (const auto* kw = std::get_if<proto::KeyWriteReport>(&parsed.report)) {
+    staged_keys_.push_back({kw->key, collector::kIndexKeyWrite});
+  } else if (const auto* ki =
+                 std::get_if<proto::KeyIncrementReport>(&parsed.report)) {
+    staged_keys_.push_back({ki->key, collector::kIndexKeyIncrement});
+  } else if (const auto* pc =
+                 std::get_if<proto::PostcardReport>(&parsed.report)) {
+    staged_keys_.push_back({pc->key, collector::kIndexPostcarding});
+  } else if (const auto* ap =
+                 std::get_if<proto::AppendReport>(&parsed.report)) {
+    staged_append_[ap->list_id] += ap->entries.size();
+  }
   return Status::Ok();
 }
 
@@ -104,11 +124,51 @@ Expected<Backend::SnapshotPtr> FabricBackend::acquire_locked(
   // shard hold barrier under LocalBackend).
   if (!snapshot_ || snapshot_covers_ != submitted_) {
     fabric_->flush();
-    snapshot_ = std::make_shared<collector::StoreSnapshot>(
+    // Fold the staged index delta first, so the published index
+    // generation equals the snapshot generation it is about to stamp.
+    collector::IndexDelta delta;
+    delta.generation = generation_ + 1;
+    delta.keys = std::move(staged_keys_);
+    staged_keys_.clear();
+    for (std::uint32_t list = 0; list < staged_append_.size(); ++list) {
+      if (staged_append_[list] != 0) {
+        delta.append_deltas.emplace_back(list, staged_append_[list]);
+        staged_append_[list] = 0;
+      }
+    }
+    index_builder_.apply(delta);
+    index_ = index_builder_.publish();
+    auto snap = std::make_shared<collector::StoreSnapshot>(
         fabric_->collector().service(), ++generation_);
+    // The index's cumulative delivered-entry heads double as the
+    // snapshot's event-cursor heads (one shard: local list = global).
+    snap->set_append_heads(index_->append_heads());
+    snapshot_ = std::move(snap);
     snapshot_covers_ = submitted_;
   }
   return snapshot_;
+}
+
+Expected<RangeResult> FabricBackend::range_query(const RangeSpec& spec,
+                                                 const QueryOptions& opts) {
+  if (auto status = internal::range_precheck(*this, spec, opts);
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = tenants_.admit_query(opts.tenant); !status.ok()) {
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto snap = acquire_locked(opts);
+  if (!snap.ok()) return snap.status();
+  // acquire_locked just folded everything staged, so index_ covers the
+  // snapshot's generation exactly.
+  const auto candidates = internal::collect_range_candidates({index_}, spec);
+  const std::vector<SnapshotPtr> snaps{snap.value()};
+  return internal::scan_range_candidates(
+      candidates, spec.limit, [&](const proto::TelemetryKey& key) {
+        return internal::resolve_range_entry(snaps, key, spec, opts);
+      });
 }
 
 Expected<std::vector<Backend::SnapshotPtr>> FabricBackend::key_snapshots(

@@ -54,6 +54,8 @@ class FabricBackend : public Backend {
       const QueryOptions& opts) override;
   Expected<ListSlice> list_snapshot(std::uint32_t list,
                                     const QueryOptions& opts) override;
+  Expected<RangeResult> range_query(const RangeSpec& spec,
+                                    const QueryOptions& opts) override;
 
   const collector::CollectorRuntimeConfig& host_config() const override;
   std::uint32_t num_lists() const override;
@@ -84,6 +86,17 @@ class FabricBackend : public Backend {
   SnapshotPtr snapshot_;
   std::unordered_map<TenantId, std::uint64_t> tenant_ingest_;
   bool stopped_ = false;
+
+  // Secondary-index maintenance for the wire path. The fabric has no
+  // deliver_batch seam to stage keys at, so the submit seam stages them
+  // instead (full keys are in hand here, before the wire reduces them
+  // to checksums); the staged delta folds in at the next snapshot
+  // rebuild, so the published index generation always equals the
+  // snapshot generation (the consistency contract the range path needs).
+  std::vector<collector::IndexEntry> staged_keys_;
+  std::vector<std::uint64_t> staged_append_;   // per-list entries staged
+  collector::ShardIndexBuilder index_builder_;
+  std::shared_ptr<const collector::ShardIndexVersion> index_;
 };
 
 }  // namespace dta

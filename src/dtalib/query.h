@@ -1,0 +1,285 @@
+// Typed query builders — the redesigned range/event query surface of
+// dta::Client.
+//
+//   auto r = client.range(client.keywrite())
+//                .from(k1).to(k2).limit(100)
+//                .freshness(budget)
+//                .run();                       // Expected<RangeResult>
+//   auto b = client.events(client.list(3))
+//                .since(cursor).max(64)
+//                .run();                       // Expected<EventBatch>
+//
+// Range queries enumerate keys in lexicographic byte order through the
+// per-shard secondary indexes (collector/shard_index.h) and resolve
+// every candidate through the same snapshot point lookups the scan
+// path uses — indexed and scan results are byte-identical, the index
+// only changes *which* keys get probed (O(log n + results) instead of
+// O(table)). Event queries read Append rings by absolute cursor
+// position: the returned cursor resumes exactly where the batch ended,
+// and `dropped` counts entries the ring overwrote before they were
+// read.
+//
+// QueryOptions is the builders' backing struct: every knob a point
+// query takes (redundancy, consensus threshold, staleness budget,
+// read-your-submits, tenant, dst_ip) applies to range/event queries
+// through the same fields, set via the fluent setters or wholesale
+// via .options(...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dta/wire.h"
+#include "dtalib/options.h"
+#include "dtalib/status.h"
+
+namespace dta {
+
+class Backend;
+
+// Which primitive a range query enumerates.
+enum class RangePrimitive : std::uint8_t { kKeyWrite = 0, kCounter = 1 };
+
+// Opaque resume token of a truncated range query: pass it back via
+// .after(cursor) to continue strictly after the last returned key.
+struct RangeCursor {
+  proto::TelemetryKey last;
+};
+
+// The backend-level description of one range query (built by the
+// fluent builders; Backend::range_query executes it).
+struct RangeSpec {
+  RangePrimitive primitive = RangePrimitive::kKeyWrite;
+  std::optional<proto::TelemetryKey> from;   // inclusive lower bound
+  std::optional<proto::TelemetryKey> to;     // inclusive upper bound
+  std::optional<proto::TelemetryKey> after;  // exclusive resume point
+  std::uint64_t limit = 0;                   // 0 = unlimited
+};
+
+struct RangeEntry {
+  proto::TelemetryKey key;
+  // Key-Write: the winning value, exactly what get() returns for the
+  // key. Counter ranges carry the estimate big-endian in 8 bytes (the
+  // typed CounterRangeQuery decodes it).
+  common::Bytes value;
+
+  bool operator==(const RangeEntry& o) const {
+    return key == o.key && value == o.value;
+  }
+  bool operator!=(const RangeEntry& o) const { return !(*this == o); }
+};
+
+struct RangeResult {
+  std::vector<RangeEntry> entries;  // ascending key order
+  // The limit stopped the enumeration with candidate keys left; resume
+  // with .after(*next).
+  bool truncated = false;
+  std::optional<RangeCursor> next;
+};
+
+struct CounterRangeEntry {
+  proto::TelemetryKey key;
+  std::uint64_t count = 0;
+
+  bool operator==(const CounterRangeEntry& o) const {
+    return key == o.key && count == o.count;
+  }
+};
+
+struct CounterRangeResult {
+  std::vector<CounterRangeEntry> entries;
+  bool truncated = false;
+  std::optional<RangeCursor> next;
+};
+
+// Opaque event-stream position: cumulative entries delivered to the
+// list since the backend started. Value-initialized = "from the
+// beginning".
+struct EventCursor {
+  std::uint64_t position = 0;
+};
+
+struct EventBatch {
+  std::vector<common::Bytes> entries;
+  // Resume cursor: .since(next) continues exactly after this batch.
+  EventCursor next;
+  // Entries between the requested cursor and the oldest one the ring
+  // still held (overwritten before they were read).
+  std::uint64_t dropped = 0;
+  // Entries still unread past this batch at the snapshot's head.
+  std::uint64_t remaining = 0;
+};
+
+// --- builders ----------------------------------------------------------------
+// Cheap value types; run() executes against the backend. Valid while
+// the Client that minted them lives.
+
+class RangeQuery {
+ public:
+  RangeQuery(Backend* backend, QueryOptions opts)
+      : backend_(backend), opts_(opts) {
+    spec_.primitive = RangePrimitive::kKeyWrite;
+  }
+
+  RangeQuery& from(const proto::TelemetryKey& key) {
+    spec_.from = key;
+    return *this;
+  }
+  RangeQuery& to(const proto::TelemetryKey& key) {
+    spec_.to = key;
+    return *this;
+  }
+  RangeQuery& after(const RangeCursor& cursor) {
+    spec_.after = cursor.last;
+    return *this;
+  }
+  RangeQuery& limit(std::uint64_t n) {
+    spec_.limit = n;
+    return *this;
+  }
+  RangeQuery& freshness(const collector::SnapshotStalenessBudget& budget) {
+    opts_.staleness = budget;
+    return *this;
+  }
+  RangeQuery& options(const QueryOptions& opts) {
+    opts_ = opts;
+    return *this;
+  }
+  RangeQuery& redundancy(std::uint8_t n) {
+    opts_.redundancy = n;
+    return *this;
+  }
+  RangeQuery& consensus(std::uint8_t threshold) {
+    opts_.consensus_threshold = threshold;
+    return *this;
+  }
+  RangeQuery& read_your_submits(bool on = true) {
+    opts_.read_your_submits = on;
+    return *this;
+  }
+  RangeQuery& tenant(TenantId tenant) {
+    opts_.tenant = tenant;
+    return *this;
+  }
+
+  Expected<RangeResult> run() const;
+
+  const RangeSpec& spec() const { return spec_; }
+  const QueryOptions& query_options() const { return opts_; }
+
+ private:
+  Backend* backend_;
+  RangeSpec spec_;
+  QueryOptions opts_;
+};
+
+class CounterRangeQuery {
+ public:
+  CounterRangeQuery(Backend* backend, QueryOptions opts)
+      : backend_(backend), opts_(opts) {
+    spec_.primitive = RangePrimitive::kCounter;
+  }
+
+  CounterRangeQuery& from(const proto::TelemetryKey& key) {
+    spec_.from = key;
+    return *this;
+  }
+  CounterRangeQuery& to(const proto::TelemetryKey& key) {
+    spec_.to = key;
+    return *this;
+  }
+  CounterRangeQuery& after(const RangeCursor& cursor) {
+    spec_.after = cursor.last;
+    return *this;
+  }
+  CounterRangeQuery& limit(std::uint64_t n) {
+    spec_.limit = n;
+    return *this;
+  }
+  CounterRangeQuery& freshness(
+      const collector::SnapshotStalenessBudget& budget) {
+    opts_.staleness = budget;
+    return *this;
+  }
+  CounterRangeQuery& options(const QueryOptions& opts) {
+    opts_ = opts;
+    return *this;
+  }
+  CounterRangeQuery& redundancy(std::uint8_t n) {
+    opts_.redundancy = n;
+    return *this;
+  }
+  CounterRangeQuery& read_your_submits(bool on = true) {
+    opts_.read_your_submits = on;
+    return *this;
+  }
+  CounterRangeQuery& tenant(TenantId tenant) {
+    opts_.tenant = tenant;
+    return *this;
+  }
+
+  Expected<CounterRangeResult> run() const;
+
+  const RangeSpec& spec() const { return spec_; }
+  const QueryOptions& query_options() const { return opts_; }
+
+ private:
+  Backend* backend_;
+  RangeSpec spec_;
+  QueryOptions opts_;
+};
+
+class EventQuery {
+ public:
+  EventQuery(Backend* backend, std::uint32_t list, QueryOptions opts)
+      : backend_(backend), list_(list), opts_(opts) {}
+
+  EventQuery& since(const EventCursor& cursor) {
+    cursor_ = cursor.position;
+    return *this;
+  }
+  EventQuery& since(std::uint64_t position) {
+    cursor_ = position;
+    return *this;
+  }
+  EventQuery& max(std::uint64_t n) {
+    max_entries_ = n;
+    return *this;
+  }
+  EventQuery& freshness(const collector::SnapshotStalenessBudget& budget) {
+    opts_.staleness = budget;
+    return *this;
+  }
+  EventQuery& options(const QueryOptions& opts) {
+    opts_ = opts;
+    return *this;
+  }
+  EventQuery& read_your_submits(bool on = true) {
+    opts_.read_your_submits = on;
+    return *this;
+  }
+  EventQuery& tenant(TenantId tenant) {
+    opts_.tenant = tenant;
+    return *this;
+  }
+
+  Expected<EventBatch> run() const;
+
+  std::uint32_t list() const { return list_; }
+  std::uint64_t cursor() const { return cursor_; }
+  std::uint64_t max_entries() const { return max_entries_; }
+  const QueryOptions& query_options() const { return opts_; }
+
+ private:
+  Backend* backend_;
+  std::uint32_t list_;
+  std::uint64_t cursor_ = 0;
+  // Default one ring's worth: the most a single batch can return
+  // anyway. Kept as a large sentinel so run() clamps to availability.
+  std::uint64_t max_entries_ = ~0ull;
+  QueryOptions opts_;
+};
+
+}  // namespace dta

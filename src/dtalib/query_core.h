@@ -1,0 +1,93 @@
+// Shared query-resolution core — the merge and range helpers every
+// Backend resolves with.
+//
+// LocalBackend/ClusterBackend (client.cc) and FabricBackend
+// (fabric_backend.cc) pin different snapshot topologies, but the value
+// semantics must be identical: one replica-merge per primitive, and one
+// candidate-scan loop for range queries. Keeping the helpers here —
+// instead of duplicating them per backend — is what lets the
+// conformance kit demand byte-equality across backends: there is only
+// one resolution path to be equal to.
+//
+// Internal namespace: these are building blocks for Backend
+// implementations, not client API. Applications go through
+// dta::Client's handles and query builders.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "collector/shard_index.h"
+#include "dtalib/byte_view.h"
+#include "dtalib/client.h"
+#include "dtalib/query.h"
+
+namespace dta::internal {
+
+using SnapshotPtr = Backend::SnapshotPtr;
+
+// Best-vote merge across replica snapshots (one snapshot per candidate
+// host). A conflict anywhere without a hit anywhere is reported as
+// kConflict — the caller can tell ambiguity from absence.
+//
+// This is the zero-copy core: each snapshot's vote resolves to a span
+// into that snapshot's memory (no candidate is ever copied), and the
+// winner comes back as a ByteView holding the winning snapshot's pin.
+// merge_keywrite() is the copy mode layered on top.
+Expected<ByteView> merge_keywrite_view(const std::vector<SnapshotPtr>& snaps,
+                                       const proto::TelemetryKey& key,
+                                       const QueryOptions& opts);
+Expected<common::Bytes> merge_keywrite(const std::vector<SnapshotPtr>& snaps,
+                                       const proto::TelemetryKey& key,
+                                       const QueryOptions& opts);
+
+// CMS estimate: min over the N counters within a snapshot, max across
+// replica hosts (each replica is a one-sided overestimate of the same
+// reports, so the max never undercounts a survivor).
+Expected<std::uint64_t> merge_counter(const std::vector<SnapshotPtr>& snaps,
+                                      const proto::TelemetryKey& key,
+                                      const QueryOptions& opts);
+
+// Chunk-vote path decode; replica hosts must agree (-> kConflict).
+Expected<std::vector<std::uint32_t>> merge_path(
+    const std::vector<SnapshotPtr>& snaps, const proto::TelemetryKey& key,
+    const QueryOptions& opts);
+
+// --- range-query core --------------------------------------------------------
+// Backends share everything but snapshot topology: candidates come out
+// of the per-shard secondary indexes (already generation-matched to the
+// pinned snapshots), then every candidate resolves through the SAME
+// merge helpers the point-get path uses, against the SAME pinned
+// snapshots — which is what makes indexed results byte-identical to a
+// scan over the key catalog.
+
+Status range_precheck(const Backend& backend, const RangeSpec& spec,
+                      const QueryOptions& opts);
+
+// The sorted, deduplicated union of every index's candidates within the
+// spec's bounds, filtered to the primitive the range enumerates.
+std::vector<proto::TelemetryKey> collect_range_candidates(
+    const std::vector<std::shared_ptr<const collector::ShardIndexVersion>>&
+        indexes,
+    const RangeSpec& spec);
+
+// One candidate through the point-lookup merge. nullopt = the key is in
+// the index but not in the pinned snapshots (an index generation ahead
+// of the snapshot, or a checksum evicted by a collision) — range
+// queries skip it, exactly like a scan would miss it.
+std::optional<RangeEntry> resolve_range_entry(
+    const std::vector<SnapshotPtr>& snaps, const proto::TelemetryKey& key,
+    const RangeSpec& spec, const QueryOptions& opts);
+
+// Walks the sorted candidates through `resolve` (key ->
+// optional<RangeEntry>), honouring the limit: stopping with candidates
+// left marks the result truncated and hands back a resume cursor.
+RangeResult scan_range_candidates(
+    const std::vector<proto::TelemetryKey>& candidates, std::uint64_t limit,
+    const std::function<std::optional<RangeEntry>(const proto::TelemetryKey&)>&
+        resolve);
+
+}  // namespace dta::internal

@@ -56,6 +56,15 @@ class ReplayBackend : public Backend {
                                     const QueryOptions& opts) override {
     return inner_->list_snapshot(list, opts);
   }
+  Expected<RangeResult> range_query(const RangeSpec& spec,
+                                    const QueryOptions& opts) override {
+    return inner_->range_query(spec, opts);
+  }
+  Expected<EventBatch> events_query(std::uint32_t list, std::uint64_t cursor,
+                                    std::uint64_t max_entries,
+                                    const QueryOptions& opts) override {
+    return inner_->events_query(list, cursor, max_entries, opts);
+  }
 
   const collector::CollectorRuntimeConfig& host_config() const override {
     return inner_->host_config();

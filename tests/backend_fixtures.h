@@ -234,8 +234,8 @@ inline ObservedResults observe(Client& client,
                   : std::nullopt);
   }
   for (std::uint32_t list = 0; list < num_lists; ++list) {
-    const auto events = client.list(list).read(list_read_count);
-    out.lists.push_back(events.ok() ? *events
+    const auto events = client.events(list).max(list_read_count).run();
+    out.lists.push_back(events.ok() ? events->entries
                                     : std::vector<common::Bytes>{});
   }
   return out;

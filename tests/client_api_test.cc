@@ -182,17 +182,26 @@ TEST_P(ClientApiTest, ZeroCopyViewsMatchCopiesAndOutliveRefresh) {
   EXPECT_GE(batch_hits, 97);
   EXPECT_FALSE(views->back().has_value());
 
-  // Append views: list order, zero-copy, same entries as read().
+  // Append views: list order, zero-copy, same entries as the event
+  // query returns. (read_views is deprecated; this keeps the legacy
+  // path covered until its removal next PR.)
   auto list = client.list(1);
   for (std::uint32_t i = 0; i < 10; ++i) {
     ASSERT_TRUE(list.append_u32(700 + i).ok());
   }
   ASSERT_TRUE(client.flush().ok());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto entry_views = list.read_views(10);
+#pragma GCC diagnostic pop
   ASSERT_TRUE(entry_views.ok());
   ASSERT_EQ(entry_views->size(), 10u);
+  const auto batch = client.events(1).max(10).run();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->entries.size(), 10u);
   for (std::uint32_t i = 0; i < 10; ++i) {
     EXPECT_EQ(common::load_u32((*entry_views)[i].data()), 700 + i);
+    EXPECT_EQ((*entry_views)[i].to_bytes(), batch->entries[i]);
   }
 }
 
@@ -276,15 +285,23 @@ TEST_P(ClientApiTest, AppendRoundTrip) {
     ASSERT_TRUE(list.append_u32(30 + i).ok());
   }
   ASSERT_TRUE(client.flush().ok());
-  const auto events = list.read(6);
+  const auto events = client.events(list).max(6).run();
   ASSERT_TRUE(events.ok()) << events.status().to_string();
-  ASSERT_EQ(events->size(), 6u);
+  ASSERT_EQ(events->entries.size(), 6u);
   for (std::uint32_t i = 0; i < 6; ++i) {
-    EXPECT_EQ(common::load_u32((*events)[i].data()), 30 + i);
+    EXPECT_EQ(common::load_u32(events->entries[i].data()), 30 + i);
   }
-  const auto async_events = list.read_async(6).get();
-  ASSERT_TRUE(async_events.ok());
-  EXPECT_EQ(async_events->size(), 6u);
+  EXPECT_EQ(events->dropped, 0u);
+  EXPECT_EQ(events->remaining, 0u);
+  EXPECT_EQ(events->next.position, 6u);
+  // The deprecated positionless read returns the same entries until its
+  // removal next PR.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy = list.read(6);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(*legacy, events->entries);
 }
 
 // ----------------------------------------------------- Postcarding
@@ -343,7 +360,8 @@ TEST_P(ClientApiTest, ErrorModelDistinctCodes) {
   const std::uint32_t bogus_list = 1000;
   EXPECT_EQ(client.list(bogus_list).append_u32(1).code(),
             StatusCode::kUnknownList);
-  EXPECT_EQ(client.list(bogus_list).read(1).code(), StatusCode::kUnknownList);
+  EXPECT_EQ(client.events(bogus_list).max(1).run().code(),
+            StatusCode::kUnknownList);
 
   // Entry size must match the ring geometry.
   Bytes wrong_entry(8, 1);
@@ -356,8 +374,14 @@ TEST_P(ClientApiTest, ErrorModelDistinctCodes) {
   EXPECT_EQ(client.list(0).append(ByteSpan(huge_entry)).code(),
             StatusCode::kOutOfRange);
 
-  // Reading beyond the ring capacity is kOutOfRange, not zero-filled UB.
+  // Deprecated positionless read: count beyond the ring capacity is
+  // kOutOfRange, not zero-filled UB. (The event query clamps instead —
+  // a cursor ahead of the head is its kOutOfRange, covered in the
+  // event-cursor tests.)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_EQ(client.list(0).read(1 << 20).code(), StatusCode::kOutOfRange);
+#pragma GCC diagnostic pop
 
   // A covers_seq floor ahead of everything submitted is unsatisfiable.
   QueryOptions future_floor;
@@ -370,6 +394,68 @@ TEST_P(ClientApiTest, ErrorModelDistinctCodes) {
                 .report(reports::u32_key(1), /*hop=*/9, /*path_len=*/5, 1)
                 .code(),
             StatusCode::kOutOfRange);
+}
+
+// Rejections carry a message naming the failing field and its value —
+// a bare code is not actionable from a client log line.
+TEST_P(ClientApiTest, ErrorMessagesNameTheFailingField) {
+  Client client = make_client(GetParam());
+  auto table = client.keywrite();
+
+  auto contains = [](const Status& status, const char* needle) {
+    return status.message().find(needle) != std::string::npos;
+  };
+
+  const Status empty_key = table.put_u32(TelemetryKey{}, 1);
+  EXPECT_TRUE(contains(empty_key, "empty telemetry key"))
+      << empty_key.to_string();
+
+  const Status no_redundancy = table.put_u32(reports::u32_key(2), 1, 0);
+  EXPECT_TRUE(contains(no_redundancy, "redundancy 0"))
+      << no_redundancy.to_string();
+
+  const Status too_wide = table.put_u32(reports::u32_key(2), 1, 9);
+  EXPECT_TRUE(contains(too_wide, "redundancy 9")) << too_wide.to_string();
+  EXPECT_TRUE(contains(too_wide, "8 slot-hash engines"))
+      << too_wide.to_string();
+
+  Bytes wide(64, 0xAB);
+  const Status fat_value = table.put(reports::u32_key(3), ByteSpan(wide));
+  EXPECT_TRUE(contains(fat_value, "64B")) << fat_value.to_string();
+  EXPECT_TRUE(contains(fat_value, "value_bytes")) << fat_value.to_string();
+
+  const Status bad_list = client.list(1000).append_u32(1);
+  EXPECT_TRUE(contains(bad_list, "list id 1000")) << bad_list.to_string();
+
+  Bytes wrong_entry(8, 1);
+  const Status bad_entry = client.list(0).append(ByteSpan(wrong_entry));
+  EXPECT_TRUE(contains(bad_entry, "entry_size")) << bad_entry.to_string();
+
+  const Status bad_hop =
+      client.postcards().report(reports::u32_key(1), /*hop=*/9,
+                                /*path_len=*/5, 1);
+  EXPECT_TRUE(contains(bad_hop, "hop 9")) << bad_hop.to_string();
+
+  const auto bad_query = table.get(TelemetryKey{});
+  EXPECT_TRUE(contains(bad_query.status(), "empty telemetry key"))
+      << bad_query.status().to_string();
+
+  // Range-query validation names the inverted bounds.
+  const auto inverted = client.range(table)
+                            .from(reports::u32_key(9))
+                            .to(reports::u32_key(1))
+                            .run();
+  EXPECT_EQ(inverted.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(contains(inverted.status(), "bounds inverted"))
+      << inverted.status().to_string();
+
+  // Event-query validation names the cursor and the head it passed.
+  ASSERT_TRUE(client.list(0).append_u32(7).ok());
+  ASSERT_TRUE(client.flush().ok());
+  const auto ahead = client.events(0).since(1u << 20).run();
+  EXPECT_EQ(ahead.code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(contains(ahead.status(), "cursor"))
+      << ahead.status().to_string();
 }
 
 TEST_P(ClientApiTest, NotConfiguredPrimitivesReportCleanly) {
@@ -399,7 +485,8 @@ TEST_P(ClientApiTest, NotConfiguredPrimitivesReportCleanly) {
   EXPECT_EQ(client.counters().get(reports::u32_key(1)).code(),
             StatusCode::kNotConfigured);
   EXPECT_EQ(client.list(0).append_u32(1).code(), StatusCode::kNotConfigured);
-  EXPECT_EQ(client.list(0).read(1).code(), StatusCode::kNotConfigured);
+  EXPECT_EQ(client.events(0).max(1).run().code(),
+            StatusCode::kNotConfigured);
   EXPECT_EQ(client.postcards().report(reports::u32_key(1), 0, 1, 1).code(),
             StatusCode::kNotConfigured);
   EXPECT_EQ(client.postcards().path_of(reports::u32_key(1)).code(),
@@ -443,7 +530,7 @@ TEST_P(ClientApiTest, FailoverAndUnavailability) {
   EXPECT_EQ(dead.code(), StatusCode::kUnavailable);
   EXPECT_EQ(table.get_many({reports::mixed_key(1)}).code(),
             StatusCode::kUnavailable);
-  EXPECT_EQ(client.list(0).read(1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.events(0).max(1).run().code(), StatusCode::kUnavailable);
   EXPECT_EQ(client.fail_host(9).code(), StatusCode::kInvalidArgument);
 }
 

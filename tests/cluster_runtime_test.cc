@@ -162,11 +162,11 @@ TEST(ClusterRuntime, ByDestinationIpEventsReadTheAddressedHost) {
   ASSERT_TRUE(client.flush().ok());
   QueryOptions from_host1;
   from_host1.dst_ip = cluster.host_ip(1);
-  const auto events = client.list(2).read(4, from_host1);
+  const auto events = client.events(2).options(from_host1).max(4).run();
   ASSERT_TRUE(events.ok());
-  ASSERT_EQ(events->size(), 4u);
+  ASSERT_EQ(events->entries.size(), 4u);
   for (std::uint32_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(common::load_u32((*events)[i].data()), 70 + i);
+    EXPECT_EQ(common::load_u32(events->entries[i].data()), 70 + i);
   }
 }
 
@@ -221,11 +221,11 @@ TEST(ClusterRuntime, ReplicateEventQueryFailsOver) {
   }
   ASSERT_TRUE(client.flush().ok());
   ASSERT_TRUE(client.fail_host(0).ok());
-  const auto events = client.list(3).read(5);
+  const auto events = client.events(3).max(5).run();
   ASSERT_TRUE(events.ok());
-  ASSERT_EQ(events->size(), 5u);
+  ASSERT_EQ(events->entries.size(), 5u);
   for (std::uint32_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(common::load_u32((*events)[i].data()), 30 + i);
+    EXPECT_EQ(common::load_u32(events->entries[i].data()), 30 + i);
   }
 }
 
@@ -377,11 +377,11 @@ TEST(ClusterRuntime, CounterAndEventFuturesResolve) {
   const auto counter = client.counters().get_async(flow_key(flow)).get();
   ASSERT_TRUE(counter.ok());
   EXPECT_GE(*counter, 12u);  // CMS: >= truth
-  const auto events = client.list(5).read_async(6).get();
+  const auto events = client.events(5).max(6).run();
   ASSERT_TRUE(events.ok());
-  ASSERT_EQ(events->size(), 6u);
-  EXPECT_EQ(common::load_u32((*events)[0].data()), 0u);
-  EXPECT_EQ(common::load_u32((*events)[5].data()), 5u);
+  ASSERT_EQ(events->entries.size(), 6u);
+  EXPECT_EQ(common::load_u32(events->entries[0].data()), 0u);
+  EXPECT_EQ(common::load_u32(events->entries[5].data()), 5u);
 }
 
 TEST(ClusterRuntime, QueriesRunConcurrentlyWithThreadedIngest) {

@@ -145,11 +145,11 @@ TEST(CollectorRuntimeTest, AppendListsRouteAndDrainAcrossShards) {
   }
   ASSERT_TRUE(client.flush().ok());
   for (std::uint32_t list = 0; list < 8; ++list) {
-    const auto events = client.list(list).read(4);
+    const auto events = client.events(list).max(4).run();
     ASSERT_TRUE(events.ok()) << "list " << list;
-    ASSERT_EQ(events->size(), 4u) << "list " << list;
+    ASSERT_EQ(events->entries.size(), 4u) << "list " << list;
     for (std::uint32_t i = 0; i < 4; ++i) {
-      EXPECT_EQ(common::load_u32((*events)[i].data()), list * 100 + i)
+      EXPECT_EQ(common::load_u32(events->entries[i].data()), list * 100 + i)
           << "list " << list;
     }
   }
@@ -204,10 +204,10 @@ TEST(CollectorRuntimeTest, FlushAlsoDrainsAppendBatches) {
     ASSERT_TRUE(client.list(3).append_u32(40 + i).ok());
   }
   ASSERT_TRUE(client.flush().ok());
-  const auto events = client.list(3).read(5);
+  const auto events = client.events(3).max(5).run();
   ASSERT_TRUE(events.ok());
   std::vector<std::uint32_t> drained;
-  for (const auto& entry : *events) {
+  for (const auto& entry : events->entries) {
     drained.push_back(common::load_u32(entry.data()));
   }
   EXPECT_EQ(drained, (std::vector<std::uint32_t>{40, 41, 42, 43, 44}));
