@@ -28,13 +28,7 @@ net::FiveTuple flow_of(std::uint32_t id) {
 }
 
 // Every dta::Status is [[nodiscard]]; a walkthrough bails on the first
-// failure instead of silently dropping it.
-void must(const Status& status) {
-  if (!status.ok()) {
-    std::printf("DTA call failed: %s\n", status.to_string().c_str());
-    std::exit(1);
-  }
-}
+// failure (dta::must aborts loudly) instead of silently dropping it.
 
 }  // namespace
 

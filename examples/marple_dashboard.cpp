@@ -19,18 +19,10 @@
 #include "dtalib/client.h"
 #include "telemetry/marple_gen.h"
 
-namespace {
-
 // Every dta::Status is [[nodiscard]]; the dashboard bails on the first
-// failure instead of silently dropping reports.
-void must(const dta::Status& status) {
-  if (!status.ok()) {
-    std::printf("DTA call failed: %s\n", status.to_string().c_str());
-    std::exit(1);
-  }
-}
-
-}  // namespace
+// failure (dta::must aborts loudly) instead of silently dropping
+// reports.
+using dta::must;
 
 int main(int argc, char** argv) {
   const int num_packets = argc > 1 ? std::atoi(argv[1]) : 200000;

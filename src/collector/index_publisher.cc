@@ -27,7 +27,7 @@ void IndexPublisher::apply_queue_locked(Shard& shard) {
 
 void IndexPublisher::enqueue(std::uint32_t shard_index, IndexDelta delta) {
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.queue.push_back(std::move(delta));
   deltas_enqueued_.fetch_add(1, std::memory_order_relaxed);
   // Defer-publish: fold the window in only when it fills. An op batch
@@ -48,7 +48,7 @@ std::shared_ptr<const ShardIndexVersion> IndexPublisher::version_at_least(
   auto version = std::atomic_load_explicit(&shard.published,
                                            std::memory_order_acquire);
   if (version->generation() >= min_generation) return version;
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   version = std::atomic_load_explicit(&shard.published,
                                       std::memory_order_acquire);
   if (version->generation() >= min_generation) return version;

@@ -23,10 +23,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "collector/shard_index.h"
+#include "common/thread_annotations.h"
 
 namespace dta::collector {
 
@@ -71,9 +71,12 @@ class IndexPublisher : public IndexSink {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::deque<IndexDelta> queue;
-    ShardIndexBuilder builder;
+    mutable Mutex mu;
+    std::deque<IndexDelta> queue DTA_GUARDED_BY(mu);
+    ShardIndexBuilder builder DTA_GUARDED_BY(mu);
+    // Written under mu, but read lock-free on the fast path with
+    // std::atomic_load — the atomic shared_ptr protocol, not the lock,
+    // is what makes the read safe (so not GUARDED_BY).
     std::shared_ptr<const ShardIndexVersion> published;
 
     explicit Shard(const Config& config)
@@ -81,9 +84,8 @@ class IndexPublisher : public IndexSink {
           published(builder.publish()) {}
   };
 
-  // Folds every queued delta into the builder and publishes. Caller
-  // holds shard.mu.
-  void apply_queue_locked(Shard& shard);
+  // Folds every queued delta into the builder and publishes.
+  void apply_queue_locked(Shard& shard) DTA_REQUIRES(shard.mu);
 
   Config config_;
   std::vector<std::unique_ptr<Shard>> shards_;

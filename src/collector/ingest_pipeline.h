@@ -40,6 +40,7 @@
 
 #include "collector/op_block.h"
 #include "collector/shard.h"
+#include "common/lifetime_annotations.h"
 #include "common/spsc_queue.h"
 #include "dta/wire.h"
 
@@ -134,7 +135,9 @@ class IngestPipeline {
   void stop();
 
   bool threaded() const { return threaded_; }
-  const IngestPipelineStats& stats() const { return stats_; }
+  const IngestPipelineStats& stats() const DTA_LIFETIMEBOUND {
+    return stats_;
+  }
   // Store regions re-touched by pinned workers (NUMA first-touch).
   std::uint32_t regions_first_touched() const {
     return first_touched_.load(std::memory_order_acquire);

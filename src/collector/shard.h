@@ -22,6 +22,7 @@
 #include "collector/dirty_tracker.h"
 #include "collector/op_block.h"
 #include "collector/shard_index.h"
+#include "common/lifetime_annotations.h"
 #include "dta/tenant.h"
 #include "collector/rdma_service.h"
 #include "translator/append_engine.h"
@@ -116,15 +117,15 @@ class CollectorShard {
   void flush();
 
   std::uint32_t index() const { return index_; }
-  RdmaService& service() { return service_; }
-  const RdmaService& service() const { return service_; }
-  const ShardStats& stats() const { return stats_; }
+  RdmaService& service() DTA_LIFETIMEBOUND { return service_; }
+  const RdmaService& service() const DTA_LIFETIMEBOUND { return service_; }
+  const ShardStats& stats() const DTA_LIFETIMEBOUND { return stats_; }
 
   // Per-tenant slice of reports_in, keyed by the in-process
   // DtaHeader.tenant annotation the serving plane stamps at submit.
   // Read behind a flush barrier, like stats().
   const std::unordered_map<TenantId, std::uint64_t>& tenant_reports_in()
-      const {
+      const DTA_LIFETIMEBOUND {
     return tenant_reports_in_;
   }
 
@@ -146,8 +147,10 @@ class CollectorShard {
   // ingest thread; read and cleared by the snapshot refresher only
   // inside a quiesce window (the hold-barrier handshake orders the
   // two).
-  DirtyTracker& dirty_tracker() { return dirty_; }
-  const DirtyTracker& dirty_tracker() const { return dirty_; }
+  DirtyTracker& dirty_tracker() DTA_LIFETIMEBOUND { return dirty_; }
+  const DirtyTracker& dirty_tracker() const DTA_LIFETIMEBOUND {
+    return dirty_;
+  }
 
   // NUMA first-touch pass: reallocates and touches every enabled store
   // region from the calling thread (see MemoryRegion::first_touch_rebind).
@@ -172,7 +175,8 @@ class CollectorShard {
   // Cumulative entries delivered per shard-local append list — the
   // event-cursor heads. Written by the ingest thread; read by the
   // snapshot refresher inside a quiesce window only.
-  const std::vector<std::uint64_t>& append_delivered() const {
+  const std::vector<std::uint64_t>& append_delivered() const
+      DTA_LIFETIMEBOUND {
     return append_delivered_;
   }
 

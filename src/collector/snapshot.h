@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "collector/rdma_service.h"
+#include "common/lifetime_annotations.h"
 
 namespace dta::collector {
 
@@ -64,10 +65,18 @@ class StoreSnapshot {
   // The copied regions (nullptr when the primitive is disabled) — the
   // byte-for-byte oracle the incremental-vs-full property sweep
   // compares.
-  const rdma::MemoryRegion* keywrite_mem() const { return kw_mem_.get(); }
-  const rdma::MemoryRegion* postcarding_mem() const { return pc_mem_.get(); }
-  const rdma::MemoryRegion* append_mem() const { return ap_mem_.get(); }
-  const rdma::MemoryRegion* keyincrement_mem() const { return ki_mem_.get(); }
+  const rdma::MemoryRegion* keywrite_mem() const DTA_LIFETIMEBOUND {
+    return kw_mem_.get();
+  }
+  const rdma::MemoryRegion* postcarding_mem() const DTA_LIFETIMEBOUND {
+    return pc_mem_.get();
+  }
+  const rdma::MemoryRegion* append_mem() const DTA_LIFETIMEBOUND {
+    return ap_mem_.get();
+  }
+  const rdma::MemoryRegion* keyincrement_mem() const DTA_LIFETIMEBOUND {
+    return ki_mem_.get();
+  }
 
   bool has_keywrite() const { return keywrite_ != nullptr; }
   bool has_postcarding() const { return postcarding_ != nullptr; }
@@ -83,9 +92,10 @@ class StoreSnapshot {
   // copied region memory. Valid while the snapshot is alive and pinned
   // (the SnapshotCache never patches a pinned snapshot in place);
   // dtalib's ByteView carries that ownership for callers.
+  // lifetimebound: the result's span borrows this snapshot's buffers.
   KeyWriteViewResult keywrite_query_view(
       const proto::TelemetryKey& key, std::uint8_t redundancy,
-      std::uint8_t consensus_threshold = 1) const;
+      std::uint8_t consensus_threshold = 1) const DTA_LIFETIMEBOUND;
 
   // CMS min over the copied Key-Increment counters; nullopt when the
   // primitive is not enabled.
@@ -109,8 +119,8 @@ class StoreSnapshot {
   // Zero-copy variant of append_read: spans into the snapshot's copied
   // ring memory (same lifetime rules as keywrite_query_view). Each span
   // is one entry; the ring is fixed-width so every entry is contiguous.
-  std::vector<common::ByteSpan> append_read_views(std::uint32_t local_list,
-                                                  std::uint64_t count) const;
+  std::vector<common::ByteSpan> append_read_views(
+      std::uint32_t local_list, std::uint64_t count) const DTA_LIFETIMEBOUND;
 
   // --- event cursor ---------------------------------------------------------
   // Cumulative per-list delivered-entry counts captured at snapshot

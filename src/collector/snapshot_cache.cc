@@ -122,7 +122,7 @@ SnapshotCache::SnapshotPtr SnapshotCache::refresh(std::uint32_t shard_index,
                                                   IngestPipeline& pipeline,
                                                   CollectorShard& shard) {
   Entry& entry = *entries_[shard_index];
-  std::lock_guard<std::mutex> lock(entry.refresh_mu);
+  MutexLock lock(entry.refresh_mu);
 
   // Double-check: a concurrent miss may have refreshed while we waited.
   if (auto hit = lookup(shard_index, shard.generation(),
@@ -193,7 +193,7 @@ SnapshotCache::SnapshotPtr SnapshotCache::copy_fresh(std::uint32_t shard_index,
                                                      IngestPipeline& pipeline,
                                                      CollectorShard& shard) {
   Entry& entry = *entries_[shard_index];
-  std::lock_guard<std::mutex> lock(entry.refresh_mu);
+  MutexLock lock(entry.refresh_mu);
   pipeline.begin_quiesce(shard_index);
   auto snap = std::make_shared<StoreSnapshot>(shard.service(),
                                               shard.generation());
@@ -204,7 +204,7 @@ SnapshotCache::SnapshotPtr SnapshotCache::copy_fresh(std::uint32_t shard_index,
 
 void SnapshotCache::invalidate(std::uint32_t shard) {
   Entry& entry = *entries_[shard];
-  std::lock_guard<std::mutex> lock(entry.refresh_mu);
+  MutexLock lock(entry.refresh_mu);
   if (std::atomic_load_explicit(&entry.record, std::memory_order_acquire)) {
     invalidations_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -58,10 +58,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "collector/snapshot.h"
+#include "common/thread_annotations.h"
 
 namespace dta::collector {
 
@@ -180,14 +180,15 @@ class SnapshotCache {
   using StampedPtr = std::shared_ptr<const Stamped>;
 
   struct Entry {
-    std::mutex refresh_mu;
+    Mutex refresh_mu;
     // Read with std::atomic_load / written with std::atomic_store; the
-    // fast path never takes refresh_mu.
+    // fast path never takes refresh_mu (not GUARDED_BY for that
+    // reason — the atomic access is its own protocol).
     StampedPtr record;
     // The same object record->snap points at, mutable view — the
-    // in-place / clone base for incremental refresh. Guarded by
-    // refresh_mu; always null exactly when record is null.
-    std::shared_ptr<StoreSnapshot> writable;
+    // in-place / clone base for incremental refresh. Always null
+    // exactly when record is null.
+    std::shared_ptr<StoreSnapshot> writable DTA_GUARDED_BY(refresh_mu);
   };
 
   static std::uint64_t now_us();
@@ -197,9 +198,10 @@ class SnapshotCache {
   static SnapshotPtr make_handle(StampedPtr record);
 
   // Publishes `snap` as shard `entry`'s current record and returns a
-  // pinned handle to it. Caller holds entry.refresh_mu.
+  // pinned handle to it.
   SnapshotPtr publish(Entry& entry, std::shared_ptr<StoreSnapshot> snap,
-                      std::uint64_t covers_seq);
+                      std::uint64_t covers_seq)
+      DTA_REQUIRES(entry.refresh_mu);
 
   SnapshotCacheConfig config_;
   std::vector<std::unique_ptr<Entry>> entries_;

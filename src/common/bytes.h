@@ -11,6 +11,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/lifetime_annotations.h"
+
 namespace dta::common {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -18,6 +20,21 @@ using Bytes = std::vector<std::uint8_t>;
 // Minimal std::span stand-in (the project builds as C++17). Only the
 // operations the wire formats need: pointer+size views, subspan, and
 // implicit construction from any contiguous container.
+template <typename T>
+class Span;
+
+namespace internal {
+// Excludes Span itself from the container-converting constructor (like
+// std::span's range constructor): span-to-span copies must go through
+// the plain copy constructor, which carries no lifetimebound — a span
+// does not borrow from another span object, only from the underlying
+// container.
+template <typename C>
+struct IsSpan : std::false_type {};
+template <typename U>
+struct IsSpan<Span<U>> : std::true_type {};
+}  // namespace internal
+
 template <typename T>
 class Span {
  public:
@@ -29,17 +46,31 @@ class Span {
   constexpr Span(T* data, std::size_t size) noexcept
       : data_(data), size_(size) {}
 
+  // A span borrows the container it is built from: lifetimebound turns
+  // a span bound to a temporary (dead at the end of the statement) into
+  // a clang compile error instead of a dangling read.
   template <typename C,
-            typename = std::enable_if_t<std::is_convertible_v<
-                decltype(std::declval<C&>().data()), T*>>>
-  constexpr Span(C& container)  // NOLINT: implicit, like std::span
+            typename = std::enable_if_t<
+                !internal::IsSpan<std::remove_cv_t<C>>::value &&
+                std::is_convertible_v<decltype(std::declval<C&>().data()),
+                                      T*>>>
+  constexpr Span(C& container DTA_LIFETIMEBOUND)  // NOLINT: implicit
       : data_(container.data()), size_(container.size()) {}
 
   template <typename C,
-            typename = std::enable_if_t<std::is_convertible_v<
-                decltype(std::declval<const C&>().data()), T*>>>
-  constexpr Span(const C& container)  // NOLINT: implicit, like std::span
+            typename = std::enable_if_t<
+                !internal::IsSpan<std::remove_cv_t<C>>::value &&
+                std::is_convertible_v<decltype(std::declval<const C&>().data()),
+                                      T*>>>
+  constexpr Span(const C& container DTA_LIFETIMEBOUND)  // NOLINT: implicit
       : data_(container.data()), size_(container.size()) {}
+
+  // Span-of-U to span-of-const-U (no borrow from the other span object,
+  // so no lifetimebound: both alias the same underlying container).
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  constexpr Span(const Span<U>& other) noexcept  // NOLINT: implicit
+      : data_(other.data()), size_(other.size()) {}
 
   constexpr T* data() const noexcept { return data_; }
   constexpr std::size_t size() const noexcept { return size_; }

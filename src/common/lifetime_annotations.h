@@ -1,0 +1,38 @@
+// Lifetime contracts for the zero-copy surface.
+//
+// DTA_LIFETIMEBOUND marks a parameter (including the implicit object
+// parameter, when placed after a member function's parameter list)
+// whose referent must outlive the function's return value. Clang's
+// -Wdangling family then turns "span/view/reference into an object
+// that just died" — the exact bug class of a ByteSpan taken from a
+// temporary, or a raw span pulled out of a dropped snapshot — into a
+// compile-time diagnostic; the CI static-analysis job builds with
+// -Werror so it blocks.
+//
+// Non-clang compilers see no attribute (the contract is still
+// documented at every annotated site; only the enforcement is
+// clang-only).
+//
+// What is (and is not) annotated, project-wide:
+//   * common::Span's converting constructors — a span borrows the
+//     container it is built from.
+//   * ByteView::data()/span()/begin()/end() — raw pointers borrow the
+//     view; the *view itself* owns a snapshot pin and may outlive
+//     everything, which is why KeyWriteTable::get_view's return is NOT
+//     lifetimebound: the returned ByteView is self-owning.
+//   * StoreSnapshot's *_view query results and region accessors — raw
+//     spans borrow the snapshot.
+//   * Expected<T>::value()/operator*()/operator->() — references
+//     borrow the Expected.
+//   * Client's handle/builder accessors — handles borrow the Client's
+//     backend.
+#pragma once
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define DTA_LIFETIMEBOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef DTA_LIFETIMEBOUND
+#define DTA_LIFETIMEBOUND  // no-op outside clang
+#endif

@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/lifetime_annotations.h"
 
 namespace dta {
 
@@ -30,14 +31,20 @@ class ByteView {
   ByteView(std::shared_ptr<const void> owner, common::ByteSpan bytes)
       : owner_(std::move(owner)), bytes_(bytes) {}
 
-  const std::uint8_t* data() const { return bytes_.data(); }
+  // The raw accessors borrow the view: the view's ownership share (and
+  // with it the snapshot pin) is what keeps the bytes alive, so a
+  // pointer or span that outlives the view dangles — lifetimebound
+  // makes that a compile error under clang.
+  const std::uint8_t* data() const DTA_LIFETIMEBOUND { return bytes_.data(); }
   std::size_t size() const { return bytes_.size(); }
   bool empty() const { return bytes_.empty(); }
   std::uint8_t operator[](std::size_t i) const { return bytes_[i]; }
-  const std::uint8_t* begin() const { return bytes_.begin(); }
-  const std::uint8_t* end() const { return bytes_.end(); }
+  const std::uint8_t* begin() const DTA_LIFETIMEBOUND {
+    return bytes_.begin();
+  }
+  const std::uint8_t* end() const DTA_LIFETIMEBOUND { return bytes_.end(); }
 
-  common::ByteSpan span() const { return bytes_; }
+  common::ByteSpan span() const DTA_LIFETIMEBOUND { return bytes_; }
 
   // Explicit copy escape: detaches the bytes from the snapshot (and
   // releases the pin once the view itself is dropped).

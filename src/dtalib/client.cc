@@ -204,20 +204,6 @@ Status postcard_precheck(const Backend& backend,
   return query_precheck(key, opts);
 }
 
-Status append_read_precheck(const Backend& backend, std::uint64_t count) {
-  const auto& config = backend.host_config();
-  if (!config.append) {
-    return {StatusCode::kNotConfigured, "Append store not enabled"};
-  }
-  if (count > config.append->entries_per_list) {
-    return {StatusCode::kOutOfRange,
-            "read count " + std::to_string(count) +
-                " exceeds the ring capacity " +
-                std::to_string(config.append->entries_per_list)};
-  }
-  return Status::Ok();
-}
-
 // The merge and range-resolution core lives in dtalib/query_core.h so
 // FabricBackend resolves through the exact same path (the conformance
 // kit's byte-equality depends on there being only one).
@@ -293,19 +279,19 @@ Status LocalBackend::submit(proto::ParsedDta parsed,
   }
   parsed.header.tenant = opts.tenant;
   if (opts.immediate) parsed.header.immediate = true;
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  MutexLock lock(submit_mu_);
   runtime_.submit(std::move(parsed));
   return Status::Ok();
 }
 
 Status LocalBackend::flush() {
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  MutexLock lock(submit_mu_);
   runtime_.flush();
   return Status::Ok();
 }
 
 void LocalBackend::stop() {
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  MutexLock lock(submit_mu_);
   runtime_.stop();
 }
 
@@ -457,19 +443,19 @@ Status ClusterBackend::submit(proto::ParsedDta parsed,
   }
   parsed.header.tenant = opts.tenant;
   if (opts.immediate) parsed.header.immediate = true;
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  MutexLock lock(submit_mu_);
   cluster_.submit(std::move(parsed), opts.dst_ip);
   return Status::Ok();
 }
 
 Status ClusterBackend::flush() {
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  MutexLock lock(submit_mu_);
   cluster_.flush();
   return Status::Ok();
 }
 
 void ClusterBackend::stop() {
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  MutexLock lock(submit_mu_);
   cluster_.stop();
 }
 
@@ -854,47 +840,6 @@ Status AppendList::append(common::ByteSpan entry, const ReportOptions& opts) {
 
 Status AppendList::append_u32(std::uint32_t value, const ReportOptions& opts) {
   return backend_->submit(reports::append_u32(list_, value), opts);
-}
-
-Expected<std::vector<common::Bytes>> AppendList::read(
-    std::uint64_t count, const QueryOptions& opts) const {
-  if (auto status = append_read_precheck(*backend_, count); !status.ok()) {
-    return status;
-  }
-  auto slice = backend_->list_snapshot(list_, opts);
-  if (!slice.ok()) return slice.status();
-  return slice->snap->append_read(slice->shard_list, count);
-}
-
-Expected<std::vector<ByteView>> AppendList::read_views(
-    std::uint64_t count, const QueryOptions& opts) const {
-  if (auto status = append_read_precheck(*backend_, count); !status.ok()) {
-    return status;
-  }
-  auto slice = backend_->list_snapshot(list_, opts);
-  if (!slice.ok()) return slice.status();
-  const auto spans = slice->snap->append_read_views(slice->shard_list, count);
-  std::vector<ByteView> out;
-  out.reserve(spans.size());
-  for (const common::ByteSpan span : spans) {
-    out.emplace_back(slice->snap, span);
-  }
-  return out;
-}
-
-std::future<Expected<std::vector<common::Bytes>>> AppendList::read_async(
-    std::uint64_t count, const QueryOptions& opts) const {
-  const Status precheck = append_read_precheck(*backend_, count);
-  Expected<Backend::ListSlice> slice =
-      precheck.ok() ? backend_->list_snapshot(list_, opts)
-                    : Expected<Backend::ListSlice>(precheck);
-  return std::async(std::launch::async,
-                    [slice = std::move(slice),
-                     count]() -> Expected<std::vector<common::Bytes>> {
-                      if (!slice.ok()) return slice.status();
-                      return slice->snap->append_read(slice->shard_list,
-                                                      count);
-                    });
 }
 
 // --- PostcardStream ----------------------------------------------------------

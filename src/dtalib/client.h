@@ -45,11 +45,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "collector/runtime.h"
+#include "common/lifetime_annotations.h"
+#include "common/thread_annotations.h"
 #include "dtalib/byte_view.h"
 #include "dtalib/cluster_runtime.h"
 #include "dtalib/options.h"
@@ -237,26 +238,11 @@ class AppendList {
   Status append(common::ByteSpan entry, const ReportOptions& opts = {});
   Status append_u32(std::uint32_t value, const ReportOptions& opts = {});
 
-  // Reads `count` entries from the list's snapshot, starting at the
-  // live store's consumer position, without consuming. The caller
-  // tracks availability (the paper's polling model); count beyond the
-  // ring capacity is kOutOfRange.
-  //
-  // Deprecated (one PR): positionless reads cannot resume or detect
-  // ring overwrite — use the cursor-based event query instead:
-  //   client.events(list).since(cursor).max(n).run()
-  // (see the README migration table). Removal follows next PR.
-  [[deprecated("use client.events(list).since(cursor).max(n).run()")]]
-  Expected<std::vector<common::Bytes>> read(
-      std::uint64_t count, const QueryOptions& opts = {}) const;
-  // Zero-copy variant: entry views into the list's snapshot, all
-  // sharing one pin. Same semantics as read() otherwise.
-  [[deprecated("use client.events(list).since(cursor).max(n).run()")]]
-  Expected<std::vector<ByteView>> read_views(
-      std::uint64_t count, const QueryOptions& opts = {}) const;
-  [[deprecated("use client.events(list).since(cursor).max(n).run()")]]
-  std::future<Expected<std::vector<common::Bytes>>> read_async(
-      std::uint64_t count, const QueryOptions& opts = {}) const;
+  // Reads go through the cursor-based event query —
+  // client.events(list).since(cursor).max(n).run() — which can resume
+  // and detect ring overwrite. (The positionless read()/read_views()/
+  // read_async() family was deprecated for one release and is removed;
+  // see the README migration table.)
 
  private:
   Backend* backend_;
@@ -313,10 +299,21 @@ class Client {
   // Flushes and joins the backend's pipelines. Idempotent.
   void stop();
 
-  KeyWriteTable keywrite() { return KeyWriteTable(backend_.get()); }
-  CounterTable counters() { return CounterTable(backend_.get()); }
-  AppendList list(std::uint32_t id) { return AppendList(backend_.get(), id); }
-  PostcardStream postcards() { return PostcardStream(backend_.get()); }
+  // Handles and builders borrow the Client's backend: one that outlives
+  // the Client dereferences a destroyed Backend (lifetimebound flags
+  // handles built from a temporary Client under clang).
+  KeyWriteTable keywrite() DTA_LIFETIMEBOUND {
+    return KeyWriteTable(backend_.get());
+  }
+  CounterTable counters() DTA_LIFETIMEBOUND {
+    return CounterTable(backend_.get());
+  }
+  AppendList list(std::uint32_t id) DTA_LIFETIMEBOUND {
+    return AppendList(backend_.get(), id);
+  }
+  PostcardStream postcards() DTA_LIFETIMEBOUND {
+    return PostcardStream(backend_.get());
+  }
 
   // Typed query builders (dtalib/query.h). The handle argument selects
   // the primitive; the builder starts from default QueryOptions (or a
@@ -324,16 +321,16 @@ class Client {
   //   client.range(client.keywrite()).from(k1).to(k2).limit(n).run()
   //   client.range(client.counters()).from(k1).to(k2).run()
   //   client.events(client.list(3)).since(cursor).max(64).run()
-  RangeQuery range(const KeyWriteTable&) {
+  RangeQuery range(const KeyWriteTable&) DTA_LIFETIMEBOUND {
     return RangeQuery(backend_.get(), QueryOptions{});
   }
-  CounterRangeQuery range(const CounterTable&) {
+  CounterRangeQuery range(const CounterTable&) DTA_LIFETIMEBOUND {
     return CounterRangeQuery(backend_.get(), QueryOptions{});
   }
-  EventQuery events(const AppendList& list) {
+  EventQuery events(const AppendList& list) DTA_LIFETIMEBOUND {
     return EventQuery(backend_.get(), list.id(), QueryOptions{});
   }
-  EventQuery events(std::uint32_t list) {
+  EventQuery events(std::uint32_t list) DTA_LIFETIMEBOUND {
     return EventQuery(backend_.get(), list, QueryOptions{});
   }
 
@@ -343,15 +340,15 @@ class Client {
 
   // The tenant plane: register quotas and per-tenant query defaults,
   // read per-tenant admission counters.
-  TenantRegistry& tenants() { return backend_->tenants(); }
+  TenantRegistry& tenants() DTA_LIFETIMEBOUND { return backend_->tenants(); }
   // The registered QueryOptions defaults of `tenant` (tenant field
   // stamped) — the starting point for that tenant's per-call options.
   QueryOptions tenant_options(TenantId tenant) {
     return backend_->tenants().query_defaults(tenant);
   }
 
-  Backend& backend() { return *backend_; }
-  const Backend& backend() const { return *backend_; }
+  Backend& backend() DTA_LIFETIMEBOUND { return *backend_; }
+  const Backend& backend() const DTA_LIFETIMEBOUND { return *backend_; }
 
   // Escape hatches to the wrapped runtime (benches asserting on cache
   // internals, tests poking shard state). nullptr when the backend is
@@ -397,7 +394,9 @@ class LocalBackend final : public Backend {
   TenantRegistry tenants_;
   // Serializes submit/flush/stop onto the runtime's single-producer
   // ingest contract, so tenants may submit from concurrent threads.
-  std::mutex submit_mu_;
+  // (runtime_ itself is not GUARDED_BY: the query tier reads it
+  // lock-free through immutable snapshots by design.)
+  Mutex submit_mu_;
 };
 
 class ClusterBackend final : public Backend {
@@ -436,7 +435,9 @@ class ClusterBackend final : public Backend {
   ClusterRuntime cluster_;
   // Serializes submit/flush/stop onto the cluster's single-producer
   // ingest contract, so tenants may submit from concurrent threads.
-  std::mutex submit_mu_;
+  // (cluster_ is not GUARDED_BY: the query tier reads it lock-free
+  // through immutable snapshots by design.)
+  Mutex submit_mu_;
 };
 
 }  // namespace dta

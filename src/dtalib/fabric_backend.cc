@@ -69,7 +69,7 @@ Status FabricBackend::submit(proto::ParsedDta parsed,
     return status;
   }
   const bool immediate = opts.immediate || parsed.header.immediate;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopped_) {
     return {StatusCode::kUnavailable, "backend is stopped"};
   }
@@ -98,13 +98,13 @@ Status FabricBackend::submit(proto::ParsedDta parsed,
 }
 
 Status FabricBackend::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fabric_->flush();
   return Status::Ok();
 }
 
 void FabricBackend::stop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fabric_->flush();
   stopped_ = true;
 }
@@ -158,7 +158,7 @@ Expected<RangeResult> FabricBackend::range_query(const RangeSpec& spec,
   if (auto status = tenants_.admit_query(opts.tenant); !status.ok()) {
     return status;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto snap = acquire_locked(opts);
   if (!snap.ok()) return snap.status();
   // acquire_locked just folded everything staged, so index_ covers the
@@ -177,7 +177,7 @@ Expected<std::vector<Backend::SnapshotPtr>> FabricBackend::key_snapshots(
   if (auto status = tenants_.admit_query(opts.tenant); !status.ok()) {
     return status;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto snap = acquire_locked(opts);
   if (!snap.ok()) return snap.status();
   return std::vector<SnapshotPtr>{std::move(snap).value()};
@@ -191,7 +191,7 @@ FabricBackend::key_snapshots_batch(const std::vector<proto::TelemetryKey>& keys,
       !status.ok()) {
     return status;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto snap = acquire_locked(opts);
   if (!snap.ok()) return snap.status();
   // One shard -> one pin shared by the whole batch.
@@ -214,7 +214,7 @@ Expected<Backend::ListSlice> FabricBackend::list_snapshot(
   if (list >= num_lists()) {
     return Status(StatusCode::kUnknownList, "Append list id out of range");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto snap = acquire_locked(opts);
   if (!snap.ok()) return snap.status();
   ListSlice slice;
@@ -232,7 +232,7 @@ std::uint32_t FabricBackend::num_lists() const {
 }
 
 ClientStats FabricBackend::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ClientStats out;
   out.ingest.reports_in = submitted_;
   out.ingest.verbs_executed = fabric_->collector().stats().verbs_executed;
@@ -272,7 +272,7 @@ ClientStats FabricBackend::stats() const {
 }
 
 double FabricBackend::modeled_verbs_per_sec() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fabric_->modeled_verbs_per_sec();
 }
 

@@ -24,9 +24,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "dtalib/client.h"
 #include "dtalib/fabric.h"
 
@@ -70,22 +70,30 @@ class FabricBackend : public Backend {
 
  private:
   // The current snapshot, building it if any submit landed since the
-  // last one. Caller must hold mu_.
-  Expected<SnapshotPtr> acquire_locked(const QueryOptions& opts);
+  // last one.
+  Expected<SnapshotPtr> acquire_locked(const QueryOptions& opts)
+      DTA_REQUIRES(mu_);
 
+  // The Fabric object is single-threaded; every use runs under mu_
+  // except the fabric() escape hatch (single-threaded test poking, by
+  // contract), which is why the pointer is not PT_GUARDED_BY.
   std::unique_ptr<Fabric> fabric_;
   // The fabric's store geometry restated as the per-host runtime config
-  // every Backend exposes (num_shards = 1, wire execution).
+  // every Backend exposes (num_shards = 1, wire execution). Immutable
+  // after construction, read lock-free.
   collector::CollectorRuntimeConfig host_config_;
   TenantRegistry tenants_;
 
-  mutable std::mutex mu_;
-  std::uint64_t submitted_ = 0;         // reports accepted into the fabric
-  std::uint64_t snapshot_covers_ = 0;   // submitted_ at snapshot build time
-  std::uint64_t generation_ = 0;
-  SnapshotPtr snapshot_;
-  std::unordered_map<TenantId, std::uint64_t> tenant_ingest_;
-  bool stopped_ = false;
+  mutable Mutex mu_;
+  // reports accepted into the fabric
+  std::uint64_t submitted_ DTA_GUARDED_BY(mu_) = 0;
+  // submitted_ at snapshot build time
+  std::uint64_t snapshot_covers_ DTA_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ DTA_GUARDED_BY(mu_) = 0;
+  SnapshotPtr snapshot_ DTA_GUARDED_BY(mu_);
+  std::unordered_map<TenantId, std::uint64_t> tenant_ingest_
+      DTA_GUARDED_BY(mu_);
+  bool stopped_ DTA_GUARDED_BY(mu_) = false;
 
   // Secondary-index maintenance for the wire path. The fabric has no
   // deliver_batch seam to stage keys at, so the submit seam stages them
@@ -93,10 +101,12 @@ class FabricBackend : public Backend {
   // to checksums); the staged delta folds in at the next snapshot
   // rebuild, so the published index generation always equals the
   // snapshot generation (the consistency contract the range path needs).
-  std::vector<collector::IndexEntry> staged_keys_;
-  std::vector<std::uint64_t> staged_append_;   // per-list entries staged
-  collector::ShardIndexBuilder index_builder_;
-  std::shared_ptr<const collector::ShardIndexVersion> index_;
+  std::vector<collector::IndexEntry> staged_keys_ DTA_GUARDED_BY(mu_);
+  // per-list entries staged
+  std::vector<std::uint64_t> staged_append_ DTA_GUARDED_BY(mu_);
+  collector::ShardIndexBuilder index_builder_ DTA_GUARDED_BY(mu_);
+  std::shared_ptr<const collector::ShardIndexVersion> index_
+      DTA_GUARDED_BY(mu_);
 };
 
 }  // namespace dta

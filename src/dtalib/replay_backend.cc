@@ -12,7 +12,7 @@ Status ReplayBackend::submit(proto::ParsedDta parsed,
   Status status = inner_->submit(std::move(parsed), opts);
   if (!status.ok()) return status;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   telemetry::TraceRecord record;
   record.timestamp_ns = ++seq_;  // logical stamp: order is the contract
   record.tenant = opts.tenant;
@@ -24,22 +24,22 @@ Status ReplayBackend::submit(proto::ParsedDta parsed,
 }
 
 std::uint64_t ReplayBackend::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writer_.size();
 }
 
 std::vector<telemetry::TraceRecord> ReplayBackend::records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writer_.records();
 }
 
 common::Bytes ReplayBackend::serialize_trace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writer_.serialize();
 }
 
 Status ReplayBackend::write_trace(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writer_.write_file(path);
 }
 

@@ -25,10 +25,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dtalib/client.h"
 #include "telemetry/report_trace.h"
 
@@ -102,9 +102,9 @@ class ReplayBackend : public Backend {
 
  private:
   std::unique_ptr<Backend> inner_;
-  mutable std::mutex mu_;
-  telemetry::ReportTraceWriter writer_;
-  std::uint64_t seq_ = 0;
+  mutable Mutex mu_;
+  telemetry::ReportTraceWriter writer_ DTA_GUARDED_BY(mu_);
+  std::uint64_t seq_ DTA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dta

@@ -32,9 +32,13 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/lifetime_annotations.h"
 
 namespace dta {
 
@@ -78,7 +82,9 @@ class [[nodiscard]] Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  // Borrows the Status: `const auto& m = f().message();` would dangle
+  // once the temporary Status dies — lifetimebound flags it.
+  const std::string& message() const DTA_LIFETIMEBOUND { return message_; }
 
   // The structured retry-after payload. Only ever non-zero on
   // kResourceExhausted; the typed accessor keeps callers from parsing
@@ -147,31 +153,54 @@ class [[nodiscard]] Expected {
   bool ok() const { return value_.has_value(); }
   explicit operator bool() const { return ok(); }
 
-  const Status& status() const { return status_; }
+  const Status& status() const DTA_LIFETIMEBOUND { return status_; }
   StatusCode code() const { return status_.code(); }
 
-  T& value() & {
+  // value()/operator* borrow the Expected: binding a reference to the
+  // value of a *temporary* Expected (`auto& v = query().value();`)
+  // leaves the reference dangling at the end of the statement.
+  // lifetimebound turns that into a clang compile error; move out of
+  // the rvalue overload (`auto v = query().value();`) instead.
+  T& value() & DTA_LIFETIMEBOUND {
     assert(ok());
     return *value_;
   }
-  const T& value() const& {
+  const T& value() const& DTA_LIFETIMEBOUND {
     assert(ok());
     return *value_;
   }
-  T&& value() && {
+  T&& value() && DTA_LIFETIMEBOUND {
     assert(ok());
     return *std::move(value_);
   }
   T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
 
-  T& operator*() & { return value(); }
-  const T& operator*() const& { return value(); }
-  T* operator->() { return &value(); }
-  const T* operator->() const { return &value(); }
+  T& operator*() & DTA_LIFETIMEBOUND { return value(); }
+  const T& operator*() const& DTA_LIFETIMEBOUND { return value(); }
+  T* operator->() DTA_LIFETIMEBOUND { return &value(); }
+  const T* operator->() const DTA_LIFETIMEBOUND { return &value(); }
 
  private:
   Status status_;
   std::optional<T> value_;
 };
+
+// The sanctioned way to consume a Status (or unwrap an Expected) when
+// failure is a programming error rather than a condition to handle:
+// aborts loudly instead of discarding. `(void)submit(...)`-style
+// discards are rejected by tools/lint/dta_lint.py (rule
+// status-discard); write `must(submit(...))` to assert success.
+inline void must(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "dta::must failed: %s\n", status.to_string().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T must(Expected<T> expected) {
+  must(expected.ok() ? Status::Ok() : expected.status());
+  return std::move(expected).value();
+}
 
 }  // namespace dta

@@ -54,7 +54,7 @@ common::VirtualNs TenantRegistry::now_ns() const {
 }
 
 void TenantRegistry::register_tenant(TenantId tenant, TenantConfig config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   config.query_defaults.tenant = tenant;
   configs_[tenant] = config;
   counters_.try_emplace(tenant);
@@ -71,12 +71,12 @@ void TenantRegistry::register_tenant(TenantId tenant, TenantConfig config) {
 }
 
 bool TenantRegistry::is_registered(TenantId tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return configs_.count(tenant) != 0;
 }
 
 std::optional<TenantConfig> TenantRegistry::config(TenantId tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = configs_.find(tenant);
   if (it == configs_.end()) return std::nullopt;
   return it->second;
@@ -103,7 +103,7 @@ Status TenantRegistry::admit_locked(translator::RateLimiter& limiter,
 
 Status TenantRegistry::admit_submit_at(TenantId tenant, common::VirtualNs now,
                                        std::uint32_t ops) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return admit_locked(submit_limiter_, tenant, now, ops,
                       &TenantCounters::submits_admitted,
                       &TenantCounters::submits_shed, "submit");
@@ -111,7 +111,7 @@ Status TenantRegistry::admit_submit_at(TenantId tenant, common::VirtualNs now,
 
 Status TenantRegistry::admit_query_at(TenantId tenant, common::VirtualNs now,
                                       std::uint32_t ops) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return admit_locked(query_limiter_, tenant, now, ops,
                       &TenantCounters::queries_admitted,
                       &TenantCounters::queries_shed, "query");
@@ -126,7 +126,7 @@ Status TenantRegistry::admit_query(TenantId tenant, std::uint32_t ops) {
 }
 
 QueryOptions TenantRegistry::query_defaults(TenantId tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = configs_.find(tenant);
   if (it != configs_.end()) return it->second.query_defaults;
   QueryOptions opts;
@@ -135,7 +135,7 @@ QueryOptions TenantRegistry::query_defaults(TenantId tenant) const {
 }
 
 std::vector<TenantStatsRow> TenantRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TenantStatsRow> rows;
   rows.reserve(counters_.size());
   for (const auto& [tenant, counters] : counters_) {
@@ -149,7 +149,7 @@ std::vector<TenantStatsRow> TenantRegistry::stats() const {
 }
 
 TenantCounters TenantRegistry::counters(TenantId tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(tenant);
   return it == counters_.end() ? TenantCounters{} : it->second;
 }

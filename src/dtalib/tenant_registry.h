@@ -19,11 +19,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/time_model.h"
 #include "dta/tenant.h"
 #include "dtalib/options.h"
@@ -114,16 +114,18 @@ class TenantRegistry {
   Status admit_locked(translator::RateLimiter& limiter, TenantId tenant,
                       common::VirtualNs now, std::uint32_t ops,
                       std::uint64_t TenantCounters::*admitted,
-                      std::uint64_t TenantCounters::*shed, const char* verb);
+                      std::uint64_t TenantCounters::*shed, const char* verb)
+      DTA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // Set once in the constructor, read-only afterwards (not guarded).
   std::chrono::steady_clock::time_point epoch_;
-  std::unordered_map<TenantId, TenantConfig> configs_;
-  std::unordered_map<TenantId, TenantCounters> counters_;
+  std::unordered_map<TenantId, TenantConfig> configs_ DTA_GUARDED_BY(mu_);
+  std::unordered_map<TenantId, TenantCounters> counters_ DTA_GUARDED_BY(mu_);
   // Token buckets, one limiter per admission dimension. Only tenants
   // with a nonzero rate get a bucket; everyone else passes through.
-  translator::RateLimiter submit_limiter_;
-  translator::RateLimiter query_limiter_;
+  translator::RateLimiter submit_limiter_ DTA_GUARDED_BY(mu_);
+  translator::RateLimiter query_limiter_ DTA_GUARDED_BY(mu_);
 };
 
 }  // namespace dta

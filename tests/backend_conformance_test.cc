@@ -286,12 +286,7 @@ TEST_P(BackendConformanceTest, ErrorModelDistinctCodes) {
   EXPECT_EQ(client.list(0).append(ByteSpan(huge_entry)).code(),
             StatusCode::kOutOfRange);
 
-  // Deprecated positionless read still rejects reads beyond the ring
-  // capacity; the event query's kOutOfRange is a cursor past the head.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(client.list(0).read(1 << 20).code(), StatusCode::kOutOfRange);
-#pragma GCC diagnostic pop
+  // The event query's kOutOfRange is a cursor past the head.
   EXPECT_EQ(client.events(0).since(1u << 30).run().code(),
             StatusCode::kOutOfRange);
 

@@ -182,26 +182,19 @@ TEST_P(ClientApiTest, ZeroCopyViewsMatchCopiesAndOutliveRefresh) {
   EXPECT_GE(batch_hits, 97);
   EXPECT_FALSE(views->back().has_value());
 
-  // Append views: list order, zero-copy, same entries as the event
-  // query returns. (read_views is deprecated; this keeps the legacy
-  // path covered until its removal next PR.)
+  // Append entries arrive in list order through the cursor-based event
+  // query (the zero-copy snapshot path behind it is covered at the
+  // store level in snapshot_cache_test's append_read_views cases).
   auto list = client.list(1);
   for (std::uint32_t i = 0; i < 10; ++i) {
     ASSERT_TRUE(list.append_u32(700 + i).ok());
   }
   ASSERT_TRUE(client.flush().ok());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto entry_views = list.read_views(10);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(entry_views.ok());
-  ASSERT_EQ(entry_views->size(), 10u);
   const auto batch = client.events(1).max(10).run();
   ASSERT_TRUE(batch.ok());
   ASSERT_EQ(batch->entries.size(), 10u);
   for (std::uint32_t i = 0; i < 10; ++i) {
-    EXPECT_EQ(common::load_u32((*entry_views)[i].data()), 700 + i);
-    EXPECT_EQ((*entry_views)[i].to_bytes(), batch->entries[i]);
+    EXPECT_EQ(common::load_u32(batch->entries[i].data()), 700 + i);
   }
 }
 
@@ -294,14 +287,6 @@ TEST_P(ClientApiTest, AppendRoundTrip) {
   EXPECT_EQ(events->dropped, 0u);
   EXPECT_EQ(events->remaining, 0u);
   EXPECT_EQ(events->next.position, 6u);
-  // The deprecated positionless read returns the same entries until its
-  // removal next PR.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = list.read(6);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(legacy.ok());
-  EXPECT_EQ(*legacy, events->entries);
 }
 
 // ----------------------------------------------------- Postcarding
@@ -374,14 +359,10 @@ TEST_P(ClientApiTest, ErrorModelDistinctCodes) {
   EXPECT_EQ(client.list(0).append(ByteSpan(huge_entry)).code(),
             StatusCode::kOutOfRange);
 
-  // Deprecated positionless read: count beyond the ring capacity is
-  // kOutOfRange, not zero-filled UB. (The event query clamps instead —
-  // a cursor ahead of the head is its kOutOfRange, covered in the
-  // event-cursor tests.)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(client.list(0).read(1 << 20).code(), StatusCode::kOutOfRange);
-#pragma GCC diagnostic pop
+  // An event cursor ahead of the head is kOutOfRange (the rest of the
+  // cursor error surface is covered in the event-cursor tests).
+  EXPECT_EQ(client.events(0).since(1u << 30).run().code(),
+            StatusCode::kOutOfRange);
 
   // A covers_seq floor ahead of everything submitted is unsatisfiable.
   QueryOptions future_floor;

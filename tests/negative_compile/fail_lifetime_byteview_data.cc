@@ -1,0 +1,14 @@
+// MUST NOT COMPILE under clang -Werror: keeping a raw pointer obtained
+// from a temporary ByteView — the view's snapshot pin dies with the
+// temporary, so DTA_LIFETIMEBOUND on ByteView::data() rejects it
+// (-Wdangling, default-on).
+#include <cstdint>
+
+#include "dtalib/byte_view.h"
+
+dta::ByteView query();
+
+const std::uint8_t* dangling_data() {
+  const std::uint8_t* p = query().data();  // pin released here
+  return p;
+}

@@ -1,0 +1,14 @@
+// MUST NOT COMPILE under clang -Werror: binding a reference to the
+// value of a temporary Expected — DTA_LIFETIMEBOUND on
+// Expected::value() rejects it (-Wdangling, default-on). Copy or move
+// the value out instead.
+#include <vector>
+
+#include "dtalib/status.h"
+
+dta::Expected<std::vector<int>> query();
+
+int dangling_value() {
+  const std::vector<int>& v = query().value();  // Expected died here
+  return v.empty() ? 0 : v.front();
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE under clang -Werror: a ByteSpan bound to a
+// temporary container (destroyed at the end of the statement) trips
+// the DTA_LIFETIMEBOUND annotation on Span's converting constructor
+// (-Wdangling, default-on).
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+std::size_t dangling_span() {
+  dta::common::ByteSpan bytes = std::vector<std::uint8_t>{1, 2, 3};
+  return bytes.size();  // the vector died on the previous line
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE under clang -Werror: binding a reference to the
+// message of a temporary Status — DTA_LIFETIMEBOUND on
+// Status::message() rejects it (-Wdangling, default-on).
+#include <string>
+
+#include "dtalib/status.h"
+
+dta::Status submit();
+
+std::size_t dangling_message() {
+  const std::string& m = submit().message();  // Status died here
+  return m.size();
+}

@@ -1,0 +1,14 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror:
+// calling a DTA_EXCLUDES entry point with its mutex already held (the
+// self-deadlock shape for a non-recursive mutex).
+#include "common/thread_annotations.h"
+
+struct Cache {
+  dta::Mutex mu;
+  void refresh() DTA_EXCLUDES(mu);
+};
+
+void reenter(Cache& c) {
+  dta::MutexLock lock(c.mu);
+  c.refresh();  // must not be called while holding c.mu
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror:
+// a manually acquired dta::Mutex never released on one path.
+#include "common/thread_annotations.h"
+
+void leak(dta::Mutex& mu, bool flaky) {
+  mu.lock();
+  if (flaky) {
+    return;  // mu still held
+  }
+  mu.unlock();
+}

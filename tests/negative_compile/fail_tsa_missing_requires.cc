@@ -1,0 +1,14 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror:
+// calling a DTA_REQUIRES function without the required mutex held.
+#include "common/thread_annotations.h"
+
+struct Registry {
+  dta::Mutex mu;
+  int admitted DTA_GUARDED_BY(mu) = 0;
+
+  void admit_locked() DTA_REQUIRES(mu) { admitted += 1; }
+};
+
+void admit(Registry& r) {
+  r.admit_locked();  // requires holding r.mu
+}

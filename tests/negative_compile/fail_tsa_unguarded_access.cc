@@ -1,0 +1,16 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror:
+// reads and writes of a DTA_GUARDED_BY field without holding its mutex.
+#include "common/thread_annotations.h"
+
+struct Counter {
+  dta::Mutex mu;
+  int value DTA_GUARDED_BY(mu) = 0;
+};
+
+int unguarded_read(Counter& c) {
+  return c.value;  // requires holding c.mu
+}
+
+void unguarded_write(Counter& c) {
+  c.value = 7;  // requires holding c.mu exclusively
+}

@@ -1,0 +1,37 @@
+// MUST COMPILE everywhere: the lifetimebound surface used correctly —
+// every borrow is from a named owner that outlives it, and temporaries
+// are consumed within their full expression or detached by copy.
+// Positive control for the fail_lifetime_* fixtures; under GCC it
+// proves DTA_LIFETIMEBOUND expands to a no-op.
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dtalib/byte_view.h"
+#include "dtalib/status.h"
+
+dta::ByteView query_view();
+dta::Expected<std::vector<int>> query_values();
+dta::Status submit();
+
+std::size_t correct_usage() {
+  // Borrow from a named owner.
+  const std::vector<std::uint8_t> owner{1, 2, 3};
+  dta::common::ByteSpan bytes = owner;
+
+  // Consume a temporary within its full expression.
+  std::size_t total = query_view().size();
+
+  // Keep the view itself (the pin) and borrow from it.
+  const dta::ByteView view = query_view();
+  const std::uint8_t* p = view.data();
+  if (p != nullptr) total += view.size();
+
+  // Copy/move values out of temporaries instead of borrowing.
+  std::vector<int> values = dta::must(query_values());
+  std::string message = submit().message();
+
+  return total + bytes.size() + values.size() + message.size();
+}

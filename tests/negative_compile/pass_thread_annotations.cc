@@ -1,0 +1,33 @@
+// MUST COMPILE everywhere: the annotated surface used correctly.
+// Under clang this is the positive control for the fail_tsa_* fixtures
+// (same headers, same flags, zero -Wthread-safety findings); under GCC
+// it proves every DTA_* macro expands to a no-op.
+#include "common/thread_annotations.h"
+
+struct Registry {
+  dta::Mutex mu;
+  int admitted DTA_GUARDED_BY(mu) = 0;
+
+  void admit_locked() DTA_REQUIRES(mu) { admitted += 1; }
+  void refresh() DTA_EXCLUDES(mu) {
+    dta::MutexLock lock(mu);
+    admitted = 0;
+  }
+};
+
+int correct_usage() {
+  Registry r;
+  {
+    dta::MutexLock lock(r.mu);
+    r.admit_locked();
+  }
+  r.refresh();
+  r.mu.lock();
+  int copy = r.admitted;
+  r.mu.unlock();
+  if (r.mu.try_lock()) {
+    r.admitted = copy;
+    r.mu.unlock();
+  }
+  return copy;
+}

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <map>
 #include <thread>
@@ -217,6 +218,71 @@ TEST(IndexPublisher, PublishedGenerationIsMonotonic) {
     last = now;
   }
   EXPECT_EQ(publisher.version_at_least(0, 40)->generation(), 40u);
+}
+
+TEST(IndexPublisher, StressReaderCatchupRacesWriterPublish) {
+  // Targets the catch-up/publish window under TSan: per shard, one
+  // writer (the single-writer contract of IndexSink::enqueue) streams
+  // deltas while readers hammer version_at_least with the freshest
+  // enqueued generation — so reader-forced catch-ups race writer-side
+  // defer-window publishes on the same shard state. The enqueue-before-
+  // advertise order below mirrors the shard's enqueue-before-generation-
+  // bump protocol, which is exactly what makes "the catch-up can never
+  // come up short" hold; every reader asserts it.
+  constexpr std::uint32_t kShards = 2;
+  constexpr std::uint64_t kDeltas = 2000;
+  IndexPublisherConfig config;
+  config.publish_batch = 8;  // both publish paths exercised
+  IndexPublisher publisher(kShards, config);
+
+  std::array<std::atomic<std::uint64_t>, kShards> advertised{};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> writers;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    writers.emplace_back([&, s] {
+      for (std::uint64_t g = 1; g <= kDeltas; ++g) {
+        IndexDelta delta;
+        delta.generation = g;
+        delta.keys.push_back(
+            {u32_key(static_cast<std::uint32_t>(g % 256)), kIndexKeyWrite});
+        publisher.enqueue(s, std::move(delta));
+        advertised[s].store(g, std::memory_order_release);
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::array<std::uint64_t, kShards> last{};
+      bool done = false;
+      while (!done) {
+        done = true;
+        for (std::uint32_t s = 0; s < kShards; ++s) {
+          const std::uint64_t want = advertised[s].load(std::memory_order_acquire);
+          const auto version = publisher.version_at_least(s, want);
+          // Enqueued before advertised => the catch-up covers it, and
+          // published generations never move backwards.
+          if (version->generation() < want) failed.store(true);
+          if (version->generation() < last[s]) failed.store(true);
+          last[s] = version->generation();
+          if (want < kDeltas) done = false;
+        }
+      }
+    });
+  }
+
+  for (auto& writer : writers) writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_FALSE(failed.load());
+
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(publisher.version_at_least(s, kDeltas)->generation(), kDeltas);
+  }
+  const auto stats = publisher.stats();
+  EXPECT_EQ(stats.deltas_enqueued, kShards * kDeltas);
+  EXPECT_EQ(stats.deltas_applied, kShards * kDeltas);
 }
 
 // ----------------------------------------------- runtime integration

@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""dta_lint — build-free project lint for invariants the compilers miss.
+
+Four rules, each encoding a contract the codebase relies on but that
+neither GCC, clang -Wthread-safety, nor clang-tidy enforces:
+
+  status-discard     A dta::Status / dta::Expected produced by a
+                     submit/flush/report-style call must not be thrown
+                     away with a `(void)` cast or `std::ignore` inside
+                     src/ — backpressure discarded silently is the
+                     failure mode the Status model exists to eliminate.
+                     Deliberate "failure is a bug here" consumption goes
+                     through dta::must(...). (bench/ and tests/ warm-up
+                     paths are out of scope by design.)
+
+  raw-store-read     The live store regions (RdmaService::*_region())
+                     are written by the shard NIC model concurrently
+                     with serving; only collector-internal code may
+                     touch them (it owns the quiesce/snapshot
+                     machinery). Everything else reads through pinned
+                     StoreSnapshots. Scope: src/ outside src/collector/.
+
+  raw-mutex          All locking goes through the capability-annotated
+                     dta::Mutex / dta::MutexLock wrappers
+                     (src/common/thread_annotations.h) so clang
+                     -Wthread-safety sees every acquire/release. A bare
+                     std::mutex is invisible to the analysis.
+                     Scope: the whole tree.
+
+  serve-path-memcpy  The query serve path (src/dtalib/) is zero-copy by
+                     construction: results are ByteViews pinning their
+                     snapshot. A memcpy there reintroduces the
+                     per-result copy the architecture removed. Copies
+                     belong behind the snapshot seam (src/collector/)
+                     or in explicit to_bytes()-style escape hatches
+                     implemented via container constructors.
+
+Waiver: append `// dta-lint: allow(<rule>)` to the offending line. Each
+waiver is an auditable marker, greppable and reviewed like a cast.
+
+Usage:
+  tools/lint/dta_lint.py [--root DIR] [FILE...]
+
+With no FILE arguments, lints every .h/.cc under src/, tests/, bench/,
+examples/ and tools/ of --root (default: the repo containing this
+script). Exits 1 if any rule fires.
+"""
+
+import argparse
+import os
+import re
+import sys
+from typing import List, NamedTuple, Optional, Sequence
+
+
+class Finding(NamedTuple):
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule(NamedTuple):
+    name: str
+    pattern: "re.Pattern[str]"
+    message: str
+    # Predicate over the repo-relative path (forward slashes).
+    applies: "callable"
+
+
+_WAIVER_RE = re.compile(r"//\s*dta-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+_LINE_COMMENT_RE = re.compile(r"//.*$")
+
+# Status/Expected-returning entry points of the client surface whose
+# result must not be dropped (see src/dtalib/status.h).
+_STATUS_CALL = r"(?:flush|submit|report|put|put_u32|append|append_u32|add|stop_and_flush|fail_host|write_trace|replay|replay_file)"
+
+_RULES = [
+    Rule(
+        name="status-discard",
+        pattern=re.compile(
+            r"\(\s*void\s*\)\s*[^;=]*?\b" + _STATUS_CALL + r"\s*\("
+            r"|std::ignore\s*="
+        ),
+        message=(
+            "Status/Expected discarded; handle it or assert success with "
+            "dta::must(...)"
+        ),
+        applies=lambda p: p.startswith("src/"),
+    ),
+    Rule(
+        name="raw-store-read",
+        pattern=re.compile(
+            r"\b(?:keywrite|postcarding|append|keyincrement)_region\s*\("
+        ),
+        message=(
+            "live store region accessed outside src/collector/; serve "
+            "through a pinned StoreSnapshot instead"
+        ),
+        applies=lambda p: p.startswith("src/") and not p.startswith("src/collector/"),
+    ),
+    Rule(
+        name="raw-mutex",
+        pattern=re.compile(
+            r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+            r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock"
+            r"|scoped_lock|shared_lock)\b"
+        ),
+        message=(
+            "raw std::mutex family is invisible to -Wthread-safety; use "
+            "dta::Mutex / dta::MutexLock (src/common/thread_annotations.h)"
+        ),
+        applies=lambda p: p != "src/common/thread_annotations.h",
+    ),
+    Rule(
+        name="serve-path-memcpy",
+        pattern=re.compile(r"\bmemcpy\s*\("),
+        message=(
+            "memcpy on the query serve path defeats zero-copy serving; "
+            "return a ByteView or copy via to_bytes()"
+        ),
+        applies=lambda p: p.startswith("src/dtalib/"),
+    ),
+]
+
+RULE_NAMES = [r.name for r in _RULES]
+
+_LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+_LINT_EXTS = (".h", ".cc")
+
+
+def _waived_rules(raw_line: str) -> Sequence[str]:
+    m = _WAIVER_RE.search(raw_line)
+    if not m:
+        return ()
+    return tuple(name.strip() for name in m.group(1).split(","))
+
+
+def lint_file(root: str, rel_path: str, text: Optional[str] = None) -> List[Finding]:
+    """Lints one file; `rel_path` is repo-relative with forward slashes."""
+    if text is None:
+        with open(os.path.join(root, rel_path), encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    rules = [r for r in _RULES if r.applies(rel_path)]
+    if not rules:
+        return []
+    findings: List[Finding] = []
+    in_block_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        waived = _waived_rules(raw)
+        # Strip comments so documentation mentioning std::mutex or
+        # memcpy does not fire. Block comments are tracked coarsely
+        # (/* ... */ spanning lines); code and trailing comment on one
+        # line is handled by the line-comment strip.
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                in_block_comment = True
+                line = line[:start]
+            else:
+                line = line[:start] + line[end + 2 :]
+        line = _LINE_COMMENT_RE.sub("", line)
+        if not line.strip():
+            continue
+        for rule in rules:
+            if rule.name in waived:
+                continue
+            if rule.pattern.search(line):
+                findings.append(Finding(rel_path, lineno, rule.name, rule.message))
+    return findings
+
+
+def iter_lint_paths(root: str) -> List[str]:
+    out: List[str] = []
+    for top in _LINT_DIRS:
+        top_abs = os.path.join(root, top)
+        if not os.path.isdir(top_abs):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_abs):
+            dirnames[:] = [d for d in dirnames if d != "fixtures"]
+            for name in sorted(filenames):
+                if name.endswith(_LINT_EXTS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    out.append(rel.replace(os.sep, "/"))
+    return sorted(out)
+
+
+def run_lint(root: str, paths: Optional[Sequence[str]] = None) -> List[Finding]:
+    if paths is None:
+        paths = iter_lint_paths(root)
+    findings: List[Finding] = []
+    for rel in paths:
+        findings.extend(lint_file(root, rel))
+    return findings
+
+
+def main(argv: Sequence[str]) -> int:
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=default_root, help="repo root to lint")
+    parser.add_argument(
+        "files", nargs="*", help="repo-relative files (default: the whole tree)"
+    )
+    args = parser.parse_args(argv)
+
+    paths = [p.replace(os.sep, "/") for p in args.files] or None
+    findings = run_lint(args.root, paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"dta_lint: {len(findings)} finding(s); waive deliberate uses "
+            "with '// dta-lint: allow(<rule>)'",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,12 @@
+// Fixture: every declaration here must fire raw-mutex.
+#include <mutex>
+
+struct Unchecked {
+  std::mutex mu;
+  std::recursive_mutex rec;
+};
+
+void locked(Unchecked& u) {
+  std::lock_guard<std::mutex> lock(u.mu);
+  std::unique_lock<std::mutex> other(u.mu, std::defer_lock);
+}

@@ -1,0 +1,19 @@
+// Fixture: clean under raw-mutex.
+#include "common/thread_annotations.h"
+
+struct Checked {
+  dta::Mutex mu;
+  int value DTA_GUARDED_BY(mu) = 0;
+};
+
+void locked(Checked& c) {
+  dta::MutexLock lock(c.mu);
+  c.value += 1;
+}
+
+/* A block comment mentioning std::mutex does not fire,
+   and neither does a waived interop seam: */
+void interop() {
+  std::mutex* external = nullptr;  // dta-lint: allow(raw-mutex)
+  (void)external;
+}

@@ -1,0 +1,6 @@
+// Fixture: fires raw-store-read when linted as a file under src/dtalib/.
+#include "collector/rdma_service.h"
+
+const dta::rdma::MemoryRegion* peek(dta::collector::RdmaService& service) {
+  return service.keywrite_region();
+}

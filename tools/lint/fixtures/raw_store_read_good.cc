@@ -1,0 +1,9 @@
+// Fixture: clean under raw-store-read.
+#include "collector/snapshot.h"
+
+// Serving reads go through a pinned snapshot's copied regions, which
+// are immutable — the live keywrite_region() (mentioned only in this
+// comment) stays collector-internal.
+const dta::rdma::MemoryRegion* serve(const dta::collector::StoreSnapshot& s) {
+  return s.keywrite_mem();
+}

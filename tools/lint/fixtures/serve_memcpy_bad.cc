@@ -1,0 +1,7 @@
+// Fixture: fires serve-path-memcpy when linted as a file under
+// src/dtalib/.
+#include <cstring>
+
+void copy_result(unsigned char* dst, const unsigned char* src, unsigned n) {
+  std::memcpy(dst, src, n);
+}

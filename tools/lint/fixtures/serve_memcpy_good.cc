@@ -1,0 +1,10 @@
+// Fixture: clean under serve-path-memcpy.
+#include "dtalib/byte_view.h"
+
+// Serving stays zero-copy: results are views pinning their snapshot;
+// per-result memcpy (this comment does not fire) is the cost the
+// ByteView design removed. Explicit detaches use container
+// constructors, not memcpy.
+dta::common::Bytes detach(const dta::ByteView& view) {
+  return view.to_bytes();
+}

@@ -1,0 +1,10 @@
+// Fixture: every line here must fire status-discard when linted as a
+// file under src/.
+#include "dtalib/client.h"
+
+void drop_backpressure(dta::Client& client) {
+  (void)client.flush();
+  (void)client.keywrite().put_u32({}, 1);
+  (void)client.list(0).append_u32(7);
+  (void)client.backend().submit({}, {});
+}

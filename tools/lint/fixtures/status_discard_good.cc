@@ -1,0 +1,19 @@
+// Fixture: none of these lines may fire status-discard.
+#include "dtalib/client.h"
+#include "dtalib/status.h"
+
+dta::Status handled(dta::Client& client) {
+  // Handled: the Status is returned to the caller.
+  return client.flush();
+}
+
+void asserted(dta::Client& client) {
+  // The sanctioned deliberate-consume spelling.
+  dta::must(client.flush());
+  // (void) on non-Status expressions is fine.
+  int unused = 0;
+  (void)unused;
+  // A waived discard is an auditable exception, not a finding.
+  (void)client.flush();  // dta-lint: allow(status-discard)
+  // Comment text does not fire: (void)client.flush();
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Self-tests for dta_lint: every rule proven on a bad and a good fixture.
+
+Each fixture in tools/lint/fixtures/ is linted under a pretend
+repo-relative path that puts it in the rule's scope. Bad fixtures must
+fire the rule (on every expected line); good fixtures must stay clean —
+including comment mentions and `// dta-lint: allow(...)` waivers. A
+final test lints the real tree, which keeps the repo honest against its
+own gate.
+"""
+
+import os
+import unittest
+
+import dta_lint
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def lint_fixture(fixture_name, pretend_path):
+    with open(os.path.join(FIXTURES, fixture_name), encoding="utf-8") as f:
+        text = f.read()
+    return dta_lint.lint_file(REPO_ROOT, pretend_path, text=text)
+
+
+class StatusDiscardTest(unittest.TestCase):
+    def test_bad_fires_on_every_discard(self):
+        findings = lint_fixture("status_discard_bad.cc", "src/dtalib/bad.cc")
+        rules = [f.rule for f in findings]
+        self.assertEqual(rules, ["status-discard"] * 4, findings)
+        self.assertEqual([f.line for f in findings], [6, 7, 8, 9])
+
+    def test_good_is_clean(self):
+        self.assertEqual(
+            lint_fixture("status_discard_good.cc", "src/dtalib/good.cc"), []
+        )
+
+    def test_out_of_scope_outside_src(self):
+        # bench/ warm-up discards are deliberate and out of scope.
+        self.assertEqual(
+            lint_fixture("status_discard_bad.cc", "bench/bench_warmup.cc"), []
+        )
+
+
+class RawStoreReadTest(unittest.TestCase):
+    def test_bad_fires(self):
+        findings = lint_fixture("raw_store_read_bad.cc", "src/dtalib/bad.cc")
+        self.assertEqual([f.rule for f in findings], ["raw-store-read"])
+        self.assertEqual(findings[0].line, 5)
+
+    def test_good_is_clean(self):
+        self.assertEqual(
+            lint_fixture("raw_store_read_good.cc", "src/dtalib/good.cc"), []
+        )
+
+    def test_collector_is_in_scope_of_the_exemption(self):
+        # The same access inside src/collector/ is the legitimate owner.
+        self.assertEqual(
+            lint_fixture("raw_store_read_bad.cc", "src/collector/owner.cc"), []
+        )
+
+
+class RawMutexTest(unittest.TestCase):
+    def test_bad_fires_on_every_primitive(self):
+        findings = lint_fixture("raw_mutex_bad.cc", "src/dtalib/bad.cc")
+        self.assertEqual([f.rule for f in findings], ["raw-mutex"] * 4, findings)
+        self.assertEqual([f.line for f in findings], [5, 6, 10, 11])
+
+    def test_good_is_clean(self):
+        self.assertEqual(lint_fixture("raw_mutex_good.cc", "src/dtalib/good.cc"), [])
+
+    def test_applies_to_tests_and_bench_too(self):
+        findings = lint_fixture("raw_mutex_bad.cc", "tests/bad_test.cc")
+        self.assertEqual([f.rule for f in findings], ["raw-mutex"] * 4)
+
+    def test_wrapper_header_is_exempt(self):
+        self.assertEqual(
+            lint_fixture("raw_mutex_bad.cc", "src/common/thread_annotations.h"),
+            [],
+        )
+
+
+class ServePathMemcpyTest(unittest.TestCase):
+    def test_bad_fires(self):
+        findings = lint_fixture("serve_memcpy_bad.cc", "src/dtalib/bad.cc")
+        self.assertEqual([f.rule for f in findings], ["serve-path-memcpy"])
+        self.assertEqual(findings[0].line, 6)
+
+    def test_good_is_clean(self):
+        self.assertEqual(
+            lint_fixture("serve_memcpy_good.cc", "src/dtalib/good.cc"), []
+        )
+
+    def test_collector_memcpy_is_out_of_scope(self):
+        # The snapshot seam is where the one sanctioned copy lives.
+        self.assertEqual(
+            lint_fixture("serve_memcpy_bad.cc", "src/collector/snapshot.cc"), []
+        )
+
+
+class RepoTreeTest(unittest.TestCase):
+    def test_fixture_dir_is_not_walked(self):
+        paths = dta_lint.iter_lint_paths(REPO_ROOT)
+        self.assertTrue(paths, "expected the repo tree to contain lintable files")
+        self.assertFalse([p for p in paths if "/fixtures/" in p], "fixtures walked")
+
+    def test_repo_is_clean_under_its_own_gate(self):
+        findings = dta_lint.run_lint(REPO_ROOT)
+        self.assertEqual(
+            findings, [], "\n".join(f.render() for f in findings)
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
